@@ -1,0 +1,123 @@
+// Command coordctl inspects and manipulates the coordination ensemble —
+// Sedna's replacement for the ZooKeeper CLI.
+//
+// Usage:
+//
+//	coordctl -servers 127.0.0.1:7000 status
+//	coordctl -servers ... ls /sedna/realnodes
+//	coordctl -servers ... get /sedna/ring
+//	coordctl -servers ... create /path value
+//	coordctl -servers ... set /path value
+//	coordctl -servers ... del /path
+//	coordctl -servers ... ring           # decode and print the assignment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sedna/internal/cluster"
+	"sedna/internal/coord"
+	"sedna/internal/ring"
+	"sedna/internal/transport"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: coordctl -servers a,b,c <status|ls|get|create|set|del|ring> [args]")
+	os.Exit(2)
+}
+
+func main() {
+	servers := flag.String("servers", "127.0.0.1:7000", "comma-separated coordination addresses")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+	cli, err := coord.Dial(coord.ClientConfig{
+		Servers:   strings.Split(*servers, ","),
+		Caller:    transport.NewTCP(""),
+		NoSession: true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer cli.Close()
+
+	switch args[0] {
+	case "status":
+		zxid, err := cli.Cursor()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("zxid\t%d\n", zxid)
+	case "ls":
+		need(args, 2)
+		kids, err := cli.Children(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		for _, k := range kids {
+			fmt.Println(k)
+		}
+	case "get":
+		need(args, 2)
+		data, stat, err := cli.Get(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%q\t(version %d, children %d)\n", data, stat.Version, stat.NumChildren)
+	case "create":
+		need(args, 2)
+		var data []byte
+		if len(args) > 2 {
+			data = []byte(args[2])
+		}
+		path, err := cli.Create(args[1], data, coord.CreateOpts{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(path)
+	case "set":
+		need(args, 3)
+		if _, err := cli.Set(args[1], []byte(args[2]), -1); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	case "del":
+		need(args, 2)
+		if err := cli.Delete(args[1], -1); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	case "ring":
+		blob, _, err := cli.Get(cluster.DefaultLayout().RingPath())
+		if err != nil {
+			fatal(err)
+		}
+		snap, err := ring.DecodeRing(blob)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("version\t%d\nvnodes\t%d\nreplicas\t%d\n", snap.Version(), snap.NumVNodes(), snap.ReplicaFactor())
+		for _, n := range snap.Nodes() {
+			fmt.Printf("node\t%s\tprimaries=%d\treplicas=%d\n",
+				n, len(snap.PrimaryVNodesOf(n)), len(snap.VNodesOf(n)))
+		}
+	default:
+		usage()
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coordctl:", err)
+	os.Exit(1)
+}

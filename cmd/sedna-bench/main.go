@@ -1,0 +1,161 @@
+// Command sedna-bench regenerates every table and figure of the paper's
+// evaluation (§VI) plus the ablation experiments indexed in DESIGN.md, all
+// against in-process clusters on the simulated gigabit LAN.
+//
+// Usage:
+//
+//	sedna-bench -fig 7a              # Fig. 7(a): Sedna vs Memcached(x3)
+//	sedna-bench -fig 7b              # Fig. 7(b): Sedna vs Memcached(x1)
+//	sedna-bench -fig 8               # Fig. 8: nine clients vs one
+//	sedna-bench -fig ablations       # E4: quorum / flow control / vnodes
+//	sedna-bench -fig coord           # E5: lease cache & adaptation
+//	sedna-bench -fig pipeline        # E6: §V crawl-to-searchable latency
+//	sedna-bench -fig all
+//
+// -scale shrinks the sweep for quick runs (1.0 = the paper's 10k..60k).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sedna/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which artifact to regenerate: 7a|7b|8|ablations|coord|all")
+	scale := flag.Float64("scale", 0.1, "sweep scale relative to the paper's 10k..60k ops")
+	nodes := flag.Int("nodes", 9, "cluster size (the paper uses 9)")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	steps := opsSteps(*scale)
+	run := map[string]bool{}
+	if *fig == "all" {
+		for _, f := range []string{"7a", "7b", "8", "ablations", "coord", "pipeline"} {
+			run[f] = true
+		}
+	} else {
+		run[*fig] = true
+	}
+	any := false
+
+	if run["7a"] {
+		any = true
+		fmt.Println("== Fig. 7(a): one client, Sedna vs Memcached writing each key 3x sequentially ==")
+		series, err := bench.RunFig7(bench.Fig7Config{Nodes: *nodes, OpsSteps: steps, MCReplicas: 3, Seed: *seed})
+		if err != nil {
+			log.Fatalf("fig 7a: %v", err)
+		}
+		fmt.Print(bench.TSV(series))
+		fmt.Println()
+	}
+	if run["7b"] {
+		any = true
+		fmt.Println("== Fig. 7(b): one client, Sedna vs Memcached writing once ==")
+		series, err := bench.RunFig7(bench.Fig7Config{Nodes: *nodes, OpsSteps: steps, MCReplicas: 1, Seed: *seed})
+		if err != nil {
+			log.Fatalf("fig 7b: %v", err)
+		}
+		fmt.Print(bench.TSV(series))
+		fmt.Println()
+	}
+	if run["8"] {
+		any = true
+		fmt.Println("== Fig. 8: nine concurrent clients vs one ==")
+		series, err := bench.RunFig8(bench.Fig8Config{Nodes: *nodes, Clients: 9, OpsSteps: steps, Seed: *seed})
+		if err != nil {
+			log.Fatalf("fig 8: %v", err)
+		}
+		fmt.Print(bench.TSV(series))
+		fmt.Println()
+	}
+	if run["ablations"] {
+		any = true
+		fmt.Println("== E4 ablations (Table I quantified) ==")
+		qt, err := bench.RunQuorumAblation(5, scaleInt(2000, *scale), bench.DefaultProfile(), *seed)
+		if err != nil {
+			log.Fatalf("quorum ablation: %v", err)
+		}
+		fmt.Print(qt.Render())
+		fmt.Println()
+		ft, err := bench.RunFlowControlAblation(scaleInt(500, *scale))
+		if err != nil {
+			log.Fatalf("flow control ablation: %v", err)
+		}
+		fmt.Print(ft.Render())
+		fmt.Println()
+		vt, err := bench.RunVNodeBalanceAblation(*nodes)
+		if err != nil {
+			log.Fatalf("vnode ablation: %v", err)
+		}
+		fmt.Print(vt.Render())
+		fmt.Println()
+		st, err := bench.RunWatchStormAblation(scaleInt(500, *scale), 10, *seed)
+		if err != nil {
+			log.Fatalf("watch storm ablation: %v", err)
+		}
+		fmt.Print(st.Render())
+		fmt.Println()
+		dir, err := os.MkdirTemp("", "sedna-persist-abl")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		pt, err := bench.RunPersistenceAblation(dir, scaleInt(10000, *scale), *seed)
+		if err != nil {
+			log.Fatalf("persistence ablation: %v", err)
+		}
+		fmt.Print(pt.Render())
+		fmt.Println()
+	}
+	if run["coord"] {
+		any = true
+		fmt.Println("== E5: coordination service off the read path ==")
+		ct, err := bench.RunCoordCacheAblation(scaleInt(5000, *scale), bench.DefaultProfile(), *seed)
+		if err != nil {
+			log.Fatalf("coord cache ablation: %v", err)
+		}
+		fmt.Print(ct.Render())
+		fmt.Println()
+		lt, err := bench.RunLeaseAdaptationAblation(*seed)
+		if err != nil {
+			log.Fatalf("lease ablation: %v", err)
+		}
+		fmt.Print(lt.Render())
+		fmt.Println()
+	}
+	if run["pipeline"] {
+		any = true
+		fmt.Println("== E6: realtime pipeline latency (§V, Fig. 6 steps 1-7) ==")
+		pt, err := bench.RunPipelineBench(scaleInt(2000, *scale), bench.DefaultProfile(), *seed)
+		if err != nil {
+			log.Fatalf("pipeline bench: %v", err)
+		}
+		fmt.Print(pt.Render())
+		fmt.Println()
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "sedna-bench: unknown -fig %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func opsSteps(scale float64) []int {
+	base := []int{10000, 20000, 30000, 40000, 50000, 60000}
+	out := make([]int, len(base))
+	for i, b := range base {
+		out[i] = scaleInt(b, scale)
+	}
+	return out
+}
+
+func scaleInt(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 10 {
+		v = 10
+	}
+	return v
+}

@@ -1,0 +1,126 @@
+// Command sedna-cli is a small interactive client for a Sedna cluster.
+//
+// Usage:
+//
+//	sedna-cli -servers 127.0.0.1:7101,127.0.0.1:7102 put ds/tb/key value
+//	sedna-cli -servers ... putall ds/tb/key value     # write_all
+//	sedna-cli -servers ... get ds/tb/key              # read_latest
+//	sedna-cli -servers ... getall ds/tb/key           # read_all
+//	sedna-cli -servers ... del ds/tb/key
+//	sedna-cli -servers ... watch ds tb                # subscribe to a table
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sedna"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sedna-cli -servers a,b,c <put|putall|get|getall|del|watch> args...")
+	os.Exit(2)
+}
+
+func main() {
+	servers := flag.String("servers", "127.0.0.1:7101", "comma-separated Sedna node addresses")
+	timeout := flag.Duration("timeout", 5*time.Second, "operation timeout")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+
+	cli, err := sedna.NewClient(sedna.ClientConfig{
+		Servers: strings.Split(*servers, ","),
+		Caller:  sedna.NewTCPTransport(""),
+		Source:  "sedna-cli",
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch args[0] {
+	case "put":
+		need(args, 3)
+		if err := cli.WriteLatest(ctx, sedna.Key(args[1]), []byte(args[2])); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	case "putall":
+		need(args, 3)
+		if err := cli.WriteAll(ctx, sedna.Key(args[1]), []byte(args[2])); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	case "get":
+		need(args, 2)
+		val, ts, err := cli.ReadLatest(ctx, sedna.Key(args[1]))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s\t(ts %s)\n", val, ts)
+	case "getall":
+		need(args, 2)
+		vals, err := cli.ReadAll(ctx, sedna.Key(args[1]))
+		if err != nil {
+			fatal(err)
+		}
+		for _, v := range vals {
+			fmt.Printf("%s\t(source %s, ts %s)\n", v.Data, v.Source, v.TS)
+		}
+	case "del":
+		need(args, 2)
+		if err := cli.Delete(ctx, sedna.Key(args[1])); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	case "watch":
+		need(args, 3)
+		watch(cli, strings.Split(*servers, ","), args[1], args[2])
+	default:
+		usage()
+	}
+}
+
+// watch subscribes to a table on every server and streams merged events.
+func watch(cli *sedna.Client, servers []string, dataset, table string) {
+	merged := make(chan sedna.Event, 256)
+	for _, srv := range servers {
+		sub, err := cli.Subscribe(srv, []sedna.SubHook{{Dataset: dataset, Table: table}}, sedna.SubscribeOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		defer sub.Close()
+		go func(sub *sedna.Subscription) {
+			for ev := range sub.Events() {
+				merged <- ev
+			}
+		}(sub)
+	}
+	fmt.Fprintf(os.Stderr, "watching %s/%s (ctrl-c to stop)\n", dataset, table)
+	for ev := range merged {
+		if ev.Deleted {
+			fmt.Printf("%s\t<deleted>\n", ev.Key)
+		} else {
+			fmt.Printf("%s\t%s\n", ev.Key, ev.Value)
+		}
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sedna-cli:", err)
+	os.Exit(1)
+}

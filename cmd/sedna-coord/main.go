@@ -1,0 +1,53 @@
+// Command sedna-coord runs one member of Sedna's coordination sub-cluster
+// (the ZooKeeper-like ensemble of §III-A/§III-E).
+//
+// Usage:
+//
+//	sedna-coord -id 0 -members 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//
+// Every member must be started with the same -members list; -id selects
+// this member's own entry.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"sedna"
+)
+
+func main() {
+	id := flag.Int("id", 0, "this member's index into -members")
+	members := flag.String("members", "127.0.0.1:7000", "comma-separated ensemble addresses")
+	verbose := flag.Bool("v", false, "verbose logging")
+	flag.Parse()
+
+	addrs := strings.Split(*members, ",")
+	if *id < 0 || *id >= len(addrs) {
+		fmt.Fprintf(os.Stderr, "sedna-coord: -id %d out of range for %d members\n", *id, len(addrs))
+		os.Exit(2)
+	}
+	cfg := sedna.CoordConfig{
+		ID:        *id,
+		Members:   addrs,
+		Transport: sedna.NewTCPTransport(addrs[*id]),
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	srv := sedna.NewCoordServer(cfg)
+	if err := srv.Start(); err != nil {
+		log.Fatalf("sedna-coord: %v", err)
+	}
+	log.Printf("sedna-coord: member %d serving on %s", *id, addrs[*id])
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+}

@@ -1,0 +1,85 @@
+// Command sedna-server runs one Sedna data node ("real node").
+//
+// Usage:
+//
+//	sedna-server -addr 127.0.0.1:7101 -coord 127.0.0.1:7000 -bootstrap
+//	sedna-server -addr 127.0.0.1:7102 -coord 127.0.0.1:7000
+//
+// The first node of a fresh cluster passes -bootstrap to initialise the
+// coordination layout (the virtual-node count is fixed at that moment and
+// cannot change without a cluster restart, §III-D).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"sedna"
+	"sedna/internal/persist"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7101", "address to serve and advertise")
+	coordList := flag.String("coord", "127.0.0.1:7000", "comma-separated coordination addresses")
+	bootstrap := flag.Bool("bootstrap", false, "initialise the coordination layout if missing")
+	vnodes := flag.Int("vnodes", 0, "virtual node count for -bootstrap (default 128)")
+	memMB := flag.Int64("mem", 64, "local store memory limit in MiB")
+	persistMode := flag.String("persist", "none", "persistency strategy: none|periodic|wal|hybrid")
+	dataDir := flag.String("data", "", "persistence directory (required unless -persist none)")
+	verbose := flag.Bool("v", false, "verbose logging")
+	flag.Parse()
+
+	var strategy persist.Strategy
+	switch *persistMode {
+	case "none":
+		strategy = sedna.PersistNone
+	case "periodic":
+		strategy = sedna.PersistPeriodic
+	case "wal":
+		strategy = sedna.PersistWriteAhead
+	case "hybrid":
+		strategy = sedna.PersistHybrid
+	default:
+		fmt.Fprintf(os.Stderr, "sedna-server: unknown -persist %q\n", *persistMode)
+		os.Exit(2)
+	}
+	if strategy != sedna.PersistNone && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "sedna-server: -data required with persistence enabled")
+		os.Exit(2)
+	}
+
+	cfg := sedna.ServerConfig{
+		Node:         sedna.NodeID(*addr),
+		Transport:    sedna.NewTCPTransport(*addr),
+		CoordServers: strings.Split(*coordList, ","),
+		MemoryLimit:  *memMB << 20,
+		Persist:      sedna.PersistConfig{Dir: *dataDir, Strategy: strategy},
+		Bootstrap:    *bootstrap,
+		VNodes:       *vnodes,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	srv, err := sedna.NewServer(cfg)
+	if err != nil {
+		log.Fatalf("sedna-server: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatalf("sedna-server: start: %v", err)
+	}
+	log.Printf("sedna-server: node %s up (coord %s, persist %s)", *addr, *coordList, *persistMode)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("sedna-server: leaving cluster")
+	if err := srv.Leave(); err != nil {
+		log.Printf("sedna-server: graceful leave failed (%v); closing", err)
+		srv.Close()
+	}
+}

@@ -1,0 +1,155 @@
+// Quickstart boots a complete in-process Sedna cluster — one coordination
+// member and three data nodes on a simulated gigabit LAN — then walks
+// through the paper's client APIs: write_latest / read_latest, the
+// multi-source write_all / read_all value lists, deletes, and a realtime
+// subscription that receives pushed changes.
+//
+// Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"sedna"
+)
+
+func main() {
+	// --- 1. Simulated network (swap for NewTCPTransport in production).
+	net := sedna.NewSimNetwork(sedna.GigabitLAN(), 1)
+
+	// --- 2. Coordination sub-cluster (one member is enough for a demo;
+	// production runs 3+ for availability).
+	coordAddr := "coord-0"
+	ensemble := sedna.NewCoordServer(sedna.CoordConfig{
+		ID:        0,
+		Members:   []string{coordAddr},
+		Transport: net.Endpoint(coordAddr),
+	})
+	if err := ensemble.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer ensemble.Close()
+
+	// --- 3. Three data nodes; the first bootstraps the cluster layout.
+	var nodes []*sedna.Server
+	for i := 0; i < 3; i++ {
+		addr := fmt.Sprintf("node-%d", i)
+		srv, err := sedna.NewServer(sedna.ServerConfig{
+			Node:         sedna.NodeID(addr),
+			Transport:    net.Endpoint(addr),
+			CoordServers: []string{coordAddr},
+			CoordCaller:  net.Endpoint(addr + "-coord"),
+			Bootstrap:    i == 0,
+			VNodes:       48,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.Start(); err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		nodes = append(nodes, srv)
+	}
+	waitForMembers(nodes, 3)
+	fmt.Println("cluster up: 3 nodes, 48 virtual nodes, N=3 R=2 W=2")
+
+	// --- 4. A client. It leases the ring and routes requests zero-hop to
+	// the primary replica of each key.
+	cli, err := sedna.NewClient(sedna.ClientConfig{
+		Servers: []string{"node-0", "node-1", "node-2"},
+		Caller:  net.Endpoint("client"),
+		Source:  "quickstart",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// --- 5. write_latest / read_latest: last writer wins.
+	key := sedna.JoinKey("app", "greetings", "hello")
+	must(cli.WriteLatest(ctx, key, []byte("world")))
+	val, ts, err := cli.ReadLatest(ctx, key)
+	must(err)
+	fmt.Printf("read_latest %s -> %q (written at %s)\n", key, val, ts)
+
+	// --- 6. write_all / read_all: every source keeps its own newest value
+	// in the key's value list.
+	shared := sedna.JoinKey("app", "votes", "poll-1")
+	alice, _ := sedna.NewClient(sedna.ClientConfig{
+		Servers: []string{"node-0"}, Caller: net.Endpoint("alice"), Source: "alice",
+	})
+	bob, _ := sedna.NewClient(sedna.ClientConfig{
+		Servers: []string{"node-1"}, Caller: net.Endpoint("bob"), Source: "bob",
+	})
+	must(alice.WriteAll(ctx, shared, []byte("yes")))
+	must(bob.WriteAll(ctx, shared, []byte("no")))
+	votes, err := cli.ReadAll(ctx, shared)
+	must(err)
+	fmt.Printf("read_all %s:\n", shared)
+	for _, v := range votes {
+		fmt.Printf("  %s voted %q\n", v.Source, v.Data)
+	}
+
+	// --- 7. Realtime push: subscribe to a table, then watch a write
+	// arrive without polling the data (the trigger-based realtime API).
+	var subs []*sedna.Subscription
+	events := make(chan sedna.Event, 16)
+	for _, addr := range []string{"node-0", "node-1", "node-2"} {
+		sub, err := cli.Subscribe(addr, []sedna.SubHook{{Dataset: "app", Table: "feed"}},
+			sedna.SubscribeOptions{ChangedOnly: true})
+		must(err)
+		defer sub.Close()
+		subs = append(subs, sub)
+		go func(s *sedna.Subscription) {
+			for ev := range s.Events() {
+				events <- ev
+			}
+		}(sub)
+	}
+	must(cli.WriteLatest(ctx, sedna.JoinKey("app", "feed", "item-1"), []byte("breaking news")))
+	select {
+	case ev := <-events:
+		fmt.Printf("pushed event: %s -> %q\n", ev.Key, ev.Value)
+	case <-time.After(10 * time.Second):
+		log.Fatal("no event pushed")
+	}
+
+	// --- 8. Delete is a replicated tombstone.
+	must(cli.Delete(ctx, key))
+	if _, _, err := cli.ReadLatest(ctx, key); err == sedna.ErrNotFound {
+		fmt.Printf("deleted %s\n", key)
+	}
+	fmt.Println("quickstart done")
+}
+
+func waitForMembers(nodes []*sedna.Server, n int) {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		ok := true
+		for _, s := range nodes {
+			r := s.Ring()
+			if r == nil || len(r.Nodes()) != n {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("cluster never converged")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module sedna
+
+go 1.22

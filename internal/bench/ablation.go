@@ -1,0 +1,416 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"sedna/internal/coord"
+	"sedna/internal/core"
+	"sedna/internal/kv"
+	"sedna/internal/netsim"
+	"sedna/internal/quorum"
+	"sedna/internal/ring"
+	"sedna/internal/trigger"
+	"sedna/internal/workload"
+)
+
+// Table is a small result table for the ablation experiments (E4/E5 in
+// DESIGN.md), the quantified version of the paper's Table I.
+type Table struct {
+	Name   string
+	Header []string
+	Rows   [][]string
+}
+
+// Render formats the table as TSV with a title line.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Name)
+	b.WriteString(strings.Join(t.Header, "\t") + "\n")
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, "\t") + "\n")
+	}
+	return b.String()
+}
+
+// RunQuorumAblation measures per-op write and read latency under different
+// quorum configurations on the same cluster size: the cost of the paper's
+// R+W>N consistency versus weaker and stronger settings.
+func RunQuorumAblation(nodes, ops int, profile netsim.Profile, seed int64) (Table, error) {
+	if nodes <= 0 {
+		nodes = 5
+	}
+	if ops <= 0 {
+		ops = 2000
+	}
+	if profile == (netsim.Profile{}) {
+		profile = netsim.GigabitLAN()
+	}
+	configs := []quorum.Config{
+		{N: 1, R: 1, W: 1, Timeout: 2 * time.Second},
+		{N: 3, R: 1, W: 3, Timeout: 2 * time.Second},
+		{N: 3, R: 2, W: 2, Timeout: 2 * time.Second}, // the paper's choice
+		{N: 3, R: 3, W: 2, Timeout: 2 * time.Second},
+	}
+	table := Table{
+		Name:   "quorum ablation: per-op latency by N/R/W",
+		Header: []string{"config", "write-us/op", "read-us/op"},
+	}
+	ctx := context.Background()
+	for ci, qc := range configs {
+		c, err := NewCluster(ClusterConfig{
+			Nodes:       nodes,
+			Quorum:      qc,
+			Profile:     profile,
+			Seed:        seed + int64(ci),
+			MemoryLimit: 128 << 20,
+		})
+		if err != nil {
+			return table, err
+		}
+		if err := c.WaitConverged(nodes, 30*time.Second); err != nil {
+			c.Close()
+			return table, err
+		}
+		cl, err := c.Client()
+		if err != nil {
+			c.Close()
+			return table, err
+		}
+		gen := workload.NewGenerator(workload.Spec{Keys: ops})
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			if err := cl.WriteLatest(ctx, gen.Key(i), gen.Value(i)); err != nil && !errors.Is(err, core.ErrOutdated) {
+				c.Close()
+				return table, err
+			}
+		}
+		writeUs := float64(time.Since(start).Microseconds()) / float64(ops)
+		start = time.Now()
+		for i := 0; i < ops; i++ {
+			if _, _, err := cl.ReadLatest(ctx, gen.Key(i)); err != nil {
+				c.Close()
+				return table, err
+			}
+		}
+		readUs := float64(time.Since(start).Microseconds()) / float64(ops)
+		c.Close()
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("N%d/R%d/W%d", qc.N, qc.R, qc.W),
+			fmt.Sprintf("%.1f", writeUs),
+			fmt.Sprintf("%.1f", readUs),
+		})
+	}
+	return table, nil
+}
+
+// RunCoordCacheAblation quantifies §III-E: reads of coordination state with
+// and without the adaptive lease cache, under background churn. The cached
+// column shows why "a ZooKeeper like service will not obstruct Sedna's
+// read and write efficiency".
+func RunCoordCacheAblation(reads int, profile netsim.Profile, seed int64) (Table, error) {
+	if reads <= 0 {
+		reads = 5000
+	}
+	if profile == (netsim.Profile{}) {
+		profile = netsim.GigabitLAN()
+	}
+	net := netsim.NewNetwork(profile, seed)
+	addrs := []string{"coord-0", "coord-1", "coord-2"}
+	var servers []*coord.Server
+	for i := range addrs {
+		s := coord.NewServer(coord.ServerConfig{
+			ID:              i,
+			Members:         addrs,
+			Transport:       net.Endpoint(addrs[i]),
+			HeartbeatEvery:  20 * time.Millisecond,
+			ElectionTimeout: 120 * time.Millisecond,
+			RPCTimeout:      80 * time.Millisecond,
+		})
+		if err := s.Start(); err != nil {
+			return Table{}, err
+		}
+		servers = append(servers, s)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ok := false
+		for _, s := range servers {
+			if s.IsLeader() {
+				ok = true
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			return Table{}, fmt.Errorf("bench: no coordination leader")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cli, err := coord.Dial(coord.ClientConfig{
+		Servers:   addrs,
+		Caller:    net.Endpoint("abl-client"),
+		NoSession: true,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	defer cli.Close()
+	if _, err := cli.Create("/ring", []byte("assignment-blob"), coord.CreateOpts{}); err != nil {
+		return Table{}, err
+	}
+	cached, err := coord.NewCachedClient(cli, coord.CacheConfig{InitialLease: 100 * time.Millisecond})
+	if err != nil {
+		return Table{}, err
+	}
+
+	table := Table{
+		Name:   "coordination read ablation: direct vs lease cache",
+		Header: []string{"mode", "reads", "total-ms", "us/read"},
+	}
+	measure := func(mode string, read func() error) error {
+		start := time.Now()
+		for i := 0; i < reads; i++ {
+			if err := read(); err != nil {
+				return err
+			}
+		}
+		total := time.Since(start)
+		table.Rows = append(table.Rows, []string{
+			mode,
+			fmt.Sprintf("%d", reads),
+			fmt.Sprintf("%.1f", ms(total)),
+			fmt.Sprintf("%.2f", float64(total.Microseconds())/float64(reads)),
+		})
+		return nil
+	}
+	if err := measure("direct", func() error {
+		_, _, err := cli.Get("/ring")
+		return err
+	}); err != nil {
+		return table, err
+	}
+	if err := measure("cached", func() error {
+		_, _, err := cached.Get("/ring")
+		return err
+	}); err != nil {
+		return table, err
+	}
+	st := cached.Stats()
+	table.Rows = append(table.Rows, []string{
+		"cached-stats",
+		fmt.Sprintf("hits=%d", st.Hits),
+		fmt.Sprintf("misses=%d", st.Misses),
+		fmt.Sprintf("refreshes=%d", st.Refreshes),
+	})
+	return table, nil
+}
+
+// RunLeaseAdaptationAblation traces the adaptive lease (§III-E: halve under
+// churn, double when quiet) through a churn phase and a quiet phase.
+func RunLeaseAdaptationAblation(seed int64) (Table, error) {
+	net := netsim.NewNetwork(netsim.Loopback(), seed)
+	addr := "coord-solo"
+	s := coord.NewServer(coord.ServerConfig{
+		ID:              0,
+		Members:         []string{addr},
+		Transport:       net.Endpoint(addr),
+		HeartbeatEvery:  10 * time.Millisecond,
+		ElectionTimeout: 60 * time.Millisecond,
+		RPCTimeout:      40 * time.Millisecond,
+	})
+	if err := s.Start(); err != nil {
+		return Table{}, err
+	}
+	defer s.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.IsLeader() {
+		if time.Now().After(deadline) {
+			return Table{}, fmt.Errorf("bench: no leader")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cli, err := coord.Dial(coord.ClientConfig{Servers: []string{addr}, Caller: net.Endpoint("lease-cli"), NoSession: true})
+	if err != nil {
+		return Table{}, err
+	}
+	defer cli.Close()
+	cached, err := coord.NewCachedClient(cli, coord.CacheConfig{
+		InitialLease: 80 * time.Millisecond,
+		MinLease:     10 * time.Millisecond,
+		MaxLease:     640 * time.Millisecond,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+
+	table := Table{
+		Name:   "lease adaptation: churn halves, quiet doubles",
+		Header: []string{"phase", "round", "lease-ms"},
+	}
+	// Churn phase: many znode changes per lease window.
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 6; i++ {
+			cli.Create(fmt.Sprintf("/churn-%d-%d", round, i), nil, coord.CreateOpts{})
+		}
+		time.Sleep(cached.Lease() + 5*time.Millisecond)
+		cached.ForceRefresh()
+		table.Rows = append(table.Rows, []string{"churn", fmt.Sprintf("%d", round), fmt.Sprintf("%.0f", float64(cached.Lease().Microseconds())/1000)})
+	}
+	// Quiet phase: no changes.
+	for round := 0; round < 5; round++ {
+		time.Sleep(cached.Lease() + 5*time.Millisecond)
+		cached.ForceRefresh()
+		table.Rows = append(table.Rows, []string{"quiet", fmt.Sprintf("%d", round), fmt.Sprintf("%.0f", float64(cached.Lease().Microseconds())/1000)})
+	}
+	return table, nil
+}
+
+// RunFlowControlAblation quantifies §IV-B: action firings for a burst of
+// updates with flow control nearly off versus the default interval. The
+// bounded column is the ripple-effect suppression at work.
+func RunFlowControlAblation(burst int) (Table, error) {
+	if burst <= 0 {
+		burst = 500
+	}
+	table := Table{
+		Name:   "trigger flow control: firings for one hot key",
+		Header: []string{"interval", "updates", "firings", "coalesced"},
+	}
+	for _, interval := range []time.Duration{time.Millisecond, 100 * time.Millisecond} {
+		src := &burstSource{}
+		eng, err := trigger.NewEngine(trigger.Config{
+			Source:          src,
+			ScanEvery:       time.Millisecond,
+			DefaultInterval: interval,
+			Workers:         2,
+		})
+		if err != nil {
+			return table, err
+		}
+		eng.Start()
+		_, err = eng.Register(trigger.Job{
+			Name:  "hot",
+			Hooks: []trigger.Hook{trigger.KeyHook(kv.Join("d", "t", "hot"))},
+			Action: trigger.ActionFunc(func(ctx context.Context, key kv.Key, values [][]byte, res *trigger.Result) error {
+				return nil
+			}),
+		})
+		if err != nil {
+			eng.Close()
+			return table, err
+		}
+		for i := 0; i < burst; i++ {
+			src.add(kv.Join("d", "t", "hot"), fmt.Sprintf("v%d", i), int64(i+1))
+			time.Sleep(200 * time.Microsecond)
+		}
+		time.Sleep(3 * interval)
+		st := eng.Stats()
+		eng.Close()
+		table.Rows = append(table.Rows, []string{
+			interval.String(),
+			fmt.Sprintf("%d", burst),
+			fmt.Sprintf("%d", st.Fired),
+			fmt.Sprintf("%d", st.Coalesced),
+		})
+	}
+	return table, nil
+}
+
+// RunVNodeBalanceAblation quantifies §III-B's virtual-node strategy: the
+// primary-ownership spread after incremental joins, by vnodes-per-node.
+// More vnodes buy smoother balance at the cost of bigger assignment state.
+func RunVNodeBalanceAblation(nodes int) (Table, error) {
+	if nodes <= 0 {
+		nodes = 9
+	}
+	table := Table{
+		Name:   "vnode balance: primary spread after incremental joins",
+		Header: []string{"vnodes/node", "total-vnodes", "min-primaries", "max-primaries", "spread-pct", "state-bytes"},
+	}
+	for _, per := range []int{10, 50, 100, 400} {
+		total := per * nodes
+		tb := ring.NewTable(total, 3)
+		for i := 0; i < nodes; i++ {
+			tb.AddNode(ring.NodeID(fmt.Sprintf("n%d", i)))
+		}
+		snap := tb.Snapshot()
+		min, max := total, 0
+		for i := 0; i < nodes; i++ {
+			n := len(snap.PrimaryVNodesOf(ring.NodeID(fmt.Sprintf("n%d", i))))
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+		spread := 0.0
+		if min > 0 {
+			spread = 100 * float64(max-min) / float64(min)
+		}
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%d", per),
+			fmt.Sprintf("%d", total),
+			fmt.Sprintf("%d", min),
+			fmt.Sprintf("%d", max),
+			fmt.Sprintf("%.1f", spread),
+			fmt.Sprintf("%d", len(ring.EncodeRing(snap))),
+		})
+	}
+	return table, nil
+}
+
+// burstSource is a minimal trigger.Source for the flow-control ablation.
+type burstSource struct {
+	mu    sync.Mutex
+	rows  map[kv.Key]*kv.Row
+	dirty []kv.Key
+}
+
+func (s *burstSource) add(key kv.Key, val string, wall int64) {
+	s.mu.Lock()
+	if s.rows == nil {
+		s.rows = map[kv.Key]*kv.Row{}
+	}
+	row := s.rows[key]
+	if row == nil {
+		row = &kv.Row{}
+		s.rows[key] = row
+	}
+	row.ApplyLatest(kv.Versioned{Value: []byte(val), TS: kv.Timestamp{Wall: wall}, Source: "b"})
+	s.dirty = append(s.dirty, key)
+	s.mu.Unlock()
+}
+
+// ScanDirty implements trigger.Source.
+func (s *burstSource) ScanDirty(limit int, fn func(kv.Key, *kv.Row)) int {
+	s.mu.Lock()
+	batch := s.dirty
+	if len(batch) > limit {
+		batch = batch[:limit]
+		s.dirty = s.dirty[limit:]
+	} else {
+		s.dirty = nil
+	}
+	rows := make([]*kv.Row, len(batch))
+	for i, k := range batch {
+		rows[i] = s.rows[k].Clone()
+	}
+	s.mu.Unlock()
+	for i, k := range batch {
+		fn(k, rows[i])
+	}
+	return len(batch)
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sedna/internal/netsim"
+)
+
+// These are functional smoke tests of the experiment runners at tiny scale;
+// cmd/sedna-bench runs them at paper scale.
+
+func TestRunFig7Small(t *testing.T) {
+	series, err := RunFig7(Fig7Config{
+		Nodes:      3,
+		OpsSteps:   []int{20, 40},
+		MCReplicas: 3,
+		Profile:    netsim.Profile{Latency: 50 * time.Microsecond},
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %q has %d points", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Millis <= 0 {
+				t.Fatalf("series %q has non-positive time", s.Label)
+			}
+		}
+		// More ops must take longer.
+		if s.Points[1].Millis <= s.Points[0].Millis {
+			t.Fatalf("series %q not increasing: %+v", s.Label, s.Points)
+		}
+	}
+	tsv := TSV(series)
+	if !strings.Contains(tsv, "sedna-write") || !strings.Contains(tsv, "memcached3-write") {
+		t.Fatalf("tsv = %q", tsv)
+	}
+}
+
+func TestRunFig8Small(t *testing.T) {
+	series, err := RunFig8(Fig8Config{
+		Nodes:    3,
+		Clients:  3,
+		OpsSteps: []int{20},
+		Profile:  netsim.Profile{Latency: 50 * time.Microsecond},
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 || len(series[0].Points) != 1 {
+		t.Fatalf("series = %+v", series)
+	}
+}
+
+func TestRunQuorumAblationSmall(t *testing.T) {
+	table, err := RunQuorumAblation(3, 30, netsim.Profile{Latency: 50 * time.Microsecond}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("rows = %v", table.Rows)
+	}
+}
+
+func TestRunFlowControlAblationSmall(t *testing.T) {
+	table, err := RunFlowControlAblation(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %v", table.Rows)
+	}
+}
+
+func TestRunVNodeBalanceAblationSmall(t *testing.T) {
+	table, err := RunVNodeBalanceAblation(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("rows = %v", table.Rows)
+	}
+	if !strings.Contains(table.Render(), "vnodes/node") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestRunCoordCacheAblationSmall(t *testing.T) {
+	table, err := RunCoordCacheAblation(200, netsim.Profile{Latency: 50 * time.Microsecond}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) < 2 {
+		t.Fatalf("rows = %v", table.Rows)
+	}
+}
+
+func TestRunLeaseAdaptationAblationSmall(t *testing.T) {
+	table, err := RunLeaseAdaptationAblation(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 9 {
+		t.Fatalf("rows = %v", table.Rows)
+	}
+}
+
+func TestRunWatchStormAblationSmall(t *testing.T) {
+	table, err := RunWatchStormAblation(10, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %v", table.Rows)
+	}
+}
+
+func TestRunPersistenceAblationSmall(t *testing.T) {
+	table, err := RunPersistenceAblation(t.TempDir(), 30, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 5 {
+		t.Fatalf("rows = %v", table.Rows)
+	}
+}
+
+func TestRunPipelineBenchSmall(t *testing.T) {
+	table, err := RunPipelineBench(40, netsim.Profile{Latency: 50 * time.Microsecond}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 5 {
+		t.Fatalf("rows = %v", table.Rows)
+	}
+}

@@ -1,0 +1,258 @@
+// Package bench assembles full in-process Sedna clusters over the
+// simulated network and drives the workloads that reproduce the paper's
+// evaluation (§VI): the one-client and nine-client read/write sweeps
+// against the Memcached baseline (Figs. 7a, 7b, 8) plus the ablation
+// experiments in DESIGN.md. The same harness backs the integration tests
+// and cmd/sedna-bench.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sedna/internal/client"
+	"sedna/internal/coord"
+	"sedna/internal/core"
+	"sedna/internal/netsim"
+	"sedna/internal/persist"
+	"sedna/internal/quorum"
+	"sedna/internal/ring"
+)
+
+// ClusterConfig sizes an in-process cluster.
+type ClusterConfig struct {
+	// Nodes is the number of Sedna data nodes; the paper uses 9.
+	Nodes int
+	// CoordMembers is the coordination sub-cluster size; zero selects 1
+	// (3 reproduces the paper's deployment).
+	CoordMembers int
+	// VNodes fixes the virtual node count; zero selects 16 per node.
+	VNodes int
+	// Quorum overrides N/R/W; zero value selects 3/2/2 (clamped to the
+	// node count when the cluster is smaller).
+	Quorum quorum.Config
+	// Profile is the simulated link; zero value selects loopback. Use
+	// netsim.GigabitLAN() for paper-like timing.
+	Profile netsim.Profile
+	// Seed makes the network reproducible.
+	Seed int64
+	// MemoryLimit per node; zero selects 64 MiB.
+	MemoryLimit int64
+	// Persist selects each node's durability config (Dir gets a per-node
+	// suffix); zero value disables persistence.
+	Persist persist.Config
+	// TriggerInterval tunes flow control on every node.
+	TriggerInterval time.Duration
+	// ScanEvery tunes the trigger scanner.
+	ScanEvery time.Duration
+	// SessionTimeout tunes liveness detection; zero selects 1s.
+	SessionTimeout time.Duration
+	// SubIdleTimeout tunes subscription garbage collection.
+	SubIdleTimeout time.Duration
+	// Logf receives diagnostics from every component; nil disables.
+	Logf func(format string, args ...any)
+}
+
+// Cluster is a running in-process Sedna deployment.
+type Cluster struct {
+	cfg     ClusterConfig
+	Net     *netsim.Network
+	Coord   []*coord.Server
+	Servers []*core.Server
+	// CoordAddrs and NodeAddrs list the simulated addresses.
+	CoordAddrs []string
+	NodeAddrs  []string
+	nextClient int
+}
+
+// NewCluster boots the coordination ensemble and all data nodes, waiting
+// until the cluster is fully formed.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("bench: need at least one node")
+	}
+	if cfg.CoordMembers <= 0 {
+		cfg.CoordMembers = 1
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = 16 * cfg.Nodes
+	}
+	if cfg.Quorum.N == 0 {
+		cfg.Quorum = quorum.DefaultConfig()
+	}
+	if cfg.Quorum.N > cfg.Nodes {
+		// Clamp to a legal configuration for tiny clusters.
+		cfg.Quorum.N = cfg.Nodes
+		cfg.Quorum.W = cfg.Nodes/2 + 1
+		cfg.Quorum.R = cfg.Nodes + 1 - cfg.Quorum.W
+	}
+	if cfg.SessionTimeout <= 0 {
+		cfg.SessionTimeout = time.Second
+	}
+
+	c := &Cluster{
+		cfg: cfg,
+		Net: netsim.NewNetwork(cfg.Profile, cfg.Seed),
+	}
+
+	// Coordination ensemble.
+	for i := 0; i < cfg.CoordMembers; i++ {
+		c.CoordAddrs = append(c.CoordAddrs, fmt.Sprintf("coord-%d", i))
+	}
+	for i := 0; i < cfg.CoordMembers; i++ {
+		s := coord.NewServer(coord.ServerConfig{
+			ID:              i,
+			Members:         c.CoordAddrs,
+			Transport:       c.Net.Endpoint(c.CoordAddrs[i]),
+			HeartbeatEvery:  20 * time.Millisecond,
+			ElectionTimeout: 120 * time.Millisecond,
+			RPCTimeout:      80 * time.Millisecond,
+			Logf:            cfg.Logf,
+		})
+		if err := s.Start(); err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Coord = append(c.Coord, s)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		leader := false
+		for _, s := range c.Coord {
+			if s.IsLeader() {
+				leader = true
+			}
+		}
+		if leader {
+			break
+		}
+		if time.Now().After(deadline) {
+			c.Close()
+			return nil, fmt.Errorf("bench: coordination ensemble never elected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Data nodes.
+	for i := 0; i < cfg.Nodes; i++ {
+		c.NodeAddrs = append(c.NodeAddrs, fmt.Sprintf("sedna-%d", i))
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		if _, err := c.AddNode(i); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// RestartNode simulates a process restart of data node i: the old server is
+// shut down, its endpoints are replaced, and a fresh server with the same
+// identity (and persistence directory) boots and rejoins.
+func (c *Cluster) RestartNode(i int) (*core.Server, error) {
+	if i < len(c.Servers) && c.Servers[i] != nil {
+		c.Servers[i].Close()
+		c.Servers[i] = nil
+	}
+	c.Net.Reset(c.NodeAddrs[i])
+	c.Net.Reset(c.NodeAddrs[i] + "-coordcli")
+	c.Net.HealAll()
+	return c.AddNode(i)
+}
+
+// AddNode boots data node i.
+func (c *Cluster) AddNode(i int) (*core.Server, error) {
+	addr := c.NodeAddrs[i]
+	pcfg := c.cfg.Persist
+	if pcfg.Strategy != persist.None && pcfg.Dir != "" {
+		pcfg.Dir = fmt.Sprintf("%s/node-%d", c.cfg.Persist.Dir, i)
+	}
+	srv, err := core.NewServer(core.Config{
+		Node:            ring.NodeID(addr),
+		Transport:       c.Net.Endpoint(addr),
+		CoordServers:    c.CoordAddrs,
+		CoordCaller:     c.Net.Endpoint(addr + "-coordcli"),
+		SessionTimeout:  c.cfg.SessionTimeout,
+		Quorum:          c.cfg.Quorum,
+		MemoryLimit:     c.cfg.MemoryLimit,
+		Persist:         pcfg,
+		Bootstrap:       i == 0,
+		VNodes:          c.cfg.VNodes,
+		ScanEvery:       c.cfg.ScanEvery,
+		TriggerInterval: c.cfg.TriggerInterval,
+		SubIdleTimeout:  c.cfg.SubIdleTimeout,
+		ReconcileEvery:  200 * time.Millisecond,
+		Logf:            c.cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	for len(c.Servers) <= i {
+		c.Servers = append(c.Servers, nil)
+	}
+	c.Servers[i] = srv
+	return srv, nil
+}
+
+// Client returns a fresh client with its own endpoint.
+func (c *Cluster) Client() (*client.Client, error) {
+	c.nextClient++
+	ep := c.Net.Endpoint(fmt.Sprintf("client-%d", c.nextClient))
+	return client.New(client.Config{
+		Servers: c.NodeAddrs,
+		Caller:  ep,
+		Source:  ep.Addr(),
+	})
+}
+
+// KillNode isolates node i (crash-like failure: the process runs but the
+// network is gone, so its session expires and peers evict it).
+func (c *Cluster) KillNode(i int) {
+	c.Net.Isolate(c.NodeAddrs[i])
+	c.Net.Isolate(c.NodeAddrs[i] + "-coordcli")
+}
+
+// Close shuts everything down.
+func (c *Cluster) Close() {
+	for _, s := range c.Servers {
+		if s != nil {
+			s.Close()
+		}
+	}
+	for _, s := range c.Coord {
+		s.Close()
+	}
+}
+
+// WaitConverged blocks until every node's ring view contains exactly the
+// given member count.
+func (c *Cluster) WaitConverged(members int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		ok := true
+		for _, s := range c.Servers {
+			if s == nil {
+				continue
+			}
+			r := s.Ring()
+			if r == nil || len(r.Nodes()) != members {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bench: cluster never converged to %d members", members)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// DefaultProfile returns the paper-like gigabit LAN profile used by the
+// figure reproductions.
+func DefaultProfile() netsim.Profile { return netsim.GigabitLAN() }

@@ -1,0 +1,325 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"sedna/internal/client"
+	"sedna/internal/core"
+	"sedna/internal/memcached"
+	"sedna/internal/netsim"
+	"sedna/internal/workload"
+)
+
+// Point is one measurement: total wall-clock milliseconds to complete Ops
+// operations, matching the paper's "Time Spend(ms)" over "W/R Operations"
+// axes.
+type Point struct {
+	Ops    int
+	Millis float64
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// TSV renders series as tab-separated columns: ops, then one column per
+// series.
+func TSV(series []Series) string {
+	var b strings.Builder
+	b.WriteString("ops")
+	for _, s := range series {
+		b.WriteString("\t" + s.Label)
+	}
+	b.WriteString("\n")
+	if len(series) == 0 {
+		return b.String()
+	}
+	for i := range series[0].Points {
+		fmt.Fprintf(&b, "%d", series[0].Points[i].Ops)
+		for _, s := range series {
+			fmt.Fprintf(&b, "\t%.1f", s.Points[i].Millis)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Fig7Config parameterises the Fig. 7 reproduction: one client sweeping
+// write/read counts against Sedna and against a memcached cluster of the
+// same size.
+type Fig7Config struct {
+	// Nodes is the server count; the paper uses 9.
+	Nodes int
+	// OpsSteps lists the x-axis points; the paper sweeps 10k..60k.
+	OpsSteps []int
+	// MCReplicas is the memcached client's sequential replication factor:
+	// 3 reproduces Fig. 7(a), 1 reproduces Fig. 7(b).
+	MCReplicas int
+	// Profile simulates the testbed links; zero selects GigabitLAN.
+	Profile netsim.Profile
+	// Seed fixes the simulation.
+	Seed int64
+}
+
+func (c *Fig7Config) defaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 9
+	}
+	if len(c.OpsSteps) == 0 {
+		c.OpsSteps = []int{10000, 20000, 30000, 40000, 50000, 60000}
+	}
+	if c.MCReplicas <= 0 {
+		c.MCReplicas = 3
+	}
+	if c.Profile == (netsim.Profile{}) {
+		c.Profile = netsim.GigabitLAN()
+	}
+}
+
+// RunFig7 reproduces Fig. 7: it returns four series — Sedna write, Sedna
+// read, Memcached write, Memcached read — where every Sedna write is a
+// parallel 3-replica quorum write and every memcached write is MCReplicas
+// sequential writes.
+func RunFig7(cfg Fig7Config) ([]Series, error) {
+	cfg.defaults()
+
+	// Sedna cluster.
+	sc, err := NewCluster(ClusterConfig{
+		Nodes:   cfg.Nodes,
+		Profile: cfg.Profile,
+		Seed:    cfg.Seed,
+		// Plenty of memory: the paper sizes the store to hold the data.
+		MemoryLimit: 256 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sc.Close()
+	if err := sc.WaitConverged(cfg.Nodes, 30*time.Second); err != nil {
+		return nil, err
+	}
+	scl, err := sc.Client()
+	if err != nil {
+		return nil, err
+	}
+
+	// Memcached cluster on its own identical network.
+	mnet := netsim.NewNetwork(cfg.Profile, cfg.Seed+1)
+	var mcAddrs []string
+	var mcServers []*memcached.Server
+	for i := 0; i < cfg.Nodes; i++ {
+		addr := fmt.Sprintf("mc-%d", i)
+		srv := memcached.NewServer(mnet.Endpoint(addr), 256<<20)
+		if err := srv.Start(); err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		mcServers = append(mcServers, srv)
+		mcAddrs = append(mcAddrs, addr)
+	}
+	mcl, err := memcached.NewClient(memcached.ClientConfig{
+		Servers:  mcAddrs,
+		Caller:   mnet.Endpoint("mc-client"),
+		Replicas: cfg.MCReplicas,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := context.Background()
+	out := []Series{
+		{Label: "sedna-write"}, {Label: "sedna-read"},
+		{Label: fmt.Sprintf("memcached%d-write", cfg.MCReplicas)},
+		{Label: fmt.Sprintf("memcached%d-read", cfg.MCReplicas)},
+	}
+	for step, ops := range cfg.OpsSteps {
+		gen := workload.NewGenerator(workload.Spec{
+			Keys:    ops,
+			Dataset: "bench",
+			Table:   fmt.Sprintf("f7s%d", step),
+		})
+		// Sedna writes. ErrOutdated is a legitimate reply of the paper's
+		// API (a raced retry lost to a newer timestamp carrying the same
+		// payload), not a failure; the sweep counts it as a completed op.
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			if err := scl.WriteLatest(ctx, gen.Key(i), gen.Value(i)); err != nil && !errors.Is(err, core.ErrOutdated) {
+				return nil, fmt.Errorf("sedna write %d: %w", i, err)
+			}
+		}
+		out[0].Points = append(out[0].Points, Point{Ops: ops, Millis: ms(time.Since(start))})
+		// Sedna reads.
+		start = time.Now()
+		for i := 0; i < ops; i++ {
+			if _, _, err := scl.ReadLatest(ctx, gen.Key(i)); err != nil {
+				return nil, fmt.Errorf("sedna read %d: %w", i, err)
+			}
+		}
+		out[1].Points = append(out[1].Points, Point{Ops: ops, Millis: ms(time.Since(start))})
+		// Memcached writes.
+		start = time.Now()
+		for i := 0; i < ops; i++ {
+			if err := mcl.Set(ctx, string(gen.Key(i)), gen.Value(i)); err != nil {
+				return nil, fmt.Errorf("memcached set %d: %w", i, err)
+			}
+		}
+		out[2].Points = append(out[2].Points, Point{Ops: ops, Millis: ms(time.Since(start))})
+		// Memcached reads.
+		start = time.Now()
+		for i := 0; i < ops; i++ {
+			if _, err := mcl.Get(ctx, string(gen.Key(i))); err != nil {
+				return nil, fmt.Errorf("memcached get %d: %w", i, err)
+			}
+		}
+		out[3].Points = append(out[3].Points, Point{Ops: ops, Millis: ms(time.Since(start))})
+	}
+	return out, nil
+}
+
+// Fig8Config parameterises the Fig. 8 reproduction: per-client sweep time
+// with one client versus Clients concurrent clients.
+type Fig8Config struct {
+	Nodes    int
+	Clients  int
+	OpsSteps []int
+	Profile  netsim.Profile
+	Seed     int64
+}
+
+func (c *Fig8Config) defaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 9
+	}
+	if c.Clients <= 0 {
+		c.Clients = 9
+	}
+	if len(c.OpsSteps) == 0 {
+		c.OpsSteps = []int{10000, 20000, 30000, 40000, 50000, 60000}
+	}
+	if c.Profile == (netsim.Profile{}) {
+		c.Profile = netsim.GigabitLAN()
+	}
+}
+
+// RunFig8 reproduces Fig. 8: four series — one-client write/read and
+// N-client write/read, where the multi-client number is the wall time for
+// all clients each completing Ops operations concurrently.
+func RunFig8(cfg Fig8Config) ([]Series, error) {
+	cfg.defaults()
+	sc, err := NewCluster(ClusterConfig{
+		Nodes:       cfg.Nodes,
+		Profile:     cfg.Profile,
+		Seed:        cfg.Seed,
+		MemoryLimit: 256 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sc.Close()
+	if err := sc.WaitConverged(cfg.Nodes, 30*time.Second); err != nil {
+		return nil, err
+	}
+	one, err := sc.Client()
+	if err != nil {
+		return nil, err
+	}
+	many := make([]*clientGen, cfg.Clients)
+	for i := range many {
+		cl, err := sc.Client()
+		if err != nil {
+			return nil, err
+		}
+		many[i] = &clientGen{cl: cl}
+	}
+
+	ctx := context.Background()
+	out := []Series{
+		{Label: "one-client-write"}, {Label: "one-client-read"},
+		{Label: fmt.Sprintf("%d-clients-write", cfg.Clients)},
+		{Label: fmt.Sprintf("%d-clients-read", cfg.Clients)},
+	}
+	for step, ops := range cfg.OpsSteps {
+		gen := workload.NewGenerator(workload.Spec{
+			Keys:    ops,
+			Dataset: "bench",
+			Table:   fmt.Sprintf("f8one%d", step),
+		})
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			if err := one.WriteLatest(ctx, gen.Key(i), gen.Value(i)); err != nil && !errors.Is(err, core.ErrOutdated) {
+				return nil, err
+			}
+		}
+		out[0].Points = append(out[0].Points, Point{Ops: ops, Millis: ms(time.Since(start))})
+		start = time.Now()
+		for i := 0; i < ops; i++ {
+			if _, _, err := one.ReadLatest(ctx, gen.Key(i)); err != nil {
+				return nil, err
+			}
+		}
+		out[1].Points = append(out[1].Points, Point{Ops: ops, Millis: ms(time.Since(start))})
+
+		// Concurrent clients: each writes (then reads) its own key range.
+		writeMs, err := runParallel(ctx, many, ops, step, true)
+		if err != nil {
+			return nil, err
+		}
+		out[2].Points = append(out[2].Points, Point{Ops: ops, Millis: writeMs})
+		readMs, err := runParallel(ctx, many, ops, step, false)
+		if err != nil {
+			return nil, err
+		}
+		out[3].Points = append(out[3].Points, Point{Ops: ops, Millis: readMs})
+	}
+	return out, nil
+}
+
+type clientGen struct {
+	cl *client.Client
+}
+
+func runParallel(ctx context.Context, clients []*clientGen, ops, step int, write bool) (float64, error) {
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(clients))
+	start := time.Now()
+	for ci, cg := range clients {
+		wg.Add(1)
+		go func(ci int, cg *clientGen) {
+			defer wg.Done()
+			gen := workload.NewGenerator(workload.Spec{
+				Keys:    ops,
+				Dataset: "bench",
+				Table:   fmt.Sprintf("f8m%dc%d", step, ci),
+			})
+			for i := 0; i < ops; i++ {
+				if write {
+					if err := cg.cl.WriteLatest(ctx, gen.Key(i), gen.Value(i)); err != nil && !errors.Is(err, core.ErrOutdated) {
+						errCh <- err
+						return
+					}
+				} else {
+					if _, _, err := cg.cl.ReadLatest(ctx, gen.Key(i)); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(ci, cg)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return 0, err
+	default:
+	}
+	return ms(time.Since(start)), nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

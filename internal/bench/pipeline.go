@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sedna/internal/kv"
+	"sedna/internal/netsim"
+	"sedna/internal/trigger"
+	"sedna/internal/workload"
+)
+
+// RunPipelineBench quantifies the paper's §V headline: the interval between
+// a message being crawled (step 1 of Fig. 6) and becoming searchable (step
+// 7), which the paper budgets at "less than several minutes". It boots a
+// cluster, installs an indexer trigger on every node, streams synthetic
+// tweets and measures the crawl-to-searchable latency of a sample, plus
+// ingest throughput.
+func RunPipelineBench(tweets int, profile netsim.Profile, seed int64) (Table, error) {
+	if tweets <= 0 {
+		tweets = 200
+	}
+	if profile == (netsim.Profile{}) {
+		profile = netsim.GigabitLAN()
+	}
+	c, err := NewCluster(ClusterConfig{
+		Nodes:           3,
+		Profile:         profile,
+		Seed:            seed,
+		MemoryLimit:     128 << 20,
+		ScanEvery:       2 * time.Millisecond,
+		TriggerInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	defer c.Close()
+	if err := c.WaitConverged(3, 30*time.Second); err != nil {
+		return Table{}, err
+	}
+
+	// Indexer: each node publishes its first-token postings via write_all
+	// under its own source (the microblog example's scheme, condensed).
+	type nodeIndex struct {
+		mu       sync.Mutex
+		postings map[string]map[string]bool
+	}
+	for _, srv := range c.Servers {
+		srv := srv
+		idx := &nodeIndex{postings: map[string]map[string]bool{}}
+		nodeCli, err := c.Client()
+		if err != nil {
+			return Table{}, err
+		}
+		_, err = srv.Trigger().Register(trigger.Job{
+			Name:  "bench-indexer",
+			Hooks: []trigger.Hook{trigger.TableHook("social", "messages")},
+			Action: trigger.ActionFunc(func(ctx context.Context, key kv.Key, values [][]byte, res *trigger.Result) error {
+				parts := strings.SplitN(string(values[0]), " ", 2)
+				term := parts[0]
+				idx.mu.Lock()
+				set := idx.postings[term]
+				if set == nil {
+					set = map[string]bool{}
+					idx.postings[term] = set
+				}
+				var blob []byte
+				if !set[key.Name()] {
+					set[key.Name()] = true
+					ids := make([]string, 0, len(set))
+					for id := range set {
+						ids = append(ids, id)
+					}
+					sort.Strings(ids)
+					blob = []byte(strings.Join(ids, ","))
+				}
+				idx.mu.Unlock()
+				if blob != nil {
+					return nodeCli.WriteAll(ctx, kv.Join("search", "index", term), blob)
+				}
+				return nil
+			}),
+		})
+		if err != nil {
+			return Table{}, err
+		}
+	}
+
+	crawler, err := c.Client()
+	if err != nil {
+		return Table{}, err
+	}
+	ctx := context.Background()
+	stream := workload.NewTweetStream(20, seed)
+
+	searchable := func(term, id string) bool {
+		vals, err := crawler.ReadAll(ctx, kv.Join("search", "index", term))
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			for _, got := range strings.Split(string(v.Data), ",") {
+				if got == id {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	var latencies []time.Duration
+	ingestStart := time.Now()
+	for i := 0; i < tweets; i++ {
+		tw := stream.Next()
+		key := kv.Join("social", "messages", tw.ID)
+		wrote := time.Now()
+		if err := crawler.WriteAll(ctx, key, []byte(tw.Text)); err != nil {
+			return Table{}, fmt.Errorf("crawl %d: %w", i, err)
+		}
+		// Sample every 10th tweet for the step-1-to-7 latency.
+		if i%10 != 0 {
+			continue
+		}
+		term := strings.SplitN(tw.Text, " ", 2)[0]
+		deadline := time.Now().Add(30 * time.Second)
+		for !searchable(term, tw.ID) {
+			if time.Now().After(deadline) {
+				return Table{}, fmt.Errorf("tweet %s never searchable", tw.ID)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		latencies = append(latencies, time.Since(wrote))
+	}
+	ingest := time.Since(ingestStart)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	table := Table{
+		Name:   "E6 realtime pipeline: crawl-to-searchable latency (paper budget: minutes)",
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"tweets", fmt.Sprintf("%d", tweets)},
+			{"ingest-total-ms", fmt.Sprintf("%.1f", ms(ingest))},
+			{"latency-p50-ms", fmt.Sprintf("%.1f", ms(pct(0.50)))},
+			{"latency-p95-ms", fmt.Sprintf("%.1f", ms(pct(0.95)))},
+			{"latency-max-ms", fmt.Sprintf("%.1f", ms(latencies[len(latencies)-1]))},
+		},
+	}
+	return table, nil
+}

@@ -1,0 +1,297 @@
+// Package client implements the Sedna client library: the paper's data
+// access APIs — write_latest, write_all, read_latest, read_all (§III-F) —
+// plus the realtime subscription API that pushes recently changed data to
+// the client (§II-B). The client leases the ring snapshot from any server
+// and routes each request directly to the primary of the key's virtual node
+// (the zero-hop DHT property, §VII), falling back to other replicas when
+// the primary is unreachable.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sedna/internal/core"
+	"sedna/internal/kv"
+	"sedna/internal/quorum"
+	"sedna/internal/ring"
+	"sedna/internal/transport"
+	"sedna/internal/wire"
+)
+
+// Config parameterises a Client.
+type Config struct {
+	// Servers lists at least one Sedna node address used to bootstrap
+	// the ring lease and as routing fallbacks.
+	Servers []string
+	// Caller issues RPCs.
+	Caller transport.Caller
+	// Source identifies this writer for write_all value lists; empty
+	// selects "client".
+	Source string
+	// RingLease is how long a leased ring snapshot is trusted; zero
+	// selects 1s.
+	RingLease time.Duration
+	// CallTimeout bounds one RPC; zero selects 2s.
+	CallTimeout time.Duration
+}
+
+// Client talks to a Sedna cluster.
+type Client struct {
+	cfg Config
+
+	mu          sync.Mutex
+	ringSnap    *ring.Ring
+	ringExpires time.Time
+	cur         int
+}
+
+// New validates the config and returns a client; the first request fetches
+// the ring lease lazily.
+func New(cfg Config) (*Client, error) {
+	if len(cfg.Servers) == 0 {
+		return nil, errors.New("client: Servers required")
+	}
+	if cfg.Caller == nil {
+		return nil, errors.New("client: Caller required")
+	}
+	if cfg.Source == "" {
+		cfg.Source = "client"
+	}
+	if cfg.RingLease <= 0 {
+		cfg.RingLease = time.Second
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 2 * time.Second
+	}
+	return &Client{cfg: cfg}, nil
+}
+
+// WriteLatest stores value under key with last-writer-wins semantics; it
+// returns nil ("ok"), core.ErrOutdated ("outdated") or core.ErrFailure.
+func (c *Client) WriteLatest(ctx context.Context, key kv.Key, value []byte) error {
+	return c.write(ctx, key, value, quorum.Latest, false)
+}
+
+// WriteAll stores value in the key's per-source value list (§III-F.1): each
+// source keeps its own newest value.
+func (c *Client) WriteAll(ctx context.Context, key kv.Key, value []byte) error {
+	return c.write(ctx, key, value, quorum.All, false)
+}
+
+// Delete writes a tombstone over the whole row.
+func (c *Client) Delete(ctx context.Context, key kv.Key) error {
+	return c.write(ctx, key, nil, quorum.Latest, true)
+}
+
+func (c *Client) write(ctx context.Context, key kv.Key, value []byte, mode quorum.Mode, deleted bool) error {
+	var e wire.Enc
+	e.Str(string(key))
+	e.Bytes(value)
+	e.U8(byte(mode))
+	e.Bool(deleted)
+	e.Str(c.cfg.Source)
+	d, err := c.doKeyed(ctx, key, core.OpCoordWrite, e.B)
+	if err != nil {
+		return err
+	}
+	_ = d
+	return nil
+}
+
+// ReadLatest returns the freshest value for key ("no matter it was written
+// by which node", §III-F.2); core.ErrNotFound when the key has no live
+// value.
+func (c *Client) ReadLatest(ctx context.Context, key kv.Key) ([]byte, kv.Timestamp, error) {
+	row, err := c.readRow(ctx, key)
+	if err != nil {
+		return nil, kv.Timestamp{}, err
+	}
+	v, ok := row.Latest()
+	if !ok {
+		return nil, kv.Timestamp{}, core.ErrNotFound
+	}
+	return v.Value, v.TS, nil
+}
+
+// Value is one element of a read_all result.
+type Value struct {
+	Data   []byte
+	TS     kv.Timestamp
+	Source string
+}
+
+// ReadAll returns every live value in the key's list, freshest first.
+func (c *Client) ReadAll(ctx context.Context, key kv.Key) ([]Value, error) {
+	row, err := c.readRow(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	live := row.Live()
+	if len(live) == 0 {
+		return nil, core.ErrNotFound
+	}
+	out := make([]Value, len(live))
+	for i, v := range live {
+		out[i] = Value{Data: v.Value, TS: v.TS, Source: v.Source}
+	}
+	return out, nil
+}
+
+func (c *Client) readRow(ctx context.Context, key kv.Key) (*kv.Row, error) {
+	var e wire.Enc
+	e.Str(string(key))
+	d, err := c.doKeyed(ctx, key, core.OpCoordRead, e.B)
+	if err != nil {
+		return nil, err
+	}
+	blob := d.Bytes()
+	if d.Err != nil {
+		return nil, d.Err
+	}
+	return kv.DecodeRow(blob)
+}
+
+// --- routing ---
+
+// targetsFor orders servers for a keyed request: replica owners first
+// (primary leading), then the configured fallbacks.
+func (c *Client) targetsFor(key kv.Key) []string {
+	var targets []string
+	seen := map[string]bool{}
+	if r := c.leasedRing(); r != nil {
+		for _, o := range r.OwnersForKey(key) {
+			if o != "" && !seen[string(o)] {
+				seen[string(o)] = true
+				targets = append(targets, string(o))
+			}
+		}
+	}
+	c.mu.Lock()
+	start := c.cur
+	c.mu.Unlock()
+	for i := range c.cfg.Servers {
+		s := c.cfg.Servers[(start+i)%len(c.cfg.Servers)]
+		if !seen[s] {
+			seen[s] = true
+			targets = append(targets, s)
+		}
+	}
+	return targets
+}
+
+// doKeyed issues op against the key's owners with fallback. Domain errors
+// (outdated, not found) come back immediately; transport failures rotate to
+// the next target and invalidate the ring lease.
+func (c *Client) doKeyed(ctx context.Context, key kv.Key, op uint16, body []byte) (*wire.Dec, error) {
+	var lastErr error
+	for _, addr := range c.targetsFor(key) {
+		callCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+		resp, err := c.cfg.Caller.Call(callCtx, addr, transport.Message{Op: op, Body: body})
+		cancel()
+		if err != nil {
+			lastErr = err
+			c.invalidateRing()
+			continue
+		}
+		d := wire.NewDec(resp.Body)
+		st := d.U16()
+		detail := d.Str()
+		if d.Err != nil {
+			return nil, d.Err
+		}
+		if st == core.StFailure {
+			// The coordinator could not reach a quorum; another replica
+			// may still succeed (e.g. the primary is partitioned).
+			lastErr = core.StatusErr(st, detail)
+			continue
+		}
+		if st != core.StOK {
+			return nil, core.StatusErr(st, detail)
+		}
+		return d, nil
+	}
+	if lastErr == nil {
+		lastErr = transport.ErrUnreachable
+	}
+	return nil, fmt.Errorf("%w: %v", core.ErrFailure, lastErr)
+}
+
+// leasedRing returns the cached ring, refreshing it when the lease expired.
+func (c *Client) leasedRing() *ring.Ring {
+	c.mu.Lock()
+	if c.ringSnap != nil && time.Now().Before(c.ringExpires) {
+		r := c.ringSnap
+		c.mu.Unlock()
+		return r
+	}
+	c.mu.Unlock()
+	r := c.fetchRing()
+	if r == nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.ringSnap // serve stale rather than nothing
+	}
+	c.mu.Lock()
+	c.ringSnap = r
+	c.ringExpires = time.Now().Add(c.cfg.RingLease)
+	c.mu.Unlock()
+	return r
+}
+
+func (c *Client) fetchRing() *ring.Ring {
+	for i := range c.cfg.Servers {
+		c.mu.Lock()
+		addr := c.cfg.Servers[(c.cur+i)%len(c.cfg.Servers)]
+		c.mu.Unlock()
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+		resp, err := c.cfg.Caller.Call(ctx, addr, transport.Message{Op: core.OpRingGet})
+		cancel()
+		if err != nil {
+			c.rotate()
+			continue
+		}
+		d := wire.NewDec(resp.Body)
+		if st := d.U16(); st != core.StOK {
+			continue
+		}
+		d.Str()
+		blob := d.Bytes()
+		if d.Err != nil {
+			continue
+		}
+		r, err := ring.DecodeRing(blob)
+		if err != nil {
+			continue
+		}
+		return r
+	}
+	return nil
+}
+
+func (c *Client) invalidateRing() {
+	c.mu.Lock()
+	c.ringExpires = time.Time{}
+	c.mu.Unlock()
+	c.rotate()
+}
+
+func (c *Client) rotate() {
+	c.mu.Lock()
+	c.cur++
+	c.mu.Unlock()
+}
+
+// RingVersion returns the leased ring's version (0 before the first fetch),
+// exposed for tests and diagnostics.
+func (c *Client) RingVersion() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ringSnap == nil {
+		return 0
+	}
+	return c.ringSnap.Version()
+}

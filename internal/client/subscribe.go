@@ -1,0 +1,209 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"sedna/internal/core"
+	"sedna/internal/kv"
+	"sedna/internal/transport"
+	"sedna/internal/wire"
+)
+
+// Hook names monitored data for a subscription, mirroring trigger.Hook: an
+// empty Table monitors the whole dataset, an empty Name the whole table.
+type Hook struct {
+	Dataset string
+	Table   string
+	Name    string
+}
+
+// SubscribeOptions tunes a subscription.
+type SubscribeOptions struct {
+	// ChangedOnly suppresses events whose value did not change.
+	ChangedOnly bool
+	// Interval is the server-side flow-control window; zero selects the
+	// server default.
+	Interval time.Duration
+	// PollMax bounds events per poll; zero selects 256.
+	PollMax int
+	// PollWait is the long-poll duration; zero selects 5s.
+	PollWait time.Duration
+}
+
+// Event is one pushed change.
+type Event struct {
+	Key     kv.Key
+	Value   []byte
+	TS      kv.Timestamp
+	Deleted bool
+}
+
+// Subscription streams changed data from one Sedna node. Close it when
+// done; the server garbage-collects abandoned subscriptions after an idle
+// timeout.
+type Subscription struct {
+	c      *Client
+	addr   string
+	id     uint64
+	opts   SubscribeOptions
+	events chan Event
+
+	mu     sync.Mutex
+	err    error
+	closed bool
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// Subscribe registers hooks on the given server (subscriptions are served
+// by the node holding the monitored primaries in a real deployment; any
+// node that stores matching rows works) and starts the long-poll pump.
+func (c *Client) Subscribe(server string, hooks []Hook, opts SubscribeOptions) (*Subscription, error) {
+	if len(hooks) == 0 {
+		return nil, errors.New("client: at least one hook required")
+	}
+	if opts.PollMax <= 0 {
+		opts.PollMax = 256
+	}
+	if opts.PollWait <= 0 {
+		opts.PollWait = 5 * time.Second
+	}
+	var e wire.Enc
+	e.U32(uint32(len(hooks)))
+	for _, h := range hooks {
+		e.Str(h.Dataset)
+		e.Str(h.Table)
+		e.Str(h.Name)
+	}
+	e.Bool(opts.ChangedOnly)
+	e.U32(uint32(opts.Interval / time.Millisecond))
+
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+	resp, err := c.cfg.Caller.Call(ctx, server, transport.Message{Op: core.OpSubNew, Body: e.B})
+	cancel()
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDec(resp.Body)
+	st := d.U16()
+	detail := d.Str()
+	if st != core.StOK {
+		return nil, core.StatusErr(st, detail)
+	}
+	id := d.U64()
+	if d.Err != nil {
+		return nil, d.Err
+	}
+
+	pumpCtx, pumpCancel := context.WithCancel(context.Background())
+	s := &Subscription{
+		c:      c,
+		addr:   server,
+		id:     id,
+		opts:   opts,
+		events: make(chan Event, 256),
+		cancel: pumpCancel,
+		done:   make(chan struct{}),
+	}
+	go s.pump(pumpCtx)
+	return s, nil
+}
+
+// Events delivers pushed changes; the channel closes when the subscription
+// ends (check Err for the reason).
+func (s *Subscription) Events() <-chan Event { return s.events }
+
+// Err reports why the subscription ended (nil after a clean Close).
+func (s *Subscription) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close stops the pump and releases the server-side subscription.
+func (s *Subscription) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	<-s.done
+	var e wire.Enc
+	e.U64(s.id)
+	ctx, cancel := context.WithTimeout(context.Background(), s.c.cfg.CallTimeout)
+	defer cancel()
+	s.c.cfg.Caller.Call(ctx, s.addr, transport.Message{Op: core.OpSubClose, Body: e.B})
+	return nil
+}
+
+func (s *Subscription) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+func (s *Subscription) pump(ctx context.Context) {
+	defer close(s.done)
+	defer close(s.events)
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		events, err := s.pollOnce(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			s.fail(err)
+			return
+		}
+		for _, ev := range events {
+			select {
+			case s.events <- ev:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+func (s *Subscription) pollOnce(ctx context.Context) ([]Event, error) {
+	var e wire.Enc
+	e.U64(s.id)
+	e.U32(uint32(s.opts.PollMax))
+	e.U32(uint32(s.opts.PollWait / time.Millisecond))
+	callCtx, cancel := context.WithTimeout(ctx, s.opts.PollWait+s.c.cfg.CallTimeout)
+	defer cancel()
+	resp, err := s.c.cfg.Caller.Call(callCtx, s.addr, transport.Message{Op: core.OpSubPoll, Body: e.B})
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDec(resp.Body)
+	st := d.U16()
+	detail := d.Str()
+	if st != core.StOK {
+		return nil, core.StatusErr(st, detail)
+	}
+	n := int(d.U32())
+	out := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Event{
+			Key:     kv.Key(d.Str()),
+			Value:   d.Bytes(),
+			TS:      kv.Timestamp{Wall: d.I64(), Logical: d.U32(), Node: d.U32()},
+			Deleted: d.Bool(),
+		})
+	}
+	if d.Err != nil {
+		return nil, d.Err
+	}
+	return out, nil
+}

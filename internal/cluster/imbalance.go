@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"sedna/internal/ring"
+)
+
+// Imbalance row wire format (little endian): the per-real-node summary
+// pushed to the coordination service — deliberately tiny compared with the
+// per-vnode statistics kept locally (§III-B).
+//
+//	u16 node name length, name
+//	f64 load, f64 share, f64 ratio
+//	u32 primary vnode count
+
+var errBadImbalance = errors.New("cluster: corrupt imbalance row")
+
+func encodeImbalance(v ring.NodeImbalance) []byte {
+	b := make([]byte, 0, 2+len(v.Node)+8*3+4)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(v.Node)))
+	b = append(b, v.Node...)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Load))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Share))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Ratio))
+	b = binary.LittleEndian.AppendUint32(b, uint32(v.VNodes))
+	return b
+}
+
+func decodeImbalance(b []byte) (ring.NodeImbalance, error) {
+	if len(b) < 2 {
+		return ring.NodeImbalance{}, errBadImbalance
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	if len(b) != n+8*3+4 {
+		return ring.NodeImbalance{}, errBadImbalance
+	}
+	out := ring.NodeImbalance{Node: ring.NodeID(b[:n])}
+	b = b[n:]
+	out.Load = math.Float64frombits(binary.LittleEndian.Uint64(b))
+	out.Share = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+	out.Ratio = math.Float64frombits(binary.LittleEndian.Uint64(b[16:]))
+	out.VNodes = int(binary.LittleEndian.Uint32(b[24:]))
+	return out, nil
+}

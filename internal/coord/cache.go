@@ -1,0 +1,237 @@
+package coord
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// CacheConfig parameterises the adaptive lease cache.
+type CacheConfig struct {
+	// InitialLease is the starting refresh period; zero selects 200ms.
+	InitialLease time.Duration
+	// MinLease and MaxLease clamp the adaptation; zero selects 25ms and
+	// 5s.
+	MinLease time.Duration
+	MaxLease time.Duration
+	// ManyThreshold is how many changed paths in one lease period count
+	// as "lots of changes" and halve the lease; zero selects 4.
+	ManyThreshold int
+	// Now is injectable time for tests; nil selects the real clock.
+	Now func() time.Time
+}
+
+// CacheStats counts cache behaviour, consumed by the ZooKeeper-bottleneck
+// experiment (E5).
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Refreshes uint64
+	Resyncs   uint64
+	// Invalidated counts entries dropped by the change feed.
+	Invalidated uint64
+}
+
+// CachedClient implements the paper's three strategies for keeping the
+// coordination service off the read path (§III-E): (1) a local cache
+// serving reads; (2) a lease that halves when the last period saw many
+// changes and doubles when it saw none; (3) refresh via the change log, so
+// only modified znodes are refetched. It deliberately does NOT use watches:
+// "if there are many nodes watching the same znode, any change will result
+// in an uncontrollable network storm".
+type CachedClient struct {
+	c   *Client
+	cfg CacheConfig
+
+	mu       sync.Mutex
+	data     map[string]cacheEntry
+	children map[string]childEntry
+	cursor   uint64
+	lease    time.Duration
+	nextRef  time.Time
+	stats    CacheStats
+}
+
+type cacheEntry struct {
+	data   []byte
+	stat   Stat
+	exists bool
+}
+
+type childEntry struct {
+	names []string
+}
+
+// NewCachedClient wraps an existing client. The cursor starts at the
+// serving member's current zxid.
+func NewCachedClient(c *Client, cfg CacheConfig) (*CachedClient, error) {
+	if cfg.InitialLease <= 0 {
+		cfg.InitialLease = 200 * time.Millisecond
+	}
+	if cfg.MinLease <= 0 {
+		cfg.MinLease = 25 * time.Millisecond
+	}
+	if cfg.MaxLease <= 0 {
+		cfg.MaxLease = 5 * time.Second
+	}
+	if cfg.ManyThreshold <= 0 {
+		cfg.ManyThreshold = 4
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	cursor, err := c.Cursor()
+	if err != nil {
+		return nil, err
+	}
+	return &CachedClient{
+		c:        c,
+		cfg:      cfg,
+		data:     map[string]cacheEntry{},
+		children: map[string]childEntry{},
+		cursor:   cursor,
+		lease:    cfg.InitialLease,
+		nextRef:  cfg.Now().Add(cfg.InitialLease),
+	}, nil
+}
+
+// Lease returns the current adaptive lease period.
+func (cc *CachedClient) Lease() time.Duration {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.lease
+}
+
+// Stats returns a snapshot of the counters.
+func (cc *CachedClient) Stats() CacheStats {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.stats
+}
+
+// maybeRefreshLocked consumes the change feed when the lease has elapsed,
+// invalidating modified paths and adapting the lease.
+func (cc *CachedClient) maybeRefreshLocked() {
+	now := cc.cfg.Now()
+	if now.Before(cc.nextRef) {
+		return
+	}
+	cc.stats.Refreshes++
+	cursor, paths, err := cc.c.Changes(cc.cursor)
+	if errors.Is(err, ErrResync) {
+		// Window exceeded: drop everything and restart the cursor.
+		cc.stats.Resyncs++
+		cc.data = map[string]cacheEntry{}
+		cc.children = map[string]childEntry{}
+		if cur, cerr := cc.c.Cursor(); cerr == nil {
+			cc.cursor = cur
+		}
+		cc.lease = cc.cfg.InitialLease
+		cc.nextRef = now.Add(cc.lease)
+		return
+	}
+	if err != nil {
+		// Keep serving cached data; retry after a minimal lease.
+		cc.nextRef = now.Add(cc.cfg.MinLease)
+		return
+	}
+	for _, p := range paths {
+		if _, ok := cc.data[p]; ok {
+			delete(cc.data, p)
+			cc.stats.Invalidated++
+		}
+		if _, ok := cc.children[p]; ok {
+			delete(cc.children, p)
+			cc.stats.Invalidated++
+		}
+	}
+	cc.cursor = cursor
+	// Adapt the lease: halve under churn, double when quiet (§III-E).
+	switch {
+	case len(paths) >= cc.cfg.ManyThreshold:
+		cc.lease /= 2
+		if cc.lease < cc.cfg.MinLease {
+			cc.lease = cc.cfg.MinLease
+		}
+	case len(paths) == 0:
+		cc.lease *= 2
+		if cc.lease > cc.cfg.MaxLease {
+			cc.lease = cc.cfg.MaxLease
+		}
+	}
+	cc.nextRef = now.Add(cc.lease)
+}
+
+// Get serves path from the cache, fetching on miss. Missing znodes are
+// negatively cached until invalidated.
+func (cc *CachedClient) Get(path string) ([]byte, Stat, error) {
+	cc.mu.Lock()
+	cc.maybeRefreshLocked()
+	if e, ok := cc.data[path]; ok {
+		cc.stats.Hits++
+		cc.mu.Unlock()
+		if !e.exists {
+			return nil, Stat{}, ErrNoNode
+		}
+		return e.data, e.stat, nil
+	}
+	cc.stats.Misses++
+	cc.mu.Unlock()
+
+	data, stat, err := cc.c.Get(path)
+	switch {
+	case err == nil:
+		cc.mu.Lock()
+		cc.data[path] = cacheEntry{data: data, stat: stat, exists: true}
+		cc.mu.Unlock()
+		return data, stat, nil
+	case errors.Is(err, ErrNoNode):
+		cc.mu.Lock()
+		cc.data[path] = cacheEntry{}
+		cc.mu.Unlock()
+		return nil, Stat{}, err
+	default:
+		return nil, Stat{}, err
+	}
+}
+
+// Children serves a child listing from the cache, fetching on miss.
+func (cc *CachedClient) Children(path string) ([]string, error) {
+	cc.mu.Lock()
+	cc.maybeRefreshLocked()
+	if e, ok := cc.children[path]; ok {
+		cc.stats.Hits++
+		cc.mu.Unlock()
+		return e.names, nil
+	}
+	cc.stats.Misses++
+	cc.mu.Unlock()
+
+	names, err := cc.c.Children(path)
+	if err != nil {
+		return nil, err
+	}
+	cc.mu.Lock()
+	cc.children[path] = childEntry{names: names}
+	cc.mu.Unlock()
+	return names, nil
+}
+
+// Invalidate drops path from the cache, forcing the next Get to refetch;
+// Sedna calls this when a node it routed to answers "reject" or times out,
+// the paper's cache-invalid signal (§III-E).
+func (cc *CachedClient) Invalidate(path string) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	delete(cc.data, path)
+	delete(cc.children, path)
+}
+
+// ForceRefresh runs the change-feed refresh immediately, regardless of the
+// lease; tests and recovery paths use it.
+func (cc *CachedClient) ForceRefresh() {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cc.nextRef = cc.cfg.Now()
+	cc.maybeRefreshLocked()
+}

@@ -1,0 +1,369 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sedna/internal/transport"
+)
+
+// ClientConfig parameterises a coordination client.
+type ClientConfig struct {
+	// Servers lists ensemble member addresses; the client fails over
+	// between them.
+	Servers []string
+	// Caller issues the RPCs (a netsim endpoint or a TCP transport).
+	Caller transport.Caller
+	// SessionTimeout is the server-side session expiry; zero selects 5s.
+	SessionTimeout time.Duration
+	// CallTimeout bounds one RPC attempt; zero selects 1s.
+	CallTimeout time.Duration
+	// NoSession skips session creation: the client can only read and
+	// create non-ephemeral nodes. Sedna's lease caches use this mode.
+	NoSession bool
+}
+
+// Client talks to the coordination ensemble: it owns one session, keeps it
+// alive with pings, fails over between members, and exposes the znode API.
+type Client struct {
+	cfg ClientConfig
+
+	mu      sync.Mutex
+	cur     int // preferred server index
+	session uint64
+	expired chan struct{}
+	closed  bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// CreateOpts modifies Create.
+type CreateOpts struct {
+	// Ephemeral nodes vanish when the creating session ends.
+	Ephemeral bool
+	// Sequential appends a unique 10-digit counter to the name.
+	Sequential bool
+}
+
+// Dial starts a session against the ensemble and begins pinging.
+func Dial(cfg ClientConfig) (*Client, error) {
+	if len(cfg.Servers) == 0 {
+		return nil, errors.New("coord: no servers")
+	}
+	if cfg.SessionTimeout <= 0 {
+		cfg.SessionTimeout = 5 * time.Second
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = time.Second
+	}
+	c := &Client{
+		cfg:     cfg,
+		expired: make(chan struct{}),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if cfg.NoSession {
+		close(c.done)
+		return c, nil
+	}
+	var e enc
+	e.u32(uint32(cfg.SessionTimeout / time.Millisecond))
+	d, err := c.do(context.Background(), OpStart, e.b)
+	if err != nil {
+		return nil, fmt.Errorf("coord: session start: %w", err)
+	}
+	c.session = d.u64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	go c.pingLoop()
+	return c, nil
+}
+
+// Session returns the client's session id (0 in NoSession mode).
+func (c *Client) Session() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.session
+}
+
+// Expired is closed when the server reports the session expired; ephemeral
+// nodes owned by the client are gone and the client must be re-dialled.
+func (c *Client) Expired() <-chan struct{} { return c.expired }
+
+func (c *Client) pingLoop() {
+	defer close(c.done)
+	interval := c.cfg.SessionTimeout / 3
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		var e enc
+		e.u64(c.Session())
+		_, err := c.do(context.Background(), OpPing, e.b)
+		if errors.Is(err, ErrSessionExpired) {
+			c.mu.Lock()
+			select {
+			case <-c.expired:
+			default:
+				close(c.expired)
+			}
+			c.mu.Unlock()
+			return
+		}
+	}
+}
+
+// Close ends the session and stops the ping loop.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	session := c.session
+	c.mu.Unlock()
+	close(c.stop)
+	<-c.done
+	if session != 0 {
+		var e enc
+		e.u64(session)
+		c.do(context.Background(), OpEnd, e.b)
+	}
+	return nil
+}
+
+// do issues one request with failover and leader-retry. It returns a
+// decoder positioned after the status header.
+func (c *Client) do(ctx context.Context, op uint16, body []byte) (*dec, error) {
+	var lastErr error
+	attempts := len(c.cfg.Servers)*2 + 2
+	for a := 0; a < attempts; a++ {
+		c.mu.Lock()
+		if c.closed && op != OpEnd {
+			c.mu.Unlock()
+			return nil, errors.New("coord: client closed")
+		}
+		addr := c.cfg.Servers[c.cur%len(c.cfg.Servers)]
+		c.mu.Unlock()
+
+		callCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+		resp, err := c.cfg.Caller.Call(callCtx, addr, transport.Message{Op: op, Body: body})
+		cancel()
+		if err != nil {
+			lastErr = err
+			c.rotate()
+			continue
+		}
+		d := &dec{b: resp.Body}
+		st := d.u16()
+		detail := d.str()
+		if d.err != nil {
+			return nil, d.err
+		}
+		switch st {
+		case stOK:
+			return d, nil
+		case stNotLeader, stNoQuorum:
+			// The cluster is electing; back off briefly and retry.
+			lastErr = statusErr(st, detail)
+			c.rotate()
+			select {
+			case <-time.After(50 * time.Millisecond):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		default:
+			return nil, statusErr(st, detail)
+		}
+	}
+	return nil, fmt.Errorf("coord: all servers failed: %w", lastErr)
+}
+
+func (c *Client) rotate() {
+	c.mu.Lock()
+	c.cur++
+	c.mu.Unlock()
+}
+
+// Create makes a znode and returns its effective path (which differs from
+// the requested one for sequential nodes).
+func (c *Client) Create(path string, data []byte, opts CreateOpts) (string, error) {
+	var e enc
+	e.str(path)
+	e.bytes(data)
+	e.bool(opts.Ephemeral)
+	e.bool(opts.Sequential)
+	e.u64(c.Session())
+	d, err := c.do(context.Background(), OpCreate, e.b)
+	if err != nil {
+		return "", err
+	}
+	p := d.str()
+	_ = decodeStat(d)
+	return p, d.err
+}
+
+// Get reads a znode's data and stat; the trailing zxid is the serving
+// member's applied transaction id.
+func (c *Client) Get(path string) ([]byte, Stat, error) {
+	var e enc
+	e.str(path)
+	d, err := c.do(context.Background(), OpGet, e.b)
+	if err != nil {
+		return nil, Stat{}, err
+	}
+	data := d.bytes()
+	stat := decodeStat(d)
+	_ = d.u64()
+	return data, stat, d.err
+}
+
+// Set writes a znode's data; version -1 bypasses the version check.
+func (c *Client) Set(path string, data []byte, version int64) (Stat, error) {
+	var e enc
+	e.str(path)
+	e.bytes(data)
+	e.i64(version)
+	d, err := c.do(context.Background(), OpSet, e.b)
+	if err != nil {
+		return Stat{}, err
+	}
+	stat := decodeStat(d)
+	return stat, d.err
+}
+
+// Delete removes a leaf znode; version -1 bypasses the version check.
+func (c *Client) Delete(path string, version int64) error {
+	var e enc
+	e.str(path)
+	e.i64(version)
+	_, err := c.do(context.Background(), OpDelete, e.b)
+	return err
+}
+
+// Children lists a znode's children, sorted.
+func (c *Client) Children(path string) ([]string, error) {
+	var e enc
+	e.str(path)
+	d, err := c.do(context.Background(), OpChildr, e.b)
+	if err != nil {
+		return nil, err
+	}
+	n := int(d.u32())
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.str())
+	}
+	_ = d.u64()
+	return out, d.err
+}
+
+// Exists reports whether path exists, with its stat when it does.
+func (c *Client) Exists(path string) (Stat, bool, error) {
+	var e enc
+	e.str(path)
+	d, err := c.do(context.Background(), OpExists, e.b)
+	if err != nil {
+		return Stat{}, false, err
+	}
+	ok := d.bool()
+	stat := decodeStat(d)
+	_ = d.u64()
+	return stat, ok, d.err
+}
+
+// EnsurePath creates every missing ancestor of path plus path itself (all
+// persistent, empty); existing nodes are left untouched.
+func (c *Client) EnsurePath(path string) error {
+	if err := ValidatePath(path); err != nil {
+		return err
+	}
+	if path == "/" {
+		return nil
+	}
+	segs := splitPath(path)
+	cur := ""
+	for _, seg := range segs {
+		cur += "/" + seg
+		_, err := c.Create(cur, nil, CreateOpts{})
+		if err != nil && !errors.Is(err, ErrNodeExists) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Await blocks until path is touched by a transaction newer than sinceZxid
+// or ctx expires; it reports whether a change was observed and the zxid of
+// the newest touch. This is the long-poll equivalent of a ZooKeeper watch.
+// The server-side wait is bounded slightly under the ctx deadline so the
+// "no change" answer still makes it back to the caller.
+func (c *Client) Await(ctx context.Context, path string, sinceZxid uint64) (bool, uint64, error) {
+	wait := 30 * time.Second
+	if dl, ok := ctx.Deadline(); ok {
+		wait = time.Until(dl) - c.cfg.CallTimeout/4
+		if wait < 0 {
+			wait = 0
+		}
+	}
+	var e enc
+	e.str(path)
+	e.u64(sinceZxid)
+	e.u32(uint32(wait / time.Millisecond))
+	c.mu.Lock()
+	addr := c.cfg.Servers[c.cur%len(c.cfg.Servers)]
+	c.mu.Unlock()
+	resp, err := c.cfg.Caller.Call(ctx, addr, transport.Message{Op: OpAwait, Body: e.b})
+	if err != nil {
+		return false, 0, err
+	}
+	d := &dec{b: resp.Body}
+	if st := d.u16(); st != stOK {
+		return false, 0, statusErr(st, d.str())
+	}
+	d.str()
+	changed := d.bool()
+	zxid := d.u64()
+	return changed, zxid, d.err
+}
+
+// Changes returns the paths modified since the given zxid along with the
+// new cursor. ErrResync means the window was exceeded: refetch everything
+// and restart from Cursor().
+func (c *Client) Changes(since uint64) (uint64, []string, error) {
+	var e enc
+	e.u64(since)
+	d, err := c.do(context.Background(), OpChange, e.b)
+	if err != nil {
+		return 0, nil, err
+	}
+	zxid := d.u64()
+	n := int(d.u32())
+	paths := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		paths = append(paths, d.str())
+	}
+	return zxid, paths, d.err
+}
+
+// Cursor returns the serving member's applied zxid, the starting point for
+// a Changes feed.
+func (c *Client) Cursor() (uint64, error) {
+	d, err := c.do(context.Background(), OpStatus, nil)
+	if err != nil {
+		return 0, err
+	}
+	_ = d.u64() // epoch
+	_ = d.u32() // leader
+	zxid := d.u64()
+	return zxid, d.err
+}

@@ -1,0 +1,522 @@
+package coord
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"sedna/internal/transport"
+)
+
+// ServerConfig parameterises one ensemble member.
+type ServerConfig struct {
+	// ID is this member's index into Members.
+	ID int
+	// Members lists the transport addresses of the whole ensemble, in a
+	// fixed order shared by every member. Sedna runs a small, static
+	// coordination sub-cluster (§III-A), so membership does not change at
+	// runtime.
+	Members []string
+	// Transport carries both client and ensemble traffic.
+	Transport transport.Transport
+	// HeartbeatEvery is the leader's heartbeat period; zero selects 50ms.
+	HeartbeatEvery time.Duration
+	// ElectionTimeout is how long a follower tolerates heartbeat silence
+	// before electing; zero selects 250ms.
+	ElectionTimeout time.Duration
+	// RPCTimeout bounds intra-ensemble calls; zero selects 150ms.
+	RPCTimeout time.Duration
+	// ChangeLogSize bounds the in-memory change ring consumed by lease
+	// caches; zero selects 8192.
+	ChangeLogSize int
+	// Logf receives diagnostic messages; nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+type changeEntry struct {
+	zxid uint64
+	path string
+}
+
+// Server is one member of the coordination ensemble.
+type Server struct {
+	cfg ServerConfig
+
+	mu       sync.Mutex
+	tree     *Tree
+	sessions map[uint64]uint32 // session id -> timeout ms (replicated)
+	lastPing map[uint64]time.Time
+	zxid     uint64 // last applied
+	epoch    uint64
+	leader   int // index into Members, -1 when unknown
+	lastHB   time.Time
+	sessSeq  uint64
+
+	changes      []changeEntry
+	changesFloor uint64
+	touch        map[string]uint64
+	waiters      map[string][]chan struct{}
+	closed       bool
+	stopCh       chan struct{}
+	done         sync.WaitGroup
+	proposMu     sync.Mutex // serialises leader proposals
+}
+
+// NewServer constructs a member; call Start to begin serving.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 50 * time.Millisecond
+	}
+	if cfg.ElectionTimeout <= 0 {
+		cfg.ElectionTimeout = 250 * time.Millisecond
+	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = 150 * time.Millisecond
+	}
+	if cfg.ChangeLogSize <= 0 {
+		cfg.ChangeLogSize = 8192
+	}
+	return &Server{
+		cfg:      cfg,
+		tree:     NewTree(),
+		sessions: map[uint64]uint32{},
+		lastPing: map[uint64]time.Time{},
+		leader:   -1,
+		touch:    map[string]uint64{},
+		waiters:  map[string][]chan struct{}{},
+		stopCh:   make(chan struct{}),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("coord[%d]: "+format, append([]any{s.cfg.ID}, args...)...)
+	}
+}
+
+// Start registers the RPC handlers and launches the background loops.
+func (s *Server) Start() error {
+	mux := transport.NewMux()
+	for op, h := range map[uint16]transport.Handler{
+		OpCreate:    s.handleClientWrite,
+		OpSet:       s.handleClientWrite,
+		OpDelete:    s.handleClientWrite,
+		OpStart:     s.handleClientWrite,
+		OpEnd:       s.handleClientWrite,
+		OpGet:       s.handleGet,
+		OpChildr:    s.handleChildren,
+		OpExists:    s.handleExists,
+		OpPing:      s.handlePing,
+		OpAwait:     s.handleAwait,
+		OpChange:    s.handleChanges,
+		OpStatus:    s.handleStatus,
+		OpPropose:   s.handlePropose,
+		OpCommit:    s.handleCommit,
+		OpSync:      s.handleSync,
+		OpElect:     s.handleElect,
+		OpHeartbeat: s.handleHeartbeat,
+		OpForward:   s.handleForward,
+	} {
+		mux.HandleFunc(op, h)
+	}
+	if err := s.cfg.Transport.Serve(mux.Handle); err != nil {
+		return err
+	}
+	s.done.Add(1)
+	go s.tickLoop()
+	return nil
+}
+
+// Close stops the server.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stopCh)
+	s.done.Wait()
+	s.cfg.Transport.Close()
+}
+
+// Addr returns the member's transport address.
+func (s *Server) Addr() string { return s.cfg.Members[s.cfg.ID] }
+
+// IsLeader reports whether this member currently believes it leads.
+func (s *Server) IsLeader() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.leader == s.cfg.ID
+}
+
+// LeaderAddr returns the current leader's address, or "" when unknown.
+func (s *Server) LeaderAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.leader < 0 {
+		return ""
+	}
+	return s.cfg.Members[s.leader]
+}
+
+// Zxid returns the last applied transaction id.
+func (s *Server) Zxid() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.zxid
+}
+
+func (s *Server) quorum() int { return len(s.cfg.Members)/2 + 1 }
+
+// --- background loops ---
+
+func (s *Server) tickLoop() {
+	defer s.done.Done()
+	tick := time.NewTicker(s.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-tick.C:
+		}
+		s.mu.Lock()
+		amLeader := s.leader == s.cfg.ID
+		noLeader := s.leader < 0 || (!amLeader && time.Since(s.lastHB) > s.cfg.ElectionTimeout)
+		s.mu.Unlock()
+		switch {
+		case amLeader:
+			s.sendHeartbeats()
+			s.expireSessions()
+		case noLeader:
+			s.tryElect()
+		}
+	}
+}
+
+func (s *Server) sendHeartbeats() {
+	s.mu.Lock()
+	epoch, zxid := s.epoch, s.zxid
+	s.mu.Unlock()
+	var e enc
+	e.u64(epoch)
+	e.u32(uint32(s.cfg.ID))
+	e.u64(zxid)
+	body := e.b
+	for i, addr := range s.cfg.Members {
+		if i == s.cfg.ID {
+			continue
+		}
+		go func(addr string) {
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RPCTimeout)
+			defer cancel()
+			s.cfg.Transport.Call(ctx, addr, transport.Message{Op: OpHeartbeat, Body: body})
+		}(addr)
+	}
+}
+
+func (s *Server) handleHeartbeat(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := dec{b: req.Body}
+	epoch := d.u64()
+	leaderID := int(d.u32())
+	leaderZxid := d.u64()
+	if d.err != nil {
+		return transport.Message{}, d.err
+	}
+	s.mu.Lock()
+	if epoch >= s.epoch {
+		s.epoch = epoch
+		s.leader = leaderID
+		s.lastHB = time.Now()
+	}
+	behind := s.zxid < leaderZxid
+	s.mu.Unlock()
+	if behind {
+		// We missed commits (e.g. rejoined after a partition); catch up.
+		go s.syncFrom(s.cfg.Members[leaderID])
+	}
+	return transport.Message{Op: OpHeartbeat}, nil
+}
+
+// tryElect runs the "lowest reachable id wins" election. The winner bumps
+// the epoch, adopts the freshest state reachable, and announces itself.
+func (s *Server) tryElect() {
+	// Probe every member for liveness and state.
+	type probe struct {
+		id    int
+		epoch uint64
+		zxid  uint64
+		ok    bool
+	}
+	results := make([]probe, len(s.cfg.Members))
+	var wg sync.WaitGroup
+	for i, addr := range s.cfg.Members {
+		if i == s.cfg.ID {
+			s.mu.Lock()
+			results[i] = probe{id: i, epoch: s.epoch, zxid: s.zxid, ok: true}
+			s.mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RPCTimeout)
+			defer cancel()
+			resp, err := s.cfg.Transport.Call(ctx, addr, transport.Message{Op: OpStatus})
+			if err != nil {
+				return
+			}
+			d := dec{b: resp.Body}
+			st := d.u16()
+			_ = d.str()
+			epoch := d.u64()
+			_ = d.u32() // leader id
+			zxid := d.u64()
+			if d.err == nil && st == stOK {
+				results[i] = probe{id: i, epoch: epoch, zxid: zxid, ok: true}
+			}
+		}(i, addr)
+	}
+	wg.Wait()
+
+	alive := 0
+	lowest := -1
+	var maxEpoch, maxZxid uint64
+	freshest := s.cfg.ID
+	for _, p := range results {
+		if !p.ok {
+			continue
+		}
+		alive++
+		if lowest == -1 {
+			lowest = p.id
+		}
+		if p.epoch > maxEpoch {
+			maxEpoch = p.epoch
+		}
+		if p.zxid > maxZxid {
+			maxZxid = p.zxid
+			freshest = p.id
+		}
+	}
+	if alive < s.quorum() || lowest != s.cfg.ID {
+		return // not our turn, or no quorum: stay leaderless
+	}
+
+	// Adopt the freshest reachable state before leading.
+	if freshest != s.cfg.ID {
+		if !s.syncFrom(s.cfg.Members[freshest]) {
+			return
+		}
+	}
+	s.mu.Lock()
+	s.epoch = maxEpoch + 1
+	s.leader = s.cfg.ID
+	s.lastHB = time.Now()
+	now := time.Now()
+	for id := range s.sessions {
+		s.lastPing[id] = now // grace period after takeover
+	}
+	epoch, zxid := s.epoch, s.zxid
+	s.mu.Unlock()
+	s.logf("elected leader epoch=%d zxid=%d", epoch, zxid)
+
+	// Announce to everyone.
+	var e enc
+	e.u64(epoch)
+	e.u32(uint32(s.cfg.ID))
+	e.u64(zxid)
+	for i, addr := range s.cfg.Members {
+		if i == s.cfg.ID {
+			continue
+		}
+		go func(addr string) {
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RPCTimeout)
+			defer cancel()
+			s.cfg.Transport.Call(ctx, addr, transport.Message{Op: OpElect, Body: e.b})
+		}(addr)
+	}
+}
+
+func (s *Server) handleElect(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := dec{b: req.Body}
+	epoch := d.u64()
+	leaderID := int(d.u32())
+	leaderZxid := d.u64()
+	if d.err != nil {
+		return transport.Message{}, d.err
+	}
+	s.mu.Lock()
+	if epoch < s.epoch {
+		s.mu.Unlock()
+		var e enc
+		e.u16(stStaleEpoch)
+		return transport.Message{Op: OpElect, Body: e.b}, nil
+	}
+	s.epoch = epoch
+	s.leader = leaderID
+	s.lastHB = time.Now()
+	behind := s.zxid < leaderZxid
+	s.mu.Unlock()
+	if behind {
+		go s.syncFrom(s.cfg.Members[leaderID])
+	}
+	var e enc
+	e.u16(stOK)
+	return transport.Message{Op: OpElect, Body: e.b}, nil
+}
+
+// --- state sync ---
+
+// handleSync serialises the full replicated state.
+func (s *Server) handleSync(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var e enc
+	e.u16(stOK)
+	e.u64(s.epoch)
+	e.u64(s.zxid)
+	// Sessions.
+	e.u32(uint32(len(s.sessions)))
+	for id, to := range s.sessions {
+		e.u64(id)
+		e.u32(to)
+	}
+	e.u64(s.sessSeq)
+	// Tree, pre-order so parents precede children.
+	var count uint32
+	countAt := len(e.b)
+	e.u32(0)
+	s.tree.walk(func(path string, n *znode) {
+		if path == "/" {
+			return
+		}
+		e.str(path)
+		e.bytes(n.data)
+		e.i64(n.stat.Version)
+		e.i64(n.stat.CVersion)
+		e.u64(n.stat.EphemeralOwner)
+		e.u64(n.stat.Czxid)
+		e.u64(n.stat.Mzxid)
+		e.u64(n.seqCounter)
+		count++
+	})
+	// Root's sequence counter travels separately.
+	e.u64(s.tree.root.seqCounter)
+	putU32(e.b[countAt:], count)
+	return transport.Message{Op: OpSync, Body: e.b}, nil
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+// syncFrom replaces local state with addr's snapshot; reports success.
+func (s *Server) syncFrom(addr string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), 4*s.cfg.RPCTimeout)
+	defer cancel()
+	resp, err := s.cfg.Transport.Call(ctx, addr, transport.Message{Op: OpSync})
+	if err != nil {
+		return false
+	}
+	d := dec{b: resp.Body}
+	if d.u16() != stOK {
+		return false
+	}
+	epoch := d.u64()
+	zxid := d.u64()
+	nSess := int(d.u32())
+	sessions := make(map[uint64]uint32, nSess)
+	for i := 0; i < nSess; i++ {
+		id := d.u64()
+		sessions[id] = d.u32()
+	}
+	sessSeq := d.u64()
+	nNodes := int(d.u32())
+	tree := NewTree()
+	type nodeFix struct {
+		path string
+		stat Stat
+		seq  uint64
+	}
+	fixes := make([]nodeFix, 0, nNodes)
+	for i := 0; i < nNodes; i++ {
+		path := d.str()
+		data := d.bytes()
+		st := Stat{
+			Version:        d.i64(),
+			CVersion:       d.i64(),
+			EphemeralOwner: d.u64(),
+			Czxid:          d.u64(),
+			Mzxid:          d.u64(),
+		}
+		seq := d.u64()
+		if d.err != nil {
+			return false
+		}
+		if _, err := tree.Create(path, data, st.EphemeralOwner != 0, false, st.EphemeralOwner, st.Czxid); err != nil {
+			return false
+		}
+		fixes = append(fixes, nodeFix{path: path, stat: st, seq: seq})
+	}
+	rootSeq := d.u64()
+	if d.err != nil {
+		return false
+	}
+	// Restore exact stats and sequence counters.
+	for _, f := range fixes {
+		n := tree.lookup(f.path)
+		n.stat.Version = f.stat.Version
+		n.stat.CVersion = f.stat.CVersion
+		n.stat.Mzxid = f.stat.Mzxid
+		n.seqCounter = f.seq
+	}
+	tree.root.seqCounter = rootSeq
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if zxid < s.zxid {
+		return true // we advanced past the snapshot meanwhile
+	}
+	s.tree = tree
+	s.sessions = sessions
+	s.sessSeq = sessSeq
+	s.zxid = zxid
+	if epoch > s.epoch {
+		s.epoch = epoch
+	}
+	now := time.Now()
+	for id := range sessions {
+		s.lastPing[id] = now
+	}
+	s.logf("synced from %s zxid=%d", addr, zxid)
+	return true
+}
+
+// --- session expiry (leader only) ---
+
+func (s *Server) expireSessions() {
+	s.mu.Lock()
+	var expired []uint64
+	now := time.Now()
+	for id, toMs := range s.sessions {
+		last, ok := s.lastPing[id]
+		if !ok {
+			s.lastPing[id] = now
+			continue
+		}
+		if now.Sub(last) > time.Duration(toMs)*time.Millisecond {
+			expired = append(expired, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, id := range expired {
+		s.logf("expiring session %d", id)
+		s.propose(&Txn{Kind: TxnExpireSession, Session: id})
+	}
+}

@@ -1,0 +1,562 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"sedna/internal/transport"
+)
+
+// --- quorum write path ---
+//
+// The leader serialises writes: each proposal is acked by a majority before
+// the leader applies and answers; the commit (carrying the full txn) is then
+// broadcast so followers apply the same sequence. Followers that miss a
+// commit detect the zxid gap — on the next commit or heartbeat — and fetch a
+// full snapshot from the leader. Reads are served locally by every member,
+// which is exactly the "much more preferable for read than write-intensive
+// operations" profile the paper relies on (§III-E).
+
+// propose runs the quorum write protocol for txn. Leader only.
+func (s *Server) propose(txn *Txn) (txnResult, error) {
+	s.proposMu.Lock()
+	defer s.proposMu.Unlock()
+
+	s.mu.Lock()
+	if s.leader != s.cfg.ID {
+		s.mu.Unlock()
+		return txnResult{}, ErrNotLeader
+	}
+	txn.Epoch = s.epoch
+	txn.Zxid = s.zxid + 1
+	s.mu.Unlock()
+
+	var e enc
+	encodeTxn(&e, txn)
+	body := e.b
+
+	acks := 1 // self
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sawNewerEpoch := false
+	for i, addr := range s.cfg.Members {
+		if i == s.cfg.ID {
+			continue
+		}
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RPCTimeout)
+			defer cancel()
+			resp, err := s.cfg.Transport.Call(ctx, addr, transport.Message{Op: OpPropose, Body: body})
+			if err != nil {
+				return
+			}
+			d := dec{b: resp.Body}
+			switch d.u16() {
+			case stOK:
+				mu.Lock()
+				acks++
+				mu.Unlock()
+			case stStaleEpoch:
+				mu.Lock()
+				sawNewerEpoch = true
+				mu.Unlock()
+			}
+		}(addr)
+	}
+	wg.Wait()
+
+	if sawNewerEpoch || acks < s.quorum() {
+		// Lost the cluster: step down and let the election sort it out.
+		s.mu.Lock()
+		if s.leader == s.cfg.ID {
+			s.leader = -1
+		}
+		s.mu.Unlock()
+		s.logf("proposal zxid=%d failed (acks=%d), stepping down", txn.Zxid, acks)
+		return txnResult{}, ErrNoQuorum
+	}
+
+	res := s.applyCommitted(*txn)
+	// Commit broadcast is asynchronous; stragglers catch up via heartbeat
+	// zxid comparison.
+	for i, addr := range s.cfg.Members {
+		if i == s.cfg.ID {
+			continue
+		}
+		go func(addr string) {
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RPCTimeout)
+			defer cancel()
+			s.cfg.Transport.Call(ctx, addr, transport.Message{Op: OpCommit, Body: body})
+		}(addr)
+	}
+	return res, nil
+}
+
+func (s *Server) handlePropose(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := dec{b: req.Body}
+	txn := decodeTxn(&d)
+	if d.err != nil {
+		return transport.Message{}, d.err
+	}
+	var e enc
+	s.mu.Lock()
+	switch {
+	case txn.Epoch < s.epoch:
+		e.u16(stStaleEpoch)
+	default:
+		if txn.Epoch > s.epoch {
+			s.epoch = txn.Epoch
+		}
+		s.lastHB = time.Now()
+		e.u16(stOK)
+	}
+	s.mu.Unlock()
+	return transport.Message{Op: OpPropose, Body: e.b}, nil
+}
+
+func (s *Server) handleCommit(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := dec{b: req.Body}
+	txn := decodeTxn(&d)
+	if d.err != nil {
+		return transport.Message{}, d.err
+	}
+	s.mu.Lock()
+	applied, gap := s.zxid, false
+	if txn.Epoch < s.epoch {
+		s.mu.Unlock()
+		var e enc
+		e.u16(stStaleEpoch)
+		return transport.Message{Op: OpCommit, Body: e.b}, nil
+	}
+	if txn.Zxid == applied+1 {
+		s.mu.Unlock()
+		s.applyCommitted(txn)
+	} else if txn.Zxid > applied+1 {
+		gap = true
+		leader := s.leader
+		s.mu.Unlock()
+		if leader >= 0 && leader != s.cfg.ID {
+			go s.syncFrom(s.cfg.Members[leader])
+		}
+	} else {
+		s.mu.Unlock() // duplicate; already applied
+	}
+	var e enc
+	if gap {
+		e.u16(stResync)
+	} else {
+		e.u16(stOK)
+	}
+	return transport.Message{Op: OpCommit, Body: e.b}, nil
+}
+
+// applyCommitted applies txn to the replicated state, records the change
+// log and wakes watchers. It is idempotent against duplicates.
+func (s *Server) applyCommitted(txn Txn) txnResult {
+	s.mu.Lock()
+	if txn.Zxid <= s.zxid {
+		s.mu.Unlock()
+		return txnResult{err: fmt.Errorf("coord: duplicate zxid %d", txn.Zxid)}
+	}
+	res, touched := applyTxn(s.tree, s.sessions, &txn)
+	s.zxid = txn.Zxid
+	if txn.Kind == TxnStartSession {
+		s.lastPing[txn.Session] = time.Now()
+	}
+	if txn.Kind == TxnEndSession || txn.Kind == TxnExpireSession {
+		delete(s.lastPing, txn.Session)
+	}
+	var wake []chan struct{}
+	seen := map[string]bool{}
+	for _, p := range touched {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		s.touch[p] = txn.Zxid
+		s.changes = append(s.changes, changeEntry{zxid: txn.Zxid, path: p})
+		wake = append(wake, s.waiters[p]...)
+		delete(s.waiters, p)
+	}
+	// Bound the change ring; consumers whose cursor predates the floor
+	// must resync.
+	for len(s.changes) > s.cfg.ChangeLogSize {
+		s.changesFloor = s.changes[0].zxid
+		s.changes = s.changes[1:]
+	}
+	s.mu.Unlock()
+	for _, ch := range wake {
+		close(ch)
+	}
+	return res
+}
+
+// changesFloorLocked returns the newest zxid NOT guaranteed to be covered
+// by the retained ring. Callers must hold s.mu.
+func (s *Server) changesFloorLocked() uint64 { return s.changesFloor }
+
+// --- client write path ---
+
+// handleClientWrite parses a client mutation, routes it to the leader
+// (directly when we lead, via OpForward otherwise) and encodes the reply.
+func (s *Server) handleClientWrite(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	s.mu.Lock()
+	leader := s.leader
+	s.mu.Unlock()
+	switch {
+	case leader == s.cfg.ID:
+		resp, _, err := s.leaderWrite(req)
+		return resp, err
+	case leader >= 0:
+		// Forward the original request wholesale.
+		var e enc
+		e.u16(req.Op)
+		e.bytes(req.Body)
+		fctx, cancel := context.WithTimeout(ctx, 4*s.cfg.RPCTimeout)
+		defer cancel()
+		resp, err := s.cfg.Transport.Call(fctx, s.cfg.Members[leader], transport.Message{Op: OpForward, Body: e.b})
+		if err != nil {
+			return errorReply(req.Op, ErrNotLeader), nil
+		}
+		// The forward response wraps the client reply with the committed
+		// txn; apply it locally before answering so the client observes
+		// its own write on this member (ZooKeeper's read-your-writes).
+		d := dec{b: resp.Body}
+		clientResp := d.bytes()
+		committed := d.bool()
+		if d.err != nil {
+			return transport.Message{}, d.err
+		}
+		if committed {
+			txn := decodeTxn(&d)
+			if d.err != nil {
+				return transport.Message{}, d.err
+			}
+			s.ensureApplied(fctx, txn)
+		}
+		return transport.Message{Op: req.Op, Body: clientResp}, nil
+	default:
+		return errorReply(req.Op, ErrNoQuorum), nil
+	}
+}
+
+// ensureApplied blocks until the member has applied txn (directly when it
+// is the next in sequence, via the commit broadcast, or by snapshot sync).
+func (s *Server) ensureApplied(ctx context.Context, txn Txn) {
+	for i := 0; ; i++ {
+		s.mu.Lock()
+		applied := s.zxid
+		leader := s.leader
+		s.mu.Unlock()
+		if applied >= txn.Zxid {
+			return
+		}
+		if applied+1 == txn.Zxid {
+			s.applyCommitted(txn)
+			return
+		}
+		if i >= 3 && leader >= 0 && leader != s.cfg.ID {
+			s.syncFrom(s.cfg.Members[leader])
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func (s *Server) handleForward(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := dec{b: req.Body}
+	op := d.u16()
+	body := d.bytes()
+	if d.err != nil {
+		return transport.Message{}, d.err
+	}
+	resp, txn, err := s.leaderWrite(transport.Message{Op: op, Body: body})
+	if err != nil {
+		return transport.Message{}, err
+	}
+	var e enc
+	e.bytes(resp.Body)
+	if txn != nil {
+		e.bool(true)
+		encodeTxn(&e, txn)
+	} else {
+		e.bool(false)
+	}
+	return transport.Message{Op: OpForward, Body: e.b}, nil
+}
+
+// leaderWrite executes one client mutation on the leader. It returns the
+// client-facing reply plus the committed txn (nil when nothing committed)
+// so forwarding members can apply it before relaying the reply.
+func (s *Server) leaderWrite(req transport.Message) (transport.Message, *Txn, error) {
+	d := dec{b: req.Body}
+	var txn Txn
+	switch req.Op {
+	case OpCreate:
+		txn = Txn{
+			Kind:       TxnCreate,
+			Path:       d.str(),
+			Data:       d.bytes(),
+			Ephemeral:  d.bool(),
+			Sequential: d.bool(),
+			Session:    d.u64(),
+		}
+	case OpSet:
+		txn = Txn{Kind: TxnSet, Path: d.str(), Data: d.bytes(), Version: d.i64()}
+	case OpDelete:
+		txn = Txn{Kind: TxnDelete, Path: d.str(), Version: d.i64()}
+	case OpStart:
+		txn = Txn{Kind: TxnStartSession, SessionTimeoutMs: d.u32()}
+		s.mu.Lock()
+		s.sessSeq++
+		txn.Session = s.epoch<<24 | s.sessSeq
+		s.mu.Unlock()
+	case OpEnd:
+		txn = Txn{Kind: TxnEndSession, Session: d.u64()}
+	default:
+		return transport.Message{}, nil, fmt.Errorf("coord: bad write op %d", req.Op)
+	}
+	if d.err != nil {
+		return transport.Message{}, nil, d.err
+	}
+	// Ephemeral creates require a live session.
+	if txn.Kind == TxnCreate && txn.Ephemeral {
+		s.mu.Lock()
+		_, ok := s.sessions[txn.Session]
+		s.mu.Unlock()
+		if !ok {
+			return errorReply(req.Op, ErrSessionExpired), nil, nil
+		}
+	}
+	res, err := s.propose(&txn)
+	if err != nil {
+		return errorReply(req.Op, err), nil, nil
+	}
+	if res.err != nil {
+		// The txn committed (deterministically failing); forwarders still
+		// apply it to stay in sequence.
+		return errorReply(req.Op, res.err), &txn, nil
+	}
+	var e enc
+	e.u16(stOK)
+	e.str("")
+	switch req.Op {
+	case OpCreate:
+		e.str(res.path)
+		encodeStat(&e, res.stat)
+	case OpSet:
+		encodeStat(&e, res.stat)
+	case OpStart:
+		e.u64(txn.Session)
+	}
+	return transport.Message{Op: req.Op, Body: e.b}, &txn, nil
+}
+
+func errorReply(op uint16, err error) transport.Message {
+	st, detail := errStatus(err)
+	var e enc
+	e.u16(st)
+	e.str(detail)
+	return transport.Message{Op: op, Body: e.b}
+}
+
+// --- client read path (served locally) ---
+
+func (s *Server) handleGet(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := dec{b: req.Body}
+	path := d.str()
+	if d.err != nil {
+		return transport.Message{}, d.err
+	}
+	s.mu.Lock()
+	data, stat, err := s.tree.Get(path)
+	zxid := s.zxid
+	s.mu.Unlock()
+	if err != nil {
+		return errorReply(OpGet, err), nil
+	}
+	var e enc
+	e.u16(stOK)
+	e.str("")
+	e.bytes(data)
+	encodeStat(&e, stat)
+	e.u64(zxid)
+	return transport.Message{Op: OpGet, Body: e.b}, nil
+}
+
+func (s *Server) handleChildren(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := dec{b: req.Body}
+	path := d.str()
+	if d.err != nil {
+		return transport.Message{}, d.err
+	}
+	s.mu.Lock()
+	kids, err := s.tree.Children(path)
+	zxid := s.zxid
+	s.mu.Unlock()
+	if err != nil {
+		return errorReply(OpChildr, err), nil
+	}
+	var e enc
+	e.u16(stOK)
+	e.str("")
+	e.u32(uint32(len(kids)))
+	for _, k := range kids {
+		e.str(k)
+	}
+	e.u64(zxid)
+	return transport.Message{Op: OpChildr, Body: e.b}, nil
+}
+
+func (s *Server) handleExists(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := dec{b: req.Body}
+	path := d.str()
+	if d.err != nil {
+		return transport.Message{}, d.err
+	}
+	s.mu.Lock()
+	stat, ok := s.tree.Exists(path)
+	zxid := s.zxid
+	s.mu.Unlock()
+	var e enc
+	e.u16(stOK)
+	e.str("")
+	e.bool(ok)
+	encodeStat(&e, stat)
+	e.u64(zxid)
+	return transport.Message{Op: OpExists, Body: e.b}, nil
+}
+
+func (s *Server) handleStatus(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	s.mu.Lock()
+	epoch, leader, zxid := s.epoch, s.leader, s.zxid
+	s.mu.Unlock()
+	var e enc
+	e.u16(stOK)
+	e.str("")
+	e.u64(epoch)
+	e.u32(uint32(int32(leader)))
+	e.u64(zxid)
+	return transport.Message{Op: OpStatus, Body: e.b}, nil
+}
+
+// handlePing keeps a session alive; non-leaders relay to the leader, which
+// owns liveness soft-state.
+func (s *Server) handlePing(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := dec{b: req.Body}
+	session := d.u64()
+	if d.err != nil {
+		return transport.Message{}, d.err
+	}
+	s.mu.Lock()
+	leader := s.leader
+	s.mu.Unlock()
+	if leader != s.cfg.ID {
+		if leader < 0 {
+			return errorReply(OpPing, ErrNoQuorum), nil
+		}
+		fctx, cancel := context.WithTimeout(ctx, 2*s.cfg.RPCTimeout)
+		defer cancel()
+		resp, err := s.cfg.Transport.Call(fctx, s.cfg.Members[leader], req)
+		if err != nil {
+			return errorReply(OpPing, ErrNotLeader), nil
+		}
+		return resp, nil
+	}
+	s.mu.Lock()
+	_, ok := s.sessions[session]
+	if ok {
+		s.lastPing[session] = time.Now()
+	}
+	s.mu.Unlock()
+	if !ok {
+		return errorReply(OpPing, ErrSessionExpired), nil
+	}
+	var e enc
+	e.u16(stOK)
+	e.str("")
+	return transport.Message{Op: OpPing, Body: e.b}, nil
+}
+
+// handleAwait implements the long-poll watch: it returns once any txn newer
+// than sinceZxid touches path, or when the caller's deadline expires (the
+// response then reports the unchanged zxid).
+func (s *Server) handleAwait(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := dec{b: req.Body}
+	path := d.str()
+	since := d.u64()
+	waitMs := d.u32()
+	if d.err != nil {
+		return transport.Message{}, d.err
+	}
+	s.mu.Lock()
+	last := s.touch[path]
+	var ch chan struct{}
+	if last <= since && waitMs > 0 {
+		ch = make(chan struct{})
+		s.waiters[path] = append(s.waiters[path], ch)
+	}
+	s.mu.Unlock()
+
+	changed := last > since
+	if ch != nil {
+		timer := time.NewTimer(time.Duration(waitMs) * time.Millisecond)
+		select {
+		case <-ch:
+			changed = true
+		case <-timer.C:
+		case <-ctx.Done():
+		case <-s.stopCh:
+		}
+		timer.Stop()
+	}
+	s.mu.Lock()
+	last = s.touch[path]
+	s.mu.Unlock()
+	var e enc
+	e.u16(stOK)
+	e.str("")
+	e.bool(changed || last > since)
+	e.u64(last)
+	return transport.Message{Op: OpAwait, Body: e.b}, nil
+}
+
+// handleChanges returns the paths modified since the given zxid, the feed
+// behind Sedna's lease cache: "whenever updates in ZooKeeper, it will be
+// recorded ... as Sedna only refreshes modified data" (§III-E).
+func (s *Server) handleChanges(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := dec{b: req.Body}
+	since := d.u64()
+	if d.err != nil {
+		return transport.Message{}, d.err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if since < s.changesFloorLocked() {
+		return errorReply(OpChange, ErrResync), nil
+	}
+	seen := map[string]bool{}
+	var paths []string
+	for _, c := range s.changes {
+		if c.zxid > since && !seen[c.path] {
+			seen[c.path] = true
+			paths = append(paths, c.path)
+		}
+	}
+	var e enc
+	e.u16(stOK)
+	e.str("")
+	e.u64(s.zxid)
+	e.u32(uint32(len(paths)))
+	for _, p := range paths {
+		e.str(p)
+	}
+	return transport.Message{Op: OpChange, Body: e.b}, nil
+}

@@ -1,0 +1,306 @@
+// Package coord implements Sedna's coordination service: a from-scratch
+// ZooKeeper-like ensemble (§III-A, §III-E). Sedna keeps its cluster-wide
+// consistent state — the virtual-node assignment, real-node liveness, the
+// imbalance table — in a small sub-cluster of coordination servers so that
+// the data path never routes through a single master. The package provides:
+//
+//   - a hierarchical znode tree with versions, ephemeral and sequential
+//     nodes (tree.go);
+//   - a replicated ensemble: leader-based quorum commit of every write,
+//     local reads, heartbeat-driven re-election (server.go);
+//   - client sessions with timeouts; ephemerals die with their session
+//     (sessions are part of the replicated state);
+//   - one-shot watches, served by the member a client is connected to;
+//   - a change log ("Changes since zxid") that Sedna's lease cache uses to
+//     refresh only modified data, the paper's third read-scaling strategy
+//     (§III-E);
+//   - a client with failover and an adaptive-lease read cache (client.go,
+//     cache.go).
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tree errors, mirroring the ZooKeeper error model.
+var (
+	// ErrNoNode reports an operation on a path that does not exist.
+	ErrNoNode = errors.New("coord: no node")
+	// ErrNodeExists reports Create on an existing path.
+	ErrNodeExists = errors.New("coord: node exists")
+	// ErrBadVersion reports a Set/Delete whose expected version is stale.
+	ErrBadVersion = errors.New("coord: bad version")
+	// ErrNotEmpty reports Delete on a node with children.
+	ErrNotEmpty = errors.New("coord: node has children")
+	// ErrNoParent reports Create under a missing parent.
+	ErrNoParent = errors.New("coord: no parent")
+	// ErrBadPath reports a malformed path.
+	ErrBadPath = errors.New("coord: bad path")
+	// ErrEphemeralChildren reports Create under an ephemeral node.
+	ErrEphemeralChildren = errors.New("coord: ephemerals cannot have children")
+)
+
+// Stat describes one znode, the metadata returned alongside reads.
+type Stat struct {
+	// Version counts data changes.
+	Version int64
+	// CVersion counts child list changes.
+	CVersion int64
+	// EphemeralOwner is the owning session for ephemeral nodes, 0
+	// otherwise.
+	EphemeralOwner uint64
+	// Czxid and Mzxid are the transaction ids of creation and last
+	// modification.
+	Czxid uint64
+	Mzxid uint64
+	// NumChildren is the current child count.
+	NumChildren int
+}
+
+type znode struct {
+	data     []byte
+	stat     Stat
+	children map[string]*znode
+	// seqCounter feeds sequential child names.
+	seqCounter uint64
+}
+
+// Tree is the in-memory znode store replicated by the ensemble. It is not
+// itself goroutine-safe: the owning server serialises access (reads take the
+// server lock, writes are applied in zxid order).
+type Tree struct {
+	root *znode
+	// ephemeral indexes ephemeral paths by owning session for O(1)
+	// session expiry.
+	ephemeral map[uint64]map[string]bool
+}
+
+// NewTree returns a tree holding only the root node "/".
+func NewTree() *Tree {
+	return &Tree{
+		root:      &znode{children: map[string]*znode{}},
+		ephemeral: map[uint64]map[string]bool{},
+	}
+}
+
+// ValidatePath checks the syntax Sedna uses: absolute, no empty or dot
+// segments, no trailing slash (except the root itself).
+func ValidatePath(path string) error {
+	if path == "/" {
+		return nil
+	}
+	if path == "" || path[0] != '/' || strings.HasSuffix(path, "/") {
+		return fmt.Errorf("%w: %q", ErrBadPath, path)
+	}
+	for _, seg := range strings.Split(path[1:], "/") {
+		if seg == "" || seg == "." || seg == ".." {
+			return fmt.Errorf("%w: %q", ErrBadPath, path)
+		}
+	}
+	return nil
+}
+
+func splitPath(path string) []string {
+	if path == "/" {
+		return nil
+	}
+	return strings.Split(path[1:], "/")
+}
+
+func (t *Tree) lookup(path string) *znode {
+	n := t.root
+	for _, seg := range splitPath(path) {
+		n = n.children[seg]
+		if n == nil {
+			return nil
+		}
+	}
+	return n
+}
+
+func parentPath(path string) string {
+	i := strings.LastIndexByte(path, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return path[:i]
+}
+
+// Create inserts a node. For sequential nodes the final path has a
+// 10-digit counter appended; the actual path is returned. zxid stamps the
+// creation; session owns the node when ephemeral.
+func (t *Tree) Create(path string, data []byte, ephemeral bool, sequential bool, session uint64, zxid uint64) (string, error) {
+	if err := ValidatePath(path); err != nil {
+		return "", err
+	}
+	if path == "/" {
+		return "", ErrNodeExists
+	}
+	parent := t.lookup(parentPath(path))
+	if parent == nil {
+		return "", fmt.Errorf("%w: %s", ErrNoParent, parentPath(path))
+	}
+	if parent.stat.EphemeralOwner != 0 {
+		return "", ErrEphemeralChildren
+	}
+	name := path[strings.LastIndexByte(path, '/')+1:]
+	if sequential {
+		name = fmt.Sprintf("%s%010d", name, parent.seqCounter)
+		parent.seqCounter++
+		path = parentPath(path) + "/" + name
+		if parentPath(path) == "/" {
+			path = "/" + name
+		}
+	}
+	if _, ok := parent.children[name]; ok {
+		return "", fmt.Errorf("%w: %s", ErrNodeExists, path)
+	}
+	n := &znode{
+		data:     append([]byte(nil), data...),
+		children: map[string]*znode{},
+		stat:     Stat{Czxid: zxid, Mzxid: zxid},
+	}
+	if ephemeral {
+		n.stat.EphemeralOwner = session
+		set := t.ephemeral[session]
+		if set == nil {
+			set = map[string]bool{}
+			t.ephemeral[session] = set
+		}
+		set[path] = true
+	}
+	parent.children[name] = n
+	parent.stat.CVersion++
+	parent.stat.NumChildren = len(parent.children)
+	return path, nil
+}
+
+// Get returns a copy of the node's data and its stat.
+func (t *Tree) Get(path string) ([]byte, Stat, error) {
+	if err := ValidatePath(path); err != nil {
+		return nil, Stat{}, err
+	}
+	n := t.lookup(path)
+	if n == nil {
+		return nil, Stat{}, fmt.Errorf("%w: %s", ErrNoNode, path)
+	}
+	return append([]byte(nil), n.data...), n.stat, nil
+}
+
+// Exists reports whether path exists, returning its stat when it does.
+func (t *Tree) Exists(path string) (Stat, bool) {
+	if ValidatePath(path) != nil {
+		return Stat{}, false
+	}
+	n := t.lookup(path)
+	if n == nil {
+		return Stat{}, false
+	}
+	return n.stat, true
+}
+
+// Set replaces the node's data. version must match the current version, or
+// be -1 to bypass the check (ZooKeeper semantics).
+func (t *Tree) Set(path string, data []byte, version int64, zxid uint64) (Stat, error) {
+	if err := ValidatePath(path); err != nil {
+		return Stat{}, err
+	}
+	n := t.lookup(path)
+	if n == nil {
+		return Stat{}, fmt.Errorf("%w: %s", ErrNoNode, path)
+	}
+	if version != -1 && version != n.stat.Version {
+		return Stat{}, fmt.Errorf("%w: have %d, want %d", ErrBadVersion, n.stat.Version, version)
+	}
+	n.data = append([]byte(nil), data...)
+	n.stat.Version++
+	n.stat.Mzxid = zxid
+	return n.stat, nil
+}
+
+// Delete removes a leaf node, honouring the version check like Set.
+func (t *Tree) Delete(path string, version int64) error {
+	if err := ValidatePath(path); err != nil {
+		return err
+	}
+	if path == "/" {
+		return ErrBadPath
+	}
+	n := t.lookup(path)
+	if n == nil {
+		return fmt.Errorf("%w: %s", ErrNoNode, path)
+	}
+	if version != -1 && version != n.stat.Version {
+		return fmt.Errorf("%w: have %d, want %d", ErrBadVersion, n.stat.Version, version)
+	}
+	if len(n.children) > 0 {
+		return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+	}
+	parent := t.lookup(parentPath(path))
+	name := path[strings.LastIndexByte(path, '/')+1:]
+	delete(parent.children, name)
+	parent.stat.CVersion++
+	parent.stat.NumChildren = len(parent.children)
+	if owner := n.stat.EphemeralOwner; owner != 0 {
+		if set := t.ephemeral[owner]; set != nil {
+			delete(set, path)
+			if len(set) == 0 {
+				delete(t.ephemeral, owner)
+			}
+		}
+	}
+	return nil
+}
+
+// Children returns the sorted child names of path.
+func (t *Tree) Children(path string) ([]string, error) {
+	if err := ValidatePath(path); err != nil {
+		return nil, err
+	}
+	n := t.lookup(path)
+	if n == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoNode, path)
+	}
+	out := make([]string, 0, len(n.children))
+	for name := range n.children {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// EphemeralsOf returns the paths owned by a session, sorted; used when the
+// session expires.
+func (t *Tree) EphemeralsOf(session uint64) []string {
+	set := t.ephemeral[session]
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// walk visits every node pre-order with its full path.
+func (t *Tree) walk(fn func(path string, n *znode)) {
+	var rec func(prefix string, n *znode)
+	rec = func(prefix string, n *znode) {
+		fn(prefix, n)
+		names := make([]string, 0, len(n.children))
+		for name := range n.children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			childPath := prefix + "/" + name
+			if prefix == "/" {
+				childPath = "/" + name
+			}
+			rec(childPath, n.children[name])
+		}
+	}
+	rec("/", t.root)
+}

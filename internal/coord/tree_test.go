@@ -1,0 +1,291 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeCreateGet(t *testing.T) {
+	tr := NewTree()
+	path, err := tr.Create("/a", []byte("x"), false, false, 0, 1)
+	if err != nil || path != "/a" {
+		t.Fatalf("create = %q, %v", path, err)
+	}
+	data, stat, err := tr.Get("/a")
+	if err != nil || string(data) != "x" {
+		t.Fatalf("get = %q, %v", data, err)
+	}
+	if stat.Czxid != 1 || stat.Mzxid != 1 || stat.Version != 0 {
+		t.Fatalf("stat = %+v", stat)
+	}
+}
+
+func TestTreeCreateNested(t *testing.T) {
+	tr := NewTree()
+	if _, err := tr.Create("/a/b", nil, false, false, 0, 1); !errors.Is(err, ErrNoParent) {
+		t.Fatalf("create without parent = %v", err)
+	}
+	tr.Create("/a", nil, false, false, 0, 1)
+	if _, err := tr.Create("/a/b", nil, false, false, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Create("/a", nil, false, false, 0, 3); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("duplicate create = %v", err)
+	}
+	kids, err := tr.Children("/a")
+	if err != nil || len(kids) != 1 || kids[0] != "b" {
+		t.Fatalf("children = %v, %v", kids, err)
+	}
+}
+
+func TestTreeBadPaths(t *testing.T) {
+	tr := NewTree()
+	for _, p := range []string{"", "a", "/a/", "//", "/a//b", "/a/./b", "/../x"} {
+		if _, err := tr.Create(p, nil, false, false, 0, 1); !errors.Is(err, ErrBadPath) {
+			t.Errorf("Create(%q) = %v, want ErrBadPath", p, err)
+		}
+	}
+	if err := ValidatePath("/"); err != nil {
+		t.Error("root path rejected")
+	}
+}
+
+func TestTreeSetVersioning(t *testing.T) {
+	tr := NewTree()
+	tr.Create("/a", []byte("v0"), false, false, 0, 1)
+	stat, err := tr.Set("/a", []byte("v1"), 0, 2)
+	if err != nil || stat.Version != 1 {
+		t.Fatalf("set = %+v, %v", stat, err)
+	}
+	if _, err := tr.Set("/a", []byte("v2"), 0, 3); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("stale set = %v", err)
+	}
+	if _, err := tr.Set("/a", []byte("v2"), -1, 3); err != nil {
+		t.Fatalf("unversioned set = %v", err)
+	}
+	if _, err := tr.Set("/missing", nil, -1, 4); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("set missing = %v", err)
+	}
+}
+
+func TestTreeDelete(t *testing.T) {
+	tr := NewTree()
+	tr.Create("/a", nil, false, false, 0, 1)
+	tr.Create("/a/b", nil, false, false, 0, 2)
+	if err := tr.Delete("/a", -1); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("delete non-empty = %v", err)
+	}
+	if err := tr.Delete("/a/b", 5); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("delete bad version = %v", err)
+	}
+	if err := tr.Delete("/a/b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Delete("/a", -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.Exists("/a"); ok {
+		t.Fatal("deleted node exists")
+	}
+	if err := tr.Delete("/a", -1); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("double delete = %v", err)
+	}
+}
+
+func TestTreeSequentialNodes(t *testing.T) {
+	tr := NewTree()
+	tr.Create("/q", nil, false, false, 0, 1)
+	var paths []string
+	for i := 0; i < 3; i++ {
+		p, err := tr.Create("/q/item-", nil, false, true, 0, uint64(i+2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	want := []string{"/q/item-0000000000", "/q/item-0000000001", "/q/item-0000000002"}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("sequential paths = %v", paths)
+		}
+	}
+	// Counter survives deletion of earlier members.
+	tr.Delete(paths[0], -1)
+	p, _ := tr.Create("/q/item-", nil, false, true, 0, 9)
+	if p != "/q/item-0000000003" {
+		t.Fatalf("counter reused: %s", p)
+	}
+}
+
+func TestTreeSequentialAtRoot(t *testing.T) {
+	tr := NewTree()
+	p, err := tr.Create("/seq-", nil, false, true, 0, 1)
+	if err != nil || p != "/seq-0000000000" {
+		t.Fatalf("root sequential = %q, %v", p, err)
+	}
+	if _, _, err := tr.Get(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeEphemerals(t *testing.T) {
+	tr := NewTree()
+	tr.Create("/live", nil, false, false, 0, 1)
+	tr.Create("/live/a", []byte("1"), true, false, 77, 2)
+	tr.Create("/live/b", []byte("2"), true, false, 77, 3)
+	tr.Create("/live/c", []byte("3"), true, false, 88, 4)
+
+	if _, err := tr.Create("/live/a/child", nil, false, false, 0, 5); !errors.Is(err, ErrEphemeralChildren) {
+		t.Fatalf("child of ephemeral = %v", err)
+	}
+	got := tr.EphemeralsOf(77)
+	if len(got) != 2 || got[0] != "/live/a" || got[1] != "/live/b" {
+		t.Fatalf("ephemerals of 77 = %v", got)
+	}
+	// Deleting one keeps the index consistent.
+	tr.Delete("/live/a", -1)
+	if got := tr.EphemeralsOf(77); len(got) != 1 || got[0] != "/live/b" {
+		t.Fatalf("after delete = %v", got)
+	}
+	stat, ok := tr.Exists("/live/c")
+	if !ok || stat.EphemeralOwner != 88 {
+		t.Fatalf("stat = %+v", stat)
+	}
+}
+
+func TestTreeCVersionAndChildCount(t *testing.T) {
+	tr := NewTree()
+	tr.Create("/p", nil, false, false, 0, 1)
+	_, st, _ := tr.Get("/p")
+	if st.CVersion != 0 || st.NumChildren != 0 {
+		t.Fatalf("initial stat = %+v", st)
+	}
+	tr.Create("/p/a", nil, false, false, 0, 2)
+	tr.Create("/p/b", nil, false, false, 0, 3)
+	tr.Delete("/p/a", -1)
+	_, st, _ = tr.Get("/p")
+	if st.CVersion != 3 || st.NumChildren != 1 {
+		t.Fatalf("stat after churn = %+v", st)
+	}
+}
+
+func TestTreeWalkOrder(t *testing.T) {
+	tr := NewTree()
+	tr.Create("/b", nil, false, false, 0, 1)
+	tr.Create("/a", nil, false, false, 0, 2)
+	tr.Create("/a/x", nil, false, false, 0, 3)
+	var paths []string
+	tr.walk(func(p string, n *znode) { paths = append(paths, p) })
+	want := []string{"/", "/a", "/a/x", "/b"}
+	if len(paths) != len(want) {
+		t.Fatalf("walk = %v", paths)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("walk = %v, want %v", paths, want)
+		}
+	}
+}
+
+func TestApplyTxnDeterministic(t *testing.T) {
+	// Applying the same txn sequence to two trees yields identical walks —
+	// the property the replication protocol depends on.
+	txns := []Txn{
+		{Zxid: 1, Kind: TxnCreate, Path: "/a"},
+		{Zxid: 2, Kind: TxnStartSession, Session: 9, SessionTimeoutMs: 1000},
+		{Zxid: 3, Kind: TxnCreate, Path: "/a/e", Ephemeral: true, Session: 9},
+		{Zxid: 4, Kind: TxnCreate, Path: "/a/seq-", Sequential: true},
+		{Zxid: 5, Kind: TxnSet, Path: "/a", Data: []byte("d"), Version: -1},
+		{Zxid: 6, Kind: TxnCreate, Path: "/a", Data: nil}, // deterministic failure
+		{Zxid: 7, Kind: TxnExpireSession, Session: 9},
+	}
+	run := func() []string {
+		tree := NewTree()
+		sessions := map[uint64]uint32{}
+		var log []string
+		for i := range txns {
+			res, touched := applyTxn(tree, sessions, &txns[i])
+			log = append(log, fmt.Sprintf("%v|%v|%v", res.path, res.err != nil, touched))
+		}
+		tree.walk(func(p string, n *znode) {
+			log = append(log, fmt.Sprintf("%s=%s", p, n.data))
+		})
+		return log
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	// The ephemeral from the expired session must be gone.
+	tree := NewTree()
+	sessions := map[uint64]uint32{}
+	for i := range txns {
+		applyTxn(tree, sessions, &txns[i])
+	}
+	if _, ok := tree.Exists("/a/e"); ok {
+		t.Fatal("ephemeral survived session expiry")
+	}
+	if len(sessions) != 0 {
+		t.Fatal("session survived expiry")
+	}
+}
+
+func TestTxnCodecRoundTrip(t *testing.T) {
+	f := func(zxid, epoch uint64, kind uint8, path string, data []byte, version int64, eph, seq bool, session uint64, toMs uint32) bool {
+		in := Txn{
+			Zxid: zxid, Epoch: epoch, Kind: TxnKind(kind), Path: path, Data: data,
+			Version: version, Ephemeral: eph, Sequential: seq, Session: session, SessionTimeoutMs: toMs,
+		}
+		var e enc
+		encodeTxn(&e, &in)
+		d := dec{b: e.b}
+		out := decodeTxn(&d)
+		if d.err != nil {
+			return false
+		}
+		return out.Zxid == in.Zxid && out.Epoch == in.Epoch && out.Kind == in.Kind &&
+			out.Path == in.Path && string(out.Data) == string(in.Data) &&
+			out.Version == in.Version && out.Ephemeral == in.Ephemeral &&
+			out.Sequential == in.Sequential && out.Session == in.Session &&
+			out.SessionTimeoutMs == in.SessionTimeoutMs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireDecShortInputs(t *testing.T) {
+	d := dec{b: []byte{1, 2}}
+	d.u64()
+	if d.err == nil {
+		t.Fatal("short u64 accepted")
+	}
+	d2 := dec{b: []byte{5, 0, 0, 0, 'a'}}
+	if s := d2.str(); s != "" || d2.err == nil {
+		t.Fatalf("truncated string = %q, err=%v", s, d2.err)
+	}
+}
+
+func TestStatusErrMapping(t *testing.T) {
+	for _, base := range []error{
+		ErrNoNode, ErrNodeExists, ErrBadVersion, ErrNotEmpty, ErrNoParent,
+		ErrBadPath, ErrEphemeralChildren, ErrNotLeader, ErrNoQuorum,
+		ErrSessionExpired, ErrResync,
+	} {
+		st, detail := errStatus(fmt.Errorf("wrapped: %w", base))
+		back := statusErr(st, detail)
+		if !errors.Is(back, base) {
+			t.Errorf("round trip lost %v (status %d -> %v)", base, st, back)
+		}
+	}
+	if st, _ := errStatus(nil); st != stOK {
+		t.Fatal("nil error not OK")
+	}
+	if err := statusErr(stOK, ""); err != nil {
+		t.Fatal("stOK produced error")
+	}
+}

@@ -1,0 +1,115 @@
+package coord
+
+import "fmt"
+
+// TxnKind enumerates the replicated operations. Everything that mutates the
+// ensemble's state — tree writes and session lifecycle — is a Txn committed
+// through the leader's quorum protocol, so every member applies the same
+// deterministic sequence.
+type TxnKind uint8
+
+const (
+	TxnCreate TxnKind = iota + 1
+	TxnSet
+	TxnDelete
+	TxnStartSession
+	TxnEndSession
+	TxnExpireSession
+)
+
+// Txn is one replicated mutation.
+type Txn struct {
+	Zxid  uint64
+	Epoch uint64
+	Kind  TxnKind
+	// Path, Data, Version parameterise tree operations.
+	Path    string
+	Data    []byte
+	Version int64
+	// Ephemeral and Sequential apply to TxnCreate.
+	Ephemeral  bool
+	Sequential bool
+	// Session identifies the issuing or affected session.
+	Session uint64
+	// SessionTimeoutMs carries the timeout for TxnStartSession.
+	SessionTimeoutMs uint32
+}
+
+func encodeTxn(e *enc, t *Txn) {
+	e.u64(t.Zxid)
+	e.u64(t.Epoch)
+	e.u8(byte(t.Kind))
+	e.str(t.Path)
+	e.bytes(t.Data)
+	e.i64(t.Version)
+	e.bool(t.Ephemeral)
+	e.bool(t.Sequential)
+	e.u64(t.Session)
+	e.u32(t.SessionTimeoutMs)
+}
+
+func decodeTxn(d *dec) Txn {
+	return Txn{
+		Zxid:             d.u64(),
+		Epoch:            d.u64(),
+		Kind:             TxnKind(d.u8()),
+		Path:             d.str(),
+		Data:             d.bytes(),
+		Version:          d.i64(),
+		Ephemeral:        d.bool(),
+		Sequential:       d.bool(),
+		Session:          d.u64(),
+		SessionTimeoutMs: d.u32(),
+	}
+}
+
+// txnResult is what applying a txn yields: the effective path (sequential
+// creates rename), the new stat, and the per-txn error (which is itself
+// deterministic and replicated — a failed create fails identically on every
+// member).
+type txnResult struct {
+	path string
+	stat Stat
+	err  error
+}
+
+// applyTxn mutates the tree and session table. It must be deterministic:
+// every member applies the identical sequence and reaches identical state.
+// touched returns the set of paths whose watchers should fire.
+func applyTxn(tree *Tree, sessions map[uint64]uint32, t *Txn) (res txnResult, touched []string) {
+	switch t.Kind {
+	case TxnCreate:
+		path, err := tree.Create(t.Path, t.Data, t.Ephemeral, t.Sequential, t.Session, t.Zxid)
+		if err != nil {
+			return txnResult{err: err}, nil
+		}
+		st, _ := tree.Exists(path)
+		return txnResult{path: path, stat: st}, []string{path, parentPath(path)}
+	case TxnSet:
+		st, err := tree.Set(t.Path, t.Data, t.Version, t.Zxid)
+		if err != nil {
+			return txnResult{err: err}, nil
+		}
+		return txnResult{path: t.Path, stat: st}, []string{t.Path}
+	case TxnDelete:
+		if err := tree.Delete(t.Path, t.Version); err != nil {
+			return txnResult{err: err}, nil
+		}
+		return txnResult{path: t.Path}, []string{t.Path, parentPath(t.Path)}
+	case TxnStartSession:
+		sessions[t.Session] = t.SessionTimeoutMs
+		return txnResult{}, nil
+	case TxnEndSession, TxnExpireSession:
+		paths := tree.EphemeralsOf(t.Session)
+		// Deepest first so parents empty out before deletion.
+		for i := len(paths) - 1; i >= 0; i-- {
+			if err := tree.Delete(paths[i], -1); err == nil {
+				touched = append(touched, paths[i], parentPath(paths[i]))
+			}
+		}
+		delete(sessions, t.Session)
+		return txnResult{}, touched
+	default:
+		return txnResult{err: fmt.Errorf("coord: unknown txn kind %d", t.Kind)}, nil
+	}
+}

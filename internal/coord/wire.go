@@ -1,0 +1,250 @@
+package coord
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Transport opcodes used by the coordination service. Client-facing ops
+// occupy 0x01xx, ensemble-internal ops 0x02xx.
+const (
+	OpCreate uint16 = 0x0101
+	OpGet    uint16 = 0x0102
+	OpSet    uint16 = 0x0103
+	OpDelete uint16 = 0x0104
+	OpChildr uint16 = 0x0105
+	OpExists uint16 = 0x0106
+	OpPing   uint16 = 0x0107
+	OpStart  uint16 = 0x0108 // start session
+	OpEnd    uint16 = 0x0109 // end session
+	OpAwait  uint16 = 0x010a // long-poll watch
+	OpChange uint16 = 0x010b // change log since zxid
+	OpStatus uint16 = 0x010c // server status (leader, epoch, zxid)
+
+	OpPropose   uint16 = 0x0201
+	OpCommit    uint16 = 0x0202
+	OpSync      uint16 = 0x0203 // snapshot fetch for (re)joining members
+	OpElect     uint16 = 0x0204 // epoch announcement
+	OpHeartbeat uint16 = 0x0205
+	OpForward   uint16 = 0x0206 // write forwarded to the leader
+)
+
+// Status codes carried in responses; domain failures are statuses rather
+// than transport errors so callers can distinguish them from dead servers.
+const (
+	stOK uint16 = iota
+	stNoNode
+	stNodeExists
+	stBadVersion
+	stNotEmpty
+	stNoParent
+	stBadPath
+	stEphemeralChildren
+	stNotLeader
+	stNoQuorum
+	stSessionExpired
+	stResync
+	stStaleEpoch
+	stInternal
+)
+
+// ErrNotLeader reports a write sent to a non-leader that could not forward.
+var ErrNotLeader = errors.New("coord: not leader")
+
+// ErrNoQuorum reports that the leader cannot reach a majority.
+var ErrNoQuorum = errors.New("coord: no quorum")
+
+// ErrSessionExpired reports an operation under an expired session.
+var ErrSessionExpired = errors.New("coord: session expired")
+
+// ErrResync tells a change-log consumer that its cursor predates the
+// retained window and a full refresh is required.
+var ErrResync = errors.New("coord: change log truncated, resync")
+
+func statusErr(st uint16, detail string) error {
+	var base error
+	switch st {
+	case stOK:
+		return nil
+	case stNoNode:
+		base = ErrNoNode
+	case stNodeExists:
+		base = ErrNodeExists
+	case stBadVersion:
+		base = ErrBadVersion
+	case stNotEmpty:
+		base = ErrNotEmpty
+	case stNoParent:
+		base = ErrNoParent
+	case stBadPath:
+		base = ErrBadPath
+	case stEphemeralChildren:
+		base = ErrEphemeralChildren
+	case stNotLeader:
+		base = ErrNotLeader
+	case stNoQuorum:
+		base = ErrNoQuorum
+	case stSessionExpired:
+		base = ErrSessionExpired
+	case stResync:
+		base = ErrResync
+	case stStaleEpoch:
+		base = errors.New("coord: stale epoch")
+	default:
+		base = errors.New("coord: internal error")
+	}
+	if detail == "" {
+		return base
+	}
+	return fmt.Errorf("%w (%s)", base, detail)
+}
+
+func errStatus(err error) (uint16, string) {
+	switch {
+	case err == nil:
+		return stOK, ""
+	case errors.Is(err, ErrNoNode):
+		return stNoNode, err.Error()
+	case errors.Is(err, ErrNodeExists):
+		return stNodeExists, err.Error()
+	case errors.Is(err, ErrBadVersion):
+		return stBadVersion, err.Error()
+	case errors.Is(err, ErrNotEmpty):
+		return stNotEmpty, err.Error()
+	case errors.Is(err, ErrNoParent):
+		return stNoParent, err.Error()
+	case errors.Is(err, ErrBadPath):
+		return stBadPath, err.Error()
+	case errors.Is(err, ErrEphemeralChildren):
+		return stEphemeralChildren, err.Error()
+	case errors.Is(err, ErrNotLeader):
+		return stNotLeader, err.Error()
+	case errors.Is(err, ErrNoQuorum):
+		return stNoQuorum, err.Error()
+	case errors.Is(err, ErrSessionExpired):
+		return stSessionExpired, err.Error()
+	case errors.Is(err, ErrResync):
+		return stResync, err.Error()
+	default:
+		return stInternal, err.Error()
+	}
+}
+
+// enc is an append-style binary writer.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte)    { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *enc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *enc) str(s string)   { e.u32(uint32(len(s))); e.b = append(e.b, s...) }
+func (e *enc) bytes(p []byte) { e.u32(uint32(len(p))); e.b = append(e.b, p...) }
+
+// dec is a cursor-style binary reader; the first failure sticks.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+var errShort = errors.New("coord: short message")
+
+func (d *dec) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b)-d.off < n {
+		d.err = errShort
+		return false
+	}
+	return true
+}
+
+func (d *dec) u8() byte {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) i64() int64 { return int64(d.u64()) }
+
+func (d *dec) bool() bool { return d.u8() != 0 }
+
+func (d *dec) str() string {
+	n := int(d.u32())
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *dec) bytes() []byte {
+	n := int(d.u32())
+	if !d.need(n) {
+		return nil
+	}
+	p := append([]byte(nil), d.b[d.off:d.off+n]...)
+	d.off += n
+	return p
+}
+
+func encodeStat(e *enc, s Stat) {
+	e.i64(s.Version)
+	e.i64(s.CVersion)
+	e.u64(s.EphemeralOwner)
+	e.u64(s.Czxid)
+	e.u64(s.Mzxid)
+	e.u32(uint32(s.NumChildren))
+}
+
+func decodeStat(d *dec) Stat {
+	return Stat{
+		Version:        d.i64(),
+		CVersion:       d.i64(),
+		EphemeralOwner: d.u64(),
+		Czxid:          d.u64(),
+		Mzxid:          d.u64(),
+		NumChildren:    int(d.u32()),
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"context"
+
+	"sedna/internal/kv"
+	"sedna/internal/memstore"
+	"sedna/internal/quorum"
+	"sedna/internal/ring"
+	"sedna/internal/transport"
+	"sedna/internal/wire"
+)
+
+// errorMsg builds an error response.
+func errorMsg(op uint16, err error) transport.Message {
+	st, detail := ErrStatus(err)
+	var e wire.Enc
+	e.U16(st)
+	e.Str(detail)
+	return transport.Message{Op: op, Body: e.B}
+}
+
+func okHeader() *wire.Enc {
+	var e wire.Enc
+	e.U16(StOK)
+	e.Str("")
+	return &e
+}
+
+// handleCoordWrite serves the client write path: body is key, versioned
+// payload fields (value, deleted), mode and source; the timestamp is
+// assigned here by the coordinator's clock.
+func (s *Server) handleCoordWrite(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := wire.NewDec(req.Body)
+	key := kv.Key(d.Str())
+	value := d.Bytes()
+	mode := quorum.Mode(d.U8())
+	deleted := d.Bool()
+	source := d.Str()
+	if d.Err != nil {
+		return transport.Message{}, d.Err
+	}
+	if source == "" {
+		source = from
+	}
+	if err := s.CoordWrite(ctx, key, value, mode, deleted, source); err != nil {
+		return errorMsg(OpCoordWrite, err), nil
+	}
+	return transport.Message{Op: OpCoordWrite, Body: okHeader().B}, nil
+}
+
+// handleCoordRead serves the client read path; the response carries the
+// merged row.
+func (s *Server) handleCoordRead(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := wire.NewDec(req.Body)
+	key := kv.Key(d.Str())
+	if d.Err != nil {
+		return transport.Message{}, d.Err
+	}
+	row, err := s.CoordRead(ctx, key)
+	if err != nil {
+		return errorMsg(OpCoordRead, err), nil
+	}
+	e := okHeader()
+	e.Bytes(kv.EncodeRow(row))
+	return transport.Message{Op: OpCoordRead, Body: e.B}, nil
+}
+
+func (s *Server) handleReplicaWrite(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := wire.NewDec(req.Body)
+	key := kv.Key(d.Str())
+	v := DecodeVersioned(d)
+	mode := quorum.Mode(d.U8())
+	if d.Err != nil {
+		return transport.Message{}, d.Err
+	}
+	s.clock.Observe(v.TS)
+	status, err := s.applyReplicaWrite(key, v, mode)
+	if err != nil {
+		return errorMsg(OpReplicaWrite, err), nil
+	}
+	var e wire.Enc
+	if status == quorum.WriteOK {
+		e.U16(StOK)
+	} else {
+		e.U16(StOutdated)
+	}
+	e.Str("")
+	return transport.Message{Op: OpReplicaWrite, Body: e.B}, nil
+}
+
+func (s *Server) handleReplicaRead(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := wire.NewDec(req.Body)
+	key := kv.Key(d.Str())
+	if d.Err != nil {
+		return transport.Message{}, d.Err
+	}
+	row, err := s.readReplicaRow(key)
+	if err != nil {
+		return errorMsg(OpReplicaRead, err), nil
+	}
+	e := okHeader()
+	e.Bytes(kv.EncodeRow(row))
+	return transport.Message{Op: OpReplicaRead, Body: e.B}, nil
+}
+
+func (s *Server) handleReplicaRepair(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := wire.NewDec(req.Body)
+	key := kv.Key(d.Str())
+	blob := d.Bytes()
+	if d.Err != nil {
+		return transport.Message{}, d.Err
+	}
+	row, err := kv.DecodeRow(blob)
+	if err != nil {
+		return errorMsg(OpReplicaRepair, err), nil
+	}
+	if err := s.mergeReplicaRow(key, row); err != nil {
+		return errorMsg(OpReplicaRepair, err), nil
+	}
+	return transport.Message{Op: OpReplicaRepair, Body: okHeader().B}, nil
+}
+
+// handleVNodeScan dumps the local rows belonging to one vnode, the bulk
+// transfer behind replica recovery.
+func (s *Server) handleVNodeScan(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := wire.NewDec(req.Body)
+	v := ring.VNodeID(d.U32())
+	if d.Err != nil {
+		return transport.Message{}, d.Err
+	}
+	r := s.mgr.Ring()
+	if r == nil {
+		return errorMsg(OpVNodeScan, ErrFailure), nil
+	}
+	type entry struct {
+		key  string
+		blob []byte
+	}
+	var entries []entry
+	s.store.Range(func(key string, it memstore.Item) bool {
+		if r.VNodeFor(kv.Key(key)) == v {
+			entries = append(entries, entry{key: key, blob: append([]byte(nil), it.Value...)})
+		}
+		return true
+	})
+	e := okHeader()
+	e.U32(uint32(len(entries)))
+	for _, en := range entries {
+		e.Str(en.key)
+		e.Bytes(en.blob)
+	}
+	return transport.Message{Op: OpVNodeScan, Body: e.B}, nil
+}
+
+// handleRingGet serves the node's assignment snapshot so clients can route
+// zero-hop.
+func (s *Server) handleRingGet(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	r := s.mgr.Ring()
+	if r == nil {
+		return errorMsg(OpRingGet, ErrFailure), nil
+	}
+	e := okHeader()
+	e.Bytes(ring.EncodeRing(r))
+	return transport.Message{Op: OpRingGet, Body: e.B}, nil
+}
+
+// handleStats serves the server counters (debugging and the benchmarks).
+func (s *Server) handleStats(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	st := s.Stats()
+	e := okHeader()
+	e.U64(st.CoordWrites)
+	e.U64(st.CoordReads)
+	e.U64(st.ReplicaWrites)
+	e.U64(st.ReplicaReads)
+	e.U64(st.Repairs)
+	e.U64(st.Recoveries)
+	e.I64(st.Store.Items)
+	e.I64(st.Store.Bytes)
+	e.U64(st.Trigger.Fired)
+	return transport.Message{Op: OpServerStats, Body: e.B}, nil
+}

@@ -1,0 +1,133 @@
+// Package core assembles a complete Sedna server: the local memory store
+// holding versioned rows, the quorum coordinator serving client reads and
+// writes (§III-C, §III-F), the replica RPC surface, node membership and
+// vnode recovery (§III-D), the trigger engine (§IV) and the persistency
+// manager (Table I). One Server is one "real node" of the paper.
+package core
+
+import (
+	"errors"
+
+	"sedna/internal/kv"
+	"sedna/internal/wire"
+)
+
+// Data-plane opcodes (0x03xx; the coordination service owns 0x01xx/0x02xx).
+const (
+	// OpCoordWrite asks the receiving node to coordinate a quorum write.
+	OpCoordWrite uint16 = 0x0301
+	// OpCoordRead asks the receiving node to coordinate a quorum read.
+	OpCoordRead uint16 = 0x0302
+	// OpReplicaWrite applies one versioned value to the local replica.
+	OpReplicaWrite uint16 = 0x0303
+	// OpReplicaRead fetches the local replica's row.
+	OpReplicaRead uint16 = 0x0304
+	// OpReplicaRepair merges a row into the local replica.
+	OpReplicaRepair uint16 = 0x0305
+	// OpVNodeScan dumps the local rows of one virtual node (recovery).
+	OpVNodeScan uint16 = 0x0306
+	// OpRingGet returns the node's current ring snapshot (zero-hop
+	// routing state for clients).
+	OpRingGet uint16 = 0x0307
+	// OpSubNew registers a push subscription; OpSubPoll long-polls its
+	// event buffer; OpSubClose tears it down.
+	OpSubNew   uint16 = 0x0308
+	OpSubPoll  uint16 = 0x0309
+	OpSubClose uint16 = 0x030a
+	// OpServerStats returns the server's counters.
+	OpServerStats uint16 = 0x030b
+)
+
+// Response statuses.
+const (
+	StOK uint16 = iota
+	// StOutdated is the paper's "outdated" write reply: the store holds
+	// something newer (§III-F.1).
+	StOutdated
+	// StFailure is the paper's "failure" reply: the quorum could not be
+	// reached and a recovery task was scheduled.
+	StFailure
+	// StNotFound reports a read of a key with no live value.
+	StNotFound
+	// StBadRequest reports a malformed request.
+	StBadRequest
+	// StNoSub reports an unknown subscription id.
+	StNoSub
+)
+
+// Errors surfaced by the client-facing API.
+var (
+	// ErrOutdated corresponds to StOutdated.
+	ErrOutdated = errors.New("sedna: write outdated")
+	// ErrFailure corresponds to StFailure.
+	ErrFailure = errors.New("sedna: quorum failure, recovery scheduled")
+	// ErrNotFound corresponds to StNotFound.
+	ErrNotFound = errors.New("sedna: not found")
+	// ErrBadRequest corresponds to StBadRequest.
+	ErrBadRequest = errors.New("sedna: bad request")
+	// ErrNoSub corresponds to StNoSub.
+	ErrNoSub = errors.New("sedna: unknown subscription")
+)
+
+// StatusErr maps a wire status to an error (nil for StOK).
+func StatusErr(st uint16, detail string) error {
+	var base error
+	switch st {
+	case StOK:
+		return nil
+	case StOutdated:
+		base = ErrOutdated
+	case StFailure:
+		base = ErrFailure
+	case StNotFound:
+		base = ErrNotFound
+	case StBadRequest:
+		base = ErrBadRequest
+	case StNoSub:
+		base = ErrNoSub
+	default:
+		base = errors.New("sedna: unknown status")
+	}
+	if detail == "" {
+		return base
+	}
+	return errors.Join(base, errors.New(detail))
+}
+
+// ErrStatus maps an error to a wire status.
+func ErrStatus(err error) (uint16, string) {
+	switch {
+	case err == nil:
+		return StOK, ""
+	case errors.Is(err, ErrOutdated):
+		return StOutdated, ""
+	case errors.Is(err, ErrNotFound):
+		return StNotFound, ""
+	case errors.Is(err, ErrBadRequest):
+		return StBadRequest, err.Error()
+	case errors.Is(err, ErrNoSub):
+		return StNoSub, ""
+	default:
+		return StFailure, err.Error()
+	}
+}
+
+// EncodeVersioned appends a Versioned to the buffer.
+func EncodeVersioned(e *wire.Enc, v kv.Versioned) {
+	e.Bytes(v.Value)
+	e.I64(v.TS.Wall)
+	e.U32(v.TS.Logical)
+	e.U32(v.TS.Node)
+	e.Str(v.Source)
+	e.Bool(v.Deleted)
+}
+
+// DecodeVersioned reads a Versioned.
+func DecodeVersioned(d *wire.Dec) kv.Versioned {
+	return kv.Versioned{
+		Value:   d.Bytes(),
+		TS:      kv.Timestamp{Wall: d.I64(), Logical: d.U32(), Node: d.U32()},
+		Source:  d.Str(),
+		Deleted: d.Bool(),
+	}
+}

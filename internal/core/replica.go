@@ -1,0 +1,487 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"sedna/internal/kv"
+	"sedna/internal/memstore"
+	"sedna/internal/quorum"
+	"sedna/internal/ring"
+	"sedna/internal/transport"
+	"sedna/internal/wire"
+)
+
+// --- local replica storage ---
+
+// applyReplicaWrite applies one versioned value to the local row under the
+// store's per-key atomicity; it implements the replica-side rules of
+// write_latest and write_all (§III-F.1).
+func (s *Server) applyReplicaWrite(key kv.Key, v kv.Versioned, mode quorum.Mode) (quorum.WriteStatus, error) {
+	s.nReplicaWrites.inc()
+	status := quorum.WriteOK
+	var newBlob []byte
+	err := s.store.Update(string(key), func(old []byte, ok bool) ([]byte, bool) {
+		row := &kv.Row{}
+		if ok {
+			decoded, derr := kv.DecodeRow(old)
+			if derr == nil {
+				row = decoded
+			}
+		}
+		var accepted bool
+		if mode == quorum.Latest {
+			accepted = row.ApplyLatest(v)
+		} else {
+			accepted = row.ApplyAll(v)
+		}
+		if !accepted {
+			status = quorum.WriteOutdated
+			if !ok {
+				return nil, false
+			}
+			return old, true
+		}
+		newBlob = kv.EncodeRow(row)
+		return newBlob, true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if status == quorum.WriteOK {
+		if perr := s.pers.LogWrite(string(key), newBlob); perr != nil {
+			return 0, perr
+		}
+		s.markDirty(key)
+		s.recordWrite(key)
+	}
+	return status, nil
+}
+
+// readReplicaRow returns a copy of the local row (empty when absent).
+func (s *Server) readReplicaRow(key kv.Key) (*kv.Row, error) {
+	s.nReplicaReads.inc()
+	it, ok := s.store.Get(string(key))
+	s.recordRead(key)
+	if !ok {
+		return &kv.Row{}, nil
+	}
+	row, err := kv.DecodeRow(it.Value)
+	if err != nil {
+		return nil, fmt.Errorf("core: corrupt row %q: %w", key, err)
+	}
+	return row, nil
+}
+
+// mergeReplicaRow folds a repair row into the local copy.
+func (s *Server) mergeReplicaRow(key kv.Key, in *kv.Row) error {
+	s.nRepairs.inc()
+	changed := false
+	var newBlob []byte
+	err := s.store.Update(string(key), func(old []byte, ok bool) ([]byte, bool) {
+		row := &kv.Row{}
+		if ok {
+			if decoded, derr := kv.DecodeRow(old); derr == nil {
+				row = decoded
+			}
+		}
+		changed = row.Merge(in)
+		if !changed {
+			if !ok {
+				return nil, false
+			}
+			return old, true
+		}
+		newBlob = kv.EncodeRow(row)
+		return newBlob, true
+	})
+	if err != nil {
+		return err
+	}
+	if changed {
+		if perr := s.pers.LogWrite(string(key), newBlob); perr != nil {
+			return perr
+		}
+		s.markDirty(key)
+		s.recordWrite(key)
+	}
+	return nil
+}
+
+func (s *Server) recordWrite(key kv.Key) {
+	s.mu.Lock()
+	ls := s.loadStats
+	s.mu.Unlock()
+	if ls == nil {
+		return
+	}
+	if r := s.mgr.Ring(); r != nil {
+		ls.RecordWrite(r.VNodeFor(key))
+	}
+}
+
+func (s *Server) recordRead(key kv.Key) {
+	s.mu.Lock()
+	ls := s.loadStats
+	s.mu.Unlock()
+	if ls == nil {
+		return
+	}
+	if r := s.mgr.Ring(); r != nil {
+		ls.RecordRead(r.VNodeFor(key))
+	}
+}
+
+// --- dirty queue feeding the trigger scanner ---
+
+func (s *Server) markDirty(key kv.Key) {
+	s.dirtyMu.Lock()
+	if !s.dirtySet[key] {
+		s.dirtySet[key] = true
+		s.dirtyQ = append(s.dirtyQ, key)
+	}
+	s.dirtyMu.Unlock()
+}
+
+// dirtySource adapts the dirty queue to trigger.Source. The paper scans
+// the store's Dirty column sequentially (§IV-C); keeping an explicit queue
+// of dirtied keys implements the same contract without rescanning clean
+// rows, and the Dirty bit in each row still round-trips through the codec.
+type dirtySource struct{ s *Server }
+
+// ScanDirty implements trigger.Source.
+func (ds dirtySource) ScanDirty(limit int, fn func(kv.Key, *kv.Row)) int {
+	s := ds.s
+	s.dirtyMu.Lock()
+	n := len(s.dirtyQ)
+	if n > limit {
+		n = limit
+	}
+	batch := make([]kv.Key, n)
+	copy(batch, s.dirtyQ[:n])
+	s.dirtyQ = s.dirtyQ[n:]
+	for _, k := range batch {
+		delete(s.dirtySet, k)
+	}
+	s.dirtyMu.Unlock()
+
+	visited := 0
+	for _, key := range batch {
+		it, ok := s.store.Get(string(key))
+		if !ok {
+			continue
+		}
+		row, err := kv.DecodeRow(it.Value)
+		if err != nil {
+			continue
+		}
+		fn(key, row)
+		visited++
+	}
+	return visited
+}
+
+// --- quorum transport over the replica RPCs ---
+
+// replicaRPC implements quorum.Transport: local fast path for self, RPC for
+// peers.
+type replicaRPC struct{ s *Server }
+
+// WriteReplica implements quorum.Transport.
+func (rt replicaRPC) WriteReplica(ctx context.Context, node ring.NodeID, key kv.Key, v kv.Versioned, mode quorum.Mode) (quorum.WriteStatus, error) {
+	if node == rt.s.cfg.Node {
+		return rt.s.applyReplicaWrite(key, v, mode)
+	}
+	var e wire.Enc
+	e.Str(string(key))
+	EncodeVersioned(&e, v)
+	e.U8(byte(mode))
+	resp, err := rt.s.cfg.Transport.Call(ctx, string(node), transport.Message{Op: OpReplicaWrite, Body: e.B})
+	if err != nil {
+		return 0, err
+	}
+	d := wire.NewDec(resp.Body)
+	st := d.U16()
+	detail := d.Str()
+	if d.Err != nil {
+		return 0, d.Err
+	}
+	switch st {
+	case StOK:
+		return quorum.WriteOK, nil
+	case StOutdated:
+		return quorum.WriteOutdated, nil
+	default:
+		return 0, StatusErr(st, detail)
+	}
+}
+
+// ReadReplica implements quorum.Transport.
+func (rt replicaRPC) ReadReplica(ctx context.Context, node ring.NodeID, key kv.Key) (*kv.Row, error) {
+	if node == rt.s.cfg.Node {
+		return rt.s.readReplicaRow(key)
+	}
+	var e wire.Enc
+	e.Str(string(key))
+	resp, err := rt.s.cfg.Transport.Call(ctx, string(node), transport.Message{Op: OpReplicaRead, Body: e.B})
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDec(resp.Body)
+	st := d.U16()
+	detail := d.Str()
+	if st != StOK {
+		return nil, StatusErr(st, detail)
+	}
+	blob := d.Bytes()
+	if d.Err != nil {
+		return nil, d.Err
+	}
+	return kv.DecodeRow(blob)
+}
+
+// RepairReplica implements quorum.Transport.
+func (rt replicaRPC) RepairReplica(ctx context.Context, node ring.NodeID, key kv.Key, row *kv.Row) error {
+	if node == rt.s.cfg.Node {
+		return rt.s.mergeReplicaRow(key, row)
+	}
+	var e wire.Enc
+	e.Str(string(key))
+	e.Bytes(kv.EncodeRow(row))
+	resp, err := rt.s.cfg.Transport.Call(ctx, string(node), transport.Message{Op: OpReplicaRepair, Body: e.B})
+	if err != nil {
+		return err
+	}
+	d := wire.NewDec(resp.Body)
+	st := d.U16()
+	detail := d.Str()
+	if st != StOK {
+		return StatusErr(st, detail)
+	}
+	return nil
+}
+
+// --- coordinator operations (the paper's client-visible API) ---
+
+// CoordWrite coordinates one quorum write of key from this node: it stamps
+// the value with the node's hybrid clock and runs the W-of-N protocol.
+// Failed replicas are reported as suspects, which — when the coordination
+// service confirms the death — starts the recovery that re-replicates the
+// node's vnodes (§III-C, §III-D).
+func (s *Server) CoordWrite(ctx context.Context, key kv.Key, value []byte, mode quorum.Mode, deleted bool, source string) error {
+	s.nCoordWrites.inc()
+	if source == "" {
+		source = string(s.cfg.Node)
+	}
+	v := kv.Versioned{Value: value, TS: s.clock.Now(), Source: source, Deleted: deleted}
+	replicas := s.replicasFor(key)
+	if len(replicas) == 0 {
+		return fmt.Errorf("%w: no replicas for %q", ErrFailure, key)
+	}
+	res, err := s.engine.Write(ctx, replicas, key, v, mode)
+	s.suspectAll(res.Failed)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrFailure, err)
+	}
+	if res.Outdated {
+		return ErrOutdated
+	}
+	return nil
+}
+
+// CoordRead coordinates one quorum read and returns the merged row.
+func (s *Server) CoordRead(ctx context.Context, key kv.Key) (*kv.Row, error) {
+	s.nCoordReads.inc()
+	replicas := s.replicasFor(key)
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("%w: no replicas for %q", ErrFailure, key)
+	}
+	res, err := s.engine.Read(ctx, replicas, key)
+	s.suspectAll(res.Failed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFailure, err)
+	}
+	return res.Row, nil
+}
+
+func (s *Server) replicasFor(key kv.Key) []ring.NodeID {
+	r := s.mgr.Ring()
+	if r == nil {
+		return nil
+	}
+	owners := r.OwnersForKey(key)
+	out := make([]ring.NodeID, 0, len(owners))
+	for _, o := range owners {
+		if o != "" {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// suspectAll verifies failed replicas against the coordination service in
+// the background; confirmed deaths trigger vnode redistribution.
+func (s *Server) suspectAll(failed []ring.NodeID) {
+	for _, n := range failed {
+		n := n
+		go func() {
+			if err := s.mgr.ReportSuspect(n); err != nil {
+				s.logf("suspect %s: %v", n, err)
+			}
+		}()
+	}
+}
+
+// --- vnode recovery (data migration for gained vnodes) ---
+
+// onMoves copies data for vnodes this node gained: it fetches the vnode's
+// rows from a surviving owner and merges them locally (the asynchronous
+// "data duplication task" of §III-C).
+func (s *Server) onMoves(moves []ring.Move) {
+	if len(moves) == 0 {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for _, mv := range moves {
+			select {
+			case <-s.stopCh:
+				return
+			default:
+			}
+			if mv.To != s.cfg.Node {
+				continue
+			}
+			if err := s.recoverVNode(mv.VNode); err != nil {
+				s.logf("recover vnode %d: %v", mv.VNode, err)
+			}
+		}
+	}()
+}
+
+// recoverVNode pulls one vnode's rows from any other healthy owner.
+func (s *Server) recoverVNode(v ring.VNodeID) error {
+	r := s.mgr.Ring()
+	if r == nil {
+		return errors.New("core: no ring")
+	}
+	var sources []ring.NodeID
+	for _, o := range r.Owners(v) {
+		if o != "" && o != s.cfg.Node {
+			sources = append(sources, o)
+		}
+	}
+	if len(sources) == 0 {
+		return nil // nothing to copy from (fresh cluster)
+	}
+	var lastErr error
+	for _, src := range sources {
+		rows, err := s.fetchVNode(src, v)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		for key, row := range rows {
+			if err := s.mergeReplicaRow(key, row); err != nil {
+				lastErr = err
+			}
+		}
+		s.nRecoveries.inc()
+		return lastErr
+	}
+	return lastErr
+}
+
+func (s *Server) fetchVNode(src ring.NodeID, v ring.VNodeID) (map[kv.Key]*kv.Row, error) {
+	var e wire.Enc
+	e.U32(uint32(v))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, err := s.cfg.Transport.Call(ctx, string(src), transport.Message{Op: OpVNodeScan, Body: e.B})
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDec(resp.Body)
+	st := d.U16()
+	detail := d.Str()
+	if st != StOK {
+		return nil, StatusErr(st, detail)
+	}
+	n := int(d.U32())
+	out := make(map[kv.Key]*kv.Row, n)
+	for i := 0; i < n; i++ {
+		key := kv.Key(d.Str())
+		blob := d.Bytes()
+		if d.Err != nil {
+			return nil, d.Err
+		}
+		row, err := kv.DecodeRow(blob)
+		if err != nil {
+			return nil, err
+		}
+		out[key] = row
+	}
+	return out, nil
+}
+
+// CollectTombstones removes rows whose every value is a tombstone older
+// than the horizon. Deletes in Sedna are replicated tombstones (so the
+// timestamp rule keeps them monotone across replicas); once a tombstone has
+// been stable for longer than any plausible repair window it can be
+// physically reclaimed. Returns the number of rows collected.
+func (s *Server) CollectTombstones(horizon time.Duration) int {
+	cutoff := time.Now().Add(-horizon).UnixNano()
+	var victims []string
+	s.store.Range(func(key string, it memstore.Item) bool {
+		row, err := kv.DecodeRow(it.Value)
+		if err != nil {
+			return true
+		}
+		if len(row.Values) == 0 {
+			victims = append(victims, key)
+			return true
+		}
+		for _, v := range row.Values {
+			if !v.Deleted || v.TS.Wall >= cutoff {
+				return true
+			}
+		}
+		victims = append(victims, key)
+		return true
+	})
+	collected := 0
+	for _, key := range victims {
+		err := s.store.Update(key, func(old []byte, ok bool) ([]byte, bool) {
+			if !ok {
+				return nil, false
+			}
+			row, err := kv.DecodeRow(old)
+			if err != nil {
+				return old, true
+			}
+			// Re-check under the shard lock: a concurrent write revives
+			// the row and must win.
+			for _, v := range row.Values {
+				if !v.Deleted || v.TS.Wall >= cutoff {
+					return old, true
+				}
+			}
+			return nil, false
+		})
+		if err == nil {
+			if _, ok := s.store.Get(key); !ok {
+				collected++
+				if perr := s.pers.LogWrite(key, nil); perr != nil {
+					s.logf("tombstone gc log: %v", perr)
+				}
+			}
+		}
+	}
+	if collected > 0 {
+		s.logf("tombstone gc reclaimed %d rows", collected)
+	}
+	return collected
+}

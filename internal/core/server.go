@@ -1,0 +1,426 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sedna/internal/cluster"
+	"sedna/internal/coord"
+	"sedna/internal/kv"
+	"sedna/internal/memstore"
+	"sedna/internal/persist"
+	"sedna/internal/quorum"
+	"sedna/internal/ring"
+	"sedna/internal/transport"
+	"sedna/internal/trigger"
+)
+
+// Config parameterises one Sedna server (one "real node").
+type Config struct {
+	// Node is the node's identity; it must equal the transport address
+	// other nodes dial.
+	Node ring.NodeID
+	// Transport serves the data plane and dials peers.
+	Transport transport.Transport
+	// CoordServers lists the coordination ensemble addresses.
+	CoordServers []string
+	// CoordCaller dials the ensemble; nil selects Transport.
+	CoordCaller transport.Caller
+	// SessionTimeout is the liveness session expiry; zero selects 5s.
+	// Heartbeat loss past this is how the cluster learns the node died
+	// (§III-D).
+	SessionTimeout time.Duration
+	// Quorum fixes N/R/W; zero selects the paper's 3/2/2.
+	Quorum quorum.Config
+	// MemoryLimit caps the local store; zero selects 64 MiB.
+	MemoryLimit int64
+	// Persist selects the durability strategy (default: None).
+	Persist persist.Config
+	// Bootstrap initialises the coordination layout when missing, with
+	// VNodes virtual nodes (fixed forever, §III-D). Zero VNodes selects
+	// 128.
+	Bootstrap bool
+	VNodes    int
+	// ScanEvery, TriggerInterval and TriggerWorkers tune the trigger
+	// engine (zero selects 10ms / 100ms / 4).
+	ScanEvery       time.Duration
+	TriggerInterval time.Duration
+	TriggerWorkers  int
+	// ReconcileEvery tunes membership reconciliation; zero selects 500ms.
+	ReconcileEvery time.Duration
+	// PublishEvery tunes imbalance publication; zero selects 2s.
+	PublishEvery time.Duration
+	// SubIdleTimeout garbage-collects subscriptions nobody polls; zero
+	// selects 2 minutes.
+	SubIdleTimeout time.Duration
+	// Logf receives diagnostics; nil disables.
+	Logf func(format string, args ...any)
+}
+
+// Stats aggregates a server's counters.
+type Stats struct {
+	CoordWrites   uint64
+	CoordReads    uint64
+	ReplicaWrites uint64
+	ReplicaReads  uint64
+	Repairs       uint64
+	Recoveries    uint64
+	Store         memstore.Stats
+	Trigger       trigger.Stats
+}
+
+// Server is one Sedna node.
+type Server struct {
+	cfg   Config
+	store *memstore.Store
+	clock *kv.Clock
+
+	coordCli *coord.Client
+	cache    *coord.CachedClient
+	mgr      *cluster.Manager
+	engine   *quorum.Engine
+	trig     *trigger.Engine
+	pers     *persist.Manager
+
+	mu        sync.Mutex
+	loadStats *ring.LoadStats
+	started   bool
+	closed    bool
+
+	dirtyMu  sync.Mutex
+	dirtyQ   []kv.Key
+	dirtySet map[kv.Key]bool
+
+	subs *subRegistry
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	nCoordWrites, nCoordReads     counter
+	nReplicaWrites, nReplicaReads counter
+	nRepairs, nRecoveries         counter
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (c *counter) inc() { c.mu.Lock(); c.n++; c.mu.Unlock() }
+func (c *counter) get() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// NewServer builds a stopped server.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Node == "" {
+		return nil, errors.New("core: Node required")
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("core: Transport required")
+	}
+	if len(cfg.CoordServers) == 0 {
+		return nil, errors.New("core: CoordServers required")
+	}
+	if cfg.CoordCaller == nil {
+		cfg.CoordCaller = cfg.Transport
+	}
+	if cfg.SessionTimeout <= 0 {
+		cfg.SessionTimeout = 5 * time.Second
+	}
+	if cfg.Quorum.N == 0 {
+		cfg.Quorum = quorum.DefaultConfig()
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = 128
+	}
+	if cfg.ReconcileEvery <= 0 {
+		cfg.ReconcileEvery = 500 * time.Millisecond
+	}
+	if cfg.PublishEvery <= 0 {
+		cfg.PublishEvery = 2 * time.Second
+	}
+	s := &Server{
+		cfg:      cfg,
+		store:    memstore.New(memstore.Config{MemoryLimit: cfg.MemoryLimit}),
+		clock:    kv.NewClock(uint32(ring.Hash64(kv.Key(cfg.Node)))),
+		dirtySet: map[kv.Key]bool{},
+		stopCh:   make(chan struct{}),
+	}
+	s.subs = newSubRegistry(s)
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("sedna[%s]: "+format, append([]any{s.cfg.Node}, args...)...)
+	}
+}
+
+// Start brings the node up: recover persisted state, serve RPCs, join the
+// cluster (claiming vnodes), and start the trigger engine and background
+// loops. The startup order follows §III-D: local storage first, then the
+// coordination connection, then the Sedna service.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return errors.New("core: already started")
+	}
+	s.started = true
+	s.mu.Unlock()
+
+	// 1. Local storage and persisted state.
+	pers, err := persist.NewManager(s.cfg.Persist, snapshotSource{s})
+	if err != nil {
+		return err
+	}
+	s.pers = pers
+	err = pers.Recover(func(key string, blob []byte) error {
+		if blob == nil {
+			s.store.Delete(key)
+			return nil
+		}
+		return s.store.Set(key, blob, 0, 0)
+	})
+	if err != nil {
+		return fmt.Errorf("core: recover: %w", err)
+	}
+
+	// 2. RPC surface.
+	mux := transport.NewMux()
+	for op, h := range map[uint16]transport.Handler{
+		OpCoordWrite:    s.handleCoordWrite,
+		OpCoordRead:     s.handleCoordRead,
+		OpReplicaWrite:  s.handleReplicaWrite,
+		OpReplicaRead:   s.handleReplicaRead,
+		OpReplicaRepair: s.handleReplicaRepair,
+		OpVNodeScan:     s.handleVNodeScan,
+		OpRingGet:       s.handleRingGet,
+		OpSubNew:        s.subs.handleNew,
+		OpSubPoll:       s.subs.handlePoll,
+		OpSubClose:      s.subs.handleClose,
+		OpServerStats:   s.handleStats,
+	} {
+		mux.HandleFunc(op, h)
+	}
+	if err := s.cfg.Transport.Serve(mux.Handle); err != nil {
+		return err
+	}
+
+	// 3. Coordination session, layout and membership.
+	s.coordCli, err = coord.Dial(coord.ClientConfig{
+		Servers:        s.cfg.CoordServers,
+		Caller:         s.cfg.CoordCaller,
+		SessionTimeout: s.cfg.SessionTimeout,
+	})
+	if err != nil {
+		return fmt.Errorf("core: coord dial: %w", err)
+	}
+	s.cache, err = coord.NewCachedClient(s.coordCli, coord.CacheConfig{})
+	if err != nil {
+		return err
+	}
+	if s.cfg.Bootstrap {
+		if err := cluster.Bootstrap(s.coordCli, cluster.DefaultLayout(), s.cfg.VNodes, s.cfg.Quorum.N); err != nil {
+			return fmt.Errorf("core: bootstrap: %w", err)
+		}
+	}
+	s.mgr, err = cluster.NewManager(cluster.Config{
+		Node:           s.cfg.Node,
+		Client:         s.coordCli,
+		Cache:          s.cache,
+		ReconcileEvery: s.cfg.ReconcileEvery,
+		OnMoves:        s.onMoves,
+		Logf:           s.cfg.Logf,
+	})
+	if err != nil {
+		return err
+	}
+	moves, err := s.mgr.Join()
+	if err != nil {
+		return fmt.Errorf("core: join: %w", err)
+	}
+	r := s.mgr.Ring()
+	s.mu.Lock()
+	s.loadStats = ring.NewLoadStats(r.NumVNodes())
+	s.mu.Unlock()
+
+	// 4. Quorum engine over the replica RPCs.
+	s.engine, err = quorum.NewEngine(s.cfg.Quorum, replicaRPC{s})
+	if err != nil {
+		return err
+	}
+
+	// 5. Trigger engine.
+	s.trig, err = trigger.NewEngine(trigger.Config{
+		Source:          dirtySource{s},
+		Write:           s.triggerWrite,
+		ScanEvery:       s.cfg.ScanEvery,
+		DefaultInterval: s.cfg.TriggerInterval,
+		Workers:         s.cfg.TriggerWorkers,
+		Logf:            s.cfg.Logf,
+	})
+	if err != nil {
+		return err
+	}
+	s.trig.Start()
+
+	// 6. Background work: data for vnodes gained at join, persistence,
+	// imbalance publication.
+	s.onMoves(moves)
+	s.pers.Start()
+	s.wg.Add(1)
+	go s.publishLoop()
+	s.logf("started with %d vnode moves", len(moves))
+	return nil
+}
+
+// Close shuts the node down without leaving the ring (peers evict it when
+// the session expires). Use Leave for a graceful departure.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stopCh)
+	s.wg.Wait()
+	if s.trig != nil {
+		s.trig.Close()
+	}
+	if s.mgr != nil {
+		s.mgr.Close()
+	}
+	if s.pers != nil {
+		s.pers.Close()
+	}
+	if s.coordCli != nil {
+		s.coordCli.Close()
+	}
+	s.cfg.Transport.Close()
+}
+
+// Leave gracefully hands the node's vnodes to the survivors and shuts down.
+func (s *Server) Leave() error {
+	if s.mgr != nil {
+		if err := s.mgr.Leave(); err != nil {
+			return err
+		}
+	}
+	s.Close()
+	return nil
+}
+
+// Node returns the server's identity.
+func (s *Server) Node() ring.NodeID { return s.cfg.Node }
+
+// Ring returns the node's current assignment view.
+func (s *Server) Ring() *ring.Ring { return s.mgr.Ring() }
+
+// Trigger exposes the trigger engine for in-process job registration (the
+// paper's Job.schedule path; actions are code, so they live in the server
+// process).
+func (s *Server) Trigger() *trigger.Engine { return s.trig }
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		CoordWrites:   s.nCoordWrites.get(),
+		CoordReads:    s.nCoordReads.get(),
+		ReplicaWrites: s.nReplicaWrites.get(),
+		ReplicaReads:  s.nReplicaReads.get(),
+		Repairs:       s.nRepairs.get(),
+		Recoveries:    s.nRecoveries.get(),
+		Store:         s.store.Stats(),
+	}
+	if s.trig != nil {
+		st.Trigger = s.trig.Stats()
+	}
+	return st
+}
+
+// LoadStats exposes the per-vnode counters (for the balancer and tests).
+func (s *Server) LoadStats() *ring.LoadStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loadStats
+}
+
+// snapshotSource adapts the store to persist.Source.
+type snapshotSource struct{ s *Server }
+
+// SnapshotRange implements persist.Source.
+func (ss snapshotSource) SnapshotRange(emit func(key string, blob []byte)) {
+	ss.s.store.Range(func(key string, it memstore.Item) bool {
+		emit(key, it.Value)
+		return true
+	})
+}
+
+// publishLoop periodically publishes the node's imbalance row (§III-B).
+func (s *Server) publishLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.PublishEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+		}
+		r := s.mgr.Ring()
+		s.mu.Lock()
+		ls := s.loadStats
+		s.mu.Unlock()
+		if r == nil || ls == nil {
+			continue
+		}
+		table := ring.Imbalance(r, ls.Snapshot())
+		for _, row := range table {
+			if row.Node == s.cfg.Node {
+				if err := s.mgr.PublishImbalance(row); err != nil {
+					s.logf("publish imbalance: %v", err)
+				}
+			}
+		}
+	}
+}
+
+// triggerWrite is the Result write-back: trigger outputs are regular
+// write_latest operations coordinated by this node.
+func (s *Server) triggerWrite(ctx context.Context, key kv.Key, value []byte) error {
+	return s.CoordWrite(ctx, key, value, quorum.Latest, false, string(s.cfg.Node))
+}
+
+// Rebalance runs one round of imbalance-driven data balance (§III-B): it
+// folds this node's per-vnode load counters into the imbalance table and,
+// when some node carries more than threshold times its fair share, commits
+// primary moves toward the coldest nodes (preferring existing replica
+// holders, which makes the move a pure metadata swap). It returns the moves
+// applied.
+func (s *Server) Rebalance(threshold float64) ([]ring.Move, error) {
+	r := s.mgr.Ring()
+	s.mu.Lock()
+	ls := s.loadStats
+	s.mu.Unlock()
+	if r == nil || ls == nil {
+		return nil, errors.New("core: not started")
+	}
+	plan := ring.PlanLoadRebalance(r, ls.Snapshot(), threshold)
+	if len(plan) == 0 {
+		return nil, nil
+	}
+	if err := s.mgr.ApplyPlan(plan); err != nil {
+		return nil, err
+	}
+	s.logf("rebalanced %d primaries", len(plan))
+	return plan, nil
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"sedna/internal/kv"
+	"sedna/internal/transport"
+	"sedna/internal/trigger"
+	"sedna/internal/wire"
+)
+
+// Subscriptions are Sedna's push API for remote clients: "by pushing
+// recently changed data to corresponding clients", §II-B. Since an Action
+// is Go code, remote clients cannot ship one; instead they register a
+// subscription — hooks plus a built-in changed-value filter — and the node
+// buffers matching events, delivered through long-polls. In-process
+// applications use Server.Trigger() directly for full filter/action power.
+
+// SubEvent is one pushed change.
+type SubEvent struct {
+	Key     kv.Key
+	Value   []byte
+	TS      kv.Timestamp
+	Deleted bool
+}
+
+// subBufferCap bounds each subscription's event buffer; the oldest events
+// are dropped first (freshest-matters-most, like flow control).
+const subBufferCap = 4096
+
+type sub struct {
+	id    uint64
+	jobID uint64
+
+	mu       sync.Mutex
+	buf      []SubEvent
+	dropped  uint64
+	notify   chan struct{}
+	lastPoll time.Time
+}
+
+func (sb *sub) push(ev SubEvent) {
+	sb.mu.Lock()
+	if len(sb.buf) >= subBufferCap {
+		sb.buf = sb.buf[1:]
+		sb.dropped++
+	}
+	sb.buf = append(sb.buf, ev)
+	select {
+	case sb.notify <- struct{}{}:
+	default:
+	}
+	sb.mu.Unlock()
+}
+
+func (sb *sub) take(max int) []SubEvent {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	sb.lastPoll = time.Now()
+	n := len(sb.buf)
+	if n > max {
+		n = max
+	}
+	out := make([]SubEvent, n)
+	copy(out, sb.buf[:n])
+	sb.buf = sb.buf[n:]
+	return out
+}
+
+type subRegistry struct {
+	s    *Server
+	idle time.Duration
+	mu   sync.Mutex
+	subs map[uint64]*sub
+	next uint64
+}
+
+func newSubRegistry(s *Server) *subRegistry {
+	idle := s.cfg.SubIdleTimeout
+	if idle <= 0 {
+		idle = 2 * time.Minute
+	}
+	return &subRegistry{s: s, idle: idle, subs: map[uint64]*sub{}}
+}
+
+// handleNew registers a subscription. Body: u32 hook count, per hook three
+// strings (dataset, table, name); bool changedOnly; u32 interval ms.
+func (r *subRegistry) handleNew(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := wire.NewDec(req.Body)
+	n := int(d.U32())
+	hooks := make([]trigger.Hook, 0, n)
+	for i := 0; i < n; i++ {
+		hooks = append(hooks, trigger.Hook{Dataset: d.Str(), Table: d.Str(), Name: d.Str()})
+	}
+	changedOnly := d.Bool()
+	intervalMs := d.U32()
+	if d.Err != nil {
+		return transport.Message{}, d.Err
+	}
+	if len(hooks) == 0 {
+		return errorMsg(OpSubNew, ErrBadRequest), nil
+	}
+
+	sb := &sub{notify: make(chan struct{}, 1), lastPoll: time.Now()}
+	job := trigger.Job{
+		Name:     "sub:" + from,
+		Hooks:    hooks,
+		Interval: time.Duration(intervalMs) * time.Millisecond,
+		Action: trigger.ActionFunc(func(ctx context.Context, key kv.Key, values [][]byte, res *trigger.Result) error {
+			ev := SubEvent{Key: key}
+			if len(values) > 0 {
+				ev.Value = values[0]
+			} else {
+				ev.Deleted = true
+			}
+			sb.push(ev)
+			return nil
+		}),
+	}
+	if changedOnly {
+		job.Filter = trigger.FilterFunc(func(old, new trigger.Snapshot) bool {
+			return old.Exists != new.Exists || string(old.Value) != string(new.Value)
+		})
+	}
+	jobID, err := r.s.trig.Register(job)
+	if err != nil {
+		return errorMsg(OpSubNew, err), nil
+	}
+	sb.jobID = jobID
+	r.mu.Lock()
+	r.next++
+	sb.id = r.next
+	r.subs[sb.id] = sb
+	first := len(r.subs) == 1
+	r.mu.Unlock()
+	if first {
+		go r.gcLoop()
+	}
+	e := okHeader()
+	e.U64(sb.id)
+	return transport.Message{Op: OpSubNew, Body: e.B}, nil
+}
+
+// handlePoll returns buffered events, waiting up to waitMs when empty.
+// Body: u64 sub id, u32 max, u32 wait ms.
+func (r *subRegistry) handlePoll(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := wire.NewDec(req.Body)
+	id := d.U64()
+	max := int(d.U32())
+	waitMs := d.U32()
+	if d.Err != nil {
+		return transport.Message{}, d.Err
+	}
+	if max <= 0 {
+		max = 256
+	}
+	r.mu.Lock()
+	sb := r.subs[id]
+	r.mu.Unlock()
+	if sb == nil {
+		return errorMsg(OpSubPoll, ErrNoSub), nil
+	}
+	events := sb.take(max)
+	if len(events) == 0 && waitMs > 0 {
+		timer := time.NewTimer(time.Duration(waitMs) * time.Millisecond)
+		select {
+		case <-sb.notify:
+		case <-timer.C:
+		case <-ctx.Done():
+		case <-r.s.stopCh:
+		}
+		timer.Stop()
+		events = sb.take(max)
+	}
+	e := okHeader()
+	e.U32(uint32(len(events)))
+	for _, ev := range events {
+		e.Str(string(ev.Key))
+		e.Bytes(ev.Value)
+		e.I64(ev.TS.Wall)
+		e.U32(ev.TS.Logical)
+		e.U32(ev.TS.Node)
+		e.Bool(ev.Deleted)
+	}
+	return transport.Message{Op: OpSubPoll, Body: e.B}, nil
+}
+
+// handleClose tears a subscription down. Body: u64 sub id.
+func (r *subRegistry) handleClose(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := wire.NewDec(req.Body)
+	id := d.U64()
+	if d.Err != nil {
+		return transport.Message{}, d.Err
+	}
+	r.mu.Lock()
+	sb := r.subs[id]
+	delete(r.subs, id)
+	r.mu.Unlock()
+	if sb != nil {
+		r.s.trig.Unregister(sb.jobID)
+	}
+	return transport.Message{Op: OpSubClose, Body: okHeader().B}, nil
+}
+
+// gcLoop drops subscriptions whose client vanished without closing.
+func (r *subRegistry) gcLoop() {
+	t := time.NewTicker(r.idle / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.s.stopCh:
+			return
+		case <-t.C:
+		}
+		cutoff := time.Now().Add(-r.idle)
+		r.mu.Lock()
+		for id, sb := range r.subs {
+			sb.mu.Lock()
+			idle := sb.lastPoll.Before(cutoff)
+			sb.mu.Unlock()
+			if idle {
+				delete(r.subs, id)
+				r.s.trig.Unregister(sb.jobID)
+			}
+		}
+		r.mu.Unlock()
+	}
+}

@@ -1,0 +1,180 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"sedna/internal/client"
+	"sedna/internal/coord"
+	"sedna/internal/core"
+	"sedna/internal/kv"
+	"sedna/internal/ring"
+	"sedna/internal/transport"
+	"sedna/internal/trigger"
+)
+
+// TestTCPEndToEnd runs a full Sedna deployment over real TCP sockets — the
+// exact code path of the cmd/ binaries — and exercises the client API, a
+// trigger job and a subscription against it.
+func TestTCPEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets")
+	}
+	// Coordination member on a real socket.
+	coordTr, err := transport.NewTCPListen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordAddr := coordTr.Addr()
+	ensemble := coord.NewServer(coord.ServerConfig{
+		ID:              0,
+		Members:         []string{coordAddr},
+		Transport:       coordTr,
+		HeartbeatEvery:  20 * time.Millisecond,
+		ElectionTimeout: 120 * time.Millisecond,
+		RPCTimeout:      80 * time.Millisecond,
+	})
+	if err := ensemble.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer ensemble.Close()
+
+	// Three data nodes, each on its own ephemeral port; the bound address
+	// doubles as the node identity exactly like sedna-server does.
+	var servers []*core.Server
+	var nodeAddrs []string
+	for i := 0; i < 3; i++ {
+		tr, err := transport.NewTCPListen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := tr.Addr()
+		srv, err := core.NewServer(core.Config{
+			Node:            ring.NodeID(addr),
+			Transport:       tr,
+			CoordServers:    []string{coordAddr},
+			Bootstrap:       i == 0,
+			VNodes:          24,
+			ScanEvery:       5 * time.Millisecond,
+			TriggerInterval: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		servers = append(servers, srv)
+		nodeAddrs = append(nodeAddrs, addr)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		ok := true
+		for _, s := range servers {
+			r := s.Ring()
+			if r == nil || len(r.Nodes()) != 3 {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("TCP cluster never converged")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cli, err := client.New(client.Config{
+		Servers: nodeAddrs,
+		Caller:  transport.NewTCP(""),
+		Source:  "tcp-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Basic data path.
+	for i := 0; i < 20; i++ {
+		key := kv.Join("tcp", "t", fmt.Sprintf("k%02d", i))
+		if err := cli.WriteLatest(ctx, key, []byte(fmt.Sprintf("v%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		key := kv.Join("tcp", "t", fmt.Sprintf("k%02d", i))
+		val, _, err := cli.ReadLatest(ctx, key)
+		if err != nil || string(val) != fmt.Sprintf("v%02d", i) {
+			t.Fatalf("key %d = %q, %v", i, val, err)
+		}
+	}
+
+	// A trigger job over TCP-backed write-backs.
+	for _, s := range servers {
+		if _, err := s.Trigger().Register(trigger.Job{
+			Name:  "tcp-echo",
+			Hooks: []trigger.Hook{trigger.TableHook("tcp", "in")},
+			Action: trigger.ActionFunc(func(ctx context.Context, key kv.Key, values [][]byte, res *trigger.Result) error {
+				res.Emit(kv.Join("tcp", "out", key.Name()), values[0])
+				return nil
+			}),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cli.WriteLatest(ctx, kv.Join("tcp", "in", "x"), []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		val, _, err := cli.ReadLatest(ctx, kv.Join("tcp", "out", "x"))
+		if err == nil && string(val) == "ping" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trigger output never arrived: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A subscription over TCP long-polls.
+	sub, err := cli.Subscribe(nodeAddrs[0], []client.Hook{{Dataset: "tcp", Table: "feed"}},
+		client.SubscribeOptions{PollWait: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	go func() {
+		for i := 0; i < 20; i++ {
+			cli.WriteLatest(ctx, kv.Join("tcp", "feed", fmt.Sprintf("m%d", i)), []byte("event"))
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	select {
+	case ev := <-sub.Events():
+		if ev.Key.Dataset() != "tcp" {
+			t.Fatalf("event = %+v", ev)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no TCP-pushed event")
+	}
+
+	// Graceful leave over TCP.
+	if err := servers[2].Leave(); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		val, _, err := cli.ReadLatest(ctx, kv.Join("tcp", "t", "k00"))
+		if err == nil && string(val) == "v00" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("data unreadable after graceful leave: %v", err)
+		}
+	}
+}

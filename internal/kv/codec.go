@@ -1,0 +1,221 @@
+package kv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Row wire format (little endian), version 1:
+//
+//	u8  format version
+//	u8  flags (bit 0: Dirty)
+//	u16 value count
+//	per value:
+//	    u16 source length, source bytes
+//	    i64 wall, u32 logical, u32 node
+//	    u8  deleted
+//	    u32 value length, value bytes
+//	u16 monitor count, u64 per monitor id
+//
+// The codec is hand-rolled rather than gob/json: rows are encoded on every
+// store write and decoded on every read, so the hot path must not allocate
+// reflection state.
+
+const rowFormatVersion = 1
+
+// ErrCorruptRow is returned when a row blob fails to decode.
+var ErrCorruptRow = errors.New("kv: corrupt row encoding")
+
+// EncodedRowSize returns the exact byte length EncodeRow will produce,
+// allowing callers to size buffers without a second pass.
+func EncodedRowSize(r *Row) int {
+	n := 1 + 1 + 2
+	for _, v := range r.Values {
+		n += 2 + len(v.Source) + 8 + 4 + 4 + 1 + 4 + len(v.Value)
+	}
+	n += 2 + 8*len(r.Monitors)
+	return n
+}
+
+// AppendRow appends the encoding of r to dst and returns the extended slice.
+func AppendRow(dst []byte, r *Row) []byte {
+	dst = append(dst, rowFormatVersion)
+	var flags byte
+	if r.Dirty {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Values)))
+	for _, v := range r.Values {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(v.Source)))
+		dst = append(dst, v.Source...)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.TS.Wall))
+		dst = binary.LittleEndian.AppendUint32(dst, v.TS.Logical)
+		dst = binary.LittleEndian.AppendUint32(dst, v.TS.Node)
+		if v.Deleted {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v.Value)))
+		dst = append(dst, v.Value...)
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Monitors)))
+	for _, m := range r.Monitors {
+		dst = binary.LittleEndian.AppendUint64(dst, m)
+	}
+	return dst
+}
+
+// EncodeRow returns the binary encoding of r in a freshly allocated buffer.
+func EncodeRow(r *Row) []byte {
+	return AppendRow(make([]byte, 0, EncodedRowSize(r)), r)
+}
+
+// DecodeRow parses a row blob produced by EncodeRow. The returned row does
+// not alias b.
+func DecodeRow(b []byte) (*Row, error) {
+	d := rowDecoder{b: b}
+	ver, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if ver != rowFormatVersion {
+		return nil, fmt.Errorf("%w: unknown version %d", ErrCorruptRow, ver)
+	}
+	flags, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	nv, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	r := &Row{Dirty: flags&1 != 0}
+	if nv > 0 {
+		r.Values = make([]Versioned, 0, nv)
+	}
+	for i := 0; i < int(nv); i++ {
+		var v Versioned
+		src, err := d.bytes16()
+		if err != nil {
+			return nil, err
+		}
+		v.Source = string(src)
+		wall, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		v.TS.Wall = int64(wall)
+		if v.TS.Logical, err = d.u32(); err != nil {
+			return nil, err
+		}
+		if v.TS.Node, err = d.u32(); err != nil {
+			return nil, err
+		}
+		del, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		v.Deleted = del != 0
+		val, err := d.bytes32()
+		if err != nil {
+			return nil, err
+		}
+		v.Value = append([]byte(nil), val...)
+		r.Values = append(r.Values, v)
+	}
+	nm, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	if nm > 0 {
+		r.Monitors = make([]uint64, 0, nm)
+	}
+	for i := 0; i < int(nm); i++ {
+		m, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		r.Monitors = append(r.Monitors, m)
+	}
+	if len(d.b) != d.off {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptRow, len(d.b)-d.off)
+	}
+	return r, nil
+}
+
+type rowDecoder struct {
+	b   []byte
+	off int
+}
+
+func (d *rowDecoder) need(n int) error {
+	if len(d.b)-d.off < n {
+		return fmt.Errorf("%w: truncated at offset %d (need %d of %d)", ErrCorruptRow, d.off, n, len(d.b))
+	}
+	return nil
+}
+
+func (d *rowDecoder) u8() (byte, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *rowDecoder) u16() (uint16, error) {
+	if err := d.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *rowDecoder) u32() (uint32, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *rowDecoder) u64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *rowDecoder) bytes16() ([]byte, error) {
+	n, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.need(int(n)); err != nil {
+		return nil, err
+	}
+	v := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return v, nil
+}
+
+func (d *rowDecoder) bytes32() ([]byte, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.need(int(n)); err != nil {
+		return nil, err
+	}
+	v := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return v, nil
+}

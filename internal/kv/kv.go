@@ -1,0 +1,367 @@
+// Package kv defines the core data model shared by every Sedna subsystem:
+// hierarchical keys, hybrid logical timestamps, versioned values and the
+// multi-source value lists that back the paper's write_latest/write_all
+// semantics (§III-F), plus the Dirty/Monitors row metadata that drives the
+// trigger engine (§IV-C, Fig. 5).
+package kv
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Key is a flat string key. Sedna extends the key implicitly to provide a
+// hierarchical data space (§II-A.1): a fully-qualified key has the form
+// "dataset/table/name". Use Split/Join to move between the flat and the
+// hierarchical representations.
+type Key string
+
+// KeySep separates the dataset, table and name components of a Key.
+const KeySep = "/"
+
+// Join builds a fully-qualified key from its hierarchy components. Empty
+// components are permitted (e.g. a bare name living in the default table).
+func Join(dataset, table, name string) Key {
+	return Key(dataset + KeySep + table + KeySep + name)
+}
+
+// Split breaks a key into its dataset, table and name components. Keys with
+// fewer than two separators are treated as living in the default ("" )
+// dataset and/or table.
+func (k Key) Split() (dataset, table, name string) {
+	s := string(k)
+	i := strings.Index(s, KeySep)
+	if i < 0 {
+		return "", "", s
+	}
+	j := strings.Index(s[i+1:], KeySep)
+	if j < 0 {
+		return "", s[:i], s[i+1:]
+	}
+	j += i + 1
+	return s[:i], s[i+1 : j], s[j+1:]
+}
+
+// Dataset returns the dataset component of the key.
+func (k Key) Dataset() string { d, _, _ := k.Split(); return d }
+
+// Table returns the "dataset/table" prefix of the key, the granularity at
+// which monitors may also be registered.
+func (k Key) Table() string {
+	d, t, _ := k.Split()
+	return d + KeySep + t
+}
+
+// Name returns the final component of the key.
+func (k Key) Name() string { _, _, n := k.Split(); return n }
+
+// Timestamp is a hybrid logical clock value. Sedna timestamps every write
+// and resolves concurrent writes by "newer timestamp wins" (§III-F.1); a
+// hybrid clock keeps that rule meaningful across servers whose wall clocks
+// drift, while remaining totally ordered.
+type Timestamp struct {
+	// Wall is the physical component in nanoseconds since the Unix epoch.
+	Wall int64
+	// Logical breaks ties between events in the same wall tick.
+	Logical uint32
+	// Node breaks the remaining ties deterministically; it identifies the
+	// server that issued the write.
+	Node uint32
+}
+
+// ZeroTS is the timestamp older than every real timestamp.
+var ZeroTS = Timestamp{}
+
+// Compare returns -1, 0 or +1 as t is older than, equal to, or newer than o.
+func (t Timestamp) Compare(o Timestamp) int {
+	switch {
+	case t.Wall != o.Wall:
+		if t.Wall < o.Wall {
+			return -1
+		}
+		return 1
+	case t.Logical != o.Logical:
+		if t.Logical < o.Logical {
+			return -1
+		}
+		return 1
+	case t.Node != o.Node:
+		if t.Node < o.Node {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// Before reports whether t is strictly older than o.
+func (t Timestamp) Before(o Timestamp) bool { return t.Compare(o) < 0 }
+
+// After reports whether t is strictly newer than o.
+func (t Timestamp) After(o Timestamp) bool { return t.Compare(o) > 0 }
+
+// IsZero reports whether t is the zero timestamp.
+func (t Timestamp) IsZero() bool { return t == ZeroTS }
+
+// String renders the timestamp compactly for logs and test failures.
+func (t Timestamp) String() string {
+	return fmt.Sprintf("%d.%d@%d", t.Wall, t.Logical, t.Node)
+}
+
+// Clock issues monotonically increasing hybrid timestamps for one node. It
+// is safe for concurrent use.
+type Clock struct {
+	node uint32
+	now  func() int64
+
+	mu   sync.Mutex
+	wall int64
+	log  uint32
+}
+
+// NewClock returns a Clock owned by the given node id. The zero node id is
+// valid. The clock uses the real time; tests may substitute a fake time
+// source with NewClockAt.
+func NewClock(node uint32) *Clock {
+	return NewClockAt(node, func() int64 { return time.Now().UnixNano() })
+}
+
+// NewClockAt returns a Clock reading physical time from now. It exists so
+// tests can drive the clock deterministically.
+func NewClockAt(node uint32, now func() int64) *Clock {
+	return &Clock{node: node, now: now}
+}
+
+// Now returns the next timestamp, strictly newer than every timestamp this
+// clock has previously returned or observed.
+func (c *Clock) Now() Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	phys := c.now()
+	if phys > c.wall {
+		c.wall, c.log = phys, 0
+	} else {
+		c.log++
+	}
+	return Timestamp{Wall: c.wall, Logical: c.log, Node: c.node}
+}
+
+// Observe folds a timestamp received from another node into the clock so
+// that subsequent local timestamps sort after it (the "receive" rule of a
+// hybrid logical clock).
+func (c *Clock) Observe(t Timestamp) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.Wall > c.wall || (t.Wall == c.wall && t.Logical > c.log) {
+		c.wall, c.log = t.Wall, t.Logical
+	}
+}
+
+// Versioned is one timestamped value written by one source server. The
+// value list kept for write_all is a slice of these, one per source.
+type Versioned struct {
+	// Value is the raw payload.
+	Value []byte
+	// TS is the write timestamp; newer timestamps overwrite older ones.
+	TS Timestamp
+	// Source identifies the writer, used by write_all to select which
+	// list element a write updates (§III-F.1).
+	Source string
+	// Deleted marks a tombstone: the source removed its value. Tombstones
+	// keep deletes monotone under the timestamp rule.
+	Deleted bool
+}
+
+// Clone returns a deep copy of v; the value bytes are not shared.
+func (v Versioned) Clone() Versioned {
+	if v.Value != nil {
+		dup := make([]byte, len(v.Value))
+		copy(dup, v.Value)
+		v.Value = dup
+	}
+	return v
+}
+
+// Row is the unit Sedna stores per key: the multi-source value list plus the
+// two extra columns of Fig. 5, Dirty and Monitors, that the trigger scanner
+// consumes.
+type Row struct {
+	// Values holds at most one Versioned per source, the write_all list.
+	// It is kept sorted by Source for deterministic encoding.
+	Values []Versioned
+	// Dirty is set on every write and cleared by the trigger scanner.
+	Dirty bool
+	// Monitors lists ids of trigger jobs watching this exact key (table
+	// and dataset monitors are resolved from the key hierarchy instead).
+	Monitors []uint64
+}
+
+// Latest returns the freshest non-tombstone value in the row and true, or a
+// zero Versioned and false when the row holds no live value.
+func (r *Row) Latest() (Versioned, bool) {
+	var best Versioned
+	found := false
+	for _, v := range r.Values {
+		if !found || v.TS.After(best.TS) {
+			best, found = v, true
+		}
+	}
+	if !found || best.Deleted {
+		return Versioned{}, false
+	}
+	return best, true
+}
+
+// LatestAny returns the freshest entry including tombstones; it is what the
+// replica protocol compares against for write_latest.
+func (r *Row) LatestAny() (Versioned, bool) {
+	var best Versioned
+	found := false
+	for _, v := range r.Values {
+		if !found || v.TS.After(best.TS) {
+			best, found = v, true
+		}
+	}
+	return best, found
+}
+
+// Live returns the live (non-tombstone) values in the row, freshest first.
+func (r *Row) Live() []Versioned {
+	out := make([]Versioned, 0, len(r.Values))
+	for _, v := range r.Values {
+		if !v.Deleted {
+			out = append(out, v)
+		}
+	}
+	// insertion sort by descending timestamp; lists are tiny.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].TS.After(out[j-1].TS); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ApplyLatest implements the replica-side rule for write_latest (§III-F.1):
+// if the incoming timestamp is newer than everything stored, the row
+// collapses to the single incoming value and ApplyLatest returns true
+// ("ok"); otherwise the row is unchanged and it returns false ("outdated").
+func (r *Row) ApplyLatest(v Versioned) bool {
+	if cur, ok := r.LatestAny(); ok && !v.TS.After(cur.TS) {
+		return false
+	}
+	r.Values = r.Values[:0]
+	r.Values = append(r.Values, v)
+	r.Dirty = true
+	return true
+}
+
+// ApplyAll implements the replica-side rule for write_all (§III-F.1): only
+// the element that came from the same source is compared and, if the
+// incoming write is newer, replaced. It returns true for "ok" and false for
+// "outdated".
+func (r *Row) ApplyAll(v Versioned) bool {
+	for i := range r.Values {
+		if r.Values[i].Source == v.Source {
+			if !v.TS.After(r.Values[i].TS) {
+				return false
+			}
+			r.Values[i] = v
+			r.Dirty = true
+			r.sortValues()
+			return true
+		}
+	}
+	r.Values = append(r.Values, v)
+	r.Dirty = true
+	r.sortValues()
+	return true
+}
+
+// Merge folds another row's value list into r, keeping per source the newer
+// entry. It returns true if r changed. Merge is the anti-entropy primitive
+// used by read repair and replica recovery.
+func (r *Row) Merge(o *Row) bool {
+	changed := false
+	for _, v := range o.Values {
+		if r.mergeOne(v) {
+			changed = true
+		}
+	}
+	if changed {
+		r.Dirty = true
+		r.sortValues()
+	}
+	return changed
+}
+
+func (r *Row) mergeOne(v Versioned) bool {
+	for i := range r.Values {
+		if r.Values[i].Source == v.Source {
+			cur := &r.Values[i]
+			switch cmp := v.TS.Compare(cur.TS); {
+			case cmp > 0:
+				*cur = v
+				return true
+			case cmp == 0 && tieLess(*cur, v):
+				// Equal timestamps with different content should never
+				// arise from a correct source clock, but Merge must still
+				// converge: break the tie with a deterministic total order
+				// so every replica picks the same winner.
+				*cur = v
+				return true
+			}
+			return false
+		}
+	}
+	r.Values = append(r.Values, v)
+	return true
+}
+
+// tieLess is an arbitrary but deterministic total order over same-timestamp
+// values: tombstones win over live values, then the lexically larger payload
+// wins. It only decides pathological timestamp collisions.
+func tieLess(a, b Versioned) bool {
+	if a.Deleted != b.Deleted {
+		return b.Deleted
+	}
+	return string(a.Value) < string(b.Value)
+}
+
+func (r *Row) sortValues() {
+	for i := 1; i < len(r.Values); i++ {
+		for j := i; j > 0 && r.Values[j].Source < r.Values[j-1].Source; j-- {
+			r.Values[j], r.Values[j-1] = r.Values[j-1], r.Values[j]
+		}
+	}
+}
+
+// Clone deep-copies the row.
+func (r *Row) Clone() *Row {
+	c := &Row{Dirty: r.Dirty}
+	c.Values = make([]Versioned, len(r.Values))
+	for i, v := range r.Values {
+		c.Values[i] = v.Clone()
+	}
+	if r.Monitors != nil {
+		c.Monitors = append([]uint64(nil), r.Monitors...)
+	}
+	return c
+}
+
+// Equal reports whether two rows hold the same value lists (ignoring the
+// Dirty and Monitors bookkeeping columns).
+func (r *Row) Equal(o *Row) bool {
+	if len(r.Values) != len(o.Values) {
+		return false
+	}
+	for i := range r.Values {
+		a, b := r.Values[i], o.Values[i]
+		if a.Source != b.Source || a.TS != b.TS || a.Deleted != b.Deleted || string(a.Value) != string(b.Value) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,333 @@
+package kv
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeySplitJoin(t *testing.T) {
+	cases := []struct {
+		key                  Key
+		dataset, table, name string
+	}{
+		{Join("web", "pages", "url1"), "web", "pages", "url1"},
+		{Key("web/pages/url1"), "web", "pages", "url1"},
+		{Key("pages/url1"), "", "pages", "url1"},
+		{Key("url1"), "", "", "url1"},
+		{Key("a/b/c/d"), "a", "b", "c/d"},
+		{Key(""), "", "", ""},
+		{Join("", "", "x"), "", "", "x"},
+	}
+	for _, c := range cases {
+		d, tb, n := c.key.Split()
+		if d != c.dataset || tb != c.table || n != c.name {
+			t.Errorf("Split(%q) = %q,%q,%q; want %q,%q,%q", c.key, d, tb, n, c.dataset, c.table, c.name)
+		}
+	}
+}
+
+func TestKeyAccessors(t *testing.T) {
+	k := Join("ds", "tb", "nm")
+	if got := k.Dataset(); got != "ds" {
+		t.Errorf("Dataset = %q", got)
+	}
+	if got := k.Table(); got != "ds/tb" {
+		t.Errorf("Table = %q", got)
+	}
+	if got := k.Name(); got != "nm" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestTimestampCompare(t *testing.T) {
+	a := Timestamp{Wall: 1, Logical: 0, Node: 0}
+	b := Timestamp{Wall: 1, Logical: 1, Node: 0}
+	c := Timestamp{Wall: 2, Logical: 0, Node: 0}
+	d := Timestamp{Wall: 1, Logical: 1, Node: 1}
+	if !a.Before(b) || !b.Before(c) || !a.Before(c) || !b.Before(d) {
+		t.Fatal("ordering violated")
+	}
+	if a.Compare(a) != 0 {
+		t.Fatal("self compare not zero")
+	}
+	if !c.After(a) {
+		t.Fatal("After inconsistent")
+	}
+	if !ZeroTS.IsZero() || a.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+}
+
+func TestTimestampCompareTotalOrder(t *testing.T) {
+	f := func(w1, w2 int64, l1, l2, n1, n2 uint32) bool {
+		a := Timestamp{Wall: w1, Logical: l1, Node: n1}
+		b := Timestamp{Wall: w2, Logical: l2, Node: n2}
+		ab, ba := a.Compare(b), b.Compare(a)
+		if ab != -ba {
+			return false
+		}
+		if ab == 0 && a != b {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockMonotone(t *testing.T) {
+	c := NewClock(7)
+	prev := c.Now()
+	if prev.Node != 7 {
+		t.Fatalf("node id = %d", prev.Node)
+	}
+	for i := 0; i < 10000; i++ {
+		ts := c.Now()
+		if !ts.After(prev) {
+			t.Fatalf("clock went backwards: %v then %v", prev, ts)
+		}
+		prev = ts
+	}
+}
+
+func TestClockFrozenTimeStillMonotone(t *testing.T) {
+	c := NewClockAt(1, func() int64 { return 42 })
+	prev := c.Now()
+	for i := 0; i < 100; i++ {
+		ts := c.Now()
+		if !ts.After(prev) {
+			t.Fatalf("frozen clock not monotone: %v then %v", prev, ts)
+		}
+		if ts.Wall != 42 {
+			t.Fatalf("wall = %d, want 42", ts.Wall)
+		}
+		prev = ts
+	}
+}
+
+func TestClockObserve(t *testing.T) {
+	c := NewClockAt(1, func() int64 { return 10 })
+	c.Observe(Timestamp{Wall: 100, Logical: 5, Node: 9})
+	ts := c.Now()
+	if ts.Wall != 100 || ts.Logical != 6 {
+		t.Fatalf("after observe, Now = %v; want 100.6", ts)
+	}
+}
+
+func TestClockConcurrent(t *testing.T) {
+	c := NewClock(3)
+	const workers = 8
+	const per = 2000
+	seen := make([][]Timestamp, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]Timestamp, per)
+			for i := range out {
+				out[i] = c.Now()
+			}
+			seen[w] = out
+		}(w)
+	}
+	wg.Wait()
+	all := map[Timestamp]bool{}
+	for _, s := range seen {
+		for i, ts := range s {
+			if all[ts] {
+				t.Fatalf("duplicate timestamp issued: %v", ts)
+			}
+			all[ts] = true
+			if i > 0 && !ts.After(s[i-1]) {
+				t.Fatalf("per-goroutine order violated")
+			}
+		}
+	}
+}
+
+func TestRowApplyLatest(t *testing.T) {
+	r := &Row{}
+	v1 := Versioned{Value: []byte("a"), TS: Timestamp{Wall: 1}, Source: "s1"}
+	if !r.ApplyLatest(v1) {
+		t.Fatal("first write rejected")
+	}
+	if !r.Dirty {
+		t.Fatal("write did not set Dirty")
+	}
+	// Older write must be rejected.
+	v0 := Versioned{Value: []byte("old"), TS: Timestamp{Wall: 0}, Source: "s2"}
+	if r.ApplyLatest(v0) {
+		t.Fatal("stale write accepted")
+	}
+	// Equal timestamp must be rejected (not strictly newer).
+	if r.ApplyLatest(v1) {
+		t.Fatal("equal-timestamp write accepted")
+	}
+	// Newer write collapses the list to a single value.
+	r.ApplyAll(Versioned{Value: []byte("b"), TS: Timestamp{Wall: 2}, Source: "s2"})
+	v3 := Versioned{Value: []byte("c"), TS: Timestamp{Wall: 3}, Source: "s3"}
+	if !r.ApplyLatest(v3) {
+		t.Fatal("newer write rejected")
+	}
+	if len(r.Values) != 1 || string(r.Values[0].Value) != "c" {
+		t.Fatalf("row after ApplyLatest = %+v", r.Values)
+	}
+}
+
+func TestRowApplyAllPerSource(t *testing.T) {
+	r := &Row{}
+	if !r.ApplyAll(Versioned{Value: []byte("a1"), TS: Timestamp{Wall: 5}, Source: "a"}) {
+		t.Fatal("insert rejected")
+	}
+	if !r.ApplyAll(Versioned{Value: []byte("b1"), TS: Timestamp{Wall: 1}, Source: "b"}) {
+		t.Fatal("second source rejected despite older global ts")
+	}
+	// Per-source staleness: source a at ts 4 is outdated even though it is
+	// newer than source b's entry.
+	if r.ApplyAll(Versioned{Value: []byte("a0"), TS: Timestamp{Wall: 4}, Source: "a"}) {
+		t.Fatal("stale per-source write accepted")
+	}
+	if !r.ApplyAll(Versioned{Value: []byte("a2"), TS: Timestamp{Wall: 6}, Source: "a"}) {
+		t.Fatal("newer per-source write rejected")
+	}
+	if len(r.Values) != 2 {
+		t.Fatalf("value list length = %d, want 2", len(r.Values))
+	}
+	lat, ok := r.Latest()
+	if !ok || string(lat.Value) != "a2" {
+		t.Fatalf("Latest = %+v, %v", lat, ok)
+	}
+}
+
+func TestRowLatestSkipsTombstones(t *testing.T) {
+	r := &Row{}
+	r.ApplyAll(Versioned{Value: []byte("x"), TS: Timestamp{Wall: 1}, Source: "a"})
+	r.ApplyLatest(Versioned{TS: Timestamp{Wall: 2}, Source: "a", Deleted: true})
+	if _, ok := r.Latest(); ok {
+		t.Fatal("Latest returned a tombstone")
+	}
+	if v, ok := r.LatestAny(); !ok || !v.Deleted {
+		t.Fatal("LatestAny should surface the tombstone")
+	}
+	if live := r.Live(); len(live) != 0 {
+		t.Fatalf("Live = %v, want empty", live)
+	}
+}
+
+func TestRowLiveSortedFreshestFirst(t *testing.T) {
+	r := &Row{}
+	r.ApplyAll(Versioned{Value: []byte("1"), TS: Timestamp{Wall: 1}, Source: "a"})
+	r.ApplyAll(Versioned{Value: []byte("3"), TS: Timestamp{Wall: 3}, Source: "b"})
+	r.ApplyAll(Versioned{Value: []byte("2"), TS: Timestamp{Wall: 2}, Source: "c"})
+	live := r.Live()
+	if len(live) != 3 {
+		t.Fatalf("len = %d", len(live))
+	}
+	for i := 1; i < len(live); i++ {
+		if live[i].TS.After(live[i-1].TS) {
+			t.Fatalf("Live not sorted freshest first: %v", live)
+		}
+	}
+}
+
+func TestRowMergeCommutative(t *testing.T) {
+	mk := func(src string, wall int64, val string) Versioned {
+		return Versioned{Value: []byte(val), TS: Timestamp{Wall: wall}, Source: src}
+	}
+	a := &Row{}
+	a.ApplyAll(mk("s1", 3, "a1"))
+	a.ApplyAll(mk("s2", 1, "a2"))
+	b := &Row{}
+	b.ApplyAll(mk("s1", 2, "b1"))
+	b.ApplyAll(mk("s3", 5, "b3"))
+
+	ab := a.Clone()
+	ab.Merge(b)
+	ba := b.Clone()
+	ba.Merge(a)
+	if !ab.Equal(ba) {
+		t.Fatalf("merge not commutative:\n ab=%+v\n ba=%+v", ab.Values, ba.Values)
+	}
+	if len(ab.Values) != 3 {
+		t.Fatalf("merged size = %d, want 3", len(ab.Values))
+	}
+	// s1 keeps the ts-3 copy from a.
+	for _, v := range ab.Values {
+		if v.Source == "s1" && string(v.Value) != "a1" {
+			t.Fatalf("merge lost newer value for s1: %+v", v)
+		}
+	}
+}
+
+func TestRowMergeIdempotent(t *testing.T) {
+	a := &Row{}
+	a.ApplyAll(Versioned{Value: []byte("x"), TS: Timestamp{Wall: 2}, Source: "s"})
+	before := a.Clone()
+	if a.Merge(before) {
+		t.Fatal("merging a row with itself reported a change")
+	}
+	if !a.Equal(before) {
+		t.Fatal("self-merge changed the row")
+	}
+}
+
+func TestRowMergeProperty(t *testing.T) {
+	// Property: merge is associative and commutative over random rows, the
+	// CRDT-style requirement behind read repair and replica recovery.
+	type spec struct {
+		Src  uint8
+		Wall uint8
+		Val  uint8
+		Del  bool
+	}
+	build := func(specs []spec) *Row {
+		r := &Row{}
+		for _, s := range specs {
+			r.ApplyAll(Versioned{
+				Value:   []byte{s.Val},
+				TS:      Timestamp{Wall: int64(s.Wall)},
+				Source:  string(rune('a' + s.Src%5)),
+				Deleted: s.Del,
+			})
+		}
+		return r
+	}
+	f := func(s1, s2, s3 []spec) bool {
+		a, b, c := build(s1), build(s2), build(s3)
+		// (a ∪ b) ∪ c
+		x := a.Clone()
+		x.Merge(b)
+		x.Merge(c)
+		// a ∪ (c ∪ b)
+		y := c.Clone()
+		y.Merge(b)
+		y.Merge(a)
+		return x.Equal(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionedCloneIndependence(t *testing.T) {
+	v := Versioned{Value: []byte("abc"), TS: Timestamp{Wall: 1}, Source: "s"}
+	c := v.Clone()
+	c.Value[0] = 'z'
+	if v.Value[0] != 'a' {
+		t.Fatal("Clone shares value bytes")
+	}
+}
+
+func TestRowCloneIndependence(t *testing.T) {
+	r := &Row{Monitors: []uint64{1, 2}}
+	r.ApplyAll(Versioned{Value: []byte("abc"), TS: Timestamp{Wall: 1}, Source: "s"})
+	c := r.Clone()
+	c.Values[0].Value[0] = 'z'
+	c.Monitors[0] = 99
+	if r.Values[0].Value[0] != 'a' || r.Monitors[0] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}

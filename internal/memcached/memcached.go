@@ -1,0 +1,589 @@
+// Package memcached implements the paper's baseline (§VI): a
+// memcached-style cache — a plain network front-end over the slab/LRU store
+// in internal/memstore, with no replication, no coordination and no quorum
+// — plus a client that shards keys across servers with ketama-style
+// consistent hashing, exactly the "some MemCached clients support a
+// distributed way to write data" setup the evaluation compares against.
+//
+// The client supports the two modes of Fig. 7: Replicas=1 writes each key
+// once (Fig. 7b); Replicas=3 issues the three writes/reads SEQUENTIALLY to
+// three distinct servers (Fig. 7a) — sequential because a standard
+// memcached client has no server-side replication and must do each copy as
+// an separate round trip, which is precisely the behaviour Sedna's parallel
+// quorum writes beat.
+package memcached
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"sedna/internal/kv"
+	"sedna/internal/memstore"
+	"sedna/internal/ring"
+	"sedna/internal/transport"
+	"sedna/internal/wire"
+)
+
+// Opcodes (0x04xx).
+const (
+	OpGet    uint16 = 0x0401
+	OpSet    uint16 = 0x0402
+	OpDelete uint16 = 0x0403
+	OpStats  uint16 = 0x0404
+)
+
+// Statuses.
+const (
+	stOK uint16 = iota
+	stMiss
+	stError
+)
+
+// ErrMiss reports a cache miss.
+var ErrMiss = errors.New("memcached: miss")
+
+// Server is one cache node.
+type Server struct {
+	store *memstore.Store
+	tr    transport.Transport
+}
+
+// NewServer builds a cache server over the given transport.
+func NewServer(tr transport.Transport, memoryLimit int64) *Server {
+	return &Server{
+		store: memstore.New(memstore.Config{MemoryLimit: memoryLimit}),
+		tr:    tr,
+	}
+}
+
+// Start begins serving.
+func (s *Server) Start() error {
+	mux := transport.NewMux()
+	mux.HandleFunc(OpGet, s.handleGet)
+	mux.HandleFunc(OpSet, s.handleSet)
+	mux.HandleFunc(OpDelete, s.handleDelete)
+	mux.HandleFunc(OpStats, s.handleStats)
+	s.registerExtended(mux)
+	return s.tr.Serve(mux.Handle)
+}
+
+// Close stops the server.
+func (s *Server) Close() { s.tr.Close() }
+
+// Store exposes the backing store (tests).
+func (s *Server) Store() *memstore.Store { return s.store }
+
+func (s *Server) handleGet(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := wire.NewDec(req.Body)
+	key := d.Str()
+	if d.Err != nil {
+		return transport.Message{}, d.Err
+	}
+	it, ok := s.store.Get(key)
+	var e wire.Enc
+	if !ok {
+		e.U16(stMiss)
+		return transport.Message{Op: OpGet, Body: e.B}, nil
+	}
+	e.U16(stOK)
+	e.Bytes(it.Value)
+	e.U32(it.Flags)
+	return transport.Message{Op: OpGet, Body: e.B}, nil
+}
+
+func (s *Server) handleSet(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := wire.NewDec(req.Body)
+	key := d.Str()
+	value := d.Bytes()
+	flags := d.U32()
+	ttlMs := d.U32()
+	if d.Err != nil {
+		return transport.Message{}, d.Err
+	}
+	var ttl time.Duration
+	if ttlMs > 0 {
+		ttl = time.Duration(ttlMs) * time.Millisecond
+	}
+	var e wire.Enc
+	if err := s.store.Set(key, value, flags, ttl); err != nil {
+		e.U16(stError)
+		e.Str(err.Error())
+		return transport.Message{Op: OpSet, Body: e.B}, nil
+	}
+	e.U16(stOK)
+	return transport.Message{Op: OpSet, Body: e.B}, nil
+}
+
+func (s *Server) handleDelete(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := wire.NewDec(req.Body)
+	key := d.Str()
+	if d.Err != nil {
+		return transport.Message{}, d.Err
+	}
+	var e wire.Enc
+	if s.store.Delete(key) {
+		e.U16(stOK)
+	} else {
+		e.U16(stMiss)
+	}
+	return transport.Message{Op: OpDelete, Body: e.B}, nil
+}
+
+func (s *Server) handleStats(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	st := s.store.Stats()
+	var e wire.Enc
+	e.U16(stOK)
+	e.I64(st.Items)
+	e.I64(st.Bytes)
+	e.U64(st.Hits)
+	e.U64(st.Misses)
+	e.U64(st.Sets)
+	e.U64(st.Evictions)
+	return transport.Message{Op: OpStats, Body: e.B}, nil
+}
+
+// ClientConfig parameterises a sharding client.
+type ClientConfig struct {
+	// Servers lists the cache nodes.
+	Servers []string
+	// Caller issues RPCs.
+	Caller transport.Caller
+	// Replicas is how many distinct servers each key is written to and
+	// read from, sequentially. 1 reproduces plain memcached; 3 reproduces
+	// the paper's "write every data three times" comparison (Fig. 7a).
+	Replicas int
+	// PointsPerServer sizes the ketama ring; zero selects 160.
+	PointsPerServer int
+	// CallTimeout bounds one RPC; zero selects 2s.
+	CallTimeout time.Duration
+}
+
+// Client shards keys over cache servers with consistent hashing.
+type Client struct {
+	cfg    ClientConfig
+	points []ketamaPoint
+}
+
+type ketamaPoint struct {
+	hash   uint64
+	server string
+}
+
+// NewClient validates the config and builds the hash ring.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if len(cfg.Servers) == 0 {
+		return nil, errors.New("memcached: Servers required")
+	}
+	if cfg.Caller == nil {
+		return nil, errors.New("memcached: Caller required")
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas > len(cfg.Servers) {
+		return nil, fmt.Errorf("memcached: %d replicas but only %d servers", cfg.Replicas, len(cfg.Servers))
+	}
+	if cfg.PointsPerServer <= 0 {
+		cfg.PointsPerServer = 160
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 2 * time.Second
+	}
+	c := &Client{cfg: cfg}
+	for _, srv := range cfg.Servers {
+		for i := 0; i < cfg.PointsPerServer; i++ {
+			h := ring.Hash64(kv.Key(fmt.Sprintf("%s#%d", srv, i)))
+			c.points = append(c.points, ketamaPoint{hash: h, server: srv})
+		}
+	}
+	sort.Slice(c.points, func(i, j int) bool { return c.points[i].hash < c.points[j].hash })
+	return c, nil
+}
+
+// serversFor walks the ring clockwise from the key's hash, collecting n
+// distinct servers.
+func (c *Client) serversFor(key string, n int) []string {
+	h := ring.Hash64(kv.Key(key))
+	idx := sort.Search(len(c.points), func(i int) bool { return c.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := map[string]bool{}
+	for i := 0; len(out) < n && i < len(c.points); i++ {
+		p := c.points[(idx+i)%len(c.points)]
+		if !seen[p.server] {
+			seen[p.server] = true
+			out = append(out, p.server)
+		}
+	}
+	return out
+}
+
+// Set writes the key to Replicas distinct servers, one after the other —
+// the sequential client-side replication the paper compares against.
+func (c *Client) Set(ctx context.Context, key string, value []byte) error {
+	var e wire.Enc
+	e.Str(key)
+	e.Bytes(value)
+	e.U32(0)
+	e.U32(0)
+	for _, srv := range c.serversFor(key, c.cfg.Replicas) {
+		callCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+		resp, err := c.cfg.Caller.Call(callCtx, srv, transport.Message{Op: OpSet, Body: e.B})
+		cancel()
+		if err != nil {
+			return err
+		}
+		d := wire.NewDec(resp.Body)
+		if st := d.U16(); st != stOK {
+			return fmt.Errorf("memcached: set failed: %s", d.Str())
+		}
+	}
+	return nil
+}
+
+// Get reads the key from Replicas distinct servers sequentially (matching
+// the paper's three-read comparison) and returns the last hit; with
+// Replicas=1 it is a plain sharded get. A miss on every server returns
+// ErrMiss.
+func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
+	var e wire.Enc
+	e.Str(key)
+	var value []byte
+	hit := false
+	for _, srv := range c.serversFor(key, c.cfg.Replicas) {
+		callCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+		resp, err := c.cfg.Caller.Call(callCtx, srv, transport.Message{Op: OpGet, Body: e.B})
+		cancel()
+		if err != nil {
+			return nil, err
+		}
+		d := wire.NewDec(resp.Body)
+		if st := d.U16(); st == stOK {
+			value = d.Bytes()
+			hit = true
+		}
+	}
+	if !hit {
+		return nil, ErrMiss
+	}
+	return value, nil
+}
+
+// Delete removes the key from its replica servers.
+func (c *Client) Delete(ctx context.Context, key string) error {
+	var e wire.Enc
+	e.Str(key)
+	for _, srv := range c.serversFor(key, c.cfg.Replicas) {
+		callCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+		_, err := c.cfg.Caller.Call(callCtx, srv, transport.Message{Op: OpDelete, Body: e.B})
+		cancel()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Extended protocol ops beyond get/set/delete, mirroring the memcached
+// text-protocol command set so the baseline is a usable cache in its own
+// right.
+const (
+	OpAdd     uint16 = 0x0405
+	OpReplace uint16 = 0x0406
+	OpCAS     uint16 = 0x0407
+	OpTouch   uint16 = 0x0408
+	OpFlush   uint16 = 0x0409
+	OpIncr    uint16 = 0x040a
+	OpGetCAS  uint16 = 0x040b
+)
+
+// Extended statuses.
+const (
+	stExists uint16 = iota + 3 // add on present / cas conflict
+	stNotStored
+)
+
+// Protocol errors for the extended ops.
+var (
+	// ErrExists reports Add on a present key or a CAS conflict.
+	ErrExists = errors.New("memcached: exists")
+	// ErrNotStored reports Replace/Touch/Incr on an absent key.
+	ErrNotStored = errors.New("memcached: not stored")
+)
+
+func (s *Server) registerExtended(mux *transport.Mux) {
+	mux.HandleFunc(OpAdd, s.handleAdd)
+	mux.HandleFunc(OpReplace, s.handleReplace)
+	mux.HandleFunc(OpCAS, s.handleCAS)
+	mux.HandleFunc(OpTouch, s.handleTouch)
+	mux.HandleFunc(OpFlush, s.handleFlush)
+	mux.HandleFunc(OpIncr, s.handleIncr)
+	mux.HandleFunc(OpGetCAS, s.handleGetCAS)
+}
+
+// handleGetCAS is Get plus the CAS token ("gets" in the text protocol).
+func (s *Server) handleGetCAS(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := wire.NewDec(req.Body)
+	key := d.Str()
+	if d.Err != nil {
+		return transport.Message{}, d.Err
+	}
+	it, ok := s.store.Get(key)
+	var e wire.Enc
+	if !ok {
+		e.U16(stMiss)
+		return transport.Message{Op: OpGetCAS, Body: e.B}, nil
+	}
+	e.U16(stOK)
+	e.Bytes(it.Value)
+	e.U32(it.Flags)
+	e.U64(it.CAS)
+	return transport.Message{Op: OpGetCAS, Body: e.B}, nil
+}
+
+func decodeStoreReq(body []byte) (key string, value []byte, flags, ttlMs uint32, cas uint64, err error) {
+	d := wire.NewDec(body)
+	key = d.Str()
+	value = d.Bytes()
+	flags = d.U32()
+	ttlMs = d.U32()
+	cas = d.U64()
+	return key, value, flags, ttlMs, cas, d.Err
+}
+
+func ttlOf(ttlMs uint32) time.Duration {
+	if ttlMs == 0 {
+		return 0
+	}
+	return time.Duration(ttlMs) * time.Millisecond
+}
+
+func storeReply(op uint16, err error) (transport.Message, error) {
+	var e wire.Enc
+	switch {
+	case err == nil:
+		e.U16(stOK)
+	case errors.Is(err, memstore.ErrExists), errors.Is(err, memstore.ErrCASMismatch):
+		e.U16(stExists)
+	case errors.Is(err, memstore.ErrNotFound):
+		e.U16(stNotStored)
+	default:
+		e.U16(stError)
+		e.Str(err.Error())
+	}
+	return transport.Message{Op: op, Body: e.B}, nil
+}
+
+func (s *Server) handleAdd(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	key, value, flags, ttlMs, _, err := decodeStoreReq(req.Body)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	return storeReply(OpAdd, s.store.Add(key, value, flags, ttlOf(ttlMs)))
+}
+
+func (s *Server) handleReplace(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	key, value, flags, ttlMs, _, err := decodeStoreReq(req.Body)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	return storeReply(OpReplace, s.store.Replace(key, value, flags, ttlOf(ttlMs)))
+}
+
+func (s *Server) handleCAS(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	key, value, flags, ttlMs, cas, err := decodeStoreReq(req.Body)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	return storeReply(OpCAS, s.store.CompareAndSwap(key, value, flags, ttlOf(ttlMs), cas))
+}
+
+func (s *Server) handleTouch(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := wire.NewDec(req.Body)
+	key := d.Str()
+	ttlMs := d.U32()
+	if d.Err != nil {
+		return transport.Message{}, d.Err
+	}
+	var e wire.Enc
+	if s.store.Touch(key, ttlOf(ttlMs)) {
+		e.U16(stOK)
+	} else {
+		e.U16(stNotStored)
+	}
+	return transport.Message{Op: OpTouch, Body: e.B}, nil
+}
+
+func (s *Server) handleFlush(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	s.store.FlushAll()
+	var e wire.Enc
+	e.U16(stOK)
+	return transport.Message{Op: OpFlush, Body: e.B}, nil
+}
+
+// handleIncr atomically adds a delta to a decimal counter value, memcached's
+// incr/decr (decrement = negative delta, floored at zero like memcached).
+func (s *Server) handleIncr(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := wire.NewDec(req.Body)
+	key := d.Str()
+	delta := d.I64()
+	if d.Err != nil {
+		return transport.Message{}, d.Err
+	}
+	var result uint64
+	found := false
+	err := s.store.Update(key, func(old []byte, ok bool) ([]byte, bool) {
+		if !ok {
+			return nil, false // incr on absent key is NOT_FOUND in memcached
+		}
+		found = true
+		cur, perr := strconv.ParseUint(string(old), 10, 64)
+		if perr != nil {
+			cur = 0
+		}
+		if delta < 0 && uint64(-delta) > cur {
+			cur = 0
+		} else {
+			cur = uint64(int64(cur) + delta)
+		}
+		result = cur
+		return []byte(strconv.FormatUint(cur, 10)), true
+	})
+	var e wire.Enc
+	switch {
+	case err != nil:
+		e.U16(stError)
+		e.Str(err.Error())
+	case !found:
+		e.U16(stNotStored)
+	default:
+		e.U16(stOK)
+		e.U64(result)
+	}
+	return transport.Message{Op: OpIncr, Body: e.B}, nil
+}
+
+// --- extended client methods (first replica server only: these commands
+// are cache-local operations, not the replication comparison path) ---
+
+func (c *Client) storeOp(ctx context.Context, op uint16, key string, value []byte, flags, ttlMs uint32, cas uint64) error {
+	var e wire.Enc
+	e.Str(key)
+	e.Bytes(value)
+	e.U32(flags)
+	e.U32(ttlMs)
+	e.U64(cas)
+	srv := c.serversFor(key, 1)[0]
+	callCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	resp, err := c.cfg.Caller.Call(callCtx, srv, transport.Message{Op: op, Body: e.B})
+	if err != nil {
+		return err
+	}
+	d := wire.NewDec(resp.Body)
+	switch d.U16() {
+	case stOK:
+		return nil
+	case stExists:
+		return ErrExists
+	case stNotStored:
+		return ErrNotStored
+	default:
+		return fmt.Errorf("memcached: %s", d.Str())
+	}
+}
+
+// Add stores only when absent.
+func (c *Client) Add(ctx context.Context, key string, value []byte) error {
+	return c.storeOp(ctx, OpAdd, key, value, 0, 0, 0)
+}
+
+// Replace stores only when present.
+func (c *Client) Replace(ctx context.Context, key string, value []byte) error {
+	return c.storeOp(ctx, OpReplace, key, value, 0, 0, 0)
+}
+
+// GetWithCAS reads the value plus its CAS token.
+func (c *Client) GetWithCAS(ctx context.Context, key string) ([]byte, uint64, error) {
+	var e wire.Enc
+	e.Str(key)
+	srv := c.serversFor(key, 1)[0]
+	callCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	resp, err := c.cfg.Caller.Call(callCtx, srv, transport.Message{Op: OpGetCAS, Body: e.B})
+	if err != nil {
+		return nil, 0, err
+	}
+	d := wire.NewDec(resp.Body)
+	if st := d.U16(); st != stOK {
+		return nil, 0, ErrMiss
+	}
+	value := d.Bytes()
+	_ = d.U32() // flags
+	cas := d.U64()
+	return value, cas, d.Err
+}
+
+// CompareAndSwap stores only when the CAS token still matches.
+func (c *Client) CompareAndSwap(ctx context.Context, key string, value []byte, cas uint64) error {
+	return c.storeOp(ctx, OpCAS, key, value, 0, 0, cas)
+}
+
+// Touch refreshes a key's TTL.
+func (c *Client) Touch(ctx context.Context, key string, ttl time.Duration) error {
+	var e wire.Enc
+	e.Str(key)
+	e.U32(uint32(ttl / time.Millisecond))
+	srv := c.serversFor(key, 1)[0]
+	callCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	resp, err := c.cfg.Caller.Call(callCtx, srv, transport.Message{Op: OpTouch, Body: e.B})
+	if err != nil {
+		return err
+	}
+	d := wire.NewDec(resp.Body)
+	if d.U16() != stOK {
+		return ErrNotStored
+	}
+	return nil
+}
+
+// Incr atomically adjusts a decimal counter on its shard; delta may be
+// negative (floored at zero). It returns the new value.
+func (c *Client) Incr(ctx context.Context, key string, delta int64) (uint64, error) {
+	var e wire.Enc
+	e.Str(key)
+	e.I64(delta)
+	srv := c.serversFor(key, 1)[0]
+	callCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	resp, err := c.cfg.Caller.Call(callCtx, srv, transport.Message{Op: OpIncr, Body: e.B})
+	if err != nil {
+		return 0, err
+	}
+	d := wire.NewDec(resp.Body)
+	switch d.U16() {
+	case stOK:
+		return d.U64(), d.Err
+	case stNotStored:
+		return 0, ErrNotStored
+	default:
+		return 0, fmt.Errorf("memcached: %s", d.Str())
+	}
+}
+
+// FlushAll clears every server.
+func (c *Client) FlushAll(ctx context.Context) error {
+	for _, srv := range c.cfg.Servers {
+		callCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+		_, err := c.cfg.Caller.Call(callCtx, srv, transport.Message{Op: OpFlush})
+		cancel()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package memcached
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"sedna/internal/netsim"
+)
+
+func startCluster(t *testing.T, n int) (*netsim.Network, []string) {
+	t.Helper()
+	net := netsim.NewNetwork(netsim.Loopback(), 3)
+	var addrs []string
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("mc-%d", i)
+		srv := NewServer(net.Endpoint(addr), 0)
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		addrs = append(addrs, addr)
+	}
+	return net, addrs
+}
+
+func TestSetGetSingleReplica(t *testing.T) {
+	net, addrs := startCluster(t, 3)
+	c, err := NewClient(ClientConfig{Servers: addrs, Caller: net.Endpoint("cli"), Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := c.Set(ctx, "key", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(ctx, "key")
+	if err != nil || string(got) != "value" {
+		t.Fatalf("get = %q, %v", got, err)
+	}
+	if _, err := c.Get(ctx, "missing"); !errors.Is(err, ErrMiss) {
+		t.Fatalf("miss = %v", err)
+	}
+}
+
+func TestTripleReplicaPlacement(t *testing.T) {
+	net, addrs := startCluster(t, 5)
+	c, err := NewClient(ClientConfig{Servers: addrs, Caller: net.Endpoint("cli"), Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := c.Set(ctx, "replicated", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	srvs := c.serversFor("replicated", 3)
+	if len(srvs) != 3 {
+		t.Fatalf("servers = %v", srvs)
+	}
+	seen := map[string]bool{}
+	for _, s := range srvs {
+		if seen[s] {
+			t.Fatalf("duplicate replica server %s", s)
+		}
+		seen[s] = true
+	}
+	// Stable placement.
+	again := c.serversFor("replicated", 3)
+	for i := range srvs {
+		if srvs[i] != again[i] {
+			t.Fatal("placement not deterministic")
+		}
+	}
+}
+
+func TestShardingSpreadsKeys(t *testing.T) {
+	net, addrs := startCluster(t, 4)
+	c, _ := NewClient(ClientConfig{Servers: addrs, Caller: net.Endpoint("cli"), Replicas: 1})
+	counts := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		counts[c.serversFor(fmt.Sprintf("test-%016d", i), 1)[0]]++
+	}
+	for srv, n := range counts {
+		if n < 500 || n > 2000 {
+			t.Fatalf("server %s got %d of 4000 keys", srv, n)
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d servers used", len(counts))
+	}
+}
+
+func TestDelete(t *testing.T) {
+	net, addrs := startCluster(t, 3)
+	c, _ := NewClient(ClientConfig{Servers: addrs, Caller: net.Endpoint("cli"), Replicas: 3})
+	ctx := context.Background()
+	c.Set(ctx, "k", []byte("v"))
+	if err := c.Delete(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(ctx, "k"); !errors.Is(err, ErrMiss) {
+		t.Fatalf("get after delete = %v", err)
+	}
+}
+
+func TestSequentialReplicationTiming(t *testing.T) {
+	// The defining contrast with Sedna (Fig. 7a): three replica writes
+	// from a memcached client are sequential, so with a ~10ms one-way
+	// link the set takes >= 3 round trips.
+	net := netsim.NewNetwork(netsim.Profile{Latency: 10 * time.Millisecond}, 1)
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		addr := fmt.Sprintf("mc-%d", i)
+		srv := NewServer(net.Endpoint(addr), 0)
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		addrs = append(addrs, addr)
+	}
+	c, _ := NewClient(ClientConfig{Servers: addrs, Caller: net.Endpoint("cli"), Replicas: 3})
+	start := time.Now()
+	if err := c.Set(context.Background(), "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 55*time.Millisecond {
+		t.Fatalf("triple set took %v; expected >= 3 sequential RTTs (~60ms)", d)
+	}
+}
+
+func TestReplicasExceedServers(t *testing.T) {
+	net, addrs := startCluster(t, 2)
+	if _, err := NewClient(ClientConfig{Servers: addrs, Caller: net.Endpoint("cli"), Replicas: 3}); err == nil {
+		t.Fatal("accepted more replicas than servers")
+	}
+}
+
+func TestValuesDoNotLeakAcrossKeys(t *testing.T) {
+	net, addrs := startCluster(t, 3)
+	c, _ := NewClient(ClientConfig{Servers: addrs, Caller: net.Endpoint("cli"), Replicas: 1})
+	ctx := context.Background()
+	for i := 0; i < 100; i++ {
+		if err := c.Set(ctx, fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		got, err := c.Get(ctx, fmt.Sprintf("k%d", i))
+		if err != nil || string(got) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("k%d = %q, %v", i, got, err)
+		}
+	}
+}
+
+func TestExtendedAddReplace(t *testing.T) {
+	net, addrs := startCluster(t, 3)
+	c, _ := NewClient(ClientConfig{Servers: addrs, Caller: net.Endpoint("cli"), Replicas: 1})
+	ctx := context.Background()
+	if err := c.Replace(ctx, "k", []byte("x")); !errors.Is(err, ErrNotStored) {
+		t.Fatalf("replace absent = %v", err)
+	}
+	if err := c.Add(ctx, "k", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(ctx, "k", []byte("b")); !errors.Is(err, ErrExists) {
+		t.Fatalf("add present = %v", err)
+	}
+	if err := c.Replace(ctx, "k", []byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.Get(ctx, "k")
+	if string(got) != "c" {
+		t.Fatalf("value = %q", got)
+	}
+}
+
+func TestExtendedCAS(t *testing.T) {
+	net, addrs := startCluster(t, 3)
+	c, _ := NewClient(ClientConfig{Servers: addrs, Caller: net.Endpoint("cli"), Replicas: 1})
+	ctx := context.Background()
+	c.Set(ctx, "k", []byte("v1"))
+	_, cas, err := c.GetWithCAS(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CompareAndSwap(ctx, "k", []byte("v2"), cas); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CompareAndSwap(ctx, "k", []byte("v3"), cas); !errors.Is(err, ErrExists) {
+		t.Fatalf("stale cas = %v", err)
+	}
+	got, _ := c.Get(ctx, "k")
+	if string(got) != "v2" {
+		t.Fatalf("value = %q", got)
+	}
+}
+
+func TestExtendedIncr(t *testing.T) {
+	net, addrs := startCluster(t, 3)
+	c, _ := NewClient(ClientConfig{Servers: addrs, Caller: net.Endpoint("cli"), Replicas: 1})
+	ctx := context.Background()
+	if _, err := c.Incr(ctx, "counter", 1); !errors.Is(err, ErrNotStored) {
+		t.Fatalf("incr absent = %v", err)
+	}
+	c.Set(ctx, "counter", []byte("10"))
+	n, err := c.Incr(ctx, "counter", 5)
+	if err != nil || n != 15 {
+		t.Fatalf("incr = %d, %v", n, err)
+	}
+	n, err = c.Incr(ctx, "counter", -20)
+	if err != nil || n != 0 {
+		t.Fatalf("decr floor = %d, %v", n, err)
+	}
+}
+
+func TestExtendedTouchAndFlush(t *testing.T) {
+	net, addrs := startCluster(t, 2)
+	c, _ := NewClient(ClientConfig{Servers: addrs, Caller: net.Endpoint("cli"), Replicas: 1})
+	ctx := context.Background()
+	c.Set(ctx, "k", []byte("v"))
+	if err := c.Touch(ctx, "k", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Touch(ctx, "ghost", time.Minute); !errors.Is(err, ErrNotStored) {
+		t.Fatalf("touch absent = %v", err)
+	}
+	if err := c.FlushAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(ctx, "k"); !errors.Is(err, ErrMiss) {
+		t.Fatalf("get after flush = %v", err)
+	}
+}

@@ -1,0 +1,157 @@
+package memstore
+
+// hashTable is a chained hash table with incremental rehashing, modelled on
+// memcached's assoc table: when the load factor crosses 1.5 the bucket array
+// doubles and items migrate a few buckets per operation, so no single
+// request pays the full rehash cost.
+
+type item struct {
+	key     string
+	value   []byte
+	flags   uint32
+	expire  int64 // unix nanoseconds; 0 means no expiry
+	cas     uint64
+	class   int // slab class index
+	hash    uint64
+	hnext   *item // hash chain
+	lruPrev *item
+	lruNext *item
+}
+
+// size returns the byte footprint charged to the slab layer: key + value +
+// a fixed per-item overhead approximating the metadata above.
+func (it *item) size() int { return len(it.key) + len(it.value) + itemOverhead }
+
+const itemOverhead = 56
+
+type hashTable struct {
+	buckets []*item
+	// old is the pre-resize bucket array while a migration is in flight.
+	old []*item
+	// migrated counts how many old buckets have been drained.
+	migrated int
+	count    int
+}
+
+const (
+	initialBuckets  = 1 << 10
+	migrationStride = 16
+)
+
+func newHashTable() *hashTable {
+	return &hashTable{buckets: make([]*item, initialBuckets)}
+}
+
+// lookup returns the item for key or nil.
+func (h *hashTable) lookup(hash uint64, key string) *item {
+	h.step()
+	if h.old != nil {
+		if it := scanChain(h.old[hash&uint64(len(h.old)-1)], hash, key); it != nil {
+			return it
+		}
+	}
+	return scanChain(h.buckets[hash&uint64(len(h.buckets)-1)], hash, key)
+}
+
+func scanChain(it *item, hash uint64, key string) *item {
+	for ; it != nil; it = it.hnext {
+		if it.hash == hash && it.key == key {
+			return it
+		}
+	}
+	return nil
+}
+
+// insert adds a new item; the caller guarantees the key is absent.
+func (h *hashTable) insert(it *item) {
+	h.step()
+	b := it.hash & uint64(len(h.buckets)-1)
+	it.hnext = h.buckets[b]
+	h.buckets[b] = it
+	h.count++
+	if h.old == nil && h.count > len(h.buckets)*3/2 {
+		h.beginResize()
+	}
+}
+
+// remove unlinks the item for key and returns it, or nil when absent.
+func (h *hashTable) remove(hash uint64, key string) *item {
+	h.step()
+	if h.old != nil {
+		if it := removeFrom(h.old, hash, key); it != nil {
+			h.count--
+			return it
+		}
+	}
+	if it := removeFrom(h.buckets, hash, key); it != nil {
+		h.count--
+		return it
+	}
+	return nil
+}
+
+func removeFrom(buckets []*item, hash uint64, key string) *item {
+	b := hash & uint64(len(buckets)-1)
+	var prev *item
+	for it := buckets[b]; it != nil; it = it.hnext {
+		if it.hash == hash && it.key == key {
+			if prev == nil {
+				buckets[b] = it.hnext
+			} else {
+				prev.hnext = it.hnext
+			}
+			it.hnext = nil
+			return it
+		}
+		prev = it
+	}
+	return nil
+}
+
+func (h *hashTable) beginResize() {
+	h.old = h.buckets
+	h.buckets = make([]*item, len(h.old)*2)
+	h.migrated = 0
+}
+
+// step migrates a few buckets of an in-flight resize.
+func (h *hashTable) step() {
+	if h.old == nil {
+		return
+	}
+	for n := 0; n < migrationStride && h.migrated < len(h.old); n++ {
+		it := h.old[h.migrated]
+		for it != nil {
+			next := it.hnext
+			b := it.hash & uint64(len(h.buckets)-1)
+			it.hnext = h.buckets[b]
+			h.buckets[b] = it
+			it = next
+		}
+		h.old[h.migrated] = nil
+		h.migrated++
+	}
+	if h.migrated == len(h.old) {
+		h.old = nil
+	}
+}
+
+// forEach visits every item. The callback must not mutate the table.
+func (h *hashTable) forEach(fn func(*item) bool) {
+	if h.old != nil {
+		for i := h.migrated; i < len(h.old); i++ {
+			for it := h.old[i]; it != nil; it = it.hnext {
+				if !fn(it) {
+					return
+				}
+			}
+		}
+	}
+	for _, head := range h.buckets {
+		for it := head; it != nil; it = it.hnext {
+			if !fn(it) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package memstore implements Sedna's local memory storage, a from-scratch
+// memcached-style engine (the paper uses "modified Memcached" as each
+// server's local store, §VI): a slab-class allocator with per-class LRU
+// eviction, a resizable hash table with incremental rehashing, item TTLs,
+// CAS, and the statistics counters the rest of Sedna consumes.
+package memstore
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Slab sizing mirrors memcached's defaults: chunk classes start at a small
+// minimum and grow geometrically up to the page size; an item occupies one
+// chunk of the smallest class that fits it, and memory is acquired from a
+// global budget one page at a time. We reproduce the accounting (and thus
+// the eviction behaviour) without doing raw pointer arithmetic: Go owns the
+// bytes, the slab layer owns the budget.
+const (
+	// PageSize is the allocation unit requested from the global budget.
+	PageSize = 1 << 20 // 1 MiB
+	// minChunk is the smallest chunk class.
+	minChunk = 96
+	// growthFactor is the ratio between consecutive chunk classes,
+	// memcached's default 1.25.
+	growthNum, growthDen = 5, 4
+)
+
+// chunkClasses computes the chunk size ladder.
+func chunkClasses() []int {
+	var sizes []int
+	for size := minChunk; size < PageSize; size = size * growthNum / growthDen {
+		// Align to 8 bytes like memcached does.
+		aligned := (size + 7) &^ 7
+		if len(sizes) > 0 && aligned == sizes[len(sizes)-1] {
+			aligned += 8
+		}
+		sizes = append(sizes, aligned)
+	}
+	sizes = append(sizes, PageSize)
+	return sizes
+}
+
+// slabArena tracks page and chunk accounting for the whole store, shared
+// by every shard like memcached's global slab allocator. Its mutex is
+// always acquired after a shard lock, never before.
+type slabArena struct {
+	mu      sync.Mutex
+	sizes   []int
+	classes []slabClass
+	// budget is the maximum bytes of pages this arena may hold.
+	budget int64
+	// pagesBytes is the bytes currently held in pages.
+	pagesBytes int64
+}
+
+type slabClass struct {
+	chunkSize   int
+	perPage     int
+	totalChunks int // chunks available across all pages of this class
+	usedChunks  int
+}
+
+// newSlabArena creates an arena with the given byte budget.
+func newSlabArena(budget int64) *slabArena {
+	sizes := chunkClasses()
+	a := &slabArena{sizes: sizes, budget: budget}
+	a.classes = make([]slabClass, len(sizes))
+	for i, s := range sizes {
+		a.classes[i] = slabClass{chunkSize: s, perPage: PageSize / s}
+	}
+	return a
+}
+
+// classFor returns the index of the smallest class whose chunk fits n bytes,
+// or -1 when the item is larger than a page (memcached rejects those).
+func (a *slabArena) classFor(n int) int {
+	// Binary search over the sorted ladder.
+	lo, hi := 0, len(a.sizes)-1
+	if n > a.sizes[hi] {
+		return -1
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a.sizes[mid] < n {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// reserve acquires one chunk of class c. It returns true on success and
+// false when the class is full and the arena budget cannot supply another
+// page — the caller must then evict from class c and retry.
+func (a *slabArena) reserve(c int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cl := &a.classes[c]
+	if cl.usedChunks < cl.totalChunks {
+		cl.usedChunks++
+		return true
+	}
+	if a.pagesBytes+PageSize > a.budget {
+		return false
+	}
+	a.pagesBytes += PageSize
+	cl.totalChunks += cl.perPage
+	cl.usedChunks++
+	return true
+}
+
+// release returns one chunk of class c to its free list.
+func (a *slabArena) release(c int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cl := &a.classes[c]
+	if cl.usedChunks == 0 {
+		panic(fmt.Sprintf("memstore: release on empty class %d", c))
+	}
+	cl.usedChunks--
+}
+
+// ClassStats describes one slab class for the stats endpoint.
+type ClassStats struct {
+	ChunkSize   int
+	TotalChunks int
+	UsedChunks  int
+}
+
+func (a *slabArena) stats() []ClassStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]ClassStats, 0, len(a.classes))
+	for _, cl := range a.classes {
+		if cl.totalChunks == 0 {
+			continue
+		}
+		out = append(out, ClassStats{ChunkSize: cl.chunkSize, TotalChunks: cl.totalChunks, UsedChunks: cl.usedChunks})
+	}
+	return out
+}

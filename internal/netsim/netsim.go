@@ -1,0 +1,317 @@
+// Package netsim simulates the paper's testbed network: the CLUSTER 2012
+// evaluation ran nine servers on a single gigabit Ethernet segment with
+// sub-millisecond round trips (§VI-A). A Network hosts any number of
+// in-process endpoints that satisfy transport.Transport, injecting
+// configurable per-link latency, jitter, bandwidth delay and drops, plus
+// partitions for failure testing — so cluster experiments that needed a
+// machine room run deterministically inside one process.
+package netsim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sedna/internal/transport"
+)
+
+// Profile describes one directional link's behaviour.
+type Profile struct {
+	// Latency is the one-way propagation delay applied to each message.
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter).
+	Jitter time.Duration
+	// BandwidthBps models serialisation delay: a message of n bytes adds
+	// n*8/BandwidthBps seconds. Zero disables the term.
+	BandwidthBps int64
+	// DropRate is the probability in [0,1] that a message is lost; a
+	// dropped request surfaces to the caller as a context timeout, like a
+	// real lost packet would.
+	DropRate float64
+	// ServiceTime models the destination server's per-request processing
+	// cost (CPU + kernel + NIC). Requests to one endpoint are serviced
+	// one at a time, so concurrent load queues — which is what makes
+	// multi-client sweeps slow down per client, the effect behind the
+	// paper's Fig. 8. Zero disables the queueing model.
+	ServiceTime time.Duration
+}
+
+// GigabitLAN approximates the paper's testbed: 1 GbE, same rack, RTT under
+// a millisecond.
+func GigabitLAN() Profile {
+	return Profile{
+		Latency:      200 * time.Microsecond,
+		Jitter:       50 * time.Microsecond,
+		BandwidthBps: 1e9,
+		// ~0.5ms of server work per request approximates the paper's
+		// dual-core 2.53 GHz Xeons; it is what makes concurrent clients
+		// queue (Fig. 8).
+		ServiceTime: 500 * time.Microsecond,
+	}
+}
+
+// Loopback is a zero-delay profile for unit tests.
+func Loopback() Profile { return Profile{} }
+
+// Network is a registry of simulated endpoints. All methods are safe for
+// concurrent use.
+type Network struct {
+	mu        sync.Mutex
+	def       Profile
+	endpoints map[string]*Endpoint
+	links     map[linkKey]Profile
+	cut       map[linkKey]bool
+	rng       *rand.Rand
+	// messages counts delivered requests (for traffic experiments such as
+	// the watch-storm ablation).
+	messages uint64
+}
+
+type linkKey struct{ from, to string }
+
+// NewNetwork creates a network whose links default to the given profile.
+// The seed makes drop and jitter decisions reproducible.
+func NewNetwork(def Profile, seed int64) *Network {
+	return &Network{
+		def:       def,
+		endpoints: map[string]*Endpoint{},
+		links:     map[linkKey]Profile{},
+		cut:       map[linkKey]bool{},
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Endpoint returns the transport bound to addr, creating it if needed.
+// Distinct calls with the same addr return the same endpoint.
+func (n *Network) Endpoint(addr string) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep := n.endpoints[addr]; ep != nil {
+		return ep
+	}
+	ep := &Endpoint{net: n, addr: addr}
+	n.endpoints[addr] = ep
+	return ep
+}
+
+// SetLink overrides the profile of the directed link from -> to.
+func (n *Network) SetLink(from, to string, p Profile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[linkKey{from, to}] = p
+}
+
+// Partition cuts both directions between a and b; calls fail like packet
+// loss (they hang until the caller's deadline).
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[linkKey{a, b}] = true
+	n.cut[linkKey{b, a}] = true
+}
+
+// Heal repairs a partition created by Partition.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cut, linkKey{a, b})
+	delete(n.cut, linkKey{b, a})
+}
+
+// Isolate cuts every link touching addr, simulating a machine failure that
+// is still running but unreachable.
+func (n *Network) Isolate(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for other := range n.endpoints {
+		if other != addr {
+			n.cut[linkKey{addr, other}] = true
+			n.cut[linkKey{other, addr}] = true
+		}
+	}
+}
+
+// HealAll removes all partitions.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut = map[linkKey]bool{}
+}
+
+// plan decides the fate of one message: its total delay, the destination
+// service time, and whether it is dropped or the link is cut.
+func (n *Network) plan(from, to string, size int) (delay, service time.Duration, dropped bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cut[linkKey{from, to}] {
+		return 0, 0, true
+	}
+	p, ok := n.links[linkKey{from, to}]
+	if !ok {
+		p = n.def
+	}
+	if p.DropRate > 0 && n.rng.Float64() < p.DropRate {
+		return 0, 0, true
+	}
+	delay = p.Latency
+	if p.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(p.Jitter)))
+	}
+	if p.BandwidthBps > 0 {
+		delay += time.Duration(int64(size) * 8 * int64(time.Second) / p.BandwidthBps)
+	}
+	return delay, p.ServiceTime, false
+}
+
+func (n *Network) lookup(addr string) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.endpoints[addr]
+}
+
+// Messages returns the total requests delivered so far.
+func (n *Network) Messages() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.messages
+}
+
+func (n *Network) countMessage() {
+	n.mu.Lock()
+	n.messages++
+	n.mu.Unlock()
+}
+
+// Reset replaces the endpoint at addr with a fresh one, simulating a process
+// restart on the same machine: the old endpoint stays closed, the new one
+// can Serve again.
+func (n *Network) Reset(addr string) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if old := n.endpoints[addr]; old != nil {
+		old.mu.Lock()
+		old.closed = true
+		old.handler = nil
+		old.mu.Unlock()
+	}
+	ep := &Endpoint{net: n, addr: addr}
+	n.endpoints[addr] = ep
+	return ep
+}
+
+// Endpoint is one simulated host; it implements transport.Transport.
+type Endpoint struct {
+	net  *Network
+	addr string
+
+	mu      sync.Mutex
+	handler transport.Handler
+	closed  bool
+	// svcMu is the endpoint's serial "CPU": requests holding it model the
+	// per-request service time, so concurrent callers queue.
+	svcMu sync.Mutex
+}
+
+var _ transport.Transport = (*Endpoint)(nil)
+
+// Addr implements transport.Transport.
+func (e *Endpoint) Addr() string { return e.addr }
+
+// Serve implements transport.Transport.
+func (e *Endpoint) Serve(h transport.Handler) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return transport.ErrClosed
+	}
+	if e.handler != nil {
+		return fmt.Errorf("netsim: Serve called twice on %s", e.addr)
+	}
+	e.handler = h
+	return nil
+}
+
+// Close implements transport.Transport.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	e.handler = nil
+	return nil
+}
+
+// Call implements transport.Caller: it applies the link profile in both
+// directions and runs the destination handler.
+func (e *Endpoint) Call(ctx context.Context, addr string, req transport.Message) (transport.Message, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return transport.Message{}, transport.ErrClosed
+	}
+	e.mu.Unlock()
+
+	dst := e.net.lookup(addr)
+	if dst == nil {
+		return transport.Message{}, transport.ErrUnreachable
+	}
+
+	// Outbound leg.
+	delay, service, dropped := e.net.plan(e.addr, addr, len(req.Body))
+	if dropped {
+		<-ctx.Done()
+		return transport.Message{}, ctx.Err()
+	}
+	if err := sleepCtx(ctx, delay); err != nil {
+		return transport.Message{}, err
+	}
+
+	dst.mu.Lock()
+	h := dst.handler
+	closed := dst.closed
+	dst.mu.Unlock()
+	if closed || h == nil {
+		return transport.Message{}, transport.ErrUnreachable
+	}
+	e.net.countMessage()
+	if service > 0 {
+		// The destination's serial CPU: concurrent requests queue here.
+		dst.svcMu.Lock()
+		err := sleepCtx(ctx, service)
+		dst.svcMu.Unlock()
+		if err != nil {
+			return transport.Message{}, err
+		}
+	}
+	resp, err := h(ctx, e.addr, req)
+	if err != nil {
+		// Handler errors travel back as remote errors, mirroring TCP.
+		return transport.Message{}, &transport.RemoteError{Msg: err.Error()}
+	}
+
+	// Return leg.
+	delay, _, dropped = e.net.plan(addr, e.addr, len(resp.Body))
+	if dropped {
+		<-ctx.Done()
+		return transport.Message{}, ctx.Err()
+	}
+	if err := sleepCtx(ctx, delay); err != nil {
+		return transport.Message{}, err
+	}
+	return resp, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,275 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sedna/internal/transport"
+)
+
+func echo(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	return transport.Message{Op: req.Op, Body: req.Body}, nil
+}
+
+func TestLoopbackCall(t *testing.T) {
+	n := NewNetwork(Loopback(), 1)
+	srv := n.Endpoint("s1")
+	if err := srv.Serve(echo); err != nil {
+		t.Fatal(err)
+	}
+	cli := n.Endpoint("c1")
+	resp, err := cli.Call(context.Background(), "s1", transport.Message{Op: 3, Body: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Op != 3 || string(resp.Body) != "x" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestFromAddressIsLogical(t *testing.T) {
+	n := NewNetwork(Loopback(), 1)
+	got := make(chan string, 1)
+	n.Endpoint("s1").Serve(func(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+		got <- from
+		return req, nil
+	})
+	n.Endpoint("client-9").Call(context.Background(), "s1", transport.Message{})
+	if from := <-got; from != "client-9" {
+		t.Fatalf("from = %q", from)
+	}
+}
+
+func TestUnknownDestination(t *testing.T) {
+	n := NewNetwork(Loopback(), 1)
+	cli := n.Endpoint("c")
+	if _, err := cli.Call(context.Background(), "nowhere", transport.Message{}); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEndpointNotServing(t *testing.T) {
+	n := NewNetwork(Loopback(), 1)
+	n.Endpoint("s") // exists but never called Serve
+	cli := n.Endpoint("c")
+	if _, err := cli.Call(context.Background(), "s", transport.Message{}); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	n := NewNetwork(Profile{Latency: 10 * time.Millisecond}, 1)
+	n.Endpoint("s").Serve(echo)
+	cli := n.Endpoint("c")
+	start := time.Now()
+	if _, err := cli.Call(context.Background(), "s", transport.Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("round trip %v, want >= 20ms (two legs)", d)
+	}
+}
+
+func TestBandwidthDelay(t *testing.T) {
+	// 1 Mbit/s: a 12500-byte body serialises in 100ms.
+	n := NewNetwork(Profile{BandwidthBps: 1e6}, 1)
+	n.Endpoint("s").Serve(echo)
+	cli := n.Endpoint("c")
+	start := time.Now()
+	if _, err := cli.Call(context.Background(), "s", transport.Message{Body: make([]byte, 12500)}); err != nil {
+		t.Fatal(err)
+	}
+	// Both legs carry the body (echo), so >= 200ms.
+	if d := time.Since(start); d < 180*time.Millisecond {
+		t.Fatalf("round trip %v, want >= ~200ms", d)
+	}
+}
+
+func TestPartitionBlocksAndHeals(t *testing.T) {
+	n := NewNetwork(Loopback(), 1)
+	n.Endpoint("s").Serve(echo)
+	cli := n.Endpoint("c")
+	n.Partition("c", "s")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := cli.Call(ctx, "s", transport.Message{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("partitioned call err = %v", err)
+	}
+	n.Heal("c", "s")
+	if _, err := cli.Call(context.Background(), "s", transport.Message{}); err != nil {
+		t.Fatalf("healed call err = %v", err)
+	}
+}
+
+func TestIsolateCutsAllLinks(t *testing.T) {
+	n := NewNetwork(Loopback(), 1)
+	n.Endpoint("a").Serve(echo)
+	n.Endpoint("b").Serve(echo)
+	n.Endpoint("c").Serve(echo)
+	n.Isolate("b")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := n.Endpoint("a").Call(ctx, "b", transport.Message{}); err == nil {
+		t.Fatal("isolated endpoint reachable")
+	}
+	if _, err := n.Endpoint("a").Call(context.Background(), "c", transport.Message{}); err != nil {
+		t.Fatalf("unrelated link affected: %v", err)
+	}
+	n.HealAll()
+	if _, err := n.Endpoint("a").Call(context.Background(), "b", transport.Message{}); err != nil {
+		t.Fatalf("HealAll did not restore: %v", err)
+	}
+}
+
+func TestDropRateTriggersTimeouts(t *testing.T) {
+	n := NewNetwork(Profile{DropRate: 1.0}, 42)
+	n.Endpoint("s").Serve(echo)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := n.Endpoint("c").Call(ctx, "s", transport.Message{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPerLinkOverride(t *testing.T) {
+	n := NewNetwork(Loopback(), 1)
+	n.Endpoint("s").Serve(echo)
+	n.SetLink("slow", "s", Profile{Latency: 20 * time.Millisecond})
+	n.Endpoint("fast")
+
+	start := time.Now()
+	n.Endpoint("fast").Call(context.Background(), "s", transport.Message{})
+	fast := time.Since(start)
+
+	start = time.Now()
+	n.Endpoint("slow").Call(context.Background(), "s", transport.Message{})
+	slow := time.Since(start)
+	if slow < 20*time.Millisecond {
+		t.Fatalf("slow link took %v", slow)
+	}
+	if fast > 10*time.Millisecond {
+		t.Fatalf("fast link took %v", fast)
+	}
+}
+
+func TestRemoteHandlerError(t *testing.T) {
+	n := NewNetwork(Loopback(), 1)
+	n.Endpoint("s").Serve(func(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+		return transport.Message{}, errors.New("nope")
+	})
+	_, err := n.Endpoint("c").Call(context.Background(), "s", transport.Message{})
+	if !transport.IsRemote(err) {
+		t.Fatalf("err = %v, want remote", err)
+	}
+}
+
+func TestClosedEndpoint(t *testing.T) {
+	n := NewNetwork(Loopback(), 1)
+	s := n.Endpoint("s")
+	s.Serve(echo)
+	s.Close()
+	if _, err := n.Endpoint("c").Call(context.Background(), "s", transport.Message{}); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("call to closed endpoint = %v", err)
+	}
+	c := n.Endpoint("c")
+	c.Close()
+	if _, err := c.Call(context.Background(), "s", transport.Message{}); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("call from closed endpoint = %v", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	n := NewNetwork(Profile{Latency: time.Millisecond}, 7)
+	n.Endpoint("s").Serve(echo)
+	cli := n.Endpoint("c")
+	var wg sync.WaitGroup
+	errs := make([]error, 50)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = cli.Call(context.Background(), "s", transport.Message{Op: uint16(i)})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		n := NewNetwork(Profile{DropRate: 0.5}, seed)
+		n.Endpoint("s").Serve(echo)
+		cli := n.Endpoint("c")
+		var outcomes []bool
+		for i := 0; i < 32; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+			_, err := cli.Call(ctx, "s", transport.Message{})
+			cancel()
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(99), run(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different outcomes")
+		}
+	}
+}
+
+func TestServiceTimeQueues(t *testing.T) {
+	// With a serial 5ms service time, 8 concurrent requests to one server
+	// take ~8x5ms, not ~5ms: the queueing model behind the paper's Fig. 8
+	// multi-client slowdown.
+	n := NewNetwork(Profile{ServiceTime: 5 * time.Millisecond}, 1)
+	n.Endpoint("s").Serve(echo)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cli := n.Endpoint(fmt.Sprintf("c%d", i))
+			cli.Call(context.Background(), "s", transport.Message{})
+		}(i)
+	}
+	wg.Wait()
+	if d := time.Since(start); d < 35*time.Millisecond {
+		t.Fatalf("8 concurrent calls finished in %v; service not serialised", d)
+	}
+	// A single call is ~one service time.
+	start = time.Now()
+	n.Endpoint("solo").Call(context.Background(), "s", transport.Message{})
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("single call took %v", d)
+	}
+}
+
+func TestServiceTimeDistinctServersParallel(t *testing.T) {
+	// Load on different servers does not queue against each other.
+	n := NewNetwork(Profile{ServiceTime: 10 * time.Millisecond}, 1)
+	for i := 0; i < 4; i++ {
+		n.Endpoint(fmt.Sprintf("s%d", i)).Serve(echo)
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n.Endpoint(fmt.Sprintf("c%d", i)).Call(context.Background(), fmt.Sprintf("s%d", i), transport.Message{})
+		}(i)
+	}
+	wg.Wait()
+	if d := time.Since(start); d > 35*time.Millisecond {
+		t.Fatalf("independent servers serialised: %v", d)
+	}
+}

@@ -1,0 +1,242 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"sedna/internal/wal"
+)
+
+// Strategy selects the durability mode, the paper's user-facing trade-off
+// between speed and availability (Table I).
+type Strategy int
+
+const (
+	// None keeps data in memory only; replicas are the sole protection.
+	None Strategy = iota
+	// Periodic flushes a full snapshot on an interval.
+	Periodic
+	// WriteAhead logs every mutation before acknowledging it.
+	WriteAhead
+	// Hybrid combines the write-ahead log with periodic snapshots that
+	// truncate it.
+	Hybrid
+)
+
+// String names the strategy for logs and flags.
+func (s Strategy) String() string {
+	switch s {
+	case None:
+		return "none"
+	case Periodic:
+		return "periodic"
+	case WriteAhead:
+		return "wal"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Config parameterises a Manager.
+type Config struct {
+	// Dir is the node's persistence root; snapshots live in Dir and the
+	// WAL in Dir/wal.
+	Dir string
+	// Strategy selects the durability mode.
+	Strategy Strategy
+	// FlushInterval is the snapshot period for Periodic and Hybrid; zero
+	// selects 30s.
+	FlushInterval time.Duration
+	// WALSync is the log's sync policy for WriteAhead and Hybrid.
+	WALSync wal.SyncPolicy
+}
+
+// Source provides the memory image for snapshots.
+type Source interface {
+	// SnapshotRange must invoke emit once per live entry.
+	SnapshotRange(emit func(key string, blob []byte))
+}
+
+// Manager drives a node's persistence according to the configured strategy.
+type Manager struct {
+	cfg Config
+	src Source
+	log *wal.Log
+
+	mu     sync.Mutex
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewManager opens (or creates) the persistence state in cfg.Dir. Call
+// Recover before serving traffic, then Start to begin periodic flushing.
+func NewManager(cfg Config, src Source) (*Manager, error) {
+	if cfg.Strategy != None && cfg.Dir == "" {
+		return nil, errors.New("persist: Dir required")
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 30 * time.Second
+	}
+	m := &Manager{cfg: cfg, src: src}
+	if cfg.Strategy == WriteAhead || cfg.Strategy == Hybrid {
+		l, err := wal.Open(wal.Options{Dir: m.walDir(), Sync: cfg.WALSync})
+		if err != nil {
+			return nil, err
+		}
+		m.log = l
+	}
+	return m, nil
+}
+
+func (m *Manager) walDir() string { return filepath.Join(m.cfg.Dir, "wal") }
+
+// Mutation record payload: u32 key length, key, blob. An empty blob encodes
+// a deletion.
+func encodeMutation(key string, blob []byte) []byte {
+	b := make([]byte, 0, 4+len(key)+len(blob))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(key)))
+	b = append(b, key...)
+	b = append(b, blob...)
+	return b
+}
+
+func decodeMutation(p []byte) (key string, blob []byte, err error) {
+	if len(p) < 4 {
+		return "", nil, errors.New("persist: short mutation record")
+	}
+	kl := int(binary.LittleEndian.Uint32(p))
+	if len(p) < 4+kl {
+		return "", nil, errors.New("persist: truncated mutation key")
+	}
+	return string(p[4 : 4+kl]), p[4+kl:], nil
+}
+
+// LogWrite records a row mutation. Under None and Periodic it is a no-op;
+// under WriteAhead and Hybrid it appends to the log and returns only after
+// the configured sync policy is satisfied. A nil blob logs a deletion.
+func (m *Manager) LogWrite(key string, blob []byte) error {
+	if m.log == nil {
+		return nil
+	}
+	_, err := m.log.Append(encodeMutation(key, blob))
+	return err
+}
+
+// Recover rebuilds the memory image: newest snapshot first, then the WAL
+// suffix past the snapshot's watermark. apply receives entries in recovery
+// order (later entries supersede earlier ones); a nil blob means deletion.
+func (m *Manager) Recover(apply func(key string, blob []byte) error) error {
+	if m.cfg.Strategy == None {
+		return nil
+	}
+	var from uint64
+	path, watermark, ok, err := LatestSnapshot(m.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	if ok {
+		if _, err := ReadSnapshot(path, apply); err != nil {
+			return err
+		}
+		from = watermark
+	}
+	if m.cfg.Strategy == Periodic {
+		return nil
+	}
+	return wal.Replay(m.walDir(), from, func(r wal.Record) error {
+		key, blob, err := decodeMutation(r.Payload)
+		if err != nil {
+			return err
+		}
+		if len(blob) == 0 {
+			return apply(key, nil)
+		}
+		return apply(key, blob)
+	})
+}
+
+// SnapshotNow captures a snapshot immediately, prunes older snapshots and —
+// under Hybrid — truncates the covered WAL prefix.
+func (m *Manager) SnapshotNow() error {
+	if m.cfg.Strategy == None || m.cfg.Strategy == WriteAhead {
+		return nil
+	}
+	var watermark uint64 = 1
+	if m.log != nil {
+		if err := m.log.Sync(); err != nil {
+			return err
+		}
+		watermark = m.log.NextSeq()
+	}
+	_, err := WriteSnapshot(m.cfg.Dir, watermark, func(emit func(key string, blob []byte)) error {
+		m.src.SnapshotRange(emit)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := PruneSnapshots(m.cfg.Dir); err != nil {
+		return err
+	}
+	if m.log != nil {
+		return wal.Truncate(m.walDir(), watermark)
+	}
+	return nil
+}
+
+// Start launches the periodic flush loop when the strategy calls for one.
+func (m *Manager) Start() {
+	if m.cfg.Strategy != Periodic && m.cfg.Strategy != Hybrid {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stop != nil || m.closed {
+		return
+	}
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(m.cfg.FlushInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				m.SnapshotNow()
+			case <-stop:
+				return
+			}
+		}
+	}(m.stop, m.done)
+}
+
+// Close stops the flush loop and closes the WAL. It does not take a final
+// snapshot; callers wanting one should SnapshotNow first.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	stop, done := m.stop, m.done
+	m.stop, m.done = nil, nil
+	m.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	if m.log != nil {
+		return m.log.Close()
+	}
+	return nil
+}

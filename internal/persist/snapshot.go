@@ -1,0 +1,206 @@
+// Package persist implements Sedna's persistency strategies (§III, Table I:
+// "periodically flush or write-ahead logs according users' needs"): binary
+// snapshots of the full memory image, a manager that combines snapshots with
+// the write-ahead log in internal/wal, and crash recovery that reloads the
+// newest snapshot and replays the log suffix. The paper motivates this as
+// the backstop for whole-cluster power loss (§III-C): replicas protect
+// against individual node failures, periodic flushing against losing all
+// three replicas at once.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot file format (little endian):
+//
+//	8  magic "SEDNASNP"
+//	u8 version
+//	u64 WAL watermark (next sequence at capture time)
+//	u64 entry count
+//	per entry: u32 key length, key, u32 blob length, blob
+//	u32 CRC32 over everything above
+//
+// Files are written to a temp name and renamed into place so a crash during
+// flush never destroys the previous snapshot.
+
+var snapMagic = [8]byte{'S', 'E', 'D', 'N', 'A', 'S', 'N', 'P'}
+
+const snapVersion = 1
+
+// ErrCorruptSnapshot reports a snapshot that failed validation.
+var ErrCorruptSnapshot = errors.New("persist: corrupt snapshot")
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+)
+
+func snapName(watermark uint64) string {
+	return fmt.Sprintf("%s%020d%s", snapPrefix, watermark, snapSuffix)
+}
+
+// WriteSnapshot captures the entries supplied by iterate into a snapshot
+// file in dir, tagged with the WAL watermark, and returns its path. iterate
+// must call emit once per entry and return nil.
+func WriteSnapshot(dir string, watermark uint64, iterate func(emit func(key string, blob []byte)) error) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, snapMagic[:]...)
+	buf = append(buf, snapVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, watermark)
+	countAt := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, 0) // patched below
+	var count uint64
+	err := iterate(func(key string, blob []byte) {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+		buf = append(buf, key...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blob)))
+		buf = append(buf, blob...)
+		count++
+	})
+	if err != nil {
+		return "", err
+	}
+	binary.LittleEndian.PutUint64(buf[countAt:], count)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+
+	final := filepath.Join(dir, snapName(watermark))
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return "", err
+	}
+	f, err := os.Open(tmp)
+	if err == nil {
+		f.Sync()
+		f.Close()
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+// ReadSnapshot loads the snapshot at path, invoking apply per entry, and
+// returns the WAL watermark recorded at capture time.
+func ReadSnapshot(path string, apply func(key string, blob []byte) error) (uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) < len(snapMagic)+1+8+8+4 {
+		return 0, fmt.Errorf("%w: too short", ErrCorruptSnapshot)
+	}
+	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crcBytes) {
+		return 0, fmt.Errorf("%w: bad checksum", ErrCorruptSnapshot)
+	}
+	off := 0
+	if string(body[:8]) != string(snapMagic[:]) {
+		return 0, fmt.Errorf("%w: bad magic", ErrCorruptSnapshot)
+	}
+	off += 8
+	if body[off] != snapVersion {
+		return 0, fmt.Errorf("%w: unknown version %d", ErrCorruptSnapshot, body[off])
+	}
+	off++
+	watermark := binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	count := binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	for i := uint64(0); i < count; i++ {
+		if len(body)-off < 4 {
+			return 0, fmt.Errorf("%w: truncated entry %d", ErrCorruptSnapshot, i)
+		}
+		kl := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if len(body)-off < kl+4 {
+			return 0, fmt.Errorf("%w: truncated key %d", ErrCorruptSnapshot, i)
+		}
+		key := string(body[off : off+kl])
+		off += kl
+		bl := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if len(body)-off < bl {
+			return 0, fmt.Errorf("%w: truncated blob %d", ErrCorruptSnapshot, i)
+		}
+		blob := append([]byte(nil), body[off:off+bl]...)
+		off += bl
+		if err := apply(key, blob); err != nil {
+			return 0, err
+		}
+	}
+	if off != len(body) {
+		return 0, fmt.Errorf("%w: %d trailing bytes", ErrCorruptSnapshot, len(body)-off)
+	}
+	return watermark, nil
+}
+
+// LatestSnapshot returns the path and watermark of the newest valid-looking
+// snapshot file in dir, or ok=false when none exists.
+func LatestSnapshot(dir string) (path string, watermark uint64, ok bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", 0, false, nil
+		}
+		return "", 0, false, err
+	}
+	var marks []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		n, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), 10, 64)
+		if perr != nil {
+			continue
+		}
+		marks = append(marks, n)
+	}
+	if len(marks) == 0 {
+		return "", 0, false, nil
+	}
+	sort.Slice(marks, func(i, j int) bool { return marks[i] < marks[j] })
+	w := marks[len(marks)-1]
+	return filepath.Join(dir, snapName(w)), w, true, nil
+}
+
+// PruneSnapshots removes every snapshot older than the newest.
+func PruneSnapshots(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	_, newest, ok, err := LatestSnapshot(dir)
+	if err != nil || !ok {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		n, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), 10, 64)
+		if perr != nil || n == newest {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,362 @@
+// Package quorum implements Sedna's replication protocol (§III-C): N
+// replicas per datum, eventually consistent under the quorum constraints
+//
+//	R + W > N   and   W > N/2,
+//
+// lock-free timestamped writes in two flavours (write_latest overwrites the
+// whole value, write_all only the element from the same source), reads that
+// wait for R equal copies, and read repair that pushes the merged freshest
+// state back to stale or recovering replicas.
+//
+// The engine is transport-agnostic: internal/core wires it to the replica
+// RPCs, tests wire it to an in-memory fake with injected failures.
+package quorum
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sedna/internal/kv"
+	"sedna/internal/ring"
+)
+
+// Mode selects the replica-side conflict rule.
+type Mode int
+
+const (
+	// Latest is write_latest: a newer timestamp replaces the whole row.
+	Latest Mode = iota
+	// All is write_all: only the element from the same source is
+	// compared and replaced.
+	All
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Latest {
+		return "latest"
+	}
+	return "all"
+}
+
+// WriteStatus is a replica's verdict on one write.
+type WriteStatus int
+
+const (
+	// WriteOK means the replica accepted the write ("ok").
+	WriteOK WriteStatus = iota
+	// WriteOutdated means the replica holds something newer ("outdated").
+	WriteOutdated
+)
+
+// Transport issues replica-level operations. Implementations must honour
+// ctx; an error return means the replica is unreachable or failed (a
+// protocol-level "outdated" is a WriteStatus, not an error).
+type Transport interface {
+	// WriteReplica applies one versioned value to the row at key on node.
+	WriteReplica(ctx context.Context, node ring.NodeID, key kv.Key, v kv.Versioned, mode Mode) (WriteStatus, error)
+	// ReadReplica fetches the row at key from node; a missing row comes
+	// back as an empty Row, not an error.
+	ReadReplica(ctx context.Context, node ring.NodeID, key kv.Key) (*kv.Row, error)
+	// RepairReplica merges the given row into node's copy (anti-entropy).
+	RepairReplica(ctx context.Context, node ring.NodeID, key kv.Key, row *kv.Row) error
+}
+
+// Config fixes the quorum parameters.
+type Config struct {
+	// N is the replication degree; the paper uses 3.
+	N int
+	// R and W are the read and write quorums; the paper's example uses
+	// R = W = 2 with N = 3.
+	R int
+	W int
+	// Timeout bounds one replica operation; zero selects 500ms.
+	Timeout time.Duration
+}
+
+// DefaultConfig returns the paper's N=3, R=2, W=2.
+func DefaultConfig() Config { return Config{N: 3, R: 2, W: 2, Timeout: 500 * time.Millisecond} }
+
+// Validate enforces the paper's two constraints.
+func (c Config) Validate() error {
+	if c.N <= 0 || c.R <= 0 || c.W <= 0 {
+		return errors.New("quorum: N, R, W must be positive")
+	}
+	if c.R+c.W <= c.N {
+		return fmt.Errorf("quorum: need R+W > N, got R=%d W=%d N=%d", c.R, c.W, c.N)
+	}
+	if 2*c.W <= c.N {
+		return fmt.Errorf("quorum: need W > N/2, got W=%d N=%d", c.W, c.N)
+	}
+	if c.R > c.N || c.W > c.N {
+		return fmt.Errorf("quorum: R and W cannot exceed N (R=%d W=%d N=%d)", c.R, c.W, c.N)
+	}
+	return nil
+}
+
+// ErrQuorumFailed reports too few reachable replicas.
+var ErrQuorumFailed = errors.New("quorum: not enough replicas reachable")
+
+// WriteResult summarises one quorum write.
+type WriteResult struct {
+	// Acked counts replicas that accepted the write.
+	Acked int
+	// Outdated reports that the quorum judged the write stale: the caller
+	// receives the paper's "outdated" reply.
+	Outdated bool
+	// Failed lists replicas that did not respond; the caller schedules
+	// recovery for them (§III-C).
+	Failed []ring.NodeID
+}
+
+// ReadResult summarises one quorum read.
+type ReadResult struct {
+	// Row is the merged row (never nil; may hold no values).
+	Row *kv.Row
+	// Consistent reports that at least R replicas returned equal rows.
+	Consistent bool
+	// Stale lists replicas whose copies lagged and were repaired.
+	Stale []ring.NodeID
+	// Failed lists unreachable replicas.
+	Failed []ring.NodeID
+}
+
+// Engine executes quorum operations over a Transport.
+type Engine struct {
+	cfg Config
+	rt  Transport
+}
+
+// NewEngine validates the config and returns an engine.
+func NewEngine(cfg Config, rt Transport) (*Engine, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 500 * time.Millisecond
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, rt: rt}, nil
+}
+
+// Config returns the engine's quorum parameters.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Write sends v to every replica in parallel and succeeds once W replicas
+// acked (§III-C: "if more than W nodes return the same version number then
+// the write is considered success"). It does not wait for stragglers beyond
+// the quorum, but their results still feed the Failed list via the shared
+// collector when they arrive within the timeout.
+func (e *Engine) Write(ctx context.Context, replicas []ring.NodeID, key kv.Key, v kv.Versioned, mode Mode) (WriteResult, error) {
+	if len(replicas) == 0 {
+		return WriteResult{}, fmt.Errorf("%w: no replicas for key %q", ErrQuorumFailed, key)
+	}
+	type reply struct {
+		node   ring.NodeID
+		status WriteStatus
+		err    error
+	}
+	ch := make(chan reply, len(replicas))
+	for _, node := range replicas {
+		go func(node ring.NodeID) {
+			// Each replica write gets the full timeout, detached from the
+			// collector: returning after W acks must not abort the write
+			// still in flight to the straggler (the replica would silently
+			// miss the update and stay stale until read repair).
+			cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), e.cfg.Timeout)
+			defer cancel()
+			st, err := e.rt.WriteReplica(cctx, node, key, v, mode)
+			ch <- reply{node: node, status: st, err: err}
+		}(node)
+	}
+
+	need := e.cfg.W
+	if need > len(replicas) {
+		need = len(replicas)
+	}
+	var res WriteResult
+	outdated := 0
+	responded := 0
+	var firstErr error
+	for i := 0; i < len(replicas); i++ {
+		r := <-ch
+		responded++
+		switch {
+		case r.err != nil:
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			res.Failed = append(res.Failed, r.node)
+		case r.status == WriteOK:
+			res.Acked++
+		default:
+			outdated++
+		}
+		if res.Acked >= need {
+			return res, nil
+		}
+		if outdated >= need {
+			res.Outdated = true
+			return res, nil
+		}
+		// Even a split verdict (some ok, some outdated) settles once a
+		// quorum of replicas has answered: the freshest data wins
+		// eventually via read repair, and the caller learns it raced.
+		if res.Acked+outdated >= need && outdated > 0 {
+			res.Outdated = true
+			return res, nil
+		}
+	}
+	if res.Acked >= need {
+		return res, nil
+	}
+	if firstErr != nil {
+		return res, fmt.Errorf("%w: %d/%d acks for key %q (first error: %v)", ErrQuorumFailed, res.Acked, need, key, firstErr)
+	}
+	return res, fmt.Errorf("%w: %d/%d acks for key %q", ErrQuorumFailed, res.Acked, need, key)
+}
+
+// Read fetches the row from every replica, waits for R equal copies, and
+// returns the merged freshest row. Divergent or unreachable replicas are
+// reported for repair; when no R copies agree the engine merges what it has
+// (eventual consistency) and flags the result inconsistent after repairing
+// the laggards.
+func (e *Engine) Read(ctx context.Context, replicas []ring.NodeID, key kv.Key) (ReadResult, error) {
+	if len(replicas) == 0 {
+		return ReadResult{}, fmt.Errorf("%w: no replicas for key %q", ErrQuorumFailed, key)
+	}
+	type reply struct {
+		node ring.NodeID
+		row  *kv.Row
+		err  error
+	}
+	ch := make(chan reply, len(replicas))
+	for _, node := range replicas {
+		go func(node ring.NodeID) {
+			cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), e.cfg.Timeout)
+			defer cancel()
+			row, err := e.rt.ReadReplica(cctx, node, key)
+			ch <- reply{node: node, row: row, err: err}
+		}(node)
+	}
+
+	need := e.cfg.R
+	if need > len(replicas) {
+		need = len(replicas)
+	}
+	var got []reply
+	var failed []ring.NodeID
+	for i := 0; i < len(replicas); i++ {
+		r := <-ch
+		if r.err != nil {
+			failed = append(failed, r.node)
+			continue
+		}
+		if r.row == nil {
+			r.row = &kv.Row{}
+		}
+		got = append(got, r)
+		// Early exit: R equal rows already in hand.
+		if len(got) >= need {
+			rows := make([]*kv.Row, len(got))
+			for j, g := range got {
+				rows[j] = g.row
+			}
+			if maxEqualGroup(rows) >= need {
+				break
+			}
+		}
+	}
+	if len(got) < need {
+		return ReadResult{Failed: failed}, fmt.Errorf("%w: %d/%d replies for key %q", ErrQuorumFailed, len(got), need, key)
+	}
+
+	// Merge everything we saw; the merge is the CRDT union, so it is the
+	// freshest combined state.
+	merged := &kv.Row{}
+	for _, r := range got {
+		merged.Merge(r.row)
+	}
+	merged.Dirty = false
+
+	res := ReadResult{Row: merged, Failed: failed}
+	var stale []ring.NodeID
+	equal := 0
+	for _, r := range got {
+		if r.row.Equal(merged) {
+			equal++
+		} else {
+			stale = append(stale, r.node)
+		}
+	}
+	res.Consistent = equal >= need
+	res.Stale = stale
+
+	// Read repair: push the merged row to stale replicas asynchronously
+	// (§III-C's "data duplication task ... asynchronously").
+	if len(stale) > 0 {
+		e.repairAsync(replicas, key, merged, stale)
+	}
+	return res, nil
+}
+
+// maxEqualGroup returns the size of the largest set of pairwise-equal rows.
+func maxEqualGroup(rows []*kv.Row) int {
+	best := 0
+	for i := range rows {
+		n := 0
+		for j := range rows {
+			if rows[i].Equal(rows[j]) {
+				n++
+			}
+		}
+		if n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+func (e *Engine) repairAsync(replicas []ring.NodeID, key kv.Key, row *kv.Row, stale []ring.NodeID) {
+	clone := row.Clone()
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), e.cfg.Timeout)
+		defer cancel()
+		var wg sync.WaitGroup
+		for _, node := range stale {
+			wg.Add(1)
+			go func(node ring.NodeID) {
+				defer wg.Done()
+				e.rt.RepairReplica(ctx, node, key, clone)
+			}(node)
+		}
+		wg.Wait()
+	}()
+}
+
+// Repair synchronously merges row into every listed replica, used by
+// recovery tasks re-building a lost node.
+func (e *Engine) Repair(ctx context.Context, nodes []ring.NodeID, key kv.Key, row *kv.Row) error {
+	ctx, cancel := context.WithTimeout(ctx, e.cfg.Timeout)
+	defer cancel()
+	var firstErr error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, node := range nodes {
+		wg.Add(1)
+		go func(node ring.NodeID) {
+			defer wg.Done()
+			if err := e.rt.RepairReplica(ctx, node, key, row); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(node)
+	}
+	wg.Wait()
+	return firstErr
+}

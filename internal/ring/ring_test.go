@@ -1,0 +1,609 @@
+package ring
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sedna/internal/kv"
+)
+
+func TestHash64Deterministic(t *testing.T) {
+	a := Hash64("test-00000000000001")
+	b := Hash64("test-00000000000001")
+	if a != b {
+		t.Fatal("hash not deterministic")
+	}
+	if Hash64("test-00000000000001") == Hash64("test-00000000000002") {
+		t.Fatal("adjacent keys collide")
+	}
+}
+
+func TestHash64UniformOverVNodes(t *testing.T) {
+	// The paper's load generator uses sequential keys; the vnode mapping
+	// must still be near uniform.
+	const vnodes = 128
+	const keys = 128 * 1000
+	counts := make([]int, vnodes)
+	for i := 0; i < keys; i++ {
+		k := kv.Key(fmt.Sprintf("test-%016d", i))
+		counts[Hash64(k)%vnodes]++
+	}
+	mean := float64(keys) / vnodes
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - mean
+		chi2 += d * d / mean
+	}
+	// 127 degrees of freedom; p=0.001 critical value ~ 181. Allow slack.
+	if chi2 > 200 {
+		t.Fatalf("chi2 = %.1f, distribution too skewed", chi2)
+	}
+}
+
+func TestVNodeForInRange(t *testing.T) {
+	tb := NewTable(64, 3)
+	tb.AddNode("a")
+	r := tb.Snapshot()
+	f := func(s string) bool {
+		v := r.VNodeFor(kv.Key(s))
+		return int(v) < r.NumVNodes()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkBalanced(t *testing.T, r *Ring, nodes int) {
+	t.Helper()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	active := r.ReplicaFactor()
+	if nodes < active {
+		active = nodes
+	}
+	for slot := 0; slot < active; slot++ {
+		counts := map[NodeID]int{}
+		for v := 0; v < r.NumVNodes(); v++ {
+			o := r.Owners(VNodeID(v))[slot]
+			if o == "" {
+				t.Fatalf("slot %d of vnode %d unassigned with %d nodes", slot, v, nodes)
+			}
+			counts[o]++
+		}
+		min, max := math.MaxInt, 0
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if len(counts) != nodes {
+			t.Fatalf("slot %d used %d nodes, want %d", slot, len(counts), nodes)
+		}
+		// Distinctness constraints can leave a small residual spread.
+		if max-min > 2 {
+			t.Fatalf("slot %d imbalance: min=%d max=%d", slot, min, max)
+		}
+	}
+}
+
+func TestTableSingleNodeOwnsAll(t *testing.T) {
+	tb := NewTable(100, 3)
+	moves := tb.AddNode("n1")
+	if len(moves) != 100 {
+		t.Fatalf("moves = %d, want 100 (primary slot only)", len(moves))
+	}
+	r := tb.Snapshot()
+	for v := 0; v < 100; v++ {
+		owners := r.Owners(VNodeID(v))
+		if owners[0] != "n1" || owners[1] != "" || owners[2] != "" {
+			t.Fatalf("vnode %d owners = %v", v, owners)
+		}
+	}
+}
+
+func TestTableThreeNodesFullReplication(t *testing.T) {
+	tb := NewTable(99, 3)
+	tb.AddNode("n1")
+	tb.AddNode("n2")
+	tb.AddNode("n3")
+	r := tb.Snapshot()
+	checkBalanced(t, r, 3)
+	// With exactly 3 nodes and 3 replicas every node holds every vnode.
+	for v := 0; v < 99; v++ {
+		owners := r.Owners(VNodeID(v))
+		seen := map[NodeID]bool{}
+		for _, o := range owners {
+			seen[o] = true
+		}
+		if len(seen) != 3 {
+			t.Fatalf("vnode %d owners not distinct: %v", v, owners)
+		}
+	}
+}
+
+func TestTableIncrementalJoinBalance(t *testing.T) {
+	tb := NewTable(200, 3)
+	for i := 1; i <= 8; i++ {
+		tb.AddNode(NodeID(fmt.Sprintf("n%d", i)))
+		checkBalanced(t, tb.Snapshot(), i)
+	}
+}
+
+func TestTableJoinMovesOnlyToJoiner(t *testing.T) {
+	tb := NewTable(120, 3)
+	for i := 1; i <= 4; i++ {
+		tb.AddNode(NodeID(fmt.Sprintf("n%d", i)))
+	}
+	moves := tb.AddNode("n5")
+	for _, m := range moves {
+		if m.To != "n5" {
+			t.Fatalf("join churned unrelated nodes: %v", m)
+		}
+	}
+	// Incremental scalability: the joiner takes roughly 1/5 of each slot.
+	perSlot := map[int]int{}
+	for _, m := range moves {
+		perSlot[m.Slot]++
+	}
+	for slot, n := range perSlot {
+		if n < 120/5-2 || n > 120/5+2 {
+			t.Fatalf("slot %d moved %d vnodes to joiner, want ~%d", slot, n, 120/5)
+		}
+	}
+}
+
+func TestTableRemoveNodeRedistributes(t *testing.T) {
+	tb := NewTable(120, 3)
+	for i := 1; i <= 5; i++ {
+		tb.AddNode(NodeID(fmt.Sprintf("n%d", i)))
+	}
+	before := tb.Snapshot()
+	moves := tb.RemoveNode("n3")
+	after := tb.Snapshot()
+	checkBalanced(t, after, 4)
+	for _, n := range after.Nodes() {
+		if n == "n3" {
+			t.Fatal("removed node still appears in assignment")
+		}
+	}
+	if len(moves) == 0 {
+		t.Fatal("removal produced no moves")
+	}
+	// Vnodes that n3 did not hold keep their owners untouched.
+	for v := 0; v < 120; v++ {
+		b := before.Owners(VNodeID(v))
+		held := false
+		for _, o := range b {
+			if o == "n3" {
+				held = true
+			}
+		}
+		if held {
+			continue
+		}
+		a := after.Owners(VNodeID(v))
+		for slot := range b {
+			if a[slot] != b[slot] {
+				t.Fatalf("vnode %d slot %d churned (%q -> %q) though n3 was not involved", v, slot, b[slot], a[slot])
+			}
+		}
+	}
+}
+
+func TestTableRemoveLastNode(t *testing.T) {
+	tb := NewTable(10, 3)
+	tb.AddNode("only")
+	tb.RemoveNode("only")
+	r := tb.Snapshot()
+	for v := 0; v < 10; v++ {
+		for _, o := range r.Owners(VNodeID(v)) {
+			if o != "" {
+				t.Fatalf("vnode %d still owned by %q after last node left", v, o)
+			}
+		}
+	}
+}
+
+func TestTableDoubleAddRemoveIdempotent(t *testing.T) {
+	tb := NewTable(30, 3)
+	tb.AddNode("a")
+	if moves := tb.AddNode("a"); moves != nil {
+		t.Fatalf("re-adding member produced moves: %v", moves)
+	}
+	if moves := tb.RemoveNode("ghost"); moves != nil {
+		t.Fatalf("removing non-member produced moves: %v", moves)
+	}
+}
+
+func TestTableVersionAdvances(t *testing.T) {
+	tb := NewTable(10, 2)
+	v0 := tb.Snapshot().Version()
+	tb.AddNode("a")
+	v1 := tb.Snapshot().Version()
+	tb.AddNode("b")
+	v2 := tb.Snapshot().Version()
+	if !(v0 < v1 && v1 < v2) {
+		t.Fatalf("versions not increasing: %d %d %d", v0, v1, v2)
+	}
+}
+
+func TestTableChurnProperty(t *testing.T) {
+	// Property: after an arbitrary join/leave sequence the assignment is
+	// valid (distinct owners) and balanced per slot.
+	f := func(ops []bool) bool {
+		tb := NewTable(60, 3)
+		members := map[NodeID]bool{}
+		next := 0
+		for _, join := range ops {
+			if join || len(members) == 0 {
+				n := NodeID(fmt.Sprintf("n%03d", next))
+				next++
+				tb.AddNode(n)
+				members[n] = true
+			} else {
+				for n := range members {
+					tb.RemoveNode(n)
+					delete(members, n)
+					break
+				}
+			}
+			r := tb.Snapshot()
+			if err := r.Validate(); err != nil {
+				return false
+			}
+			active := 3
+			if len(members) < 3 {
+				active = len(members)
+			}
+			for slot := 0; slot < active; slot++ {
+				for v := 0; v < 60; v++ {
+					if r.Owners(VNodeID(v))[slot] == "" {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVNodesOfAndPrimaryVNodesOf(t *testing.T) {
+	tb := NewTable(40, 3)
+	tb.AddNode("a")
+	tb.AddNode("b")
+	r := tb.Snapshot()
+	all := r.VNodesOf("a")
+	prim := r.PrimaryVNodesOf("a")
+	if len(prim) == 0 || len(all) < len(prim) {
+		t.Fatalf("vnodesOf=%d primary=%d", len(all), len(prim))
+	}
+	for _, v := range prim {
+		if r.Owners(v)[0] != "a" {
+			t.Fatalf("vnode %d primary is %q", v, r.Owners(v)[0])
+		}
+	}
+	// With 2 nodes and replica slots 0,1 filled, both nodes hold all vnodes.
+	if len(all) != 40 {
+		t.Fatalf("node a holds %d vnodes, want 40", len(all))
+	}
+}
+
+func TestApplySnapshotRoundTrip(t *testing.T) {
+	tb := NewTable(50, 3)
+	tb.AddNode("x")
+	tb.AddNode("y")
+	snap := tb.Snapshot()
+
+	tb2 := NewTable(50, 3)
+	if err := tb2.ApplySnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	got := tb2.Snapshot()
+	for v := 0; v < 50; v++ {
+		a, b := snap.Owners(VNodeID(v)), got.Owners(VNodeID(v))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vnode %d differs after ApplySnapshot", v)
+			}
+		}
+	}
+	if len(tb2.Nodes()) != 2 {
+		t.Fatalf("nodes after ApplySnapshot = %v", tb2.Nodes())
+	}
+}
+
+func TestRingCodecRoundTrip(t *testing.T) {
+	tb := NewTable(33, 3)
+	tb.AddNode("node-a")
+	tb.AddNode("node-b")
+	tb.AddNode("node-c")
+	tb.AddNode("node-d")
+	r := tb.Snapshot()
+	blob := EncodeRing(r)
+	got, err := DecodeRing(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version() != r.Version() || got.NumVNodes() != r.NumVNodes() || got.ReplicaFactor() != r.ReplicaFactor() {
+		t.Fatal("header mismatch")
+	}
+	for v := 0; v < 33; v++ {
+		a, b := r.Owners(VNodeID(v)), got.Owners(VNodeID(v))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vnode %d slot %d: %q != %q", v, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestRingCodecPartialAssignment(t *testing.T) {
+	tb := NewTable(8, 3)
+	tb.AddNode("solo") // slots 1,2 remain empty
+	r := tb.Snapshot()
+	got, err := DecodeRing(EncodeRing(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 8; v++ {
+		owners := got.Owners(VNodeID(v))
+		if owners[0] != "solo" || owners[1] != "" || owners[2] != "" {
+			t.Fatalf("vnode %d owners = %v", v, owners)
+		}
+	}
+}
+
+func TestRingCodecRejectsCorruption(t *testing.T) {
+	tb := NewTable(8, 2)
+	tb.AddNode("a")
+	blob := EncodeRing(tb.Snapshot())
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := DecodeRing(blob[:cut]); err == nil {
+			t.Fatalf("accepted truncation at %d", cut)
+		}
+	}
+	bad := append(append([]byte(nil), blob...), 0x00)
+	if _, err := DecodeRing(bad); err == nil {
+		t.Fatal("accepted trailing garbage")
+	}
+	bad = append([]byte(nil), blob...)
+	bad[0] = 9
+	if _, err := DecodeRing(bad); err == nil {
+		t.Fatal("accepted bad version")
+	}
+}
+
+func TestImbalanceTable(t *testing.T) {
+	tb := NewTable(10, 1)
+	tb.AddNode("hot")
+	tb.AddNode("cold")
+	r := tb.Snapshot()
+	stats := NewLoadStats(10)
+	// Load only the vnodes whose primary is "hot".
+	for _, v := range r.PrimaryVNodesOf("hot") {
+		for i := 0; i < 100; i++ {
+			stats.RecordRead(v)
+		}
+	}
+	table := Imbalance(r, stats.Snapshot())
+	if len(table) != 2 {
+		t.Fatalf("table size = %d", len(table))
+	}
+	var hot, cold NodeImbalance
+	for _, e := range table {
+		switch e.Node {
+		case "hot":
+			hot = e
+		case "cold":
+			cold = e
+		}
+	}
+	if hot.Share < 0.99 || cold.Share > 0.01 {
+		t.Fatalf("shares: hot=%.2f cold=%.2f", hot.Share, cold.Share)
+	}
+	if hot.Ratio < 1.9 {
+		t.Fatalf("hot ratio = %.2f, want ~2.0", hot.Ratio)
+	}
+	if MaxRatio(table) != hot.Ratio {
+		t.Fatal("MaxRatio wrong")
+	}
+}
+
+func TestImbalanceIdleCluster(t *testing.T) {
+	tb := NewTable(10, 1)
+	tb.AddNode("a")
+	table := Imbalance(tb.Snapshot(), NewLoadStats(10).Snapshot())
+	if len(table) != 1 || table[0].Share != 0 || table[0].Ratio != 0 {
+		t.Fatalf("idle table = %+v", table)
+	}
+}
+
+func TestPlanLoadRebalanceMovesHotVNodes(t *testing.T) {
+	tb := NewTable(12, 1)
+	tb.AddNode("a")
+	tb.AddNode("b")
+	tb.AddNode("c")
+	r := tb.Snapshot()
+	stats := NewLoadStats(12)
+	hotVNodes := r.PrimaryVNodesOf("a")
+	for _, v := range hotVNodes {
+		for i := 0; i < 1000; i++ {
+			stats.RecordWrite(v)
+		}
+	}
+	moves := PlanLoadRebalance(r, stats.Snapshot(), 1.2)
+	if len(moves) == 0 {
+		t.Fatal("no rebalance proposed for a 3x-hot node")
+	}
+	for _, m := range moves {
+		if m.From != "a" {
+			t.Fatalf("move from cold node: %v", m)
+		}
+		if m.To == "a" || m.To == "" {
+			t.Fatalf("bad destination: %v", m)
+		}
+		if m.Slot != 0 {
+			t.Fatalf("load rebalance must move primaries only: %v", m)
+		}
+	}
+}
+
+func TestPlanLoadRebalanceQuietWhenBalanced(t *testing.T) {
+	tb := NewTable(12, 1)
+	tb.AddNode("a")
+	tb.AddNode("b")
+	r := tb.Snapshot()
+	stats := NewLoadStats(12)
+	for v := 0; v < 12; v++ {
+		stats.RecordRead(VNodeID(v))
+	}
+	if moves := PlanLoadRebalance(r, stats.Snapshot(), 1.5); len(moves) != 0 {
+		t.Fatalf("balanced cluster produced moves: %v", moves)
+	}
+}
+
+func TestLoadStatsSizeAccounting(t *testing.T) {
+	s := NewLoadStats(4)
+	s.RecordSize(2, 1, 100)
+	s.RecordSize(2, 1, 50)
+	s.RecordSize(2, -1, -100)
+	snap := s.Snapshot()
+	if snap[2].Items != 1 || snap[2].Bytes != 50 {
+		t.Fatalf("vnode 2 = %+v", snap[2])
+	}
+	if snap[0].Items != 0 {
+		t.Fatal("untouched vnode has load")
+	}
+}
+
+func BenchmarkVNodeFor(b *testing.B) {
+	tb := NewTable(100000, 3)
+	tb.AddNode("a")
+	r := tb.Snapshot()
+	key := kv.Key("test-00000000012345")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.VNodeFor(key)
+	}
+}
+
+func BenchmarkTableAddNode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := NewTable(1000, 3)
+		for n := 0; n < 10; n++ {
+			tb.AddNode(NodeID(fmt.Sprintf("n%d", n)))
+		}
+	}
+}
+
+func TestMovePrimarySwapWithReplica(t *testing.T) {
+	tb := NewTable(12, 3)
+	tb.AddNode("a")
+	tb.AddNode("b")
+	tb.AddNode("c")
+	r := tb.Snapshot()
+	v := r.PrimaryVNodesOf("a")[0]
+	// With 3 nodes and 3 replicas, b already holds v: the move must swap.
+	moves, err := tb.MovePrimary(v, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 2 {
+		t.Fatalf("moves = %v, want a swap pair", moves)
+	}
+	after := tb.Snapshot()
+	if after.Owners(v)[0] != "b" {
+		t.Fatalf("primary = %q", after.Owners(v)[0])
+	}
+	// a keeps a replica (the swap preserved both owners).
+	held := false
+	for _, o := range after.Owners(v) {
+		if o == "a" {
+			held = true
+		}
+	}
+	if !held {
+		t.Fatal("swap lost the old primary's replica")
+	}
+	if err := after.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMovePrimaryToNonHolder(t *testing.T) {
+	tb := NewTable(12, 1)
+	tb.AddNode("a")
+	tb.AddNode("b")
+	r := tb.Snapshot()
+	v := r.PrimaryVNodesOf("a")[0]
+	moves, err := tb.MovePrimary(v, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 1 || moves[0].From != "a" || moves[0].To != "b" {
+		t.Fatalf("moves = %v", moves)
+	}
+	if tb.Snapshot().Owners(v)[0] != "b" {
+		t.Fatal("primary not moved")
+	}
+}
+
+func TestMovePrimaryErrors(t *testing.T) {
+	tb := NewTable(4, 2)
+	tb.AddNode("a")
+	if _, err := tb.MovePrimary(0, "ghost"); err == nil {
+		t.Fatal("move to non-member accepted")
+	}
+	if _, err := tb.MovePrimary(99, "a"); err == nil {
+		t.Fatal("out-of-range vnode accepted")
+	}
+	if moves, err := tb.MovePrimary(0, "a"); err != nil || moves != nil {
+		t.Fatalf("self-move = %v, %v", moves, err)
+	}
+}
+
+func TestMovePrimaryBumpsVersion(t *testing.T) {
+	tb := NewTable(4, 1)
+	tb.AddNode("a")
+	tb.AddNode("b")
+	v0 := tb.Snapshot().Version()
+	v := tb.Snapshot().PrimaryVNodesOf("a")[0]
+	tb.MovePrimary(v, "b")
+	if tb.Snapshot().Version() <= v0 {
+		t.Fatal("version not bumped")
+	}
+}
+
+func TestPlanLoadRebalancePrefersReplicaHolders(t *testing.T) {
+	// Full replication (3 nodes, 3 replicas): every candidate holds every
+	// vnode, so every planned move must be a free swap to a holder.
+	tb := NewTable(12, 3)
+	tb.AddNode("a")
+	tb.AddNode("b")
+	tb.AddNode("c")
+	r := tb.Snapshot()
+	stats := NewLoadStats(12)
+	for _, v := range r.PrimaryVNodesOf("a") {
+		for i := 0; i < 1000; i++ {
+			stats.RecordWrite(v)
+		}
+	}
+	moves := PlanLoadRebalance(r, stats.Snapshot(), 1.2)
+	if len(moves) == 0 {
+		t.Fatal("no plan for a hot node")
+	}
+	for _, m := range moves {
+		if !holdsIn(r, m.VNode, m.To) {
+			t.Fatalf("move %v targets a non-holder despite full replication", m)
+		}
+	}
+}

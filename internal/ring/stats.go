@@ -1,0 +1,238 @@
+package ring
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// LoadStats tracks per-virtual-node load counters: Sedna records every
+// vnode's capacity and read/write frequency locally and periodically folds
+// them into the per-real-node imbalance table pushed to the coordination
+// service (§III-B). Counters are updated lock-free on the data path.
+type LoadStats struct {
+	reads  []atomic.Uint64
+	writes []atomic.Uint64
+	items  []atomic.Int64
+	bytes  []atomic.Int64
+}
+
+// NewLoadStats allocates counters for a ring with the given vnode count.
+func NewLoadStats(vnodes int) *LoadStats {
+	return &LoadStats{
+		reads:  make([]atomic.Uint64, vnodes),
+		writes: make([]atomic.Uint64, vnodes),
+		items:  make([]atomic.Int64, vnodes),
+		bytes:  make([]atomic.Int64, vnodes),
+	}
+}
+
+// RecordRead notes one read served for vnode v.
+func (s *LoadStats) RecordRead(v VNodeID) { s.reads[v].Add(1) }
+
+// RecordWrite notes one write applied to vnode v.
+func (s *LoadStats) RecordWrite(v VNodeID) { s.writes[v].Add(1) }
+
+// RecordSize adjusts the item count and byte footprint of vnode v; deltas
+// may be negative (deletes, evictions).
+func (s *LoadStats) RecordSize(v VNodeID, itemDelta, byteDelta int64) {
+	s.items[v].Add(itemDelta)
+	s.bytes[v].Add(byteDelta)
+}
+
+// VNodeLoad is a snapshot of one vnode's counters.
+type VNodeLoad struct {
+	VNode  VNodeID
+	Reads  uint64
+	Writes uint64
+	Items  int64
+	Bytes  int64
+}
+
+// Weight collapses the counters into the single scalar the balancer
+// compares: operations dominate, storage footprint breaks ties.
+func (l VNodeLoad) Weight() float64 {
+	return float64(l.Reads+l.Writes) + float64(l.Bytes)/4096
+}
+
+// Snapshot returns the current per-vnode loads.
+func (s *LoadStats) Snapshot() []VNodeLoad {
+	out := make([]VNodeLoad, len(s.reads))
+	for i := range out {
+		out[i] = VNodeLoad{
+			VNode:  VNodeID(i),
+			Reads:  s.reads[i].Load(),
+			Writes: s.writes[i].Load(),
+			Items:  s.items[i].Load(),
+			Bytes:  s.bytes[i].Load(),
+		}
+	}
+	return out
+}
+
+// NodeImbalance summarises one real node's share of the cluster load, the
+// row format of the imbalance table (§III-B).
+type NodeImbalance struct {
+	Node NodeID
+	// Load is the summed weight of the vnodes whose primary is this node.
+	Load float64
+	// Share is Load divided by the cluster total (0 when the cluster is
+	// idle).
+	Share float64
+	// Ratio is Load divided by the fair per-node load; 1.0 is perfectly
+	// balanced, 2.0 means the node carries twice its share.
+	Ratio float64
+	// VNodes is the number of primary vnodes held.
+	VNodes int
+}
+
+// Imbalance computes the imbalance table for a ring snapshot from per-vnode
+// loads. Only primary ownership is charged: in Sedna the primary coordinates
+// quorum traffic for its vnodes.
+func Imbalance(r *Ring, loads []VNodeLoad) []NodeImbalance {
+	perNode := map[NodeID]*NodeImbalance{}
+	var total float64
+	for _, l := range loads {
+		if int(l.VNode) >= r.NumVNodes() {
+			continue
+		}
+		owners := r.Owners(l.VNode)
+		if len(owners) == 0 || owners[0] == "" {
+			continue
+		}
+		n := owners[0]
+		e := perNode[n]
+		if e == nil {
+			e = &NodeImbalance{Node: n}
+			perNode[n] = e
+		}
+		w := l.Weight()
+		e.Load += w
+		e.VNodes++
+		total += w
+	}
+	// Nodes with no primaries still appear with zero load.
+	for _, n := range r.Nodes() {
+		if perNode[n] == nil {
+			perNode[n] = &NodeImbalance{Node: n}
+		}
+	}
+	out := make([]NodeImbalance, 0, len(perNode))
+	fair := 0.0
+	if len(perNode) > 0 {
+		fair = total / float64(len(perNode))
+	}
+	for _, e := range perNode {
+		if total > 0 {
+			e.Share = e.Load / total
+		}
+		if fair > 0 {
+			e.Ratio = e.Load / fair
+		}
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// MaxRatio returns the largest Ratio in the table, the balancer's trigger
+// metric; it returns 0 for an empty table.
+func MaxRatio(table []NodeImbalance) float64 {
+	max := 0.0
+	for _, e := range table {
+		if e.Ratio > max {
+			max = e.Ratio
+		}
+	}
+	return max
+}
+
+// PlanLoadRebalance proposes primary-slot moves that shift hot vnodes from
+// nodes above the threshold ratio toward the coldest nodes. It mutates
+// nothing; the cluster balancer applies the returned moves through the
+// coordination service. The plan moves the hottest vnodes first and stops
+// once the donor drops under the threshold.
+func PlanLoadRebalance(r *Ring, loads []VNodeLoad, threshold float64) []Move {
+	if threshold <= 1 {
+		threshold = 1.2
+	}
+	table := Imbalance(r, loads)
+	if len(table) < 2 {
+		return nil
+	}
+	loadOf := map[NodeID]float64{}
+	var total float64
+	for _, e := range table {
+		loadOf[e.Node] = e.Load
+		total += e.Load
+	}
+	fair := total / float64(len(table))
+	if fair == 0 {
+		return nil
+	}
+
+	// Hot vnodes grouped by primary, hottest first.
+	byPrimary := map[NodeID][]VNodeLoad{}
+	for _, l := range loads {
+		owners := r.Owners(l.VNode)
+		if len(owners) > 0 && owners[0] != "" {
+			byPrimary[owners[0]] = append(byPrimary[owners[0]], l)
+		}
+	}
+	for _, ls := range byPrimary {
+		sort.Slice(ls, func(i, j int) bool { return ls[i].Weight() > ls[j].Weight() })
+	}
+
+	var moves []Move
+	for _, donor := range table {
+		if donor.Load <= threshold*fair {
+			continue
+		}
+		excess := loadOf[donor.Node] - fair
+		for _, l := range byPrimary[donor.Node] {
+			if excess <= 0 {
+				break
+			}
+			// Coldest other node. Prefer a node already holding a replica
+			// of this vnode: promoting an existing replica to primary is a
+			// pure metadata swap with zero data motion.
+			var to, toHolder NodeID
+			best, bestHolder := loadOf[donor.Node], loadOf[donor.Node]
+			for _, cand := range table {
+				if cand.Node == donor.Node {
+					continue
+				}
+				if holdsIn(r, l.VNode, cand.Node) {
+					if loadOf[cand.Node] < bestHolder {
+						toHolder, bestHolder = cand.Node, loadOf[cand.Node]
+					}
+				} else if loadOf[cand.Node] < best {
+					to, best = cand.Node, loadOf[cand.Node]
+				}
+			}
+			if toHolder != "" {
+				to = toHolder
+			}
+			if to == "" {
+				continue
+			}
+			w := l.Weight()
+			if loadOf[to]+w > loadOf[donor.Node]-w+2*fair {
+				continue // move would just swap who is hot
+			}
+			moves = append(moves, Move{VNode: l.VNode, Slot: 0, From: donor.Node, To: to})
+			loadOf[donor.Node] -= w
+			loadOf[to] += w
+			excess -= w
+		}
+	}
+	return moves
+}
+
+func holdsIn(r *Ring, v VNodeID, n NodeID) bool {
+	for _, o := range r.Owners(v) {
+		if o == n {
+			return true
+		}
+	}
+	return false
+}

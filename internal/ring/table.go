@@ -1,0 +1,475 @@
+package ring
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Move records one reassignment of a vnode replica slot, the unit of data
+// motion in Sedna: the receiving node must copy the vnode's rows from the
+// remaining healthy owners before the move is complete.
+type Move struct {
+	VNode VNodeID
+	Slot  int
+	From  NodeID // "" when filling a previously empty slot
+	To    NodeID // "" when vacating a slot with no replacement available
+}
+
+// String renders the move for logs.
+func (m Move) String() string {
+	return fmt.Sprintf("vnode %d slot %d: %q -> %q", m.VNode, m.Slot, m.From, m.To)
+}
+
+// Table is the mutable virtual-node assignment, the authoritative state
+// Sedna keeps in its coordination service. Nodes join by claiming vnodes
+// ("ask for virtual nodes", §III-D) and leave — or fail — by having their
+// vnodes redistributed. All methods are safe for concurrent use.
+//
+// The balancing rule per replica slot is: every member owns either
+// floor(V/N) or ceil(V/N) vnodes, and the owners of one vnode are pairwise
+// distinct. Rebalancing moves vnodes only from overloaded members to
+// underloaded ones, so a join disturbs no more than the joiner's fair share.
+type Table struct {
+	mu    sync.Mutex
+	ring  *Ring
+	nodes map[NodeID]bool
+}
+
+// NewTable creates an assignment table for a fixed vnode count and replica
+// factor. All slots start unassigned; the first AddNode claims everything.
+func NewTable(vnodes, replicas int) *Table {
+	if vnodes <= 0 {
+		panic("ring: vnode count must be positive")
+	}
+	if replicas <= 0 {
+		panic("ring: replica factor must be positive")
+	}
+	r := &Ring{vnodes: vnodes, replicas: replicas, assign: make([][]NodeID, vnodes)}
+	for v := range r.assign {
+		r.assign[v] = make([]NodeID, replicas)
+	}
+	return &Table{ring: r, nodes: map[NodeID]bool{}}
+}
+
+// Snapshot returns an immutable copy of the current assignment.
+func (t *Table) Snapshot() *Ring {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ring.Clone()
+}
+
+// Nodes returns the current member set in sorted order.
+func (t *Table) Nodes() []NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]NodeID, 0, len(t.nodes))
+	for n := range t.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddNode registers a new real node. The joiner "asks for virtual nodes"
+// (§III-D): for every already-active replica slot it pulls vnodes from the
+// most loaded owners until it reaches its fair share, so a join moves data
+// only toward the joiner; a slot that becomes active because the membership
+// grew past its index is filled across all members. It returns the applied
+// moves; adding an existing member returns none.
+func (t *Table) AddNode(n NodeID) []Move {
+	if n == "" {
+		panic("ring: empty node id")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.nodes[n] {
+		return nil
+	}
+	t.nodes[n] = true
+	active := t.ring.replicas
+	if len(t.nodes) < active {
+		active = len(t.nodes)
+	}
+	var moves []Move
+	for slot := 0; slot < active; slot++ {
+		// Filling first covers both newly activated slots (every entry
+		// empty, distributed over the whole membership because the fill
+		// always picks the least loaded member) and holes left by earlier
+		// departures that had no eligible survivor.
+		moves = append(moves, t.fillSlotLocked(slot)...)
+		moves = append(moves, t.pullToJoinerLocked(slot, n)...)
+	}
+	if len(moves) > 0 {
+		t.ring.version++
+	}
+	return moves
+}
+
+// pullToJoinerLocked transfers vnodes of one slot from the most loaded
+// owners to the joiner until the joiner holds its fair share. Only the
+// joiner receives vnodes, so established members are never churned.
+func (t *Table) pullToJoinerLocked(slot int, n NodeID) []Move {
+	counts := t.slotCountsLocked(slot)
+	fair := t.ring.vnodes / len(t.nodes)
+	// Joiner's deterministic preference order over vnodes.
+	order := make([]VNodeID, t.ring.vnodes)
+	for i := range order {
+		order[i] = VNodeID(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return hashPair(n, order[i]) > hashPair(n, order[j])
+	})
+	var moves []Move
+	banned := map[NodeID]bool{}
+	for counts[n] < fair {
+		donor := t.mostLoadedLocked(counts, n, banned)
+		if donor == "" {
+			break
+		}
+		moved := false
+		for _, v := range order {
+			if t.ring.assign[v][slot] != donor || t.holdsLocked(v, n) {
+				continue
+			}
+			t.ring.assign[v][slot] = n
+			counts[donor]--
+			counts[n]++
+			moves = append(moves, Move{VNode: v, Slot: slot, From: donor, To: n})
+			moved = true
+			break
+		}
+		if !moved {
+			banned[donor] = true // every vnode of this donor already includes n
+		}
+	}
+	return moves
+}
+
+func (t *Table) mostLoadedLocked(counts map[NodeID]int, exclude NodeID, banned map[NodeID]bool) NodeID {
+	var best NodeID
+	bestCount := 0
+	for node := range t.nodes {
+		if node == exclude || banned[node] {
+			continue
+		}
+		c := counts[node]
+		if c > bestCount || (c == bestCount && best != "" && node < best) {
+			best, bestCount = node, c
+		}
+	}
+	return best
+}
+
+// RemoveNode removes a node (graceful leave or failure): every slot it held
+// is reassigned to the least loaded eligible survivor and any residual
+// imbalance is fixed by re-shuffling only within the vacated vnodes, so
+// surviving placements are never churned. Removing a non-member returns no
+// moves.
+func (t *Table) RemoveNode(n NodeID) []Move {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.nodes[n] {
+		return nil
+	}
+	delete(t.nodes, n)
+	vacated := make([][]VNodeID, t.ring.replicas)
+	for v := 0; v < t.ring.vnodes; v++ {
+		owners := t.ring.assign[v]
+		for slot, o := range owners {
+			if o == n {
+				owners[slot] = ""
+				vacated[slot] = append(vacated[slot], VNodeID(v))
+			}
+		}
+	}
+	var moves []Move
+	for slot := 0; slot < t.ring.replicas; slot++ {
+		if len(vacated[slot]) == 0 {
+			continue
+		}
+		if len(t.nodes) == 0 {
+			for _, v := range vacated[slot] {
+				moves = append(moves, Move{VNode: v, Slot: slot, From: n, To: ""})
+			}
+			continue
+		}
+		counts := t.slotCountsLocked(slot)
+		// Fill each vacancy with the least loaded eligible survivor.
+		for _, v := range vacated[slot] {
+			to := t.leastLoadedEligibleLocked(counts, v)
+			t.ring.assign[v][slot] = to
+			if to != "" {
+				counts[to]++
+			}
+			moves = append(moves, Move{VNode: v, Slot: slot, From: n, To: to})
+		}
+		// Fix up residual imbalance, but only by re-homing vacated vnodes.
+		moves = append(moves, t.fixupWithinLocked(slot, vacated[slot], counts)...)
+	}
+	// A vacancy with no eligible survivor (every remaining member already
+	// holds the vnode) leaves a hole; compact the replica list so slot 0
+	// is always the primary and active slots stay dense.
+	for v := 0; v < t.ring.vnodes; v++ {
+		compactOwners(t.ring.assign[v])
+	}
+	t.ring.version++
+	return moves
+}
+
+// compactOwners shifts non-empty owners to the front, preserving order.
+func compactOwners(owners []NodeID) {
+	w := 0
+	for _, o := range owners {
+		if o != "" {
+			owners[w] = o
+			w++
+		}
+	}
+	for ; w < len(owners); w++ {
+		owners[w] = ""
+	}
+}
+
+// fixupWithinLocked evens out slot counts by reassigning only vnodes in the
+// given set. It stops when the spread is at most one or no legal move
+// remains.
+func (t *Table) fixupWithinLocked(slot int, within []VNodeID, counts map[NodeID]int) []Move {
+	var moves []Move
+	for iter := 0; iter < len(within)*2; iter++ {
+		moved := false
+		for _, v := range within {
+			from := t.ring.assign[v][slot]
+			if from == "" {
+				continue
+			}
+			to := t.leastLoadedEligibleLocked(counts, v)
+			if to == "" || to == from || counts[from] < counts[to]+2 {
+				continue
+			}
+			t.ring.assign[v][slot] = to
+			counts[from]--
+			counts[to]++
+			moves = append(moves, Move{VNode: v, Slot: slot, From: from, To: to})
+			moved = true
+		}
+		if !moved {
+			break
+		}
+	}
+	return moves
+}
+
+// Rebalance re-runs the balancing pass without a membership change; it is
+// used by the data balancer when the imbalance table reports drift (for
+// example after ApplySnapshot of a hand-edited assignment).
+func (t *Table) Rebalance() []Move {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	moves := t.rebalanceLocked()
+	if len(moves) > 0 {
+		t.ring.version++
+	}
+	return moves
+}
+
+// rebalanceLocked fills empty slots and evens out per-slot ownership.
+func (t *Table) rebalanceLocked() []Move {
+	var moves []Move
+	active := t.ring.replicas
+	if len(t.nodes) < active {
+		active = len(t.nodes)
+	}
+	for slot := 0; slot < active; slot++ {
+		moves = append(moves, t.fillSlotLocked(slot)...)
+		moves = append(moves, t.evenSlotLocked(slot)...)
+	}
+	return moves
+}
+
+// fillSlotLocked assigns every empty entry of the slot to the least loaded
+// node not already holding the vnode.
+func (t *Table) fillSlotLocked(slot int) []Move {
+	counts := t.slotCountsLocked(slot)
+	var moves []Move
+	for v := 0; v < t.ring.vnodes; v++ {
+		owners := t.ring.assign[v]
+		if owners[slot] != "" {
+			continue
+		}
+		n := t.leastLoadedEligibleLocked(counts, VNodeID(v))
+		if n == "" {
+			continue // fewer distinct nodes than replicas; leave empty
+		}
+		owners[slot] = n
+		counts[n]++
+		moves = append(moves, Move{VNode: VNodeID(v), Slot: slot, From: "", To: n})
+	}
+	return moves
+}
+
+// evenSlotLocked moves vnodes from overloaded owners to underloaded ones
+// until every member owns floor or ceil of the fair share, or no legal move
+// remains (distinctness can block a final handful of moves). It runs in two
+// phases so that a join moves vnodes only toward the joiner and never churns
+// already-balanced members: first underloaded nodes (below the floor) pull
+// from any owner above the floor, then owners above the ceiling shed.
+func (t *Table) evenSlotLocked(slot int) []Move {
+	counts := t.slotCountsLocked(slot)
+	if len(counts) == 0 {
+		return nil
+	}
+	floor := t.ring.vnodes / len(t.nodes)
+	ceil := floor
+	if t.ring.vnodes%len(t.nodes) != 0 {
+		ceil++
+	}
+	var moves []Move
+	move := func(v int, from, to NodeID) {
+		t.ring.assign[v][slot] = to
+		counts[from]--
+		counts[to]++
+		moves = append(moves, Move{VNode: VNodeID(v), Slot: slot, From: from, To: to})
+	}
+
+	// Phase 1: pull toward nodes below the floor.
+	for pass := 0; pass < t.ring.vnodes; pass++ {
+		changed := false
+		for v := 0; v < t.ring.vnodes; v++ {
+			from := t.ring.assign[v][slot]
+			if from == "" || counts[from] <= floor {
+				continue
+			}
+			to := t.leastLoadedEligibleLocked(counts, VNodeID(v))
+			if to == "" || to == from || counts[to] >= floor {
+				continue
+			}
+			move(v, from, to)
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Phase 2: shed from nodes above the ceiling.
+	for pass := 0; pass < t.ring.vnodes; pass++ {
+		changed := false
+		for v := 0; v < t.ring.vnodes; v++ {
+			from := t.ring.assign[v][slot]
+			if from == "" || counts[from] <= ceil {
+				continue
+			}
+			to := t.leastLoadedEligibleLocked(counts, VNodeID(v))
+			if to == "" || to == from || counts[from] < counts[to]+2 {
+				continue
+			}
+			move(v, from, to)
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	return moves
+}
+
+func (t *Table) holdsLocked(v VNodeID, n NodeID) bool {
+	for _, o := range t.ring.assign[v] {
+		if o == n {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Table) slotCountsLocked(slot int) map[NodeID]int {
+	counts := make(map[NodeID]int, len(t.nodes))
+	for n := range t.nodes {
+		counts[n] = 0
+	}
+	for v := 0; v < t.ring.vnodes; v++ {
+		if o := t.ring.assign[v][slot]; o != "" {
+			counts[o]++
+		}
+	}
+	return counts
+}
+
+// leastLoadedEligibleLocked picks the member with the lowest count that does
+// not already hold vnode v, breaking ties by name for determinism.
+func (t *Table) leastLoadedEligibleLocked(counts map[NodeID]int, v VNodeID) NodeID {
+	var best NodeID
+	bestCount := int(^uint(0) >> 1)
+	for node := range t.nodes {
+		if t.holdsLocked(v, node) {
+			continue
+		}
+		c := counts[node]
+		if c < bestCount || (c == bestCount && node < best) {
+			best, bestCount = node, c
+		}
+	}
+	return best
+}
+
+// ApplySnapshot replaces the table's state with a decoded snapshot, used
+// when a node (re)loads the assignment from the coordination service.
+func (t *Table) ApplySnapshot(r *Ring) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring = r.Clone()
+	for v := range t.ring.assign {
+		for len(t.ring.assign[v]) < t.ring.replicas {
+			t.ring.assign[v] = append(t.ring.assign[v], "")
+		}
+	}
+	t.nodes = map[NodeID]bool{}
+	for _, n := range t.ring.Nodes() {
+		t.nodes[n] = true
+	}
+	return nil
+}
+
+// MovePrimary reassigns the primary owner of vnode v to node `to`,
+// implementing one step of imbalance-driven data balance (§III-B). When the
+// target already holds a replica of v, the two owners simply swap slots —
+// no data moves at all, which is why the balance planner prefers existing
+// replica holders. Otherwise the old primary is replaced in slot 0 and the
+// returned move tells the new owner to copy the vnode. Moving to the
+// current primary is a no-op.
+func (t *Table) MovePrimary(v VNodeID, to NodeID) ([]Move, error) {
+	if to == "" {
+		return nil, fmt.Errorf("ring: empty move target")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.nodes[to] {
+		return nil, fmt.Errorf("ring: move target %q is not a member", to)
+	}
+	if int(v) >= t.ring.vnodes {
+		return nil, fmt.Errorf("ring: vnode %d out of range", v)
+	}
+	owners := t.ring.assign[v]
+	from := owners[0]
+	if from == to {
+		return nil, nil
+	}
+	for slot := 1; slot < len(owners); slot++ {
+		if owners[slot] == to {
+			// Swap: both nodes already store the vnode.
+			owners[0], owners[slot] = owners[slot], owners[0]
+			t.ring.version++
+			return []Move{
+				{VNode: v, Slot: 0, From: from, To: to},
+				{VNode: v, Slot: slot, From: to, To: from},
+			}, nil
+		}
+	}
+	owners[0] = to
+	t.ring.version++
+	return []Move{{VNode: v, Slot: 0, From: from, To: to}}, nil
+}

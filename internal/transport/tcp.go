@@ -1,0 +1,355 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP wire format, one frame per request or response (little endian):
+//
+//	u32 frame length (bytes after this field)
+//	u64 request id (echoed in the response)
+//	u16 opcode
+//	u8  kind: 0 request, 1 response, 2 error response
+//	...  body (error responses carry the error string)
+//
+// Multiple requests are pipelined over one connection; a per-connection
+// reader goroutine demultiplexes responses by id.
+
+const (
+	kindRequest  = 0
+	kindResponse = 1
+	kindError    = 2
+
+	frameHeaderLen = 8 + 2 + 1
+	// maxFrame guards against corrupt length prefixes.
+	maxFrame = 64 << 20
+)
+
+// TCPTransport carries Messages over real TCP sockets. Create one per
+// process with NewTCP, then Serve to accept and Call to issue requests.
+type TCPTransport struct {
+	addr     string
+	dialTO   time.Duration
+	mu       sync.Mutex
+	listener net.Listener
+	handler  Handler
+	conns    map[string]*tcpClientConn
+	accepted map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewTCP returns a transport that will listen on addr when Serve is called.
+// addr may be ":0"; Addr reports the bound address after Serve.
+func NewTCP(addr string) *TCPTransport {
+	return &TCPTransport{
+		addr:     addr,
+		dialTO:   5 * time.Second,
+		conns:    map[string]*tcpClientConn{},
+		accepted: map[net.Conn]struct{}{},
+	}
+}
+
+// NewTCPListen binds the listener immediately so Addr returns the real port
+// before Serve runs — needed when the bound address doubles as the node's
+// cluster identity.
+func NewTCPListen(addr string) (*TCPTransport, error) {
+	t := NewTCP(addr)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t.listener = ln
+	return t, nil
+}
+
+// Addr returns the listen address (resolved after Serve).
+func (t *TCPTransport) Addr() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.listener != nil {
+		return t.listener.Addr().String()
+	}
+	return t.addr
+}
+
+// Serve starts accepting connections, binding the listener first unless
+// the transport was created with NewTCPListen.
+func (t *TCPTransport) Serve(h Handler) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if t.handler != nil {
+		return fmt.Errorf("transport: Serve called twice")
+	}
+	if t.listener == nil {
+		ln, err := net.Listen("tcp", t.addr)
+		if err != nil {
+			return err
+		}
+		t.listener = ln
+	}
+	t.handler = h
+	t.wg.Add(1)
+	go t.acceptLoop(t.listener, h)
+	return nil
+}
+
+func (t *TCPTransport) acceptLoop(ln net.Listener, h Handler) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.accepted[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.serveConn(conn, h)
+			t.mu.Lock()
+			delete(t.accepted, conn)
+			t.mu.Unlock()
+		}()
+	}
+}
+
+func (t *TCPTransport) serveConn(conn net.Conn, h Handler) {
+	defer conn.Close()
+	var writeMu sync.Mutex
+	from := conn.RemoteAddr().String()
+	for {
+		id, op, kind, body, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if kind != kindRequest {
+			return // protocol violation
+		}
+		go func() {
+			resp, herr := h(context.Background(), from, Message{Op: op, Body: body})
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			if herr != nil {
+				writeFrame(conn, id, op, kindError, []byte(herr.Error()))
+				return
+			}
+			writeFrame(conn, id, resp.Op, kindResponse, resp.Body)
+		}()
+	}
+}
+
+// Call implements Caller.
+func (t *TCPTransport) Call(ctx context.Context, addr string, req Message) (Message, error) {
+	cc, err := t.clientConn(addr)
+	if err != nil {
+		return Message{}, err
+	}
+	return cc.call(ctx, req)
+}
+
+func (t *TCPTransport) clientConn(addr string) (*tcpClientConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if cc := t.conns[addr]; cc != nil && !cc.dead() {
+		t.mu.Unlock()
+		return cc, nil
+	}
+	t.mu.Unlock()
+
+	conn, err := net.DialTimeout("tcp", addr, t.dialTO)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	cc := newTCPClientConn(conn)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		cc.close(ErrClosed)
+		return nil, ErrClosed
+	}
+	if existing := t.conns[addr]; existing != nil && !existing.dead() {
+		cc.close(ErrClosed) // lost the race; reuse the winner
+		return existing, nil
+	}
+	t.conns[addr] = cc
+	return cc, nil
+}
+
+// Close stops the listener and closes pooled connections.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	ln := t.listener
+	conns := t.conns
+	t.conns = map[string]*tcpClientConn{}
+	accepted := make([]net.Conn, 0, len(t.accepted))
+	for c := range t.accepted {
+		accepted = append(accepted, c)
+	}
+	t.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, cc := range conns {
+		cc.close(ErrClosed)
+	}
+	for _, c := range accepted {
+		c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+// tcpClientConn is one pooled outbound connection with pipelining.
+type tcpClientConn struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan result
+	err     error
+}
+
+type result struct {
+	msg Message
+	err error
+}
+
+func newTCPClientConn(conn net.Conn) *tcpClientConn {
+	cc := &tcpClientConn{conn: conn, pending: map[uint64]chan result{}}
+	go cc.readLoop()
+	return cc
+}
+
+func (cc *tcpClientConn) dead() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.err != nil
+}
+
+func (cc *tcpClientConn) call(ctx context.Context, req Message) (Message, error) {
+	ch := make(chan result, 1)
+	cc.mu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.mu.Unlock()
+		return Message{}, err
+	}
+	cc.nextID++
+	id := cc.nextID
+	cc.pending[id] = ch
+	cc.mu.Unlock()
+
+	cc.writeMu.Lock()
+	err := writeFrame(cc.conn, id, req.Op, kindRequest, req.Body)
+	cc.writeMu.Unlock()
+	if err != nil {
+		cc.close(fmt.Errorf("%w: %v", ErrUnreachable, err))
+		return Message{}, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	select {
+	case r := <-ch:
+		return r.msg, r.err
+	case <-ctx.Done():
+		cc.mu.Lock()
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		return Message{}, ctx.Err()
+	}
+}
+
+func (cc *tcpClientConn) readLoop() {
+	for {
+		id, op, kind, body, err := readFrame(cc.conn)
+		if err != nil {
+			cc.close(fmt.Errorf("%w: %v", ErrUnreachable, err))
+			return
+		}
+		cc.mu.Lock()
+		ch := cc.pending[id]
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		if ch == nil {
+			continue // caller gave up
+		}
+		switch kind {
+		case kindResponse:
+			ch <- result{msg: Message{Op: op, Body: body}}
+		case kindError:
+			ch <- result{err: &RemoteError{Msg: string(body)}}
+		default:
+			ch <- result{err: fmt.Errorf("transport: bad frame kind %d", kind)}
+		}
+	}
+}
+
+func (cc *tcpClientConn) close(err error) {
+	cc.mu.Lock()
+	if cc.err != nil {
+		cc.mu.Unlock()
+		return
+	}
+	cc.err = err
+	pending := cc.pending
+	cc.pending = map[uint64]chan result{}
+	cc.mu.Unlock()
+	cc.conn.Close()
+	for _, ch := range pending {
+		ch <- result{err: err}
+	}
+}
+
+func writeFrame(conn net.Conn, id uint64, op uint16, kind byte, body []byte) error {
+	frame := make([]byte, 4+frameHeaderLen+len(body))
+	binary.LittleEndian.PutUint32(frame, uint32(frameHeaderLen+len(body)))
+	binary.LittleEndian.PutUint64(frame[4:], id)
+	binary.LittleEndian.PutUint16(frame[12:], op)
+	frame[14] = kind
+	copy(frame[15:], body)
+	_, err := conn.Write(frame)
+	return err
+}
+
+func readFrame(conn net.Conn) (id uint64, op uint16, kind byte, body []byte, err error) {
+	var lenBuf [4]byte
+	if err = readFull(conn, lenBuf[:]); err != nil {
+		return
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n < frameHeaderLen || n > maxFrame {
+		err = fmt.Errorf("transport: bad frame length %d", n)
+		return
+	}
+	buf := make([]byte, n)
+	if err = readFull(conn, buf); err != nil {
+		return
+	}
+	id = binary.LittleEndian.Uint64(buf)
+	op = binary.LittleEndian.Uint16(buf[8:])
+	kind = buf[10]
+	body = buf[frameHeaderLen:]
+	return
+}

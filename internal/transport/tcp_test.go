@@ -1,0 +1,223 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T, h Handler) (*TCPTransport, string) {
+	t.Helper()
+	srv := NewTCP("127.0.0.1:0")
+	if err := srv.Serve(h); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, srv.Addr()
+}
+
+func echoHandler(ctx context.Context, from string, req Message) (Message, error) {
+	return Message{Op: req.Op + 1, Body: req.Body}, nil
+}
+
+func TestTCPEcho(t *testing.T) {
+	_, addr := startServer(t, echoHandler)
+	cli := NewTCP("")
+	defer cli.Close()
+	resp, err := cli.Call(context.Background(), addr, Message{Op: 7, Body: []byte("hello")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Op != 8 || string(resp.Body) != "hello" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestTCPEmptyBody(t *testing.T) {
+	_, addr := startServer(t, echoHandler)
+	cli := NewTCP("")
+	defer cli.Close()
+	resp, err := cli.Call(context.Background(), addr, Message{Op: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Body) != 0 {
+		t.Fatalf("body = %q", resp.Body)
+	}
+}
+
+func TestTCPLargeBody(t *testing.T) {
+	_, addr := startServer(t, echoHandler)
+	cli := NewTCP("")
+	defer cli.Close()
+	body := bytes.Repeat([]byte{0xab}, 1<<20)
+	resp, err := cli.Call(context.Background(), addr, Message{Op: 1, Body: body})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.Body, body) {
+		t.Fatal("large body corrupted")
+	}
+}
+
+func TestTCPRemoteError(t *testing.T) {
+	_, addr := startServer(t, func(ctx context.Context, from string, req Message) (Message, error) {
+		return Message{}, errors.New("boom")
+	})
+	cli := NewTCP("")
+	defer cli.Close()
+	_, err := cli.Call(context.Background(), addr, Message{Op: 1})
+	if err == nil || !IsRemote(err) {
+		t.Fatalf("err = %v, want remote error", err)
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Msg != "boom" {
+		t.Fatalf("remote message = %v", err)
+	}
+}
+
+func TestTCPUnreachable(t *testing.T) {
+	cli := NewTCP("")
+	defer cli.Close()
+	_, err := cli.Call(context.Background(), "127.0.0.1:1", Message{Op: 1})
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPContextTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	_, addr := startServer(t, func(ctx context.Context, from string, req Message) (Message, error) {
+		<-block
+		return Message{}, nil
+	})
+	cli := NewTCP("")
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := cli.Call(ctx, addr, Message{Op: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPConcurrentPipelining(t *testing.T) {
+	_, addr := startServer(t, echoHandler)
+	cli := NewTCP("")
+	defer cli.Close()
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := []byte(fmt.Sprintf("req-%d", i))
+			resp, err := cli.Call(context.Background(), addr, Message{Op: uint16(i), Body: body})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.Op != uint16(i)+1 || !bytes.Equal(resp.Body, body) {
+				errs[i] = fmt.Errorf("response mismatch for %d: %+v", i, resp)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+func TestTCPServerCloseFailsCalls(t *testing.T) {
+	srv, addr := startServer(t, func(ctx context.Context, from string, req Message) (Message, error) {
+		time.Sleep(20 * time.Millisecond)
+		return req, nil
+	})
+	cli := NewTCP("")
+	defer cli.Close()
+	// Warm the pool.
+	if _, err := cli.Call(context.Background(), addr, Message{Op: 1}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := cli.Call(ctx, addr, Message{Op: 1}); err == nil {
+		t.Fatal("call after server close succeeded")
+	}
+}
+
+func TestTCPClientCloseRejectsCalls(t *testing.T) {
+	_, addr := startServer(t, echoHandler)
+	cli := NewTCP("")
+	cli.Close()
+	if _, err := cli.Call(context.Background(), addr, Message{Op: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPFromAddressProvided(t *testing.T) {
+	got := make(chan string, 1)
+	_, addr := startServer(t, func(ctx context.Context, from string, req Message) (Message, error) {
+		got <- from
+		return req, nil
+	})
+	cli := NewTCP("")
+	defer cli.Close()
+	if _, err := cli.Call(context.Background(), addr, Message{Op: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if from := <-got; from == "" {
+		t.Fatal("handler saw empty from address")
+	}
+}
+
+func TestMuxDispatch(t *testing.T) {
+	m := NewMux()
+	m.HandleFunc(1, func(ctx context.Context, from string, req Message) (Message, error) {
+		return Message{Body: []byte("one")}, nil
+	})
+	m.HandleFunc(2, func(ctx context.Context, from string, req Message) (Message, error) {
+		return Message{Body: []byte("two")}, nil
+	})
+	resp, err := m.Handle(context.Background(), "", Message{Op: 2})
+	if err != nil || string(resp.Body) != "two" {
+		t.Fatalf("resp = %+v, err = %v", resp, err)
+	}
+	if _, err := m.Handle(context.Background(), "", Message{Op: 9}); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPServeTwiceFails(t *testing.T) {
+	srv, _ := startServer(t, echoHandler)
+	if err := srv.Serve(echoHandler); err == nil {
+		t.Fatal("second Serve succeeded")
+	}
+}
+
+func BenchmarkTCPRoundTrip(b *testing.B) {
+	srv := NewTCP("127.0.0.1:0")
+	if err := srv.Serve(echoHandler); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewTCP("")
+	defer cli.Close()
+	addr := srv.Addr()
+	body := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Call(context.Background(), addr, Message{Op: 1, Body: body}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

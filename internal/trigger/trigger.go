@@ -1,0 +1,526 @@
+// Package trigger implements Sedna's trigger-based realtime APIs (§IV):
+// jobs monitor data at key, table or dataset granularity, a filter predicate
+// (the paper's assert(oldKey, oldValue, newKey, newValue)) decides which
+// updates matter, and an action (the paper's action(key, values, result))
+// processes them, emitting results back into the store through a Result.
+//
+// Dirty rows are discovered by scanner goroutines sweeping the store's
+// Dirty column (§IV-C, Fig. 5) plus an optional fast-path notification from
+// the write path. Flow control (§IV-B) coalesces updates per key within
+// each job's trigger interval — "if value changes during this interval, it
+// would be safe to discard them as the most fresh data matters most" — which
+// bounds the ripple effect of trigger cycles to one firing per interval.
+package trigger
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sedna/internal/kv"
+)
+
+// Snapshot is one key's state at a point in time, as presented to filters.
+type Snapshot struct {
+	Key kv.Key
+	// Value is the latest live value ([]byte(nil) when absent).
+	Value []byte
+	// TS is the timestamp of that value.
+	TS kv.Timestamp
+	// Exists reports whether the key held a live value.
+	Exists bool
+}
+
+// Filter decides whether an update should fire a job, given the previous
+// and current state of the key (the paper's four-argument assert).
+type Filter interface {
+	Assert(old, new Snapshot) bool
+}
+
+// FilterFunc adapts a function to the Filter interface.
+type FilterFunc func(old, new Snapshot) bool
+
+// Assert implements Filter.
+func (f FilterFunc) Assert(old, new Snapshot) bool { return f(old, new) }
+
+// Result collects an action's output writes; the engine applies them to the
+// distributed store in parallel after the action returns ("a safe way for
+// programmers to write processing results ... paralleled", §IV-D).
+type Result struct {
+	mu     sync.Mutex
+	writes []WriteOp
+}
+
+// WriteOp is one buffered output write.
+type WriteOp struct {
+	Key   kv.Key
+	Value []byte
+}
+
+// Emit buffers one output write.
+func (r *Result) Emit(key kv.Key, value []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.writes = append(r.writes, WriteOp{Key: key, Value: append([]byte(nil), value...)})
+}
+
+// Action processes one fired event: the key, its live values (freshest
+// first, the multi-source write_all list) and the output collector.
+type Action interface {
+	Act(ctx context.Context, key kv.Key, values [][]byte, res *Result) error
+}
+
+// ActionFunc adapts a function to the Action interface.
+type ActionFunc func(ctx context.Context, key kv.Key, values [][]byte, res *Result) error
+
+// Act implements Action.
+func (f ActionFunc) Act(ctx context.Context, key kv.Key, values [][]byte, res *Result) error {
+	return f(ctx, key, values, res)
+}
+
+// Hook names what a job monitors: a whole dataset, one table, or one exact
+// key (§IV-C: "the least unit programs can monitor would be a key-value
+// pair, and they also can monitor Tables ... or monitor a Dataset").
+type Hook struct {
+	Dataset string
+	Table   string // empty: whole dataset
+	Name    string // empty: whole table
+}
+
+// KeyHook monitors one exact key.
+func KeyHook(k kv.Key) Hook {
+	d, t, n := k.Split()
+	return Hook{Dataset: d, Table: t, Name: n}
+}
+
+// TableHook monitors every key in dataset/table.
+func TableHook(dataset, table string) Hook { return Hook{Dataset: dataset, Table: table} }
+
+// DatasetHook monitors every key in the dataset.
+func DatasetHook(dataset string) Hook { return Hook{Dataset: dataset} }
+
+// Matches reports whether the hook covers key.
+func (h Hook) Matches(key kv.Key) bool {
+	d, t, n := key.Split()
+	if h.Dataset != d {
+		return false
+	}
+	if h.Table == "" {
+		return true
+	}
+	if h.Table != t {
+		return false
+	}
+	return h.Name == "" || h.Name == n
+}
+
+// Job is one registered trigger application.
+type Job struct {
+	// Name labels the job in stats and logs.
+	Name string
+	// Hooks select the monitored data; at least one is required.
+	Hooks []Hook
+	// Filter gates events; nil passes everything. Filters "should be as
+	// simple as possible" (§IV-D) — they run inline on the scan path.
+	Filter Filter
+	// Action runs for each fired event.
+	Action Action
+	// Interval is the flow-control window: at most one firing per key per
+	// interval, intermediate values are discarded keeping the freshest.
+	// Zero selects the engine default.
+	Interval time.Duration
+	// ActionTimeout bounds one action invocation; zero selects 5s.
+	ActionTimeout time.Duration
+	// Deadline unregisters the job after this lifetime ("Programmers
+	// should give a job a timeout measurement to avoid infinite
+	// execution", §IV-D). Zero means no deadline.
+	Deadline time.Duration
+}
+
+// Source exposes the local store's dirty rows to the scanner.
+type Source interface {
+	// ScanDirty visits up to limit dirty rows, clearing their Dirty flag,
+	// and returns how many it visited. fn receives the key and a private
+	// copy of the row.
+	ScanDirty(limit int, fn func(key kv.Key, row *kv.Row)) int
+}
+
+// Config parameterises an Engine.
+type Config struct {
+	// Source feeds the scanner. Required.
+	Source Source
+	// Write applies one Result output to the distributed store. Required
+	// if any action emits results.
+	Write func(ctx context.Context, key kv.Key, value []byte) error
+	// ScanEvery is the dirty-scan period; zero selects 10ms.
+	ScanEvery time.Duration
+	// ScanBatch bounds one sweep; zero selects 1024 rows.
+	ScanBatch int
+	// Workers sizes the action worker pool; zero selects 4.
+	Workers int
+	// DefaultInterval is the flow-control window for jobs that do not set
+	// one; zero selects 100ms.
+	DefaultInterval time.Duration
+	// Logf receives diagnostics; nil disables.
+	Logf func(format string, args ...any)
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	// Scanned is the number of dirty rows swept.
+	Scanned uint64
+	// Matched counts (row, job) pairs whose hooks matched.
+	Matched uint64
+	// Filtered counts events rejected by a filter.
+	Filtered uint64
+	// Coalesced counts events merged into a pending firing by flow
+	// control (the ripple-effect suppression).
+	Coalesced uint64
+	// Fired counts action invocations.
+	Fired uint64
+	// ActionErrors counts failed or timed-out actions.
+	ActionErrors uint64
+	// ResultWrites counts output writes applied.
+	ResultWrites uint64
+}
+
+// Engine runs trigger jobs against one node's store.
+type Engine struct {
+	cfg Config
+
+	mu      sync.Mutex
+	jobs    map[uint64]*jobState
+	nextID  uint64
+	started bool
+	closed  bool
+
+	fireCh chan firing
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	scanned      atomic.Uint64
+	matched      atomic.Uint64
+	filtered     atomic.Uint64
+	coalesced    atomic.Uint64
+	fired        atomic.Uint64
+	actionErrors atomic.Uint64
+	resultWrites atomic.Uint64
+}
+
+type jobState struct {
+	id  uint64
+	job Job
+	// lastSeen is the previous dispatched snapshot per key (the "old"
+	// side of the filter).
+	lastSeen map[kv.Key]Snapshot
+	// pending holds the freshest un-fired event per key.
+	pending map[kv.Key]*event
+	// lastFired is the flow-control clock per key.
+	lastFired map[kv.Key]time.Time
+	// expires is the job deadline (zero time: none).
+	expires time.Time
+}
+
+type event struct {
+	key    kv.Key
+	new    Snapshot
+	values [][]byte
+}
+
+type firing struct {
+	js *jobState
+	ev *event
+}
+
+// NewEngine validates the config and returns a stopped engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Source == nil {
+		return nil, errors.New("trigger: Source required")
+	}
+	if cfg.ScanEvery <= 0 {
+		cfg.ScanEvery = 10 * time.Millisecond
+	}
+	if cfg.ScanBatch <= 0 {
+		cfg.ScanBatch = 1024
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.DefaultInterval <= 0 {
+		cfg.DefaultInterval = 100 * time.Millisecond
+	}
+	return &Engine{
+		cfg:    cfg,
+		jobs:   map[uint64]*jobState{},
+		fireCh: make(chan firing, 256),
+		stop:   make(chan struct{}),
+	}, nil
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.cfg.Logf != nil {
+		e.cfg.Logf("trigger: "+format, args...)
+	}
+}
+
+// Register installs a job and returns its id. The engine may be running.
+func (e *Engine) Register(job Job) (uint64, error) {
+	if len(job.Hooks) == 0 {
+		return 0, errors.New("trigger: job needs at least one hook")
+	}
+	if job.Action == nil {
+		return 0, errors.New("trigger: job needs an action")
+	}
+	if job.Interval <= 0 {
+		job.Interval = e.cfg.DefaultInterval
+	}
+	if job.ActionTimeout <= 0 {
+		job.ActionTimeout = 5 * time.Second
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, errors.New("trigger: engine closed")
+	}
+	e.nextID++
+	id := e.nextID
+	js := &jobState{
+		id:        id,
+		job:       job,
+		lastSeen:  map[kv.Key]Snapshot{},
+		pending:   map[kv.Key]*event{},
+		lastFired: map[kv.Key]time.Time{},
+	}
+	if job.Deadline > 0 {
+		js.expires = time.Now().Add(job.Deadline)
+	}
+	e.jobs[id] = js
+	return id, nil
+}
+
+// Unregister removes a job; in-flight actions complete.
+func (e *Engine) Unregister(id uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.jobs, id)
+}
+
+// Jobs returns the ids of registered jobs.
+func (e *Engine) Jobs() []uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]uint64, 0, len(e.jobs))
+	for id := range e.jobs {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Start launches the scanner and the worker pool.
+func (e *Engine) Start() {
+	e.mu.Lock()
+	if e.started || e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.started = true
+	e.mu.Unlock()
+	for i := 0; i < e.cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	e.wg.Add(1)
+	go e.scanLoop()
+}
+
+// Close stops the engine and waits for in-flight actions.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	started := e.started
+	e.mu.Unlock()
+	if started {
+		close(e.stop)
+		e.wg.Wait()
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Scanned:      e.scanned.Load(),
+		Matched:      e.matched.Load(),
+		Filtered:     e.filtered.Load(),
+		Coalesced:    e.coalesced.Load(),
+		Fired:        e.fired.Load(),
+		ActionErrors: e.actionErrors.Load(),
+		ResultWrites: e.resultWrites.Load(),
+	}
+}
+
+func (e *Engine) scanLoop() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.cfg.ScanEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-t.C:
+		}
+		n := e.cfg.Source.ScanDirty(e.cfg.ScanBatch, e.Offer)
+		e.scanned.Add(uint64(n))
+		e.dispatchDue()
+		e.expireJobs()
+	}
+}
+
+// Offer presents one changed row to the engine; the write path may call it
+// directly as a fast path instead of waiting for the next sweep.
+func (e *Engine) Offer(key kv.Key, row *kv.Row) {
+	snap := Snapshot{Key: key}
+	if v, ok := row.Latest(); ok {
+		snap.Value = v.Value
+		snap.TS = v.TS
+		snap.Exists = true
+	}
+	live := row.Live()
+	values := make([][]byte, len(live))
+	for i, v := range live {
+		values[i] = v.Value
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, js := range e.jobs {
+		if !matchesAny(js.job.Hooks, key) {
+			continue
+		}
+		e.matched.Add(1)
+		old := js.lastSeen[key]
+		old.Key = key
+		if js.job.Filter != nil && !js.job.Filter.Assert(old, snap) {
+			e.filtered.Add(1)
+			continue
+		}
+		if _, dup := js.pending[key]; dup {
+			e.coalesced.Add(1)
+		}
+		// Freshest wins: later offers replace pending ones (§IV-B).
+		js.pending[key] = &event{key: key, new: snap, values: values}
+	}
+}
+
+func matchesAny(hooks []Hook, key kv.Key) bool {
+	for _, h := range hooks {
+		if h.Matches(key) {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatchDue moves pending events whose flow-control window has elapsed to
+// the worker pool.
+func (e *Engine) dispatchDue() {
+	now := time.Now()
+	var due []firing
+	e.mu.Lock()
+	for _, js := range e.jobs {
+		for key, ev := range js.pending {
+			if now.Sub(js.lastFired[key]) < js.job.Interval {
+				continue // still inside the window; keep coalescing
+			}
+			js.lastFired[key] = now
+			js.lastSeen[key] = ev.new
+			delete(js.pending, key)
+			due = append(due, firing{js: js, ev: ev})
+		}
+	}
+	e.mu.Unlock()
+	for _, f := range due {
+		select {
+		case e.fireCh <- f:
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+func (e *Engine) expireJobs() {
+	now := time.Now()
+	e.mu.Lock()
+	for id, js := range e.jobs {
+		if !js.expires.IsZero() && now.After(js.expires) {
+			delete(e.jobs, id)
+			e.logf("job %q (%d) reached its deadline", js.job.Name, id)
+		}
+	}
+	e.mu.Unlock()
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case f := <-e.fireCh:
+			e.runAction(f)
+		}
+	}
+}
+
+func (e *Engine) runAction(f firing) {
+	e.fired.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), f.js.job.ActionTimeout)
+	defer cancel()
+	res := &Result{}
+	if err := f.js.job.Action.Act(ctx, f.ev.key, f.ev.values, res); err != nil {
+		e.actionErrors.Add(1)
+		e.logf("job %q action on %q: %v", f.js.job.Name, f.ev.key, err)
+		return
+	}
+	if len(res.writes) == 0 {
+		return
+	}
+	if e.cfg.Write == nil {
+		e.actionErrors.Add(1)
+		e.logf("job %q emitted %d writes but the engine has no writer", f.js.job.Name, len(res.writes))
+		return
+	}
+	// Apply outputs in parallel (§IV-D).
+	var wg sync.WaitGroup
+	for _, w := range res.writes {
+		wg.Add(1)
+		go func(w WriteOp) {
+			defer wg.Done()
+			if err := e.cfg.Write(ctx, w.Key, w.Value); err != nil {
+				e.actionErrors.Add(1)
+				e.logf("job %q result write %q: %v", f.js.job.Name, w.Key, err)
+				return
+			}
+			e.resultWrites.Add(1)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// String renders a hook for logs.
+func (h Hook) String() string {
+	switch {
+	case h.Table == "":
+		return fmt.Sprintf("dataset(%s)", h.Dataset)
+	case h.Name == "":
+		return fmt.Sprintf("table(%s/%s)", h.Dataset, h.Table)
+	default:
+		return fmt.Sprintf("key(%s/%s/%s)", h.Dataset, h.Table, h.Name)
+	}
+}

@@ -1,0 +1,390 @@
+// Package wal implements Sedna's write-ahead log, one of the paper's two
+// persistency strategies (Table I: "periodically flush or write-ahead logs
+// according to users' needs"). The log is a sequence of segment files of
+// length-prefixed, CRC-protected records; recovery replays every intact
+// record and stops cleanly at the first torn tail, which is exactly the
+// guarantee a crashed Sedna node needs to rebuild its memory image.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy controls when appended records are forced to stable storage,
+// the speed/durability dial the paper exposes to users (§II, Table I).
+type SyncPolicy int
+
+const (
+	// SyncNever leaves flushing to the OS; fastest, weakest.
+	SyncNever SyncPolicy = iota
+	// SyncInterval fsyncs at most once per interval from a background
+	// goroutine.
+	SyncInterval
+	// SyncAlways fsyncs after every append; slowest, strongest.
+	SyncAlways
+)
+
+// Options configures a Log.
+type Options struct {
+	// Dir is the directory holding segment files. It is created when
+	// missing.
+	Dir string
+	// SegmentBytes rotates to a fresh segment when the current one
+	// exceeds this size. Zero selects 64 MiB.
+	SegmentBytes int64
+	// Sync selects the durability policy.
+	Sync SyncPolicy
+	// SyncEvery is the flush period for SyncInterval; zero selects 50ms.
+	SyncEvery time.Duration
+}
+
+// Record is one logged mutation. The WAL does not interpret the payload;
+// Sedna logs its replica-level operations (op code + key + encoded row).
+type Record struct {
+	// Seq is the record's log sequence number, assigned by Append and
+	// reported during replay.
+	Seq uint64
+	// Payload is the opaque record body.
+	Payload []byte
+}
+
+// ErrCorrupt reports a record that failed its CRC inside the log body (not
+// at the tail, where truncation is expected after a crash and tolerated).
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+const (
+	recordHeader = 4 + 8 + 4 // length, seq, crc
+	segPrefix    = "seg-"
+	segSuffix    = ".wal"
+)
+
+// Log is an append-only segmented write-ahead log. All methods are safe for
+// concurrent use.
+type Log struct {
+	opts Options
+
+	mu      sync.Mutex
+	seg     *os.File
+	segBase uint64 // first seq of the open segment
+	segSize int64
+	nextSeq uint64
+	dirty   bool
+	closed  bool
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// Open creates or resumes the log in opts.Dir. Existing segments are left
+// in place; Append continues after the highest sequence found.
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Dir required")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 64 << 20
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 50 * time.Millisecond
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{opts: opts, nextSeq: 1}
+
+	segs, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) > 0 {
+		// Find the next sequence by scanning the last segment.
+		last := segs[len(segs)-1]
+		maxSeq, scanErr := scanMaxSeq(filepath.Join(opts.Dir, segName(last)))
+		if scanErr != nil {
+			return nil, scanErr
+		}
+		if maxSeq >= l.nextSeq {
+			l.nextSeq = maxSeq + 1
+		}
+		if maxSeq == 0 && last >= l.nextSeq {
+			// Empty tail segment: keep numbering consistent.
+			l.nextSeq = last
+		}
+	}
+	if err := l.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	if opts.Sync == SyncInterval {
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flushLoop()
+	}
+	return l, nil
+}
+
+func segName(base uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, base, segSuffix)
+}
+
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var bases []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		numStr := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+		base, err := strconv.ParseUint(numStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	return bases, nil
+}
+
+// openSegmentLocked opens (appending) the segment whose base is nextSeq, or
+// the newest existing segment when resuming.
+func (l *Log) openSegmentLocked() error {
+	segs, err := listSegments(l.opts.Dir)
+	if err != nil {
+		return err
+	}
+	var base uint64
+	if len(segs) > 0 {
+		base = segs[len(segs)-1]
+	} else {
+		base = l.nextSeq
+	}
+	path := filepath.Join(l.opts.Dir, segName(base))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	l.seg = f
+	l.segBase = base
+	l.segSize = st.Size()
+	return nil
+}
+
+// Append writes one record and returns its sequence number, honouring the
+// configured sync policy before returning.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errors.New("wal: closed")
+	}
+	if l.segSize >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	seq := l.nextSeq
+	l.nextSeq++
+
+	buf := make([]byte, recordHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint64(buf[4:], seq)
+	binary.LittleEndian.PutUint32(buf[12:], crc32.ChecksumIEEE(payload))
+	copy(buf[recordHeader:], payload)
+	if _, err := l.seg.Write(buf); err != nil {
+		return 0, err
+	}
+	l.segSize += int64(len(buf))
+	l.dirty = true
+	if l.opts.Sync == SyncAlways {
+		if err := l.seg.Sync(); err != nil {
+			return 0, err
+		}
+		l.dirty = false
+	}
+	return seq, nil
+}
+
+func (l *Log) rotateLocked() error {
+	if err := l.seg.Sync(); err != nil {
+		return err
+	}
+	if err := l.seg.Close(); err != nil {
+		return err
+	}
+	path := filepath.Join(l.opts.Dir, segName(l.nextSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	l.seg = f
+	l.segBase = l.nextSeq
+	l.segSize = 0
+	return nil
+}
+
+// Sync forces buffered records to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || !l.dirty {
+		return nil
+	}
+	if err := l.seg.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	return nil
+}
+
+func (l *Log) flushLoop() {
+	defer close(l.flushDone)
+	t := time.NewTicker(l.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.Sync()
+		case <-l.flushStop:
+			l.Sync()
+			return
+		}
+	}
+}
+
+// NextSeq returns the sequence number the next Append will use.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.mu.Unlock()
+	if l.flushStop != nil {
+		close(l.flushStop)
+		<-l.flushDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	if l.dirty {
+		l.seg.Sync()
+	}
+	return l.seg.Close()
+}
+
+// Replay invokes fn for every record with Seq >= from, in order, across all
+// segments. A torn record at the very tail of the newest segment ends the
+// replay without error (the crash happened mid-append); corruption anywhere
+// else returns ErrCorrupt.
+func Replay(dir string, from uint64, fn func(Record) error) error {
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for i, base := range segs {
+		lastSegment := i == len(segs)-1
+		if err := replaySegment(filepath.Join(dir, segName(base)), from, lastSegment, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func replaySegment(path string, from uint64, tolerateTear bool, fn func(Record) error) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	off := 0
+	for off < len(data) {
+		if len(data)-off < recordHeader {
+			if tolerateTear {
+				return nil
+			}
+			return fmt.Errorf("%w: torn header in %s", ErrCorrupt, path)
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		seq := binary.LittleEndian.Uint64(data[off+4:])
+		crc := binary.LittleEndian.Uint32(data[off+12:])
+		if len(data)-off-recordHeader < n {
+			if tolerateTear {
+				return nil
+			}
+			return fmt.Errorf("%w: torn payload in %s", ErrCorrupt, path)
+		}
+		payload := data[off+recordHeader : off+recordHeader+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			if tolerateTear && off+recordHeader+n == len(data) {
+				return nil // torn final record
+			}
+			return fmt.Errorf("%w: bad crc at seq %d in %s", ErrCorrupt, seq, path)
+		}
+		if seq >= from {
+			if err := fn(Record{Seq: seq, Payload: append([]byte(nil), payload...)}); err != nil {
+				return err
+			}
+		}
+		off += recordHeader + n
+	}
+	return nil
+}
+
+// Truncate removes whole segments whose records all precede upTo; it is
+// called after a snapshot makes the prefix redundant. The segment containing
+// upTo is kept.
+func Truncate(dir string, upTo uint64) error {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	for i, base := range segs {
+		// A segment may be deleted when the NEXT segment starts at or
+		// before upTo (so every record here is < upTo).
+		if i+1 < len(segs) && segs[i+1] <= upTo {
+			if err := os.Remove(filepath.Join(dir, segName(base))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// scanMaxSeq returns the highest intact sequence number in the segment.
+func scanMaxSeq(path string) (uint64, error) {
+	var max uint64
+	err := replaySegment(path, 0, true, func(r Record) error {
+		if r.Seq > max {
+			max = r.Seq
+		}
+		return nil
+	})
+	return max, err
+}

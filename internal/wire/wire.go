@@ -1,0 +1,134 @@
+// Package wire provides the little-endian append/cursor codec helpers used
+// by Sedna's data-plane RPC bodies. Every message owner composes its format
+// from these primitives; there is no reflection on any hot path.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Enc is an append-style binary writer; the zero value is ready to use.
+type Enc struct{ B []byte }
+
+// U8 appends one byte.
+func (e *Enc) U8(v byte) { e.B = append(e.B, v) }
+
+// U16 appends a little-endian uint16.
+func (e *Enc) U16(v uint16) { e.B = binary.LittleEndian.AppendUint16(e.B, v) }
+
+// U32 appends a little-endian uint32.
+func (e *Enc) U32(v uint32) { e.B = binary.LittleEndian.AppendUint32(e.B, v) }
+
+// U64 appends a little-endian uint64.
+func (e *Enc) U64(v uint64) { e.B = binary.LittleEndian.AppendUint64(e.B, v) }
+
+// I64 appends a little-endian int64.
+func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
+
+// Bool appends a boolean byte.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(s string) { e.U32(uint32(len(s))); e.B = append(e.B, s...) }
+
+// Bytes appends a length-prefixed byte slice.
+func (e *Enc) Bytes(p []byte) { e.U32(uint32(len(p))); e.B = append(e.B, p...) }
+
+// ErrShort reports a truncated message.
+var ErrShort = errors.New("wire: short message")
+
+// Dec is a cursor-style binary reader; the first failure sticks in Err.
+type Dec struct {
+	B   []byte
+	Off int
+	Err error
+}
+
+// NewDec wraps a buffer.
+func NewDec(b []byte) *Dec { return &Dec{B: b} }
+
+func (d *Dec) need(n int) bool {
+	if d.Err != nil {
+		return false
+	}
+	if len(d.B)-d.Off < n {
+		d.Err = ErrShort
+		return false
+	}
+	return true
+}
+
+// U8 reads one byte.
+func (d *Dec) U8() byte {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.B[d.Off]
+	d.Off++
+	return v
+}
+
+// U16 reads a little-endian uint16.
+func (d *Dec) U16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.B[d.Off:])
+	d.Off += 2
+	return v
+}
+
+// U32 reads a little-endian uint32.
+func (d *Dec) U32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.B[d.Off:])
+	d.Off += 4
+	return v
+}
+
+// U64 reads a little-endian uint64.
+func (d *Dec) U64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.B[d.Off:])
+	d.Off += 8
+	return v
+}
+
+// I64 reads a little-endian int64.
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// Bool reads a boolean byte.
+func (d *Dec) Bool() bool { return d.U8() != 0 }
+
+// Str reads a length-prefixed string.
+func (d *Dec) Str() string {
+	n := int(d.U32())
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.B[d.Off : d.Off+n])
+	d.Off += n
+	return s
+}
+
+// Bytes reads a length-prefixed byte slice (copied, never aliased).
+func (d *Dec) Bytes() []byte {
+	n := int(d.U32())
+	if !d.need(n) {
+		return nil
+	}
+	p := append([]byte(nil), d.B[d.Off:d.Off+n]...)
+	d.Off += n
+	return p
+}

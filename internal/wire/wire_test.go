@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllTypes(t *testing.T) {
+	var e Enc
+	e.U8(7)
+	e.U16(300)
+	e.U32(70000)
+	e.U64(1 << 40)
+	e.I64(-42)
+	e.Bool(true)
+	e.Bool(false)
+	e.Str("hello")
+	e.Bytes([]byte{1, 2, 3})
+	e.Str("")
+	e.Bytes(nil)
+
+	d := NewDec(e.B)
+	if d.U8() != 7 || d.U16() != 300 || d.U32() != 70000 || d.U64() != 1<<40 {
+		t.Fatal("unsigned round trip failed")
+	}
+	if d.I64() != -42 {
+		t.Fatal("i64 round trip failed")
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("bool round trip failed")
+	}
+	if d.Str() != "hello" || !bytes.Equal(d.Bytes(), []byte{1, 2, 3}) {
+		t.Fatal("string/bytes round trip failed")
+	}
+	if d.Str() != "" || len(d.Bytes()) != 0 {
+		t.Fatal("empty round trip failed")
+	}
+	if d.Err != nil {
+		t.Fatal(d.Err)
+	}
+	if d.Off != len(e.B) {
+		t.Fatalf("cursor at %d of %d", d.Off, len(e.B))
+	}
+}
+
+func TestShortReadsStick(t *testing.T) {
+	d := NewDec([]byte{1})
+	d.U32()
+	if d.Err == nil {
+		t.Fatal("short u32 accepted")
+	}
+	// Once failed, everything returns zero values.
+	if d.U64() != 0 || d.Str() != "" || d.Bool() {
+		t.Fatal("post-error reads returned data")
+	}
+}
+
+func TestTruncatedString(t *testing.T) {
+	var e Enc
+	e.U32(100) // claims 100 bytes
+	e.B = append(e.B, "short"...)
+	d := NewDec(e.B)
+	if s := d.Str(); s != "" || d.Err == nil {
+		t.Fatalf("truncated string = %q, err = %v", s, d.Err)
+	}
+}
+
+func TestBytesNeverAlias(t *testing.T) {
+	var e Enc
+	e.Bytes([]byte("abc"))
+	buf := e.B
+	d := NewDec(buf)
+	got := d.Bytes()
+	buf[4] = 'z'
+	if string(got) != "abc" {
+		t.Fatal("decoded bytes alias the input")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(a uint8, b uint16, c uint32, d64 uint64, s string, p []byte, flag bool) bool {
+		var e Enc
+		e.U8(a)
+		e.U16(b)
+		e.U32(c)
+		e.U64(d64)
+		e.Str(s)
+		e.Bytes(p)
+		e.Bool(flag)
+		d := NewDec(e.B)
+		ok := d.U8() == a && d.U16() == b && d.U32() == c && d.U64() == d64 &&
+			d.Str() == s && bytes.Equal(d.Bytes(), p) && d.Bool() == flag
+		return ok && d.Err == nil && d.Off == len(e.B)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaperSpecShape(t *testing.T) {
+	g := NewGenerator(Paper(1000))
+	key := g.Key(1)
+	// The paper: 20-byte keys like "test-00000000000001" and 20-byte
+	// constant values. The flat name component carries the shape; the
+	// hierarchy prefix is Sedna's extended key space.
+	name := key.Name()
+	if !strings.HasPrefix(name, "test-") || len(name) != 19 {
+		t.Fatalf("key name = %q (len %d)", name, len(name))
+	}
+	if len(g.Value(0)) != 20 {
+		t.Fatalf("value length = %d", len(g.Value(0)))
+	}
+	if string(g.Value(0)) != string(g.Value(999)) {
+		t.Fatal("value not constant")
+	}
+}
+
+func TestSequentialCoversAllKeys(t *testing.T) {
+	g := NewGenerator(Spec{Keys: 50, Dist: Sequential})
+	seen := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		seen[g.NextIndex()] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("sequential covered %d of 50", len(seen))
+	}
+	// Wraps around.
+	if g.NextIndex() != 0 {
+		t.Fatal("sequential did not wrap")
+	}
+}
+
+func TestKeyModularArithmetic(t *testing.T) {
+	g := NewGenerator(Spec{Keys: 10})
+	if g.Key(12) != g.Key(2) {
+		t.Fatal("index not reduced modulo Keys")
+	}
+	if g.Key(-3) != g.Key(7) {
+		t.Fatal("negative index mishandled")
+	}
+}
+
+func TestUniformReproducible(t *testing.T) {
+	a := NewGenerator(Spec{Keys: 100, Dist: Uniform, Seed: 5})
+	b := NewGenerator(Spec{Keys: 100, Dist: Uniform, Seed: 5})
+	for i := 0; i < 100; i++ {
+		if a.NextIndex() != b.NextIndex() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewGenerator(Spec{Keys: 1000, Dist: Zipf, Seed: 9})
+	counts := map[int]int{}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[g.NextIndex()]++
+	}
+	// The head must be hot: key 0 should take a large share.
+	if counts[0] < draws/20 {
+		t.Fatalf("zipf head only drew %d of %d", counts[0], draws)
+	}
+	// And the draws must stay in range.
+	for k := range counts {
+		if k < 0 || k >= 1000 {
+			t.Fatalf("zipf drew out-of-range key %d", k)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := NewGenerator(Spec{Keys: 100, Dist: Uniform, Seed: 1})
+	c := g.Clone(7)
+	same := true
+	for i := 0; i < 20; i++ {
+		if g.NextIndex() != c.NextIndex() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("clone with offset produced the identical stream")
+	}
+}
+
+func TestHierarchyPlacement(t *testing.T) {
+	g := NewGenerator(Spec{Keys: 10, Dataset: "web", Table: "pages"})
+	k := g.Key(3)
+	if k.Dataset() != "web" || k.Table() != "web/pages" {
+		t.Fatalf("key hierarchy = %q", k)
+	}
+}
+
+func TestTweetStream(t *testing.T) {
+	ts := NewTweetStream(5, 3)
+	ids := map[string]bool{}
+	mentions := 0
+	for i := 0; i < 200; i++ {
+		tw := ts.Next()
+		if ids[tw.ID] {
+			t.Fatalf("duplicate tweet id %s", tw.ID)
+		}
+		ids[tw.ID] = true
+		if tw.Author == "" || tw.Text == "" {
+			t.Fatalf("malformed tweet %+v", tw)
+		}
+		if len(tw.Mentions) > 0 {
+			mentions++
+			if tw.Mentions[0] == tw.Author {
+				t.Fatal("self-mention generated")
+			}
+			if !strings.Contains(tw.Text, "@"+tw.Mentions[0]) {
+				t.Fatal("mention not reflected in text")
+			}
+		}
+	}
+	if mentions == 0 {
+		t.Fatal("no mentions in 200 tweets")
+	}
+}
+
+func TestTweetStreamReproducible(t *testing.T) {
+	a, b := NewTweetStream(5, 42), NewTweetStream(5, 42)
+	for i := 0; i < 50; i++ {
+		ta, tb := a.Next(), b.Next()
+		if ta.ID != tb.ID || ta.Text != tb.Text || ta.Author != tb.Author {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestDistString(t *testing.T) {
+	if Sequential.String() != "sequential" || Uniform.String() != "uniform" || Zipf.String() != "zipf" {
+		t.Fatal("Dist names wrong")
+	}
+}

@@ -1,0 +1,143 @@
+package sedna_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"testing"
+	"time"
+
+	"sedna"
+)
+
+func TestFacadeTypesRoundTrip(t *testing.T) {
+	key := sedna.JoinKey("web", "pages", "p1")
+	if key.Dataset() != "web" || key.Table() != "web/pages" || key.Name() != "p1" {
+		t.Fatalf("key components wrong: %q", key)
+	}
+	if !sedna.TableHook("web", "pages").Matches(key) {
+		t.Fatal("table hook does not match")
+	}
+	if !sedna.DatasetHook("web").Matches(key) {
+		t.Fatal("dataset hook does not match")
+	}
+	if sedna.KeyHook(sedna.JoinKey("web", "pages", "p2")).Matches(key) {
+		t.Fatal("foreign key hook matches")
+	}
+	q := sedna.DefaultQuorum()
+	if q.N != 3 || q.R != 2 || q.W != 2 {
+		t.Fatalf("default quorum = %+v", q)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Example boots a minimal single-node cluster through the public facade and
+// round-trips one key — the smallest possible Sedna program.
+func Example() {
+	net := sedna.NewSimNetwork(sedna.SimProfile{}, 1)
+
+	ensemble := sedna.NewCoordServer(sedna.CoordConfig{
+		ID: 0, Members: []string{"coord"}, Transport: net.Endpoint("coord"),
+	})
+	if err := ensemble.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer ensemble.Close()
+
+	node, err := sedna.NewServer(sedna.ServerConfig{
+		Node:         "node-0",
+		Transport:    net.Endpoint("node-0"),
+		CoordServers: []string{"coord"},
+		CoordCaller:  net.Endpoint("node-0-coord"),
+		Bootstrap:    true,
+		VNodes:       16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := node.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+
+	cli, err := sedna.NewClient(sedna.ClientConfig{
+		Servers: []string{"node-0"},
+		Caller:  net.Endpoint("client"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	key := sedna.JoinKey("app", "kv", "greeting")
+	if err := cli.WriteLatest(ctx, key, []byte("hello sedna")); err != nil {
+		log.Fatal(err)
+	}
+	val, _, err := cli.ReadLatest(ctx, key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(val))
+	// Output: hello sedna
+}
+
+func TestFacadeSingleNodeTriggers(t *testing.T) {
+	net := sedna.NewSimNetwork(sedna.SimProfile{}, 2)
+	ensemble := sedna.NewCoordServer(sedna.CoordConfig{
+		ID: 0, Members: []string{"coord"}, Transport: net.Endpoint("coord"),
+	})
+	if err := ensemble.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer ensemble.Close()
+	node, err := sedna.NewServer(sedna.ServerConfig{
+		Node:            "solo",
+		Transport:       net.Endpoint("solo"),
+		CoordServers:    []string{"coord"},
+		CoordCaller:     net.Endpoint("solo-coord"),
+		Bootstrap:       true,
+		VNodes:          8,
+		ScanEvery:       2 * time.Millisecond,
+		TriggerInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	fired := make(chan sedna.Key, 8)
+	_, err = node.Trigger().Register(sedna.Job{
+		Name:  "facade",
+		Hooks: []sedna.Hook{sedna.TableHook("a", "b")},
+		Filter: sedna.FilterFunc(func(old, new sedna.Snapshot) bool {
+			return new.Exists
+		}),
+		Action: sedna.ActionFunc(func(ctx context.Context, key sedna.Key, values [][]byte, res *sedna.Result) error {
+			fired <- key
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := sedna.NewClient(sedna.ClientConfig{Servers: []string{"solo"}, Caller: net.Endpoint("cli")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := sedna.JoinKey("a", "b", "c")
+	if err := cli.WriteLatest(context.Background(), key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-fired:
+		if got != key {
+			t.Fatalf("fired for %q", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("trigger never fired through the facade")
+	}
+}
