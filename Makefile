@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race bench fmt check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick paper-figure regeneration (writes BENCH_*.json into the tree).
+bench:
+	$(GO) run ./cmd/sedna-bench -fig all -scale 0.05
+
+fmt:
+	gofmt -l -w .
+
+# What CI runs.
+check: build vet race

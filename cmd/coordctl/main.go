@@ -10,6 +10,7 @@
 //	coordctl -servers ... set /path value
 //	coordctl -servers ... del /path
 //	coordctl -servers ... ring           # decode and print the assignment
+//	coordctl -servers ... stats [addr]   # member metrics (znode-free path)
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: coordctl -servers a,b,c <status|ls|get|create|set|del|ring> [args]")
+	fmt.Fprintln(os.Stderr, "usage: coordctl -servers a,b,c <status|ls|get|create|set|del|ring|stats> [args]")
 	os.Exit(2)
 }
 
@@ -106,6 +107,19 @@ func main() {
 			fmt.Printf("node\t%s\tprimaries=%d\treplicas=%d\n",
 				n, len(snap.PrimaryVNodesOf(n)), len(snap.VNodesOf(n)))
 		}
+	case "stats":
+		// With an explicit member address the RPC goes straight there;
+		// otherwise whichever member the client prefers answers. Either
+		// way the path reads only soft state and works leaderless.
+		addr := ""
+		if len(args) > 1 {
+			addr = args[1]
+		}
+		snap, err := cli.ObsStats(addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(snap.Text())
 	default:
 		usage()
 	}

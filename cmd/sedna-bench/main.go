@@ -13,6 +13,11 @@
 //	sedna-bench -fig all
 //
 // -scale shrinks the sweep for quick runs (1.0 = the paper's 10k..60k).
+//
+// The figure sweeps also write machine-readable artifacts —
+// BENCH_fig7a.json, BENCH_fig7b.json, BENCH_fig8.json — carrying per-step
+// mean/p50/p99 op latency from the client-side obs histograms alongside
+// the wall-clock numbers (-outdir picks the directory).
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"sedna/internal/bench"
 )
@@ -29,6 +35,7 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "sweep scale relative to the paper's 10k..60k ops")
 	nodes := flag.Int("nodes", 9, "cluster size (the paper uses 9)")
 	seed := flag.Int64("seed", 42, "simulation seed")
+	outdir := flag.String("outdir", ".", "directory for the BENCH_*.json artifacts")
 	flag.Parse()
 
 	steps := opsSteps(*scale)
@@ -50,6 +57,7 @@ func main() {
 			log.Fatalf("fig 7a: %v", err)
 		}
 		fmt.Print(bench.TSV(series))
+		writeArtifact(*outdir, "BENCH_fig7a.json", "7a", series)
 		fmt.Println()
 	}
 	if run["7b"] {
@@ -60,6 +68,7 @@ func main() {
 			log.Fatalf("fig 7b: %v", err)
 		}
 		fmt.Print(bench.TSV(series))
+		writeArtifact(*outdir, "BENCH_fig7b.json", "7b", series)
 		fmt.Println()
 	}
 	if run["8"] {
@@ -70,6 +79,7 @@ func main() {
 			log.Fatalf("fig 8: %v", err)
 		}
 		fmt.Print(bench.TSV(series))
+		writeArtifact(*outdir, "BENCH_fig8.json", "8", series)
 		fmt.Println()
 	}
 	if run["ablations"] {
@@ -141,6 +151,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sedna-bench: unknown -fig %q\n", *fig)
 		os.Exit(2)
 	}
+}
+
+func writeArtifact(dir, name, figure string, series []bench.Series) {
+	path := filepath.Join(dir, name)
+	if err := bench.WriteJSON(path, figure, series); err != nil {
+		log.Fatalf("write %s: %v", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }
 
 func opsSteps(scale float64) []int {

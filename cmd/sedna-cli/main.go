@@ -8,10 +8,13 @@
 //	sedna-cli -servers ... getall ds/tb/key           # read_all
 //	sedna-cli -servers ... del ds/tb/key
 //	sedna-cli -servers ... watch ds tb                # subscribe to a table
+//	sedna-cli -servers ... stats                      # per-node + merged metrics
+//	sedna-cli -servers ... stats -json                # raw JSON snapshots
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,7 +25,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sedna-cli -servers a,b,c <put|putall|get|getall|del|watch> args...")
+	fmt.Fprintln(os.Stderr, "usage: sedna-cli -servers a,b,c <put|putall|get|getall|del|watch|stats> args...")
 	os.Exit(2)
 }
 
@@ -84,6 +87,9 @@ func main() {
 	case "watch":
 		need(args, 3)
 		watch(cli, strings.Split(*servers, ","), args[1], args[2])
+	case "stats":
+		asJSON := len(args) > 1 && args[1] == "-json"
+		stats(ctx, cli, strings.Split(*servers, ","), asJSON)
 	default:
 		usage()
 	}
@@ -111,6 +117,37 @@ func watch(cli *sedna.Client, servers []string, dataset, table string) {
 		} else {
 			fmt.Printf("%s\t%s\n", ev.Key, ev.Value)
 		}
+	}
+}
+
+// stats fetches each node's obs snapshot, prints it, and when several
+// nodes answered also prints the cluster-wide merge.
+func stats(ctx context.Context, cli *sedna.Client, servers []string, asJSON bool) {
+	var merged sedna.ObsSnapshot
+	answered := 0
+	for _, srv := range servers {
+		ns, err := cli.FetchStats(ctx, srv)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sedna-cli: %s: %v\n", srv, err)
+			continue
+		}
+		answered++
+		merged = merged.Merge(ns.Snapshot)
+		if asJSON {
+			blob, _ := json.Marshal(ns)
+			fmt.Println(string(blob))
+			continue
+		}
+		fmt.Printf("=== node %s ===\n%s", ns.Node, ns.Snapshot.Text())
+		for _, tr := range ns.Traces {
+			fmt.Printf("trace\t%s\n", tr)
+		}
+	}
+	if answered == 0 {
+		fatal(fmt.Errorf("no node answered"))
+	}
+	if !asJSON && answered > 1 {
+		fmt.Printf("=== cluster (merged %d nodes) ===\n%s", answered, merged.Text())
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"sedna/internal/coord"
 	"sedna/internal/core"
 	"sedna/internal/netsim"
+	"sedna/internal/obs"
 	"sedna/internal/persist"
 	"sedna/internal/quorum"
 	"sedna/internal/ring"
@@ -199,13 +200,25 @@ func (c *Cluster) AddNode(i int) (*core.Server, error) {
 
 // Client returns a fresh client with its own endpoint.
 func (c *Cluster) Client() (*client.Client, error) {
+	cl, _, err := c.ClientWithObs()
+	return cl, err
+}
+
+// ClientWithObs returns a fresh client plus the registry collecting its
+// client.* metrics; the figure reproductions read per-step latency
+// percentiles from it and merge the per-client registries into fleet
+// totals.
+func (c *Cluster) ClientWithObs() (*client.Client, *obs.Registry, error) {
 	c.nextClient++
 	ep := c.Net.Endpoint(fmt.Sprintf("client-%d", c.nextClient))
-	return client.New(client.Config{
+	reg := obs.NewRegistry()
+	cl, err := client.New(client.Config{
 		Servers: c.NodeAddrs,
 		Caller:  ep,
 		Source:  ep.Addr(),
+		Obs:     reg,
 	})
+	return cl, reg, err
 }
 
 // KillNode isolates node i (crash-like failure: the process runs but the

@@ -2,8 +2,10 @@ package bench
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -12,21 +14,40 @@ import (
 	"sedna/internal/core"
 	"sedna/internal/memcached"
 	"sedna/internal/netsim"
+	"sedna/internal/obs"
 	"sedna/internal/workload"
 )
 
 // Point is one measurement: total wall-clock milliseconds to complete Ops
 // operations, matching the paper's "Time Spend(ms)" over "W/R Operations"
-// axes.
+// axes, plus the per-op latency distribution of that step as recorded by
+// the client-side obs histograms (client.write / client.read for Sedna,
+// mc.op.set / mc.op.get for the baseline). The latency fields are zero
+// when no histogram covered the step.
 type Point struct {
-	Ops    int
-	Millis float64
+	Ops    int     `json:"ops"`
+	Millis float64 `json:"millis"`
+	MeanMs float64 `json:"mean_ms,omitempty"`
+	P50Ms  float64 `json:"p50_ms,omitempty"`
+	P99Ms  float64 `json:"p99_ms,omitempty"`
 }
 
 // Series is one line of a figure.
 type Series struct {
-	Label  string
-	Points []Point
+	Label  string  `json:"label"`
+	Points []Point `json:"points"`
+}
+
+// latencyPoint builds a Point from a step's wall time and the obs
+// histogram delta that covered exactly that step.
+func latencyPoint(ops int, millis float64, h obs.HistSnapshot) Point {
+	p := Point{Ops: ops, Millis: millis}
+	if h.Count > 0 {
+		p.MeanMs = h.Mean() / 1e6
+		p.P50Ms = float64(h.P50()) / 1e6
+		p.P99Ms = float64(h.P99()) / 1e6
+	}
+	return p
 }
 
 // TSV renders series as tab-separated columns: ops, then one column per
@@ -105,7 +126,7 @@ func RunFig7(cfg Fig7Config) ([]Series, error) {
 	if err := sc.WaitConverged(cfg.Nodes, 30*time.Second); err != nil {
 		return nil, err
 	}
-	scl, err := sc.Client()
+	scl, sreg, err := sc.ClientWithObs()
 	if err != nil {
 		return nil, err
 	}
@@ -124,10 +145,12 @@ func RunFig7(cfg Fig7Config) ([]Series, error) {
 		mcServers = append(mcServers, srv)
 		mcAddrs = append(mcAddrs, addr)
 	}
+	mreg := obs.NewRegistry()
 	mcl, err := memcached.NewClient(memcached.ClientConfig{
 		Servers:  mcAddrs,
 		Caller:   mnet.Endpoint("mc-client"),
 		Replicas: cfg.MCReplicas,
+		Obs:      mreg,
 	})
 	if err != nil {
 		return nil, err
@@ -148,37 +171,45 @@ func RunFig7(cfg Fig7Config) ([]Series, error) {
 		// Sedna writes. ErrOutdated is a legitimate reply of the paper's
 		// API (a raced retry lost to a newer timestamp carrying the same
 		// payload), not a failure; the sweep counts it as a completed op.
+		prev := sreg.Snapshot()
 		start := time.Now()
 		for i := 0; i < ops; i++ {
 			if err := scl.WriteLatest(ctx, gen.Key(i), gen.Value(i)); err != nil && !errors.Is(err, core.ErrOutdated) {
 				return nil, fmt.Errorf("sedna write %d: %w", i, err)
 			}
 		}
-		out[0].Points = append(out[0].Points, Point{Ops: ops, Millis: ms(time.Since(start))})
+		wall := ms(time.Since(start))
+		out[0].Points = append(out[0].Points, latencyPoint(ops, wall, sreg.Snapshot().Delta(prev).Hist("client.write")))
 		// Sedna reads.
+		prev = sreg.Snapshot()
 		start = time.Now()
 		for i := 0; i < ops; i++ {
 			if _, _, err := scl.ReadLatest(ctx, gen.Key(i)); err != nil {
 				return nil, fmt.Errorf("sedna read %d: %w", i, err)
 			}
 		}
-		out[1].Points = append(out[1].Points, Point{Ops: ops, Millis: ms(time.Since(start))})
+		wall = ms(time.Since(start))
+		out[1].Points = append(out[1].Points, latencyPoint(ops, wall, sreg.Snapshot().Delta(prev).Hist("client.read")))
 		// Memcached writes.
+		prev = mreg.Snapshot()
 		start = time.Now()
 		for i := 0; i < ops; i++ {
 			if err := mcl.Set(ctx, string(gen.Key(i)), gen.Value(i)); err != nil {
 				return nil, fmt.Errorf("memcached set %d: %w", i, err)
 			}
 		}
-		out[2].Points = append(out[2].Points, Point{Ops: ops, Millis: ms(time.Since(start))})
+		wall = ms(time.Since(start))
+		out[2].Points = append(out[2].Points, latencyPoint(ops, wall, mreg.Snapshot().Delta(prev).Hist("mc.op.set")))
 		// Memcached reads.
+		prev = mreg.Snapshot()
 		start = time.Now()
 		for i := 0; i < ops; i++ {
 			if _, err := mcl.Get(ctx, string(gen.Key(i))); err != nil {
 				return nil, fmt.Errorf("memcached get %d: %w", i, err)
 			}
 		}
-		out[3].Points = append(out[3].Points, Point{Ops: ops, Millis: ms(time.Since(start))})
+		wall = ms(time.Since(start))
+		out[3].Points = append(out[3].Points, latencyPoint(ops, wall, mreg.Snapshot().Delta(prev).Hist("mc.op.get")))
 	}
 	return out, nil
 }
@@ -226,17 +257,17 @@ func RunFig8(cfg Fig8Config) ([]Series, error) {
 	if err := sc.WaitConverged(cfg.Nodes, 30*time.Second); err != nil {
 		return nil, err
 	}
-	one, err := sc.Client()
+	one, oneReg, err := sc.ClientWithObs()
 	if err != nil {
 		return nil, err
 	}
 	many := make([]*clientGen, cfg.Clients)
 	for i := range many {
-		cl, err := sc.Client()
+		cl, reg, err := sc.ClientWithObs()
 		if err != nil {
 			return nil, err
 		}
-		many[i] = &clientGen{cl: cl}
+		many[i] = &clientGen{cl: cl, reg: reg}
 	}
 
 	ctx := context.Background()
@@ -251,38 +282,57 @@ func RunFig8(cfg Fig8Config) ([]Series, error) {
 			Dataset: "bench",
 			Table:   fmt.Sprintf("f8one%d", step),
 		})
+		prev := oneReg.Snapshot()
 		start := time.Now()
 		for i := 0; i < ops; i++ {
 			if err := one.WriteLatest(ctx, gen.Key(i), gen.Value(i)); err != nil && !errors.Is(err, core.ErrOutdated) {
 				return nil, err
 			}
 		}
-		out[0].Points = append(out[0].Points, Point{Ops: ops, Millis: ms(time.Since(start))})
+		wall := ms(time.Since(start))
+		out[0].Points = append(out[0].Points, latencyPoint(ops, wall, oneReg.Snapshot().Delta(prev).Hist("client.write")))
+		prev = oneReg.Snapshot()
 		start = time.Now()
 		for i := 0; i < ops; i++ {
 			if _, _, err := one.ReadLatest(ctx, gen.Key(i)); err != nil {
 				return nil, err
 			}
 		}
-		out[1].Points = append(out[1].Points, Point{Ops: ops, Millis: ms(time.Since(start))})
+		wall = ms(time.Since(start))
+		out[1].Points = append(out[1].Points, latencyPoint(ops, wall, oneReg.Snapshot().Delta(prev).Hist("client.read")))
 
 		// Concurrent clients: each writes (then reads) its own key range.
+		// The fleet-wide latency distribution is the merge of the
+		// per-client histogram deltas — Merge is associative, so the fold
+		// order doesn't matter.
+		prev = mergedSnap(many)
 		writeMs, err := runParallel(ctx, many, ops, step, true)
 		if err != nil {
 			return nil, err
 		}
-		out[2].Points = append(out[2].Points, Point{Ops: ops, Millis: writeMs})
+		out[2].Points = append(out[2].Points, latencyPoint(ops, writeMs, mergedSnap(many).Delta(prev).Hist("client.write")))
+		prev = mergedSnap(many)
 		readMs, err := runParallel(ctx, many, ops, step, false)
 		if err != nil {
 			return nil, err
 		}
-		out[3].Points = append(out[3].Points, Point{Ops: ops, Millis: readMs})
+		out[3].Points = append(out[3].Points, latencyPoint(ops, readMs, mergedSnap(many).Delta(prev).Hist("client.read")))
 	}
 	return out, nil
 }
 
 type clientGen struct {
-	cl *client.Client
+	cl  *client.Client
+	reg *obs.Registry
+}
+
+// mergedSnap folds the fleet's per-client registries into one snapshot.
+func mergedSnap(gens []*clientGen) obs.Snapshot {
+	var s obs.Snapshot
+	for _, g := range gens {
+		s = s.Merge(g.reg.Snapshot())
+	}
+	return s
 }
 
 func runParallel(ctx context.Context, clients []*clientGen, ops, step int, write bool) (float64, error) {
@@ -323,3 +373,19 @@ func runParallel(ctx context.Context, clients []*clientGen, ops, step int, write
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// Artifact is the on-disk form of one reproduced figure (BENCH_*.json).
+type Artifact struct {
+	Figure string   `json:"figure"`
+	Series []Series `json:"series"`
+}
+
+// WriteJSON writes a figure's series — wall time plus the obs-histogram
+// latency percentiles — as an indented JSON artifact at path.
+func WriteJSON(path, figure string, series []Series) error {
+	blob, err := json.MarshalIndent(Artifact{Figure: figure, Series: series}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}

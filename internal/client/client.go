@@ -9,6 +9,7 @@ package client
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -16,6 +17,7 @@ import (
 
 	"sedna/internal/core"
 	"sedna/internal/kv"
+	"sedna/internal/obs"
 	"sedna/internal/quorum"
 	"sedna/internal/ring"
 	"sedna/internal/transport"
@@ -37,6 +39,9 @@ type Config struct {
 	RingLease time.Duration
 	// CallTimeout bounds one RPC; zero selects 2s.
 	CallTimeout time.Duration
+	// Obs receives client.* metrics (end-to-end op latency, zero-hop vs
+	// re-routed requests, ring refreshes); nil disables.
+	Obs *obs.Registry
 }
 
 // Client talks to a Sedna cluster.
@@ -47,6 +52,11 @@ type Client struct {
 	ringSnap    *ring.Ring
 	ringExpires time.Time
 	cur         int
+
+	hWrite, hRead *obs.Histogram
+	nZeroHop      *obs.Counter
+	nReroutes     *obs.Counter
+	nRingRefresh  *obs.Counter
 }
 
 // New validates the config and returns a client; the first request fetches
@@ -67,7 +77,14 @@ func New(cfg Config) (*Client, error) {
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = 2 * time.Second
 	}
-	return &Client{cfg: cfg}, nil
+	return &Client{
+		cfg:          cfg,
+		hWrite:       cfg.Obs.Histogram("client.write"),
+		hRead:        cfg.Obs.Histogram("client.read"),
+		nZeroHop:     cfg.Obs.Counter("client.zero_hop"),
+		nReroutes:    cfg.Obs.Counter("client.reroute"),
+		nRingRefresh: cfg.Obs.Counter("client.ring_refresh"),
+	}, nil
 }
 
 // WriteLatest stores value under key with last-writer-wins semantics; it
@@ -88,6 +105,8 @@ func (c *Client) Delete(ctx context.Context, key kv.Key) error {
 }
 
 func (c *Client) write(ctx context.Context, key kv.Key, value []byte, mode quorum.Mode, deleted bool) error {
+	start := time.Now()
+	defer func() { c.hWrite.Observe(time.Since(start)) }()
 	var e wire.Enc
 	e.Str(string(key))
 	e.Bytes(value)
@@ -142,6 +161,8 @@ func (c *Client) ReadAll(ctx context.Context, key kv.Key) ([]Value, error) {
 }
 
 func (c *Client) readRow(ctx context.Context, key kv.Key) (*kv.Row, error) {
+	start := time.Now()
+	defer func() { c.hRead.Observe(time.Since(start)) }()
 	var e wire.Enc
 	e.Str(string(key))
 	d, err := c.doKeyed(ctx, key, core.OpCoordRead, e.B)
@@ -188,7 +209,7 @@ func (c *Client) targetsFor(key kv.Key) []string {
 // the next target and invalidate the ring lease.
 func (c *Client) doKeyed(ctx context.Context, key kv.Key, op uint16, body []byte) (*wire.Dec, error) {
 	var lastErr error
-	for _, addr := range c.targetsFor(key) {
+	for i, addr := range c.targetsFor(key) {
 		callCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
 		resp, err := c.cfg.Caller.Call(callCtx, addr, transport.Message{Op: op, Body: body})
 		cancel()
@@ -212,6 +233,11 @@ func (c *Client) doKeyed(ctx context.Context, key kv.Key, op uint16, body []byte
 		if st != core.StOK {
 			return nil, core.StatusErr(st, detail)
 		}
+		if i == 0 {
+			c.nZeroHop.Inc() // the primary answered: the zero-hop fast path
+		} else {
+			c.nReroutes.Inc()
+		}
 		return d, nil
 	}
 	if lastErr == nil {
@@ -229,6 +255,7 @@ func (c *Client) leasedRing() *ring.Ring {
 		return r
 	}
 	c.mu.Unlock()
+	c.nRingRefresh.Inc()
 	r := c.fetchRing()
 	if r == nil {
 		c.mu.Lock()
@@ -283,6 +310,46 @@ func (c *Client) rotate() {
 	c.mu.Lock()
 	c.cur++
 	c.mu.Unlock()
+}
+
+// NodeStats is one data node's observability report: the full metric
+// snapshot plus any sampled op traces, as served by the OpObsStats RPC.
+type NodeStats struct {
+	Node     string              `json:"node"`
+	Snapshot obs.Snapshot        `json:"snapshot"`
+	Traces   []obs.TraceSnapshot `json:"traces,omitempty"`
+}
+
+// FetchStats pulls the obs snapshot (and sampled traces) from one data
+// node. Cluster-wide totals come from merging the per-node snapshots:
+//
+//	total := obs.Snapshot{}
+//	for _, addr := range nodes { st, _ := c.FetchStats(ctx, addr); total = total.Merge(st.Snapshot) }
+func (c *Client) FetchStats(ctx context.Context, addr string) (NodeStats, error) {
+	callCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	resp, err := c.cfg.Caller.Call(callCtx, addr, transport.Message{Op: core.OpObsStats})
+	if err != nil {
+		return NodeStats{}, err
+	}
+	d := wire.NewDec(resp.Body)
+	st := d.U16()
+	detail := d.Str()
+	if d.Err != nil {
+		return NodeStats{}, d.Err
+	}
+	if st != core.StOK {
+		return NodeStats{}, core.StatusErr(st, detail)
+	}
+	blob := d.Bytes()
+	if d.Err != nil {
+		return NodeStats{}, d.Err
+	}
+	var ns NodeStats
+	if err := json.Unmarshal(blob, &ns); err != nil {
+		return NodeStats{}, fmt.Errorf("client: decode stats: %w", err)
+	}
+	return ns, nil
 }
 
 // RingVersion returns the leased ring's version (0 before the first fetch),

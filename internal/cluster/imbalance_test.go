@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"sedna/internal/ring"
+)
+
+func TestImbalanceRowRoundTrip(t *testing.T) {
+	rows := []ring.NodeImbalance{
+		{Node: "node-a:7101", Load: 1234.5, Share: 0.41, Ratio: 1.23, VNodes: 7},
+		{Node: "b", Load: 0, Share: 0, Ratio: 0, VNodes: 0},
+		{Node: "", Load: math.MaxFloat64, Share: 1, Ratio: 3, VNodes: 1 << 20},
+	}
+	for _, want := range rows {
+		got, err := decodeImbalance(encodeImbalance(want))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestImbalanceRowCorrupt(t *testing.T) {
+	good := encodeImbalance(ring.NodeImbalance{Node: "n", Load: 1, VNodes: 2})
+	cases := [][]byte{
+		nil,
+		{0x01},                               // shorter than the length prefix
+		good[:len(good)-1],                   // truncated payload
+		append(append([]byte{}, good...), 0), // trailing garbage
+	}
+	for i, b := range cases {
+		if _, err := decodeImbalance(b); err == nil {
+			t.Fatalf("case %d: corrupt row decoded without error", i)
+		}
+	}
+}
+
+// buildRing assembles a 3-node, 2-replica assignment the way the cluster
+// does: through Table.AddNode.
+func buildRing(t *testing.T) *ring.Ring {
+	t.Helper()
+	tab := ring.NewTable(12, 2)
+	for _, n := range []ring.NodeID{"a", "b", "c"} {
+		tab.AddNode(n)
+	}
+	r := tab.Snapshot()
+	if err := r.Validate(); err != nil {
+		t.Fatalf("ring invalid: %v", err)
+	}
+	return r
+}
+
+// loadPrimaries returns loads where every vnode whose primary is node gets
+// the given read count and all other vnodes are idle.
+func loadPrimaries(r *ring.Ring, node ring.NodeID, reads uint64) []ring.VNodeLoad {
+	loads := make([]ring.VNodeLoad, r.NumVNodes())
+	for v := range loads {
+		loads[v] = ring.VNodeLoad{VNode: ring.VNodeID(v)}
+		if r.Owners(ring.VNodeID(v))[0] == node {
+			loads[v].Reads = reads
+		}
+	}
+	return loads
+}
+
+func TestImbalanceTableOrderingAndShares(t *testing.T) {
+	r := buildRing(t)
+	// a's primaries are hot, the rest idle.
+	table := ring.Imbalance(r, loadPrimaries(r, "a", 100))
+
+	if len(table) != 3 {
+		t.Fatalf("table rows = %d, want 3", len(table))
+	}
+	if !sort.SliceIsSorted(table, func(i, j int) bool { return table[i].Node < table[j].Node }) {
+		t.Fatalf("table not sorted by node: %+v", table)
+	}
+	var shareSum float64
+	for _, e := range table {
+		shareSum += e.Share
+		if got := len(r.PrimaryVNodesOf(e.Node)); e.VNodes != got {
+			t.Fatalf("node %s: VNodes=%d, ring says %d", e.Node, e.VNodes, got)
+		}
+	}
+	if math.Abs(shareSum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 1", shareSum)
+	}
+	// All load sits on a: its ratio is #nodes (3x the fair share), the
+	// others are at zero, and MaxRatio reports the hot node.
+	for _, e := range table {
+		switch e.Node {
+		case "a":
+			if math.Abs(e.Ratio-3) > 1e-9 || math.Abs(e.Share-1) > 1e-9 {
+				t.Fatalf("hot node row: %+v", e)
+			}
+		default:
+			if e.Ratio != 0 || e.Load != 0 {
+				t.Fatalf("idle node row: %+v", e)
+			}
+		}
+	}
+	if got := ring.MaxRatio(table); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("MaxRatio = %v, want 3", got)
+	}
+	if got := ring.MaxRatio(nil); got != 0 {
+		t.Fatalf("MaxRatio(nil) = %v, want 0", got)
+	}
+}
+
+func TestPlanLoadRebalanceCandidateSelection(t *testing.T) {
+	r := buildRing(t)
+	loads := loadPrimaries(r, "a", 100)
+	moves := ring.PlanLoadRebalance(r, loads, 1.2)
+	if len(moves) == 0 {
+		t.Fatal("no moves planned for a fully skewed cluster")
+	}
+	weightOf := func(v ring.VNodeID) float64 { return loads[v].Weight() }
+	prev := math.Inf(1)
+	for _, m := range moves {
+		// Only primary slots of the hot donor move, never back onto it.
+		if m.From != "a" || m.Slot != 0 {
+			t.Fatalf("unexpected move %v", m)
+		}
+		if m.To == "a" || m.To == "" {
+			t.Fatalf("bad destination in %v", m)
+		}
+		if r.Owners(m.VNode)[0] != "a" {
+			t.Fatalf("move %v shifts a vnode a doesn't primary", m)
+		}
+		// The planner prefers promoting an existing replica holder:
+		// with 2 replicas the vnode's other owner must be the target.
+		if other := r.Owners(m.VNode)[1]; other != "" && m.To != other {
+			t.Fatalf("move %v ignores replica holder %s", m, other)
+		}
+		// Hottest vnodes are shed first.
+		if w := weightOf(m.VNode); w > prev {
+			t.Fatalf("moves not hottest-first: %v after weight %v", m, prev)
+		} else {
+			prev = w
+		}
+	}
+}
+
+func TestPlanLoadRebalanceBalancedClusterIsStable(t *testing.T) {
+	r := buildRing(t)
+	// Uniform load: every vnode equally busy, no node above threshold.
+	loads := make([]ring.VNodeLoad, r.NumVNodes())
+	for v := range loads {
+		loads[v] = ring.VNodeLoad{VNode: ring.VNodeID(v), Reads: 10}
+	}
+	if moves := ring.PlanLoadRebalance(r, loads, 1.5); len(moves) != 0 {
+		t.Fatalf("balanced cluster planned moves: %v", moves)
+	}
+	// An idle cluster plans nothing either.
+	if moves := ring.PlanLoadRebalance(r, make([]ring.VNodeLoad, r.NumVNodes()), 1.2); len(moves) != 0 {
+		t.Fatalf("idle cluster planned moves: %v", moves)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"sedna/internal/obs"
 )
 
 // CacheConfig parameterises the adaptive lease cache.
@@ -19,6 +21,9 @@ type CacheConfig struct {
 	ManyThreshold int
 	// Now is injectable time for tests; nil selects the real clock.
 	Now func() time.Time
+	// Obs receives coord.cache.* counters and the lease gauge; nil
+	// disables.
+	Obs *obs.Registry
 }
 
 // CacheStats counts cache behaviour, consumed by the ZooKeeper-bottleneck
@@ -50,6 +55,10 @@ type CachedClient struct {
 	lease    time.Duration
 	nextRef  time.Time
 	stats    CacheStats
+
+	nHits, nMisses, nRefreshes *obs.Counter
+	nResyncs, nInvalidated     *obs.Counter
+	gLease                     *obs.Gauge
 }
 
 type cacheEntry struct {
@@ -92,6 +101,13 @@ func NewCachedClient(c *Client, cfg CacheConfig) (*CachedClient, error) {
 		cursor:   cursor,
 		lease:    cfg.InitialLease,
 		nextRef:  cfg.Now().Add(cfg.InitialLease),
+
+		nHits:        cfg.Obs.Counter("coord.cache.hits"),
+		nMisses:      cfg.Obs.Counter("coord.cache.misses"),
+		nRefreshes:   cfg.Obs.Counter("coord.cache.refreshes"),
+		nResyncs:     cfg.Obs.Counter("coord.cache.resyncs"),
+		nInvalidated: cfg.Obs.Counter("coord.cache.invalidated"),
+		gLease:       cfg.Obs.Gauge("coord.cache.lease_ns"),
 	}, nil
 }
 
@@ -117,10 +133,12 @@ func (cc *CachedClient) maybeRefreshLocked() {
 		return
 	}
 	cc.stats.Refreshes++
+	cc.nRefreshes.Inc()
 	cursor, paths, err := cc.c.Changes(cc.cursor)
 	if errors.Is(err, ErrResync) {
 		// Window exceeded: drop everything and restart the cursor.
 		cc.stats.Resyncs++
+		cc.nResyncs.Inc()
 		cc.data = map[string]cacheEntry{}
 		cc.children = map[string]childEntry{}
 		if cur, cerr := cc.c.Cursor(); cerr == nil {
@@ -139,10 +157,12 @@ func (cc *CachedClient) maybeRefreshLocked() {
 		if _, ok := cc.data[p]; ok {
 			delete(cc.data, p)
 			cc.stats.Invalidated++
+			cc.nInvalidated.Inc()
 		}
 		if _, ok := cc.children[p]; ok {
 			delete(cc.children, p)
 			cc.stats.Invalidated++
+			cc.nInvalidated.Inc()
 		}
 	}
 	cc.cursor = cursor
@@ -160,6 +180,7 @@ func (cc *CachedClient) maybeRefreshLocked() {
 		}
 	}
 	cc.nextRef = now.Add(cc.lease)
+	cc.gLease.Set(int64(cc.lease))
 }
 
 // Get serves path from the cache, fetching on miss. Missing znodes are
@@ -170,6 +191,7 @@ func (cc *CachedClient) Get(path string) ([]byte, Stat, error) {
 	if e, ok := cc.data[path]; ok {
 		cc.stats.Hits++
 		cc.mu.Unlock()
+		cc.nHits.Inc()
 		if !e.exists {
 			return nil, Stat{}, ErrNoNode
 		}
@@ -177,6 +199,7 @@ func (cc *CachedClient) Get(path string) ([]byte, Stat, error) {
 	}
 	cc.stats.Misses++
 	cc.mu.Unlock()
+	cc.nMisses.Inc()
 
 	data, stat, err := cc.c.Get(path)
 	switch {
@@ -202,10 +225,12 @@ func (cc *CachedClient) Children(path string) ([]string, error) {
 	if e, ok := cc.children[path]; ok {
 		cc.stats.Hits++
 		cc.mu.Unlock()
+		cc.nHits.Inc()
 		return e.names, nil
 	}
 	cc.stats.Misses++
 	cc.mu.Unlock()
+	cc.nMisses.Inc()
 
 	names, err := cc.c.Children(path)
 	if err != nil {

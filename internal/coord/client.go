@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"sedna/internal/obs"
 	"sedna/internal/transport"
 )
 
@@ -353,6 +354,35 @@ func (c *Client) Changes(since uint64) (uint64, []string, error) {
 		paths = append(paths, d.str())
 	}
 	return zxid, paths, d.err
+}
+
+// ObsStats fetches a member's obs snapshot over the znode-free admin path.
+// An empty addr asks whichever member the client currently prefers;
+// otherwise the named member is dialled directly (per-member debugging).
+func (c *Client) ObsStats(addr string) (obs.Snapshot, error) {
+	if addr == "" {
+		d, err := c.do(context.Background(), OpObsStats, nil)
+		if err != nil {
+			return obs.Snapshot{}, err
+		}
+		return obs.DecodeSnapshot(d.bytes())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+	defer cancel()
+	resp, err := c.cfg.Caller.Call(ctx, addr, transport.Message{Op: OpObsStats})
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	d := &dec{b: resp.Body}
+	st := d.u16()
+	detail := d.str()
+	if d.err != nil {
+		return obs.Snapshot{}, d.err
+	}
+	if st != stOK {
+		return obs.Snapshot{}, statusErr(st, detail)
+	}
+	return obs.DecodeSnapshot(d.bytes())
 }
 
 // Cursor returns the serving member's applied zxid, the starting point for

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"sedna/internal/obs"
 	"sedna/internal/transport"
 )
 
@@ -29,6 +30,9 @@ type ServerConfig struct {
 	// ChangeLogSize bounds the in-memory change ring consumed by lease
 	// caches; zero selects 8192.
 	ChangeLogSize int
+	// Obs receives the member's metrics; nil creates a private registry so
+	// the OpObsStats admin path always has something to serve.
+	Obs *obs.Registry
 	// Logf receives diagnostic messages; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -60,6 +64,13 @@ type Server struct {
 	stopCh       chan struct{}
 	done         sync.WaitGroup
 	proposMu     sync.Mutex // serialises leader proposals
+
+	obs             *obs.Registry
+	nPings          *obs.Counter
+	nSessionExpired *obs.Counter
+	nWatchDelivered *obs.Counter
+	nProposals      *obs.Counter
+	nElections      *obs.Counter
 }
 
 // NewServer constructs a member; call Start to begin serving.
@@ -76,6 +87,9 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.ChangeLogSize <= 0 {
 		cfg.ChangeLogSize = 8192
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
 	return &Server{
 		cfg:      cfg,
 		tree:     NewTree(),
@@ -85,8 +99,18 @@ func NewServer(cfg ServerConfig) *Server {
 		touch:    map[string]uint64{},
 		waiters:  map[string][]chan struct{}{},
 		stopCh:   make(chan struct{}),
+
+		obs:             cfg.Obs,
+		nPings:          cfg.Obs.Counter("coord.session.pings"),
+		nSessionExpired: cfg.Obs.Counter("coord.session.expired"),
+		nWatchDelivered: cfg.Obs.Counter("coord.watch.delivered"),
+		nProposals:      cfg.Obs.Counter("coord.proposals"),
+		nElections:      cfg.Obs.Counter("coord.elections"),
 	}
 }
+
+// Obs returns the member's metric registry.
+func (s *Server) Obs() *obs.Registry { return s.obs }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -110,6 +134,7 @@ func (s *Server) Start() error {
 		OpAwait:     s.handleAwait,
 		OpChange:    s.handleChanges,
 		OpStatus:    s.handleStatus,
+		OpObsStats:  s.handleObsStats,
 		OpPropose:   s.handlePropose,
 		OpCommit:    s.handleCommit,
 		OpSync:      s.handleSync,
@@ -321,6 +346,7 @@ func (s *Server) tryElect() {
 	}
 	epoch, zxid := s.epoch, s.zxid
 	s.mu.Unlock()
+	s.nElections.Inc()
 	s.logf("elected leader epoch=%d zxid=%d", epoch, zxid)
 
 	// Announce to everyone.
@@ -517,6 +543,29 @@ func (s *Server) expireSessions() {
 	s.mu.Unlock()
 	for _, id := range expired {
 		s.logf("expiring session %d", id)
+		s.nSessionExpired.Inc()
 		s.propose(&Txn{Kind: TxnExpireSession, Session: id})
 	}
+}
+
+// handleObsStats serves the member's obs snapshot over the admin path. The
+// soft-state gauges (sessions, znodes, leadership) are published right
+// before the snapshot so they are always current.
+func (s *Server) handleObsStats(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	s.mu.Lock()
+	s.obs.Gauge("coord.sessions").Set(int64(len(s.sessions)))
+	s.obs.Gauge("coord.zxid").Set(int64(s.zxid))
+	s.obs.Gauge("coord.epoch").Set(int64(s.epoch))
+	isLeader := int64(0)
+	if s.leader == s.cfg.ID {
+		isLeader = 1
+	}
+	s.obs.Gauge("coord.is_leader").Set(isLeader)
+	s.obs.Gauge("coord.changelog_len").Set(int64(len(s.changes)))
+	s.mu.Unlock()
+	var e enc
+	e.u16(stOK)
+	e.str("")
+	e.bytes(s.obs.Snapshot().EncodeJSON())
+	return transport.Message{Op: OpObsStats, Body: e.b}, nil
 }

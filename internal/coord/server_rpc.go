@@ -21,6 +21,7 @@ import (
 
 // propose runs the quorum write protocol for txn. Leader only.
 func (s *Server) propose(txn *Txn) (txnResult, error) {
+	s.nProposals.Inc()
 	s.proposMu.Lock()
 	defer s.proposMu.Unlock()
 
@@ -476,6 +477,7 @@ func (s *Server) handlePing(ctx context.Context, from string, req transport.Mess
 		s.lastPing[session] = time.Now()
 	}
 	s.mu.Unlock()
+	s.nPings.Inc()
 	if !ok {
 		return errorReply(OpPing, ErrSessionExpired), nil
 	}
@@ -520,6 +522,9 @@ func (s *Server) handleAwait(ctx context.Context, from string, req transport.Mes
 	s.mu.Lock()
 	last = s.touch[path]
 	s.mu.Unlock()
+	if changed || last > since {
+		s.nWatchDelivered.Inc()
+	}
 	var e enc
 	e.u16(stOK)
 	e.str("")

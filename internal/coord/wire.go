@@ -21,6 +21,9 @@ const (
 	OpAwait  uint16 = 0x010a // long-poll watch
 	OpChange uint16 = 0x010b // change log since zxid
 	OpStatus uint16 = 0x010c // server status (leader, epoch, zxid)
+	// OpObsStats is the znode-free admin path to a member's obs snapshot:
+	// it reads only soft state, so it works even without a leader.
+	OpObsStats uint16 = 0x010d
 
 	OpPropose   uint16 = 0x0201
 	OpCommit    uint16 = 0x0202

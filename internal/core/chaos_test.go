@@ -67,8 +67,10 @@ func TestChaosRollingFailures(t *testing.T) {
 		victim := 1 + round
 		time.Sleep(400 * time.Millisecond)
 		c.KillNode(victim)
-		// Wait for eviction by the survivors.
-		deadline := time.Now().Add(20 * time.Second)
+		// Wait for eviction by the survivors. Deadlines here and below are
+		// generous: under -race with every package testing in parallel the
+		// scheduler can starve the reconcile loops for tens of seconds.
+		deadline := time.Now().Add(40 * time.Second)
 		for {
 			r := c.Servers[0].Ring()
 			if r != nil && len(r.Nodes()) == 4 {
@@ -83,7 +85,7 @@ func TestChaosRollingFailures(t *testing.T) {
 		if _, err := c.RestartNode(victim); err != nil {
 			t.Fatalf("round %d: restart: %v", round, err)
 		}
-		if err := c.WaitConverged(5, 30*time.Second); err != nil {
+		if err := c.WaitConverged(5, 90*time.Second); err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
 	}

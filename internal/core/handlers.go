@@ -2,14 +2,27 @@ package core
 
 import (
 	"context"
+	"encoding/json"
+	"time"
 
 	"sedna/internal/kv"
 	"sedna/internal/memstore"
+	"sedna/internal/obs"
 	"sedna/internal/quorum"
 	"sedna/internal/ring"
 	"sedna/internal/transport"
 	"sedna/internal/wire"
 )
+
+// instrumented wraps an RPC handler with a server-side latency histogram.
+func instrumented(h *obs.Histogram, fn transport.Handler) transport.Handler {
+	return func(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+		start := time.Now()
+		resp, err := fn(ctx, from, req)
+		h.Observe(time.Since(start))
+		return resp, err
+	}
+}
 
 // errorMsg builds an error response.
 func errorMsg(op uint16, err error) transport.Message {
@@ -163,6 +176,31 @@ func (s *Server) handleRingGet(ctx context.Context, from string, req transport.M
 	e := okHeader()
 	e.Bytes(ring.EncodeRing(r))
 	return transport.Message{Op: OpRingGet, Body: e.B}, nil
+}
+
+// obsStatsReply is the OpObsStats body: the full metric snapshot plus the
+// ring of recently sampled traces.
+type obsStatsReply struct {
+	Node     string              `json:"node"`
+	Snapshot obs.Snapshot        `json:"snapshot"`
+	Traces   []obs.TraceSnapshot `json:"traces,omitempty"`
+}
+
+// handleObsStats serves the node's obs snapshot as JSON — the stats surface
+// behind `sedna-cli stats`.
+func (s *Server) handleObsStats(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	reply := obsStatsReply{
+		Node:     string(s.cfg.Node),
+		Snapshot: s.ObsSnapshot(),
+		Traces:   s.obs.Traces(),
+	}
+	blob, err := json.Marshal(reply)
+	if err != nil {
+		return errorMsg(OpObsStats, err), nil
+	}
+	e := okHeader()
+	e.Bytes(blob)
+	return transport.Message{Op: OpObsStats, Body: e.B}, nil
 }
 
 // handleStats serves the server counters (debugging and the benchmarks).

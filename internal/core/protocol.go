@@ -36,6 +36,9 @@ const (
 	OpSubClose uint16 = 0x030a
 	// OpServerStats returns the server's counters.
 	OpServerStats uint16 = 0x030b
+	// OpObsStats returns the node's full obs snapshot (JSON-encoded
+	// counters, gauges and latency histograms) plus recent traces.
+	OpObsStats uint16 = 0x030c
 )
 
 // Response statuses.

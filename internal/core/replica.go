@@ -8,6 +8,7 @@ import (
 
 	"sedna/internal/kv"
 	"sedna/internal/memstore"
+	"sedna/internal/obs"
 	"sedna/internal/quorum"
 	"sedna/internal/ring"
 	"sedna/internal/transport"
@@ -20,7 +21,7 @@ import (
 // store's per-key atomicity; it implements the replica-side rules of
 // write_latest and write_all (§III-F.1).
 func (s *Server) applyReplicaWrite(key kv.Key, v kv.Versioned, mode quorum.Mode) (quorum.WriteStatus, error) {
-	s.nReplicaWrites.inc()
+	s.nReplicaWrites.Inc()
 	status := quorum.WriteOK
 	var newBlob []byte
 	err := s.store.Update(string(key), func(old []byte, ok bool) ([]byte, bool) {
@@ -62,7 +63,7 @@ func (s *Server) applyReplicaWrite(key kv.Key, v kv.Versioned, mode quorum.Mode)
 
 // readReplicaRow returns a copy of the local row (empty when absent).
 func (s *Server) readReplicaRow(key kv.Key) (*kv.Row, error) {
-	s.nReplicaReads.inc()
+	s.nReplicaReads.Inc()
 	it, ok := s.store.Get(string(key))
 	s.recordRead(key)
 	if !ok {
@@ -77,7 +78,7 @@ func (s *Server) readReplicaRow(key kv.Key) (*kv.Row, error) {
 
 // mergeReplicaRow folds a repair row into the local copy.
 func (s *Server) mergeReplicaRow(key kv.Key, in *kv.Row) error {
-	s.nRepairs.inc()
+	s.nRepairs.Inc()
 	changed := false
 	var newBlob []byte
 	err := s.store.Update(string(key), func(old []byte, ok bool) ([]byte, bool) {
@@ -192,8 +193,11 @@ type replicaRPC struct{ s *Server }
 // WriteReplica implements quorum.Transport.
 func (rt replicaRPC) WriteReplica(ctx context.Context, node ring.NodeID, key kv.Key, v kv.Versioned, mode quorum.Mode) (quorum.WriteStatus, error) {
 	if node == rt.s.cfg.Node {
+		obs.Mark(ctx, "replica.local_write")
 		return rt.s.applyReplicaWrite(key, v, mode)
 	}
+	start := time.Now()
+	defer func() { rt.s.hReplicaFanout.Observe(time.Since(start)) }()
 	var e wire.Enc
 	e.Str(string(key))
 	EncodeVersioned(&e, v)
@@ -221,8 +225,11 @@ func (rt replicaRPC) WriteReplica(ctx context.Context, node ring.NodeID, key kv.
 // ReadReplica implements quorum.Transport.
 func (rt replicaRPC) ReadReplica(ctx context.Context, node ring.NodeID, key kv.Key) (*kv.Row, error) {
 	if node == rt.s.cfg.Node {
+		obs.Mark(ctx, "replica.local_read")
 		return rt.s.readReplicaRow(key)
 	}
+	start := time.Now()
+	defer func() { rt.s.hReplicaFanout.Observe(time.Since(start)) }()
 	var e wire.Enc
 	e.Str(string(key))
 	resp, err := rt.s.cfg.Transport.Call(ctx, string(node), transport.Message{Op: OpReplicaRead, Body: e.B})
@@ -271,7 +278,13 @@ func (rt replicaRPC) RepairReplica(ctx context.Context, node ring.NodeID, key kv
 // service confirms the death — starts the recovery that re-replicates the
 // node's vnodes (§III-C, §III-D).
 func (s *Server) CoordWrite(ctx context.Context, key kv.Key, value []byte, mode quorum.Mode, deleted bool, source string) error {
-	s.nCoordWrites.inc()
+	s.nCoordWrites.Inc()
+	start := time.Now()
+	defer func() { s.hCoordWrite.Observe(time.Since(start)) }()
+	if tr := s.obs.SampleTrace("coord_write"); tr != nil {
+		ctx = obs.WithTrace(ctx, tr)
+		defer tr.Finish(s.obs)
+	}
 	if source == "" {
 		source = string(s.cfg.Node)
 	}
@@ -280,6 +293,7 @@ func (s *Server) CoordWrite(ctx context.Context, key kv.Key, value []byte, mode 
 	if len(replicas) == 0 {
 		return fmt.Errorf("%w: no replicas for %q", ErrFailure, key)
 	}
+	obs.Mark(ctx, "coord.route")
 	res, err := s.engine.Write(ctx, replicas, key, v, mode)
 	s.suspectAll(res.Failed)
 	if err != nil {
@@ -293,11 +307,18 @@ func (s *Server) CoordWrite(ctx context.Context, key kv.Key, value []byte, mode 
 
 // CoordRead coordinates one quorum read and returns the merged row.
 func (s *Server) CoordRead(ctx context.Context, key kv.Key) (*kv.Row, error) {
-	s.nCoordReads.inc()
+	s.nCoordReads.Inc()
+	start := time.Now()
+	defer func() { s.hCoordRead.Observe(time.Since(start)) }()
+	if tr := s.obs.SampleTrace("coord_read"); tr != nil {
+		ctx = obs.WithTrace(ctx, tr)
+		defer tr.Finish(s.obs)
+	}
 	replicas := s.replicasFor(key)
 	if len(replicas) == 0 {
 		return nil, fmt.Errorf("%w: no replicas for %q", ErrFailure, key)
 	}
+	obs.Mark(ctx, "coord.route")
 	res, err := s.engine.Read(ctx, replicas, key)
 	s.suspectAll(res.Failed)
 	if err != nil {
@@ -389,7 +410,7 @@ func (s *Server) recoverVNode(v ring.VNodeID) error {
 				lastErr = err
 			}
 		}
-		s.nRecoveries.inc()
+		s.nRecoveries.Inc()
 		return lastErr
 	}
 	return lastErr

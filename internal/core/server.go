@@ -11,6 +11,7 @@ import (
 	"sedna/internal/coord"
 	"sedna/internal/kv"
 	"sedna/internal/memstore"
+	"sedna/internal/obs"
 	"sedna/internal/persist"
 	"sedna/internal/quorum"
 	"sedna/internal/ring"
@@ -56,6 +57,9 @@ type Config struct {
 	// SubIdleTimeout garbage-collects subscriptions nobody polls; zero
 	// selects 2 minutes.
 	SubIdleTimeout time.Duration
+	// Obs receives the node's metrics and traces; nil creates a private
+	// registry (reachable via Server.Obs) so instrumentation is always on.
+	Obs *obs.Registry
 	// Logf receives diagnostics; nil disables.
 	Logf func(format string, args ...any)
 }
@@ -99,21 +103,12 @@ type Server struct {
 	stopCh chan struct{}
 	wg     sync.WaitGroup
 
-	nCoordWrites, nCoordReads     counter
-	nReplicaWrites, nReplicaReads counter
-	nRepairs, nRecoveries         counter
-}
-
-type counter struct {
-	mu sync.Mutex
-	n  uint64
-}
-
-func (c *counter) inc() { c.mu.Lock(); c.n++; c.mu.Unlock() }
-func (c *counter) get() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
+	obs                           *obs.Registry
+	nCoordWrites, nCoordReads     *obs.Counter
+	nReplicaWrites, nReplicaReads *obs.Counter
+	nRepairs, nRecoveries         *obs.Counter
+	hCoordWrite, hCoordRead       *obs.Histogram
+	hReplicaFanout                *obs.Histogram
 }
 
 // NewServer builds a stopped server.
@@ -145,15 +140,43 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.PublishEvery <= 0 {
 		cfg.PublishEvery = 2 * time.Second
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
 	s := &Server{
 		cfg:      cfg,
 		store:    memstore.New(memstore.Config{MemoryLimit: cfg.MemoryLimit}),
 		clock:    kv.NewClock(uint32(ring.Hash64(kv.Key(cfg.Node)))),
 		dirtySet: map[kv.Key]bool{},
 		stopCh:   make(chan struct{}),
+
+		obs:            cfg.Obs,
+		nCoordWrites:   cfg.Obs.Counter("core.coord_writes"),
+		nCoordReads:    cfg.Obs.Counter("core.coord_reads"),
+		nReplicaWrites: cfg.Obs.Counter("core.replica_writes"),
+		nReplicaReads:  cfg.Obs.Counter("core.replica_reads"),
+		nRepairs:       cfg.Obs.Counter("core.repairs"),
+		nRecoveries:    cfg.Obs.Counter("core.recoveries"),
+		hCoordWrite:    cfg.Obs.Histogram("client_ops.write"),
+		hCoordRead:     cfg.Obs.Histogram("client_ops.read"),
+		hReplicaFanout: cfg.Obs.Histogram("replica.fanout"),
 	}
 	s.subs = newSubRegistry(s)
 	return s, nil
+}
+
+// Obs returns the node's metric registry.
+func (s *Server) Obs() *obs.Registry { return s.obs }
+
+// ObsSnapshot publishes the point-in-time gauges (memstore occupancy, slab
+// usage, trigger queue depth) and captures the registry. This is what the
+// STATS RPC serves.
+func (s *Server) ObsSnapshot() obs.Snapshot {
+	s.store.PublishObs(s.obs)
+	if s.trig != nil {
+		s.trig.PublishObs()
+	}
+	return s.obs.Snapshot()
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -192,22 +215,32 @@ func (s *Server) Start() error {
 		return fmt.Errorf("core: recover: %w", err)
 	}
 
-	// 2. RPC surface.
+	// 2. RPC surface. The transport joins the node's registry when it can
+	// (real TCP; the simulated transport has no instrumentation), and every
+	// handler is wrapped in a per-opcode server-side latency histogram.
+	if t, ok := s.cfg.Transport.(interface{ Instrument(*obs.Registry) }); ok {
+		t.Instrument(s.obs)
+	}
 	mux := transport.NewMux()
-	for op, h := range map[uint16]transport.Handler{
-		OpCoordWrite:    s.handleCoordWrite,
-		OpCoordRead:     s.handleCoordRead,
-		OpReplicaWrite:  s.handleReplicaWrite,
-		OpReplicaRead:   s.handleReplicaRead,
-		OpReplicaRepair: s.handleReplicaRepair,
-		OpVNodeScan:     s.handleVNodeScan,
-		OpRingGet:       s.handleRingGet,
-		OpSubNew:        s.subs.handleNew,
-		OpSubPoll:       s.subs.handlePoll,
-		OpSubClose:      s.subs.handleClose,
-		OpServerStats:   s.handleStats,
+	for _, reg := range []struct {
+		op   uint16
+		name string
+		h    transport.Handler
+	}{
+		{OpCoordWrite, "coord_write", s.handleCoordWrite},
+		{OpCoordRead, "coord_read", s.handleCoordRead},
+		{OpReplicaWrite, "replica_write", s.handleReplicaWrite},
+		{OpReplicaRead, "replica_read", s.handleReplicaRead},
+		{OpReplicaRepair, "replica_repair", s.handleReplicaRepair},
+		{OpVNodeScan, "vnode_scan", s.handleVNodeScan},
+		{OpRingGet, "ring_get", s.handleRingGet},
+		{OpSubNew, "sub_new", s.subs.handleNew},
+		{OpSubPoll, "sub_poll", s.subs.handlePoll},
+		{OpSubClose, "sub_close", s.subs.handleClose},
+		{OpServerStats, "server_stats", s.handleStats},
+		{OpObsStats, "obs_stats", s.handleObsStats},
 	} {
-		mux.HandleFunc(op, h)
+		mux.HandleFunc(reg.op, instrumented(s.obs.Histogram("rpc.server."+reg.name), reg.h))
 	}
 	if err := s.cfg.Transport.Serve(mux.Handle); err != nil {
 		return err
@@ -222,7 +255,7 @@ func (s *Server) Start() error {
 	if err != nil {
 		return fmt.Errorf("core: coord dial: %w", err)
 	}
-	s.cache, err = coord.NewCachedClient(s.coordCli, coord.CacheConfig{})
+	s.cache, err = coord.NewCachedClient(s.coordCli, coord.CacheConfig{Obs: s.obs})
 	if err != nil {
 		return err
 	}
@@ -256,6 +289,7 @@ func (s *Server) Start() error {
 	if err != nil {
 		return err
 	}
+	s.engine.Instrument(s.obs)
 
 	// 5. Trigger engine.
 	s.trig, err = trigger.NewEngine(trigger.Config{
@@ -264,6 +298,7 @@ func (s *Server) Start() error {
 		ScanEvery:       s.cfg.ScanEvery,
 		DefaultInterval: s.cfg.TriggerInterval,
 		Workers:         s.cfg.TriggerWorkers,
+		Obs:             s.obs,
 		Logf:            s.cfg.Logf,
 	})
 	if err != nil {
@@ -333,12 +368,12 @@ func (s *Server) Trigger() *trigger.Engine { return s.trig }
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		CoordWrites:   s.nCoordWrites.get(),
-		CoordReads:    s.nCoordReads.get(),
-		ReplicaWrites: s.nReplicaWrites.get(),
-		ReplicaReads:  s.nReplicaReads.get(),
-		Repairs:       s.nRepairs.get(),
-		Recoveries:    s.nRecoveries.get(),
+		CoordWrites:   s.nCoordWrites.Load(),
+		CoordReads:    s.nCoordReads.Load(),
+		ReplicaWrites: s.nReplicaWrites.Load(),
+		ReplicaReads:  s.nReplicaReads.Load(),
+		Repairs:       s.nRepairs.Load(),
+		Recoveries:    s.nRecoveries.Load(),
 		Store:         s.store.Stats(),
 	}
 	if s.trig != nil {

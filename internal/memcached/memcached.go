@@ -23,6 +23,7 @@ import (
 
 	"sedna/internal/kv"
 	"sedna/internal/memstore"
+	"sedna/internal/obs"
 	"sedna/internal/ring"
 	"sedna/internal/transport"
 	"sedna/internal/wire"
@@ -160,12 +161,18 @@ type ClientConfig struct {
 	PointsPerServer int
 	// CallTimeout bounds one RPC; zero selects 2s.
 	CallTimeout time.Duration
+	// Obs receives mc.op.set / mc.op.get latency histograms so the
+	// baseline's figures come off the same measurement path as Sedna's;
+	// nil disables.
+	Obs *obs.Registry
 }
 
 // Client shards keys over cache servers with consistent hashing.
 type Client struct {
 	cfg    ClientConfig
 	points []ketamaPoint
+
+	hSet, hGet *obs.Histogram
 }
 
 type ketamaPoint struct {
@@ -193,7 +200,11 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = 2 * time.Second
 	}
-	c := &Client{cfg: cfg}
+	c := &Client{
+		cfg:  cfg,
+		hSet: cfg.Obs.Histogram("mc.op.set"),
+		hGet: cfg.Obs.Histogram("mc.op.get"),
+	}
 	for _, srv := range cfg.Servers {
 		for i := 0; i < cfg.PointsPerServer; i++ {
 			h := ring.Hash64(kv.Key(fmt.Sprintf("%s#%d", srv, i)))
@@ -224,6 +235,8 @@ func (c *Client) serversFor(key string, n int) []string {
 // Set writes the key to Replicas distinct servers, one after the other —
 // the sequential client-side replication the paper compares against.
 func (c *Client) Set(ctx context.Context, key string, value []byte) error {
+	start := time.Now()
+	defer func() { c.hSet.Observe(time.Since(start)) }()
 	var e wire.Enc
 	e.Str(key)
 	e.Bytes(value)
@@ -249,6 +262,8 @@ func (c *Client) Set(ctx context.Context, key string, value []byte) error {
 // Replicas=1 it is a plain sharded get. A miss on every server returns
 // ErrMiss.
 func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
+	start := time.Now()
+	defer func() { c.hGet.Observe(time.Since(start)) }()
 	var e wire.Enc
 	e.Str(key)
 	var value []byte

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sedna/internal/obs"
 )
 
 // Errors returned by Store operations.
@@ -478,6 +480,35 @@ func (s *Store) Stats() Stats {
 
 // SlabStats returns the per-class slab accounting.
 func (s *Store) SlabStats() []ClassStats { return s.arena.stats() }
+
+// PublishObs mirrors the store's counters and slab occupancy into an obs
+// registry under the memstore.* namespace. The store keeps its own atomic
+// counters as the source of truth; callers invoke PublishObs right before
+// snapshotting the registry so the exported values are current.
+func (s *Store) PublishObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	st := s.Stats()
+	r.Gauge("memstore.items").Set(st.Items)
+	r.Gauge("memstore.bytes").Set(st.Bytes)
+	r.Gauge("memstore.budget_bytes").Set(st.BudgetBytes)
+	r.Gauge("memstore.hits").Set(int64(st.Hits))
+	r.Gauge("memstore.misses").Set(int64(st.Misses))
+	r.Gauge("memstore.sets").Set(int64(st.Sets))
+	r.Gauge("memstore.deletes").Set(int64(st.Deletes))
+	r.Gauge("memstore.evictions").Set(int64(st.Evictions))
+	r.Gauge("memstore.expired").Set(int64(st.Expired))
+	r.Gauge("memstore.cas_hits").Set(int64(st.CASHits))
+	r.Gauge("memstore.cas_misses").Set(int64(st.CASMisses))
+	var total, used int64
+	for _, cs := range s.SlabStats() {
+		total += int64(cs.TotalChunks)
+		used += int64(cs.UsedChunks)
+	}
+	r.Gauge("memstore.slab.total_chunks").Set(total)
+	r.Gauge("memstore.slab.used_chunks").Set(used)
+}
 
 // Range calls fn for every live item. Each shard is visited under its lock,
 // so fn must be fast and must not call back into the Store. Iteration stops

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free log-linear latency histogram, in the spirit of
+// HdrHistogram: each power-of-two octave is divided into histSub linear
+// sub-buckets, giving a bounded relative error of 1/histSub (12.5%) across
+// the full int64 range while needing only a few hundred fixed buckets.
+// Values are durations in nanoseconds; negative observations clamp to 0.
+//
+// Concurrent Observe calls are wait-free (one atomic add per bucket plus a
+// CAS loop for the max), and Snapshot is a consistent-enough read for
+// monitoring: buckets are read one by one without stopping writers, so a
+// snapshot may be mid-update by a handful of observations — harmless for
+// percentiles, and the invariant sum(Counts) == Count still holds per
+// observation because Count is derived from the buckets at snapshot time.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Int64
+}
+
+const (
+	// histSubBits fixes 2^histSubBits linear sub-buckets per octave.
+	histSubBits = 3
+	histSub     = 1 << histSubBits
+	// histBuckets covers values up to 2^62 ns (~146 years), clamping the
+	// rest into the final bucket.
+	histBuckets = (63 - histSubBits) * histSub
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histSub {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v))
+	sub := int((uint64(v) >> (uint(exp) - histSubBits)) & (histSub - 1))
+	idx := (exp-histSubBits+1)*histSub + sub
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketLow returns the smallest value mapping to bucket idx.
+func bucketLow(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	exp := uint(idx/histSub + histSubBits - 1)
+	sub := int64(idx % histSub)
+	return int64(1)<<exp + sub<<(exp-histSubBits)
+}
+
+// bucketHigh returns the largest value mapping to bucket idx.
+func bucketHigh(idx int) int64 {
+	if idx >= histBuckets-1 {
+		return int64(1)<<62 - 1
+	}
+	return bucketLow(idx+1) - 1
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveValue(int64(d)) }
+
+// ObserveValue records one raw value (nanoseconds for latencies).
+func (h *Histogram) ObserveValue(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.sum.Add(uint64(v))
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Time runs fn and records its wall-clock duration.
+func (h *Histogram) Time(fn func()) {
+	start := time.Now()
+	fn()
+	h.Observe(time.Since(start))
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{Sum: h.sum.Load(), Max: h.max.Load()}
+	for i := range h.counts {
+		if n := h.counts[i].Load(); n > 0 {
+			if s.Counts == nil {
+				s.Counts = map[int]uint64{}
+			}
+			s.Counts[i] = n
+			s.Count += n
+		}
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram. Counts is sparse
+// (bucket index → count) so idle histograms serialise to almost nothing.
+type HistSnapshot struct {
+	Counts map[int]uint64 `json:"counts,omitempty"`
+	Count  uint64         `json:"count"`
+	Sum    uint64         `json:"sum"`
+	Max    int64          `json:"max"`
+}
+
+// Merge folds other into a copy of s and returns it. Merge is commutative
+// and associative: bucket counts and sums add, maxes take the larger — so
+// per-node snapshots fold into one cluster-wide histogram in any order.
+func (s HistSnapshot) Merge(other HistSnapshot) HistSnapshot {
+	out := HistSnapshot{
+		Count: s.Count + other.Count,
+		Sum:   s.Sum + other.Sum,
+		Max:   s.Max,
+	}
+	if other.Max > out.Max {
+		out.Max = other.Max
+	}
+	if len(s.Counts)+len(other.Counts) > 0 {
+		out.Counts = make(map[int]uint64, len(s.Counts)+len(other.Counts))
+		for i, n := range s.Counts {
+			out.Counts[i] += n
+		}
+		for i, n := range other.Counts {
+			out.Counts[i] += n
+		}
+	}
+	return out
+}
+
+// Delta returns the observations recorded since prev was taken (per-bucket
+// subtraction; Max falls back to the current max, which is the lifetime max
+// — good enough for interval reporting and never an undercount).
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Max: s.Max}
+	for i, n := range s.Counts {
+		d := n - prev.Counts[i]
+		if d > 0 {
+			if out.Counts == nil {
+				out.Counts = map[int]uint64{}
+			}
+			out.Counts[i] = d
+			out.Count += d
+		}
+	}
+	out.Sum = s.Sum - prev.Sum
+	return out
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) in the value's unit
+// (nanoseconds for latency histograms). It interpolates linearly inside the
+// winning bucket and returns 0 for an empty snapshot.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count-1)
+	var seen float64
+	for idx := 0; idx < histBuckets; idx++ {
+		n := s.Counts[idx]
+		if n == 0 {
+			continue
+		}
+		if seen+float64(n) > rank {
+			lo, hi := bucketLow(idx), bucketHigh(idx)
+			if hi > s.Max && s.Max >= lo {
+				hi = s.Max
+			}
+			frac := (rank - seen) / float64(n)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		seen += float64(n)
+	}
+	return s.Max
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// P50, P90 and P99 are the conventional latency percentiles.
+func (s HistSnapshot) P50() int64 { return s.Quantile(0.50) }
+
+// P90 returns the 90th percentile.
+func (s HistSnapshot) P90() int64 { return s.Quantile(0.90) }
+
+// P99 returns the 99th percentile.
+func (s HistSnapshot) P99() int64 { return s.Quantile(0.99) }

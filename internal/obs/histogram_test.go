@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestBucketBoundaries pins the log-linear mapping: values below histSub
+// map linearly, octave boundaries land on fresh buckets, and every value
+// falls inside its bucket's [low, high] range.
+func TestBucketBoundaries(t *testing.T) {
+	for v := int64(0); v < histSub; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want linear %d", v, got, v)
+		}
+	}
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{histSub, histSub},               // first log-linear bucket
+		{2*histSub - 1, 2*histSub - 1},   // last sub-bucket of octave 0
+		{2 * histSub, 2 * histSub},       // next octave starts a new bucket
+		{math.MaxInt64, histBuckets - 1}, // clamps into the final bucket
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Exhaustively: low/high bounds are consistent and contiguous.
+	prevHigh := int64(-1)
+	for idx := 0; idx < histBuckets; idx++ {
+		lo, hi := bucketLow(idx), bucketHigh(idx)
+		if lo != prevHigh+1 {
+			t.Fatalf("bucket %d low %d does not continue previous high %d", idx, lo, prevHigh)
+		}
+		if bucketIndex(lo) != idx {
+			t.Fatalf("bucketIndex(low=%d) = %d, want %d", lo, bucketIndex(lo), idx)
+		}
+		if idx < histBuckets-1 && bucketIndex(hi) != idx {
+			t.Fatalf("bucketIndex(high=%d) = %d, want %d", hi, bucketIndex(hi), idx)
+		}
+		prevHigh = hi
+	}
+	// Relative error bound: the bucket width is at most 1/histSub of the
+	// value for all log-linear buckets.
+	for _, v := range []int64{100, 999, 12345, 1 << 20, 1<<40 + 12345} {
+		idx := bucketIndex(v)
+		lo, hi := bucketLow(idx), bucketHigh(idx)
+		if width := hi - lo + 1; float64(width) > float64(v)/float64(histSub)+1 {
+			t.Fatalf("bucket %d for %d too wide: [%d,%d]", idx, v, lo, hi)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	// Log-linear resolution is 1/histSub, so allow 15% tolerance.
+	checks := []struct {
+		got, want int64
+	}{
+		{s.P50(), int64(500 * time.Millisecond)},
+		{s.P90(), int64(900 * time.Millisecond)},
+		{s.P99(), int64(990 * time.Millisecond)},
+	}
+	for i, c := range checks {
+		if diff := math.Abs(float64(c.got-c.want)) / float64(c.want); diff > 0.15 {
+			t.Fatalf("quantile %d: got %s want ~%s (err %.1f%%)",
+				i, time.Duration(c.got), time.Duration(c.want), diff*100)
+		}
+	}
+	if s.Max != int64(1000*time.Millisecond) {
+		t.Fatalf("max = %d", s.Max)
+	}
+	if mean := s.Mean(); math.Abs(mean-float64(500500*time.Microsecond)) > float64(s.Count) {
+		t.Fatalf("mean = %f", mean)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var s HistSnapshot
+	if s.P50() != 0 || s.P99() != 0 || s.Mean() != 0 {
+		t.Fatalf("empty snapshot should report zeros")
+	}
+}
+
+// histObs is a reduced histogram input for testing/quick: a set of bucketed
+// observations.
+type histObs []uint32
+
+func snapFrom(obs histObs) HistSnapshot {
+	var h Histogram
+	for _, v := range obs {
+		h.ObserveValue(int64(v))
+	}
+	return h.Snapshot()
+}
+
+// TestMergeAssociativity drives (a⊕b)⊕c == a⊕(b⊕c) through testing/quick
+// over randomly generated observation sets.
+func TestMergeAssociativity(t *testing.T) {
+	eq := func(x, y HistSnapshot) bool {
+		if x.Count != y.Count || x.Sum != y.Sum || x.Max != y.Max || len(x.Counts) != len(y.Counts) {
+			return false
+		}
+		for i, n := range x.Counts {
+			if y.Counts[i] != n {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(a, b, c histObs) bool {
+		sa, sb, sc := snapFrom(a), snapFrom(b), snapFrom(c)
+		left := sa.Merge(sb).Merge(sc)
+		right := sa.Merge(sb.Merge(sc))
+		all := append(append(append(histObs{}, a...), b...), c...)
+		return eq(left, right) && eq(left, snapFrom(all))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotMergeAssociativity extends associativity to whole registry
+// snapshots (counters + gauges + histograms).
+func TestSnapshotMergeAssociativity(t *testing.T) {
+	build := func(c uint32, g int32, obs histObs) Snapshot {
+		r := NewRegistry()
+		r.Counter("ops").Add(uint64(c))
+		r.Gauge("items").Set(int64(g))
+		h := r.Histogram("lat")
+		for _, v := range obs {
+			h.ObserveValue(int64(v))
+		}
+		return r.Snapshot()
+	}
+	eq := func(x, y Snapshot) bool {
+		if x.Counter("ops") != y.Counter("ops") || x.Gauge("items") != y.Gauge("items") {
+			return false
+		}
+		hx, hy := x.Hist("lat"), y.Hist("lat")
+		return hx.Count == hy.Count && hx.Sum == hy.Sum && hx.Max == hy.Max
+	}
+	f := func(c1, c2, c3 uint32, g1, g2, g3 int32, o1, o2, o3 histObs) bool {
+		a, b, c := build(c1, g1, o1), build(c2, g2, o2), build(c3, g3, o3)
+		return eq(a.Merge(b).Merge(c), a.Merge(b.Merge(c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramDelta(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	before := h.Snapshot()
+	h.Observe(5 * time.Millisecond)
+	h.Observe(5 * time.Millisecond)
+	d := h.Snapshot().Delta(before)
+	if d.Count != 2 {
+		t.Fatalf("delta count = %d, want 2", d.Count)
+	}
+	if d.Sum != uint64(10*time.Millisecond) {
+		t.Fatalf("delta sum = %d", d.Sum)
+	}
+	if got := d.P50(); math.Abs(float64(got-int64(5*time.Millisecond))) > float64(time.Millisecond) {
+		t.Fatalf("delta p50 = %s", time.Duration(got))
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentIncrements hammers one counter, one gauge and one histogram
+// from many goroutines; run under -race this doubles as the data-race check
+// for the lock-free paths, and the totals prove no increment is lost.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("ops")
+			g := r.Gauge("inflight")
+			h := r.Histogram("lat")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.ObserveValue(int64(i%1000) * 1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Counter("ops"); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := s.Gauge("inflight"); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	h := s.Hist("lat")
+	if h.Count != workers*perWorker {
+		t.Fatalf("hist count = %d, want %d", h.Count, workers*perWorker)
+	}
+	var bucketTotal uint64
+	for _, n := range h.Counts {
+		bucketTotal += n
+	}
+	if bucketTotal != h.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, h.Count)
+	}
+}
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(5)
+	r.Histogram("z").Observe(time.Millisecond)
+	r.SampleTrace("op").Mark("stage")
+	if s := r.Snapshot(); len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Hists) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	if names := r.Names(); names != nil {
+		t.Fatalf("nil registry names: %v", names)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.ops").Add(7)
+	r.Gauge("b.items").Set(-3)
+	r.Histogram("c.lat").Observe(3 * time.Millisecond)
+	s := r.Snapshot()
+	got, err := DecodeSnapshot(s.EncodeJSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counter("a.ops") != 7 || got.Gauge("b.items") != -3 || got.Hist("c.lat").Count != 1 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	text := s.Text()
+	for _, want := range []string{"a.ops\t7", "b.items\t-3", "c.lat\tcount=1"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text %q missing %q", text, want)
+		}
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops").Add(10)
+	before := r.Snapshot()
+	r.Counter("ops").Add(5)
+	r.Counter("new").Inc()
+	d := r.Snapshot().Delta(before)
+	if d.Counter("ops") != 5 || d.Counter("new") != 1 {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+func TestTraceThroughContext(t *testing.T) {
+	r := NewRegistry()
+	r.SetTraceSampling(1) // trace everything
+	tr := r.SampleTrace("write")
+	if tr == nil {
+		t.Fatal("sampling=1 should always trace")
+	}
+	ctx := WithTrace(context.Background(), tr)
+	Mark(ctx, "quorum.start")
+	Mark(ctx, "replica.apply")
+	tr.Finish(r)
+
+	traces := r.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.Op != "write" || len(got.Stages) != 3 {
+		t.Fatalf("trace = %+v", got)
+	}
+	for i, want := range []string{"quorum.start", "replica.apply", "done"} {
+		if got.Stages[i].Name != want {
+			t.Fatalf("stage %d = %q, want %q", i, got.Stages[i].Name, want)
+		}
+	}
+	for i := 1; i < len(got.Stages); i++ {
+		if got.Stages[i].At < got.Stages[i-1].At {
+			t.Fatalf("stage offsets not monotone: %+v", got.Stages)
+		}
+	}
+	if s := got.String(); !strings.HasPrefix(s, "write:") {
+		t.Fatalf("trace string = %q", s)
+	}
+}
+
+func TestTraceSampling(t *testing.T) {
+	r := NewRegistry()
+	r.SetTraceSampling(10)
+	n := 0
+	for i := 0; i < 100; i++ {
+		if tr := r.SampleTrace("op"); tr != nil {
+			n++
+			tr.Finish(r)
+		}
+	}
+	if n != 10 {
+		t.Fatalf("sampled %d of 100 at 1/10", n)
+	}
+	r.SetTraceSampling(0)
+	if tr := r.SampleTrace("op"); tr != nil {
+		t.Fatal("sampling disabled but got a trace")
+	}
+}
+
+func TestTraceRingBounds(t *testing.T) {
+	r := NewRegistry()
+	r.SetTraceSampling(1)
+	for i := 0; i < 100; i++ {
+		r.SampleTrace("op").Finish(r)
+	}
+	if got := len(r.Traces()); got != 32 {
+		t.Fatalf("ring holds %d, want 32", got)
+	}
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of a Registry: plain maps with no locks,
+// safe to serialise, merge and diff. Snapshots are the unit the STATS RPC
+// ships between nodes and the unit the benchmarks consume.
+type Snapshot struct {
+	Counters map[string]uint64       `json:"counters,omitempty"`
+	Gauges   map[string]int64        `json:"gauges,omitempty"`
+	Hists    map[string]HistSnapshot `json:"hists,omitempty"`
+}
+
+// Merge folds other into a copy of s: counters, gauges and histogram
+// buckets add (a cluster-wide item count is the sum of per-node counts).
+// Merge is commutative and associative, which is what cluster aggregation
+// relies on.
+func (s Snapshot) Merge(other Snapshot) Snapshot {
+	out := Snapshot{
+		Counters: map[string]uint64{},
+		Gauges:   map[string]int64{},
+		Hists:    map[string]HistSnapshot{},
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] += v
+	}
+	for k, v := range other.Counters {
+		out.Counters[k] += v
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range other.Gauges {
+		if cur, ok := out.Gauges[k]; ok {
+			out.Gauges[k] = cur + v
+		} else {
+			out.Gauges[k] = v
+		}
+	}
+	for k, v := range s.Hists {
+		out.Hists[k] = v
+	}
+	for k, v := range other.Hists {
+		out.Hists[k] = out.Hists[k].Merge(v)
+	}
+	return out
+}
+
+// Delta returns the change since prev: counters and histograms subtract
+// (interval measurement), gauges keep their current value.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters: map[string]uint64{},
+		Gauges:   map[string]int64{},
+		Hists:    map[string]HistSnapshot{},
+	}
+	for k, v := range s.Counters {
+		if d := v - prev.Counters[k]; d > 0 {
+			out.Counters[k] = d
+		}
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range s.Hists {
+		out.Hists[k] = v.Delta(prev.Hists[k])
+	}
+	return out
+}
+
+// Counter returns a named counter value (0 when absent).
+func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// Gauge returns a named gauge value (0 when absent).
+func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// Hist returns a named histogram snapshot (zero value when absent).
+func (s Snapshot) Hist(name string) HistSnapshot { return s.Hists[name] }
+
+// EncodeJSON serialises the snapshot for the STATS RPC and the BENCH_*.json
+// artifacts.
+func (s Snapshot) EncodeJSON() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// A Snapshot is maps of integers; Marshal cannot fail. Keep the
+		// wire contract total anyway.
+		return []byte("{}")
+	}
+	return b
+}
+
+// DecodeSnapshot parses EncodeJSON output.
+func DecodeSnapshot(b []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("obs: decode snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// Text renders the snapshot as sorted human-readable lines: one
+// "name<TAB>value" per counter and gauge, and one
+// "name<TAB>count=N mean=… p50=… p90=… p99=… max=…" per histogram
+// (histogram values formatted as durations). Empty histograms are skipped.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s\t%d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s\t%d\n", n, s.Gauges[n])
+	}
+	names = names[:0]
+	for n := range s.Hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Hists[n]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s\tcount=%d mean=%s p50=%s p90=%s p99=%s max=%s\n",
+			n, h.Count,
+			time.Duration(h.Mean()).Round(time.Microsecond),
+			time.Duration(h.P50()).Round(time.Microsecond),
+			time.Duration(h.P90()).Round(time.Microsecond),
+			time.Duration(h.P99()).Round(time.Microsecond),
+			time.Duration(h.Max).Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace records the stage timeline of one operation as it flows through the
+// stack (client → transport → quorum → replica → memstore, or the
+// coord-lease / trigger paths). Layers call Mark with a stage name; the
+// trace stores the offset from the operation's start. Traces ride the
+// context so deep layers need no extra plumbing, and a nil *Trace is a
+// no-op — sampled tracing costs nothing on unsampled operations.
+type Trace struct {
+	Op    string
+	Start time.Time
+
+	mu     sync.Mutex
+	stages []TraceStage
+}
+
+// TraceStage is one recorded stage: name and offset from the trace start.
+type TraceStage struct {
+	Name string        `json:"name"`
+	At   time.Duration `json:"at"`
+}
+
+// NewTrace starts a trace for the named operation.
+func NewTrace(op string) *Trace { return &Trace{Op: op, Start: time.Now()} }
+
+// Mark records a stage at the current time.
+func (t *Trace) Mark(stage string) {
+	if t == nil {
+		return
+	}
+	at := time.Since(t.Start)
+	t.mu.Lock()
+	t.stages = append(t.stages, TraceStage{Name: stage, At: at})
+	t.mu.Unlock()
+}
+
+// Finish seals the trace with a terminal "done" stage and files it into the
+// registry's ring of recent traces.
+func (t *Trace) Finish(r *Registry) {
+	if t == nil {
+		return
+	}
+	t.Mark("done")
+	if r == nil {
+		return
+	}
+	t.mu.Lock()
+	snap := TraceSnapshot{Op: t.Op, Stages: append([]TraceStage(nil), t.stages...)}
+	t.mu.Unlock()
+	r.traces.push(snap)
+}
+
+// TraceSnapshot is one finished trace as exposed by the stats surfaces.
+type TraceSnapshot struct {
+	Op     string       `json:"op"`
+	Stages []TraceStage `json:"stages"`
+}
+
+// String renders the timeline as "op: stage@offset → ...".
+func (s TraceSnapshot) String() string {
+	var b strings.Builder
+	b.WriteString(s.Op)
+	b.WriteString(":")
+	for _, st := range s.Stages {
+		fmt.Fprintf(&b, " %s@%s", st.Name, st.At)
+	}
+	return b.String()
+}
+
+// traceCtxKey keys the trace in a context.
+type traceCtxKey struct{}
+
+// WithTrace attaches t to ctx (returns ctx unchanged for a nil trace).
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// FromContext returns the trace riding ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}
+
+// Mark records a stage on the context's trace, if any — the one-liner deep
+// layers use: obs.Mark(ctx, "quorum.acked").
+func Mark(ctx context.Context, stage string) { FromContext(ctx).Mark(stage) }
+
+// SampleTrace returns a new trace for one out of every sampleEvery calls
+// per op name (nil otherwise, and always nil on a nil registry). The caller
+// must Finish the returned trace.
+func (r *Registry) SampleTrace(op string) *Trace {
+	if r == nil {
+		return nil
+	}
+	every := r.sampleEvery.Load()
+	if every == 0 {
+		return nil
+	}
+	r.sampleMu.Lock()
+	seq := r.sampleSeq[op]
+	if seq == nil {
+		seq = new(uint64)
+		r.sampleSeq[op] = seq
+	}
+	r.sampleMu.Unlock()
+	if (atomic.AddUint64(seq, 1)-1)%every != 0 {
+		return nil
+	}
+	return NewTrace(op)
+}
+
+// SetTraceSampling adjusts the sampling period (0 disables sampling).
+func (r *Registry) SetTraceSampling(every uint64) {
+	if r != nil {
+		r.sampleEvery.Store(every)
+	}
+}
+
+// Traces returns the most recent finished traces, newest last.
+func (r *Registry) Traces() []TraceSnapshot {
+	if r == nil {
+		return nil
+	}
+	return r.traces.snapshot()
+}
+
+// traceRing is a small fixed ring of recent traces.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  [32]TraceSnapshot
+	next int
+	n    int
+}
+
+func (tr *traceRing) push(s TraceSnapshot) {
+	tr.mu.Lock()
+	tr.buf[tr.next] = s
+	tr.next = (tr.next + 1) % len(tr.buf)
+	if tr.n < len(tr.buf) {
+		tr.n++
+	}
+	tr.mu.Unlock()
+}
+
+func (tr *traceRing) snapshot() []TraceSnapshot {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]TraceSnapshot, 0, tr.n)
+	for i := 0; i < tr.n; i++ {
+		out = append(out, tr.buf[(tr.next-tr.n+i+len(tr.buf))%len(tr.buf)])
+	}
+	return out
+}

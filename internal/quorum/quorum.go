@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"sedna/internal/kv"
+	"sedna/internal/obs"
 	"sedna/internal/ring"
 )
 
@@ -128,6 +129,11 @@ type ReadResult struct {
 type Engine struct {
 	cfg Config
 	rt  Transport
+
+	hWriteWait, hReadWait *obs.Histogram
+	nConflicts            *obs.Counter
+	nReadRepairs          *obs.Counter
+	nInconsistent         *obs.Counter
 }
 
 // NewEngine validates the config and returns an engine.
@@ -141,6 +147,21 @@ func NewEngine(cfg Config, rt Transport) (*Engine, error) {
 	return &Engine{cfg: cfg, rt: rt}, nil
 }
 
+// Instrument wires the engine into an obs registry: quorum wait histograms
+// (time from fan-out to quorum decision) and counters for write conflicts,
+// read repairs and inconsistent reads. Nil handles stay no-ops, so an
+// uninstrumented engine pays nothing.
+func (e *Engine) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	e.hWriteWait = r.Histogram("quorum.write.wait")
+	e.hReadWait = r.Histogram("quorum.read.wait")
+	e.nConflicts = r.Counter("quorum.conflicts")
+	e.nReadRepairs = r.Counter("quorum.read_repairs")
+	e.nInconsistent = r.Counter("quorum.inconsistent_reads")
+}
+
 // Config returns the engine's quorum parameters.
 func (e *Engine) Config() Config { return e.cfg }
 
@@ -149,10 +170,19 @@ func (e *Engine) Config() Config { return e.cfg }
 // the write is considered success"). It does not wait for stragglers beyond
 // the quorum, but their results still feed the Failed list via the shared
 // collector when they arrive within the timeout.
-func (e *Engine) Write(ctx context.Context, replicas []ring.NodeID, key kv.Key, v kv.Versioned, mode Mode) (WriteResult, error) {
+func (e *Engine) Write(ctx context.Context, replicas []ring.NodeID, key kv.Key, v kv.Versioned, mode Mode) (result WriteResult, err error) {
 	if len(replicas) == 0 {
 		return WriteResult{}, fmt.Errorf("%w: no replicas for key %q", ErrQuorumFailed, key)
 	}
+	start := time.Now()
+	defer func() {
+		e.hWriteWait.Observe(time.Since(start))
+		if result.Outdated {
+			e.nConflicts.Inc()
+		}
+		obs.Mark(ctx, "quorum.write_done")
+	}()
+	obs.Mark(ctx, "quorum.fanout")
 	type reply struct {
 		node   ring.NodeID
 		status WriteStatus
@@ -227,6 +257,12 @@ func (e *Engine) Read(ctx context.Context, replicas []ring.NodeID, key kv.Key) (
 	if len(replicas) == 0 {
 		return ReadResult{}, fmt.Errorf("%w: no replicas for key %q", ErrQuorumFailed, key)
 	}
+	start := time.Now()
+	defer func() {
+		e.hReadWait.Observe(time.Since(start))
+		obs.Mark(ctx, "quorum.read_done")
+	}()
+	obs.Mark(ctx, "quorum.fanout")
 	type reply struct {
 		node ring.NodeID
 		row  *kv.Row
@@ -293,10 +329,14 @@ func (e *Engine) Read(ctx context.Context, replicas []ring.NodeID, key kv.Key) (
 	}
 	res.Consistent = equal >= need
 	res.Stale = stale
+	if !res.Consistent {
+		e.nInconsistent.Inc()
+	}
 
 	// Read repair: push the merged row to stale replicas asynchronously
 	// (§III-C's "data duplication task ... asynchronously").
 	if len(stale) > 0 {
+		e.nReadRepairs.Add(uint64(len(stale)))
 		e.repairAsync(replicas, key, merged, stale)
 	}
 	return res, nil

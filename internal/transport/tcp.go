@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"sedna/internal/obs"
 )
 
 // TCP wire format, one frame per request or response (little endian):
@@ -35,6 +38,7 @@ const (
 type TCPTransport struct {
 	addr     string
 	dialTO   time.Duration
+	metrics  atomic.Pointer[tcpMetrics]
 	mu       sync.Mutex
 	listener net.Listener
 	handler  Handler
@@ -42,6 +46,49 @@ type TCPTransport struct {
 	accepted map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
+}
+
+// tcpMetrics caches the transport's obs handles; all fields are hot-path
+// safe (obs handles are lock-free).
+type tcpMetrics struct {
+	framesIn, framesOut *obs.Counter
+	bytesIn, bytesOut   *obs.Counter
+	dials, dialErrors   *obs.Counter
+	callLat             *obs.Histogram
+}
+
+// Instrument wires the transport into an obs registry: frame and byte
+// counters in both directions, dial counters, and a per-RPC latency
+// histogram covering the full call round trip. Safe to call at any time;
+// pre-existing pooled connections pick the metrics up on their next frame.
+func (t *TCPTransport) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	t.metrics.Store(&tcpMetrics{
+		framesIn:   r.Counter("transport.frames_in"),
+		framesOut:  r.Counter("transport.frames_out"),
+		bytesIn:    r.Counter("transport.bytes_in"),
+		bytesOut:   r.Counter("transport.bytes_out"),
+		dials:      r.Counter("transport.dials"),
+		dialErrors: r.Counter("transport.dial_errors"),
+		callLat:    r.Histogram("transport.call"),
+	})
+}
+
+// frameIn/frameOut record one frame of n body bytes (plus framing).
+func (m *tcpMetrics) frameIn(bodyLen int) {
+	if m != nil {
+		m.framesIn.Inc()
+		m.bytesIn.Add(uint64(4 + frameHeaderLen + bodyLen))
+	}
+}
+
+func (m *tcpMetrics) frameOut(bodyLen int) {
+	if m != nil {
+		m.framesOut.Inc()
+		m.bytesOut.Add(uint64(4 + frameHeaderLen + bodyLen))
+	}
 }
 
 // NewTCP returns a transport that will listen on addr when Serve is called.
@@ -137,17 +184,22 @@ func (t *TCPTransport) serveConn(conn net.Conn, h Handler) {
 		if err != nil {
 			return
 		}
+		t.metrics.Load().frameIn(len(body))
 		if kind != kindRequest {
 			return // protocol violation
 		}
 		go func() {
 			resp, herr := h(context.Background(), from, Message{Op: op, Body: body})
+			m := t.metrics.Load()
 			writeMu.Lock()
 			defer writeMu.Unlock()
 			if herr != nil {
-				writeFrame(conn, id, op, kindError, []byte(herr.Error()))
+				errBody := []byte(herr.Error())
+				m.frameOut(len(errBody))
+				writeFrame(conn, id, op, kindError, errBody)
 				return
 			}
+			m.frameOut(len(resp.Body))
 			writeFrame(conn, id, resp.Op, kindResponse, resp.Body)
 		}()
 	}
@@ -176,9 +228,15 @@ func (t *TCPTransport) clientConn(addr string) (*tcpClientConn, error) {
 
 	conn, err := net.DialTimeout("tcp", addr, t.dialTO)
 	if err != nil {
+		if m := t.metrics.Load(); m != nil {
+			m.dialErrors.Inc()
+		}
 		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
 	}
-	cc := newTCPClientConn(conn)
+	if m := t.metrics.Load(); m != nil {
+		m.dials.Inc()
+	}
+	cc := newTCPClientConn(conn, &t.metrics)
 
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -226,6 +284,7 @@ func (t *TCPTransport) Close() error {
 // tcpClientConn is one pooled outbound connection with pipelining.
 type tcpClientConn struct {
 	conn    net.Conn
+	metrics *atomic.Pointer[tcpMetrics]
 	writeMu sync.Mutex
 	mu      sync.Mutex
 	nextID  uint64
@@ -238,8 +297,11 @@ type result struct {
 	err error
 }
 
-func newTCPClientConn(conn net.Conn) *tcpClientConn {
-	cc := &tcpClientConn{conn: conn, pending: map[uint64]chan result{}}
+func newTCPClientConn(conn net.Conn, metrics *atomic.Pointer[tcpMetrics]) *tcpClientConn {
+	if metrics == nil {
+		metrics = new(atomic.Pointer[tcpMetrics])
+	}
+	cc := &tcpClientConn{conn: conn, metrics: metrics, pending: map[uint64]chan result{}}
 	go cc.readLoop()
 	return cc
 }
@@ -251,6 +313,11 @@ func (cc *tcpClientConn) dead() bool {
 }
 
 func (cc *tcpClientConn) call(ctx context.Context, req Message) (Message, error) {
+	m := cc.metrics.Load()
+	if m != nil {
+		start := time.Now()
+		defer func() { m.callLat.Observe(time.Since(start)) }()
+	}
 	ch := make(chan result, 1)
 	cc.mu.Lock()
 	if cc.err != nil {
@@ -263,6 +330,7 @@ func (cc *tcpClientConn) call(ctx context.Context, req Message) (Message, error)
 	cc.pending[id] = ch
 	cc.mu.Unlock()
 
+	m.frameOut(len(req.Body))
 	cc.writeMu.Lock()
 	err := writeFrame(cc.conn, id, req.Op, kindRequest, req.Body)
 	cc.writeMu.Unlock()
@@ -288,6 +356,7 @@ func (cc *tcpClientConn) readLoop() {
 			cc.close(fmt.Errorf("%w: %v", ErrUnreachable, err))
 			return
 		}
+		cc.metrics.Load().frameIn(len(body))
 		cc.mu.Lock()
 		ch := cc.pending[id]
 		delete(cc.pending, id)

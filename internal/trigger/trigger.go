@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"sedna/internal/kv"
+	"sedna/internal/obs"
 )
 
 // Snapshot is one key's state at a point in time, as presented to filters.
@@ -164,6 +165,9 @@ type Config struct {
 	// DefaultInterval is the flow-control window for jobs that do not set
 	// one; zero selects 100ms.
 	DefaultInterval time.Duration
+	// Obs receives the engine's metrics; nil disables (at no cost — the
+	// handles stay nil-safe no-ops).
+	Obs *obs.Registry
 	// Logf receives diagnostics; nil disables.
 	Logf func(format string, args ...any)
 }
@@ -208,6 +212,9 @@ type Engine struct {
 	fired        atomic.Uint64
 	actionErrors atomic.Uint64
 	resultWrites atomic.Uint64
+
+	hScan, hFilter, hAction *obs.Histogram
+	nScans                  *obs.Counter
 }
 
 type jobState struct {
@@ -253,11 +260,42 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cfg.DefaultInterval = 100 * time.Millisecond
 	}
 	return &Engine{
-		cfg:    cfg,
-		jobs:   map[uint64]*jobState{},
-		fireCh: make(chan firing, 256),
-		stop:   make(chan struct{}),
+		cfg:     cfg,
+		jobs:    map[uint64]*jobState{},
+		fireCh:  make(chan firing, 256),
+		stop:    make(chan struct{}),
+		hScan:   cfg.Obs.Histogram("trigger.scan"),
+		hFilter: cfg.Obs.Histogram("trigger.filter"),
+		hAction: cfg.Obs.Histogram("trigger.action"),
+		nScans:  cfg.Obs.Counter("trigger.scans"),
 	}, nil
+}
+
+// PublishObs mirrors the engine's cumulative counters into the registry so
+// trigger activity shows up next to the rest of the node's metrics. A nil
+// registry makes this a no-op.
+func (e *Engine) PublishObs() {
+	r := e.cfg.Obs
+	if r == nil {
+		return
+	}
+	st := e.Stats()
+	r.Gauge("trigger.scanned").Set(int64(st.Scanned))
+	r.Gauge("trigger.matched").Set(int64(st.Matched))
+	r.Gauge("trigger.filtered").Set(int64(st.Filtered))
+	r.Gauge("trigger.coalesced").Set(int64(st.Coalesced))
+	r.Gauge("trigger.fired").Set(int64(st.Fired))
+	r.Gauge("trigger.action_errors").Set(int64(st.ActionErrors))
+	r.Gauge("trigger.result_writes").Set(int64(st.ResultWrites))
+	e.mu.Lock()
+	jobs := len(e.jobs)
+	pending := 0
+	for _, js := range e.jobs {
+		pending += len(js.pending)
+	}
+	e.mu.Unlock()
+	r.Gauge("trigger.jobs").Set(int64(jobs))
+	r.Gauge("trigger.pending_events").Set(int64(pending))
 }
 
 func (e *Engine) logf(format string, args ...any) {
@@ -375,7 +413,10 @@ func (e *Engine) scanLoop() {
 			return
 		case <-t.C:
 		}
+		scanStart := time.Now()
 		n := e.cfg.Source.ScanDirty(e.cfg.ScanBatch, e.Offer)
+		e.hScan.Observe(time.Since(scanStart))
+		e.nScans.Inc()
 		e.scanned.Add(uint64(n))
 		e.dispatchDue()
 		e.expireJobs()
@@ -406,9 +447,14 @@ func (e *Engine) Offer(key kv.Key, row *kv.Row) {
 		e.matched.Add(1)
 		old := js.lastSeen[key]
 		old.Key = key
-		if js.job.Filter != nil && !js.job.Filter.Assert(old, snap) {
-			e.filtered.Add(1)
-			continue
+		if js.job.Filter != nil {
+			filterStart := time.Now()
+			pass := js.job.Filter.Assert(old, snap)
+			e.hFilter.Observe(time.Since(filterStart))
+			if !pass {
+				e.filtered.Add(1)
+				continue
+			}
 		}
 		if _, dup := js.pending[key]; dup {
 			e.coalesced.Add(1)
@@ -480,6 +526,8 @@ func (e *Engine) worker() {
 
 func (e *Engine) runAction(f firing) {
 	e.fired.Add(1)
+	actionStart := time.Now()
+	defer func() { e.hAction.Observe(time.Since(actionStart)) }()
 	ctx, cancel := context.WithTimeout(context.Background(), f.js.job.ActionTimeout)
 	defer cancel()
 	res := &Result{}

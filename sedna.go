@@ -48,6 +48,7 @@ import (
 	"sedna/internal/core"
 	"sedna/internal/kv"
 	"sedna/internal/netsim"
+	"sedna/internal/obs"
 	"sedna/internal/persist"
 	"sedna/internal/quorum"
 	"sedna/internal/ring"
@@ -203,6 +204,29 @@ type Caller = transport.Caller
 // served ("" or ":0" pick an ephemeral port; the empty address is fine for
 // client-only use).
 func NewTCPTransport(addr string) *transport.TCPTransport { return transport.NewTCP(addr) }
+
+// --- observability ---
+
+// ObsRegistry collects a process's counters, gauges and latency
+// histograms. Pass one registry through ServerConfig.Obs, ClientConfig.Obs
+// or CoordConfig.Obs to collect that component's metrics; a nil registry
+// disables collection with no code changes.
+type ObsRegistry = obs.Registry
+
+// ObsSnapshot is a point-in-time copy of a registry. Snapshots from
+// different nodes Merge into cluster-wide totals.
+type ObsSnapshot = obs.Snapshot
+
+// TraceSnapshot is one sampled per-op trace: stage names with timestamps
+// from client arrival through quorum fan-out to the memstore.
+type TraceSnapshot = obs.TraceSnapshot
+
+// NodeStats is one data node's observability report as served by the
+// stats RPC: its snapshot plus sampled traces.
+type NodeStats = client.NodeStats
+
+// NewObsRegistry creates an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
 
 // SimNetwork is the in-process simulated network used by tests, examples
 // and the paper-reproduction benchmarks.
