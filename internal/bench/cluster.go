@@ -18,6 +18,7 @@ import (
 	"sedna/internal/persist"
 	"sedna/internal/quorum"
 	"sedna/internal/ring"
+	"sedna/internal/transport"
 )
 
 // ClusterConfig sizes an in-process cluster.
@@ -48,6 +49,9 @@ type ClusterConfig struct {
 	ScanEvery time.Duration
 	// SessionTimeout tunes liveness detection; zero selects 1s.
 	SessionTimeout time.Duration
+	// Breaker tunes every node's per-peer circuit breakers; zero fields
+	// select the transport defaults.
+	Breaker transport.BreakerConfig
 	// SubIdleTimeout tunes subscription garbage collection.
 	SubIdleTimeout time.Duration
 	// Logf receives diagnostics from every component; nil disables.
@@ -175,6 +179,7 @@ func (c *Cluster) AddNode(i int) (*core.Server, error) {
 		CoordCaller:     c.Net.Endpoint(addr + "-coordcli"),
 		SessionTimeout:  c.cfg.SessionTimeout,
 		Quorum:          c.cfg.Quorum,
+		Breaker:         c.cfg.Breaker,
 		MemoryLimit:     c.cfg.MemoryLimit,
 		Persist:         pcfg,
 		Bootstrap:       i == 0,
@@ -226,6 +231,20 @@ func (c *Cluster) ClientWithObs() (*client.Client, *obs.Registry, error) {
 func (c *Cluster) KillNode(i int) {
 	c.Net.Isolate(c.NodeAddrs[i])
 	c.Net.Isolate(c.NodeAddrs[i] + "-coordcli")
+}
+
+// PartitionNode cuts node i's data endpoint from the network while leaving
+// its coordination-client endpoint reachable: the node keeps its session
+// alive (no eviction) but replica traffic to it fails — the scenario hinted
+// handoff is built for.
+func (c *Cluster) PartitionNode(i int) {
+	c.Net.Isolate(c.NodeAddrs[i])
+}
+
+// HealNode undoes PartitionNode (and the data half of KillNode) for node i.
+func (c *Cluster) HealNode(i int) {
+	c.Net.HealEndpoint(c.NodeAddrs[i])
+	c.Net.HealEndpoint(c.NodeAddrs[i] + "-coordcli")
 }
 
 // Close shuts everything down.

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -39,6 +40,17 @@ type Config struct {
 	RingLease time.Duration
 	// CallTimeout bounds one RPC; zero selects 2s.
 	CallTimeout time.Duration
+	// RetryBudget bounds the total attempts one keyed op makes across
+	// targets and ring refreshes; zero selects 6.
+	RetryBudget int
+	// RetryBackoff is the base jittered delay between attempts after a
+	// transport failure (doubled per attempt, capped at 8x); zero selects
+	// 10ms. Breaker fast-fails skip the backoff entirely.
+	RetryBackoff time.Duration
+	// Breaker tunes the client's per-server circuit breakers, so requests
+	// fail over to healthy replicas without burning CallTimeout on a node
+	// already known dead; zero fields select the transport defaults.
+	Breaker transport.BreakerConfig
 	// Obs receives client.* metrics (end-to-end op latency, zero-hop vs
 	// re-routed requests, ring refreshes); nil disables.
 	Obs *obs.Registry
@@ -46,7 +58,8 @@ type Config struct {
 
 // Client talks to a Sedna cluster.
 type Client struct {
-	cfg Config
+	cfg    Config
+	health *transport.HealthCaller
 
 	mu          sync.Mutex
 	ringSnap    *ring.Ring
@@ -57,6 +70,7 @@ type Client struct {
 	nZeroHop      *obs.Counter
 	nReroutes     *obs.Counter
 	nRingRefresh  *obs.Counter
+	nRetries      *obs.Counter
 }
 
 // New validates the config and returns a client; the first request fetches
@@ -77,15 +91,33 @@ func New(cfg Config) (*Client, error) {
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = 2 * time.Second
 	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 6
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 10 * time.Millisecond
+	}
+	// Every RPC — keyed ops, ring fetches, subscriptions — goes through the
+	// per-server breaker layer, so a dead node costs one fast-fail instead
+	// of a CallTimeout once its breaker opens.
+	health := transport.NewHealthCaller(cfg.Caller, cfg.Breaker)
+	health.Instrument(cfg.Obs)
+	cfg.Caller = health
 	return &Client{
 		cfg:          cfg,
+		health:       health,
 		hWrite:       cfg.Obs.Histogram("client.write"),
 		hRead:        cfg.Obs.Histogram("client.read"),
 		nZeroHop:     cfg.Obs.Counter("client.zero_hop"),
 		nReroutes:    cfg.Obs.Counter("client.reroute"),
 		nRingRefresh: cfg.Obs.Counter("client.ring_refresh"),
+		nRetries:     cfg.Obs.Counter("client.retries"),
 	}, nil
 }
+
+// Health exposes the client's per-server breaker layer (diagnostics and
+// tests).
+func (c *Client) Health() *transport.HealthCaller { return c.health }
 
 // WriteLatest stores value under key with last-writer-wins semantics; it
 // returns nil ("ok"), core.ErrOutdated ("outdated") or core.ErrFailure.
@@ -205,17 +237,48 @@ func (c *Client) targetsFor(key kv.Key) []string {
 }
 
 // doKeyed issues op against the key's owners with fallback. Domain errors
-// (outdated, not found) come back immediately; transport failures rotate to
-// the next target and invalidate the ring lease.
+// (outdated, not found) come back immediately; transport failures invalidate
+// the ring lease and retry against targets recomputed from the refreshed
+// ring, so owners promoted mid-op are reached instead of the stale list.
+// Attempts are capped by RetryBudget and paced with jittered backoff, except
+// after breaker fast-fails, which cost nothing and skip straight to the next
+// target.
 func (c *Client) doKeyed(ctx context.Context, key kv.Key, op uint16, body []byte) (*wire.Dec, error) {
 	var lastErr error
-	for i, addr := range c.targetsFor(key) {
+	tried := map[string]bool{}
+	for attempt := 0; attempt < c.cfg.RetryBudget; attempt++ {
+		// Recompute targets every attempt: after an invalidation the ring
+		// lease refreshes, and the new snapshot may name owners the stale
+		// list never held.
+		addr := ""
+		for _, t := range c.targetsFor(key) {
+			if !tried[t] {
+				addr = t
+				break
+			}
+		}
+		if addr == "" {
+			break // every reachable target exhausted
+		}
+		tried[addr] = true
+		if attempt > 0 {
+			c.nRetries.Inc()
+		}
 		callCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
 		resp, err := c.cfg.Caller.Call(callCtx, addr, transport.Message{Op: op, Body: body})
 		cancel()
 		if err != nil {
 			lastErr = err
+			if errors.Is(err, transport.ErrBreakerOpen) {
+				// The breaker already knows this node is dark; the fast-fail
+				// carries no new routing information, so keep the lease and
+				// move on immediately.
+				continue
+			}
 			c.invalidateRing()
+			if !c.retrySleep(ctx, attempt) {
+				break
+			}
 			continue
 		}
 		d := wire.NewDec(resp.Body)
@@ -233,7 +296,7 @@ func (c *Client) doKeyed(ctx context.Context, key kv.Key, op uint16, body []byte
 		if st != core.StOK {
 			return nil, core.StatusErr(st, detail)
 		}
-		if i == 0 {
+		if attempt == 0 {
 			c.nZeroHop.Inc() // the primary answered: the zero-hop fast path
 		} else {
 			c.nReroutes.Inc()
@@ -244,6 +307,25 @@ func (c *Client) doKeyed(ctx context.Context, key kv.Key, op uint16, body []byte
 		lastErr = transport.ErrUnreachable
 	}
 	return nil, fmt.Errorf("%w: %v", core.ErrFailure, lastErr)
+}
+
+// retrySleep pauses between attempts — exponential from RetryBackoff, capped
+// at 8x, with jitter so concurrent clients spread out — and reports false
+// when ctx expired instead.
+func (c *Client) retrySleep(ctx context.Context, attempt int) bool {
+	d := c.cfg.RetryBackoff << attempt
+	if max := 8 * c.cfg.RetryBackoff; d > max {
+		d = max
+	}
+	d += time.Duration(rand.Int63n(int64(c.cfg.RetryBackoff)/2 + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // leasedRing returns the cached ring, refreshing it when the lease expired.

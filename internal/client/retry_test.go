@@ -1,0 +1,190 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sedna/internal/client"
+	"sedna/internal/core"
+	"sedna/internal/kv"
+	"sedna/internal/ring"
+	"sedna/internal/transport"
+	"sedna/internal/wire"
+)
+
+// scriptedCaller is a transport.Caller stub: it serves OpRingGet from a
+// swappable ring snapshot and answers keyed ops per-address (transport error
+// or StOK), recording the coordinator each keyed op reached.
+type scriptedCaller struct {
+	mu    sync.Mutex
+	rings []*ring.Ring // served in order; the last one repeats
+	fetch int
+	fail  map[string]bool // addrs whose keyed ops fail at the transport
+	coord []string        // addrs that received a keyed op, in order
+}
+
+func (s *scriptedCaller) Call(ctx context.Context, addr string, msg transport.Message) (transport.Message, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch msg.Op {
+	case core.OpRingGet:
+		if len(s.rings) == 0 {
+			return transport.Message{}, transport.ErrUnreachable
+		}
+		i := s.fetch
+		if i >= len(s.rings) {
+			i = len(s.rings) - 1
+		}
+		s.fetch++
+		var e wire.Enc
+		e.U16(core.StOK)
+		e.Str("")
+		e.Bytes(ring.EncodeRing(s.rings[i]))
+		return transport.Message{Op: msg.Op, Body: e.B}, nil
+	default:
+		s.coord = append(s.coord, addr)
+		if s.fail[addr] {
+			return transport.Message{}, transport.ErrUnreachable
+		}
+		var e wire.Enc
+		e.U16(core.StOK)
+		e.Str("")
+		return transport.Message{Op: msg.Op, Body: e.B}, nil
+	}
+}
+
+func (s *scriptedCaller) coords() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.coord...)
+}
+
+func singleNodeRing(t *testing.T, node string) *ring.Ring {
+	t.Helper()
+	tab := ring.NewTable(8, 1)
+	tab.AddNode(ring.NodeID(node))
+	return tab.Snapshot()
+}
+
+// TestDoKeyedRetargetsAfterRingInvalidation is the stale-target-list
+// regression test: the first leased ring names only "stale" (which fails at
+// the transport), and the refreshed ring names only "fresh". A client that
+// kept iterating the first target list would never reach "fresh", because it
+// is neither in the original owner list nor in Servers.
+func TestDoKeyedRetargetsAfterRingInvalidation(t *testing.T) {
+	sc := &scriptedCaller{
+		rings: []*ring.Ring{singleNodeRing(t, "stale"), singleNodeRing(t, "fresh")},
+		fail:  map[string]bool{"stale": true, "boot": true},
+	}
+	cl, err := client.New(client.Config{
+		Servers:      []string{"boot"},
+		Caller:       sc,
+		RingLease:    time.Minute, // only invalidation may refresh the lease
+		CallTimeout:  time.Second,
+		RetryBudget:  4,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.WriteLatest(context.Background(), kv.Join("d", "t", "k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got := sc.coords()
+	if len(got) < 2 || got[0] != "stale" || got[len(got)-1] != "fresh" {
+		t.Fatalf("coordinator order = %v, want stale ... fresh", got)
+	}
+}
+
+// TestDoKeyedRetryBudgetCapsAttempts: with every target failing and more
+// targets than budget, exactly RetryBudget attempts are made.
+func TestDoKeyedRetryBudgetCapsAttempts(t *testing.T) {
+	servers := []string{"g1", "g2", "g3", "g4", "g5", "g6", "g7", "g8"}
+	fail := map[string]bool{}
+	for _, s := range servers {
+		fail[s] = true
+	}
+	sc := &scriptedCaller{fail: fail}
+	cl, err := client.New(client.Config{
+		Servers:      servers,
+		Caller:       sc,
+		CallTimeout:  time.Second,
+		RetryBudget:  3,
+		RetryBackoff: time.Millisecond,
+		// Keep the breakers out of the way so every attempt reaches the
+		// stub and the count below is exact.
+		Breaker: transport.BreakerConfig{FailureThreshold: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cl.WriteLatest(context.Background(), kv.Join("d", "t", "k"), []byte("v"))
+	if !errors.Is(err, core.ErrFailure) {
+		t.Fatalf("write = %v, want ErrFailure", err)
+	}
+	if got := sc.coords(); len(got) != 3 {
+		t.Fatalf("attempts = %v, want exactly 3", got)
+	}
+}
+
+// TestDoKeyedStopsWhenTargetsExhausted: fewer distinct targets than budget
+// means the op fails after trying each once, not budget times.
+func TestDoKeyedStopsWhenTargetsExhausted(t *testing.T) {
+	sc := &scriptedCaller{fail: map[string]bool{"g1": true, "g2": true}}
+	cl, err := client.New(client.Config{
+		Servers:      []string{"g1", "g2"},
+		Caller:       sc,
+		CallTimeout:  time.Second,
+		RetryBudget:  6,
+		RetryBackoff: time.Millisecond,
+		Breaker:      transport.BreakerConfig{FailureThreshold: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cl.WriteLatest(context.Background(), kv.Join("d", "t", "k"), []byte("v"))
+	if !errors.Is(err, core.ErrFailure) {
+		t.Fatalf("write = %v, want ErrFailure", err)
+	}
+	if got := sc.coords(); len(got) != 2 {
+		t.Fatalf("attempts = %v, want each target tried once", got)
+	}
+}
+
+// TestDoKeyedBreakerFastFails: once a server's breaker opens, keyed ops stop
+// reaching the transport for that server at all — the client fails over on a
+// fast-fail instead of burning CallTimeout.
+func TestDoKeyedBreakerFastFails(t *testing.T) {
+	sc := &scriptedCaller{fail: map[string]bool{"g1": true, "g2": true}}
+	cl, err := client.New(client.Config{
+		Servers:      []string{"g1", "g2"},
+		Caller:       sc,
+		CallTimeout:  time.Second,
+		RetryBudget:  4,
+		RetryBackoff: time.Millisecond,
+		Breaker:      transport.BreakerConfig{FailureThreshold: 1, OpenFor: time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	key := kv.Join("d", "t", "k")
+	// First op trips both breakers (one transport failure each).
+	if err := cl.WriteLatest(ctx, key, []byte("v")); !errors.Is(err, core.ErrFailure) {
+		t.Fatalf("write = %v, want ErrFailure", err)
+	}
+	before := len(sc.coords())
+	if st := cl.Health().State("g1"); st != transport.BreakerOpen {
+		t.Fatalf("g1 breaker = %v, want open", st)
+	}
+	// Second op must fail without a single keyed op reaching the stub.
+	if err := cl.WriteLatest(ctx, key, []byte("v")); !errors.Is(err, core.ErrFailure) {
+		t.Fatalf("write = %v, want ErrFailure", err)
+	}
+	if got := len(sc.coords()); got != before {
+		t.Fatalf("breaker-open ops still reached the transport (%d -> %d)", before, got)
+	}
+}

@@ -86,6 +86,11 @@ type Config struct {
 	// OnMoves receives assignment moves this node must act on (vnodes it
 	// gained, for data migration). May be nil.
 	OnMoves func([]ring.Move)
+	// OnDeaths fires after this node evicts confirmed-dead members, with
+	// the dead nodes and every move the eviction produced (not just this
+	// node's). Anti-entropy uses it to re-merge the affected vnodes. May
+	// be nil.
+	OnDeaths func(dead []ring.NodeID, moves []ring.Move)
 	// Logf receives diagnostics; nil disables.
 	Logf func(format string, args ...any)
 }
@@ -314,6 +319,9 @@ func (m *Manager) Reconcile() error {
 		return err
 	}
 	m.deliverMoves(allMoves)
+	if m.cfg.OnDeaths != nil {
+		m.cfg.OnDeaths(dead, allMoves)
+	}
 	return nil
 }
 
@@ -386,6 +394,9 @@ func (m *Manager) ReportSuspect(n ring.NodeID) error {
 	}
 	m.logf("suspect %s confirmed dead, %d moves", n, len(moves))
 	m.deliverMoves(moves)
+	if m.cfg.OnDeaths != nil {
+		m.cfg.OnDeaths([]ring.NodeID{n}, moves)
+	}
 	return nil
 }
 

@@ -27,9 +27,17 @@ func TestChaosRollingFailures(t *testing.T) {
 	})
 	ctx := context.Background()
 
-	// acked records the last acknowledged value per key.
+	// acked records the last acknowledged value per key; ackedN counts every
+	// acknowledged write, so the chaos schedule can wait for real writer
+	// progress instead of sleeping a fixed interval.
 	var mu sync.Mutex
 	acked := map[kv.Key]string{}
+	ackedN := 0
+	ackedCount := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return ackedN
+	}
 
 	stop := make(chan struct{})
 	var writers sync.WaitGroup
@@ -54,6 +62,7 @@ func TestChaosRollingFailures(t *testing.T) {
 				if err == nil {
 					mu.Lock()
 					acked[key] = val
+					ackedN++
 					mu.Unlock()
 				}
 				time.Sleep(2 * time.Millisecond)
@@ -63,25 +72,33 @@ func TestChaosRollingFailures(t *testing.T) {
 
 	// Rolling failures: kill and restart nodes 1..3 in sequence. Never
 	// touch more than one node at a time, so the quorum always survives.
+	// All waits poll observable state (writer progress, ring membership)
+	// rather than sleeping fixed intervals: under -race with every package
+	// testing in parallel the scheduler can starve the background loops for
+	// tens of seconds, so wall-clock pauses both flake and over-wait.
 	for round := 0; round < 3; round++ {
 		victim := 1 + round
-		time.Sleep(400 * time.Millisecond)
+		// Let the writers make real progress against the current membership
+		// before the next failure.
+		progressFrom := ackedCount()
+		waitUntil(t, 40*time.Second, fmt.Sprintf("round %d: writer progress", round), func() bool {
+			return ackedCount() >= progressFrom+50
+		})
 		c.KillNode(victim)
-		// Wait for eviction by the survivors. Deadlines here and below are
-		// generous: under -race with every package testing in parallel the
-		// scheduler can starve the reconcile loops for tens of seconds.
-		deadline := time.Now().Add(40 * time.Second)
-		for {
-			r := c.Servers[0].Ring()
-			if r != nil && len(r.Nodes()) == 4 {
-				break
+		// Eviction must be visible to EVERY survivor, not just node 0 —
+		// a laggard's stale ring would race the restart below.
+		waitUntil(t, 40*time.Second, fmt.Sprintf("round %d: victim eviction", round), func() bool {
+			for i, s := range c.Servers {
+				if i == victim || s == nil {
+					continue
+				}
+				r := s.Ring()
+				if r == nil || len(r.Nodes()) != 4 {
+					return false
+				}
 			}
-			if time.Now().After(deadline) {
-				t.Fatalf("round %d: victim never evicted", round)
-			}
-			time.Sleep(20 * time.Millisecond)
-		}
-		time.Sleep(300 * time.Millisecond)
+			return true
+		})
 		if _, err := c.RestartNode(victim); err != nil {
 			t.Fatalf("round %d: restart: %v", round, err)
 		}

@@ -23,6 +23,7 @@ import (
 func (s *Server) applyReplicaWrite(key kv.Key, v kv.Versioned, mode quorum.Mode) (quorum.WriteStatus, error) {
 	s.nReplicaWrites.Inc()
 	status := quorum.WriteOK
+	duplicate := false
 	var newBlob []byte
 	err := s.store.Update(string(key), func(old []byte, ok bool) ([]byte, bool) {
 		row := &kv.Row{}
@@ -39,7 +40,14 @@ func (s *Server) applyReplicaWrite(key kv.Key, v kv.Versioned, mode quorum.Mode)
 			accepted = row.ApplyAll(v)
 		}
 		if !accepted {
-			status = quorum.WriteOutdated
+			// An exact duplicate means this value already landed (a retry
+			// after a lost ack): answer "ok" without re-logging so the
+			// re-send is idempotent. Anything else newer wins: "outdated".
+			if row.Contains(v) {
+				duplicate = true
+			} else {
+				status = quorum.WriteOutdated
+			}
 			if !ok {
 				return nil, false
 			}
@@ -51,7 +59,7 @@ func (s *Server) applyReplicaWrite(key kv.Key, v kv.Versioned, mode quorum.Mode)
 	if err != nil {
 		return 0, err
 	}
-	if status == quorum.WriteOK {
+	if status == quorum.WriteOK && !duplicate {
 		if perr := s.pers.LogWrite(string(key), newBlob); perr != nil {
 			return 0, perr
 		}
@@ -202,7 +210,7 @@ func (rt replicaRPC) WriteReplica(ctx context.Context, node ring.NodeID, key kv.
 	e.Str(string(key))
 	EncodeVersioned(&e, v)
 	e.U8(byte(mode))
-	resp, err := rt.s.cfg.Transport.Call(ctx, string(node), transport.Message{Op: OpReplicaWrite, Body: e.B})
+	resp, err := rt.s.health.Call(ctx, string(node), transport.Message{Op: OpReplicaWrite, Body: e.B})
 	if err != nil {
 		return 0, err
 	}
@@ -232,7 +240,7 @@ func (rt replicaRPC) ReadReplica(ctx context.Context, node ring.NodeID, key kv.K
 	defer func() { rt.s.hReplicaFanout.Observe(time.Since(start)) }()
 	var e wire.Enc
 	e.Str(string(key))
-	resp, err := rt.s.cfg.Transport.Call(ctx, string(node), transport.Message{Op: OpReplicaRead, Body: e.B})
+	resp, err := rt.s.health.Call(ctx, string(node), transport.Message{Op: OpReplicaRead, Body: e.B})
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +265,7 @@ func (rt replicaRPC) RepairReplica(ctx context.Context, node ring.NodeID, key kv
 	var e wire.Enc
 	e.Str(string(key))
 	e.Bytes(kv.EncodeRow(row))
-	resp, err := rt.s.cfg.Transport.Call(ctx, string(node), transport.Message{Op: OpReplicaRepair, Body: e.B})
+	resp, err := rt.s.health.Call(ctx, string(node), transport.Message{Op: OpReplicaRepair, Body: e.B})
 	if err != nil {
 		return err
 	}
@@ -295,7 +303,12 @@ func (s *Server) CoordWrite(ctx context.Context, key kv.Key, value []byte, mode 
 	}
 	obs.Mark(ctx, "coord.route")
 	res, err := s.engine.Write(ctx, replicas, key, v, mode)
-	s.suspectAll(res.Failed)
+	// Hinted handoff happens at the engine layer (OnWriteError), which also
+	// catches stragglers that fail after the quorum settled; here we only
+	// report the failures the quorum saw as suspects.
+	if len(res.Failed) > 0 {
+		s.suspectAll(res.Failed)
+	}
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrFailure, err)
 	}
@@ -320,7 +333,16 @@ func (s *Server) CoordRead(ctx context.Context, key kv.Key) (*kv.Row, error) {
 	}
 	obs.Mark(ctx, "coord.route")
 	res, err := s.engine.Read(ctx, replicas, key)
-	s.suspectAll(res.Failed)
+	if len(res.Failed) > 0 {
+		if err == nil && res.Row != nil && len(res.Row.Values) > 0 {
+			// The quorum answered without the failed replicas; queue the
+			// merged row so they catch up without another read.
+			for _, n := range res.Failed {
+				s.healer.Enqueue(n, key, res.Row)
+			}
+		}
+		s.suspectAll(res.Failed)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFailure, err)
 	}
@@ -421,7 +443,7 @@ func (s *Server) fetchVNode(src ring.NodeID, v ring.VNodeID) (map[kv.Key]*kv.Row
 	e.U32(uint32(v))
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	resp, err := s.cfg.Transport.Call(ctx, string(src), transport.Message{Op: OpVNodeScan, Body: e.B})
+	resp, err := s.health.Call(ctx, string(src), transport.Message{Op: OpVNodeScan, Body: e.B})
 	if err != nil {
 		return nil, err
 	}
@@ -446,6 +468,79 @@ func (s *Server) fetchVNode(src ring.NodeID, v ring.VNodeID) (map[kv.Key]*kv.Row
 		out[key] = row
 	}
 	return out, nil
+}
+
+// --- anti-entropy sweep after confirmed deaths ---
+
+// onDeaths receives every eviction this node's manager committed and marks
+// the reassigned vnodes this node owns as dirty; the sweeper then re-merges
+// them to the surviving owners at a low rate. This covers updates the dead
+// node missed for which no hint survived (dropped by overflow, or the
+// coordinator itself crashed).
+func (s *Server) onDeaths(dead []ring.NodeID, moves []ring.Move) {
+	r := s.mgr.Ring()
+	if r == nil {
+		return
+	}
+	seen := map[ring.VNodeID]bool{}
+	var mine []ring.VNodeID
+	for _, mv := range moves {
+		if seen[mv.VNode] {
+			continue
+		}
+		seen[mv.VNode] = true
+		for _, o := range r.Owners(mv.VNode) {
+			if o == s.cfg.Node {
+				mine = append(mine, mv.VNode)
+				break
+			}
+		}
+	}
+	if len(mine) > 0 {
+		s.sweeper.MarkDirty(mine...)
+		s.logf("eviction of %v dirtied %d vnodes for anti-entropy", dead, len(mine))
+	}
+}
+
+// sweepVNode re-merges every local row of one vnode into the vnode's other
+// current owners. Merges are idempotent, so sweeping a vnode that already
+// converged is wasted bandwidth but never wrong.
+func (s *Server) sweepVNode(v ring.VNodeID) error {
+	r := s.mgr.Ring()
+	if r == nil || s.engine == nil {
+		return errors.New("core: not started")
+	}
+	var peers []ring.NodeID
+	for _, o := range r.Owners(v) {
+		if o != "" && o != s.cfg.Node {
+			peers = append(peers, o)
+		}
+	}
+	if len(peers) == 0 {
+		return nil
+	}
+	type entry struct {
+		key kv.Key
+		row *kv.Row
+	}
+	var rows []entry
+	s.store.Range(func(key string, it memstore.Item) bool {
+		k := kv.Key(key)
+		if r.VNodeFor(k) != v {
+			return true
+		}
+		if row, err := kv.DecodeRow(it.Value); err == nil {
+			rows = append(rows, entry{k, row})
+		}
+		return true
+	})
+	var firstErr error
+	for _, e := range rows {
+		if err := s.engine.Repair(context.Background(), peers, e.key, e.row); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // CollectTombstones removes rows whose every value is a tombstone older

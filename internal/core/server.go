@@ -9,6 +9,7 @@ import (
 
 	"sedna/internal/cluster"
 	"sedna/internal/coord"
+	"sedna/internal/heal"
 	"sedna/internal/kv"
 	"sedna/internal/memstore"
 	"sedna/internal/obs"
@@ -57,6 +58,19 @@ type Config struct {
 	// SubIdleTimeout garbage-collects subscriptions nobody polls; zero
 	// selects 2 minutes.
 	SubIdleTimeout time.Duration
+	// Breaker tunes the per-node health breakers gating every replica
+	// call; zero fields select the transport defaults (5 consecutive
+	// failures open, 1s cooldown, 1 half-open probe).
+	Breaker transport.BreakerConfig
+	// HintCapacity bounds each per-node hint queue of the failure healer;
+	// zero selects 1024.
+	HintCapacity int
+	// HintReplayBackoff is the base backoff between hint-replay probes to
+	// a dark node; zero selects 100ms.
+	HintReplayBackoff time.Duration
+	// SweepEvery paces the anti-entropy sweep (one dirty vnode re-merged
+	// per tick); zero selects 250ms.
+	SweepEvery time.Duration
 	// Obs receives the node's metrics and traces; nil creates a private
 	// registry (reachable via Server.Obs) so instrumentation is always on.
 	Obs *obs.Registry
@@ -88,6 +102,9 @@ type Server struct {
 	engine   *quorum.Engine
 	trig     *trigger.Engine
 	pers     *persist.Manager
+	health   *transport.HealthCaller
+	healer   *heal.Healer
+	sweeper  *heal.Sweeper
 
 	mu        sync.Mutex
 	loadStats *ring.LoadStats
@@ -162,6 +179,45 @@ func NewServer(cfg Config) (*Server, error) {
 		hReplicaFanout: cfg.Obs.Histogram("replica.fanout"),
 	}
 	s.subs = newSubRegistry(s)
+
+	// Failure-healing pipeline: every replica call goes through a per-node
+	// circuit breaker; failed writes and repairs queue as hints replayed in
+	// the background; eviction-dirtied vnodes re-merge via the sweeper. All
+	// three exist from construction so hints survive a slow Start, and the
+	// loops only run between Start and Close.
+	s.health = transport.NewHealthCaller(cfg.Transport, cfg.Breaker)
+	s.health.Instrument(cfg.Obs)
+	healer, err := heal.New(heal.Config{
+		Replay: func(ctx context.Context, node ring.NodeID, key kv.Key, row *kv.Row) error {
+			return replicaRPC{s}.RepairReplica(ctx, node, key, row)
+		},
+		QueueCapacity: cfg.HintCapacity,
+		BaseBackoff:   cfg.HintReplayBackoff,
+		ReplayTimeout: cfg.Quorum.Timeout,
+		Seed:          int64(ring.Hash64(kv.Key(cfg.Node))),
+		Obs:           cfg.Obs,
+		Logf:          cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.healer = healer
+	s.sweeper, err = heal.NewSweeper(heal.SweepConfig{
+		Sweep: s.sweepVNode,
+		Every: cfg.SweepEvery,
+		Obs:   cfg.Obs,
+		Logf:  cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.health.OnStateChange = func(addr string, from, to transport.BreakerState) {
+		s.logf("breaker %s: %s -> %s", addr, from, to)
+		if to == transport.BreakerClosed {
+			// The node answered again: drain its hint queue immediately.
+			s.healer.NotifyAlive(ring.NodeID(addr))
+		}
+	}
 	return s, nil
 }
 
@@ -270,6 +326,7 @@ func (s *Server) Start() error {
 		Cache:          s.cache,
 		ReconcileEvery: s.cfg.ReconcileEvery,
 		OnMoves:        s.onMoves,
+		OnDeaths:       s.onDeaths,
 		Logf:           s.cfg.Logf,
 	})
 	if err != nil {
@@ -290,6 +347,17 @@ func (s *Server) Start() error {
 		return err
 	}
 	s.engine.Instrument(s.obs)
+	// Failed repair deliveries become hints so healing never depends on a
+	// later read of the same key.
+	s.engine.OnRepairError(func(node ring.NodeID, key kv.Key, row *kv.Row) {
+		s.healer.Enqueue(node, key, row)
+	})
+	// Hinted handoff: every replica write that ultimately failed — including
+	// stragglers that miss the quorum's early return — is queued for replay
+	// once the node answers again (§III-C).
+	s.engine.OnWriteError(func(node ring.NodeID, key kv.Key, v kv.Versioned) {
+		s.healer.Enqueue(node, key, &kv.Row{Values: []kv.Versioned{v}})
+	})
 
 	// 5. Trigger engine.
 	s.trig, err = trigger.NewEngine(trigger.Config{
@@ -310,6 +378,8 @@ func (s *Server) Start() error {
 	// imbalance publication.
 	s.onMoves(moves)
 	s.pers.Start()
+	s.healer.Start()
+	s.sweeper.Start()
 	s.wg.Add(1)
 	go s.publishLoop()
 	s.logf("started with %d vnode moves", len(moves))
@@ -328,6 +398,12 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	close(s.stopCh)
 	s.wg.Wait()
+	if s.healer != nil {
+		s.healer.Close()
+	}
+	if s.sweeper != nil {
+		s.sweeper.Close()
+	}
 	if s.trig != nil {
 		s.trig.Close()
 	}
@@ -387,6 +463,27 @@ func (s *Server) LoadStats() *ring.LoadStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.loadStats
+}
+
+// Health exposes the per-node breaker layer (diagnostics and tests).
+func (s *Server) Health() *transport.HealthCaller { return s.health }
+
+// Healer exposes the hint-queue replayer (diagnostics and tests).
+func (s *Server) Healer() *heal.Healer { return s.healer }
+
+// LocalRow returns a copy of the locally stored row for key without going
+// through the replica protocol or touching its counters (test and audit
+// use — e.g. asserting convergence happened with zero reads issued).
+func (s *Server) LocalRow(key kv.Key) (*kv.Row, bool) {
+	it, ok := s.store.Get(string(key))
+	if !ok {
+		return nil, false
+	}
+	row, err := kv.DecodeRow(it.Value)
+	if err != nil {
+		return nil, false
+	}
+	return row, true
 }
 
 // snapshotSource adapts the store to persist.Source.

@@ -1,0 +1,172 @@
+package heal
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"sedna/internal/obs"
+	"sedna/internal/ring"
+)
+
+// SweepConfig parameterises a Sweeper.
+type SweepConfig struct {
+	// Sweep re-merges one vnode to its current owners. Required. A non-nil
+	// error re-queues the vnode for the next tick.
+	Sweep func(v ring.VNodeID) error
+	// Every paces the sweep: one vnode per tick, so anti-entropy stays a
+	// low-rate background activity. Zero selects 250ms.
+	Every time.Duration
+	// Obs receives the heal.sweep* metrics; nil disables.
+	Obs *obs.Registry
+	// Logf receives diagnostics; nil disables.
+	Logf func(format string, args ...any)
+}
+
+// Sweeper runs the low-rate anti-entropy pass: vnodes marked dirty after a
+// confirmed death are re-merged to their owners one per tick. Dirty marks
+// deduplicate, so the backlog is bounded by the ring's vnode count.
+type Sweeper struct {
+	cfg SweepConfig
+
+	mu    sync.Mutex
+	dirty map[ring.VNodeID]struct{}
+	queue []ring.VNodeID
+
+	kick    chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+	started bool // guarded by mu
+
+	nSweeps, nErrors *obs.Counter
+	gBacklog         *obs.Gauge
+}
+
+// NewSweeper validates cfg and returns a stopped Sweeper; call Start to
+// launch the sweep loop.
+func NewSweeper(cfg SweepConfig) (*Sweeper, error) {
+	if cfg.Sweep == nil {
+		return nil, errors.New("heal: Sweep required")
+	}
+	if cfg.Every <= 0 {
+		cfg.Every = 250 * time.Millisecond
+	}
+	return &Sweeper{
+		cfg:      cfg,
+		dirty:    map[ring.VNodeID]struct{}{},
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		nSweeps:  cfg.Obs.Counter("heal.sweeps"),
+		nErrors:  cfg.Obs.Counter("heal.sweep_errors"),
+		gBacklog: cfg.Obs.Gauge("heal.sweep_backlog"),
+	}, nil
+}
+
+func (s *Sweeper) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("heal: "+format, args...)
+	}
+}
+
+// Start launches the sweep loop. Marks made before Start are kept.
+func (s *Sweeper) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	go s.loop()
+}
+
+// Close stops the sweep loop; unswept vnodes are discarded. Safe on a
+// Sweeper that was never started.
+func (s *Sweeper) Close() {
+	s.once.Do(func() { close(s.stop) })
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	if started {
+		<-s.done
+	}
+}
+
+// MarkDirty queues vnodes for re-merging. Marks for an already-queued vnode
+// are no-ops.
+func (s *Sweeper) MarkDirty(vnodes ...ring.VNodeID) {
+	s.mu.Lock()
+	added := 0
+	for _, v := range vnodes {
+		if _, ok := s.dirty[v]; ok {
+			continue
+		}
+		s.dirty[v] = struct{}{}
+		s.queue = append(s.queue, v)
+		added++
+	}
+	s.mu.Unlock()
+	if added > 0 {
+		s.gBacklog.Add(int64(added))
+		s.wake()
+	}
+}
+
+// Backlog returns the number of vnodes awaiting a sweep.
+func (s *Sweeper) Backlog() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+func (s *Sweeper) wake() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Sweeper) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.cfg.Every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.kick:
+		case <-t.C:
+		}
+		s.sweepOne()
+	}
+}
+
+// sweepOne pops the oldest dirty vnode and re-merges it; on error the vnode
+// goes to the back of the queue for a later tick.
+func (s *Sweeper) sweepOne() {
+	s.mu.Lock()
+	if len(s.queue) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	v := s.queue[0]
+	s.queue = s.queue[1:]
+	s.mu.Unlock()
+
+	err := s.cfg.Sweep(v)
+
+	s.mu.Lock()
+	if err != nil {
+		s.queue = append(s.queue, v)
+		s.mu.Unlock()
+		s.nErrors.Inc()
+		s.logf("sweep of vnode %d failed: %v", v, err)
+		return
+	}
+	delete(s.dirty, v)
+	s.mu.Unlock()
+	s.nSweeps.Inc()
+	s.gBacklog.Add(-1)
+}

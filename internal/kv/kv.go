@@ -351,6 +351,20 @@ func (r *Row) Clone() *Row {
 	return c
 }
 
+// Contains reports whether the row holds an entry exactly equal to v (same
+// source, timestamp, tombstone flag and payload). The replica write path
+// uses it to recognise a re-sent duplicate as already applied ("ok") rather
+// than rejecting it as outdated, which makes timestamped writes idempotent
+// under retry.
+func (r *Row) Contains(v Versioned) bool {
+	for _, cur := range r.Values {
+		if cur.Source == v.Source && cur.TS == v.TS && cur.Deleted == v.Deleted && string(cur.Value) == string(v.Value) {
+			return true
+		}
+	}
+	return false
+}
+
 // Equal reports whether two rows hold the same value lists (ignoring the
 // Dirty and Monitors bookkeeping columns).
 func (r *Row) Equal(o *Row) bool {

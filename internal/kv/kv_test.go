@@ -202,6 +202,28 @@ func TestRowApplyAllPerSource(t *testing.T) {
 	}
 }
 
+func TestRowContainsExactDuplicate(t *testing.T) {
+	r := &Row{}
+	v := Versioned{Value: []byte("a"), TS: Timestamp{Wall: 5}, Source: "s1"}
+	r.ApplyLatest(v)
+	if !r.Contains(v) {
+		t.Fatal("row does not contain the value just applied")
+	}
+	// Same timestamp, different payload/source/tombstone: not a duplicate.
+	if r.Contains(Versioned{Value: []byte("b"), TS: Timestamp{Wall: 5}, Source: "s1"}) {
+		t.Fatal("different payload reported as duplicate")
+	}
+	if r.Contains(Versioned{Value: []byte("a"), TS: Timestamp{Wall: 5}, Source: "s2"}) {
+		t.Fatal("different source reported as duplicate")
+	}
+	if r.Contains(Versioned{Value: []byte("a"), TS: Timestamp{Wall: 5}, Source: "s1", Deleted: true}) {
+		t.Fatal("tombstone reported as duplicate of live value")
+	}
+	if r.Contains(Versioned{Value: []byte("a"), TS: Timestamp{Wall: 6}, Source: "s1"}) {
+		t.Fatal("different timestamp reported as duplicate")
+	}
+}
+
 func TestRowLatestSkipsTombstones(t *testing.T) {
 	r := &Row{}
 	r.ApplyAll(Versioned{Value: []byte("x"), TS: Timestamp{Wall: 1}, Source: "a"})

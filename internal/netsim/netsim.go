@@ -133,6 +133,18 @@ func (n *Network) Isolate(addr string) {
 	}
 }
 
+// HealEndpoint removes every cut touching addr — the inverse of Isolate —
+// without disturbing partitions between other endpoints.
+func (n *Network) HealEndpoint(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for k := range n.cut {
+		if k.from == addr || k.to == addr {
+			delete(n.cut, k)
+		}
+	}
+}
+
 // HealAll removes all partitions.
 func (n *Network) HealAll() {
 	n.mu.Lock()

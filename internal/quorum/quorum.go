@@ -16,12 +16,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sedna/internal/kv"
 	"sedna/internal/obs"
 	"sedna/internal/ring"
+	"sedna/internal/transport"
 )
 
 // Mode selects the replica-side conflict rule.
@@ -76,10 +79,21 @@ type Config struct {
 	W int
 	// Timeout bounds one replica operation; zero selects 500ms.
 	Timeout time.Duration
+	// RetryBudget bounds the total re-sends one quorum op may issue across
+	// all its replicas. Every replica op here is idempotent — reads,
+	// repairs, and timestamped writes whose exact duplicate is recognised
+	// as already applied — so re-sending is safe. Zero disables retries.
+	RetryBudget int
+	// RetryBackoff is the base delay before a re-send, doubled per attempt
+	// and jittered; zero selects 10ms.
+	RetryBackoff time.Duration
 }
 
 // DefaultConfig returns the paper's N=3, R=2, W=2.
-func DefaultConfig() Config { return Config{N: 3, R: 2, W: 2, Timeout: 500 * time.Millisecond} }
+func DefaultConfig() Config {
+	return Config{N: 3, R: 2, W: 2, Timeout: 500 * time.Millisecond,
+		RetryBudget: 2, RetryBackoff: 10 * time.Millisecond}
+}
 
 // Validate enforces the paper's two constraints.
 func (c Config) Validate() error {
@@ -130,10 +144,21 @@ type Engine struct {
 	cfg Config
 	rt  Transport
 
+	// onRepairError, when set, observes every failed repair delivery with
+	// the row that should have landed; core feeds it into the hint queue.
+	onRepairError atomic.Pointer[func(node ring.NodeID, key kv.Key, row *kv.Row)]
+	// onWriteError observes every replica write that ultimately failed.
+	// It fires from the write goroutine itself, so failures are captured
+	// even when the quorum already settled and Write returned — the
+	// straggler's miss must not be lost just because the caller moved on.
+	onWriteError atomic.Pointer[func(node ring.NodeID, key kv.Key, v kv.Versioned)]
+
 	hWriteWait, hReadWait *obs.Histogram
 	nConflicts            *obs.Counter
 	nReadRepairs          *obs.Counter
 	nInconsistent         *obs.Counter
+	nRepairErrors         *obs.Counter
+	nRetries              *obs.Counter
 }
 
 // NewEngine validates the config and returns an engine.
@@ -160,6 +185,81 @@ func (e *Engine) Instrument(r *obs.Registry) {
 	e.nConflicts = r.Counter("quorum.conflicts")
 	e.nReadRepairs = r.Counter("quorum.read_repairs")
 	e.nInconsistent = r.Counter("quorum.inconsistent_reads")
+	e.nRepairErrors = r.Counter("quorum.repair_errors")
+	e.nRetries = r.Counter("quorum.retries")
+}
+
+// OnRepairError installs fn to observe every failed repair delivery (both
+// the asynchronous read-repair path and synchronous Repair). The row passed
+// to fn is a private clone. Safe to call concurrently with operations.
+func (e *Engine) OnRepairError(fn func(node ring.NodeID, key kv.Key, row *kv.Row)) {
+	e.onRepairError.Store(&fn)
+}
+
+// OnWriteError installs fn to observe every replica write that failed after
+// retries, with the versioned value that should have landed. Unlike the
+// WriteResult.Failed list — which only covers replies that arrived before
+// the quorum settled — this hook sees stragglers too.
+func (e *Engine) OnWriteError(fn func(node ring.NodeID, key kv.Key, v kv.Versioned)) {
+	e.onWriteError.Store(&fn)
+}
+
+// writeFailed records one ultimately-failed replica write.
+func (e *Engine) writeFailed(node ring.NodeID, key kv.Key, v kv.Versioned) {
+	if fn := e.onWriteError.Load(); fn != nil {
+		(*fn)(node, key, v)
+	}
+}
+
+// repairFailed records one failed repair delivery.
+func (e *Engine) repairFailed(node ring.NodeID, key kv.Key, row *kv.Row) {
+	e.nRepairErrors.Inc()
+	if fn := e.onRepairError.Load(); fn != nil {
+		(*fn)(node, key, row.Clone())
+	}
+}
+
+// retryable classifies an error for re-send purposes: remote handler
+// verdicts mean the node answered, caller cancellations are not the node's
+// fault, and an open breaker means re-sending would only fast-fail again.
+func retryable(err error) bool {
+	if err == nil || transport.IsRemote(err) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, transport.ErrBreakerOpen) {
+		return false
+	}
+	return true
+}
+
+// retry reports whether a failed replica op should be re-sent, consuming
+// one unit of the op's shared budget and sleeping the jittered exponential
+// backoff (bounded by ctx) before returning true.
+func (e *Engine) retry(ctx context.Context, budget *int32, attempt int, err error) bool {
+	if e.cfg.RetryBudget <= 0 || !retryable(err) {
+		return false
+	}
+	if atomic.AddInt32(budget, -1) < 0 {
+		return false
+	}
+	base := e.cfg.RetryBackoff
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	d := base << attempt
+	if max := 8 * base; d > max {
+		d = max
+	}
+	d += time.Duration(rand.Int63n(int64(base)/2 + 1))
+	t := time.NewTimer(d)
+	select {
+	case <-ctx.Done():
+		t.Stop()
+		return false
+	case <-t.C:
+	}
+	e.nRetries.Inc()
+	return true
 }
 
 // Config returns the engine's quorum parameters.
@@ -168,8 +268,8 @@ func (e *Engine) Config() Config { return e.cfg }
 // Write sends v to every replica in parallel and succeeds once W replicas
 // acked (§III-C: "if more than W nodes return the same version number then
 // the write is considered success"). It does not wait for stragglers beyond
-// the quorum, but their results still feed the Failed list via the shared
-// collector when they arrive within the timeout.
+// the quorum; a straggler that later fails is reported through the
+// OnWriteError hook, not the returned Failed list.
 func (e *Engine) Write(ctx context.Context, replicas []ring.NodeID, key kv.Key, v kv.Versioned, mode Mode) (result WriteResult, err error) {
 	if len(replicas) == 0 {
 		return WriteResult{}, fmt.Errorf("%w: no replicas for key %q", ErrQuorumFailed, key)
@@ -189,6 +289,7 @@ func (e *Engine) Write(ctx context.Context, replicas []ring.NodeID, key kv.Key, 
 		err    error
 	}
 	ch := make(chan reply, len(replicas))
+	budget := int32(e.cfg.RetryBudget)
 	for _, node := range replicas {
 		go func(node ring.NodeID) {
 			// Each replica write gets the full timeout, detached from the
@@ -198,6 +299,15 @@ func (e *Engine) Write(ctx context.Context, replicas []ring.NodeID, key kv.Key, 
 			cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), e.cfg.Timeout)
 			defer cancel()
 			st, err := e.rt.WriteReplica(cctx, node, key, v, mode)
+			// Timestamped writes are idempotent (an exact duplicate is
+			// recognised as applied), so transient failures are re-sent
+			// within the replica's timeout window.
+			for attempt := 0; err != nil && e.retry(cctx, &budget, attempt, err); attempt++ {
+				st, err = e.rt.WriteReplica(cctx, node, key, v, mode)
+			}
+			if err != nil {
+				e.writeFailed(node, key, v)
+			}
 			ch <- reply{node: node, status: st, err: err}
 		}(node)
 	}
@@ -269,11 +379,15 @@ func (e *Engine) Read(ctx context.Context, replicas []ring.NodeID, key kv.Key) (
 		err  error
 	}
 	ch := make(chan reply, len(replicas))
+	budget := int32(e.cfg.RetryBudget)
 	for _, node := range replicas {
 		go func(node ring.NodeID) {
 			cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), e.cfg.Timeout)
 			defer cancel()
 			row, err := e.rt.ReadReplica(cctx, node, key)
+			for attempt := 0; err != nil && e.retry(cctx, &budget, attempt, err); attempt++ {
+				row, err = e.rt.ReadReplica(cctx, node, key)
+			}
 			ch <- reply{node: node, row: row, err: err}
 		}(node)
 	}
@@ -369,7 +483,10 @@ func (e *Engine) repairAsync(replicas []ring.NodeID, key kv.Key, row *kv.Row, st
 			wg.Add(1)
 			go func(node ring.NodeID) {
 				defer wg.Done()
-				e.rt.RepairReplica(ctx, node, key, clone)
+				if err := e.rt.RepairReplica(ctx, node, key, clone); err != nil {
+					// No in-place retry: the hint queue owns redelivery.
+					e.repairFailed(node, key, clone)
+				}
 			}(node)
 		}
 		wg.Wait()
@@ -384,11 +501,17 @@ func (e *Engine) Repair(ctx context.Context, nodes []ring.NodeID, key kv.Key, ro
 	var firstErr error
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	budget := int32(e.cfg.RetryBudget)
 	for _, node := range nodes {
 		wg.Add(1)
 		go func(node ring.NodeID) {
 			defer wg.Done()
-			if err := e.rt.RepairReplica(ctx, node, key, row); err != nil {
+			err := e.rt.RepairReplica(ctx, node, key, row)
+			for attempt := 0; err != nil && e.retry(ctx, &budget, attempt, err); attempt++ {
+				err = e.rt.RepairReplica(ctx, node, key, row)
+			}
+			if err != nil {
+				e.repairFailed(node, key, row)
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = err

@@ -1,0 +1,333 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sedna/internal/obs"
+)
+
+// ErrBreakerOpen reports a call rejected without touching the network
+// because the destination's circuit breaker is open: recent calls failed and
+// the cooldown has not elapsed. Callers treat it like ErrUnreachable, except
+// that it returns immediately instead of burning the call timeout.
+var ErrBreakerOpen = errors.New("transport: circuit breaker open")
+
+// BreakerState is one of the three classic circuit-breaker states.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes calls through and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects calls until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets a bounded number of probe calls through; a
+	// success closes the breaker, a failure re-opens it.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// BreakerConfig tunes one node's health breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures that opens
+	// the breaker; zero selects 5.
+	FailureThreshold int
+	// OpenFor is the cooldown before an open breaker admits a half-open
+	// probe; zero selects 1s.
+	OpenFor time.Duration
+	// HalfOpenProbes bounds concurrent probes in half-open and is the
+	// number of probe successes required to close; zero selects 1.
+	HalfOpenProbes int
+
+	// now substitutes the clock in tests; nil selects time.Now.
+	now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Breaker is a three-state circuit breaker for one destination. All methods
+// are safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     BreakerState
+	fails     int // consecutive failures while closed
+	probes    int // probes admitted while half-open
+	successes int // probe successes while half-open
+	openedAt  time.Time
+
+	// onTransition, when set, observes every state change. It is invoked
+	// outside the breaker's lock.
+	onTransition func(from, to BreakerState)
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// State returns the current state (open breakers whose cooldown elapsed
+// still report open until the next Allow admits the probe).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether a call may proceed now. An open breaker whose
+// cooldown has elapsed transitions to half-open and admits the probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	var trans *[2]BreakerState
+	allowed := false
+	switch b.state {
+	case BreakerClosed:
+		allowed = true
+	case BreakerOpen:
+		if b.cfg.now().Sub(b.openedAt) >= b.cfg.OpenFor {
+			trans = b.setState(BreakerHalfOpen)
+			b.probes = 1
+			allowed = true
+		}
+	case BreakerHalfOpen:
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+			allowed = true
+		}
+	}
+	b.mu.Unlock()
+	b.notify(trans)
+	return allowed
+}
+
+// OnSuccess records a successful call.
+func (b *Breaker) OnSuccess() {
+	b.mu.Lock()
+	var trans *[2]BreakerState
+	switch b.state {
+	case BreakerClosed:
+		b.fails = 0
+	case BreakerHalfOpen:
+		b.successes++
+		if b.successes >= b.cfg.HalfOpenProbes {
+			trans = b.setState(BreakerClosed)
+		}
+	case BreakerOpen:
+		// A straggler admitted before the breaker opened succeeded: the
+		// node answered, so close early.
+		trans = b.setState(BreakerClosed)
+	}
+	b.mu.Unlock()
+	b.notify(trans)
+}
+
+// OnFailure records a failed call.
+func (b *Breaker) OnFailure() {
+	b.mu.Lock()
+	var trans *[2]BreakerState
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			trans = b.setState(BreakerOpen)
+		}
+	case BreakerHalfOpen:
+		trans = b.setState(BreakerOpen)
+	case BreakerOpen:
+		// Stragglers keep it open; refresh the cooldown so a flapping
+		// node does not get probed at full rate.
+		b.openedAt = b.cfg.now()
+	}
+	b.mu.Unlock()
+	b.notify(trans)
+}
+
+// setState performs the transition bookkeeping under b.mu and returns the
+// transition for notify.
+func (b *Breaker) setState(to BreakerState) *[2]BreakerState {
+	from := b.state
+	if from == to {
+		return nil
+	}
+	b.state = to
+	switch to {
+	case BreakerClosed:
+		b.fails, b.probes, b.successes = 0, 0, 0
+	case BreakerOpen:
+		b.openedAt = b.cfg.now()
+		b.probes, b.successes = 0, 0
+	case BreakerHalfOpen:
+		b.probes, b.successes = 0, 0
+	}
+	return &[2]BreakerState{from, to}
+}
+
+func (b *Breaker) notify(trans *[2]BreakerState) {
+	if trans == nil {
+		return
+	}
+	if fn := b.onTransition; fn != nil {
+		fn(trans[0], trans[1])
+	}
+}
+
+// HealthCaller wraps a Caller with one circuit breaker per destination so
+// fan-outs fail fast to known-dead nodes instead of burning the full call
+// timeout. Remote handler errors (the node answered, the request was bad)
+// and caller-side cancellations do not count against a node's health; dial
+// failures, closed transports and deadline expiries do.
+type HealthCaller struct {
+	inner Caller
+	cfg   BreakerConfig
+
+	mu       sync.Mutex
+	breakers map[string]*Breaker
+
+	// OnStateChange, when set, observes every breaker transition. Set it
+	// before the first Call; it runs on the calling goroutine.
+	OnStateChange func(addr string, from, to BreakerState)
+
+	nFastFails, nOpened  *obs.Counter
+	nClosed, nHalfOpened *obs.Counter
+	gOpen                *obs.Gauge
+}
+
+// NewHealthCaller wraps inner; zero cfg fields select the breaker defaults.
+func NewHealthCaller(inner Caller, cfg BreakerConfig) *HealthCaller {
+	return &HealthCaller{
+		inner:    inner,
+		cfg:      cfg.withDefaults(),
+		breakers: map[string]*Breaker{},
+	}
+}
+
+// Instrument registers the breaker metrics: transition counters
+// (transport.breaker.opened / half_open / closed), rejected-call counter
+// (transport.breaker.fast_fails) and an open-breaker gauge
+// (transport.breakers.open). Snapshots of the registry — and therefore
+// `sedna-cli stats` — surface per-node health without a new RPC.
+func (h *HealthCaller) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	h.nFastFails = r.Counter("transport.breaker.fast_fails")
+	h.nOpened = r.Counter("transport.breaker.opened")
+	h.nClosed = r.Counter("transport.breaker.closed")
+	h.nHalfOpened = r.Counter("transport.breaker.half_open")
+	h.gOpen = r.Gauge("transport.breakers.open")
+}
+
+// breaker returns the destination's breaker, creating it on first use.
+func (h *HealthCaller) breaker(addr string) *Breaker {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := h.breakers[addr]
+	if b == nil {
+		b = NewBreaker(h.cfg)
+		b.onTransition = func(from, to BreakerState) { h.transitioned(addr, from, to) }
+		h.breakers[addr] = b
+	}
+	return b
+}
+
+func (h *HealthCaller) transitioned(addr string, from, to BreakerState) {
+	switch to {
+	case BreakerOpen:
+		h.nOpened.Inc()
+		h.gOpen.Add(1)
+	case BreakerHalfOpen:
+		h.nHalfOpened.Inc()
+		h.gOpen.Add(-1)
+	case BreakerClosed:
+		h.nClosed.Inc()
+		if from == BreakerOpen {
+			h.gOpen.Add(-1)
+		}
+	}
+	if fn := h.OnStateChange; fn != nil {
+		fn(addr, from, to)
+	}
+}
+
+// countsAsFailure classifies an error for health purposes.
+func countsAsFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	if IsRemote(err) {
+		return false // the node answered; the handler rejected the request
+	}
+	if errors.Is(err, context.Canceled) {
+		return false // the caller gave up, not the node
+	}
+	return true
+}
+
+// Call implements Caller with breaker gating.
+func (h *HealthCaller) Call(ctx context.Context, addr string, req Message) (Message, error) {
+	b := h.breaker(addr)
+	if !b.Allow() {
+		h.nFastFails.Inc()
+		return Message{}, fmt.Errorf("%w: %s", ErrBreakerOpen, addr)
+	}
+	resp, err := h.inner.Call(ctx, addr, req)
+	if countsAsFailure(err) {
+		b.OnFailure()
+	} else {
+		b.OnSuccess()
+	}
+	return resp, err
+}
+
+// State returns addr's breaker state (closed when never called).
+func (h *HealthCaller) State(addr string) BreakerState {
+	h.mu.Lock()
+	b := h.breakers[addr]
+	h.mu.Unlock()
+	if b == nil {
+		return BreakerClosed
+	}
+	return b.State()
+}
+
+// States snapshots every tracked destination's state (diagnostics).
+func (h *HealthCaller) States() map[string]BreakerState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]BreakerState, len(h.breakers))
+	for addr, b := range h.breakers {
+		out[addr] = b.State()
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sedna/internal/obs"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time { return f.t }
+
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func newTestBreaker(clk *fakeClock) *Breaker {
+	return NewBreaker(BreakerConfig{
+		FailureThreshold: 3,
+		OpenFor:          time.Second,
+		HalfOpenProbes:   1,
+		now:              clk.now,
+	})
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTestBreaker(clk)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("initial state = %v, want closed", got)
+	}
+	b.OnFailure()
+	b.OnFailure()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("after 2 failures state = %v, want closed", got)
+	}
+	// A success resets the consecutive count.
+	b.OnSuccess()
+	b.OnFailure()
+	b.OnFailure()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("success did not reset the failure count")
+	}
+	b.OnFailure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after threshold failures state = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call before the cooldown")
+	}
+}
+
+func TestBreakerHalfOpenProbeClosesOnSuccess(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.OnFailure()
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe was rejected")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after probe admission = %v, want half-open", got)
+	}
+	// Only HalfOpenProbes calls may proceed while the probe is in flight.
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted with HalfOpenProbes=1")
+	}
+	b.OnSuccess()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected a call")
+	}
+}
+
+func TestBreakerHalfOpenProbeReopensOnFailure(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.OnFailure()
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe was rejected")
+	}
+	b.OnFailure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after probe failure = %v, want open", got)
+	}
+	// The cooldown restarts from the failed probe.
+	clk.advance(500 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted a call before the new cooldown")
+	}
+	clk.advance(500 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second cooldown elapsed but probe was rejected")
+	}
+}
+
+// flakyCaller fails until revived.
+type flakyCaller struct {
+	calls int
+	dead  bool
+}
+
+func (f *flakyCaller) Call(ctx context.Context, addr string, req Message) (Message, error) {
+	f.calls++
+	if f.dead {
+		return Message{}, ErrUnreachable
+	}
+	return Message{Op: req.Op}, nil
+}
+
+func TestHealthCallerFastFailsAndRecovers(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	inner := &flakyCaller{dead: true}
+	reg := obs.NewRegistry()
+	hc := NewHealthCaller(inner, BreakerConfig{
+		FailureThreshold: 3,
+		OpenFor:          time.Second,
+		now:              clk.now,
+	})
+	hc.Instrument(reg)
+	var transitions []string
+	hc.OnStateChange = func(addr string, from, to BreakerState) {
+		transitions = append(transitions, addr+":"+from.String()+">"+to.String())
+	}
+
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := hc.Call(ctx, "node-a", Message{Op: 1}); !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("call %d: err = %v, want unreachable", i, err)
+		}
+	}
+	if got := hc.State("node-a"); got != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", got)
+	}
+	// Fast fail: the inner caller is not touched.
+	before := inner.calls
+	if _, err := hc.Call(ctx, "node-a", Message{Op: 1}); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if inner.calls != before {
+		t.Fatal("open breaker let the call reach the network")
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("transport.breaker.fast_fails") != 1 {
+		t.Fatalf("fast_fails = %d, want 1", snap.Counter("transport.breaker.fast_fails"))
+	}
+	if snap.Counter("transport.breaker.opened") != 1 {
+		t.Fatalf("opened = %d, want 1", snap.Counter("transport.breaker.opened"))
+	}
+	if snap.Gauge("transport.breakers.open") != 1 {
+		t.Fatalf("breakers.open gauge = %d, want 1", snap.Gauge("transport.breakers.open"))
+	}
+
+	// Node comes back: the half-open probe succeeds and closes the breaker.
+	inner.dead = false
+	clk.advance(time.Second)
+	if _, err := hc.Call(ctx, "node-a", Message{Op: 1}); err != nil {
+		t.Fatalf("probe call failed: %v", err)
+	}
+	if got := hc.State("node-a"); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	snap = reg.Snapshot()
+	if snap.Gauge("transport.breakers.open") != 0 {
+		t.Fatalf("breakers.open gauge = %d, want 0", snap.Gauge("transport.breakers.open"))
+	}
+	want := []string{
+		"node-a:closed>open",
+		"node-a:open>half-open",
+		"node-a:half-open>closed",
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestHealthCallerIgnoresRemoteAndCancelErrors(t *testing.T) {
+	inner := &remoteErrCaller{}
+	hc := NewHealthCaller(inner, BreakerConfig{FailureThreshold: 1})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		hc.Call(ctx, "node-a", Message{})
+	}
+	if got := hc.State("node-a"); got != BreakerClosed {
+		t.Fatalf("remote errors opened the breaker (state %v)", got)
+	}
+
+	cancelled := &cancelErrCaller{}
+	hc2 := NewHealthCaller(cancelled, BreakerConfig{FailureThreshold: 1})
+	for i := 0; i < 5; i++ {
+		hc2.Call(ctx, "node-a", Message{})
+	}
+	if got := hc2.State("node-a"); got != BreakerClosed {
+		t.Fatalf("caller cancellations opened the breaker (state %v)", got)
+	}
+}
+
+type remoteErrCaller struct{}
+
+func (remoteErrCaller) Call(ctx context.Context, addr string, req Message) (Message, error) {
+	return Message{}, &RemoteError{Msg: "outdated"}
+}
+
+type cancelErrCaller struct{}
+
+func (cancelErrCaller) Call(ctx context.Context, addr string, req Message) (Message, error) {
+	return Message{}, context.Canceled
+}
