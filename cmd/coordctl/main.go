@@ -9,11 +9,12 @@
 //	coordctl -servers ... create /path value
 //	coordctl -servers ... set /path value
 //	coordctl -servers ... del /path
-//	coordctl -servers ... ring           # decode and print the assignment
-//	coordctl -servers ... stats [addr]   # member metrics (znode-free path)
+//	coordctl -servers ... ring                   # decode and print the assignment
+//	coordctl -servers ... stats [addr] [--json]  # member metrics (znode-free path)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -112,14 +113,27 @@ func main() {
 		// otherwise whichever member the client prefers answers. Either
 		// way the path reads only soft state and works leaderless.
 		addr := ""
-		if len(args) > 1 {
-			addr = args[1]
+		asJSON := false
+		for _, a := range args[1:] {
+			if a == "-json" || a == "--json" {
+				asJSON = true
+			} else {
+				addr = a
+			}
 		}
-		snap, err := cli.ObsStats(addr)
+		rep, err := cli.ObsStats(addr)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Print(snap.Text())
+		if asJSON {
+			blob, _ := json.Marshal(rep)
+			fmt.Println(string(blob))
+			break
+		}
+		if rep.Node != "" {
+			fmt.Printf("node\t%s\n", rep.Node)
+		}
+		fmt.Print(rep.Snapshot.Text())
 	default:
 		usage()
 	}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"sedna"
+	"sedna/internal/obs"
 )
 
 func usage() {
@@ -88,7 +89,7 @@ func main() {
 		need(args, 3)
 		watch(cli, strings.Split(*servers, ","), args[1], args[2])
 	case "stats":
-		asJSON := len(args) > 1 && args[1] == "-json"
+		asJSON := len(args) > 1 && (args[1] == "-json" || args[1] == "--json")
 		stats(ctx, cli, strings.Split(*servers, ","), asJSON)
 	default:
 		usage()
@@ -120,10 +121,14 @@ func watch(cli *sedna.Client, servers []string, dataset, table string) {
 	}
 }
 
-// stats fetches each node's obs snapshot, prints it, and when several
-// nodes answered also prints the cluster-wide merge.
+// stats fetches each node's obs report, prints it, and when several nodes
+// answered also prints the cluster-wide merge and the distributed traces
+// stitched across every node's spans. With -json each node's obs.Report is
+// printed as one JSON line — the same field names the ops-plane /statsz
+// endpoint serves, because both render the same struct.
 func stats(ctx context.Context, cli *sedna.Client, servers []string, asJSON bool) {
 	var merged sedna.ObsSnapshot
+	var spans []obs.TraceSnapshot
 	answered := 0
 	for _, srv := range servers {
 		ns, err := cli.FetchStats(ctx, srv)
@@ -139,14 +144,22 @@ func stats(ctx context.Context, cli *sedna.Client, servers []string, asJSON bool
 			continue
 		}
 		fmt.Printf("=== node %s ===\n%s", ns.Node, ns.Snapshot.Text())
-		for _, tr := range ns.Traces {
-			fmt.Printf("trace\t%s\n", tr)
+		for _, so := range ns.SlowOps {
+			fmt.Printf("slow\t%s %s vnode=%d outcome=%s tags=%v\n",
+				so.Op, so.Dur, so.VNode, so.Outcome, so.Tags)
 		}
+		spans = append(spans, ns.Traces...)
 	}
 	if answered == 0 {
 		fatal(fmt.Errorf("no node answered"))
 	}
-	if !asJSON && answered > 1 {
+	if asJSON {
+		return
+	}
+	for _, st := range obs.StitchTraces(spans) {
+		fmt.Println(st)
+	}
+	if answered > 1 {
 		fmt.Printf("=== cluster (merged %d nodes) ===\n%s", answered, merged.Text())
 	}
 }

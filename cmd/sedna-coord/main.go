@@ -19,11 +19,13 @@ import (
 	"syscall"
 
 	"sedna"
+	"sedna/internal/opshttp"
 )
 
 func main() {
 	id := flag.Int("id", 0, "this member's index into -members")
 	members := flag.String("members", "127.0.0.1:7000", "comma-separated ensemble addresses")
+	opsAddr := flag.String("ops-addr", "", "ops-plane HTTP listen address (/metrics, /healthz, pprof); empty disables")
 	verbose := flag.Bool("v", false, "verbose logging")
 	flag.Parse()
 
@@ -43,6 +45,14 @@ func main() {
 	srv := sedna.NewCoordServer(cfg)
 	if err := srv.Start(); err != nil {
 		log.Fatalf("sedna-coord: %v", err)
+	}
+	if *opsAddr != "" {
+		ops, err := opshttp.Start(srv.OpsConfig(*opsAddr))
+		if err != nil {
+			log.Fatalf("sedna-coord: ops plane: %v", err)
+		}
+		defer ops.Close()
+		log.Printf("sedna-coord: ops plane on http://%s/metrics", ops.Addr())
 	}
 	log.Printf("sedna-coord: member %d serving on %s", *id, addrs[*id])
 

@@ -18,8 +18,10 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"sedna"
+	"sedna/internal/opshttp"
 	"sedna/internal/persist"
 )
 
@@ -31,6 +33,8 @@ func main() {
 	memMB := flag.Int64("mem", 64, "local store memory limit in MiB")
 	persistMode := flag.String("persist", "none", "persistency strategy: none|periodic|wal|hybrid")
 	dataDir := flag.String("data", "", "persistence directory (required unless -persist none)")
+	opsAddr := flag.String("ops-addr", "", "ops-plane HTTP listen address (/metrics, /healthz, /traces, pprof); empty disables")
+	slowMS := flag.Int64("slow-ms", 0, "slow-op threshold in milliseconds (0 = default 250ms, negative disables)")
 	verbose := flag.Bool("v", false, "verbose logging")
 	flag.Parse()
 
@@ -54,13 +58,14 @@ func main() {
 	}
 
 	cfg := sedna.ServerConfig{
-		Node:         sedna.NodeID(*addr),
-		Transport:    sedna.NewTCPTransport(*addr),
-		CoordServers: strings.Split(*coordList, ","),
-		MemoryLimit:  *memMB << 20,
-		Persist:      sedna.PersistConfig{Dir: *dataDir, Strategy: strategy},
-		Bootstrap:    *bootstrap,
-		VNodes:       *vnodes,
+		Node:            sedna.NodeID(*addr),
+		Transport:       sedna.NewTCPTransport(*addr),
+		CoordServers:    strings.Split(*coordList, ","),
+		MemoryLimit:     *memMB << 20,
+		Persist:         sedna.PersistConfig{Dir: *dataDir, Strategy: strategy},
+		Bootstrap:       *bootstrap,
+		VNodes:          *vnodes,
+		SlowOpThreshold: time.Duration(*slowMS) * time.Millisecond,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
@@ -71,6 +76,14 @@ func main() {
 	}
 	if err := srv.Start(); err != nil {
 		log.Fatalf("sedna-server: start: %v", err)
+	}
+	if *opsAddr != "" {
+		ops, err := opshttp.Start(srv.OpsConfig(*opsAddr))
+		if err != nil {
+			log.Fatalf("sedna-server: ops plane: %v", err)
+		}
+		defer ops.Close()
+		log.Printf("sedna-server: ops plane on http://%s/metrics", ops.Addr())
 	}
 	log.Printf("sedna-server: node %s up (coord %s, persist %s)", *addr, *coordList, *persistMode)
 

@@ -30,6 +30,9 @@ type Point struct {
 	MeanMs float64 `json:"mean_ms,omitempty"`
 	P50Ms  float64 `json:"p50_ms,omitempty"`
 	P99Ms  float64 `json:"p99_ms,omitempty"`
+	// Slow counts the ops of this step that crossed the client's slow-op
+	// threshold — the tail the percentiles summarise, as an absolute count.
+	Slow uint64 `json:"slow_ops,omitempty"`
 }
 
 // Series is one line of a figure.
@@ -38,11 +41,12 @@ type Series struct {
 	Points []Point `json:"points"`
 }
 
-// latencyPoint builds a Point from a step's wall time and the obs
-// histogram delta that covered exactly that step.
-func latencyPoint(ops int, millis float64, h obs.HistSnapshot) Point {
-	p := Point{Ops: ops, Millis: millis}
-	if h.Count > 0 {
+// latencyPoint builds a Point from a step's wall time and the obs snapshot
+// delta that covered exactly that step: hist names the latency histogram,
+// and the step's slow-op count rides along from the obs.slow_ops counter.
+func latencyPoint(ops int, millis float64, delta obs.Snapshot, hist string) Point {
+	p := Point{Ops: ops, Millis: millis, Slow: delta.Counter("obs.slow_ops")}
+	if h := delta.Hist(hist); h.Count > 0 {
 		p.MeanMs = h.Mean() / 1e6
 		p.P50Ms = float64(h.P50()) / 1e6
 		p.P99Ms = float64(h.P99()) / 1e6
@@ -179,7 +183,7 @@ func RunFig7(cfg Fig7Config) ([]Series, error) {
 			}
 		}
 		wall := ms(time.Since(start))
-		out[0].Points = append(out[0].Points, latencyPoint(ops, wall, sreg.Snapshot().Delta(prev).Hist("client.write")))
+		out[0].Points = append(out[0].Points, latencyPoint(ops, wall, sreg.Snapshot().Delta(prev), "client.write"))
 		// Sedna reads.
 		prev = sreg.Snapshot()
 		start = time.Now()
@@ -189,7 +193,7 @@ func RunFig7(cfg Fig7Config) ([]Series, error) {
 			}
 		}
 		wall = ms(time.Since(start))
-		out[1].Points = append(out[1].Points, latencyPoint(ops, wall, sreg.Snapshot().Delta(prev).Hist("client.read")))
+		out[1].Points = append(out[1].Points, latencyPoint(ops, wall, sreg.Snapshot().Delta(prev), "client.read"))
 		// Memcached writes.
 		prev = mreg.Snapshot()
 		start = time.Now()
@@ -199,7 +203,7 @@ func RunFig7(cfg Fig7Config) ([]Series, error) {
 			}
 		}
 		wall = ms(time.Since(start))
-		out[2].Points = append(out[2].Points, latencyPoint(ops, wall, mreg.Snapshot().Delta(prev).Hist("mc.op.set")))
+		out[2].Points = append(out[2].Points, latencyPoint(ops, wall, mreg.Snapshot().Delta(prev), "mc.op.set"))
 		// Memcached reads.
 		prev = mreg.Snapshot()
 		start = time.Now()
@@ -209,7 +213,7 @@ func RunFig7(cfg Fig7Config) ([]Series, error) {
 			}
 		}
 		wall = ms(time.Since(start))
-		out[3].Points = append(out[3].Points, latencyPoint(ops, wall, mreg.Snapshot().Delta(prev).Hist("mc.op.get")))
+		out[3].Points = append(out[3].Points, latencyPoint(ops, wall, mreg.Snapshot().Delta(prev), "mc.op.get"))
 	}
 	return out, nil
 }
@@ -290,7 +294,7 @@ func RunFig8(cfg Fig8Config) ([]Series, error) {
 			}
 		}
 		wall := ms(time.Since(start))
-		out[0].Points = append(out[0].Points, latencyPoint(ops, wall, oneReg.Snapshot().Delta(prev).Hist("client.write")))
+		out[0].Points = append(out[0].Points, latencyPoint(ops, wall, oneReg.Snapshot().Delta(prev), "client.write"))
 		prev = oneReg.Snapshot()
 		start = time.Now()
 		for i := 0; i < ops; i++ {
@@ -299,7 +303,7 @@ func RunFig8(cfg Fig8Config) ([]Series, error) {
 			}
 		}
 		wall = ms(time.Since(start))
-		out[1].Points = append(out[1].Points, latencyPoint(ops, wall, oneReg.Snapshot().Delta(prev).Hist("client.read")))
+		out[1].Points = append(out[1].Points, latencyPoint(ops, wall, oneReg.Snapshot().Delta(prev), "client.read"))
 
 		// Concurrent clients: each writes (then reads) its own key range.
 		// The fleet-wide latency distribution is the merge of the
@@ -310,13 +314,13 @@ func RunFig8(cfg Fig8Config) ([]Series, error) {
 		if err != nil {
 			return nil, err
 		}
-		out[2].Points = append(out[2].Points, latencyPoint(ops, writeMs, mergedSnap(many).Delta(prev).Hist("client.write")))
+		out[2].Points = append(out[2].Points, latencyPoint(ops, writeMs, mergedSnap(many).Delta(prev), "client.write"))
 		prev = mergedSnap(many)
 		readMs, err := runParallel(ctx, many, ops, step, false)
 		if err != nil {
 			return nil, err
 		}
-		out[3].Points = append(out[3].Points, latencyPoint(ops, readMs, mergedSnap(many).Delta(prev).Hist("client.read")))
+		out[3].Points = append(out[3].Points, latencyPoint(ops, readMs, mergedSnap(many).Delta(prev), "client.read"))
 	}
 	return out, nil
 }

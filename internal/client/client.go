@@ -54,6 +54,10 @@ type Config struct {
 	// Obs receives client.* metrics (end-to-end op latency, zero-hop vs
 	// re-routed requests, ring refreshes); nil disables.
 	Obs *obs.Registry
+	// SlowOpThreshold is the end-to-end latency above which client ops are
+	// force-retained in Obs's slow-op log; zero selects 250ms, negative
+	// disables. Ignored when Obs is nil.
+	SlowOpThreshold time.Duration
 }
 
 // Client talks to a Sedna cluster.
@@ -103,6 +107,12 @@ func New(cfg Config) (*Client, error) {
 	health := transport.NewHealthCaller(cfg.Caller, cfg.Breaker)
 	health.Instrument(cfg.Obs)
 	cfg.Caller = health
+	switch {
+	case cfg.SlowOpThreshold == 0:
+		cfg.Obs.SetSlowOpThreshold(250 * time.Millisecond)
+	case cfg.SlowOpThreshold > 0:
+		cfg.Obs.SetSlowOpThreshold(cfg.SlowOpThreshold)
+	}
 	return &Client{
 		cfg:          cfg,
 		health:       health,
@@ -136,21 +146,25 @@ func (c *Client) Delete(ctx context.Context, key kv.Key) error {
 	return c.write(ctx, key, nil, quorum.Latest, true)
 }
 
-func (c *Client) write(ctx context.Context, key kv.Key, value []byte, mode quorum.Mode, deleted bool) error {
+func (c *Client) write(ctx context.Context, key kv.Key, value []byte, mode quorum.Mode, deleted bool) (err error) {
 	start := time.Now()
-	defer func() { c.hWrite.Observe(time.Since(start)) }()
+	if tr := c.cfg.Obs.SampleTrace("client.write"); tr != nil {
+		ctx = obs.WithTrace(ctx, tr)
+		defer tr.Finish(c.cfg.Obs)
+	}
+	defer func() {
+		d := time.Since(start)
+		c.hWrite.Observe(d)
+		c.recordSlow(ctx, "client.write", key, d, err)
+	}()
 	var e wire.Enc
 	e.Str(string(key))
 	e.Bytes(value)
 	e.U8(byte(mode))
 	e.Bool(deleted)
 	e.Str(c.cfg.Source)
-	d, err := c.doKeyed(ctx, key, core.OpCoordWrite, e.B)
-	if err != nil {
-		return err
-	}
-	_ = d
-	return nil
+	_, err = c.doKeyed(ctx, key, core.OpCoordWrite, e.B)
+	return err
 }
 
 // ReadLatest returns the freshest value for key ("no matter it was written
@@ -192,9 +206,17 @@ func (c *Client) ReadAll(ctx context.Context, key kv.Key) ([]Value, error) {
 	return out, nil
 }
 
-func (c *Client) readRow(ctx context.Context, key kv.Key) (*kv.Row, error) {
+func (c *Client) readRow(ctx context.Context, key kv.Key) (row *kv.Row, err error) {
 	start := time.Now()
-	defer func() { c.hRead.Observe(time.Since(start)) }()
+	if tr := c.cfg.Obs.SampleTrace("client.read"); tr != nil {
+		ctx = obs.WithTrace(ctx, tr)
+		defer tr.Finish(c.cfg.Obs)
+	}
+	defer func() {
+		d := time.Since(start)
+		c.hRead.Observe(d)
+		c.recordSlow(ctx, "client.read", key, d, err)
+	}()
 	var e wire.Enc
 	e.Str(string(key))
 	d, err := c.doKeyed(ctx, key, core.OpCoordRead, e.B)
@@ -206,6 +228,35 @@ func (c *Client) readRow(ctx context.Context, key kv.Key) (*kv.Row, error) {
 		return nil, d.Err
 	}
 	return kv.DecodeRow(blob)
+}
+
+// recordSlow force-retains one slow client op in the slow-op log, stamped
+// with the key's vnode under the leased ring (no refresh: a defer must not
+// touch the network).
+func (c *Client) recordSlow(ctx context.Context, op string, key kv.Key, d time.Duration, err error) {
+	if !c.cfg.Obs.IsSlow(d) {
+		return
+	}
+	so := obs.SlowOp{Op: op, Dur: d, VNode: -1, KeyHash: ring.Hash64(key), Outcome: "ok"}
+	switch {
+	case errors.Is(err, core.ErrOutdated):
+		so.Outcome = "outdated"
+	case errors.Is(err, core.ErrNotFound):
+		so.Outcome = "not_found"
+	case err != nil:
+		so.Outcome = "failure"
+	}
+	if tr := obs.FromContext(ctx); tr != nil {
+		so.TraceID = tr.ID
+		so.Stages = tr.Snapshot().Stages
+	}
+	c.mu.Lock()
+	r := c.ringSnap
+	c.mu.Unlock()
+	if r != nil {
+		so.VNode = int32(r.VNodeFor(key))
+	}
+	c.cfg.Obs.RecordSlowOp(so)
 }
 
 // --- routing ---
@@ -265,7 +316,9 @@ func (c *Client) doKeyed(ctx context.Context, key kv.Key, op uint16, body []byte
 			c.nRetries.Inc()
 		}
 		callCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
-		resp, err := c.cfg.Caller.Call(callCtx, addr, transport.Message{Op: op, Body: body})
+		resp, err := c.cfg.Caller.Call(callCtx, addr, transport.Message{
+			Op: op, Body: body, Trace: obs.WireContext(ctx, "client.send"),
+		})
 		cancel()
 		if err != nil {
 			lastErr = err
@@ -394,15 +447,13 @@ func (c *Client) rotate() {
 	c.mu.Unlock()
 }
 
-// NodeStats is one data node's observability report: the full metric
-// snapshot plus any sampled op traces, as served by the OpObsStats RPC.
-type NodeStats struct {
-	Node     string              `json:"node"`
-	Snapshot obs.Snapshot        `json:"snapshot"`
-	Traces   []obs.TraceSnapshot `json:"traces,omitempty"`
-}
+// NodeStats is one data node's observability report — metric snapshot,
+// sampled traces and the slow-op log — as served by the OpObsStats RPC. It
+// is the same obs.Report shape the ops-plane HTTP endpoints serve, so field
+// names agree across every stats surface.
+type NodeStats = obs.Report
 
-// FetchStats pulls the obs snapshot (and sampled traces) from one data
+// FetchStats pulls the obs report (snapshot, traces, slow ops) from one data
 // node. Cluster-wide totals come from merging the per-node snapshots:
 //
 //	total := obs.Snapshot{}

@@ -2,6 +2,7 @@ package coord
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -356,33 +357,46 @@ func (c *Client) Changes(since uint64) (uint64, []string, error) {
 	return zxid, paths, d.err
 }
 
-// ObsStats fetches a member's obs snapshot over the znode-free admin path.
-// An empty addr asks whichever member the client currently prefers;
-// otherwise the named member is dialled directly (per-member debugging).
-func (c *Client) ObsStats(addr string) (obs.Snapshot, error) {
+// ObsStats fetches a member's obs.Report (metric snapshot, traces, slow
+// ops) over the znode-free admin path. An empty addr asks whichever member
+// the client currently prefers; otherwise the named member is dialled
+// directly (per-member debugging).
+func (c *Client) ObsStats(addr string) (obs.Report, error) {
 	if addr == "" {
 		d, err := c.do(context.Background(), OpObsStats, nil)
 		if err != nil {
-			return obs.Snapshot{}, err
+			return obs.Report{}, err
 		}
-		return obs.DecodeSnapshot(d.bytes())
+		return decodeReport(d)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
 	defer cancel()
 	resp, err := c.cfg.Caller.Call(ctx, addr, transport.Message{Op: OpObsStats})
 	if err != nil {
-		return obs.Snapshot{}, err
+		return obs.Report{}, err
 	}
 	d := &dec{b: resp.Body}
 	st := d.u16()
 	detail := d.str()
 	if d.err != nil {
-		return obs.Snapshot{}, d.err
+		return obs.Report{}, d.err
 	}
 	if st != stOK {
-		return obs.Snapshot{}, statusErr(st, detail)
+		return obs.Report{}, statusErr(st, detail)
 	}
-	return obs.DecodeSnapshot(d.bytes())
+	return decodeReport(d)
+}
+
+func decodeReport(d *dec) (obs.Report, error) {
+	blob := d.bytes()
+	if d.err != nil {
+		return obs.Report{}, d.err
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return obs.Report{}, fmt.Errorf("coord: decode report: %w", err)
+	}
+	return rep, nil
 }
 
 // Cursor returns the serving member's applied zxid, the starting point for

@@ -1,0 +1,40 @@
+package coord
+
+import (
+	"sedna/internal/opshttp"
+)
+
+// OpsConfig returns the ops-plane wiring for this ensemble member: metrics
+// come from the member's registry, /healthz reports the lease view (who
+// leads, whether it is this member, the last applied zxid). Ring and
+// imbalance callbacks stay nil — the ensemble stores the layout but does not
+// serve data.
+func (s *Server) OpsConfig(addr string) opshttp.Config {
+	node := s.memberAddr()
+	return opshttp.Config{
+		Addr:   addr,
+		Node:   node,
+		Report: s.obs.Report,
+		Health: func() opshttp.HealthStatus {
+			leader := s.LeaderAddr()
+			return opshttp.HealthStatus{
+				Node: node,
+				// A member with no elected leader cannot serve writes:
+				// surface that as unhealthy so orchestration waits it out.
+				OK:       leader != "",
+				Leader:   leader,
+				IsLeader: s.IsLeader(),
+				Zxid:     s.Zxid(),
+			}
+		},
+		Logf: s.cfg.Logf,
+	}
+}
+
+// memberAddr names this member for the ops plane.
+func (s *Server) memberAddr() string {
+	if s.cfg.ID >= 0 && s.cfg.ID < len(s.cfg.Members) {
+		return s.cfg.Members[s.cfg.ID]
+	}
+	return ""
+}

@@ -2,6 +2,7 @@ package coord
 
 import (
 	"context"
+	"encoding/json"
 	"sync"
 	"time"
 
@@ -89,6 +90,9 @@ func NewServer(cfg ServerConfig) *Server {
 	}
 	if cfg.Obs == nil {
 		cfg.Obs = obs.NewRegistry()
+	}
+	if cfg.ID >= 0 && cfg.ID < len(cfg.Members) {
+		cfg.Obs.SetNode(cfg.Members[cfg.ID])
 	}
 	return &Server{
 		cfg:      cfg,
@@ -548,7 +552,8 @@ func (s *Server) expireSessions() {
 	}
 }
 
-// handleObsStats serves the member's obs snapshot over the admin path. The
+// handleObsStats serves the member's obs.Report over the admin path (the
+// same shape the data nodes and the ops-plane /statsz endpoint serve). The
 // soft-state gauges (sessions, znodes, leadership) are published right
 // before the snapshot so they are always current.
 func (s *Server) handleObsStats(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
@@ -566,6 +571,10 @@ func (s *Server) handleObsStats(ctx context.Context, from string, req transport.
 	var e enc
 	e.u16(stOK)
 	e.str("")
-	e.bytes(s.obs.Snapshot().EncodeJSON())
+	blob, err := json.Marshal(s.obs.Report())
+	if err != nil {
+		blob = []byte("{}")
+	}
+	e.bytes(blob)
 	return transport.Message{Op: OpObsStats, Body: e.b}, nil
 }

@@ -44,6 +44,11 @@ func okHeader() *wire.Enc {
 // payload fields (value, deleted), mode and source; the timestamp is
 // assigned here by the coordinator's clock.
 func (s *Server) handleCoordWrite(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	if tr := s.obs.ContinueTrace(req.Trace); tr != nil {
+		tr.Mark("coord.recv")
+		ctx = obs.WithTrace(ctx, tr)
+		defer tr.Finish(s.obs)
+	}
 	d := wire.NewDec(req.Body)
 	key := kv.Key(d.Str())
 	value := d.Bytes()
@@ -65,6 +70,11 @@ func (s *Server) handleCoordWrite(ctx context.Context, from string, req transpor
 // handleCoordRead serves the client read path; the response carries the
 // merged row.
 func (s *Server) handleCoordRead(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	if tr := s.obs.ContinueTrace(req.Trace); tr != nil {
+		tr.Mark("coord.recv")
+		ctx = obs.WithTrace(ctx, tr)
+		defer tr.Finish(s.obs)
+	}
 	d := wire.NewDec(req.Body)
 	key := kv.Key(d.Str())
 	if d.Err != nil {
@@ -80,6 +90,11 @@ func (s *Server) handleCoordRead(ctx context.Context, from string, req transport
 }
 
 func (s *Server) handleReplicaWrite(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	tr := s.obs.ContinueTrace(req.Trace)
+	if tr != nil {
+		tr.Mark("replica.recv")
+		defer tr.Finish(s.obs)
+	}
 	d := wire.NewDec(req.Body)
 	key := kv.Key(d.Str())
 	v := DecodeVersioned(d)
@@ -89,6 +104,7 @@ func (s *Server) handleReplicaWrite(ctx context.Context, from string, req transp
 	}
 	s.clock.Observe(v.TS)
 	status, err := s.applyReplicaWrite(key, v, mode)
+	tr.Mark("replica.applied")
 	if err != nil {
 		return errorMsg(OpReplicaWrite, err), nil
 	}
@@ -103,12 +119,18 @@ func (s *Server) handleReplicaWrite(ctx context.Context, from string, req transp
 }
 
 func (s *Server) handleReplicaRead(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	tr := s.obs.ContinueTrace(req.Trace)
+	if tr != nil {
+		tr.Mark("replica.recv")
+		defer tr.Finish(s.obs)
+	}
 	d := wire.NewDec(req.Body)
 	key := kv.Key(d.Str())
 	if d.Err != nil {
 		return transport.Message{}, d.Err
 	}
 	row, err := s.readReplicaRow(key)
+	tr.Mark("replica.read")
 	if err != nil {
 		return errorMsg(OpReplicaRead, err), nil
 	}
@@ -118,6 +140,10 @@ func (s *Server) handleReplicaRead(ctx context.Context, from string, req transpo
 }
 
 func (s *Server) handleReplicaRepair(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	if tr := s.obs.ContinueTrace(req.Trace); tr != nil {
+		tr.Mark("replica.recv")
+		defer tr.Finish(s.obs)
+	}
 	d := wire.NewDec(req.Body)
 	key := kv.Key(d.Str())
 	blob := d.Bytes()
@@ -178,23 +204,10 @@ func (s *Server) handleRingGet(ctx context.Context, from string, req transport.M
 	return transport.Message{Op: OpRingGet, Body: e.B}, nil
 }
 
-// obsStatsReply is the OpObsStats body: the full metric snapshot plus the
-// ring of recently sampled traces.
-type obsStatsReply struct {
-	Node     string              `json:"node"`
-	Snapshot obs.Snapshot        `json:"snapshot"`
-	Traces   []obs.TraceSnapshot `json:"traces,omitempty"`
-}
-
-// handleObsStats serves the node's obs snapshot as JSON — the stats surface
-// behind `sedna-cli stats`.
+// handleObsStats serves the node's obs.Report as JSON — the stats surface
+// behind `sedna-cli stats` and the ops-plane /statsz endpoint.
 func (s *Server) handleObsStats(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
-	reply := obsStatsReply{
-		Node:     string(s.cfg.Node),
-		Snapshot: s.ObsSnapshot(),
-		Traces:   s.obs.Traces(),
-	}
-	blob, err := json.Marshal(reply)
+	blob, err := json.Marshal(s.ObsReport())
 	if err != nil {
 		return errorMsg(OpObsStats, err), nil
 	}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sedna/internal/opshttp"
+	"sedna/internal/ring"
+	"sedna/internal/transport"
+)
+
+// OpsConfig returns the ops-plane wiring for this data node: the cmd
+// binaries and tests hand it to opshttp.Start so every embedding shares one
+// set of endpoint semantics. addr is the HTTP listen address.
+func (s *Server) OpsConfig(addr string) opshttp.Config {
+	return opshttp.Config{
+		Addr:   addr,
+		Node:   string(s.cfg.Node),
+		Report: s.ObsReport,
+		Health: s.healthStatus,
+		Ring: func() *ring.Ring {
+			if s.mgr == nil {
+				return nil
+			}
+			return s.mgr.Ring()
+		},
+		Imbalance:  s.localImbalance,
+		VNodeLoads: s.vnodeLoads,
+		Logf:       s.cfg.Logf,
+	}
+}
+
+// healthStatus summarises liveness for /healthz: the node is "ok" while it
+// is serving; open breakers and pending hints are reported so an operator
+// sees a partially dark cluster without grepping logs.
+func (s *Server) healthStatus() opshttp.HealthStatus {
+	h := opshttp.HealthStatus{Node: string(s.cfg.Node), OK: true}
+	s.mu.Lock()
+	if s.closed {
+		h.OK = false
+	}
+	s.mu.Unlock()
+	for addr, st := range s.health.States() {
+		if st != transport.BreakerClosed {
+			if h.Breakers == nil {
+				h.Breakers = map[string]string{}
+			}
+			h.Breakers[addr] = st.String()
+		}
+	}
+	h.HintsPending = s.healer.Pending()
+	h.HintsDropped = s.healer.Dropped()
+	h.SlowOps = s.obs.Counter("obs.slow_ops").Load()
+	return h
+}
+
+// localImbalance folds this node's per-vnode counters into the imbalance
+// table for the current ring (empty before the node joins).
+func (s *Server) localImbalance() []ring.NodeImbalance {
+	if s.mgr == nil {
+		return nil
+	}
+	r := s.mgr.Ring()
+	ls := s.LoadStats()
+	if r == nil || ls == nil {
+		return nil
+	}
+	return ring.Imbalance(r, ls.Snapshot())
+}
+
+// vnodeLoads returns the per-vnode counters (nil before the node joins).
+func (s *Server) vnodeLoads() []ring.VNodeLoad {
+	ls := s.LoadStats()
+	if ls == nil {
+		return nil
+	}
+	return ls.Snapshot()
+}

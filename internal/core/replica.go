@@ -210,7 +210,9 @@ func (rt replicaRPC) WriteReplica(ctx context.Context, node ring.NodeID, key kv.
 	e.Str(string(key))
 	EncodeVersioned(&e, v)
 	e.U8(byte(mode))
-	resp, err := rt.s.health.Call(ctx, string(node), transport.Message{Op: OpReplicaWrite, Body: e.B})
+	resp, err := rt.s.health.Call(ctx, string(node), transport.Message{
+		Op: OpReplicaWrite, Body: e.B, Trace: obs.WireContext(ctx, "rpc.write_replica"),
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -240,7 +242,9 @@ func (rt replicaRPC) ReadReplica(ctx context.Context, node ring.NodeID, key kv.K
 	defer func() { rt.s.hReplicaFanout.Observe(time.Since(start)) }()
 	var e wire.Enc
 	e.Str(string(key))
-	resp, err := rt.s.health.Call(ctx, string(node), transport.Message{Op: OpReplicaRead, Body: e.B})
+	resp, err := rt.s.health.Call(ctx, string(node), transport.Message{
+		Op: OpReplicaRead, Body: e.B, Trace: obs.WireContext(ctx, "rpc.read_replica"),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -265,7 +269,9 @@ func (rt replicaRPC) RepairReplica(ctx context.Context, node ring.NodeID, key kv
 	var e wire.Enc
 	e.Str(string(key))
 	e.Bytes(kv.EncodeRow(row))
-	resp, err := rt.s.health.Call(ctx, string(node), transport.Message{Op: OpReplicaRepair, Body: e.B})
+	resp, err := rt.s.health.Call(ctx, string(node), transport.Message{
+		Op: OpReplicaRepair, Body: e.B, Trace: obs.WireContext(ctx, "rpc.repair_replica"),
+	})
 	if err != nil {
 		return err
 	}
@@ -288,21 +294,35 @@ func (rt replicaRPC) RepairReplica(ctx context.Context, node ring.NodeID, key kv
 func (s *Server) CoordWrite(ctx context.Context, key kv.Key, value []byte, mode quorum.Mode, deleted bool, source string) error {
 	s.nCoordWrites.Inc()
 	start := time.Now()
-	defer func() { s.hCoordWrite.Observe(time.Since(start)) }()
-	if tr := s.obs.SampleTrace("coord_write"); tr != nil {
-		ctx = obs.WithTrace(ctx, tr)
-		defer tr.Finish(s.obs)
+	// Reuse a trace continued from the wire (handler path) before sampling a
+	// fresh one, so one client op stays one distributed trace.
+	tr := obs.FromContext(ctx)
+	if tr == nil {
+		if tr = s.obs.SampleTrace("coord_write"); tr != nil {
+			ctx = obs.WithTrace(ctx, tr)
+			defer tr.Finish(s.obs)
+		}
 	}
+	outcome, failed := "ok", 0
+	defer func() {
+		d := time.Since(start)
+		s.hCoordWrite.Observe(d)
+		if s.obs.IsSlow(d) {
+			s.slowCoordOp("coord_write", tr, key, d, outcome, failed)
+		}
+	}()
 	if source == "" {
 		source = string(s.cfg.Node)
 	}
 	v := kv.Versioned{Value: value, TS: s.clock.Now(), Source: source, Deleted: deleted}
 	replicas := s.replicasFor(key)
 	if len(replicas) == 0 {
+		outcome = "failure"
 		return fmt.Errorf("%w: no replicas for %q", ErrFailure, key)
 	}
 	obs.Mark(ctx, "coord.route")
 	res, err := s.engine.Write(ctx, replicas, key, v, mode)
+	failed = len(res.Failed)
 	// Hinted handoff happens at the engine layer (OnWriteError), which also
 	// catches stragglers that fail after the quorum settled; here we only
 	// report the failures the quorum saw as suspects.
@@ -310,29 +330,76 @@ func (s *Server) CoordWrite(ctx context.Context, key kv.Key, value []byte, mode 
 		s.suspectAll(res.Failed)
 	}
 	if err != nil {
+		outcome = "failure"
 		return fmt.Errorf("%w: %v", ErrFailure, err)
 	}
 	if res.Outdated {
+		outcome = "outdated"
 		return ErrOutdated
 	}
 	return nil
+}
+
+// slowCoordOp force-retains one slow coordinator op with the routing and
+// healing context an operator needs to tell a hot vnode from a dark replica.
+func (s *Server) slowCoordOp(op string, tr *obs.Trace, key kv.Key, d time.Duration, outcome string, failed int) {
+	so := obs.SlowOp{Op: op, Dur: d, VNode: -1, KeyHash: ring.Hash64(key), Outcome: outcome}
+	if tr != nil {
+		so.TraceID = tr.ID
+		so.Stages = tr.Snapshot().Stages
+	}
+	if r := s.mgr.Ring(); r != nil {
+		so.VNode = int32(r.VNodeFor(key))
+	}
+	tags := map[string]string{}
+	if failed > 0 {
+		tags["failed_replicas"] = fmt.Sprint(failed)
+	}
+	open := 0
+	for _, st := range s.health.States() {
+		if st != transport.BreakerClosed {
+			open++
+		}
+	}
+	if open > 0 {
+		tags["breakers_open"] = fmt.Sprint(open)
+	}
+	if p := s.healer.Pending(); p > 0 {
+		tags["hints_pending"] = fmt.Sprint(p)
+	}
+	if len(tags) > 0 {
+		so.Tags = tags
+	}
+	s.obs.RecordSlowOp(so)
 }
 
 // CoordRead coordinates one quorum read and returns the merged row.
 func (s *Server) CoordRead(ctx context.Context, key kv.Key) (*kv.Row, error) {
 	s.nCoordReads.Inc()
 	start := time.Now()
-	defer func() { s.hCoordRead.Observe(time.Since(start)) }()
-	if tr := s.obs.SampleTrace("coord_read"); tr != nil {
-		ctx = obs.WithTrace(ctx, tr)
-		defer tr.Finish(s.obs)
+	tr := obs.FromContext(ctx)
+	if tr == nil {
+		if tr = s.obs.SampleTrace("coord_read"); tr != nil {
+			ctx = obs.WithTrace(ctx, tr)
+			defer tr.Finish(s.obs)
+		}
 	}
+	outcome, failed := "ok", 0
+	defer func() {
+		d := time.Since(start)
+		s.hCoordRead.Observe(d)
+		if s.obs.IsSlow(d) {
+			s.slowCoordOp("coord_read", tr, key, d, outcome, failed)
+		}
+	}()
 	replicas := s.replicasFor(key)
 	if len(replicas) == 0 {
+		outcome = "failure"
 		return nil, fmt.Errorf("%w: no replicas for %q", ErrFailure, key)
 	}
 	obs.Mark(ctx, "coord.route")
 	res, err := s.engine.Read(ctx, replicas, key)
+	failed = len(res.Failed)
 	if len(res.Failed) > 0 {
 		if err == nil && res.Row != nil && len(res.Row.Values) > 0 {
 			// The quorum answered without the failed replicas; queue the
@@ -344,6 +411,7 @@ func (s *Server) CoordRead(ctx context.Context, key kv.Key) (*kv.Row, error) {
 		s.suspectAll(res.Failed)
 	}
 	if err != nil {
+		outcome = "failure"
 		return nil, fmt.Errorf("%w: %v", ErrFailure, err)
 	}
 	return res.Row, nil

@@ -74,6 +74,10 @@ type Config struct {
 	// Obs receives the node's metrics and traces; nil creates a private
 	// registry (reachable via Server.Obs) so instrumentation is always on.
 	Obs *obs.Registry
+	// SlowOpThreshold is the latency above which coordinator ops are
+	// force-retained in the slow-op event log regardless of trace sampling;
+	// zero selects 250ms, negative disables the log.
+	SlowOpThreshold time.Duration
 	// Logf receives diagnostics; nil disables.
 	Logf func(format string, args ...any)
 }
@@ -160,6 +164,13 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Obs == nil {
 		cfg.Obs = obs.NewRegistry()
 	}
+	cfg.Obs.SetNode(string(cfg.Node))
+	switch {
+	case cfg.SlowOpThreshold == 0:
+		cfg.Obs.SetSlowOpThreshold(250 * time.Millisecond)
+	case cfg.SlowOpThreshold > 0:
+		cfg.Obs.SetSlowOpThreshold(cfg.SlowOpThreshold)
+	}
 	s := &Server{
 		cfg:      cfg,
 		store:    memstore.New(memstore.Config{MemoryLimit: cfg.MemoryLimit}),
@@ -233,6 +244,17 @@ func (s *Server) ObsSnapshot() obs.Snapshot {
 		s.trig.PublishObs()
 	}
 	return s.obs.Snapshot()
+}
+
+// ObsReport publishes the point-in-time gauges and captures the node's full
+// stats surface — snapshot, recent traces and the slow-op log — as the one
+// shape every stats consumer renders (OpObsStats, the CLI, the ops plane).
+func (s *Server) ObsReport() obs.Report {
+	s.store.PublishObs(s.obs)
+	if s.trig != nil {
+		s.trig.PublishObs()
+	}
+	return s.obs.Report()
 }
 
 func (s *Server) logf(format string, args ...any) {

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// randHistSnapshot observes n pseudo-random latencies spanning nanoseconds
+// to a minute (roughly log-uniform, so many octaves get buckets) and returns
+// the snapshot. The caller's rng fixes the seed for reproducibility.
+func randHistSnapshot(rng *rand.Rand, n int) HistSnapshot {
+	h := &Histogram{}
+	for i := 0; i < n; i++ {
+		v := rng.Int63n(int64(time.Minute)) >> uint(rng.Intn(32))
+		h.ObserveValue(v)
+	}
+	return h.Snapshot()
+}
+
+// TestHistMergeCommutative checks a.Merge(b) == b.Merge(a) over random
+// snapshots — the property that lets cluster stats fold in arrival order.
+func TestHistMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		a := randHistSnapshot(rng, rng.Intn(300))
+		b := randHistSnapshot(rng, rng.Intn(300))
+		ab, ba := a.Merge(b), b.Merge(a)
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("trial %d: a.Merge(b) != b.Merge(a)\n%+v\n%+v", trial, ab, ba)
+		}
+	}
+}
+
+// TestHistMergeAssociative checks (a∪b)∪c == a∪(b∪c), so a coordinator may
+// pre-merge any subset of node snapshots without changing the result.
+func TestHistMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		a := randHistSnapshot(rng, rng.Intn(200))
+		b := randHistSnapshot(rng, rng.Intn(200))
+		c := randHistSnapshot(rng, rng.Intn(200))
+		left, right := a.Merge(b).Merge(c), a.Merge(b.Merge(c))
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("trial %d: (a∪b)∪c != a∪(b∪c)\n%+v\n%+v", trial, left, right)
+		}
+	}
+}
+
+// TestHistMergeRandomShards merges random per-node shards in two unrelated
+// orders (a random permutation folded left and a right fold) and checks the
+// results are identical, totals are conserved, and quantiles of the merged
+// histogram are monotone in q and bounded by the true max — the invariants
+// /metrics and the bench reports rely on when they aggregate shards.
+func TestHistMergeRandomShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		k := 2 + rng.Intn(7)
+		shards := make([]HistSnapshot, k)
+		var wantCount, wantSum uint64
+		var wantMax int64
+		for i := range shards {
+			shards[i] = randHistSnapshot(rng, rng.Intn(250))
+			wantCount += shards[i].Count
+			wantSum += shards[i].Sum
+			if shards[i].Max > wantMax {
+				wantMax = shards[i].Max
+			}
+		}
+
+		var left HistSnapshot
+		for _, i := range rng.Perm(k) {
+			left = left.Merge(shards[i])
+		}
+		var right HistSnapshot
+		for i := k - 1; i >= 0; i-- {
+			right = shards[i].Merge(right)
+		}
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("trial %d: merge order changed the result\n%+v\n%+v", trial, left, right)
+		}
+		if left.Count != wantCount || left.Sum != wantSum || left.Max != wantMax {
+			t.Fatalf("trial %d: totals not conserved: got count=%d sum=%d max=%d want %d/%d/%d",
+				trial, left.Count, left.Sum, left.Max, wantCount, wantSum, wantMax)
+		}
+
+		prev := int64(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+			v := left.Quantile(q)
+			if v < prev {
+				t.Fatalf("trial %d: quantiles not monotone: q=%g gave %d after %d", trial, q, v, prev)
+			}
+			prev = v
+		}
+		if left.Count > 0 && left.Quantile(1) > left.Max {
+			t.Fatalf("trial %d: Quantile(1)=%d exceeds max %d", trial, left.Quantile(1), left.Max)
+		}
+	}
+}

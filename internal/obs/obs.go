@@ -82,6 +82,10 @@ type Registry struct {
 	sampleMu    sync.Mutex
 	sampleEvery atomic.Uint64
 	sampleSeq   map[string]*uint64
+
+	node          atomic.Pointer[string]
+	slow          slowRing
+	slowThreshold atomic.Int64
 }
 
 // NewRegistry returns an empty registry. Trace sampling defaults to one

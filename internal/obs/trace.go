@@ -3,10 +3,14 @@ package obs
 import (
 	"context"
 	"fmt"
+	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sedna/internal/wire"
 )
 
 // Trace records the stage timeline of one operation as it flows through the
@@ -15,9 +19,24 @@ import (
 // trace stores the offset from the operation's start. Traces ride the
 // context so deep layers need no extra plumbing, and a nil *Trace is a
 // no-op — sampled tracing costs nothing on unsampled operations.
+//
+// A trace that crosses a process boundary keeps its ID: the sender encodes
+// a TraceContext onto the wire frame, the receiver continues it with
+// ContinueTrace, and the per-process spans are later stitched back into one
+// causal timeline by StitchTraces (the CLI and the ops-plane /traces
+// endpoint both do this over the STATS merge path).
 type Trace struct {
-	Op    string
-	Start time.Time
+	Op string
+	// ID names the distributed trace; every span of one operation shares
+	// it, across all processes it touches.
+	ID uint64
+	// Node identifies the process that recorded this span ("" when the
+	// registry has no identity configured).
+	Node string
+	// Parent is the sender-side stage this span forked from ("" at the
+	// trace origin).
+	Parent string
+	Start  time.Time
 
 	mu     sync.Mutex
 	stages []TraceStage
@@ -29,8 +48,25 @@ type TraceStage struct {
 	At   time.Duration `json:"at"`
 }
 
-// NewTrace starts a trace for the named operation.
-func NewTrace(op string) *Trace { return &Trace{Op: op, Start: time.Now()} }
+// traceSeq generates process-unique trace IDs; the random base makes
+// collisions across processes vanishingly unlikely.
+var traceSeq atomic.Uint64
+
+func init() { traceSeq.Store(rand.Uint64() | 1) }
+
+// nextTraceID returns a fresh trace ID (never 0; 0 means "untraced").
+func nextTraceID() uint64 {
+	for {
+		if id := traceSeq.Add(1); id != 0 {
+			return id
+		}
+	}
+}
+
+// NewTrace starts a trace for the named operation with a fresh ID.
+func NewTrace(op string) *Trace {
+	return &Trace{Op: op, ID: nextTraceID(), Start: time.Now()}
+}
 
 // Mark records a stage at the current time.
 func (t *Trace) Mark(stage string) {
@@ -43,8 +79,36 @@ func (t *Trace) Mark(stage string) {
 	t.mu.Unlock()
 }
 
+// Elapsed returns the time since the trace started (0 on nil).
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.Start)
+}
+
+// Snapshot captures the span recorded so far without sealing it.
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TraceSnapshot{
+		ID:     t.ID,
+		Op:     t.Op,
+		Node:   t.Node,
+		Parent: t.Parent,
+		Stages: append([]TraceStage(nil), t.stages...),
+	}
+}
+
 // Finish seals the trace with a terminal "done" stage and files it into the
-// registry's ring of recent traces.
+// registry's ring of recent traces. When the total duration crosses the
+// registry's slow-op threshold the span is also force-retained in the
+// slow-op log, regardless of sampling — unless an op-completion site already
+// recorded this trace id, whose entry carries routing context Finish cannot
+// know (vnode, key hash, outcome).
 func (t *Trace) Finish(r *Registry) {
 	if t == nil {
 		return
@@ -53,22 +117,37 @@ func (t *Trace) Finish(r *Registry) {
 	if r == nil {
 		return
 	}
-	t.mu.Lock()
-	snap := TraceSnapshot{Op: t.Op, Stages: append([]TraceStage(nil), t.stages...)}
-	t.mu.Unlock()
+	snap := t.Snapshot()
 	r.traces.push(snap)
+	if d := t.Elapsed(); r.IsSlow(d) && !r.slow.hasTrace(snap.ID) {
+		r.RecordSlowOp(SlowOp{
+			Op:      snap.Op,
+			Node:    snap.Node,
+			TraceID: snap.ID,
+			Dur:     d,
+			Wall:    time.Now().UnixNano(),
+			VNode:   -1,
+			Stages:  snap.Stages,
+		})
+	}
 }
 
-// TraceSnapshot is one finished trace as exposed by the stats surfaces.
+// TraceSnapshot is one finished span as exposed by the stats surfaces.
 type TraceSnapshot struct {
+	ID     uint64       `json:"id,omitempty"`
 	Op     string       `json:"op"`
+	Node   string       `json:"node,omitempty"`
+	Parent string       `json:"parent,omitempty"`
 	Stages []TraceStage `json:"stages"`
 }
 
-// String renders the timeline as "op: stage@offset → ...".
+// String renders the timeline as "op[node]: stage@offset → ...".
 func (s TraceSnapshot) String() string {
 	var b strings.Builder
 	b.WriteString(s.Op)
+	if s.Node != "" {
+		fmt.Fprintf(&b, "[%s]", s.Node)
+	}
 	b.WriteString(":")
 	for _, st := range s.Stages {
 		fmt.Fprintf(&b, " %s@%s", st.Name, st.At)
@@ -97,6 +176,156 @@ func FromContext(ctx context.Context) *Trace {
 // layers use: obs.Mark(ctx, "quorum.acked").
 func Mark(ctx context.Context, stage string) { FromContext(ctx).Mark(stage) }
 
+// --- cross-process propagation ---
+
+// traceCtxVersion is the current TraceContext wire version. Decoders skip
+// blocks with a version they do not understand, so the field can grow
+// without breaking old peers.
+const traceCtxVersion = 1
+
+// maxTraceCtx bounds one encoded trace-context block (guards frames).
+const maxTraceCtx = 1024
+
+// TraceContext is the wire form of a trace crossing a process boundary:
+// enough for the receiver to open a child span that stitches back to the
+// origin. It rides transport frames as an optional, versioned,
+// length-delimited block (see transport's frame format).
+type TraceContext struct {
+	// ID is the distributed trace ID.
+	ID uint64
+	// Op is the origin operation name.
+	Op string
+	// Stage is the sender-side stage the request departed from.
+	Stage string
+}
+
+// Encode serialises the context (version byte first).
+func (tc TraceContext) Encode() []byte {
+	var e wire.Enc
+	e.U8(traceCtxVersion)
+	e.U64(tc.ID)
+	e.Str(tc.Op)
+	e.Str(tc.Stage)
+	return e.B
+}
+
+// DecodeTraceContext parses an encoded block. It reports ok=false for
+// empty, truncated, oversized or unknown-version blocks — callers treat all
+// of those as "no trace attached".
+func DecodeTraceContext(b []byte) (TraceContext, bool) {
+	if len(b) == 0 || len(b) > maxTraceCtx {
+		return TraceContext{}, false
+	}
+	d := wire.NewDec(b)
+	if v := d.U8(); v != traceCtxVersion {
+		return TraceContext{}, false
+	}
+	tc := TraceContext{ID: d.U64(), Op: d.Str(), Stage: d.Str()}
+	if d.Err != nil || tc.ID == 0 {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// WireContext encodes the context's trace for an outbound request departing
+// from the given stage (nil when ctx carries no trace). The stage is also
+// marked on the local span so sender and receiver timelines interlock.
+func WireContext(ctx context.Context, stage string) []byte {
+	t := FromContext(ctx)
+	if t == nil {
+		return nil
+	}
+	t.Mark(stage)
+	return TraceContext{ID: t.ID, Op: t.Op, Stage: stage}.Encode()
+}
+
+// ContinueTrace opens a child span for an inbound request carrying an
+// encoded trace context. It returns nil when the block is absent or
+// unparseable, so handlers can call it unconditionally. Propagated traces
+// ignore the local sampling period: the origin already decided this op is
+// traced. The caller must Finish the returned span.
+func (r *Registry) ContinueTrace(encoded []byte) *Trace {
+	if r == nil {
+		return nil
+	}
+	tc, ok := DecodeTraceContext(encoded)
+	if !ok {
+		return nil
+	}
+	return &Trace{Op: tc.Op, ID: tc.ID, Node: r.NodeName(), Parent: tc.Stage, Start: time.Now()}
+}
+
+// --- stitching ---
+
+// StitchedTrace reassembles the per-process spans of one distributed trace.
+type StitchedTrace struct {
+	ID uint64 `json:"id"`
+	// Op is the origin operation name.
+	Op string `json:"op"`
+	// Spans holds the per-process timelines, origin first, then children
+	// sorted by node for determinism.
+	Spans []TraceSnapshot `json:"spans"`
+}
+
+// Nodes returns the distinct node names that contributed spans, sorted.
+func (st StitchedTrace) Nodes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, sp := range st.Spans {
+		if !seen[sp.Node] {
+			seen[sp.Node] = true
+			out = append(out, sp.Node)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders every span on its own line, origin first.
+func (st StitchedTrace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %x %s", st.ID, st.Op)
+	for _, sp := range st.Spans {
+		b.WriteString("\n  ")
+		if sp.Parent != "" {
+			fmt.Fprintf(&b, "(from %s) ", sp.Parent)
+		}
+		b.WriteString(sp.String())
+	}
+	return b.String()
+}
+
+// StitchTraces groups spans (typically gathered from every node's stats
+// surface) by trace ID into causal traces. Spans without an ID — pre-trace
+// snapshots or untraced local ops — each form their own group. Within a
+// group the origin span (empty Parent) leads. Output is ordered by ID for
+// determinism.
+func StitchTraces(spans []TraceSnapshot) []StitchedTrace {
+	byID := map[uint64][]TraceSnapshot{}
+	var solo []StitchedTrace
+	for _, sp := range spans {
+		if sp.ID == 0 {
+			solo = append(solo, StitchedTrace{Op: sp.Op, Spans: []TraceSnapshot{sp}})
+			continue
+		}
+		byID[sp.ID] = append(byID[sp.ID], sp)
+	}
+	out := make([]StitchedTrace, 0, len(byID)+len(solo))
+	for id, group := range byID {
+		sort.SliceStable(group, func(i, j int) bool {
+			if (group[i].Parent == "") != (group[j].Parent == "") {
+				return group[i].Parent == ""
+			}
+			return group[i].Node < group[j].Node
+		})
+		out = append(out, StitchedTrace{ID: id, Op: group[0].Op, Spans: group})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return append(out, solo...)
+}
+
+// --- sampling and the trace ring ---
+
 // SampleTrace returns a new trace for one out of every sampleEvery calls
 // per op name (nil otherwise, and always nil on a nil registry). The caller
 // must Finish the returned trace.
@@ -118,7 +347,9 @@ func (r *Registry) SampleTrace(op string) *Trace {
 	if (atomic.AddUint64(seq, 1)-1)%every != 0 {
 		return nil
 	}
-	return NewTrace(op)
+	t := NewTrace(op)
+	t.Node = r.NodeName()
+	return t
 }
 
 // SetTraceSampling adjusts the sampling period (0 disables sampling).

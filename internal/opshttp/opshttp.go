@@ -1,0 +1,329 @@
+// Package opshttp is Sedna's ops plane: a zero-dependency net/http server
+// embedded in sedna-server and sedna-coord (off by default, enabled with
+// --ops-addr) exposing the node's observability surfaces to standard
+// tooling. Endpoints:
+//
+//	/metrics      Prometheus text exposition of the obs snapshot, with
+//	              summary quantiles for latency histograms and per-vnode
+//	              load / per-node imbalance gauges
+//	/healthz      liveness plus breaker and lease state (503 when not ok)
+//	/ring         the node's current assignment view as JSON
+//	/imbalance    the imbalance table (§III-B) as JSON
+//	/traces       recently sampled traces, stitched by trace ID;
+//	              ?slow=1 selects the slow-op event log instead
+//	/statsz       the full obs.Report (same shape as the OpObsStats RPC)
+//	/debug/pprof  the standard Go profiler surface
+//
+// The package depends only on obs and ring, so every process that has a
+// Registry can mount an ops plane; core and coord provide OpsConfig helpers
+// with their wiring.
+package opshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	"sedna/internal/obs"
+	"sedna/internal/ring"
+)
+
+// HealthStatus is the /healthz payload. OK false turns the endpoint into a
+// 503 so load balancers and the CI smoke test need no JSON parsing.
+type HealthStatus struct {
+	Node string `json:"node"`
+	OK   bool   `json:"ok"`
+	// Breakers maps peer address to breaker state for every peer whose
+	// breaker is not closed (an empty map means all peers look healthy).
+	Breakers map[string]string `json:"breakers,omitempty"`
+	// HintsPending and HintsDropped report the failure healer's queues.
+	HintsPending int    `json:"hints_pending,omitempty"`
+	HintsDropped uint64 `json:"hints_dropped,omitempty"`
+	// Leader, IsLeader and Zxid report coordination-ensemble lease state
+	// (coord servers only).
+	Leader   string `json:"leader,omitempty"`
+	IsLeader bool   `json:"is_leader,omitempty"`
+	Zxid     uint64 `json:"zxid,omitempty"`
+	// SlowOps is the lifetime count of force-retained slow operations.
+	SlowOps uint64 `json:"slow_ops,omitempty"`
+}
+
+// Config wires one ops-plane server. Every callback is optional: a missing
+// one turns its endpoint into an empty-but-valid response, so the same
+// server mounts on data nodes, coord members and test harnesses alike.
+type Config struct {
+	// Addr is the listen address; ":0" picks a free port (tests).
+	Addr string
+	// Node names the process in /metrics and /healthz.
+	Node string
+	// Report returns the full stats surface (snapshot, traces, slow ops).
+	Report func() obs.Report
+	// Health returns the /healthz payload.
+	Health func() HealthStatus
+	// Ring returns the current assignment view (nil when not joined yet).
+	Ring func() *ring.Ring
+	// Imbalance returns the imbalance table rows.
+	Imbalance func() []ring.NodeImbalance
+	// VNodeLoads returns the per-vnode load counters.
+	VNodeLoads func() []ring.VNodeLoad
+	// Logf receives diagnostics; nil disables.
+	Logf func(format string, args ...any)
+}
+
+// Server is a running ops plane.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on cfg.Addr and serves the ops endpoints in the background.
+func Start(cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("opshttp: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{cfg: cfg, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/ring", s.handleRing)
+	mux.HandleFunc("/imbalance", s.handleImbalance)
+	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed && cfg.Logf != nil {
+			cfg.Logf("opshttp: serve: %v", err)
+		}
+	}()
+	if cfg.Logf != nil {
+		cfg.Logf("opshttp: serving on %s", ln.Addr())
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolves ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) report() obs.Report {
+	if s.cfg.Report == nil {
+		return obs.Report{Node: s.cfg.Node}
+	}
+	return s.cfg.Report()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := HealthStatus{Node: s.cfg.Node, OK: true}
+	if s.cfg.Health != nil {
+		h = s.cfg.Health()
+	}
+	status := http.StatusOK
+	if !h.OK {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.report())
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	rep := s.report()
+	if r.URL.Query().Get("slow") != "" {
+		slow := rep.SlowOps
+		if slow == nil {
+			slow = []obs.SlowOp{}
+		}
+		writeJSON(w, http.StatusOK, slow)
+		return
+	}
+	stitched := obs.StitchTraces(rep.Traces)
+	if stitched == nil {
+		stitched = []obs.StitchedTrace{}
+	}
+	writeJSON(w, http.StatusOK, stitched)
+}
+
+// ringView is the /ring JSON shape: one row per vnode with its owner list.
+type ringView struct {
+	Version uint64     `json:"version"`
+	Nodes   []string   `json:"nodes"`
+	VNodes  [][]string `json:"vnodes"`
+}
+
+func (s *Server) handleRing(w http.ResponseWriter, r *http.Request) {
+	var rg *ring.Ring
+	if s.cfg.Ring != nil {
+		rg = s.cfg.Ring()
+	}
+	if rg == nil {
+		writeJSON(w, http.StatusOK, ringView{Nodes: []string{}, VNodes: [][]string{}})
+		return
+	}
+	view := ringView{Version: rg.Version()}
+	for _, n := range rg.Nodes() {
+		view.Nodes = append(view.Nodes, string(n))
+	}
+	for v := 0; v < rg.NumVNodes(); v++ {
+		owners := rg.Owners(ring.VNodeID(v))
+		row := make([]string, len(owners))
+		for i, o := range owners {
+			row[i] = string(o)
+		}
+		view.VNodes = append(view.VNodes, row)
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// imbalanceRow is the /imbalance JSON shape (stable lowercase field names).
+type imbalanceRow struct {
+	Node   string  `json:"node"`
+	Load   float64 `json:"load"`
+	Share  float64 `json:"share"`
+	Ratio  float64 `json:"ratio"`
+	VNodes int     `json:"vnodes"`
+}
+
+func (s *Server) handleImbalance(w http.ResponseWriter, r *http.Request) {
+	rows := []imbalanceRow{}
+	if s.cfg.Imbalance != nil {
+		for _, e := range s.cfg.Imbalance() {
+			rows = append(rows, imbalanceRow{
+				Node: string(e.Node), Load: e.Load, Share: e.Share,
+				Ratio: e.Ratio, VNodes: e.VNodes,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, rows)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rep := s.report()
+	var loads []ring.VNodeLoad
+	if s.cfg.VNodeLoads != nil {
+		loads = s.cfg.VNodeLoads()
+	}
+	var imb []ring.NodeImbalance
+	if s.cfg.Imbalance != nil {
+		imb = s.cfg.Imbalance()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	WriteMetrics(&b, rep.Snapshot, loads, imb)
+	w.Write([]byte(b.String()))
+}
+
+// sanitizeMetric maps an obs metric name onto the Prometheus name charset
+// ([a-zA-Z_:][a-zA-Z0-9_:]*) and prefixes the sedna namespace.
+func sanitizeMetric(name string) string {
+	var b strings.Builder
+	b.WriteString("sedna_")
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteMetrics renders one obs snapshot (plus optional per-vnode loads and
+// imbalance rows) in the Prometheus text exposition format: counters and
+// gauges verbatim, histograms as summaries with 0.5/0.9/0.99 quantiles in
+// seconds. Exposed for tests and the CLI.
+func WriteMetrics(b *strings.Builder, snap obs.Snapshot, loads []ring.VNodeLoad, imb []ring.NodeImbalance) {
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := sanitizeMetric(n)
+		fmt.Fprintf(b, "# TYPE %s counter\n%s %d\n", m, m, snap.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := sanitizeMetric(n)
+		fmt.Fprintf(b, "# TYPE %s gauge\n%s %d\n", m, m, snap.Gauges[n])
+	}
+
+	names = names[:0]
+	for n := range snap.Hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Hists[n]
+		if h.Count == 0 {
+			continue
+		}
+		m := sanitizeMetric(n)
+		fmt.Fprintf(b, "# TYPE %s summary\n", m)
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			fmt.Fprintf(b, "%s{quantile=%q} %g\n", m, fmt.Sprint(q), float64(h.Quantile(q))/1e9)
+		}
+		fmt.Fprintf(b, "%s_sum %g\n", m, float64(h.Sum)/1e9)
+		fmt.Fprintf(b, "%s_count %d\n", m, h.Count)
+	}
+
+	wroteVNode := false
+	for _, l := range loads {
+		if l.Reads == 0 && l.Writes == 0 && l.Items == 0 && l.Bytes == 0 {
+			continue // keep the exposition compact on mostly idle rings
+		}
+		if !wroteVNode {
+			b.WriteString("# TYPE sedna_vnode_reads gauge\n")
+			b.WriteString("# TYPE sedna_vnode_writes gauge\n")
+			b.WriteString("# TYPE sedna_vnode_items gauge\n")
+			b.WriteString("# TYPE sedna_vnode_bytes gauge\n")
+			wroteVNode = true
+		}
+		fmt.Fprintf(b, "sedna_vnode_reads{vnode=\"%d\"} %d\n", l.VNode, l.Reads)
+		fmt.Fprintf(b, "sedna_vnode_writes{vnode=\"%d\"} %d\n", l.VNode, l.Writes)
+		fmt.Fprintf(b, "sedna_vnode_items{vnode=\"%d\"} %d\n", l.VNode, l.Items)
+		fmt.Fprintf(b, "sedna_vnode_bytes{vnode=\"%d\"} %d\n", l.VNode, l.Bytes)
+	}
+
+	if len(imb) > 0 {
+		b.WriteString("# TYPE sedna_node_load gauge\n")
+		b.WriteString("# TYPE sedna_node_share gauge\n")
+		b.WriteString("# TYPE sedna_node_imbalance_ratio gauge\n")
+		b.WriteString("# TYPE sedna_node_primary_vnodes gauge\n")
+		for _, e := range imb {
+			fmt.Fprintf(b, "sedna_node_load{node=%q} %g\n", string(e.Node), e.Load)
+			fmt.Fprintf(b, "sedna_node_share{node=%q} %g\n", string(e.Node), e.Share)
+			fmt.Fprintf(b, "sedna_node_imbalance_ratio{node=%q} %g\n", string(e.Node), e.Ratio)
+			fmt.Fprintf(b, "sedna_node_primary_vnodes{node=%q} %d\n", string(e.Node), e.VNodes)
+		}
+	}
+}

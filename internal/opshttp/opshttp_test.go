@@ -1,0 +1,303 @@
+package opshttp_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sedna/internal/bench"
+	"sedna/internal/kv"
+	"sedna/internal/obs"
+	"sedna/internal/opshttp"
+)
+
+// --- minimal Prometheus text-format checker -------------------------------
+
+var (
+	promTypeRe = regexp.MustCompile(
+		`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|summary|histogram|untyped)$`)
+	promSampleRe = regexp.MustCompile(
+		`^([a-zA-Z_:][a-zA-Z0-9_:]*)` + // metric name
+			`(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?` + // labels
+			` (\S+)$`) // value
+)
+
+// checkPromExposition validates an exposition against a minimal reading of
+// the Prometheus text format: every sample line must parse, its value must
+// be a float, and its metric (or its summary's _sum/_count companion) must
+// have been announced by a preceding # TYPE line.
+func checkPromExposition(t *testing.T, text string) {
+	t.Helper()
+	if strings.TrimSpace(text) == "" {
+		t.Fatal("empty metrics exposition")
+	}
+	typed := map[string]bool{}
+	samples := 0
+	for i, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if m := promTypeRe.FindStringSubmatch(line); m != nil {
+			typed[m[1]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP or comment
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("metrics line %d unparseable: %q", i+1, line)
+		}
+		if _, err := strconv.ParseFloat(m[3], 64); err != nil {
+			t.Fatalf("metrics line %d: bad value %q: %v", i+1, m[3], err)
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(m[1], "_count"), "_sum")
+		if !typed[m[1]] && !typed[base] {
+			t.Fatalf("metrics line %d: sample %q has no preceding # TYPE", i+1, m[1])
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Fatal("metrics exposition contains no samples")
+	}
+}
+
+func mustGet(t *testing.T, url string, want int) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	if resp.StatusCode != want {
+		t.Fatalf("GET %s: status %d (want %d), body %s", url, resp.StatusCode, want, b)
+	}
+	if len(strings.TrimSpace(string(b))) == 0 {
+		t.Fatalf("GET %s: empty body", url)
+	}
+	return string(b)
+}
+
+// --- unit coverage of the renderer and health mapping ---------------------
+
+func TestWriteMetricsSanitizesNames(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("core.coord-write").Add(2)
+	r.Gauge("mem.bytes").Set(7)
+	h := r.Histogram("lat.op")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	var b strings.Builder
+	opshttp.WriteMetrics(&b, r.Snapshot(), nil, nil)
+	out := b.String()
+	checkPromExposition(t, out)
+	for _, want := range []string{
+		"sedna_core_coord_write 2",
+		"sedna_mem_bytes 7",
+		`sedna_lat_op{quantile="0.5"}`,
+		"sedna_lat_op_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHealthzMapsNotOKTo503(t *testing.T) {
+	s, err := opshttp.Start(opshttp.Config{
+		Addr:   "127.0.0.1:0",
+		Health: func() opshttp.HealthStatus { return opshttp.HealthStatus{Node: "sick", OK: false} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	body := mustGet(t, "http://"+s.Addr()+"/healthz", http.StatusServiceUnavailable)
+	var h opshttp.HealthStatus
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz JSON: %v", err)
+	}
+	if h.Node != "sick" || h.OK {
+		t.Fatalf("healthz = %+v", h)
+	}
+}
+
+// --- end-to-end over the simulated network --------------------------------
+
+// TestOpsPlaneEndToEnd boots a 3-node cluster, performs one fully sampled
+// client write, and asserts the ISSUE's acceptance criteria: the write
+// yields exactly one causally-stitched distributed trace with spans from the
+// client, the coordinator's quorum engine and at least two replica servers;
+// the ops-plane endpoints answer with valid payloads; and the slow-op log
+// force-retained the op.
+func TestOpsPlaneEndToEnd(t *testing.T) {
+	cl, err := bench.NewCluster(bench.ClusterConfig{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.WaitConverged(3, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	cli, reg, err := cl.ClientWithObs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.SetNode("client-0")
+	reg.SetTraceSampling(1)                 // trace every op
+	reg.SetSlowOpThreshold(time.Nanosecond) // every op is "slow": exercises the event log
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cli.WriteLatest(ctx, kv.Key("ds/tb/trace-key"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The write returns after W=2 acks, so the straggler replica span can
+	// land after the call: poll the cluster-wide span set until the stitched
+	// trace is complete.
+	var stitched obs.StitchedTrace
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		spans := append([]obs.TraceSnapshot(nil), reg.Traces()...)
+		for _, srv := range cl.Servers {
+			spans = append(spans, srv.ObsReport().Traces...)
+		}
+		var found bool
+		for _, st := range obs.StitchTraces(spans) {
+			if st.Op == "client.write" && traceComplete(st) {
+				stitched, found = st, true
+				break
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no complete stitched trace; spans:\n%v", obs.StitchTraces(spans))
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if stitched.ID == 0 {
+		t.Fatal("stitched trace has no ID")
+	}
+	if got := stitched.Nodes(); len(got) < 3 { // client + coordinator + ≥1 more replica
+		t.Fatalf("trace spans only nodes %v", got)
+	}
+
+	// Ops plane on a data node.
+	ops, err := opshttp.Start(cl.Servers[0].OpsConfig("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ops.Close()
+	base := "http://" + ops.Addr()
+
+	metrics := mustGet(t, base+"/metrics", http.StatusOK)
+	checkPromExposition(t, metrics)
+	if !strings.Contains(metrics, "sedna_") {
+		t.Fatal("/metrics carries no sedna_ metrics")
+	}
+
+	var h opshttp.HealthStatus
+	if err := json.Unmarshal([]byte(mustGet(t, base+"/healthz", http.StatusOK)), &h); err != nil {
+		t.Fatalf("healthz JSON: %v", err)
+	}
+	if h.Node != "sedna-0" || !h.OK {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	var rv struct {
+		Version uint64     `json:"version"`
+		Nodes   []string   `json:"nodes"`
+		VNodes  [][]string `json:"vnodes"`
+	}
+	if err := json.Unmarshal([]byte(mustGet(t, base+"/ring", http.StatusOK)), &rv); err != nil {
+		t.Fatalf("ring JSON: %v", err)
+	}
+	if len(rv.Nodes) != 3 || len(rv.VNodes) == 0 {
+		t.Fatalf("ring view = %+v", rv)
+	}
+
+	var imb []map[string]any
+	if err := json.Unmarshal([]byte(mustGet(t, base+"/imbalance", http.StatusOK)), &imb); err != nil {
+		t.Fatalf("imbalance JSON: %v", err)
+	}
+
+	var stitchedRemote []obs.StitchedTrace
+	if err := json.Unmarshal([]byte(mustGet(t, base+"/traces", http.StatusOK)), &stitchedRemote); err != nil {
+		t.Fatalf("traces JSON: %v", err)
+	}
+
+	var rep obs.Report
+	if err := json.Unmarshal([]byte(mustGet(t, base+"/statsz", http.StatusOK)), &rep); err != nil {
+		t.Fatalf("statsz JSON: %v", err)
+	}
+	if rep.Node != "sedna-0" {
+		t.Fatalf("statsz node = %q", rep.Node)
+	}
+
+	mustGet(t, base+"/debug/pprof/cmdline", http.StatusOK)
+
+	// The generic Config mounts on any registry: serve the client's obs and
+	// read its slow-op log (force-retained because of the 1ns threshold).
+	cops, err := opshttp.Start(opshttp.Config{Addr: "127.0.0.1:0", Node: "client-0", Report: reg.Report})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cops.Close()
+	var slows []obs.SlowOp
+	if err := json.Unmarshal([]byte(mustGet(t, "http://"+cops.Addr()+"/traces?slow=1", http.StatusOK)), &slows); err != nil {
+		t.Fatalf("slow-op JSON: %v", err)
+	}
+	var slow *obs.SlowOp
+	for i := range slows {
+		if slows[i].Op == "client.write" {
+			slow = &slows[i]
+		}
+	}
+	if slow == nil {
+		t.Fatalf("slow-op log missing the write: %+v", slows)
+	}
+	if slow.TraceID != stitched.ID {
+		t.Fatalf("slow op trace id %x != stitched id %x", slow.TraceID, stitched.ID)
+	}
+	if slow.VNode < 0 || slow.KeyHash == 0 {
+		t.Fatalf("slow op lost routing context: %+v", slow)
+	}
+}
+
+// traceComplete reports whether a stitched trace shows the full causal path
+// of one client write: an origin span that departed via client.send, a
+// coordinator span that went through the quorum engine, and replica spans on
+// at least two distinct nodes.
+func traceComplete(st obs.StitchedTrace) bool {
+	var origin, quorum bool
+	replicas := map[string]bool{}
+	for _, sp := range st.Spans {
+		for _, stg := range sp.Stages {
+			if sp.Parent == "" && stg.Name == "client.send" {
+				origin = true
+			}
+			if strings.HasPrefix(stg.Name, "quorum.") {
+				quorum = true
+			}
+		}
+		if sp.Parent == "rpc.write_replica" && sp.Node != "" {
+			replicas[sp.Node] = true
+		}
+	}
+	return origin && quorum && len(replicas) >= 2
+}

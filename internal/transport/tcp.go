@@ -17,8 +17,15 @@ import (
 //	u32 frame length (bytes after this field)
 //	u64 request id (echoed in the response)
 //	u16 opcode
-//	u8  kind: 0 request, 1 response, 2 error response
+//	u8  kind: 0 request, 1 response, 2 error response;
+//	    bit 7 (0x80) flags an extension block before the body
+//	[u32 extension length, extension bytes]   — only when bit 7 is set
 //	...  body (error responses carry the error string)
+//
+// The only extension today is the encoded obs.TraceContext that carries a
+// sampled op's trace across nodes; the block itself starts with a version
+// byte, so receivers skip contents they do not understand while still
+// framing the message correctly.
 //
 // Multiple requests are pipelined over one connection; a per-connection
 // reader goroutine demultiplexes responses by id.
@@ -28,9 +35,16 @@ const (
 	kindResponse = 1
 	kindError    = 2
 
+	// kindExtFlag marks a frame carrying a length-delimited extension
+	// block (trace context) between header and body.
+	kindExtFlag = 0x80
+	kindMask    = 0x7f
+
 	frameHeaderLen = 8 + 2 + 1
 	// maxFrame guards against corrupt length prefixes.
 	maxFrame = 64 << 20
+	// maxExt bounds one extension block.
+	maxExt = 4096
 )
 
 // TCPTransport carries Messages over real TCP sockets. Create one per
@@ -180,7 +194,7 @@ func (t *TCPTransport) serveConn(conn net.Conn, h Handler) {
 	var writeMu sync.Mutex
 	from := conn.RemoteAddr().String()
 	for {
-		id, op, kind, body, err := readFrame(conn)
+		id, op, kind, ext, body, err := readFrame(conn)
 		if err != nil {
 			return
 		}
@@ -189,18 +203,18 @@ func (t *TCPTransport) serveConn(conn net.Conn, h Handler) {
 			return // protocol violation
 		}
 		go func() {
-			resp, herr := h(context.Background(), from, Message{Op: op, Body: body})
+			resp, herr := h(context.Background(), from, Message{Op: op, Body: body, Trace: ext})
 			m := t.metrics.Load()
 			writeMu.Lock()
 			defer writeMu.Unlock()
 			if herr != nil {
 				errBody := []byte(herr.Error())
 				m.frameOut(len(errBody))
-				writeFrame(conn, id, op, kindError, errBody)
+				writeFrame(conn, id, op, kindError, nil, errBody)
 				return
 			}
 			m.frameOut(len(resp.Body))
-			writeFrame(conn, id, resp.Op, kindResponse, resp.Body)
+			writeFrame(conn, id, resp.Op, kindResponse, nil, resp.Body)
 		}()
 	}
 }
@@ -332,7 +346,7 @@ func (cc *tcpClientConn) call(ctx context.Context, req Message) (Message, error)
 
 	m.frameOut(len(req.Body))
 	cc.writeMu.Lock()
-	err := writeFrame(cc.conn, id, req.Op, kindRequest, req.Body)
+	err := writeFrame(cc.conn, id, req.Op, kindRequest, req.Trace, req.Body)
 	cc.writeMu.Unlock()
 	if err != nil {
 		cc.close(fmt.Errorf("%w: %v", ErrUnreachable, err))
@@ -351,7 +365,7 @@ func (cc *tcpClientConn) call(ctx context.Context, req Message) (Message, error)
 
 func (cc *tcpClientConn) readLoop() {
 	for {
-		id, op, kind, body, err := readFrame(cc.conn)
+		id, op, kind, _, body, err := readFrame(cc.conn)
 		if err != nil {
 			cc.close(fmt.Errorf("%w: %v", ErrUnreachable, err))
 			return
@@ -391,18 +405,34 @@ func (cc *tcpClientConn) close(err error) {
 	}
 }
 
-func writeFrame(conn net.Conn, id uint64, op uint16, kind byte, body []byte) error {
-	frame := make([]byte, 4+frameHeaderLen+len(body))
-	binary.LittleEndian.PutUint32(frame, uint32(frameHeaderLen+len(body)))
+func writeFrame(conn net.Conn, id uint64, op uint16, kind byte, ext, body []byte) error {
+	if len(ext) > maxExt {
+		// Never corrupt the stream over an oversized extension; the trace
+		// is advisory, the request is not.
+		ext = nil
+	}
+	extLen := 0
+	if len(ext) > 0 {
+		kind |= kindExtFlag
+		extLen = 4 + len(ext)
+	}
+	frame := make([]byte, 4+frameHeaderLen+extLen+len(body))
+	binary.LittleEndian.PutUint32(frame, uint32(frameHeaderLen+extLen+len(body)))
 	binary.LittleEndian.PutUint64(frame[4:], id)
 	binary.LittleEndian.PutUint16(frame[12:], op)
 	frame[14] = kind
-	copy(frame[15:], body)
+	off := 15
+	if extLen > 0 {
+		binary.LittleEndian.PutUint32(frame[off:], uint32(len(ext)))
+		copy(frame[off+4:], ext)
+		off += extLen
+	}
+	copy(frame[off:], body)
 	_, err := conn.Write(frame)
 	return err
 }
 
-func readFrame(conn net.Conn) (id uint64, op uint16, kind byte, body []byte, err error) {
+func readFrame(conn net.Conn) (id uint64, op uint16, kind byte, ext, body []byte, err error) {
 	var lenBuf [4]byte
 	if err = readFull(conn, lenBuf[:]); err != nil {
 		return
@@ -419,6 +449,21 @@ func readFrame(conn net.Conn) (id uint64, op uint16, kind byte, body []byte, err
 	id = binary.LittleEndian.Uint64(buf)
 	op = binary.LittleEndian.Uint16(buf[8:])
 	kind = buf[10]
-	body = buf[frameHeaderLen:]
+	rest := buf[frameHeaderLen:]
+	if kind&kindExtFlag != 0 {
+		kind &= kindMask
+		if len(rest) < 4 {
+			err = fmt.Errorf("transport: truncated extension block")
+			return
+		}
+		en := binary.LittleEndian.Uint32(rest)
+		if en > maxExt || int(en) > len(rest)-4 {
+			err = fmt.Errorf("transport: bad extension length %d", en)
+			return
+		}
+		ext = rest[4 : 4+en]
+		rest = rest[4+en:]
+	}
+	body = rest
 	return
 }

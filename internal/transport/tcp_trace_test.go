@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+)
+
+// frameRoundTrip writes one frame into a pipe and reads it back.
+func frameRoundTrip(t *testing.T, ext, body []byte) (byte, []byte, []byte) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	errCh := make(chan error, 1)
+	go func() { errCh <- writeFrame(c1, 7, 0x0301, kindRequest, ext, body) }()
+	id, op, kind, gotExt, gotBody, err := readFrame(c2)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if werr := <-errCh; werr != nil {
+		t.Fatalf("writeFrame: %v", werr)
+	}
+	if id != 7 || op != 0x0301 {
+		t.Fatalf("header mismatch: id=%d op=%#x", id, op)
+	}
+	return kind, gotExt, gotBody
+}
+
+// TestFrameExtensionRoundTrip checks the trace-context extension block
+// survives framing: the receiver sees the masked kind, the ext bytes and
+// the untouched body.
+func TestFrameExtensionRoundTrip(t *testing.T) {
+	ext := []byte{1, 0xde, 0xad, 0xbe, 0xef}
+	body := []byte("payload")
+	kind, gotExt, gotBody := frameRoundTrip(t, ext, body)
+	if kind != kindRequest {
+		t.Fatalf("kind = %d, want masked kindRequest", kind)
+	}
+	if !bytes.Equal(gotExt, ext) {
+		t.Fatalf("ext = %x, want %x", gotExt, ext)
+	}
+	if !bytes.Equal(gotBody, body) {
+		t.Fatalf("body = %q, want %q", gotBody, body)
+	}
+}
+
+// TestFrameWithoutExtension checks the pre-extension wire format is still
+// produced (no flag bit, no length prefix) when no trace is attached — old
+// peers keep parsing frames from new senders.
+func TestFrameWithoutExtension(t *testing.T) {
+	kind, gotExt, gotBody := frameRoundTrip(t, nil, []byte("plain"))
+	if kind != kindRequest {
+		t.Fatalf("kind = %d", kind)
+	}
+	if gotExt != nil {
+		t.Fatalf("unexpected ext %x", gotExt)
+	}
+	if string(gotBody) != "plain" {
+		t.Fatalf("body = %q", gotBody)
+	}
+}
+
+// TestFrameOversizedExtensionDropped checks an ext beyond maxExt is silently
+// dropped rather than corrupting the stream: the trace is advisory, the
+// request is not.
+func TestFrameOversizedExtensionDropped(t *testing.T) {
+	kind, gotExt, gotBody := frameRoundTrip(t, make([]byte, maxExt+1), []byte("kept"))
+	if kind != kindRequest {
+		t.Fatalf("kind = %d (flag must not be set when the ext is dropped)", kind)
+	}
+	if gotExt != nil {
+		t.Fatalf("oversized ext delivered: %d bytes", len(gotExt))
+	}
+	if string(gotBody) != "kept" {
+		t.Fatalf("body = %q", gotBody)
+	}
+}
+
+// TestFrameBadExtensionLength hand-crafts a frame whose flag claims an
+// extension longer than the frame and checks the reader rejects it instead
+// of mis-slicing the body.
+func TestFrameBadExtensionLength(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	frame := make([]byte, 4+frameHeaderLen+4)
+	binary.LittleEndian.PutUint32(frame, uint32(frameHeaderLen+4))
+	binary.LittleEndian.PutUint64(frame[4:], 1)
+	binary.LittleEndian.PutUint16(frame[12:], 0x01)
+	frame[14] = kindRequest | kindExtFlag
+	binary.LittleEndian.PutUint32(frame[15:], 9999)
+	go c1.Write(frame)
+	if _, _, _, _, _, err := readFrame(c2); err == nil {
+		t.Fatal("readFrame accepted an extension longer than the frame")
+	}
+}
+
+// TestTCPTraceDelivery runs the extension end to end over real sockets: a
+// request's Trace bytes reach the handler's Message, and responses carry
+// none back.
+func TestTCPTraceDelivery(t *testing.T) {
+	srv := NewTCP("127.0.0.1:0")
+	got := make(chan []byte, 2)
+	if err := srv.Serve(func(ctx context.Context, from string, m Message) (Message, error) {
+		got <- append([]byte(nil), m.Trace...)
+		return Message{Op: m.Op, Body: m.Body}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli := NewTCP("")
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	trace := []byte{1, 9, 9, 9}
+	resp, err := cli.Call(ctx, srv.Addr(), Message{Op: 9, Body: []byte("b"), Trace: trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "b" || resp.Trace != nil {
+		t.Fatalf("resp = %+v (responses must not carry a trace)", resp)
+	}
+	if ext := <-got; !bytes.Equal(ext, trace) {
+		t.Fatalf("handler saw ext %x, want %x", ext, trace)
+	}
+
+	// Untraced requests still deliver, with no ext at all.
+	if _, err := cli.Call(ctx, srv.Addr(), Message{Op: 9, Body: []byte("c")}); err != nil {
+		t.Fatal(err)
+	}
+	if ext := <-got; len(ext) != 0 {
+		t.Fatalf("untraced call delivered ext %x", ext)
+	}
+}

@@ -19,6 +19,12 @@ import (
 type Message struct {
 	Op   uint16
 	Body []byte
+	// Trace is an optional encoded obs.TraceContext riding the request so
+	// a sampled op's trace survives process boundaries. Transports carry it
+	// opaquely: the simulated network passes the field through in memory,
+	// TCP frames it as a versioned, length-delimited extension block (see
+	// tcp.go). Empty on untraced requests and on all responses.
+	Trace []byte
 }
 
 // Handler processes one request and returns the response. from identifies
