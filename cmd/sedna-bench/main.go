@@ -10,6 +10,7 @@
 //	sedna-bench -fig ablations       # E4: quorum / flow control / vnodes
 //	sedna-bench -fig coord           # E5: lease cache & adaptation
 //	sedna-bench -fig pipeline        # E6: §V crawl-to-searchable latency
+//	sedna-bench -fig batch           # E7: MGet/MSet vs per-key loops
 //	sedna-bench -fig all
 //
 // -scale shrinks the sweep for quick runs (1.0 = the paper's 10k..60k).
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which artifact to regenerate: 7a|7b|8|ablations|coord|all")
+	fig := flag.String("fig", "all", "which artifact to regenerate: 7a|7b|8|ablations|coord|pipeline|batch|all")
 	scale := flag.Float64("scale", 0.1, "sweep scale relative to the paper's 10k..60k ops")
 	nodes := flag.Int("nodes", 9, "cluster size (the paper uses 9)")
 	seed := flag.Int64("seed", 42, "simulation seed")
@@ -41,7 +42,7 @@ func main() {
 	steps := opsSteps(*scale)
 	run := map[string]bool{}
 	if *fig == "all" {
-		for _, f := range []string{"7a", "7b", "8", "ablations", "coord", "pipeline"} {
+		for _, f := range []string{"7a", "7b", "8", "ablations", "coord", "pipeline", "batch"} {
 			run[f] = true
 		}
 	} else {
@@ -147,6 +148,21 @@ func main() {
 		fmt.Print(pt.Render())
 		fmt.Println()
 	}
+	if run["batch"] {
+		any = true
+		fmt.Println("== E7: 16-key batches vs per-key loops, 3-node cluster ==")
+		series, err := bench.RunFigBatch(bench.BatchConfig{
+			Nodes: 3,
+			Steps: batchSteps(*scale),
+			Seed:  *seed,
+		})
+		if err != nil {
+			log.Fatalf("fig batch: %v", err)
+		}
+		fmt.Print(bench.TSV(series))
+		writeArtifact(*outdir, "BENCH_fig_batch.json", "batch", series)
+		fmt.Println()
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "sedna-bench: unknown -fig %q\n", *fig)
 		os.Exit(2)
@@ -163,6 +179,17 @@ func writeArtifact(dir, name, figure string, series []bench.Series) {
 
 func opsSteps(scale float64) []int {
 	base := []int{10000, 20000, 30000, 40000, 50000, 60000}
+	out := make([]int, len(base))
+	for i, b := range base {
+		out[i] = scaleInt(b, scale)
+	}
+	return out
+}
+
+// batchSteps scales the batch sweep's group counts; each group is one
+// 16-key batch, so even deep scaling keeps a usable sample for p99.
+func batchSteps(scale float64) []int {
+	base := []int{25, 50, 100}
 	out := make([]int, len(base))
 	for i, b := range base {
 		out[i] = scaleInt(b, scale)

@@ -6,6 +6,8 @@
 //	sedna-cli -servers ... putall ds/tb/key value     # write_all
 //	sedna-cli -servers ... get ds/tb/key              # read_latest
 //	sedna-cli -servers ... getall ds/tb/key           # read_all
+//	sedna-cli -servers ... mget ds/tb/k1 ds/tb/k2 ... # batched read_latest
+//	sedna-cli -servers ... mset ds/tb/k1=v1 k2=v2 ... # batched write_latest
 //	sedna-cli -servers ... del ds/tb/key
 //	sedna-cli -servers ... watch ds tb                # subscribe to a table
 //	sedna-cli -servers ... stats                      # per-node + merged metrics
@@ -26,7 +28,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sedna-cli -servers a,b,c <put|putall|get|getall|del|watch|stats> args...")
+	fmt.Fprintln(os.Stderr, "usage: sedna-cli -servers a,b,c <put|putall|get|getall|mget|mset|del|watch|stats> args...")
 	os.Exit(2)
 }
 
@@ -79,6 +81,45 @@ func main() {
 		for _, v := range vals {
 			fmt.Printf("%s\t(source %s, ts %s)\n", v.Data, v.Source, v.TS)
 		}
+	case "mget":
+		need(args, 2)
+		keys := make([]sedna.Key, len(args)-1)
+		for i, a := range args[1:] {
+			keys[i] = sedna.Key(a)
+		}
+		failed := 0
+		for _, r := range cli.MGet(ctx, keys) {
+			if r.Err != nil {
+				failed++
+				fmt.Printf("%s\t<error: %v>\n", r.Key, r.Err)
+				continue
+			}
+			fmt.Printf("%s\t%s\t(ts %s)\n", r.Key, r.Value, r.TS)
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
+	case "mset":
+		need(args, 2)
+		items := make([]sedna.MSetItem, len(args)-1)
+		for i, a := range args[1:] {
+			key, val, ok := strings.Cut(a, "=")
+			if !ok {
+				fatal(fmt.Errorf("mset arg %q: want key=value", a))
+			}
+			items[i] = sedna.MSetItem{Key: sedna.Key(key), Value: []byte(val)}
+		}
+		failed := 0
+		for i, err := range cli.MSet(ctx, items) {
+			if err != nil {
+				failed++
+				fmt.Printf("%s\t<error: %v>\n", items[i].Key, err)
+			}
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("ok (%d keys)\n", len(items))
 	case "del":
 		need(args, 2)
 		if err := cli.Delete(ctx, sedna.Key(args[1])); err != nil {

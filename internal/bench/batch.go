@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"sedna/internal/client"
+	"sedna/internal/core"
+	"sedna/internal/kv"
+	"sedna/internal/netsim"
+	"sedna/internal/workload"
+)
+
+// BatchConfig parameterises the batched-vs-unbatched comparison: the same
+// key population is accessed in groups of BatchSize, once through MGet/MSet
+// (one coordinator frame per primary, one replica frame per node) and once
+// through the equivalent per-key ReadLatest/WriteLatest loop. Each Steps
+// entry is a number of groups; the figure's percentiles are per-group
+// latencies, so the two modes are directly comparable: "fetch these 16 keys"
+// as one batch versus as 16 round trips.
+type BatchConfig struct {
+	// Nodes is the cluster size; the batch acceptance scenario uses 3.
+	Nodes int
+	// BatchSize is the keys per group; zero selects 16.
+	BatchSize int
+	// Steps lists group counts for the sweep's x-axis points.
+	Steps []int
+	// Profile simulates the testbed links; zero selects GigabitLAN.
+	Profile netsim.Profile
+	// Seed fixes the simulation.
+	Seed int64
+}
+
+func (c *BatchConfig) defaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if len(c.Steps) == 0 {
+		c.Steps = []int{25, 50, 100}
+	}
+	if c.Profile == (netsim.Profile{}) {
+		c.Profile = netsim.GigabitLAN()
+	}
+}
+
+// RunFigBatch measures the multi-key path: four series — batched MSet,
+// per-key write loop, batched MGet, per-key read loop — where every point's
+// P50Ms/P99Ms is the distribution of per-group (BatchSize keys) wall times
+// and Millis is the whole step. Batching wins when one frame per replica
+// node beats BatchSize sequential quorum round trips.
+func RunFigBatch(cfg BatchConfig) ([]Series, error) {
+	cfg.defaults()
+	sc, err := NewCluster(ClusterConfig{
+		Nodes:       cfg.Nodes,
+		Profile:     cfg.Profile,
+		Seed:        cfg.Seed,
+		MemoryLimit: 256 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sc.Close()
+	if err := sc.WaitConverged(cfg.Nodes, 30*time.Second); err != nil {
+		return nil, err
+	}
+	cl, err := sc.Client()
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+
+	// Warm the ring lease so both modes route by primary from the first
+	// timed op instead of paying the lease fetch inside a sample.
+	warm := workload.NewGenerator(workload.Spec{Keys: 1, Dataset: "bench", Table: "fbwarm"})
+	if err := cl.WriteLatest(ctx, warm.Key(0), warm.Value(0)); err != nil && !errors.Is(err, core.ErrOutdated) {
+		return nil, err
+	}
+
+	out := []Series{
+		{Label: "mset-batched"}, {Label: "mset-unbatched-loop"},
+		{Label: "mget-batched"}, {Label: "mget-unbatched-loop"},
+	}
+	for step, groups := range cfg.Steps {
+		n := groups * cfg.BatchSize
+		genB := workload.NewGenerator(workload.Spec{
+			Keys:    n,
+			Dataset: "bench",
+			Table:   fmt.Sprintf("fbB%d", step),
+		})
+		genU := workload.NewGenerator(workload.Spec{
+			Keys:    n,
+			Dataset: "bench",
+			Table:   fmt.Sprintf("fbU%d", step),
+		})
+
+		// Batched writes: one MSet per group.
+		var samples []time.Duration
+		start := time.Now()
+		for g := 0; g < groups; g++ {
+			items := make([]client.MSetItem, cfg.BatchSize)
+			for j := range items {
+				i := g*cfg.BatchSize + j
+				items[j] = client.MSetItem{Key: genB.Key(i), Value: genB.Value(i)}
+			}
+			gs := time.Now()
+			for i, err := range cl.MSet(ctx, items) {
+				if err != nil && !errors.Is(err, core.ErrOutdated) {
+					return nil, fmt.Errorf("mset group %d key %d: %w", g, i, err)
+				}
+			}
+			samples = append(samples, time.Since(gs))
+		}
+		out[0].Points = append(out[0].Points, samplePoint(n, ms(time.Since(start)), samples))
+
+		// Unbatched writes: the per-key loop over an equal-sized group.
+		samples = samples[:0]
+		start = time.Now()
+		for g := 0; g < groups; g++ {
+			gs := time.Now()
+			for j := 0; j < cfg.BatchSize; j++ {
+				i := g*cfg.BatchSize + j
+				if err := cl.WriteLatest(ctx, genU.Key(i), genU.Value(i)); err != nil && !errors.Is(err, core.ErrOutdated) {
+					return nil, fmt.Errorf("write group %d key %d: %w", g, i, err)
+				}
+			}
+			samples = append(samples, time.Since(gs))
+		}
+		out[1].Points = append(out[1].Points, samplePoint(n, ms(time.Since(start)), samples))
+
+		// Batched reads: one MGet per group.
+		samples = samples[:0]
+		start = time.Now()
+		for g := 0; g < groups; g++ {
+			keys := make([]kv.Key, cfg.BatchSize)
+			for j := range keys {
+				keys[j] = genB.Key(g*cfg.BatchSize + j)
+			}
+			gs := time.Now()
+			res := cl.MGet(ctx, keys)
+			for _, r := range res {
+				if r.Err != nil {
+					return nil, fmt.Errorf("mget group %d key %s: %w", g, r.Key, r.Err)
+				}
+			}
+			samples = append(samples, time.Since(gs))
+		}
+		out[2].Points = append(out[2].Points, samplePoint(n, ms(time.Since(start)), samples))
+
+		// Unbatched reads: the per-key loop.
+		samples = samples[:0]
+		start = time.Now()
+		for g := 0; g < groups; g++ {
+			gs := time.Now()
+			for j := 0; j < cfg.BatchSize; j++ {
+				i := g*cfg.BatchSize + j
+				if _, _, err := cl.ReadLatest(ctx, genU.Key(i)); err != nil {
+					return nil, fmt.Errorf("read group %d key %d: %w", g, i, err)
+				}
+			}
+			samples = append(samples, time.Since(gs))
+		}
+		out[3].Points = append(out[3].Points, samplePoint(n, ms(time.Since(start)), samples))
+	}
+	return out, nil
+}
+
+// samplePoint summarises per-group wall times into a Point: Millis is the
+// step's total, the percentile fields describe the group distribution.
+func samplePoint(ops int, millis float64, samples []time.Duration) Point {
+	p := Point{Ops: ops, Millis: millis}
+	if len(samples) == 0 {
+		return p
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var sum time.Duration
+	for _, d := range s {
+		sum += d
+	}
+	p.MeanMs = ms(sum) / float64(len(s))
+	p.P50Ms = ms(quantileDur(s, 0.50))
+	p.P99Ms = ms(quantileDur(s, 0.99))
+	return p
+}
+
+// quantileDur is the nearest-rank quantile of a sorted sample.
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,40 @@
+package client
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRetrySleepSurvivesHighAttemptCount is the regression for the backoff
+// shift overflow: RetryBackoff << attempt with a large attempt (possible
+// with a high RetryBudget) went negative, skipped the 8x clamp, and armed a
+// zero-duration timer — retries spun hot instead of backing off. The shift
+// exponent is now clamped, so every attempt sleeps at least the ceiling.
+func TestRetrySleepSurvivesHighAttemptCount(t *testing.T) {
+	c := &Client{cfg: Config{RetryBackoff: time.Millisecond}}
+	for _, attempt := range []int{62, 63, 80, 1 << 20} {
+		start := time.Now()
+		if !c.retrySleep(context.Background(), attempt) {
+			t.Fatalf("attempt %d: retrySleep reported cancellation on a live ctx", attempt)
+		}
+		if elapsed := time.Since(start); elapsed < 8*time.Millisecond {
+			t.Fatalf("attempt %d: slept %v, want >= 8ms (overflow skipped the clamp)", attempt, elapsed)
+		}
+	}
+}
+
+// TestRetrySleepHonoursCancellation pins the other exit: an expired context
+// must stop the backoff immediately rather than sleeping it out.
+func TestRetrySleepHonoursCancellation(t *testing.T) {
+	c := &Client{cfg: Config{RetryBackoff: time.Second}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if c.retrySleep(ctx, 3) {
+		t.Fatal("retrySleep ignored a cancelled ctx")
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("cancelled retrySleep still slept %v", elapsed)
+	}
+}

@@ -70,11 +70,15 @@ type Client struct {
 	ringExpires time.Time
 	cur         int
 
-	hWrite, hRead *obs.Histogram
-	nZeroHop      *obs.Counter
-	nReroutes     *obs.Counter
-	nRingRefresh  *obs.Counter
-	nRetries      *obs.Counter
+	hWrite, hRead           *obs.Histogram
+	hBatchWrite, hBatchRead *obs.Histogram
+	nZeroHop                *obs.Counter
+	nReroutes               *obs.Counter
+	nRingRefresh            *obs.Counter
+	nRetries                *obs.Counter
+	nBatchKeys              *obs.Counter
+	nBatchFrames            *obs.Counter
+	nBatchFallbacks         *obs.Counter
 }
 
 // New validates the config and returns a client; the first request fetches
@@ -116,12 +120,17 @@ func New(cfg Config) (*Client, error) {
 	return &Client{
 		cfg:          cfg,
 		health:       health,
-		hWrite:       cfg.Obs.Histogram("client.write"),
-		hRead:        cfg.Obs.Histogram("client.read"),
-		nZeroHop:     cfg.Obs.Counter("client.zero_hop"),
-		nReroutes:    cfg.Obs.Counter("client.reroute"),
-		nRingRefresh: cfg.Obs.Counter("client.ring_refresh"),
-		nRetries:     cfg.Obs.Counter("client.retries"),
+		hWrite:          cfg.Obs.Histogram("client.write"),
+		hRead:           cfg.Obs.Histogram("client.read"),
+		hBatchWrite:     cfg.Obs.Histogram("client.batch.write"),
+		hBatchRead:      cfg.Obs.Histogram("client.batch.read"),
+		nZeroHop:        cfg.Obs.Counter("client.zero_hop"),
+		nReroutes:       cfg.Obs.Counter("client.reroute"),
+		nRingRefresh:    cfg.Obs.Counter("client.ring_refresh"),
+		nRetries:        cfg.Obs.Counter("client.retries"),
+		nBatchKeys:      cfg.Obs.Counter("client.batch.keys"),
+		nBatchFrames:    cfg.Obs.Counter("client.batch.frames"),
+		nBatchFallbacks: cfg.Obs.Counter("client.batch.fallbacks"),
 	}, nil
 }
 
@@ -366,8 +375,14 @@ func (c *Client) doKeyed(ctx context.Context, key kv.Key, op uint16, body []byte
 // at 8x, with jitter so concurrent clients spread out — and reports false
 // when ctx expired instead.
 func (c *Client) retrySleep(ctx context.Context, attempt int) bool {
-	d := c.cfg.RetryBackoff << attempt
-	if max := 8 * c.cfg.RetryBackoff; d > max {
+	// Clamp the exponent before shifting: with a large RetryBudget the shift
+	// would overflow negative, skip the cap, and spin without backoff.
+	shift := attempt
+	if shift > 3 {
+		shift = 3 // cap matches the 8x backoff ceiling
+	}
+	d := c.cfg.RetryBackoff << shift
+	if max := 8 * c.cfg.RetryBackoff; d > max || d <= 0 {
 		d = max
 	}
 	d += time.Duration(rand.Int63n(int64(c.cfg.RetryBackoff)/2 + 1))

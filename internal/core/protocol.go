@@ -39,7 +39,23 @@ const (
 	// OpObsStats returns the node's full obs snapshot (JSON-encoded
 	// counters, gauges and latency histograms) plus recent traces.
 	OpObsStats uint16 = 0x030c
+	// OpCoordWriteBatch coordinates one quorum write per carried key; the
+	// response carries a per-key status vector.
+	OpCoordWriteBatch uint16 = 0x030d
+	// OpCoordReadBatch coordinates one quorum read per carried key; the
+	// response carries a per-key status + row vector.
+	OpCoordReadBatch uint16 = 0x030e
+	// OpReplicaWriteBatch applies many versioned values to the local
+	// replica in one frame (one frame per replica node per batch).
+	OpReplicaWriteBatch uint16 = 0x030f
+	// OpReplicaReadBatch fetches many local rows in one frame.
+	OpReplicaReadBatch uint16 = 0x0310
 )
+
+// MaxBatchKeys bounds the keys one batch frame may carry; larger batches
+// are split by the client and rejected by servers (StBadRequest), which
+// keeps a malformed length prefix from allocating unbounded memory.
+const MaxBatchKeys = 65536
 
 // Response statuses.
 const (

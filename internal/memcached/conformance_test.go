@@ -1,0 +1,168 @@
+package memcached
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestIncrDecrConformance pins the extended-op semantics against real
+// memcached behaviour: counters are unsigned 64-bit decimals, incr wraps at
+// 2^64, decr floors at zero, a non-numeric value is CLIENT_ERROR (never
+// silently coerced to zero), and the most negative delta decrements by its
+// full magnitude instead of overflowing past the floor test.
+func TestIncrDecrConformance(t *testing.T) {
+	net, addrs := startCluster(t, 1)
+	c, _ := NewClient(ClientConfig{Servers: addrs, Caller: net.Endpoint("cli"), Replicas: 1})
+	ctx := context.Background()
+
+	cases := []struct {
+		name    string
+		stored  string
+		delta   int64
+		want    uint64
+		wantErr error
+	}{
+		{name: "simple incr", stored: "10", delta: 5, want: 15},
+		{name: "simple decr", stored: "10", delta: -4, want: 6},
+		{name: "decr floors at zero", stored: "3", delta: -10, want: 0},
+		{name: "decr to exactly zero", stored: "7", delta: -7, want: 0},
+		{name: "incr wraps at 2^64", stored: strconv.FormatUint(math.MaxUint64, 10), delta: 1, want: 0},
+		{name: "incr wraps past 2^64", stored: strconv.FormatUint(math.MaxUint64-1, 10), delta: 5, want: 3},
+		{name: "large counter incr", stored: strconv.FormatUint(math.MaxUint64-10, 10), delta: 4, want: math.MaxUint64 - 6},
+		{name: "min-int64 delta floors small counter", stored: "42", delta: math.MinInt64, want: 0},
+		{name: "min-int64 delta from above its magnitude", stored: strconv.FormatUint(1<<63+5, 10), delta: math.MinInt64, want: 5},
+		{name: "non-numeric value", stored: "hello", delta: 1, wantErr: ErrClientError},
+		{name: "non-numeric decr", stored: "12abc", delta: -1, wantErr: ErrClientError},
+		{name: "negative stored value", stored: "-5", delta: 1, wantErr: ErrClientError},
+		{name: "empty stored value", stored: "", delta: 1, wantErr: ErrClientError},
+	}
+	for i, tc := range cases {
+		key := fmt.Sprintf("ctr-%d", i)
+		if err := c.Set(ctx, key, []byte(tc.stored)); err != nil {
+			t.Fatalf("%s: set: %v", tc.name, err)
+		}
+		got, err := c.Incr(ctx, key, tc.delta)
+		if tc.wantErr != nil {
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("%s: err = %v, want %v", tc.name, err, tc.wantErr)
+			}
+			// CLIENT_ERROR must leave the stored value untouched.
+			if v, gerr := c.Get(ctx, key); gerr != nil || string(v) != tc.stored {
+				t.Fatalf("%s: value after refused incr = %q (%v), want %q unchanged", tc.name, v, gerr, tc.stored)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: incr: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Fatalf("%s: incr = %d, want %d", tc.name, got, tc.want)
+		}
+		// The stored representation must match the returned value.
+		if v, gerr := c.Get(ctx, key); gerr != nil || string(v) != strconv.FormatUint(tc.want, 10) {
+			t.Fatalf("%s: stored value = %q (%v), want %d", tc.name, v, gerr, tc.want)
+		}
+	}
+
+	if _, err := c.Incr(ctx, "never-set", 1); !errors.Is(err, ErrNotStored) {
+		t.Fatalf("incr on absent key = %v, want ErrNotStored", err)
+	}
+}
+
+// TestExtendedOpConformance is the presence/absence table for the other
+// extended ops: add refuses present keys, replace and touch refuse absent
+// keys, CAS refuses a stale token.
+func TestExtendedOpConformance(t *testing.T) {
+	net, addrs := startCluster(t, 2)
+	c, _ := NewClient(ClientConfig{Servers: addrs, Caller: net.Endpoint("cli"), Replicas: 1})
+	ctx := context.Background()
+
+	if err := c.Set(ctx, "present", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		op      func() error
+		wantErr error
+	}{
+		{"add on absent stores", func() error { return c.Add(ctx, "fresh", []byte("a")) }, nil},
+		{"add on present refuses", func() error { return c.Add(ctx, "present", []byte("a")) }, ErrExists},
+		{"replace on present stores", func() error { return c.Replace(ctx, "present", []byte("r")) }, nil},
+		{"replace on absent refuses", func() error { return c.Replace(ctx, "ghost", []byte("r")) }, ErrNotStored},
+		{"touch on present refreshes", func() error { return c.Touch(ctx, "present", time.Minute) }, nil},
+		{"touch on absent refuses", func() error { return c.Touch(ctx, "ghost", time.Minute) }, ErrNotStored},
+	}
+	for _, tc := range cases {
+		err := tc.op()
+		if tc.wantErr == nil && err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+			t.Fatalf("%s: err = %v, want %v", tc.name, err, tc.wantErr)
+		}
+	}
+	// Add on a present key must not clobber the stored value.
+	if v, err := c.Get(ctx, "present"); err != nil || string(v) != "r" {
+		t.Fatalf("present = %q (%v), want the replaced value", v, err)
+	}
+
+	_, cas, err := c.GetWithCAS(ctx, "present")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CompareAndSwap(ctx, "present", []byte("swapped"), cas); err != nil {
+		t.Fatalf("cas with fresh token: %v", err)
+	}
+	if err := c.CompareAndSwap(ctx, "present", []byte("late"), cas); !errors.Is(err, ErrExists) {
+		t.Fatalf("cas with stale token = %v, want ErrExists", err)
+	}
+}
+
+// TestGetMulti covers the batched read path: keys spread over shards come
+// back in one map, misses are simply absent, and the answers survive shard
+// grouping (every hit maps to its own value, not a neighbour's).
+func TestGetMulti(t *testing.T) {
+	net, addrs := startCluster(t, 3)
+	c, _ := NewClient(ClientConfig{Servers: addrs, Caller: net.Endpoint("cli"), Replicas: 1})
+	ctx := context.Background()
+
+	var keys []string
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("multi-%02d", i)
+		keys = append(keys, key)
+		if i%2 == 0 {
+			if err := c.Set(ctx, key, []byte("val-"+key)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got, err := c.GetMulti(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("hits = %d, want 10", len(got))
+	}
+	for i, key := range keys {
+		v, ok := got[key]
+		if i%2 == 0 {
+			if !ok || string(v) != "val-"+key {
+				t.Fatalf("key %s = %q (present=%v), want val-%s", key, v, ok, key)
+			}
+		} else if ok {
+			t.Fatalf("miss key %s present with %q", key, v)
+		}
+	}
+	// All-miss and empty batches are clean no-ops.
+	if got, err := c.GetMulti(ctx, []string{"ghost-a", "ghost-b"}); err != nil || len(got) != 0 {
+		t.Fatalf("all-miss multi = %v, %v", got, err)
+	}
+	if got, err := c.GetMulti(ctx, nil); err != nil || len(got) != 0 {
+		t.Fatalf("empty multi = %v, %v", got, err)
+	}
+}

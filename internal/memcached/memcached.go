@@ -173,6 +173,7 @@ type Client struct {
 	points []ketamaPoint
 
 	hSet, hGet *obs.Histogram
+	hGetMulti  *obs.Histogram
 }
 
 type ketamaPoint struct {
@@ -201,9 +202,10 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		cfg.CallTimeout = 2 * time.Second
 	}
 	c := &Client{
-		cfg:  cfg,
-		hSet: cfg.Obs.Histogram("mc.op.set"),
-		hGet: cfg.Obs.Histogram("mc.op.get"),
+		cfg:       cfg,
+		hSet:      cfg.Obs.Histogram("mc.op.set"),
+		hGet:      cfg.Obs.Histogram("mc.op.get"),
+		hGetMulti: cfg.Obs.Histogram("mc.op.get_multi"),
 	}
 	for _, srv := range cfg.Servers {
 		for i := 0; i < cfg.PointsPerServer; i++ {
@@ -306,19 +308,24 @@ func (c *Client) Delete(ctx context.Context, key string) error {
 // text-protocol command set so the baseline is a usable cache in its own
 // right.
 const (
-	OpAdd     uint16 = 0x0405
-	OpReplace uint16 = 0x0406
-	OpCAS     uint16 = 0x0407
-	OpTouch   uint16 = 0x0408
-	OpFlush   uint16 = 0x0409
-	OpIncr    uint16 = 0x040a
-	OpGetCAS  uint16 = 0x040b
+	OpAdd      uint16 = 0x0405
+	OpReplace  uint16 = 0x0406
+	OpCAS      uint16 = 0x0407
+	OpTouch    uint16 = 0x0408
+	OpFlush    uint16 = 0x0409
+	OpIncr     uint16 = 0x040a
+	OpGetCAS   uint16 = 0x040b
+	OpGetMulti uint16 = 0x040c
 )
 
 // Extended statuses.
 const (
 	stExists uint16 = iota + 3 // add on present / cas conflict
 	stNotStored
+	// stClientError mirrors memcached's CLIENT_ERROR replies: the request
+	// was well-formed at the wire level but invalid for the stored data
+	// (e.g. incr on a non-numeric value).
+	stClientError
 )
 
 // Protocol errors for the extended ops.
@@ -327,6 +334,10 @@ var (
 	ErrExists = errors.New("memcached: exists")
 	// ErrNotStored reports Replace/Touch/Incr on an absent key.
 	ErrNotStored = errors.New("memcached: not stored")
+	// ErrClientError reports incr/decr on a value that is not an unsigned
+	// decimal number, matching memcached's "CLIENT_ERROR cannot increment
+	// or decrement non-numeric value".
+	ErrClientError = errors.New("memcached: cannot increment or decrement non-numeric value")
 )
 
 func (s *Server) registerExtended(mux *transport.Mux) {
@@ -337,6 +348,47 @@ func (s *Server) registerExtended(mux *transport.Mux) {
 	mux.HandleFunc(OpFlush, s.handleFlush)
 	mux.HandleFunc(OpIncr, s.handleIncr)
 	mux.HandleFunc(OpGetCAS, s.handleGetCAS)
+	mux.HandleFunc(OpGetMulti, s.handleGetMulti)
+}
+
+// maxMultiKeys bounds one get-multi frame so a malformed length prefix
+// cannot allocate unbounded memory.
+const maxMultiKeys = 65536
+
+// handleGetMulti is Get over many keys in one frame ("get k1 k2 ..." in the
+// text protocol): the response carries a per-key hit/miss vector aligned
+// with the request.
+func (s *Server) handleGetMulti(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+	d := wire.NewDec(req.Body)
+	n := int(d.U32())
+	var e wire.Enc
+	if d.Err == nil && n > maxMultiKeys {
+		e.U16(stError)
+		e.Str(fmt.Sprintf("batch of %d keys exceeds %d", n, maxMultiKeys))
+		return transport.Message{Op: OpGetMulti, Body: e.B}, nil
+	}
+	keys := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		keys = append(keys, d.Str())
+	}
+	if d.Err != nil {
+		return transport.Message{}, d.Err
+	}
+	e.U16(stOK)
+	e.U32(uint32(len(keys)))
+	for _, key := range keys {
+		it, ok := s.store.Get(key)
+		if !ok {
+			e.U16(stMiss)
+			e.Bytes(nil)
+			e.U32(0)
+			continue
+		}
+		e.U16(stOK)
+		e.Bytes(it.Value)
+		e.U32(it.Flags)
+	}
+	return transport.Message{Op: OpGetMulti, Body: e.B}, nil
 }
 
 // handleGetCAS is Get plus the CAS token ("gets" in the text protocol).
@@ -450,6 +502,7 @@ func (s *Server) handleIncr(ctx context.Context, from string, req transport.Mess
 	}
 	var result uint64
 	found := false
+	numeric := true
 	err := s.store.Update(key, func(old []byte, ok bool) ([]byte, bool) {
 		if !ok {
 			return nil, false // incr on absent key is NOT_FOUND in memcached
@@ -457,12 +510,23 @@ func (s *Server) handleIncr(ctx context.Context, from string, req transport.Mess
 		found = true
 		cur, perr := strconv.ParseUint(string(old), 10, 64)
 		if perr != nil {
-			cur = 0
+			// Memcached refuses to coerce: incr/decr on a non-numeric value
+			// is CLIENT_ERROR, never a silent reset to zero.
+			numeric = false
+			return old, true
 		}
-		if delta < 0 && uint64(-delta) > cur {
-			cur = 0
+		if delta >= 0 {
+			cur += uint64(delta) // wraps at 2^64, like memcached's incr
 		} else {
-			cur = uint64(int64(cur) + delta)
+			// Magnitude of the decrement without negating delta directly:
+			// -MinInt64 overflows back to itself, which would turn the
+			// largest decrement into the floor test's blind spot.
+			mag := uint64(-(delta + 1)) + 1
+			if mag > cur {
+				cur = 0 // decr floors at zero
+			} else {
+				cur -= mag
+			}
 		}
 		result = cur
 		return []byte(strconv.FormatUint(cur, 10)), true
@@ -474,6 +538,9 @@ func (s *Server) handleIncr(ctx context.Context, from string, req transport.Mess
 		e.Str(err.Error())
 	case !found:
 		e.U16(stNotStored)
+	case !numeric:
+		e.U16(stClientError)
+		e.Str(ErrClientError.Error())
 	default:
 		e.U16(stOK)
 		e.U64(result)
@@ -585,9 +652,59 @@ func (c *Client) Incr(ctx context.Context, key string, delta int64) (uint64, err
 		return d.U64(), d.Err
 	case stNotStored:
 		return 0, ErrNotStored
+	case stClientError:
+		return 0, ErrClientError
 	default:
 		return 0, fmt.Errorf("memcached: %s", d.Str())
 	}
+}
+
+// GetMulti reads many keys in one frame per shard server: keys group by
+// their first replica server, each group travels as one OpGetMulti request,
+// and the merged map holds every hit (missing keys are simply absent, as in
+// memcached's multi-key "get").
+func (c *Client) GetMulti(ctx context.Context, keys []string) (map[string][]byte, error) {
+	start := time.Now()
+	defer func() { c.hGetMulti.Observe(time.Since(start)) }()
+	groups := map[string][]string{}
+	for _, key := range keys {
+		srv := c.serversFor(key, 1)[0]
+		groups[srv] = append(groups[srv], key)
+	}
+	out := make(map[string][]byte, len(keys))
+	for srv, group := range groups {
+		var e wire.Enc
+		e.U32(uint32(len(group)))
+		for _, key := range group {
+			e.Str(key)
+		}
+		callCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+		resp, err := c.cfg.Caller.Call(callCtx, srv, transport.Message{Op: OpGetMulti, Body: e.B})
+		cancel()
+		if err != nil {
+			return nil, err
+		}
+		d := wire.NewDec(resp.Body)
+		if st := d.U16(); st != stOK {
+			return nil, fmt.Errorf("memcached: get multi failed: %s", d.Str())
+		}
+		n := int(d.U32())
+		if d.Err != nil || n != len(group) {
+			return nil, fmt.Errorf("memcached: get multi answered %d of %d keys", n, len(group))
+		}
+		for _, key := range group {
+			st := d.U16()
+			value := d.Bytes()
+			_ = d.U32() // flags
+			if d.Err != nil {
+				return nil, d.Err
+			}
+			if st == stOK {
+				out[key] = value
+			}
+		}
+	}
+	return out, nil
 }
 
 // FlushAll clears every server.

@@ -1,0 +1,428 @@
+package quorum
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sedna/internal/kv"
+	"sedna/internal/obs"
+	"sedna/internal/ring"
+)
+
+// This file implements the multi-key batch operations: ReadBatch and
+// WriteBatch take many keys at once, group them by replica node, ship one
+// frame per node carrying all of that node's keys, and settle the quorum
+// PER KEY as replies arrive. A batch is therefore never all-or-nothing: a
+// dark replica fails exactly the keys it owns, and those keys flow through
+// the same read-repair and hint hooks as single-key operations.
+
+// NodeWrite is one key's write as shipped to one replica node inside a
+// batch frame.
+type NodeWrite struct {
+	Key  kv.Key
+	V    kv.Versioned
+	Mode Mode
+}
+
+// WriteAck is one replica's per-key verdict inside a batch frame.
+type WriteAck struct {
+	Status WriteStatus
+	Err    error
+}
+
+// ReadAck is one replica's per-key row inside a batch frame. A missing row
+// is an empty Row; Err marks a per-key replica failure (e.g. a corrupt row).
+type ReadAck struct {
+	Row *kv.Row
+	Err error
+}
+
+// BatchTransport is the optional batch extension of Transport: one frame
+// carries every key of the batch that one replica node holds. A frame-level
+// error fails every key in the frame; otherwise the acks align index-for-
+// index with the request slice. The engine falls back to per-key Transport
+// calls when the transport does not implement this interface, so batch
+// semantics never depend on the transport generation.
+type BatchTransport interface {
+	WriteReplicaBatch(ctx context.Context, node ring.NodeID, items []NodeWrite) ([]WriteAck, error)
+	ReadReplicaBatch(ctx context.Context, node ring.NodeID, keys []kv.Key) ([]ReadAck, error)
+}
+
+// BatchWrite is one key of a WriteBatch call.
+type BatchWrite struct {
+	Key      kv.Key
+	Replicas []ring.NodeID
+	V        kv.Versioned
+	Mode     Mode
+}
+
+// BatchRead is one key of a ReadBatch call.
+type BatchRead struct {
+	Key      kv.Key
+	Replicas []ring.NodeID
+}
+
+// KeyWriteResult is the per-key outcome of a WriteBatch: the usual quorum
+// write summary plus a per-key error (quorum not reached). Outdated is a
+// verdict, not an error, exactly as in the single-key Write.
+type KeyWriteResult struct {
+	WriteResult
+	Err error
+}
+
+// KeyReadResult is the per-key outcome of a ReadBatch.
+type KeyReadResult struct {
+	ReadResult
+	Err error
+}
+
+// writeNodeBatch ships one write frame to a node, falling back to per-key
+// calls when the transport has no batch support.
+func (e *Engine) writeNodeBatch(ctx context.Context, node ring.NodeID, frame []NodeWrite) ([]WriteAck, error) {
+	if bt, ok := e.rt.(BatchTransport); ok {
+		return bt.WriteReplicaBatch(ctx, node, frame)
+	}
+	acks := make([]WriteAck, len(frame))
+	for j, w := range frame {
+		st, err := e.rt.WriteReplica(ctx, node, w.Key, w.V, w.Mode)
+		acks[j] = WriteAck{Status: st, Err: err}
+	}
+	return acks, nil
+}
+
+// readNodeBatch ships one read frame to a node, with the same fallback.
+func (e *Engine) readNodeBatch(ctx context.Context, node ring.NodeID, keys []kv.Key) ([]ReadAck, error) {
+	if bt, ok := e.rt.(BatchTransport); ok {
+		return bt.ReadReplicaBatch(ctx, node, keys)
+	}
+	acks := make([]ReadAck, len(keys))
+	for j, k := range keys {
+		row, err := e.rt.ReadReplica(ctx, node, k)
+		acks[j] = ReadAck{Row: row, Err: err}
+	}
+	return acks, nil
+}
+
+// groupByNode inverts the per-key replica sets into one frame per node; the
+// returned map holds indices into the batch.
+func groupByNode(n int, replicasOf func(i int) []ring.NodeID) map[ring.NodeID][]int {
+	groups := map[ring.NodeID][]int{}
+	for i := 0; i < n; i++ {
+		for _, node := range replicasOf(i) {
+			groups[node] = append(groups[node], i)
+		}
+	}
+	return groups
+}
+
+// WriteBatch sends every item's value to its replicas using one frame per
+// distinct node and settles the W-of-N quorum independently per key. The
+// result slice aligns with items. Failed replica writes — including
+// stragglers that miss a key's early settle — feed the OnWriteError hook,
+// so hinted handoff works exactly as for single-key writes.
+func (e *Engine) WriteBatch(ctx context.Context, items []BatchWrite) []KeyWriteResult {
+	out := make([]KeyWriteResult, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	start := time.Now()
+	defer func() {
+		e.hBatchWriteWait.Observe(time.Since(start))
+		obs.Mark(ctx, "quorum.batch_write_done")
+	}()
+	e.nBatchKeys.Add(uint64(len(items)))
+	obs.Mark(ctx, "quorum.batch_fanout")
+
+	type keyState struct {
+		need, total     int
+		acked, outdated int
+		answered        int
+		failed          []ring.NodeID
+		firstErr        error
+		done            bool
+	}
+	st := make([]keyState, len(items))
+	undecided := 0
+	for i, it := range items {
+		if len(it.Replicas) == 0 {
+			out[i].Err = fmt.Errorf("%w: no replicas for key %q", ErrQuorumFailed, it.Key)
+			st[i].done = true
+			continue
+		}
+		need := e.cfg.W
+		if need > len(it.Replicas) {
+			need = len(it.Replicas)
+		}
+		st[i] = keyState{need: need, total: len(it.Replicas)}
+		undecided++
+	}
+	if undecided == 0 {
+		return out
+	}
+	groups := groupByNode(len(items), func(i int) []ring.NodeID {
+		if st[i].done {
+			return nil
+		}
+		return items[i].Replicas
+	})
+
+	type nodeReply struct {
+		node ring.NodeID
+		idxs []int
+		acks []WriteAck
+		err  error
+	}
+	ch := make(chan nodeReply, len(groups))
+	budget := int32(e.cfg.RetryBudget)
+	for node, idxs := range groups {
+		go func(node ring.NodeID, idxs []int) {
+			// As in the single-key path, each frame gets the full timeout
+			// detached from the collector: a key settling early must not
+			// abort the frame still in flight to a straggler, and a frame
+			// that ultimately fails must still feed the hint hook.
+			cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), e.cfg.Timeout)
+			defer cancel()
+			frame := make([]NodeWrite, len(idxs))
+			for j, i := range idxs {
+				frame[j] = NodeWrite{Key: items[i].Key, V: items[i].V, Mode: items[i].Mode}
+			}
+			e.nBatchFrames.Inc()
+			acks, err := e.writeNodeBatch(cctx, node, frame)
+			for attempt := 0; err != nil && e.retry(cctx, &budget, attempt, err); attempt++ {
+				acks, err = e.writeNodeBatch(cctx, node, frame)
+			}
+			for j, i := range idxs {
+				if err != nil || acks[j].Err != nil {
+					e.writeFailed(node, items[i].Key, items[i].V)
+				}
+			}
+			ch <- nodeReply{node: node, idxs: idxs, acks: acks, err: err}
+		}(node, idxs)
+	}
+
+	decided := 0
+	for replies := 0; decided < undecided && replies < len(groups); replies++ {
+		r := <-ch
+		for j, i := range r.idxs {
+			s := &st[i]
+			if s.done {
+				continue
+			}
+			s.answered++
+			status, ackErr := WriteOK, r.err
+			if r.err == nil {
+				status, ackErr = r.acks[j].Status, r.acks[j].Err
+			}
+			switch {
+			case ackErr != nil:
+				if s.firstErr == nil {
+					s.firstErr = ackErr
+				}
+				s.failed = append(s.failed, r.node)
+			case status == WriteOK:
+				s.acked++
+			default:
+				s.outdated++
+			}
+			// Per-key settle, same rules as the single-key Write: a quorum
+			// of acks wins, a quorum of outdated (or a settled split with
+			// any outdated) reports the raced write, and only once every
+			// replica answered short of the quorum does the key fail.
+			switch {
+			case s.acked >= s.need:
+				s.done = true
+			case s.outdated >= s.need, s.acked+s.outdated >= s.need && s.outdated > 0:
+				s.done = true
+				out[i].Outdated = true
+			case s.answered == s.total:
+				s.done = true
+				if s.firstErr != nil {
+					out[i].Err = fmt.Errorf("%w: %d/%d acks for key %q (first error: %v)",
+						ErrQuorumFailed, s.acked, s.need, items[i].Key, s.firstErr)
+				} else {
+					out[i].Err = fmt.Errorf("%w: %d/%d acks for key %q",
+						ErrQuorumFailed, s.acked, s.need, items[i].Key)
+				}
+			}
+			if s.done {
+				decided++
+				out[i].Acked = s.acked
+				out[i].Failed = append([]ring.NodeID(nil), s.failed...)
+				if out[i].Outdated {
+					e.nConflicts.Inc()
+				}
+				if out[i].Err != nil {
+					e.nBatchKeyFailures.Inc()
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ReadBatch fetches every key's row from its replicas using one frame per
+// distinct node and settles the R-of-N quorum independently per key: a key
+// is decided as soon as R equal copies are in hand, or once every replica
+// answered — merging what arrived (eventual consistency) and repairing the
+// laggards, exactly as the single-key Read does. The result slice aligns
+// with items.
+func (e *Engine) ReadBatch(ctx context.Context, items []BatchRead) []KeyReadResult {
+	out := make([]KeyReadResult, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	start := time.Now()
+	defer func() {
+		e.hBatchReadWait.Observe(time.Since(start))
+		obs.Mark(ctx, "quorum.batch_read_done")
+	}()
+	e.nBatchKeys.Add(uint64(len(items)))
+	obs.Mark(ctx, "quorum.batch_fanout")
+
+	type got struct {
+		node ring.NodeID
+		row  *kv.Row
+	}
+	type keyState struct {
+		need, total int
+		answered    int
+		rows        []got
+		failed      []ring.NodeID
+		done        bool
+	}
+	st := make([]keyState, len(items))
+	undecided := 0
+	for i, it := range items {
+		if len(it.Replicas) == 0 {
+			out[i].Err = fmt.Errorf("%w: no replicas for key %q", ErrQuorumFailed, it.Key)
+			st[i].done = true
+			continue
+		}
+		need := e.cfg.R
+		if need > len(it.Replicas) {
+			need = len(it.Replicas)
+		}
+		st[i] = keyState{need: need, total: len(it.Replicas)}
+		undecided++
+	}
+	if undecided == 0 {
+		return out
+	}
+	groups := groupByNode(len(items), func(i int) []ring.NodeID {
+		if st[i].done {
+			return nil
+		}
+		return items[i].Replicas
+	})
+
+	type nodeReply struct {
+		node ring.NodeID
+		idxs []int
+		acks []ReadAck
+		err  error
+	}
+	ch := make(chan nodeReply, len(groups))
+	budget := int32(e.cfg.RetryBudget)
+	for node, idxs := range groups {
+		go func(node ring.NodeID, idxs []int) {
+			cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), e.cfg.Timeout)
+			defer cancel()
+			keys := make([]kv.Key, len(idxs))
+			for j, i := range idxs {
+				keys[j] = items[i].Key
+			}
+			e.nBatchFrames.Inc()
+			acks, err := e.readNodeBatch(cctx, node, keys)
+			for attempt := 0; err != nil && e.retry(cctx, &budget, attempt, err); attempt++ {
+				acks, err = e.readNodeBatch(cctx, node, keys)
+			}
+			ch <- nodeReply{node: node, idxs: idxs, acks: acks, err: err}
+		}(node, idxs)
+	}
+
+	// settle finalises one decided key: merge what arrived, flag
+	// inconsistency, and push the merged row to the laggards.
+	settle := func(i int, s *keyState) {
+		rows := make([]*kv.Row, len(s.rows))
+		for j, g := range s.rows {
+			rows[j] = g.row
+		}
+		merged := &kv.Row{}
+		for _, r := range rows {
+			merged.Merge(r)
+		}
+		merged.Dirty = false
+		res := ReadResult{Row: merged, Failed: s.failed}
+		var stale []ring.NodeID
+		equal := 0
+		for _, g := range s.rows {
+			if g.row.Equal(merged) {
+				equal++
+			} else {
+				stale = append(stale, g.node)
+			}
+		}
+		res.Consistent = equal >= s.need
+		res.Stale = stale
+		if !res.Consistent {
+			e.nInconsistent.Inc()
+		}
+		if len(stale) > 0 {
+			e.nReadRepairs.Add(uint64(len(stale)))
+			e.repairAsync(items[i].Replicas, items[i].Key, merged, stale)
+		}
+		out[i].ReadResult = res
+	}
+
+	decided := 0
+	for replies := 0; decided < undecided && replies < len(groups); replies++ {
+		r := <-ch
+		for j, i := range r.idxs {
+			s := &st[i]
+			if s.done {
+				continue
+			}
+			s.answered++
+			ackErr := r.err
+			var row *kv.Row
+			if r.err == nil {
+				row, ackErr = r.acks[j].Row, r.acks[j].Err
+			}
+			if ackErr != nil {
+				s.failed = append(s.failed, r.node)
+			} else {
+				if row == nil {
+					row = &kv.Row{}
+				}
+				s.rows = append(s.rows, got{node: r.node, row: row})
+			}
+			// Early exit per key: R equal rows already in hand.
+			if !s.done && len(s.rows) >= s.need {
+				rows := make([]*kv.Row, len(s.rows))
+				for k, g := range s.rows {
+					rows[k] = g.row
+				}
+				if maxEqualGroup(rows) >= s.need {
+					s.done = true
+				}
+			}
+			if !s.done && s.answered == s.total {
+				s.done = true
+				if len(s.rows) < s.need {
+					out[i].Err = fmt.Errorf("%w: %d/%d replies for key %q",
+						ErrQuorumFailed, len(s.rows), s.need, items[i].Key)
+					out[i].Failed = append([]ring.NodeID(nil), s.failed...)
+					e.nBatchKeyFailures.Inc()
+				}
+			}
+			if s.done {
+				decided++
+				if out[i].Err == nil {
+					settle(i, s)
+				}
+			}
+		}
+	}
+	return out
+}

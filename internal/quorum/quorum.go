@@ -153,12 +153,16 @@ type Engine struct {
 	// straggler's miss must not be lost just because the caller moved on.
 	onWriteError atomic.Pointer[func(node ring.NodeID, key kv.Key, v kv.Versioned)]
 
-	hWriteWait, hReadWait *obs.Histogram
-	nConflicts            *obs.Counter
-	nReadRepairs          *obs.Counter
-	nInconsistent         *obs.Counter
-	nRepairErrors         *obs.Counter
-	nRetries              *obs.Counter
+	hWriteWait, hReadWait           *obs.Histogram
+	hBatchWriteWait, hBatchReadWait *obs.Histogram
+	nConflicts                      *obs.Counter
+	nReadRepairs                    *obs.Counter
+	nInconsistent                   *obs.Counter
+	nRepairErrors                   *obs.Counter
+	nRetries                        *obs.Counter
+	nBatchKeys                      *obs.Counter
+	nBatchFrames                    *obs.Counter
+	nBatchKeyFailures               *obs.Counter
 }
 
 // NewEngine validates the config and returns an engine.
@@ -187,6 +191,11 @@ func (e *Engine) Instrument(r *obs.Registry) {
 	e.nInconsistent = r.Counter("quorum.inconsistent_reads")
 	e.nRepairErrors = r.Counter("quorum.repair_errors")
 	e.nRetries = r.Counter("quorum.retries")
+	e.hBatchWriteWait = r.Histogram("quorum.batch.write.wait")
+	e.hBatchReadWait = r.Histogram("quorum.batch.read.wait")
+	e.nBatchKeys = r.Counter("quorum.batch.keys")
+	e.nBatchFrames = r.Counter("quorum.batch.frames")
+	e.nBatchKeyFailures = r.Counter("quorum.batch.key_failures")
 }
 
 // OnRepairError installs fn to observe every failed repair delivery (both
@@ -246,8 +255,15 @@ func (e *Engine) retry(ctx context.Context, budget *int32, attempt int, err erro
 	if base <= 0 {
 		base = 10 * time.Millisecond
 	}
-	d := base << attempt
-	if max := 8 * base; d > max {
+	// Clamp the exponent BEFORE shifting: a large attempt count would
+	// overflow base << attempt to a non-positive duration, skip the d > max
+	// clamp, and fire the timer immediately — a hot retry loop.
+	shift := attempt
+	if shift > 3 {
+		shift = 3 // cap matches the 8*base backoff ceiling
+	}
+	d := base << shift
+	if max := 8 * base; d > max || d <= 0 {
 		d = max
 	}
 	d += time.Duration(rand.Int63n(int64(base)/2 + 1))

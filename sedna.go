@@ -134,6 +134,12 @@ type Client = client.Client
 // NewClient builds a client.
 func NewClient(cfg ClientConfig) (*Client, error) { return client.New(cfg) }
 
+// MGetResult is one key's outcome in a batched multi-key read.
+type MGetResult = client.MGetResult
+
+// MSetItem is one key of a batched multi-key write.
+type MSetItem = client.MSetItem
+
 // Subscription streams changed data to a client.
 type Subscription = client.Subscription
 
