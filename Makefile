@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fmt check
+.PHONY: all build vet test race bench bench-micro fmt check
 
 all: check
 
@@ -19,6 +19,10 @@ race:
 # Quick paper-figure regeneration (writes BENCH_*.json into the tree).
 bench:
 	$(GO) run ./cmd/sedna-bench -fig all -scale 0.05
+
+# Hot-path micro-benchmarks with allocation counts (E8 backing data).
+bench-micro:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/memstore/ ./internal/wire/ ./internal/kv/ ./internal/transport/
 
 fmt:
 	gofmt -l -w .

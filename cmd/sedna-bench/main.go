@@ -11,6 +11,7 @@
 //	sedna-bench -fig coord           # E5: lease cache & adaptation
 //	sedna-bench -fig pipeline        # E6: §V crawl-to-searchable latency
 //	sedna-bench -fig batch           # E7: MGet/MSet vs per-key loops
+//	sedna-bench -fig hotpath         # E8: hot-path ns/op and allocs/op
 //	sedna-bench -fig all
 //
 // -scale shrinks the sweep for quick runs (1.0 = the paper's 10k..60k).
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which artifact to regenerate: 7a|7b|8|ablations|coord|pipeline|batch|all")
+	fig := flag.String("fig", "all", "which artifact to regenerate: 7a|7b|8|ablations|coord|pipeline|batch|hotpath|all")
 	scale := flag.Float64("scale", 0.1, "sweep scale relative to the paper's 10k..60k ops")
 	nodes := flag.Int("nodes", 9, "cluster size (the paper uses 9)")
 	seed := flag.Int64("seed", 42, "simulation seed")
@@ -42,7 +43,7 @@ func main() {
 	steps := opsSteps(*scale)
 	run := map[string]bool{}
 	if *fig == "all" {
-		for _, f := range []string{"7a", "7b", "8", "ablations", "coord", "pipeline", "batch"} {
+		for _, f := range []string{"7a", "7b", "8", "ablations", "coord", "pipeline", "batch", "hotpath"} {
 			run[f] = true
 		}
 	} else {
@@ -161,6 +162,17 @@ func main() {
 		}
 		fmt.Print(bench.TSV(series))
 		writeArtifact(*outdir, "BENCH_fig_batch.json", "batch", series)
+		fmt.Println()
+	}
+	if run["hotpath"] {
+		any = true
+		fmt.Println("== E8: hot-path memory discipline, copying vs zero-copy/pooled ==")
+		series, err := bench.RunFigHotpath(bench.HotpathConfig{Iters: scaleInt(200000, *scale)})
+		if err != nil {
+			log.Fatalf("fig hotpath: %v", err)
+		}
+		fmt.Print(bench.HotpathTSV(series))
+		writeArtifact(*outdir, "BENCH_fig_hotpath.json", "hotpath", series)
 		fmt.Println()
 	}
 	if !any {

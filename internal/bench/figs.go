@@ -33,6 +33,10 @@ type Point struct {
 	// Slow counts the ops of this step that crossed the client's slow-op
 	// threshold — the tail the percentiles summarise, as an absolute count.
 	Slow uint64 `json:"slow_ops,omitempty"`
+	// NsPerOp and AllocsPerOp carry micro-benchmark results (the hotpath
+	// figure); they are zero for the cluster-level sweeps.
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
 // Series is one line of a figure.

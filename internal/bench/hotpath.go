@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"sedna/internal/kv"
+	"sedna/internal/memstore"
+	"sedna/internal/transport"
+	"sedna/internal/wire"
+)
+
+// HotpathConfig parameterises the E8 micro-benchmark figure: per-op time and
+// allocations on the memory hot path, with the copying path and its
+// zero-copy/pooled replacement measured side by side.
+type HotpathConfig struct {
+	// Iters is the measured iteration count per benchmark (scaled by the
+	// driver's -scale flag). Allocation counts use a capped subset.
+	Iters int
+	// ValueSize is the payload size; 512 B sits between the memcached-style
+	// small-object regime and the row-blob regime.
+	ValueSize int
+}
+
+func (c *HotpathConfig) defaults() {
+	if c.Iters <= 0 {
+		c.Iters = 200000
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 512
+	}
+}
+
+// hotpathCase is one measured operation; fn must perform exactly one op.
+type hotpathCase struct {
+	label string
+	fn    func()
+}
+
+// measure times Iters runs of fn and counts steady-state allocations over a
+// capped sample, returning both as one single-point series.
+func measure(c hotpathCase, iters int) Series {
+	// Warm pools, grow maps, and let lazily-sized scratch reach steady
+	// state before either measurement.
+	for i := 0; i < 100; i++ {
+		c.fn()
+	}
+	allocIters := iters
+	if allocIters > 2000 {
+		allocIters = 2000
+	}
+	allocs := allocsPerRunSerial(allocIters, c.fn)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		c.fn()
+	}
+	elapsed := time.Since(start)
+	return Series{Label: c.label, Points: []Point{{
+		Ops:         iters,
+		Millis:      float64(elapsed.Nanoseconds()) / 1e6,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: allocs,
+	}}}
+}
+
+// allocsPerRunSerial mirrors testing.AllocsPerRun (mallocs delta per run)
+// without importing package testing into non-test code.
+func allocsPerRunSerial(runs int, fn func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	fn() // one warm-up run, as testing.AllocsPerRun does
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}
+
+// RunFigHotpath measures the hot-path memory discipline work (E8): for each
+// layer it benchmarks the pre-existing copying path against the zero-copy or
+// pooled path that the write/read pipeline now uses, plus one end-to-end
+// pooled TCP RPC round trip. Every series is a single point carrying ns/op
+// and allocs/op.
+func RunFigHotpath(cfg HotpathConfig) ([]Series, error) {
+	cfg.defaults()
+	value := make([]byte, cfg.ValueSize)
+	for i := range value {
+		value[i] = byte(i)
+	}
+
+	var out []Series
+
+	// memstore: read, copying write, ownership-transfer write.
+	st := memstore.New(memstore.Config{})
+	if err := st.Set("bench/key", value, 0, 0); err != nil {
+		return nil, err
+	}
+	out = append(out, measure(hotpathCase{"memstore get", func() {
+		if _, ok := st.Get("bench/key"); !ok {
+			panic("missing key")
+		}
+	}}, cfg.Iters))
+	out = append(out, measure(hotpathCase{"memstore set (copying)", func() {
+		if err := st.Set("bench/key", value, 0, 0); err != nil {
+			panic(err)
+		}
+	}}, cfg.Iters))
+	owned := make([]byte, len(value))
+	copy(owned, value)
+	out = append(out, measure(hotpathCase{"memstore set (owned)", func() {
+		if err := st.SetOwned("bench/key", owned, 0, 0); err != nil {
+			panic(err)
+		}
+	}}, cfg.Iters))
+
+	// kv codec: copying encode/decode vs scratch-reusing zero-copy forms.
+	row := &kv.Row{}
+	row.ApplyAll(kv.Versioned{Value: value, TS: kv.Timestamp{Wall: 10, Node: 1}, Source: "node-a"})
+	row.ApplyAll(kv.Versioned{Value: value, TS: kv.Timestamp{Wall: 20, Node: 2}, Source: "node-b"})
+	blob := kv.EncodeRow(row)
+	out = append(out, measure(hotpathCase{"kv encode (fresh buffer)", func() {
+		if len(kv.EncodeRow(row)) == 0 {
+			panic("empty encode")
+		}
+	}}, cfg.Iters))
+	scratch := make([]byte, 0, kv.EncodedRowSize(row))
+	out = append(out, measure(hotpathCase{"kv encode (scratch append)", func() {
+		scratch = kv.AppendRow(scratch[:0], row)
+	}}, cfg.Iters))
+	out = append(out, measure(hotpathCase{"kv decode (copying)", func() {
+		if _, err := kv.DecodeRow(blob); err != nil {
+			panic(err)
+		}
+	}}, cfg.Iters))
+	var rowScratch kv.Row
+	out = append(out, measure(hotpathCase{"kv decode (zero-copy into)", func() {
+		if err := kv.DecodeRowInto(&rowScratch, blob); err != nil {
+			panic(err)
+		}
+	}}, cfg.Iters))
+
+	// wire: length-delimited bytes, copy vs view.
+	var enc wire.Enc
+	enc.Bytes(value)
+	wbuf := enc.B
+	var dec wire.Dec
+	out = append(out, measure(hotpathCase{"wire bytes (copying)", func() {
+		dec.B, dec.Off, dec.Err = wbuf, 0, nil
+		if len(dec.Bytes()) != len(value) {
+			panic("bad decode")
+		}
+	}}, cfg.Iters))
+	out = append(out, measure(hotpathCase{"wire bytes (view)", func() {
+		dec.B, dec.Off, dec.Err = wbuf, 0, nil
+		if len(dec.BytesView()) != len(value) {
+			panic("bad decode")
+		}
+	}}, cfg.Iters))
+
+	// transport: one pooled-frame TCP RPC round trip over loopback. This
+	// exercises the frame pool, the coalescing writer, and the handler-side
+	// pooled read buffer end to end; the response blob comes straight from
+	// the store the way readReplicaBlob serves it.
+	srv, err := transport.NewTCPListen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	resp := kv.EncodeRow(row)
+	go srv.Serve(func(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+		return transport.Message{Op: req.Op, Body: resp}, nil
+	})
+	cli := transport.NewTCP("")
+	defer cli.Close()
+	ctx := context.Background()
+	addr := srv.Addr()
+	rpcIters := cfg.Iters / 10
+	if rpcIters < 10 {
+		rpcIters = 10
+	}
+	out = append(out, measure(hotpathCase{"transport rpc round trip (pooled)", func() {
+		m, err := cli.Call(ctx, addr, transport.Message{Op: 0x0101, Body: value})
+		if err != nil {
+			panic(err)
+		}
+		if len(m.Body) != len(resp) {
+			panic(fmt.Sprintf("bad body: %d", len(m.Body)))
+		}
+	}}, rpcIters))
+
+	return out, nil
+}
+
+// HotpathTSV renders the hotpath series as label, ns/op, allocs/op rows
+// (the figure has one point per series, so the ops-sweep TSV shape does not
+// fit).
+func HotpathTSV(series []Series) string {
+	s := "case\tns_per_op\tallocs_per_op\n"
+	for _, se := range series {
+		for _, p := range se.Points {
+			s += fmt.Sprintf("%s\t%.1f\t%.2f\n", se.Label, p.NsPerOp, p.AllocsPerOp)
+		}
+	}
+	return s
+}

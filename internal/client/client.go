@@ -118,8 +118,8 @@ func New(cfg Config) (*Client, error) {
 		cfg.Obs.SetSlowOpThreshold(cfg.SlowOpThreshold)
 	}
 	return &Client{
-		cfg:          cfg,
-		health:       health,
+		cfg:             cfg,
+		health:          health,
 		hWrite:          cfg.Obs.Histogram("client.write"),
 		hRead:           cfg.Obs.Histogram("client.read"),
 		hBatchWrite:     cfg.Obs.Histogram("client.batch.write"),

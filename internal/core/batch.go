@@ -225,7 +225,8 @@ func (rt replicaRPC) ReadReplicaBatch(ctx context.Context, node ring.NodeID, key
 	for i := 0; i < n; i++ {
 		ist := d.U16()
 		idetail := d.Str()
-		blob := d.Bytes()
+		// The response body is ours; decoded rows may alias it.
+		blob := d.BytesView()
 		if d.Err != nil {
 			return nil, d.Err
 		}
@@ -233,8 +234,8 @@ func (rt replicaRPC) ReadReplicaBatch(ctx context.Context, node ring.NodeID, key
 			acks[i] = quorum.ReadAck{Err: StatusErr(ist, idetail)}
 			continue
 		}
-		row, derr := kv.DecodeRow(blob)
-		if derr != nil {
+		row := &kv.Row{}
+		if derr := kv.DecodeRowInto(row, blob); derr != nil {
 			acks[i] = quorum.ReadAck{Err: derr}
 			continue
 		}
@@ -343,7 +344,9 @@ func (s *Server) handleReplicaWriteBatch(ctx context.Context, from string, req t
 	items := make([]item, 0, n)
 	for i := 0; i < n; i++ {
 		it := item{key: kv.Key(d.Str())}
-		it.v = DecodeVersioned(d)
+		// View decode: values alias the pooled request frame; every item is
+		// applied (and copied into its row blob) before this handler returns.
+		it.v = DecodeVersionedView(d)
 		it.mode = quorum.Mode(d.U8())
 		items = append(items, it)
 	}
@@ -395,17 +398,11 @@ func (s *Server) handleReplicaReadBatch(ctx context.Context, from string, req tr
 	e := okHeader()
 	e.U32(uint32(len(keys)))
 	for _, k := range keys {
-		row, err := s.readReplicaRow(k)
-		if err != nil {
-			st, detail := ErrStatus(err)
-			e.U16(st)
-			e.Str(detail)
-			e.Bytes(nil)
-			continue
-		}
+		// The stored blob IS the wire encoding: copy it straight into the
+		// response with no decode/re-encode round trip.
 		e.U16(StOK)
 		e.Str("")
-		e.Bytes(kv.EncodeRow(row))
+		e.Bytes(s.readReplicaBlob(k))
 	}
 	tr.Mark("replica.read")
 	return transport.Message{Op: OpReplicaReadBatch, Body: e.B}, nil

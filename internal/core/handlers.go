@@ -97,7 +97,10 @@ func (s *Server) handleReplicaWrite(ctx context.Context, from string, req transp
 	}
 	d := wire.NewDec(req.Body)
 	key := kv.Key(d.Str())
-	v := DecodeVersioned(d)
+	// View decode: v.Value aliases the pooled request frame, which stays
+	// valid until this handler returns; applyReplicaWrite copies it exactly
+	// once, into the re-encoded row blob, before that.
+	v := DecodeVersionedView(d)
 	mode := quorum.Mode(d.U8())
 	if d.Err != nil {
 		return transport.Message{}, d.Err
@@ -129,13 +132,12 @@ func (s *Server) handleReplicaRead(ctx context.Context, from string, req transpo
 	if d.Err != nil {
 		return transport.Message{}, d.Err
 	}
-	row, err := s.readReplicaRow(key)
+	// The stored blob IS the wire encoding: copy it straight into the
+	// response with no decode/re-encode round trip.
+	blob := s.readReplicaBlob(key)
 	tr.Mark("replica.read")
-	if err != nil {
-		return errorMsg(OpReplicaRead, err), nil
-	}
 	e := okHeader()
-	e.Bytes(kv.EncodeRow(row))
+	e.Bytes(blob)
 	return transport.Message{Op: OpReplicaRead, Body: e.B}, nil
 }
 
@@ -146,12 +148,14 @@ func (s *Server) handleReplicaRepair(ctx context.Context, from string, req trans
 	}
 	d := wire.NewDec(req.Body)
 	key := kv.Key(d.Str())
-	blob := d.Bytes()
+	// View decode: the row aliases the pooled request frame and is merged
+	// (copied into a store-owned blob) before this handler returns.
+	blob := d.BytesView()
 	if d.Err != nil {
 		return transport.Message{}, d.Err
 	}
-	row, err := kv.DecodeRow(blob)
-	if err != nil {
+	row := &kv.Row{}
+	if err := kv.DecodeRowInto(row, blob); err != nil {
 		return errorMsg(OpReplicaRepair, err), nil
 	}
 	if err := s.mergeReplicaRow(key, row); err != nil {
@@ -176,14 +180,21 @@ func (s *Server) handleVNodeScan(ctx context.Context, from string, req transport
 		key  string
 		blob []byte
 	}
+	// Collect references only while Range holds each shard lock: stored
+	// blobs are stable (the store replaces, never mutates, values), so the
+	// copies happen outside the critical section, one bounded append per
+	// entry into a pre-sized response buffer.
 	var entries []entry
+	total := 0
 	s.store.Range(func(key string, it memstore.Item) bool {
 		if r.VNodeFor(kv.Key(key)) == v {
-			entries = append(entries, entry{key: key, blob: append([]byte(nil), it.Value...)})
+			entries = append(entries, entry{key: key, blob: it.Value})
+			total += 4 + len(key) + 4 + len(it.Value)
 		}
 		return true
 	})
 	e := okHeader()
+	e.B = append(make([]byte, 0, len(e.B)+4+total), e.B...)
 	e.U32(uint32(len(entries)))
 	for _, en := range entries {
 		e.Str(en.key)

@@ -141,10 +141,26 @@ func EncodeVersioned(e *wire.Enc, v kv.Versioned) {
 	e.Bool(v.Deleted)
 }
 
-// DecodeVersioned reads a Versioned.
+// DecodeVersioned reads a Versioned. The Value is copied out of the buffer,
+// so the result outlives d.
 func DecodeVersioned(d *wire.Dec) kv.Versioned {
 	return kv.Versioned{
 		Value:   d.Bytes(),
+		TS:      kv.Timestamp{Wall: d.I64(), Logical: d.U32(), Node: d.U32()},
+		Source:  d.Str(),
+		Deleted: d.Bool(),
+	}
+}
+
+// DecodeVersionedView reads a Versioned whose Value ALIASES d's buffer — the
+// zero-copy variant for handlers that apply the value synchronously (the
+// replica write path copies it exactly once, into the re-encoded row blob)
+// before the transport recycles the frame. Use DecodeVersioned anywhere the
+// value is retained past the handler's return (the coordinator path queues
+// values in detached quorum writes and hints).
+func DecodeVersionedView(d *wire.Dec) kv.Versioned {
+	return kv.Versioned{
+		Value:   d.BytesView(),
 		TS:      kv.Timestamp{Wall: d.I64(), Logical: d.U32(), Node: d.U32()},
 		Source:  d.Str(),
 		Deleted: d.Bool(),

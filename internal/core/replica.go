@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"sedna/internal/kv"
@@ -17,20 +18,40 @@ import (
 
 // --- local replica storage ---
 
+// rowScratchPool recycles decode-scratch rows for the replica apply paths.
+// A pooled row may retain stale aliases into a previous blob until its next
+// DecodeRowInto overwrites them, which is why scratch rows never escape the
+// function that drew them from the pool.
+var rowScratchPool = sync.Pool{New: func() any { return new(kv.Row) }}
+
+// resetScratchRow prepares a pooled row for reuse, keeping slice capacity.
+func resetScratchRow(r *kv.Row) {
+	r.Dirty = false
+	r.Values = r.Values[:0]
+	r.Monitors = r.Monitors[:0]
+}
+
 // applyReplicaWrite applies one versioned value to the local row under the
 // store's per-key atomicity; it implements the replica-side rules of
 // write_latest and write_all (§III-F.1).
+//
+// This is the zero-copy write path's final stage: the old blob is decoded
+// into a pooled scratch row whose values ALIAS the blob (DecodeRowInto), the
+// merged row is encoded once into a pre-sized buffer, and the store adopts
+// that buffer via UpdateOwned — so v.Value (which may itself be a view into
+// a pooled transport frame) is copied exactly once, by AppendRow.
 func (s *Server) applyReplicaWrite(key kv.Key, v kv.Versioned, mode quorum.Mode) (quorum.WriteStatus, error) {
 	s.nReplicaWrites.Inc()
 	status := quorum.WriteOK
 	duplicate := false
 	var newBlob []byte
-	err := s.store.Update(string(key), func(old []byte, ok bool) ([]byte, bool) {
-		row := &kv.Row{}
+	row := rowScratchPool.Get().(*kv.Row)
+	defer rowScratchPool.Put(row)
+	err := s.store.UpdateOwned(string(key), func(old []byte, ok bool) ([]byte, bool) {
+		resetScratchRow(row)
 		if ok {
-			decoded, derr := kv.DecodeRow(old)
-			if derr == nil {
-				row = decoded
+			if derr := kv.DecodeRowInto(row, old); derr != nil {
+				resetScratchRow(row)
 			}
 		}
 		var accepted bool
@@ -51,9 +72,9 @@ func (s *Server) applyReplicaWrite(key kv.Key, v kv.Versioned, mode quorum.Mode)
 			if !ok {
 				return nil, false
 			}
-			return old, true
+			return old, true // same slice: UpdateOwned short-circuits
 		}
-		newBlob = kv.EncodeRow(row)
+		newBlob = kv.AppendRow(make([]byte, 0, kv.EncodedRowSize(row)), row)
 		return newBlob, true
 	})
 	if err != nil {
@@ -69,7 +90,9 @@ func (s *Server) applyReplicaWrite(key kv.Key, v kv.Versioned, mode quorum.Mode)
 	return status, nil
 }
 
-// readReplicaRow returns a copy of the local row (empty when absent).
+// readReplicaRow returns a copy of the local row (empty when absent). Rows
+// that escape to quorum merging or user code always go through this copying
+// decode; the RPC read handlers use readReplicaBlob instead.
 func (s *Server) readReplicaRow(key kv.Key) (*kv.Row, error) {
 	s.nReplicaReads.Inc()
 	it, ok := s.store.Get(string(key))
@@ -84,16 +107,38 @@ func (s *Server) readReplicaRow(key kv.Key) (*kv.Row, error) {
 	return row, nil
 }
 
-// mergeReplicaRow folds a repair row into the local copy.
+// emptyRowBlob is the canonical encoding of an absent row.
+var emptyRowBlob = kv.EncodeRow(&kv.Row{})
+
+// readReplicaBlob returns the local row's encoded blob without decoding it:
+// the store's blob IS the wire encoding, so the read RPC handlers copy it
+// straight into the response frame with no decode/re-encode round trip. The
+// result aliases the store's copy — read-only and stable (the store
+// replaces, never mutates, values) — and must not be written to.
+func (s *Server) readReplicaBlob(key kv.Key) []byte {
+	s.nReplicaReads.Inc()
+	it, ok := s.store.Get(string(key))
+	s.recordRead(key)
+	if !ok {
+		return emptyRowBlob
+	}
+	return it.Value
+}
+
+// mergeReplicaRow folds a repair row into the local copy. Like
+// applyReplicaWrite it decodes the old blob as a view and hands the store an
+// owned re-encoding, so in's values are copied exactly once.
 func (s *Server) mergeReplicaRow(key kv.Key, in *kv.Row) error {
 	s.nRepairs.Inc()
 	changed := false
 	var newBlob []byte
-	err := s.store.Update(string(key), func(old []byte, ok bool) ([]byte, bool) {
-		row := &kv.Row{}
+	row := rowScratchPool.Get().(*kv.Row)
+	defer rowScratchPool.Put(row)
+	err := s.store.UpdateOwned(string(key), func(old []byte, ok bool) ([]byte, bool) {
+		resetScratchRow(row)
 		if ok {
-			if decoded, derr := kv.DecodeRow(old); derr == nil {
-				row = decoded
+			if derr := kv.DecodeRowInto(row, old); derr != nil {
+				resetScratchRow(row)
 			}
 		}
 		changed = row.Merge(in)
@@ -101,9 +146,9 @@ func (s *Server) mergeReplicaRow(key kv.Key, in *kv.Row) error {
 			if !ok {
 				return nil, false
 			}
-			return old, true
+			return old, true // same slice: UpdateOwned short-circuits
 		}
-		newBlob = kv.EncodeRow(row)
+		newBlob = kv.AppendRow(make([]byte, 0, kv.EncodedRowSize(row)), row)
 		return newBlob, true
 	})
 	if err != nil {
@@ -254,11 +299,17 @@ func (rt replicaRPC) ReadReplica(ctx context.Context, node ring.NodeID, key kv.K
 	if st != StOK {
 		return nil, StatusErr(st, detail)
 	}
-	blob := d.Bytes()
+	// The response body is ours (the transport hands Call's caller ownership
+	// of it), so the decoded row may alias it instead of copying every value.
+	blob := d.BytesView()
 	if d.Err != nil {
 		return nil, d.Err
 	}
-	return kv.DecodeRow(blob)
+	row := &kv.Row{}
+	if err := kv.DecodeRowInto(row, blob); err != nil {
+		return nil, err
+	}
+	return row, nil
 }
 
 // RepairReplica implements quorum.Transport.
@@ -525,12 +576,14 @@ func (s *Server) fetchVNode(src ring.NodeID, v ring.VNodeID) (map[kv.Key]*kv.Row
 	out := make(map[kv.Key]*kv.Row, n)
 	for i := 0; i < n; i++ {
 		key := kv.Key(d.Str())
-		blob := d.Bytes()
+		// Rows may alias the response body we own; merging copies them into
+		// store-owned blobs.
+		blob := d.BytesView()
 		if d.Err != nil {
 			return nil, d.Err
 		}
-		row, err := kv.DecodeRow(blob)
-		if err != nil {
+		row := &kv.Row{}
+		if err := kv.DecodeRowInto(row, blob); err != nil {
 			return nil, err
 		}
 		out[key] = row

@@ -287,6 +287,8 @@ func (s *Server) Start() error {
 			s.store.Delete(key)
 			return nil
 		}
+		// Deliberately the copying Set, not SetOwned: replayed blobs alias
+		// whole WAL segment buffers, which adoption would pin in memory.
 		return s.store.Set(key, blob, 0, 0)
 	})
 	if err != nil {

@@ -76,74 +76,112 @@ func EncodeRow(r *Row) []byte {
 // DecodeRow parses a row blob produced by EncodeRow. The returned row does
 // not alias b.
 func DecodeRow(b []byte) (*Row, error) {
+	r := &Row{}
+	if err := decodeRow(r, b, true); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// DecodeRowInto parses a row blob into r, reusing r's Values and Monitors
+// capacity so steady-state decoding of a stable row allocates nothing.
+//
+// Ownership rules (the zero-copy contract): every Value slice ALIASES b, so
+// r is only valid while b is, and writing into a decoded value corrupts b.
+// Source strings are reused from r's previous entries when unchanged and
+// freshly allocated otherwise. Use DecodeRow wherever the row outlives the
+// input buffer (pooled transport frames, memstore blobs handed to user
+// code). On error r's contents are unspecified.
+func DecodeRowInto(r *Row, b []byte) error {
+	return decodeRow(r, b, false)
+}
+
+func decodeRow(r *Row, b []byte, copyBytes bool) error {
 	d := rowDecoder{b: b}
 	ver, err := d.u8()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if ver != rowFormatVersion {
-		return nil, fmt.Errorf("%w: unknown version %d", ErrCorruptRow, ver)
+		return fmt.Errorf("%w: unknown version %d", ErrCorruptRow, ver)
 	}
 	flags, err := d.u8()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	nv, err := d.u16()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	r := &Row{Dirty: flags&1 != 0}
-	if nv > 0 {
+	r.Dirty = flags&1 != 0
+	prev := r.Values
+	if cap(r.Values) < int(nv) {
 		r.Values = make([]Versioned, 0, nv)
+	} else {
+		r.Values = r.Values[:0]
 	}
 	for i := 0; i < int(nv); i++ {
 		var v Versioned
 		src, err := d.bytes16()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		v.Source = string(src)
+		// Reuse the previous decode's Source string when it is unchanged;
+		// the comparison itself does not allocate.
+		if i < len(prev) && prev[i].Source == string(src) {
+			v.Source = prev[i].Source
+		} else {
+			v.Source = string(src)
+		}
 		wall, err := d.u64()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		v.TS.Wall = int64(wall)
 		if v.TS.Logical, err = d.u32(); err != nil {
-			return nil, err
+			return err
 		}
 		if v.TS.Node, err = d.u32(); err != nil {
-			return nil, err
+			return err
 		}
 		del, err := d.u8()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		v.Deleted = del != 0
 		val, err := d.bytes32()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		v.Value = append([]byte(nil), val...)
+		if copyBytes {
+			v.Value = append([]byte(nil), val...)
+		} else {
+			v.Value = val
+		}
 		r.Values = append(r.Values, v)
 	}
 	nm, err := d.u16()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if nm > 0 {
-		r.Monitors = make([]uint64, 0, nm)
+	if cap(r.Monitors) < int(nm) {
+		if nm > 0 {
+			r.Monitors = make([]uint64, 0, nm)
+		}
+	} else {
+		r.Monitors = r.Monitors[:0]
 	}
 	for i := 0; i < int(nm); i++ {
 		m, err := d.u64()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r.Monitors = append(r.Monitors, m)
 	}
 	if len(d.b) != d.off {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptRow, len(d.b)-d.off)
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorruptRow, len(d.b)-d.off)
 	}
-	return r, nil
+	return nil
 }
 
 type rowDecoder struct {

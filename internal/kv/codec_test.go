@@ -156,3 +156,14 @@ func BenchmarkDecodeRow(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkDecodeRowInto(b *testing.B) {
+	blob := EncodeRow(sampleRow())
+	var r Row
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeRowInto(&r, blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -110,7 +110,9 @@ func (s *Server) handleSet(ctx context.Context, from string, req transport.Messa
 		ttl = time.Duration(ttlMs) * time.Millisecond
 	}
 	var e wire.Enc
-	if err := s.store.Set(key, value, flags, ttl); err != nil {
+	// value is already our own copy (d.Bytes), so the store adopts it
+	// instead of copying a second time.
+	if err := s.store.SetOwned(key, value, flags, ttl); err != nil {
 		e.U16(stError)
 		e.Str(err.Error())
 		return transport.Message{Op: OpSet, Body: e.B}, nil

@@ -1,0 +1,65 @@
+//go:build !race
+
+package memstore
+
+// Allocation budgets for the hot path. These pin the zero-copy work so a
+// later change cannot silently regress it: Get and the owned write paths
+// must stay allocation-free, and an unowned Set pays exactly its one
+// defensive copy. Excluded under -race because instrumentation adds
+// allocations; the aliasing semantics themselves are covered by
+// TestOwnedAliasing (which does run under -race).
+
+import "testing"
+
+func TestAllocBudgets(t *testing.T) {
+	s := New(Config{})
+	key := "alloc/budget/key"
+	val := make([]byte, 64)
+	if err := s.Set(key, val, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := s.Get(key); !ok {
+			t.Fatal("missing")
+		}
+	}); n > 0 {
+		t.Errorf("Get allocates %.1f/op, want 0", n)
+	}
+
+	// Same-class overwrite: exactly the one defensive copy.
+	if n := testing.AllocsPerRun(200, func() {
+		if err := s.Set(key, val, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 1 {
+		t.Errorf("Set allocates %.1f/op, want <= 1", n)
+	}
+
+	// Ownership transfer: the caller's buffer is adopted, nothing is copied.
+	owned := make([]byte, 64)
+	if n := testing.AllocsPerRun(200, func() {
+		if err := s.SetOwned(key, owned, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Errorf("SetOwned allocates %.1f/op, want 0", n)
+	}
+
+	// A rejected update (fn hands the old slice back) short-circuits to a
+	// pure no-op.
+	if n := testing.AllocsPerRun(200, func() {
+		err := s.UpdateOwned(key, func(old []byte, ok bool) ([]byte, bool) {
+			return old, true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Errorf("UpdateOwned no-op allocates %.1f/op, want 0", n)
+	}
+
+	if st := s.Stats(); st.OwnedSets == 0 {
+		t.Error("owned sets not counted")
+	}
+}

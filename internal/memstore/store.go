@@ -65,6 +65,7 @@ type Stats struct {
 	Expired     uint64
 	CASHits     uint64
 	CASMisses   uint64
+	OwnedSets   uint64
 	BudgetBytes int64
 }
 
@@ -86,6 +87,7 @@ type Store struct {
 	expired   atomic.Uint64
 	casHits   atomic.Uint64
 	casMisses atomic.Uint64
+	ownedSets atomic.Uint64
 	budget    int64
 }
 
@@ -188,23 +190,33 @@ func (s *Store) expiredLocked(sh *shard, it *item) bool {
 }
 
 // Set stores value under key unconditionally. ttl of zero means no expiry.
+// The value is copied; the caller keeps ownership of its slice.
 func (s *Store) Set(key string, value []byte, flags uint32, ttl time.Duration) error {
-	return s.store(key, value, flags, ttl, storeSet, 0)
+	return s.store(key, value, flags, ttl, storeSet, 0, false)
+}
+
+// SetOwned stores value under key unconditionally, taking ownership of the
+// value slice: the store retains it WITHOUT a defensive copy. The caller
+// must not write into the slice afterwards (reading is safe — the store
+// replaces, never mutates, values). This is the final hand-off of the
+// zero-copy write path: wire frame → encoded row → store, one copy total.
+func (s *Store) SetOwned(key string, value []byte, flags uint32, ttl time.Duration) error {
+	return s.store(key, value, flags, ttl, storeSet, 0, true)
 }
 
 // Add stores value only when key is absent.
 func (s *Store) Add(key string, value []byte, flags uint32, ttl time.Duration) error {
-	return s.store(key, value, flags, ttl, storeAdd, 0)
+	return s.store(key, value, flags, ttl, storeAdd, 0, false)
 }
 
 // Replace stores value only when key is present.
 func (s *Store) Replace(key string, value []byte, flags uint32, ttl time.Duration) error {
-	return s.store(key, value, flags, ttl, storeReplace, 0)
+	return s.store(key, value, flags, ttl, storeReplace, 0, false)
 }
 
 // CompareAndSwap stores value only when the entry's CAS matches cas.
 func (s *Store) CompareAndSwap(key string, value []byte, flags uint32, ttl time.Duration, cas uint64) error {
-	return s.store(key, value, flags, ttl, storeCAS, cas)
+	return s.store(key, value, flags, ttl, storeCAS, cas, false)
 }
 
 type storeMode int
@@ -216,7 +228,22 @@ const (
 	storeCAS
 )
 
-func (s *Store) store(key string, value []byte, flags uint32, ttl time.Duration, mode storeMode, cas uint64) error {
+// cloneUnlessOwned copies value unless the caller has transferred ownership
+// of the slice to the store.
+func cloneUnlessOwned(value []byte, owned bool) []byte {
+	if owned {
+		return value
+	}
+	return append([]byte(nil), value...)
+}
+
+// sameSlice reports whether a and b are the identical slice (same backing
+// array, same length), so replacing one with the other is a no-op.
+func sameSlice(a, b []byte) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+func (s *Store) store(key string, value []byte, flags uint32, ttl time.Duration, mode storeMode, cas uint64, owned bool) error {
 	need := len(key) + len(value) + itemOverhead
 	h := hashKey(key)
 	sh := s.shardFor(h)
@@ -261,12 +288,15 @@ func (s *Store) store(key string, value []byte, flags uint32, ttl time.Duration,
 	// Replace in place when the new value fits the same slab class.
 	if old != nil && old.class == class {
 		sh.bytes += int64(need - old.size())
-		old.value = append([]byte(nil), value...)
+		old.value = cloneUnlessOwned(value, owned)
 		old.flags = flags
 		old.expire = expire
 		old.cas = s.casSeq.Add(1)
 		sh.touchLRU(old)
 		s.sets.Add(1)
+		if owned {
+			s.ownedSets.Add(1)
+		}
 		return nil
 	}
 	if old != nil {
@@ -277,7 +307,7 @@ func (s *Store) store(key string, value []byte, flags uint32, ttl time.Duration,
 	}
 	it := &item{
 		key:    key,
-		value:  append([]byte(nil), value...),
+		value:  cloneUnlessOwned(value, owned),
 		flags:  flags,
 		expire: expire,
 		cas:    s.casSeq.Add(1),
@@ -288,6 +318,9 @@ func (s *Store) store(key string, value []byte, flags uint32, ttl time.Duration,
 	sh.pushLRU(it)
 	sh.bytes += int64(it.size())
 	s.sets.Add(1)
+	if owned {
+		s.ownedSets.Add(1)
+	}
 	return nil
 }
 
@@ -353,7 +386,23 @@ func (s *Store) Touch(key string, ttl time.Duration) bool {
 // false deletes the key (a no-op when it was absent). The value passed to fn
 // must not be retained or modified; the returned slice is copied. Update is
 // the primitive Sedna's replica path uses to apply row mutations atomically.
+//
+// Returning the old slice unchanged is recognised and short-circuits to a
+// pure no-op: no copy, no CAS bump, no set counted.
 func (s *Store) Update(key string, fn func(old []byte, ok bool) (next []byte, keep bool)) error {
+	return s.update(key, fn, false)
+}
+
+// UpdateOwned is Update with ownership transfer: the slice fn returns is
+// retained by the store WITHOUT a defensive copy (unless it is the old value
+// itself, which short-circuits to a no-op). fn must hand back either the old
+// slice or a freshly built buffer it will never write to again; the same
+// read-only aliasing rules as SetOwned apply.
+func (s *Store) UpdateOwned(key string, fn func(old []byte, ok bool) (next []byte, keep bool)) error {
+	return s.update(key, fn, true)
+}
+
+func (s *Store) update(key string, fn func(old []byte, ok bool) (next []byte, keep bool), owned bool) error {
 	h := hashKey(key)
 	sh := s.shardFor(h)
 	sh.mu.Lock()
@@ -376,6 +425,10 @@ func (s *Store) Update(key string, fn func(old []byte, ok bool) (next []byte, ke
 		}
 		return nil
 	}
+	if it != nil && sameSlice(next, it.value) {
+		sh.touchLRU(it)
+		return nil
+	}
 	need := len(key) + len(next) + itemOverhead
 	class := s.arena.classFor(need)
 	if class < 0 {
@@ -383,10 +436,13 @@ func (s *Store) Update(key string, fn func(old []byte, ok bool) (next []byte, ke
 	}
 	if it != nil && it.class == class {
 		sh.bytes += int64(need - it.size())
-		it.value = append([]byte(nil), next...)
+		it.value = cloneUnlessOwned(next, owned)
 		it.cas = s.casSeq.Add(1)
 		sh.touchLRU(it)
 		s.sets.Add(1)
+		if owned {
+			s.ownedSets.Add(1)
+		}
 		return nil
 	}
 	var flags uint32
@@ -400,7 +456,7 @@ func (s *Store) Update(key string, fn func(old []byte, ok bool) (next []byte, ke
 	}
 	ni := &item{
 		key:    key,
-		value:  append([]byte(nil), next...),
+		value:  cloneUnlessOwned(next, owned),
 		flags:  flags,
 		expire: expire,
 		cas:    s.casSeq.Add(1),
@@ -411,6 +467,9 @@ func (s *Store) Update(key string, fn func(old []byte, ok bool) (next []byte, ke
 	sh.pushLRU(ni)
 	sh.bytes += int64(ni.size())
 	s.sets.Add(1)
+	if owned {
+		s.ownedSets.Add(1)
+	}
 	return nil
 }
 
@@ -467,6 +526,7 @@ func (s *Store) Stats() Stats {
 		Expired:     s.expired.Load(),
 		CASHits:     s.casHits.Load(),
 		CASMisses:   s.casMisses.Load(),
+		OwnedSets:   s.ownedSets.Load(),
 		BudgetBytes: s.budget,
 	}
 	for _, sh := range s.shards {
@@ -501,6 +561,7 @@ func (s *Store) PublishObs(r *obs.Registry) {
 	r.Gauge("memstore.expired").Set(int64(st.Expired))
 	r.Gauge("memstore.cas_hits").Set(int64(st.CASHits))
 	r.Gauge("memstore.cas_misses").Set(int64(st.CASMisses))
+	r.Gauge("memstore.owned_sets").Set(int64(st.OwnedSets))
 	var total, used int64
 	for _, cs := range s.SlabStats() {
 		total += int64(cs.TotalChunks)
@@ -513,7 +574,9 @@ func (s *Store) PublishObs(r *obs.Registry) {
 // Range calls fn for every live item. Each shard is visited under its lock,
 // so fn must be fast and must not call back into the Store. Iteration stops
 // when fn returns false. Entries expired at visit time are skipped (but not
-// reclaimed). The value slice passed to fn must not be modified or retained.
+// reclaimed). The value slice passed to fn must not be modified; it may be
+// retained for reading — the store replaces, never mutates, values, so the
+// slice stays stable even after the entry is overwritten or dropped.
 func (s *Store) Range(fn func(key string, it Item) bool) {
 	now := s.now()
 	for _, sh := range s.shards {

@@ -624,3 +624,12 @@ func TestGrowingValueMigratesClassesWithoutLeak(t *testing.T) {
 		t.Fatalf("used chunks = %d, want exactly 1 (the final value)", used)
 	}
 }
+
+func BenchmarkStoreSetOwned(b *testing.B) {
+	s := New(Config{MemoryLimit: 256 << 20})
+	val := make([]byte, 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.SetOwned(fmt.Sprintf("test-%016d", i%100000), val, 0, 0)
+	}
+}

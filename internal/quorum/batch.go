@@ -3,6 +3,7 @@ package quorum
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"sedna/internal/kv"
@@ -116,6 +117,101 @@ func groupByNode(n int, replicasOf func(i int) []ring.NodeID) map[ring.NodeID][]
 	return groups
 }
 
+// --- pooled batch scratch ---
+//
+// Every batch call used to allocate a fresh per-key status vector plus one
+// frame slice per replica node; at batch rates that is the dominant source
+// of collector garbage, so the vectors are pooled. Pooled state never
+// escapes: anything handed to the caller (Failed lists) is either copied or
+// freshly appended per batch, and the per-node frame slices die inside the
+// detached fan-out goroutines that return them.
+
+// writeKeyState tracks one key's quorum settling inside WriteBatch.
+type writeKeyState struct {
+	need, total     int
+	acked, outdated int
+	answered        int
+	failed          []ring.NodeID
+	firstErr        error
+	done            bool
+}
+
+// readKeyGot is one replica's row for one key inside ReadBatch.
+type readKeyGot struct {
+	node ring.NodeID
+	row  *kv.Row
+}
+
+// readKeyState tracks one key's quorum settling inside ReadBatch.
+type readKeyState struct {
+	need, total int
+	answered    int
+	rows        []readKeyGot
+	failed      []ring.NodeID
+	done        bool
+}
+
+var (
+	writeStatePool = sync.Pool{New: func() any { return new([]writeKeyState) }}
+	readStatePool  = sync.Pool{New: func() any { return new([]readKeyState) }}
+	nodeWritePool  = sync.Pool{New: func() any { return new([]NodeWrite) }}
+	nodeKeysPool   = sync.Pool{New: func() any { return new([]kv.Key) }}
+)
+
+func getWriteStates(n int) *[]writeKeyState {
+	sp := writeStatePool.Get().(*[]writeKeyState)
+	if cap(*sp) < n {
+		*sp = make([]writeKeyState, n)
+	} else {
+		*sp = (*sp)[:n]
+		clear(*sp)
+	}
+	return sp
+}
+
+func getReadStates(n int) *[]readKeyState {
+	sp := readStatePool.Get().(*[]readKeyState)
+	if cap(*sp) < n {
+		*sp = make([]readKeyState, n)
+	} else {
+		*sp = (*sp)[:n]
+		clear(*sp)
+	}
+	return sp
+}
+
+func getNodeWrites(n int) *[]NodeWrite {
+	sp := nodeWritePool.Get().(*[]NodeWrite)
+	if cap(*sp) < n {
+		*sp = make([]NodeWrite, n)
+	} else {
+		*sp = (*sp)[:n]
+	}
+	return sp
+}
+
+// putNodeWrites clears the frame before pooling so the pool does not pin
+// value bytes or keys until the next reuse.
+func putNodeWrites(sp *[]NodeWrite) {
+	clear(*sp)
+	nodeWritePool.Put(sp)
+}
+
+func getNodeKeys(n int) *[]kv.Key {
+	sp := nodeKeysPool.Get().(*[]kv.Key)
+	if cap(*sp) < n {
+		*sp = make([]kv.Key, n)
+	} else {
+		*sp = (*sp)[:n]
+	}
+	return sp
+}
+
+func putNodeKeys(sp *[]kv.Key) {
+	clear(*sp)
+	nodeKeysPool.Put(sp)
+}
+
 // WriteBatch sends every item's value to its replicas using one frame per
 // distinct node and settles the W-of-N quorum independently per key. The
 // result slice aligns with items. Failed replica writes — including
@@ -134,15 +230,9 @@ func (e *Engine) WriteBatch(ctx context.Context, items []BatchWrite) []KeyWriteR
 	e.nBatchKeys.Add(uint64(len(items)))
 	obs.Mark(ctx, "quorum.batch_fanout")
 
-	type keyState struct {
-		need, total     int
-		acked, outdated int
-		answered        int
-		failed          []ring.NodeID
-		firstErr        error
-		done            bool
-	}
-	st := make([]keyState, len(items))
+	stp := getWriteStates(len(items))
+	defer writeStatePool.Put(stp)
+	st := *stp
 	undecided := 0
 	for i, it := range items {
 		if len(it.Replicas) == 0 {
@@ -154,7 +244,7 @@ func (e *Engine) WriteBatch(ctx context.Context, items []BatchWrite) []KeyWriteR
 		if need > len(it.Replicas) {
 			need = len(it.Replicas)
 		}
-		st[i] = keyState{need: need, total: len(it.Replicas)}
+		st[i] = writeKeyState{need: need, total: len(it.Replicas)}
 		undecided++
 	}
 	if undecided == 0 {
@@ -183,7 +273,9 @@ func (e *Engine) WriteBatch(ctx context.Context, items []BatchWrite) []KeyWriteR
 			// that ultimately fails must still feed the hint hook.
 			cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), e.cfg.Timeout)
 			defer cancel()
-			frame := make([]NodeWrite, len(idxs))
+			framep := getNodeWrites(len(idxs))
+			defer putNodeWrites(framep)
+			frame := *framep
 			for j, i := range idxs {
 				frame[j] = NodeWrite{Key: items[i].Key, V: items[i].V, Mode: items[i].Mode}
 			}
@@ -280,18 +372,9 @@ func (e *Engine) ReadBatch(ctx context.Context, items []BatchRead) []KeyReadResu
 	e.nBatchKeys.Add(uint64(len(items)))
 	obs.Mark(ctx, "quorum.batch_fanout")
 
-	type got struct {
-		node ring.NodeID
-		row  *kv.Row
-	}
-	type keyState struct {
-		need, total int
-		answered    int
-		rows        []got
-		failed      []ring.NodeID
-		done        bool
-	}
-	st := make([]keyState, len(items))
+	stp := getReadStates(len(items))
+	defer readStatePool.Put(stp)
+	st := *stp
 	undecided := 0
 	for i, it := range items {
 		if len(it.Replicas) == 0 {
@@ -303,7 +386,7 @@ func (e *Engine) ReadBatch(ctx context.Context, items []BatchRead) []KeyReadResu
 		if need > len(it.Replicas) {
 			need = len(it.Replicas)
 		}
-		st[i] = keyState{need: need, total: len(it.Replicas)}
+		st[i] = readKeyState{need: need, total: len(it.Replicas)}
 		undecided++
 	}
 	if undecided == 0 {
@@ -328,7 +411,9 @@ func (e *Engine) ReadBatch(ctx context.Context, items []BatchRead) []KeyReadResu
 		go func(node ring.NodeID, idxs []int) {
 			cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), e.cfg.Timeout)
 			defer cancel()
-			keys := make([]kv.Key, len(idxs))
+			keysp := getNodeKeys(len(idxs))
+			defer putNodeKeys(keysp)
+			keys := *keysp
 			for j, i := range idxs {
 				keys[j] = items[i].Key
 			}
@@ -341,16 +426,16 @@ func (e *Engine) ReadBatch(ctx context.Context, items []BatchRead) []KeyReadResu
 		}(node, idxs)
 	}
 
+	// rowsScratch is reused across settle calls and early-exit checks; only
+	// the collector loop (single goroutine) touches it.
+	var rowsScratch []*kv.Row
+
 	// settle finalises one decided key: merge what arrived, flag
 	// inconsistency, and push the merged row to the laggards.
-	settle := func(i int, s *keyState) {
-		rows := make([]*kv.Row, len(s.rows))
-		for j, g := range s.rows {
-			rows[j] = g.row
-		}
+	settle := func(i int, s *readKeyState) {
 		merged := &kv.Row{}
-		for _, r := range rows {
-			merged.Merge(r)
+		for _, g := range s.rows {
+			merged.Merge(g.row)
 		}
 		merged.Dirty = false
 		res := ReadResult{Row: merged, Failed: s.failed}
@@ -395,15 +480,15 @@ func (e *Engine) ReadBatch(ctx context.Context, items []BatchRead) []KeyReadResu
 				if row == nil {
 					row = &kv.Row{}
 				}
-				s.rows = append(s.rows, got{node: r.node, row: row})
+				s.rows = append(s.rows, readKeyGot{node: r.node, row: row})
 			}
 			// Early exit per key: R equal rows already in hand.
 			if !s.done && len(s.rows) >= s.need {
-				rows := make([]*kv.Row, len(s.rows))
-				for k, g := range s.rows {
-					rows[k] = g.row
+				rowsScratch = rowsScratch[:0]
+				for _, g := range s.rows {
+					rowsScratch = append(rowsScratch, g.row)
 				}
-				if maxEqualGroup(rows) >= s.need {
+				if maxEqualGroup(rowsScratch) >= s.need {
 					s.done = true
 				}
 			}

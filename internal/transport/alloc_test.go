@@ -1,0 +1,63 @@
+//go:build !race
+
+package transport
+
+// Allocation budget for a pooled frame round trip: once the frame pool is
+// warm, writing a frame through the coalescing frameWriter and reading it
+// back with readFramePooled must cost only the small fixed overhead of the
+// net.Pipe plumbing, not a per-frame buffer. Excluded under -race
+// (instrumentation allocates); the pooled-buffer lifetime is exercised under
+// -race by the transport round-trip tests.
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFrameRoundTripAllocBudget(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+
+	var metrics atomic.Pointer[tcpMetrics]
+	fw := newFrameWriter(c1, &metrics)
+	body := make([]byte, 512)
+
+	type got struct {
+		body []byte
+		bufp *[]byte
+	}
+	recv := make(chan got, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			_, _, _, _, b, bufp, err := readFramePooled(c2)
+			if err != nil {
+				return
+			}
+			recv <- got{b, bufp}
+		}
+	}()
+
+	roundTrip := func() {
+		if err := fw.writeFrame(1, 0x0101, kindRequest, nil, body); err != nil {
+			t.Fatal(err)
+		}
+		g := <-recv
+		if len(g.body) != len(body) {
+			t.Fatalf("got %d-byte body", len(g.body))
+		}
+		putFrameBuf(g.bufp)
+	}
+	// Warm the pool (and the pipe goroutines) before measuring.
+	roundTrip()
+
+	if n := testing.AllocsPerRun(100, roundTrip); n > 4 {
+		t.Errorf("frame round trip allocates %.1f/op, want <= 4", n)
+	}
+
+	c1.Close()
+	<-done
+}

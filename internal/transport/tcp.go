@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"fmt"
@@ -68,6 +69,7 @@ type tcpMetrics struct {
 	framesIn, framesOut *obs.Counter
 	bytesIn, bytesOut   *obs.Counter
 	dials, dialErrors   *obs.Counter
+	flushes             *obs.Counter
 	callLat             *obs.Histogram
 }
 
@@ -86,6 +88,7 @@ func (t *TCPTransport) Instrument(r *obs.Registry) {
 		bytesOut:   r.Counter("transport.bytes_out"),
 		dials:      r.Counter("transport.dials"),
 		dialErrors: r.Counter("transport.dial_errors"),
+		flushes:    r.Counter("transport.flushes"),
 		callLat:    r.Histogram("transport.call"),
 	})
 }
@@ -191,30 +194,33 @@ func (t *TCPTransport) acceptLoop(ln net.Listener, h Handler) {
 
 func (t *TCPTransport) serveConn(conn net.Conn, h Handler) {
 	defer conn.Close()
-	var writeMu sync.Mutex
+	fw := newFrameWriter(conn, &t.metrics)
 	from := conn.RemoteAddr().String()
 	for {
-		id, op, kind, ext, body, err := readFrame(conn)
+		id, op, kind, ext, body, bufp, err := readFramePooled(conn)
 		if err != nil {
 			return
 		}
 		t.metrics.Load().frameIn(len(body))
 		if kind != kindRequest {
+			putFrameBuf(bufp)
 			return // protocol violation
 		}
 		go func() {
+			// The request frame is pooled: body and ext die when this
+			// goroutine returns (see the Handler body-ownership contract),
+			// after the response — which must not alias them — is written.
+			defer putFrameBuf(bufp)
 			resp, herr := h(context.Background(), from, Message{Op: op, Body: body, Trace: ext})
 			m := t.metrics.Load()
-			writeMu.Lock()
-			defer writeMu.Unlock()
 			if herr != nil {
 				errBody := []byte(herr.Error())
 				m.frameOut(len(errBody))
-				writeFrame(conn, id, op, kindError, nil, errBody)
+				fw.writeFrame(id, op, kindError, nil, errBody)
 				return
 			}
 			m.frameOut(len(resp.Body))
-			writeFrame(conn, id, resp.Op, kindResponse, nil, resp.Body)
+			fw.writeFrame(id, resp.Op, kindResponse, nil, resp.Body)
 		}()
 	}
 }
@@ -299,7 +305,7 @@ func (t *TCPTransport) Close() error {
 type tcpClientConn struct {
 	conn    net.Conn
 	metrics *atomic.Pointer[tcpMetrics]
-	writeMu sync.Mutex
+	fw      *frameWriter
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]chan result
@@ -315,7 +321,12 @@ func newTCPClientConn(conn net.Conn, metrics *atomic.Pointer[tcpMetrics]) *tcpCl
 	if metrics == nil {
 		metrics = new(atomic.Pointer[tcpMetrics])
 	}
-	cc := &tcpClientConn{conn: conn, metrics: metrics, pending: map[uint64]chan result{}}
+	cc := &tcpClientConn{
+		conn:    conn,
+		metrics: metrics,
+		fw:      newFrameWriter(conn, metrics),
+		pending: map[uint64]chan result{},
+	}
 	go cc.readLoop()
 	return cc
 }
@@ -345,9 +356,7 @@ func (cc *tcpClientConn) call(ctx context.Context, req Message) (Message, error)
 	cc.mu.Unlock()
 
 	m.frameOut(len(req.Body))
-	cc.writeMu.Lock()
-	err := writeFrame(cc.conn, id, req.Op, kindRequest, req.Trace, req.Body)
-	cc.writeMu.Unlock()
+	err := cc.fw.writeFrame(id, req.Op, kindRequest, req.Trace, req.Body)
 	if err != nil {
 		cc.close(fmt.Errorf("%w: %v", ErrUnreachable, err))
 		return Message{}, fmt.Errorf("%w: %v", ErrUnreachable, err)
@@ -405,7 +414,73 @@ func (cc *tcpClientConn) close(err error) {
 	}
 }
 
-func writeFrame(conn net.Conn, id uint64, op uint16, kind byte, ext, body []byte) error {
+// framePool recycles flat frame buffers: the server's inbound request frames
+// and one-shot writeFrame assemblies. Buffers above maxPooledFrame are not
+// returned so a single 64 MB frame cannot pin megabytes of idle memory.
+var framePool = sync.Pool{New: func() any { p := make([]byte, 0, 4096); return &p }}
+
+const maxPooledFrame = 1 << 20
+
+// getFrameBuf returns a pooled buffer with capacity for at least n bytes,
+// length zero.
+func getFrameBuf(n int) *[]byte {
+	bp := framePool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, 0, n)
+	}
+	return bp
+}
+
+// putFrameBuf recycles a buffer obtained from getFrameBuf. The caller must
+// not touch the slice (or anything aliasing it) afterwards.
+func putFrameBuf(bp *[]byte) {
+	if bp == nil || cap(*bp) > maxPooledFrame {
+		return
+	}
+	*bp = (*bp)[:0]
+	framePool.Put(bp)
+}
+
+// frameWriter serialises frame writes onto one connection through a shared
+// buffered writer, coalescing back-to-back pipelined frames into fewer
+// syscalls. Writers announce themselves by incrementing queued BEFORE taking
+// the lock; after writing, the writer that decrements queued to zero flushes.
+// A writer that sees queued > 0 skips the flush knowing a later writer —
+// already committed to taking the lock — will carry its bytes, so every frame
+// is flushed by someone and an idle connection never holds buffered data.
+type frameWriter struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	queued  atomic.Int32
+	metrics *atomic.Pointer[tcpMetrics]
+}
+
+func newFrameWriter(conn net.Conn, metrics *atomic.Pointer[tcpMetrics]) *frameWriter {
+	if metrics == nil {
+		metrics = new(atomic.Pointer[tcpMetrics])
+	}
+	return &frameWriter{bw: bufio.NewWriterSize(conn, 32<<10), metrics: metrics}
+}
+
+func (w *frameWriter) writeFrame(id uint64, op uint16, kind byte, ext, body []byte) error {
+	w.queued.Add(1)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := writeFrameTo(w.bw, id, op, kind, ext, body)
+	if w.queued.Add(-1) == 0 {
+		if ferr := w.bw.Flush(); err == nil {
+			err = ferr
+		}
+		if m := w.metrics.Load(); m != nil {
+			m.flushes.Inc()
+		}
+	}
+	return err
+}
+
+// writeFrameTo encodes one frame into bw: a stack-built header followed by
+// the ext and body slices, so no flat frame buffer is assembled.
+func writeFrameTo(bw *bufio.Writer, id uint64, op uint16, kind byte, ext, body []byte) error {
 	if len(ext) > maxExt {
 		// Never corrupt the stream over an oversized extension; the trace
 		// is advisory, the request is not.
@@ -416,7 +491,43 @@ func writeFrame(conn net.Conn, id uint64, op uint16, kind byte, ext, body []byte
 		kind |= kindExtFlag
 		extLen = 4 + len(ext)
 	}
-	frame := make([]byte, 4+frameHeaderLen+extLen+len(body))
+	var hdr [4 + frameHeaderLen + 4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(frameHeaderLen+extLen+len(body)))
+	binary.LittleEndian.PutUint64(hdr[4:], id)
+	binary.LittleEndian.PutUint16(hdr[12:], op)
+	hdr[14] = kind
+	n := 4 + frameHeaderLen
+	if extLen > 0 {
+		binary.LittleEndian.PutUint32(hdr[n:], uint32(len(ext)))
+		n += 4
+		if _, err := bw.Write(hdr[:n]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(ext); err != nil {
+			return err
+		}
+	} else if _, err := bw.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := bw.Write(body)
+	return err
+}
+
+// writeFrame writes one frame directly to conn as a single Write, assembled
+// in a pooled buffer. The data path uses frameWriter; this remains for
+// one-shot writers and tests.
+func writeFrame(conn net.Conn, id uint64, op uint16, kind byte, ext, body []byte) error {
+	if len(ext) > maxExt {
+		ext = nil
+	}
+	extLen := 0
+	if len(ext) > 0 {
+		kind |= kindExtFlag
+		extLen = 4 + len(ext)
+	}
+	total := 4 + frameHeaderLen + extLen + len(body)
+	bp := getFrameBuf(total)
+	frame := (*bp)[:total]
 	binary.LittleEndian.PutUint32(frame, uint32(frameHeaderLen+extLen+len(body)))
 	binary.LittleEndian.PutUint64(frame[4:], id)
 	binary.LittleEndian.PutUint16(frame[12:], op)
@@ -429,23 +540,14 @@ func writeFrame(conn net.Conn, id uint64, op uint16, kind byte, ext, body []byte
 	}
 	copy(frame[off:], body)
 	_, err := conn.Write(frame)
+	*bp = frame
+	putFrameBuf(bp)
 	return err
 }
 
-func readFrame(conn net.Conn) (id uint64, op uint16, kind byte, ext, body []byte, err error) {
-	var lenBuf [4]byte
-	if err = readFull(conn, lenBuf[:]); err != nil {
-		return
-	}
-	n := binary.LittleEndian.Uint32(lenBuf[:])
-	if n < frameHeaderLen || n > maxFrame {
-		err = fmt.Errorf("transport: bad frame length %d", n)
-		return
-	}
-	buf := make([]byte, n)
-	if err = readFull(conn, buf); err != nil {
-		return
-	}
+// parseFrame splits a received frame (everything after the length prefix)
+// into its fields; ext and body alias buf.
+func parseFrame(buf []byte) (id uint64, op uint16, kind byte, ext, body []byte, err error) {
 	id = binary.LittleEndian.Uint64(buf)
 	op = binary.LittleEndian.Uint16(buf[8:])
 	kind = buf[10]
@@ -465,5 +567,54 @@ func readFrame(conn net.Conn) (id uint64, op uint16, kind byte, ext, body []byte
 		rest = rest[4+en:]
 	}
 	body = rest
+	return
+}
+
+// readFrame reads one frame into a fresh exact-size allocation; ext and body
+// alias it. Used where the frame's bytes outlive the read loop iteration —
+// the client readLoop hands body to the caller, which owns it from then on.
+func readFrame(conn net.Conn) (id uint64, op uint16, kind byte, ext, body []byte, err error) {
+	var lenBuf [4]byte
+	if err = readFull(conn, lenBuf[:]); err != nil {
+		return
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n < frameHeaderLen || n > maxFrame {
+		err = fmt.Errorf("transport: bad frame length %d", n)
+		return
+	}
+	buf := make([]byte, n)
+	if err = readFull(conn, buf); err != nil {
+		return
+	}
+	return parseFrame(buf)
+}
+
+// readFramePooled reads one frame into a pooled buffer; ext and body alias
+// *bufp, which the caller must hand back via putFrameBuf once every byte of
+// the frame is dead. bufp is nil on error.
+func readFramePooled(conn net.Conn) (id uint64, op uint16, kind byte, ext, body []byte, bufp *[]byte, err error) {
+	var lenBuf [4]byte
+	if err = readFull(conn, lenBuf[:]); err != nil {
+		return
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n < frameHeaderLen || n > maxFrame {
+		err = fmt.Errorf("transport: bad frame length %d", n)
+		return
+	}
+	bufp = getFrameBuf(int(n))
+	buf := (*bufp)[:n]
+	*bufp = buf
+	if err = readFull(conn, buf); err != nil {
+		putFrameBuf(bufp)
+		bufp = nil
+		return
+	}
+	id, op, kind, ext, body, err = parseFrame(buf)
+	if err != nil {
+		putFrameBuf(bufp)
+		bufp = nil
+	}
 	return
 }

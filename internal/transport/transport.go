@@ -30,6 +30,14 @@ type Message struct {
 // Handler processes one request and returns the response. from identifies
 // the caller's address when known ("" otherwise). Returning an error sends
 // a RemoteError to the caller instead of a response body.
+//
+// Body ownership: req.Body and req.Trace may be backed by a pooled frame
+// buffer that the transport recycles once the handler returns, so a handler
+// that retains request bytes past its return (queues them, hands them to a
+// goroutine, stores them) must copy what it keeps. The response must not
+// alias the request body. Response bodies travel in the opposite direction:
+// the transport hands the caller of Call ownership of the returned
+// Message.Body.
 type Handler func(ctx context.Context, from string, req Message) (Message, error)
 
 // Errors surfaced by transports.

@@ -61,11 +61,32 @@ type WriteOp struct {
 	Value []byte
 }
 
-// Emit buffers one output write.
+// Emit buffers one output write. The value is copied (exactly once, into a
+// pre-sized buffer), so actions may reuse their scratch.
 func (r *Result) Emit(key kv.Key, value []byte) {
+	var v []byte
+	if len(value) > 0 {
+		v = make([]byte, len(value))
+		copy(v, value)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.writes = append(r.writes, WriteOp{Key: key, Value: append([]byte(nil), value...)})
+	r.writes = append(r.writes, WriteOp{Key: key, Value: v})
+}
+
+// resultPool recycles Result collectors across action firings: the writes
+// slice keeps its capacity, so a hot trigger job stops allocating a
+// collector plus slice growth on every firing. Only the slice headers are
+// pooled — value buffers are freshly sized per Emit and handed to the write
+// path, never reused.
+var resultPool = sync.Pool{New: func() any { return new(Result) }}
+
+func getResult() *Result { return resultPool.Get().(*Result) }
+
+func putResult(r *Result) {
+	clear(r.writes) // drop value refs so the pool pins no payloads
+	r.writes = r.writes[:0]
+	resultPool.Put(r)
 }
 
 // Action processes one fired event: the key, its live values (freshest
@@ -530,7 +551,8 @@ func (e *Engine) runAction(f firing) {
 	defer func() { e.hAction.Observe(time.Since(actionStart)) }()
 	ctx, cancel := context.WithTimeout(context.Background(), f.js.job.ActionTimeout)
 	defer cancel()
-	res := &Result{}
+	res := getResult()
+	defer putResult(res)
 	if err := f.js.job.Action.Act(ctx, f.ev.key, f.ev.values, res); err != nil {
 		e.actionErrors.Add(1)
 		e.logf("job %q action on %q: %v", f.js.job.Name, f.ev.key, err)

@@ -1,0 +1,35 @@
+//go:build !race
+
+package wire
+
+// Allocation budgets for the codec primitives: BytesView must be free where
+// Bytes pays its copy. Excluded under -race (instrumentation allocates); the
+// view semantics are covered by TestBytesView in wire_test-style tests that
+// do run under it.
+
+import "testing"
+
+func TestBytesViewAllocBudget(t *testing.T) {
+	var e Enc
+	e.Bytes(make([]byte, 256))
+	buf := e.B
+
+	if n := testing.AllocsPerRun(200, func() {
+		d := NewDec(buf)
+		if len(d.BytesView()) != 256 || d.Err != nil {
+			t.Fatal("bad view")
+		}
+	}); n > 1 { // the decoder itself may escape; the view must not add a copy
+		t.Errorf("BytesView allocates %.1f/op, want <= 1", n)
+	}
+
+	d := &Dec{}
+	if n := testing.AllocsPerRun(200, func() {
+		d.B, d.Off, d.Err = buf, 0, nil
+		if len(d.BytesView()) != 256 || d.Err != nil {
+			t.Fatal("bad view")
+		}
+	}); n > 0 {
+		t.Errorf("BytesView with reused decoder allocates %.1f/op, want 0", n)
+	}
+}

@@ -132,3 +132,19 @@ func (d *Dec) Bytes() []byte {
 	d.Off += n
 	return p
 }
+
+// BytesView reads a length-prefixed byte slice WITHOUT copying: the result
+// aliases the decoder's buffer and is only valid while that buffer is. It is
+// the zero-copy hot-path accessor; callers that retain the bytes past the
+// buffer's lifetime (pooled transport frames are recycled once the RPC
+// handler returns) must use Bytes or copy explicitly. A short message
+// returns nil and sticks ErrShort, exactly like Bytes.
+func (d *Dec) BytesView() []byte {
+	n := int(d.U32())
+	if !d.need(n) {
+		return nil
+	}
+	p := d.B[d.Off : d.Off+n : d.Off+n]
+	d.Off += n
+	return p
+}

@@ -97,3 +97,67 @@ func TestPropertyRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBytesViewAliases(t *testing.T) {
+	var e Enc
+	e.Bytes([]byte("abc"))
+	buf := e.B
+	d := NewDec(buf)
+	got := d.BytesView()
+	if string(got) != "abc" || d.Err != nil || d.Off != len(buf) {
+		t.Fatalf("view = %q, err = %v, off = %d", got, d.Err, d.Off)
+	}
+	buf[4] = 'z'
+	if string(got) != "zbc" {
+		t.Fatal("BytesView copied instead of aliasing the input")
+	}
+	// The view is capped at its own length: appending must not clobber the
+	// decoder's remaining input.
+	var e2 Enc
+	e2.Bytes([]byte("ab"))
+	e2.U32(7)
+	d2 := NewDec(e2.B)
+	v := d2.BytesView()
+	_ = append(v, 0xff)
+	if got := d2.U32(); got != 7 || d2.Err != nil {
+		t.Fatalf("append through view clobbered the stream: u32 = %d, err = %v", got, d2.Err)
+	}
+}
+
+func TestBytesViewTruncated(t *testing.T) {
+	var e Enc
+	e.U32(100)
+	e.B = append(e.B, "short"...)
+	d := NewDec(e.B)
+	if v := d.BytesView(); v != nil || d.Err == nil {
+		t.Fatalf("truncated view = %q, err = %v", v, d.Err)
+	}
+}
+
+func BenchmarkBytesCopy(b *testing.B) {
+	var e Enc
+	e.Bytes(make([]byte, 512))
+	buf := e.B
+	var d Dec
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.B, d.Off, d.Err = buf, 0, nil
+		if len(d.Bytes()) != 512 {
+			b.Fatal("bad decode")
+		}
+	}
+}
+
+func BenchmarkBytesView(b *testing.B) {
+	var e Enc
+	e.Bytes(make([]byte, 512))
+	buf := e.B
+	var d Dec
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.B, d.Off, d.Err = buf, 0, nil
+		if len(d.BytesView()) != 512 {
+			b.Fatal("bad decode")
+		}
+	}
+}
