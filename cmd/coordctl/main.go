@@ -11,33 +11,90 @@
 //	coordctl -servers ... del /path
 //	coordctl -servers ... ring                   # decode and print the assignment
 //	coordctl -servers ... stats [addr] [--json]  # member metrics (znode-free path)
+//
+// Elasticity (the -node flag names the data node the campaign runs on):
+//
+//	coordctl -node 127.0.0.1:7103 join              # stream a fair share of vnodes TO the node
+//	coordctl -node 127.0.0.1:7101 drain             # stream every vnode OFF the node
+//	coordctl -node 127.0.0.1:7103 rebalance status  # one-shot campaign progress
+//
+// join/drain block, reporting progress, until the campaign completes.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"sedna/internal/cluster"
 	"sedna/internal/coord"
+	"sedna/internal/core"
+	"sedna/internal/rebalance"
 	"sedna/internal/ring"
 	"sedna/internal/transport"
+	"sedna/internal/wire"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: coordctl -servers a,b,c <status|ls|get|create|set|del|ring|stats> [args]")
+	fmt.Fprintln(os.Stderr, "usage: coordctl [-servers a,b,c] [-node addr] <status|ls|get|create|set|del|ring|stats|join|drain|rebalance> [args]")
 	os.Exit(2)
 }
 
 func main() {
 	servers := flag.String("servers", "127.0.0.1:7000", "comma-separated coordination addresses")
+	node := flag.String("node", "", "data node address for join/drain/rebalance")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
 		usage()
 	}
+
+	// The elasticity verbs are data-plane RPCs against one node; they need
+	// no coordination session at all.
+	switch args[0] {
+	case "join", "drain":
+		if *node == "" {
+			fmt.Fprintln(os.Stderr, "coordctl: "+args[0]+" requires -node <data-node-addr>")
+			os.Exit(2)
+		}
+		op := core.OpRebalanceJoin
+		if args[0] == "drain" {
+			op = core.OpRebalanceDrain
+		}
+		if _, err := dataCall(*node, op, nil); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s campaign started on %s\n", args[0], *node)
+		if err := watchCampaign(*node); err != nil {
+			fatal(err)
+		}
+		return
+	case "rebalance":
+		need(args, 2)
+		if args[1] != "status" {
+			usage()
+		}
+		if *node == "" {
+			fmt.Fprintln(os.Stderr, "coordctl: rebalance status requires -node <data-node-addr>")
+			os.Exit(2)
+		}
+		c, err := campaignStatus(*node)
+		if errors.Is(err, core.ErrNotFound) {
+			fmt.Println("no campaign")
+			return
+		}
+		if err != nil {
+			fatal(err)
+		}
+		printCampaign(c)
+		return
+	}
+
 	cli, err := coord.Dial(coord.ClientConfig{
 		Servers:   strings.Split(*servers, ","),
 		Caller:    transport.NewTCP(""),
@@ -136,6 +193,88 @@ func main() {
 		fmt.Print(rep.Snapshot.Text())
 	default:
 		usage()
+	}
+}
+
+// dataCall issues one data-plane RPC (the same wire protocol the servers
+// speak among themselves) and returns the decoder positioned after the
+// ok-header.
+func dataCall(addr string, op uint16, body []byte) (*wire.Dec, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, err := transport.NewTCP("").Call(ctx, addr, transport.Message{Op: op, Body: body})
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDec(resp.Body)
+	st := d.U16()
+	detail := d.Str()
+	if d.Err != nil {
+		return nil, d.Err
+	}
+	if st != core.StOK {
+		return nil, core.StatusErr(st, detail)
+	}
+	return d, nil
+}
+
+func campaignStatus(addr string) (rebalance.Campaign, error) {
+	d, err := dataCall(addr, core.OpRebalanceStatus, nil)
+	if err != nil {
+		return rebalance.Campaign{}, err
+	}
+	blob := d.Bytes()
+	if d.Err != nil {
+		return rebalance.Campaign{}, d.Err
+	}
+	var c rebalance.Campaign
+	if err := json.Unmarshal(blob, &c); err != nil {
+		return rebalance.Campaign{}, err
+	}
+	return c, nil
+}
+
+// watchCampaign polls the campaign until it leaves the running state,
+// echoing progress as moves complete.
+func watchCampaign(addr string) error {
+	lastDone := -1
+	for {
+		c, err := campaignStatus(addr)
+		if errors.Is(err, core.ErrNotFound) {
+			return errors.New("campaign vanished before completing")
+		}
+		if err != nil {
+			return err
+		}
+		done := c.Completed + c.Skipped + c.Failed
+		if done != lastDone {
+			lastDone = done
+			fmt.Printf("  %d/%d moves (%d skipped, %d failed)%s\n",
+				done, c.Total, c.Skipped, c.Failed, currentSuffix(c))
+		}
+		if c.State != rebalance.CampaignRunning {
+			printCampaign(c)
+			if c.State == rebalance.CampaignFailed {
+				os.Exit(1)
+			}
+			return nil
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func currentSuffix(c rebalance.Campaign) string {
+	if c.Current == "" {
+		return ""
+	}
+	return " — " + c.Current
+}
+
+func printCampaign(c rebalance.Campaign) {
+	fmt.Printf("%s %s: %s — %d/%d moves, %d skipped, %d failed\n",
+		c.Kind, c.Target, c.State, c.Completed, c.Total, c.Skipped, c.Failed)
+	if c.Error != "" {
+		fmt.Println("error:", c.Error)
 	}
 }
 

@@ -12,6 +12,7 @@
 //	sedna-bench -fig pipeline        # E6: §V crawl-to-searchable latency
 //	sedna-bench -fig batch           # E7: MGet/MSet vs per-key loops
 //	sedna-bench -fig hotpath         # E8: hot-path ns/op and allocs/op
+//	sedna-bench -fig rebalance       # E9: online vnode migration under load
 //	sedna-bench -fig all
 //
 // -scale shrinks the sweep for quick runs (1.0 = the paper's 10k..60k).
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which artifact to regenerate: 7a|7b|8|ablations|coord|pipeline|batch|hotpath|all")
+	fig := flag.String("fig", "all", "which artifact to regenerate: 7a|7b|8|ablations|coord|pipeline|batch|hotpath|rebalance|all")
 	scale := flag.Float64("scale", 0.1, "sweep scale relative to the paper's 10k..60k ops")
 	nodes := flag.Int("nodes", 9, "cluster size (the paper uses 9)")
 	seed := flag.Int64("seed", 42, "simulation seed")
@@ -43,7 +44,7 @@ func main() {
 	steps := opsSteps(*scale)
 	run := map[string]bool{}
 	if *fig == "all" {
-		for _, f := range []string{"7a", "7b", "8", "ablations", "coord", "pipeline", "batch", "hotpath"} {
+		for _, f := range []string{"7a", "7b", "8", "ablations", "coord", "pipeline", "batch", "hotpath", "rebalance"} {
 			run[f] = true
 		}
 	} else {
@@ -173,6 +174,34 @@ func main() {
 		}
 		fmt.Print(bench.HotpathTSV(series))
 		writeArtifact(*outdir, "BENCH_fig_hotpath.json", "hotpath", series)
+		fmt.Println()
+	}
+	if run["rebalance"] {
+		any = true
+		fmt.Println("== E9: live elasticity — passive join + drain under a steady workload ==")
+		rep, err := bench.RunFigRebalance(bench.RebalanceConfig{
+			Keys: scaleInt(12000, *scale),
+			Seed: *seed,
+		})
+		if err != nil {
+			log.Fatalf("fig rebalance: %v", err)
+		}
+		for _, p := range rep.Phases {
+			fmt.Printf("%-10s acked=%-6d failed=%-4d p50=%.2fms p99=%.2fms\n",
+				p.Name, p.Acked, p.Failed, p.P50Ms, p.P99Ms)
+		}
+		fmt.Printf("join : %d moves, %d rows streamed (%.0f rows/s), movement %.3f vs ideal %.3f (%.2fx)\n",
+			rep.Join.Moves, rep.Join.RowsStreamed, rep.Join.RowsPerSec,
+			rep.Join.MovementRatio, rep.Join.IdealRatio, rep.Join.RatioVsIdeal)
+		fmt.Printf("drain: %d moves, %d rows streamed (%.0f rows/s), movement %.3f vs ideal %.3f (%.2fx)\n",
+			rep.Drain.Moves, rep.Drain.RowsStreamed, rep.Drain.RowsPerSec,
+			rep.Drain.MovementRatio, rep.Drain.IdealRatio, rep.Drain.RatioVsIdeal)
+		fmt.Printf("lost acks: %d of %d audited keys\n", rep.LostAcks, rep.AuditedKeys)
+		path := filepath.Join(*outdir, "BENCH_fig_rebalance.json")
+		if err := bench.WriteRebalanceJSON(path, rep); err != nil {
+			log.Fatalf("write %s: %v", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		fmt.Println()
 	}
 	if !any {

@@ -29,6 +29,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7101", "address to serve and advertise")
 	coordList := flag.String("coord", "127.0.0.1:7000", "comma-separated coordination addresses")
 	bootstrap := flag.Bool("bootstrap", false, "initialise the coordination layout if missing")
+	passive := flag.Bool("passive", false, "join without claiming vnodes; acquire data later via 'coordctl join'")
 	vnodes := flag.Int("vnodes", 0, "virtual node count for -bootstrap (default 128)")
 	memMB := flag.Int64("mem", 64, "local store memory limit in MiB")
 	persistMode := flag.String("persist", "none", "persistency strategy: none|periodic|wal|hybrid")
@@ -64,6 +65,7 @@ func main() {
 		MemoryLimit:     *memMB << 20,
 		Persist:         sedna.PersistConfig{Dir: *dataDir, Strategy: strategy},
 		Bootstrap:       *bootstrap,
+		Passive:         *passive,
 		VNodes:          *vnodes,
 		SlowOpThreshold: time.Duration(*slowMS) * time.Millisecond,
 	}

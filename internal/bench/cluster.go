@@ -167,6 +167,20 @@ func (c *Cluster) RestartNode(i int) (*core.Server, error) {
 
 // AddNode boots data node i.
 func (c *Cluster) AddNode(i int) (*core.Server, error) {
+	return c.addNode(i, false)
+}
+
+// AddPassiveNode grows the cluster by one node that joins WITHOUT claiming
+// vnodes (the scale-out entry point): data streams to it later, when a
+// rebalance campaign runs. It returns the new node's index.
+func (c *Cluster) AddPassiveNode() (int, *core.Server, error) {
+	i := len(c.NodeAddrs)
+	c.NodeAddrs = append(c.NodeAddrs, fmt.Sprintf("sedna-%d", i))
+	srv, err := c.addNode(i, true)
+	return i, srv, err
+}
+
+func (c *Cluster) addNode(i int, passive bool) (*core.Server, error) {
 	addr := c.NodeAddrs[i]
 	pcfg := c.cfg.Persist
 	if pcfg.Strategy != persist.None && pcfg.Dir != "" {
@@ -183,6 +197,7 @@ func (c *Cluster) AddNode(i int) (*core.Server, error) {
 		MemoryLimit:     c.cfg.MemoryLimit,
 		Persist:         pcfg,
 		Bootstrap:       i == 0,
+		Passive:         passive,
 		VNodes:          c.cfg.VNodes,
 		ScanEvery:       c.cfg.ScanEvery,
 		TriggerInterval: c.cfg.TriggerInterval,

@@ -1,0 +1,386 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"sedna/internal/core"
+	"sedna/internal/kv"
+	"sedna/internal/netsim"
+	"sedna/internal/obs"
+	"sedna/internal/rebalance"
+	"sedna/internal/ring"
+)
+
+// RebalanceConfig parameterises the elasticity benchmark: a steady workload
+// runs against a 3-node cluster while a 4th node joins (vnodes stream TO
+// it) and then drains back out (vnodes stream OFF it), proving online
+// migration with zero lost acks and bounded tail latency.
+type RebalanceConfig struct {
+	// Keys is the preloaded keyspace size; zero selects 1200.
+	Keys int
+	// Writers is the background writer count; zero selects 2.
+	Writers int
+	// Profile simulates the links; zero selects GigabitLAN.
+	Profile netsim.Profile
+	// Seed fixes the simulation.
+	Seed int64
+}
+
+func (c *RebalanceConfig) defaults() {
+	if c.Keys <= 0 {
+		c.Keys = 1200
+	}
+	if c.Writers <= 0 {
+		c.Writers = 2
+	}
+	if c.Profile == (netsim.Profile{}) {
+		c.Profile = netsim.GigabitLAN()
+	}
+}
+
+// RebalancePhase is the workload's view of one benchmark window: ops acked
+// and their latency distribution while the named thing was happening.
+type RebalancePhase struct {
+	Name   string  `json:"name"`
+	Acked  int     `json:"acked"`
+	Failed int     `json:"failed"`
+	Millis float64 `json:"millis"`
+	MeanMs float64 `json:"mean_ms,omitempty"`
+	P50Ms  float64 `json:"p50_ms,omitempty"`
+	P99Ms  float64 `json:"p99_ms,omitempty"`
+}
+
+// RebalanceCampaign is the migration-side view of one join or drain: how
+// much data moved, at what rate, and how that compares with the minimal
+// (ASURA-style) movement the plan implies.
+type RebalanceCampaign struct {
+	Kind    string  `json:"kind"`
+	Millis  float64 `json:"millis"`
+	Moves   int     `json:"moves"`
+	Skipped int     `json:"skipped"`
+	Failed  int     `json:"failed"`
+	// RowsStreamed counts every row sent over the wire, INCLUDING the
+	// final catch-up pass each donor runs before dropping its copy — wire
+	// overhead, roughly 2x the data that relocates.
+	RowsStreamed uint64  `json:"rows_streamed"`
+	DualWrites   uint64  `json:"dual_writes"`
+	Cutovers     uint64  `json:"cutovers"`
+	Aborts       uint64  `json:"aborts"`
+	RowsPerSec   float64 `json:"rows_per_sec"`
+	// RowsMoved counts replica copies that changed location (rows the
+	// donors dropped once the recipient owned them) — the quantity ASURA's
+	// movement bound speaks about.
+	RowsMoved uint64 `json:"rows_moved"`
+	// RowsBefore counts every replica copy stored cluster-wide when the
+	// campaign started; MovementRatio = RowsMoved / RowsBefore.
+	RowsBefore    int64   `json:"rows_before"`
+	MovementRatio float64 `json:"movement_ratio"`
+	// IdealRatio is the minimal movement fraction: slots that MUST move
+	// over total slots (the ASURA bound — a joiner's fair share, or every
+	// slot the drained node holds). RatioVsIdeal = MovementRatio/IdealRatio
+	// and should stay under ~2 (catch-up passes re-send some rows).
+	IdealRatio   float64 `json:"ideal_ratio"`
+	RatioVsIdeal float64 `json:"ratio_vs_ideal"`
+}
+
+// RebalanceReport is the BENCH_fig_rebalance.json artifact.
+type RebalanceReport struct {
+	Figure      string            `json:"figure"`
+	Phases      []RebalancePhase  `json:"phases"`
+	Join        RebalanceCampaign `json:"join"`
+	Drain       RebalanceCampaign `json:"drain"`
+	LostAcks    int               `json:"lost_acks"`
+	AuditedKeys int               `json:"audited_keys"`
+}
+
+// WriteRebalanceJSON writes the artifact.
+func WriteRebalanceJSON(path string, rep RebalanceReport) error {
+	rep.Figure = "rebalance"
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// RunFigRebalance drives the elasticity proof: preload a 3-node cluster,
+// run a steady write workload, join a passive 4th node (online vnode
+// migration TO it), then drain it (migration OFF it), and audit that every
+// acknowledged write is still readable afterwards.
+func RunFigRebalance(cfg RebalanceConfig) (RebalanceReport, error) {
+	cfg.defaults()
+	var rep RebalanceReport
+
+	c, err := NewCluster(ClusterConfig{Nodes: 3, Profile: cfg.Profile, Seed: cfg.Seed})
+	if err != nil {
+		return rep, err
+	}
+	defer c.Close()
+	if err := c.WaitConverged(3, 15*time.Second); err != nil {
+		return rep, err
+	}
+	ctx := context.Background()
+
+	// Preload.
+	loader, err := c.Client()
+	if err != nil {
+		return rep, err
+	}
+	for i := 0; i < cfg.Keys; i++ {
+		key := kv.Join("elastic", "t", fmt.Sprintf("k%05d", i))
+		if err := loader.WriteLatest(ctx, key, []byte(fmt.Sprintf("seed-%05d", i))); err != nil {
+			return rep, fmt.Errorf("preload: %w", err)
+		}
+	}
+
+	// Background workload: writers update the preloaded keyspace and record
+	// the last acked value per key for the final audit.
+	var mu sync.Mutex
+	acked := map[kv.Key]string{}
+	ackedN, failedN := 0, 0
+	var regs []*obs.Registry
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < cfg.Writers; w++ {
+		cl, reg, err := c.ClientWithObs()
+		if err != nil {
+			return rep, err
+		}
+		regs = append(regs, reg)
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i++
+				key := kv.Join("elastic", "t", fmt.Sprintf("k%05d", (w*7919+i)%cfg.Keys))
+				val := fmt.Sprintf("w%d-i%06d", w, i)
+				wctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+				err := cl.WriteLatest(wctx, key, []byte(val))
+				cancel()
+				mu.Lock()
+				if err == nil {
+					acked[key] = val
+					ackedN++
+				} else {
+					failedN++
+				}
+				mu.Unlock()
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(w)
+	}
+	counts := func() (int, int) {
+		mu.Lock()
+		defer mu.Unlock()
+		return ackedN, failedN
+	}
+	phase := func(name string, run func() error) (RebalancePhase, error) {
+		a0, f0 := counts()
+		prev := mergedRegs(regs)
+		start := time.Now()
+		err := run()
+		wall := float64(time.Since(start).Nanoseconds()) / 1e6
+		a1, f1 := counts()
+		p := RebalancePhase{Name: name, Acked: a1 - a0, Failed: f1 - f0, Millis: wall}
+		if h := mergedRegs(regs).Delta(prev).Hist("client.write"); h.Count > 0 {
+			p.MeanMs = h.Mean() / 1e6
+			p.P50Ms = float64(h.P50()) / 1e6
+			p.P99Ms = float64(h.P99()) / 1e6
+		}
+		return p, err
+	}
+
+	// Baseline window: workload alone.
+	base, err := phase("baseline", func() error {
+		time.Sleep(1500 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	rep.Phases = append(rep.Phases, base)
+
+	// Join: boot a passive 4th node and stream its fair share to it.
+	_, joiner, err := c.AddPassiveNode()
+	if err != nil {
+		return rep, fmt.Errorf("add passive node: %w", err)
+	}
+	joinStats, joinPhase, err := runCampaign(c, joiner, "join", phase)
+	if err != nil {
+		return rep, err
+	}
+	rep.Join = joinStats
+	rep.Phases = append(rep.Phases, joinPhase)
+
+	// Drain: stream every vnode back off the node we just added.
+	drainStats, drainPhase, err := runCampaign(c, joiner, "drain", phase)
+	if err != nil {
+		return rep, err
+	}
+	rep.Drain = drainStats
+	rep.Phases = append(rep.Phases, drainPhase)
+
+	close(stop)
+	writers.Wait()
+
+	// Audit: every acked write must still be readable with a value at least
+	// as new as the acked one (a later write by the same writer may have
+	// landed after the ack we recorded).
+	auditor, err := c.Client()
+	if err != nil {
+		return rep, err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	rep.AuditedKeys = len(acked)
+	for key, want := range acked {
+		var got string
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			val, _, rerr := auditor.ReadLatest(ctx, key)
+			if rerr == nil {
+				got = string(val)
+				break
+			}
+			if time.Now().After(deadline) {
+				rep.LostAcks++
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if got == "" {
+			continue
+		}
+		var wWant, iWant, wGot, iGot int
+		fmt.Sscanf(want, "w%d-i%d", &wWant, &iWant)
+		if n, _ := fmt.Sscanf(got, "w%d-i%d", &wGot, &iGot); n == 2 {
+			if wGot != wWant || iGot < iWant {
+				rep.LostAcks++
+			}
+		} else if got != want {
+			// Still the preload value (or foreign): the acked update is gone.
+			rep.LostAcks++
+		}
+	}
+	return rep, nil
+}
+
+// runCampaign starts one join/drain campaign on node srv, waits for it to
+// finish while the workload keeps running, and returns both the migration
+// counters and the workload's latency view of the window.
+func runCampaign(c *Cluster, srv *core.Server, kind string,
+	phase func(string, func() error) (RebalancePhase, error)) (RebalanceCampaign, RebalancePhase, error) {
+
+	stats := RebalanceCampaign{Kind: kind}
+	snap := clusterRing(c)
+	if snap == nil {
+		return stats, RebalancePhase{}, fmt.Errorf("%s: no ring", kind)
+	}
+	totalSlots := snap.NumVNodes() * snap.ReplicaFactor()
+	switch kind {
+	case "join":
+		// A joiner's fair share of all slots (it becomes the N+1th member).
+		stats.IdealRatio = 1 / float64(len(snap.Nodes())+1)
+	case "drain":
+		// Every slot the node holds must move; nothing less is possible.
+		stats.IdealRatio = float64(len(snap.VNodesOf(srv.Node()))) / float64(totalSlots)
+	}
+	for _, s := range c.Servers {
+		if s != nil {
+			stats.RowsBefore += s.Stats().Store.Items
+		}
+	}
+	before := clusterObs(c)
+
+	var camp rebalance.Campaign
+	p, err := phase(kind, func() error {
+		var serr error
+		if kind == "join" {
+			serr = srv.Rebalancer().StartJoin()
+		} else {
+			serr = srv.Rebalancer().StartDrain()
+		}
+		if serr != nil {
+			return fmt.Errorf("start %s: %w", kind, serr)
+		}
+		deadline := time.Now().Add(120 * time.Second)
+		for {
+			cur, ok := srv.Rebalancer().Status()
+			if ok && cur.State != rebalance.CampaignRunning {
+				camp = cur
+				if cur.State == rebalance.CampaignFailed {
+					return fmt.Errorf("%s campaign failed: %s", kind, cur.Error)
+				}
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("%s campaign did not finish", kind)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	})
+	if err != nil {
+		return stats, p, err
+	}
+	delta := clusterObs(c).Delta(before)
+	stats.Millis = p.Millis
+	stats.Moves = camp.Completed
+	stats.Skipped = camp.Skipped
+	stats.Failed = camp.Failed
+	stats.RowsStreamed = delta.Counter("rebalance.rows_streamed")
+	stats.DualWrites = delta.Counter("rebalance.dual_writes")
+	stats.Cutovers = delta.Counter("rebalance.cutovers")
+	stats.Aborts = delta.Counter("rebalance.aborts")
+	stats.RowsMoved = delta.Counter("rebalance.rows_dropped")
+	if stats.Millis > 0 {
+		stats.RowsPerSec = float64(stats.RowsStreamed) / (stats.Millis / 1e3)
+	}
+	if stats.RowsBefore > 0 {
+		stats.MovementRatio = float64(stats.RowsMoved) / float64(stats.RowsBefore)
+	}
+	if stats.IdealRatio > 0 {
+		stats.RatioVsIdeal = stats.MovementRatio / stats.IdealRatio
+	}
+	return stats, p, nil
+}
+
+func clusterRing(c *Cluster) *ring.Ring {
+	for _, s := range c.Servers {
+		if s != nil {
+			if r := s.Ring(); r != nil {
+				return r
+			}
+		}
+	}
+	return nil
+}
+
+// clusterObs merges every server's metric snapshot.
+func clusterObs(c *Cluster) obs.Snapshot {
+	var out obs.Snapshot
+	for _, s := range c.Servers {
+		if s != nil {
+			out = out.Merge(s.ObsReport().Snapshot)
+		}
+	}
+	return out
+}
+
+func mergedRegs(regs []*obs.Registry) obs.Snapshot {
+	var out obs.Snapshot
+	for _, r := range regs {
+		out = out.Merge(r.Snapshot())
+	}
+	return out
+}

@@ -76,6 +76,7 @@ type Client struct {
 	nReroutes               *obs.Counter
 	nRingRefresh            *obs.Counter
 	nRetries                *obs.Counter
+	nRetargets              *obs.Counter
 	nBatchKeys              *obs.Counter
 	nBatchFrames            *obs.Counter
 	nBatchFallbacks         *obs.Counter
@@ -128,6 +129,7 @@ func New(cfg Config) (*Client, error) {
 		nReroutes:       cfg.Obs.Counter("client.reroute"),
 		nRingRefresh:    cfg.Obs.Counter("client.ring_refresh"),
 		nRetries:        cfg.Obs.Counter("client.retries"),
+		nRetargets:      cfg.Obs.Counter("client.retargets"),
 		nBatchKeys:      cfg.Obs.Counter("client.batch.keys"),
 		nBatchFrames:    cfg.Obs.Counter("client.batch.frames"),
 		nBatchFallbacks: cfg.Obs.Counter("client.batch.fallbacks"),
@@ -349,6 +351,20 @@ func (c *Client) doKeyed(ctx context.Context, key kv.Key, op uint16, body []byte
 		if d.Err != nil {
 			return nil, d.Err
 		}
+		if st == core.StNotOwner {
+			// The node no longer coordinates this key's vnode (it migrated,
+			// or an eviction reassigned it). The rejection carries the
+			// responder's ring version: refresh the lease to at least that
+			// version and retry the NEW owners in the same op — retargeting
+			// costs one extra round trip instead of a failed call. The
+			// tried set resets because the refreshed ring may legitimately
+			// route back to a node we already visited in another role.
+			lastErr = core.StatusErr(st, detail)
+			c.nRetargets.Inc()
+			c.refreshRingAtLeast(d.U64())
+			clear(tried)
+			continue
+		}
 		if st == core.StFailure {
 			// The coordinator could not reach a quorum; another replica
 			// may still succeed (e.g. the primary is partitioned).
@@ -447,6 +463,21 @@ func (c *Client) fetchRing() *ring.Ring {
 		return r
 	}
 	return nil
+}
+
+// refreshRingAtLeast drops the ring lease and refetches unless the leased
+// snapshot is already at or past the given version (a NotOwner rejection
+// names the responder's ring version; an older or equal lease is what
+// misrouted us).
+func (c *Client) refreshRingAtLeast(version uint64) {
+	c.mu.Lock()
+	if c.ringSnap != nil && version > 0 && c.ringSnap.Version() >= version {
+		c.mu.Unlock()
+		return
+	}
+	c.ringExpires = time.Time{}
+	c.mu.Unlock()
+	c.leasedRing()
 }
 
 func (c *Client) invalidateRing() {

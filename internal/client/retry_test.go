@@ -10,6 +10,7 @@ import (
 	"sedna/internal/client"
 	"sedna/internal/core"
 	"sedna/internal/kv"
+	"sedna/internal/obs"
 	"sedna/internal/ring"
 	"sedna/internal/transport"
 	"sedna/internal/wire"
@@ -19,11 +20,12 @@ import (
 // swappable ring snapshot and answers keyed ops per-address (transport error
 // or StOK), recording the coordinator each keyed op reached.
 type scriptedCaller struct {
-	mu    sync.Mutex
-	rings []*ring.Ring // served in order; the last one repeats
-	fetch int
-	fail  map[string]bool // addrs whose keyed ops fail at the transport
-	coord []string        // addrs that received a keyed op, in order
+	mu       sync.Mutex
+	rings    []*ring.Ring // served in order; the last one repeats
+	fetch    int
+	fail     map[string]bool   // addrs whose keyed ops fail at the transport
+	notOwner map[string]uint64 // addrs that reject keyed ops with StNotOwner + this epoch
+	coord    []string          // addrs that received a keyed op, in order
 }
 
 func (s *scriptedCaller) Call(ctx context.Context, addr string, msg transport.Message) (transport.Message, error) {
@@ -48,6 +50,13 @@ func (s *scriptedCaller) Call(ctx context.Context, addr string, msg transport.Me
 		s.coord = append(s.coord, addr)
 		if s.fail[addr] {
 			return transport.Message{}, transport.ErrUnreachable
+		}
+		if epoch, ok := s.notOwner[addr]; ok {
+			var e wire.Enc
+			e.U16(core.StNotOwner)
+			e.Str("not owner")
+			e.U64(epoch)
+			return transport.Message{Op: msg.Op, Body: e.B}, nil
 		}
 		var e wire.Enc
 		e.U16(core.StOK)
@@ -96,6 +105,53 @@ func TestDoKeyedRetargetsAfterRingInvalidation(t *testing.T) {
 	got := sc.coords()
 	if len(got) < 2 || got[0] != "stale" || got[len(got)-1] != "fresh" {
 		t.Fatalf("coordinator order = %v, want stale ... fresh", got)
+	}
+}
+
+// TestDoKeyedRetargetsOnNotOwner: a replica that lost the key's vnode to a
+// migration rejects with StNotOwner carrying its ring version. The client
+// must refresh its lease to at least that version and reach the new owner in
+// the SAME op — exactly one extra keyed round trip, no backoff loop.
+func TestDoKeyedRetargetsOnNotOwner(t *testing.T) {
+	// One table mutated in place so the second snapshot's version is
+	// strictly newer: "old" owns everything in v1, "new" in v2.
+	tab := ring.NewTable(8, 1)
+	tab.AddNode("old")
+	ring1 := tab.Snapshot()
+	tab.AddNode("new")
+	tab.RemoveNode("old")
+	ring2 := tab.Snapshot()
+	if ring2.Version() <= ring1.Version() {
+		t.Fatalf("ring versions not monotonic: %d then %d", ring1.Version(), ring2.Version())
+	}
+	sc := &scriptedCaller{
+		rings:    []*ring.Ring{ring1, ring2},
+		notOwner: map[string]uint64{"old": ring2.Version()},
+	}
+	reg := obs.NewRegistry()
+	cl, err := client.New(client.Config{
+		Servers:      []string{"old"},
+		Caller:       sc,
+		RingLease:    time.Minute, // only the NotOwner path may refresh the lease
+		CallTimeout:  time.Second,
+		RetryBudget:  4,
+		RetryBackoff: time.Millisecond,
+		Obs:          reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.WriteLatest(context.Background(), kv.Join("d", "t", "k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.coords(); len(got) != 2 || got[0] != "old" || got[1] != "new" {
+		t.Fatalf("coordinator order = %v, want [old new]", got)
+	}
+	if got := reg.Counter("client.retargets").Load(); got != 1 {
+		t.Fatalf("client.retargets = %d, want 1", got)
+	}
+	if got := cl.RingVersion(); got != ring2.Version() {
+		t.Fatalf("leased ring version = %d, want %d", got, ring2.Version())
 	}
 }
 

@@ -42,6 +42,15 @@ func (l Layout) ImbalanceNodePath(n ring.NodeID) string {
 	return l.ImbalancePath() + "/" + string(n)
 }
 
+// RebalancePath is the parent of the per-vnode migration guards.
+func (l Layout) RebalancePath() string { return l.Root + "/rebalance" }
+
+// RebalanceVNodePath is the ephemeral guard a migration orchestrator holds
+// while one vnode is in flight; it serialises concurrent campaigns.
+func (l Layout) RebalanceVNodePath(v ring.VNodeID) string {
+	return fmt.Sprintf("%s/vnode-%d", l.RebalancePath(), v)
+}
+
 // ErrNotBootstrapped reports a join against an uninitialised layout.
 var ErrNotBootstrapped = errors.New("cluster: coordination layout not bootstrapped")
 
@@ -91,6 +100,13 @@ type Config struct {
 	// node's). Anti-entropy uses it to re-merge the affected vnodes. May
 	// be nil.
 	OnDeaths func(dead []ring.NodeID, moves []ring.Move)
+	// OnOwnershipChange fires when adopting a newer assignment reveals
+	// vnodes whose owner set changed and that this node owns (under either
+	// view). Rows written against the old view may never have reached the
+	// new owners — the write quorum settles on whatever replica set the
+	// coordinator's lease showed — so the hook hands them to anti-entropy
+	// for re-merging. May be nil.
+	OnOwnershipChange func(changed []ring.VNodeID)
 	// Logf receives diagnostics; nil disables.
 	Logf func(format string, args ...any)
 }
@@ -148,13 +164,12 @@ func (m *Manager) Join() ([]ring.Move, error) {
 	}
 	// Liveness first: reconcilers must see us alive before we appear in
 	// the ring, or they would immediately evict us.
-	_, err := m.cfg.Client.Create(l.NodePath(m.cfg.Node), []byte(time.Now().UTC().Format(time.RFC3339)), coord.CreateOpts{Ephemeral: true})
-	if err != nil && !errors.Is(err, coord.ErrNodeExists) {
-		return nil, fmt.Errorf("cluster: register liveness: %w", err)
+	if err := m.registerLiveness(); err != nil {
+		return nil, err
 	}
 
 	var ourMoves []ring.Move
-	err = m.updateRing(func(t *ring.Table) []ring.Move {
+	err := m.updateRing(func(t *ring.Table) []ring.Move {
 		ourMoves = t.AddNode(m.cfg.Node)
 		return ourMoves
 	})
@@ -167,6 +182,56 @@ func (m *Manager) Join() ([]ring.Move, error) {
 	go m.reconcileLoop()
 	m.logf("joined with %d moves", len(ourMoves))
 	return ourMoves, nil
+}
+
+// JoinPassive registers the node's liveness WITHOUT claiming any vnodes: the
+// node serves RPCs and coordinates quorum traffic but owns nothing until an
+// elastic rebalance streams vnodes to it (`coordctl join`). This is how a
+// scale-out node enters the cluster — data moves later, under flow control,
+// instead of in one synchronous join.
+func (m *Manager) JoinPassive() error {
+	l := m.cfg.Layout
+	if _, _, err := m.cfg.Client.Get(l.RingPath()); err != nil {
+		if errors.Is(err, coord.ErrNoNode) {
+			return ErrNotBootstrapped
+		}
+		return err
+	}
+	if err := m.registerLiveness(); err != nil {
+		return err
+	}
+	// Adopt the current assignment without mutating it.
+	if err := m.updateRing(func(t *ring.Table) []ring.Move { return nil }); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.joined = true
+	m.mu.Unlock()
+	go m.reconcileLoop()
+	m.logf("joined passively (no vnodes claimed)")
+	return nil
+}
+
+// registerLiveness creates the node's ephemeral liveness znode. If the path
+// already exists it belongs to a previous incarnation's session (a fast
+// restart beats the old session's expiry): silently adopting it would let
+// that expiry delete a LIVE node's liveness later and get it evicted, so
+// the path is deleted and re-created to re-home it to our session.
+func (m *Manager) registerLiveness() error {
+	path := m.cfg.Layout.NodePath(m.cfg.Node)
+	stamp := []byte(time.Now().UTC().Format(time.RFC3339))
+	_, err := m.cfg.Client.Create(path, stamp, coord.CreateOpts{Ephemeral: true})
+	if errors.Is(err, coord.ErrNodeExists) {
+		m.logf("taking over leftover liveness znode %s", path)
+		if derr := m.cfg.Client.Delete(path, -1); derr != nil && !errors.Is(derr, coord.ErrNoNode) {
+			return fmt.Errorf("cluster: take over liveness: %w", derr)
+		}
+		_, err = m.cfg.Client.Create(path, stamp, coord.CreateOpts{Ephemeral: true})
+	}
+	if err != nil && !errors.Is(err, coord.ErrNodeExists) {
+		return fmt.Errorf("cluster: register liveness: %w", err)
+	}
+	return nil
 }
 
 // updateRing runs a CAS loop: read table, mutate, write back with the
@@ -211,8 +276,53 @@ func (m *Manager) updateRing(mutate func(*ring.Table) []ring.Move) error {
 
 func (m *Manager) adoptTable(t *ring.Table) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	prev := m.table
 	m.table = t
+	var changed []ring.VNodeID
+	if m.cfg.OnOwnershipChange != nil && prev != nil {
+		changed = ownershipDiff(prev.Snapshot(), t.Snapshot(), m.cfg.Node)
+	}
+	m.mu.Unlock()
+	// Outside the lock: the hook may read Ring() or call back into the
+	// manager.
+	if len(changed) > 0 {
+		m.cfg.OnOwnershipChange(changed)
+	}
+}
+
+// ownershipDiff lists the vnodes whose owner set differs between prev and
+// next, restricted to vnodes `self` owns in at least one of the two views
+// (only an owner holds rows worth re-merging).
+func ownershipDiff(prev, next *ring.Ring, self ring.NodeID) []ring.VNodeID {
+	if prev.Version() == next.Version() || prev.NumVNodes() != next.NumVNodes() {
+		return nil
+	}
+	var changed []ring.VNodeID
+	for v := 0; v < next.NumVNodes(); v++ {
+		vn := ring.VNodeID(v)
+		po, no := prev.Owners(vn), next.Owners(vn)
+		mine, same := false, len(po) == len(no)
+		for i, o := range no {
+			if same && po[i] != o {
+				same = false
+			}
+			if o == self {
+				mine = true
+			}
+		}
+		if !mine {
+			for _, o := range po {
+				if o == self {
+					mine = true
+					break
+				}
+			}
+		}
+		if mine && !same {
+			changed = append(changed, vn)
+		}
+	}
+	return changed
 }
 
 // Ring returns the node's current view of the assignment (refreshed by the
@@ -225,6 +335,101 @@ func (m *Manager) Ring() *ring.Ring {
 	}
 	return m.table.Snapshot()
 }
+
+// RefreshRing re-reads the authoritative assignment (bypassing the lease
+// cache), adopts it locally and returns the fresh snapshot. Ownership gates
+// call it before rejecting a write whose vnode this node does not appear to
+// own — the authoritative answer distinguishes "my lease is stale" from
+// "the key really moved".
+func (m *Manager) RefreshRing() (*ring.Ring, error) {
+	blob, _, err := m.cfg.Client.Get(m.cfg.Layout.RingPath())
+	if err != nil {
+		return nil, err
+	}
+	snap, err := ring.DecodeRing(blob)
+	if err != nil {
+		return nil, err
+	}
+	table := ring.NewTable(snap.NumVNodes(), snap.ReplicaFactor())
+	if err := table.ApplySnapshot(snap); err != nil {
+		return nil, err
+	}
+	m.adoptTable(table)
+	if m.cfg.Cache != nil {
+		m.cfg.Cache.Invalidate(m.cfg.Layout.RingPath())
+	}
+	return snap, nil
+}
+
+// CommitMoveSlot commits one migration cutover to the authoritative
+// assignment with the usual CAS loop: vnode v's slot moves from `from` to
+// `to`, bumping the vnode's ownership epoch and the ring version in one
+// atomic publish. ring.ErrStaleMove reports that the slot's occupant changed
+// since the migration was planned (a concurrent eviction won); the caller
+// abandons the move and replans.
+func (m *Manager) CommitMoveSlot(v ring.VNodeID, slot int, from, to ring.NodeID) error {
+	l := m.cfg.Layout
+	for attempt := 0; attempt < 16; attempt++ {
+		blob, stat, err := m.cfg.Client.Get(l.RingPath())
+		if err != nil {
+			return err
+		}
+		snap, err := ring.DecodeRing(blob)
+		if err != nil {
+			return fmt.Errorf("cluster: corrupt ring znode: %w", err)
+		}
+		table := ring.NewTable(snap.NumVNodes(), snap.ReplicaFactor())
+		if err := table.ApplySnapshot(snap); err != nil {
+			return err
+		}
+		if err := table.MoveSlot(v, slot, from, to); err != nil {
+			return err
+		}
+		_, err = m.cfg.Client.Set(l.RingPath(), ring.EncodeRing(table.Snapshot()), stat.Version)
+		if errors.Is(err, coord.ErrBadVersion) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		m.adoptTable(table)
+		if m.cfg.Cache != nil {
+			m.cfg.Cache.Invalidate(l.RingPath())
+		}
+		return nil
+	}
+	return errors.New("cluster: ring CAS contention, giving up")
+}
+
+// AcquireMigrationGuard takes the per-vnode migration lock: an ephemeral
+// znode that dies with this node's session, so a crashed orchestrator never
+// wedges the vnode. The release func is idempotent. ErrGuardHeld reports
+// that another campaign is migrating the vnode right now.
+func (m *Manager) AcquireMigrationGuard(v ring.VNodeID) (release func(), err error) {
+	l := m.cfg.Layout
+	if err := m.cfg.Client.EnsurePath(l.RebalancePath()); err != nil {
+		return nil, err
+	}
+	path := l.RebalanceVNodePath(v)
+	_, err = m.cfg.Client.Create(path, []byte(m.cfg.Node), coord.CreateOpts{Ephemeral: true})
+	if errors.Is(err, coord.ErrNodeExists) {
+		return nil, fmt.Errorf("%w: vnode %d", ErrGuardHeld, v)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if derr := m.cfg.Client.Delete(path, -1); derr != nil && !errors.Is(derr, coord.ErrNoNode) {
+				m.logf("release migration guard %d: %v", v, derr)
+			}
+		})
+	}, nil
+}
+
+// ErrGuardHeld reports a migration guard owned by another campaign.
+var ErrGuardHeld = errors.New("cluster: vnode migration guard held")
 
 // Leave gracefully removes the node: its vnodes are redistributed and the
 // ephemeral vanishes with the session.
@@ -292,9 +497,40 @@ func (m *Manager) Reconcile() error {
 	if err != nil {
 		return err
 	}
+	// Self-heal before judging others: if our own liveness znode is gone
+	// (session expired under load, or a restart race deleted it), peers are
+	// about to evict a live node. Re-register and carry on.
+	if !alive[m.cfg.Node] {
+		_, ok, err := m.cfg.Client.Exists(m.cfg.Layout.NodePath(m.cfg.Node))
+		if err == nil && !ok {
+			m.logf("own liveness znode missing; re-registering")
+			if rerr := m.registerLiveness(); rerr != nil {
+				m.logf("re-register liveness: %v", rerr)
+			} else {
+				alive[m.cfg.Node] = true
+			}
+		} else if err == nil {
+			alive[m.cfg.Node] = true // children cache merely stale
+		}
+	}
 	var dead []ring.NodeID
+	var confirmErr error
 	for _, n := range snap.Nodes() {
-		if !alive[n] {
+		if alive[n] {
+			continue
+		}
+		// The cached children listing can lag the ring znode (they
+		// invalidate independently), so a node that just joined may appear
+		// in the ring before its liveness shows up here. Like ReportSuspect,
+		// confirm against the authoritative store before evicting. A failed
+		// confirmation leaves the candidate in place for a later round —
+		// it must not block adopting the assignment table below.
+		_, ok, err := m.cfg.Client.Exists(m.cfg.Layout.NodePath(n))
+		if err != nil {
+			confirmErr = err
+			continue
+		}
+		if !ok {
 			dead = append(dead, n)
 		}
 	}
@@ -304,7 +540,7 @@ func (m *Manager) Reconcile() error {
 			return err
 		}
 		m.adoptTable(table)
-		return nil
+		return confirmErr
 	}
 	m.logf("evicting dead nodes %v", dead)
 	var allMoves []ring.Move

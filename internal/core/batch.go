@@ -177,6 +177,10 @@ func (rt replicaRPC) WriteReplicaBatch(ctx context.Context, node ring.NodeID, it
 			acks[i] = quorum.WriteAck{Status: quorum.WriteOK}
 		case StOutdated:
 			acks[i] = quorum.WriteAck{Status: quorum.WriteOutdated}
+		case StNotOwner:
+			epoch := d.U64()
+			rt.s.noteRemoteNotOwner(epoch)
+			acks[i] = quorum.WriteAck{Err: NotOwnerWithEpoch(epoch)}
 		default:
 			acks[i] = quorum.WriteAck{Err: StatusErr(ist, idetail)}
 		}
@@ -363,6 +367,10 @@ func (s *Server) handleReplicaWriteBatch(ctx context.Context, from string, req t
 			st, detail := ErrStatus(err)
 			e.U16(st)
 			e.Str(detail)
+			if st == StNotOwner {
+				epoch, _ := NotOwnerEpoch(err)
+				e.U64(epoch)
+			}
 		case status == quorum.WriteOK:
 			e.U16(StOK)
 			e.Str("")

@@ -24,12 +24,18 @@ func instrumented(h *obs.Histogram, fn transport.Handler) transport.Handler {
 	}
 }
 
-// errorMsg builds an error response.
+// errorMsg builds an error response. NotOwner rejections carry the
+// responder's ring version after the detail string so the caller can
+// retarget in one round trip.
 func errorMsg(op uint16, err error) transport.Message {
 	st, detail := ErrStatus(err)
 	var e wire.Enc
 	e.U16(st)
 	e.Str(detail)
+	if st == StNotOwner {
+		epoch, _ := NotOwnerEpoch(err)
+		e.U64(epoch)
+	}
 	return transport.Message{Op: op, Body: e.B}
 }
 

@@ -50,6 +50,29 @@ const (
 	OpReplicaWriteBatch uint16 = 0x030f
 	// OpReplicaReadBatch fetches many local rows in one frame.
 	OpReplicaReadBatch uint16 = 0x0310
+	// OpMigrateStart arms one side of a vnode migration: the recipient is
+	// told to accept rows for a vnode it does not own yet, the donor is
+	// told to stream its rows out and dual-write incoming mutations.
+	OpMigrateStart uint16 = 0x0311
+	// OpMigrateRows carries one bounded batch of a migrating vnode's rows
+	// from the donor to the recipient, which merges them idempotently.
+	OpMigrateRows uint16 = 0x0312
+	// OpMigrateStatus reports the donor-side streaming progress of one
+	// vnode migration.
+	OpMigrateStatus uint16 = 0x0313
+	// OpMigrateFinish concludes a migration on either side: the donor runs
+	// a final catch-up pass and drops the vnode, the recipient stops
+	// special-casing it. An abort flag tears the state down instead.
+	OpMigrateFinish uint16 = 0x0314
+	// OpRebalanceJoin asks the receiving node to pull its fair share of
+	// vnodes from the cluster via online migrations (elastic scale-out).
+	OpRebalanceJoin uint16 = 0x0315
+	// OpRebalanceDrain asks the receiving node to migrate every vnode it
+	// holds to the other members (graceful scale-in).
+	OpRebalanceDrain uint16 = 0x0316
+	// OpRebalanceStatus reports the node's current or last rebalance
+	// campaign as JSON.
+	OpRebalanceStatus uint16 = 0x0317
 )
 
 // MaxBatchKeys bounds the keys one batch frame may carry; larger batches
@@ -72,6 +95,12 @@ const (
 	StBadRequest
 	// StNoSub reports an unknown subscription id.
 	StNoSub
+	// StNotOwner reports a replica operation sent to a node that no longer
+	// (or does not yet) own the key's vnode. The error frame carries the
+	// responder's current ring version after the detail string, so the
+	// caller can retarget in one round trip instead of waiting for its
+	// lease to expire.
+	StNotOwner
 )
 
 // Errors surfaced by the client-facing API.
@@ -86,7 +115,34 @@ var (
 	ErrBadRequest = errors.New("sedna: bad request")
 	// ErrNoSub corresponds to StNoSub.
 	ErrNoSub = errors.New("sedna: unknown subscription")
+	// ErrNotOwner corresponds to StNotOwner.
+	ErrNotOwner = errors.New("sedna: not an owner of this vnode")
 )
+
+// notOwnerError carries the rejecting node's ring version alongside
+// ErrNotOwner so callers can tell whether their view is behind.
+type notOwnerError struct{ epoch uint64 }
+
+func (e *notOwnerError) Error() string { return ErrNotOwner.Error() }
+func (e *notOwnerError) Unwrap() error { return ErrNotOwner }
+func (e *notOwnerError) Epoch() uint64 { return e.epoch }
+
+// NotOwnerWithEpoch builds an ErrNotOwner that carries the given ring
+// version.
+func NotOwnerWithEpoch(epoch uint64) error { return &notOwnerError{epoch: epoch} }
+
+// NotOwnerEpoch extracts the ring version from an ErrNotOwner chain; ok is
+// false when the error is not a NotOwner rejection.
+func NotOwnerEpoch(err error) (epoch uint64, ok bool) {
+	var noe *notOwnerError
+	if errors.As(err, &noe) {
+		return noe.epoch, true
+	}
+	if errors.Is(err, ErrNotOwner) {
+		return 0, true
+	}
+	return 0, false
+}
 
 // StatusErr maps a wire status to an error (nil for StOK).
 func StatusErr(st uint16, detail string) error {
@@ -104,6 +160,8 @@ func StatusErr(st uint16, detail string) error {
 		base = ErrBadRequest
 	case StNoSub:
 		base = ErrNoSub
+	case StNotOwner:
+		base = ErrNotOwner
 	default:
 		base = errors.New("sedna: unknown status")
 	}
@@ -126,6 +184,8 @@ func ErrStatus(err error) (uint16, string) {
 		return StBadRequest, err.Error()
 	case errors.Is(err, ErrNoSub):
 		return StNoSub, ""
+	case errors.Is(err, ErrNotOwner):
+		return StNotOwner, ""
 	default:
 		return StFailure, err.Error()
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"sedna/internal/heal"
 	"sedna/internal/kv"
 	"sedna/internal/memstore"
 	"sedna/internal/obs"
@@ -42,6 +43,12 @@ func resetScratchRow(r *kv.Row) {
 // a pooled transport frame) is copied exactly once, by AppendRow.
 func (s *Server) applyReplicaWrite(key kv.Key, v kv.Versioned, mode quorum.Mode) (quorum.WriteStatus, error) {
 	s.nReplicaWrites.Inc()
+	// Ownership gate: after a migration cutover the old and new quorums may
+	// not overlap, so a replica that lost the vnode must reject instead of
+	// acking a write the new owners will never see.
+	if gerr := s.checkWriteOwnership(key); gerr != nil {
+		return 0, gerr
+	}
 	status := quorum.WriteOK
 	duplicate := false
 	var newBlob []byte
@@ -86,6 +93,9 @@ func (s *Server) applyReplicaWrite(key kv.Key, v kv.Versioned, mode quorum.Mode)
 		}
 		s.markDirty(key)
 		s.recordWrite(key)
+		// Dual-write window: while this vnode streams out, the accepted
+		// value is also queued to the migration recipient.
+		s.forwardDualWrite(key, v)
 	}
 	return status, nil
 }
@@ -130,6 +140,9 @@ func (s *Server) readReplicaBlob(key kv.Key) []byte {
 // owned re-encoding, so in's values are copied exactly once.
 func (s *Server) mergeReplicaRow(key kv.Key, in *kv.Row) error {
 	s.nRepairs.Inc()
+	if gerr := s.checkWriteOwnership(key); gerr != nil {
+		return gerr
+	}
 	changed := false
 	var newBlob []byte
 	row := rowScratchPool.Get().(*kv.Row)
@@ -160,6 +173,7 @@ func (s *Server) mergeReplicaRow(key kv.Key, in *kv.Row) error {
 		}
 		s.markDirty(key)
 		s.recordWrite(key)
+		s.forwardDualRow(key, in)
 	}
 	return nil
 }
@@ -272,6 +286,12 @@ func (rt replicaRPC) WriteReplica(ctx context.Context, node ring.NodeID, key kv.
 		return quorum.WriteOK, nil
 	case StOutdated:
 		return quorum.WriteOutdated, nil
+	case StNotOwner:
+		// The error frame carries the responder's ring version so we can
+		// tell a stale lease on our side from one on theirs.
+		epoch := d.U64()
+		rt.s.noteRemoteNotOwner(epoch)
+		return 0, NotOwnerWithEpoch(epoch)
 	default:
 		return 0, StatusErr(st, detail)
 	}
@@ -296,6 +316,11 @@ func (rt replicaRPC) ReadReplica(ctx context.Context, node ring.NodeID, key kv.K
 	d := wire.NewDec(resp.Body)
 	st := d.U16()
 	detail := d.Str()
+	if st == StNotOwner {
+		epoch := d.U64()
+		rt.s.noteRemoteNotOwner(epoch)
+		return nil, NotOwnerWithEpoch(epoch)
+	}
 	if st != StOK {
 		return nil, StatusErr(st, detail)
 	}
@@ -329,6 +354,11 @@ func (rt replicaRPC) RepairReplica(ctx context.Context, node ring.NodeID, key kv
 	d := wire.NewDec(resp.Body)
 	st := d.U16()
 	detail := d.Str()
+	if st == StNotOwner {
+		epoch := d.U64()
+		rt.s.noteRemoteNotOwner(epoch)
+		return NotOwnerWithEpoch(epoch)
+	}
 	if st != StOK {
 		return StatusErr(st, detail)
 	}
@@ -379,6 +409,18 @@ func (s *Server) CoordWrite(ctx context.Context, key kv.Key, value []byte, mode 
 	// report the failures the quorum saw as suspects.
 	if len(res.Failed) > 0 {
 		s.suspectAll(res.Failed)
+	}
+	if err != nil {
+		// The owners may have moved mid-op (migration cutover): refresh the
+		// lease once and retry against the new owner set.
+		if again := s.retargetedReplicas(key, replicas); again != nil {
+			obs.Mark(ctx, "coord.retarget")
+			res, err = s.engine.Write(ctx, again, key, v, mode)
+			failed += len(res.Failed)
+			if len(res.Failed) > 0 {
+				s.suspectAll(res.Failed)
+			}
+		}
 	}
 	if err != nil {
 		outcome = "failure"
@@ -451,6 +493,15 @@ func (s *Server) CoordRead(ctx context.Context, key kv.Key) (*kv.Row, error) {
 	obs.Mark(ctx, "coord.route")
 	res, err := s.engine.Read(ctx, replicas, key)
 	failed = len(res.Failed)
+	if err != nil {
+		// As in CoordWrite: absorb a migration cutover with one retargeted
+		// retry before reporting failure.
+		if again := s.retargetedReplicas(key, replicas); again != nil {
+			obs.Mark(ctx, "coord.retarget")
+			res, err = s.engine.Read(ctx, again, key)
+			failed += len(res.Failed)
+		}
+	}
 	if len(res.Failed) > 0 {
 		if err == nil && res.Row != nil && len(res.Row.Values) > 0 {
 			// The quorum answered without the failed replicas; queue the
@@ -623,14 +674,32 @@ func (s *Server) onDeaths(dead []ring.NodeID, moves []ring.Move) {
 	}
 }
 
+// onOwnershipChange receives the vnodes whose owner set a newly adopted ring
+// changed. Rows this node wrote (or quorum-acked) against the previous view
+// may be invisible to the new owner set — a coordinator's lease can lag a
+// join, leaving acked rows on replicas the fresh ring no longer consults —
+// so every affected vnode goes through an anti-entropy re-merge.
+func (s *Server) onOwnershipChange(changed []ring.VNodeID) {
+	if s.sweeper == nil || len(changed) == 0 {
+		return
+	}
+	s.sweeper.MarkDirty(changed...)
+	s.logf("ring change dirtied %d vnodes for anti-entropy", len(changed))
+}
+
 // sweepVNode re-merges every local row of one vnode into the vnode's other
 // current owners. Merges are idempotent, so sweeping a vnode that already
-// converged is wasted bandwidth but never wrong.
+// converged is wasted bandwidth but never wrong. The vnode's ownership
+// epoch is captured up front and re-checked periodically: when a migration
+// cutover (or eviction) reassigns the vnode mid-sweep, the sweep stops and
+// reports heal.ErrOwnershipChanged so the sweeper re-queues it against the
+// new owner set instead of finishing a repair round targeted at stale peers.
 func (s *Server) sweepVNode(v ring.VNodeID) error {
 	r := s.mgr.Ring()
 	if r == nil || s.engine == nil {
 		return errors.New("core: not started")
 	}
+	epoch := r.EpochOf(v)
 	var peers []ring.NodeID
 	for _, o := range r.Owners(v) {
 		if o != "" && o != s.cfg.Node {
@@ -656,7 +725,12 @@ func (s *Server) sweepVNode(v ring.VNodeID) error {
 		return true
 	})
 	var firstErr error
-	for _, e := range rows {
+	for i, e := range rows {
+		if i%32 == 0 {
+			if cur := s.mgr.Ring(); cur != nil && cur.EpochOf(v) != epoch {
+				return heal.ErrOwnershipChanged
+			}
+		}
 		if err := s.engine.Repair(context.Background(), peers, e.key, e.row); err != nil && firstErr == nil {
 			firstErr = err
 		}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sedna/internal/cluster"
@@ -15,6 +16,7 @@ import (
 	"sedna/internal/obs"
 	"sedna/internal/persist"
 	"sedna/internal/quorum"
+	"sedna/internal/rebalance"
 	"sedna/internal/ring"
 	"sedna/internal/transport"
 	"sedna/internal/trigger"
@@ -46,6 +48,12 @@ type Config struct {
 	// 128.
 	Bootstrap bool
 	VNodes    int
+	// Passive joins the cluster without claiming any vnodes: the node
+	// serves RPCs and watches the ring but holds no data until an explicit
+	// rebalance campaign (coordctl join) migrates vnodes onto it. This is
+	// how elastic scale-out adds capacity without the thundering handoff
+	// an eager join would trigger.
+	Passive bool
 	// ScanEvery, TriggerInterval and TriggerWorkers tune the trigger
 	// engine (zero selects 10ms / 100ms / 4).
 	ScanEvery       time.Duration
@@ -109,6 +117,12 @@ type Server struct {
 	health   *transport.HealthCaller
 	healer   *heal.Healer
 	sweeper  *heal.Sweeper
+	mig      *rebalance.Migrator
+	reb      *rebalance.Rebalancer
+
+	// lastOwnRefresh rate-limits authoritative ring refreshes taken by the
+	// write-ownership gate (unix nanos of the last attempt).
+	lastOwnRefresh atomic.Int64
 
 	mu        sync.Mutex
 	loadStats *ring.LoadStats
@@ -128,6 +142,7 @@ type Server struct {
 	nCoordWrites, nCoordReads     *obs.Counter
 	nReplicaWrites, nReplicaReads *obs.Counter
 	nRepairs, nRecoveries         *obs.Counter
+	nHintsRedirected              *obs.Counter
 	hCoordWrite, hCoordRead       *obs.Histogram
 	hReplicaFanout                *obs.Histogram
 }
@@ -178,16 +193,17 @@ func NewServer(cfg Config) (*Server, error) {
 		dirtySet: map[kv.Key]bool{},
 		stopCh:   make(chan struct{}),
 
-		obs:            cfg.Obs,
-		nCoordWrites:   cfg.Obs.Counter("core.coord_writes"),
-		nCoordReads:    cfg.Obs.Counter("core.coord_reads"),
-		nReplicaWrites: cfg.Obs.Counter("core.replica_writes"),
-		nReplicaReads:  cfg.Obs.Counter("core.replica_reads"),
-		nRepairs:       cfg.Obs.Counter("core.repairs"),
-		nRecoveries:    cfg.Obs.Counter("core.recoveries"),
-		hCoordWrite:    cfg.Obs.Histogram("client_ops.write"),
-		hCoordRead:     cfg.Obs.Histogram("client_ops.read"),
-		hReplicaFanout: cfg.Obs.Histogram("replica.fanout"),
+		obs:              cfg.Obs,
+		nCoordWrites:     cfg.Obs.Counter("core.coord_writes"),
+		nCoordReads:      cfg.Obs.Counter("core.coord_reads"),
+		nReplicaWrites:   cfg.Obs.Counter("core.replica_writes"),
+		nReplicaReads:    cfg.Obs.Counter("core.replica_reads"),
+		nRepairs:         cfg.Obs.Counter("core.repairs"),
+		nRecoveries:      cfg.Obs.Counter("core.recoveries"),
+		nHintsRedirected: cfg.Obs.Counter("rebalance.hints_redirected"),
+		hCoordWrite:      cfg.Obs.Histogram("client_ops.write"),
+		hCoordRead:       cfg.Obs.Histogram("client_ops.read"),
+		hReplicaFanout:   cfg.Obs.Histogram("replica.fanout"),
 	}
 	s.subs = newSubRegistry(s)
 
@@ -199,9 +215,10 @@ func NewServer(cfg Config) (*Server, error) {
 	s.health = transport.NewHealthCaller(cfg.Transport, cfg.Breaker)
 	s.health.Instrument(cfg.Obs)
 	healer, err := heal.New(heal.Config{
-		Replay: func(ctx context.Context, node ring.NodeID, key kv.Key, row *kv.Row) error {
-			return replicaRPC{s}.RepairReplica(ctx, node, key, row)
-		},
+		// replayHint re-checks ownership before delivering: hints parked
+		// behind a dead node's backoff can outlive a migration cutover, in
+		// which case they redirect to the vnode's current owners.
+		Replay:        s.replayHint,
 		QueueCapacity: cfg.HintCapacity,
 		BaseBackoff:   cfg.HintReplayBackoff,
 		ReplayTimeout: cfg.Quorum.Timeout,
@@ -222,6 +239,34 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Migration engine and campaign orchestrator. Both exist from
+	// construction so the rebalance.* counters appear in every metrics
+	// snapshot; the closures nil-check s.mgr because migrations can only
+	// be armed after Start.
+	s.mig = rebalance.NewMigrator(rebalance.MigratorConfig{
+		Self: cfg.Node,
+		Scan: s.scanVNodeRows,
+		Send: s.sendMigrateRows,
+		Drop: s.dropVNodeRows,
+		Owned: func(v ring.VNodeID) bool {
+			if s.mgr == nil {
+				return true // unknown: keep the rows
+			}
+			r := s.mgr.Ring()
+			if r == nil {
+				return true
+			}
+			return nodeOwns(r, v, cfg.Node)
+		},
+		MarkDirty: func(v ring.VNodeID) { s.sweeper.MarkDirty(v) },
+		Obs:       cfg.Obs,
+		Logf:      cfg.Logf,
+	})
+	s.reb = rebalance.NewRebalancer(rebalance.RebalancerConfig{
+		Host: rebalanceHost{s},
+		Obs:  cfg.Obs,
+		Logf: cfg.Logf,
+	})
 	s.health.OnStateChange = func(addr string, from, to transport.BreakerState) {
 		s.logf("breaker %s: %s -> %s", addr, from, to)
 		if to == transport.BreakerClosed {
@@ -323,6 +368,13 @@ func (s *Server) Start() error {
 		{OpSubClose, "sub_close", s.subs.handleClose},
 		{OpServerStats, "server_stats", s.handleStats},
 		{OpObsStats, "obs_stats", s.handleObsStats},
+		{OpMigrateStart, "migrate_start", s.handleMigrateStart},
+		{OpMigrateRows, "migrate_rows", s.handleMigrateRows},
+		{OpMigrateStatus, "migrate_status", s.handleMigrateStatus},
+		{OpMigrateFinish, "migrate_finish", s.handleMigrateFinish},
+		{OpRebalanceJoin, "rebalance_join", s.handleRebalanceJoin},
+		{OpRebalanceDrain, "rebalance_drain", s.handleRebalanceDrain},
+		{OpRebalanceStatus, "rebalance_status", s.handleRebalanceStatus},
 	} {
 		mux.HandleFunc(reg.op, instrumented(s.obs.Histogram("rpc.server."+reg.name), reg.h))
 	}
@@ -349,20 +401,28 @@ func (s *Server) Start() error {
 		}
 	}
 	s.mgr, err = cluster.NewManager(cluster.Config{
-		Node:           s.cfg.Node,
-		Client:         s.coordCli,
-		Cache:          s.cache,
-		ReconcileEvery: s.cfg.ReconcileEvery,
-		OnMoves:        s.onMoves,
-		OnDeaths:       s.onDeaths,
-		Logf:           s.cfg.Logf,
+		Node:              s.cfg.Node,
+		Client:            s.coordCli,
+		Cache:             s.cache,
+		ReconcileEvery:    s.cfg.ReconcileEvery,
+		OnMoves:           s.onMoves,
+		OnDeaths:          s.onDeaths,
+		OnOwnershipChange: s.onOwnershipChange,
+		Logf:              s.cfg.Logf,
 	})
 	if err != nil {
 		return err
 	}
-	moves, err := s.mgr.Join()
-	if err != nil {
-		return fmt.Errorf("core: join: %w", err)
+	var moves []ring.Move
+	if s.cfg.Passive {
+		if err := s.mgr.JoinPassive(); err != nil {
+			return fmt.Errorf("core: passive join: %w", err)
+		}
+	} else {
+		moves, err = s.mgr.Join()
+		if err != nil {
+			return fmt.Errorf("core: join: %w", err)
+		}
 	}
 	r := s.mgr.Ring()
 	s.mu.Lock()
@@ -426,6 +486,9 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	close(s.stopCh)
 	s.wg.Wait()
+	if s.mig != nil {
+		s.mig.Close()
+	}
 	if s.healer != nil {
 		s.healer.Close()
 	}

@@ -248,3 +248,43 @@ func TestSweeperDedupsAndRetries(t *testing.T) {
 		t.Fatalf("sweep_backlog gauge = %d, want 0", snap.Gauge("heal.sweep_backlog"))
 	}
 }
+
+func TestSweeperReschedulesOnOwnershipChange(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	reg := obs.NewRegistry()
+	s, err := NewSweeper(SweepConfig{
+		Every: 10 * time.Millisecond,
+		Obs:   reg,
+		Sweep: func(v ring.VNodeID) error {
+			mu.Lock()
+			defer mu.Unlock()
+			attempts++
+			// The vnode's ownership epoch moves under the first two sweep
+			// attempts (a migration cutover landing mid-sweep); the third
+			// runs against a stable owner set.
+			if attempts <= 2 {
+				return ErrOwnershipChanged
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Close()
+
+	s.MarkDirty(9)
+	waitFor(t, 5*time.Second, func() bool { return s.Backlog() == 0 }, "backlog not drained")
+	snap := reg.Snapshot()
+	if snap.Counter("heal.sweep_rescheduled") != 2 {
+		t.Fatalf("sweep_rescheduled = %d, want 2", snap.Counter("heal.sweep_rescheduled"))
+	}
+	if snap.Counter("heal.sweep_errors") != 0 {
+		t.Fatalf("sweep_errors = %d, want 0: an ownership change is not a failure", snap.Counter("heal.sweep_errors"))
+	}
+	if snap.Counter("heal.sweeps") != 1 {
+		t.Fatalf("sweeps = %d, want 1", snap.Counter("heal.sweeps"))
+	}
+}

@@ -9,10 +9,19 @@ import (
 	"sedna/internal/ring"
 )
 
+// ErrOwnershipChanged is the sentinel a Sweep func returns when it detects
+// that the vnode's ownership epoch moved mid-sweep (a migration cutover or
+// eviction landed while rows were being re-merged). The sweeper re-queues
+// the vnode — the rest of the sweep would repair against a stale owner set —
+// without counting the round as an error.
+var ErrOwnershipChanged = errors.New("heal: vnode ownership changed mid-sweep")
+
 // SweepConfig parameterises a Sweeper.
 type SweepConfig struct {
 	// Sweep re-merges one vnode to its current owners. Required. A non-nil
-	// error re-queues the vnode for the next tick.
+	// error re-queues the vnode for the next tick; ErrOwnershipChanged
+	// re-queues without counting an error (the vnode moved mid-sweep and
+	// must be retried against the new owner set).
 	Sweep func(v ring.VNodeID) error
 	// Every paces the sweep: one vnode per tick, so anti-entropy stays a
 	// low-rate background activity. Zero selects 250ms.
@@ -40,6 +49,7 @@ type Sweeper struct {
 	started bool // guarded by mu
 
 	nSweeps, nErrors *obs.Counter
+	nRescheduled     *obs.Counter
 	gBacklog         *obs.Gauge
 }
 
@@ -53,14 +63,15 @@ func NewSweeper(cfg SweepConfig) (*Sweeper, error) {
 		cfg.Every = 250 * time.Millisecond
 	}
 	return &Sweeper{
-		cfg:      cfg,
-		dirty:    map[ring.VNodeID]struct{}{},
-		kick:     make(chan struct{}, 1),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
-		nSweeps:  cfg.Obs.Counter("heal.sweeps"),
-		nErrors:  cfg.Obs.Counter("heal.sweep_errors"),
-		gBacklog: cfg.Obs.Gauge("heal.sweep_backlog"),
+		cfg:          cfg,
+		dirty:        map[ring.VNodeID]struct{}{},
+		kick:         make(chan struct{}, 1),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+		nSweeps:      cfg.Obs.Counter("heal.sweeps"),
+		nErrors:      cfg.Obs.Counter("heal.sweep_errors"),
+		nRescheduled: cfg.Obs.Counter("heal.sweep_rescheduled"),
+		gBacklog:     cfg.Obs.Gauge("heal.sweep_backlog"),
 	}, nil
 }
 
@@ -161,6 +172,13 @@ func (s *Sweeper) sweepOne() {
 	if err != nil {
 		s.queue = append(s.queue, v)
 		s.mu.Unlock()
+		if errors.Is(err, ErrOwnershipChanged) {
+			// Not a failure: the vnode moved while we were sweeping it. A
+			// later round repairs against the new owner set.
+			s.nRescheduled.Inc()
+			s.logf("sweep of vnode %d rescheduled: ownership changed mid-sweep", v)
+			return
+		}
 		s.nErrors.Inc()
 		s.logf("sweep of vnode %d failed: %v", v, err)
 		return

@@ -210,6 +210,19 @@ func TestOpsPlaneEndToEnd(t *testing.T) {
 	if !strings.Contains(metrics, "sedna_") {
 		t.Fatal("/metrics carries no sedna_ metrics")
 	}
+	// The elasticity counters register at server construction, so they are
+	// scrapeable (at zero) before any campaign runs — dashboards and alerts
+	// can reference them unconditionally.
+	for _, name := range []string{
+		"sedna_rebalance_rows_streamed",
+		"sedna_rebalance_dual_writes",
+		"sedna_rebalance_cutovers",
+		"sedna_rebalance_aborts",
+	} {
+		if !strings.Contains(metrics, name) {
+			t.Fatalf("/metrics missing %s", name)
+		}
+	}
 
 	var h opshttp.HealthStatus
 	if err := json.Unmarshal([]byte(mustGet(t, base+"/healthz", http.StatusOK)), &h); err != nil {

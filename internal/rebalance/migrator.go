@@ -1,0 +1,457 @@
+package rebalance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sedna/internal/obs"
+	"sedna/internal/ring"
+)
+
+// Phase is the donor-side state of one vnode migration.
+type Phase int
+
+const (
+	// PhaseStreaming: the initial bulk copy is paging rows to the
+	// recipient; incoming mutations are dual-written.
+	PhaseStreaming Phase = iota
+	// PhaseSynced: the bulk copy finished; dual-writes keep the recipient
+	// current while the orchestrator commits the cutover.
+	PhaseSynced
+	// PhaseAborted: the stream failed; the donor keeps its rows and the
+	// migration must be retried from scratch.
+	PhaseAborted
+)
+
+// String renders the phase for status reports.
+func (p Phase) String() string {
+	switch p {
+	case PhaseStreaming:
+		return "streaming"
+	case PhaseSynced:
+		return "synced"
+	case PhaseAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Status is the externally visible state of one migration on this node.
+type Status struct {
+	VNode ring.VNodeID `json:"vnode"`
+	Peer  ring.NodeID  `json:"peer"`
+	Phase string       `json:"phase"`
+	Rows  uint64       `json:"rows"`
+	Bytes uint64       `json:"bytes"`
+	Err   string       `json:"err,omitempty"`
+}
+
+// MigratorConfig parameterises the per-node migration engine.
+type MigratorConfig struct {
+	// Self is this node's identity.
+	Self ring.NodeID
+	// Scan iterates the local rows of one vnode. The blobs handed to fn
+	// are the store's canonical row encodings; they may be aliased (the
+	// store replaces, never mutates, values) but not written to.
+	Scan func(v ring.VNodeID, fn func(key string, blob []byte) bool)
+	// Send delivers one bounded batch of rows to the recipient, which
+	// merges them idempotently. Required for donor duty.
+	Send func(ctx context.Context, to ring.NodeID, v ring.VNodeID, keys []string, blobs [][]byte) error
+	// Drop removes the local rows of a fully migrated vnode; it returns
+	// the number of rows reclaimed.
+	Drop func(v ring.VNodeID) int
+	// Owned reports whether this node still owns v in the current ring;
+	// the donor only drops rows once it has been cut out of the vnode.
+	Owned func(v ring.VNodeID) bool
+	// MarkDirty re-queues a vnode for anti-entropy when the final
+	// catch-up pass could not reach the recipient; the sweep converges
+	// what the hints and the stream may have missed.
+	MarkDirty func(v ring.VNodeID)
+	// BatchRows and BatchBytes bound one OpMigrateRows frame; zero
+	// selects 256 rows / 256 KiB.
+	BatchRows  int
+	BatchBytes int
+	// SendTimeout bounds one batch delivery; zero selects 5s.
+	SendTimeout time.Duration
+	// Obs receives the rebalance.* metrics; nil disables.
+	Obs *obs.Registry
+	// Logf receives diagnostics; nil disables.
+	Logf func(format string, args ...any)
+}
+
+// donorState tracks one outgoing migration.
+type donorState struct {
+	to    ring.NodeID
+	phase Phase
+	rows  uint64
+	bytes uint64
+	err   error
+	done  chan struct{} // closed when the stream goroutine exits
+}
+
+// Migrator holds a node's migration state machine for both roles: outgoing
+// vnodes it is streaming away (dual-writing mutations meanwhile) and
+// incoming vnodes it accepts rows for before owning them. The replica write
+// gate consults it on every mutation, so lookups are mutex-cheap.
+type Migrator struct {
+	cfg MigratorConfig
+
+	mu  sync.Mutex
+	out map[ring.VNodeID]*donorState
+	in  map[ring.VNodeID]ring.NodeID
+
+	nRowsStreamed *obs.Counter
+	nRowsReceived *obs.Counter
+	nBytesOut     *obs.Counter
+	nDualWrites   *obs.Counter
+	nAborts       *obs.Counter
+	nDropped      *obs.Counter
+	gActive       *obs.Gauge
+}
+
+// NewMigrator builds the per-node migration engine.
+func NewMigrator(cfg MigratorConfig) *Migrator {
+	if cfg.BatchRows <= 0 {
+		cfg.BatchRows = 256
+	}
+	if cfg.BatchBytes <= 0 {
+		cfg.BatchBytes = 256 << 10
+	}
+	if cfg.SendTimeout <= 0 {
+		cfg.SendTimeout = 5 * time.Second
+	}
+	return &Migrator{
+		cfg: cfg,
+		out: map[ring.VNodeID]*donorState{},
+		in:  map[ring.VNodeID]ring.NodeID{},
+
+		nRowsStreamed: cfg.Obs.Counter("rebalance.rows_streamed"),
+		nRowsReceived: cfg.Obs.Counter("rebalance.rows_received"),
+		nBytesOut:     cfg.Obs.Counter("rebalance.bytes_streamed"),
+		nDualWrites:   cfg.Obs.Counter("rebalance.dual_writes"),
+		nAborts:       cfg.Obs.Counter("rebalance.aborts"),
+		nDropped:      cfg.Obs.Counter("rebalance.rows_dropped"),
+		gActive:       cfg.Obs.Gauge("rebalance.migrations_active"),
+	}
+}
+
+func (m *Migrator) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf("rebalance: "+format, args...)
+	}
+}
+
+// ErrMigrationBusy reports a vnode already migrating to a different peer.
+var ErrMigrationBusy = errors.New("rebalance: vnode already migrating")
+
+// ErrStillStreaming reports a Finish before the bulk copy completed.
+var ErrStillStreaming = errors.New("rebalance: bulk copy still in flight")
+
+// StartDonor arms the donor side of migrating vnode v to `to`: the vnode's
+// local rows start streaming out in bounded batches while every mutation the
+// donor accepts is dual-written to the recipient through the hint machinery.
+// Re-arming the same (v, to) pair is idempotent.
+func (m *Migrator) StartDonor(v ring.VNodeID, to ring.NodeID) error {
+	if to == "" || to == m.cfg.Self {
+		return fmt.Errorf("rebalance: bad recipient %q", to)
+	}
+	m.mu.Lock()
+	if st := m.out[v]; st != nil {
+		defer m.mu.Unlock()
+		if st.to == to && st.phase != PhaseAborted {
+			return nil
+		}
+		if st.phase == PhaseAborted {
+			delete(m.out, v) // retry after abort below is fine
+		} else {
+			return fmt.Errorf("%w: vnode %d -> %q", ErrMigrationBusy, v, st.to)
+		}
+	}
+	st := &donorState{to: to, phase: PhaseStreaming, done: make(chan struct{})}
+	m.out[v] = st
+	m.mu.Unlock()
+	m.gActive.Add(1)
+	go m.stream(v, st)
+	return nil
+}
+
+// stream runs the donor's bulk copy: snapshot the vnode's row references,
+// page them to the recipient, then park in PhaseSynced for the cutover.
+func (m *Migrator) stream(v ring.VNodeID, st *donorState) {
+	defer close(st.done)
+	err := m.streamPass(context.Background(), v, st.to, func(rows, bytes int) {
+		m.mu.Lock()
+		st.rows += uint64(rows)
+		st.bytes += uint64(bytes)
+		aborted := st.phase == PhaseAborted
+		m.mu.Unlock()
+		m.nRowsStreamed.Add(uint64(rows))
+		m.nBytesOut.Add(uint64(bytes))
+		if aborted {
+			panic(abortStream{})
+		}
+	})
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st.phase == PhaseAborted {
+		return
+	}
+	if err != nil {
+		st.phase = PhaseAborted
+		st.err = err
+		m.nAborts.Inc()
+		m.logf("stream of vnode %d to %s aborted: %v", v, st.to, err)
+		return
+	}
+	st.phase = PhaseSynced
+}
+
+// abortStream unwinds a stream goroutine whose migration was aborted from
+// the outside between batches.
+type abortStream struct{}
+
+// streamPass pages every current local row of v to `to`; onBatch is invoked
+// after each delivered batch with the rows/bytes it carried.
+func (m *Migrator) streamPass(ctx context.Context, v ring.VNodeID, to ring.NodeID, onBatch func(rows, bytes int)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortStream); ok {
+				err = errors.New("rebalance: migration aborted")
+				return
+			}
+			panic(r)
+		}
+	}()
+	// Snapshot the vnode's rows first: blobs are stable (the store replaces,
+	// never mutates, values) and rows written after this point reach the
+	// recipient through the dual-write hints.
+	var keys []string
+	var blobs [][]byte
+	m.cfg.Scan(v, func(key string, blob []byte) bool {
+		keys = append(keys, key)
+		blobs = append(blobs, blob)
+		return true
+	})
+	for start := 0; start < len(keys); {
+		end, size := start, 0
+		for end < len(keys) && end-start < m.cfg.BatchRows && size < m.cfg.BatchBytes {
+			size += len(keys[end]) + len(blobs[end])
+			end++
+		}
+		if serr := m.sendWithRetry(ctx, to, v, keys[start:end], blobs[start:end]); serr != nil {
+			return serr
+		}
+		if onBatch != nil {
+			onBatch(end-start, size)
+		}
+		start = end
+	}
+	return nil
+}
+
+// sendWithRetry delivers one batch with a short retry budget; the batch is
+// idempotent on the recipient (CRDT merge), so re-sends are safe.
+func (m *Migrator) sendWithRetry(ctx context.Context, to ring.NodeID, v ring.VNodeID, keys []string, blobs [][]byte) error {
+	var lastErr error
+	backoff := 50 * time.Millisecond
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		sctx, cancel := context.WithTimeout(ctx, m.cfg.SendTimeout)
+		lastErr = m.cfg.Send(sctx, to, v, keys, blobs)
+		cancel()
+		if lastErr == nil {
+			return nil
+		}
+	}
+	return lastErr
+}
+
+// DonorStatus reports the outgoing migration of v, if any.
+func (m *Migrator) DonorStatus(v ring.VNodeID) (Status, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.out[v]
+	if st == nil {
+		return Status{}, false
+	}
+	out := Status{VNode: v, Peer: st.to, Phase: st.phase.String(), Rows: st.rows, Bytes: st.bytes}
+	if st.err != nil {
+		out.Err = st.err.Error()
+	}
+	return out, true
+}
+
+// FinishDonor concludes the donor side after the cutover committed: the
+// migration state is cleared FIRST (new writes now bounce with NotOwner and
+// re-route to the recipient), then one final catch-up pass re-streams
+// whatever landed after the bulk copy's snapshot — closing the hole left by
+// any dual-write hints the bounded queues dropped — and the local rows are
+// dropped once the ring confirms this node is out of the vnode. With
+// abort=true the state is torn down and the rows stay.
+func (m *Migrator) FinishDonor(ctx context.Context, v ring.VNodeID, abort bool) error {
+	m.mu.Lock()
+	st := m.out[v]
+	if st == nil {
+		m.mu.Unlock()
+		return nil // idempotent
+	}
+	if abort {
+		streaming := st.phase == PhaseStreaming
+		st.phase = PhaseAborted
+		delete(m.out, v)
+		m.mu.Unlock()
+		m.gActive.Add(-1)
+		m.nAborts.Inc()
+		if streaming {
+			<-st.done // the next batch check unwinds the goroutine
+		}
+		m.logf("migration of vnode %d to %s aborted", v, st.to)
+		return nil
+	}
+	if st.phase == PhaseStreaming {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: vnode %d", ErrStillStreaming, v)
+	}
+	to := st.to
+	delete(m.out, v)
+	m.mu.Unlock()
+	m.gActive.Add(-1)
+	<-st.done
+
+	// Final catch-up: everything still local goes out once more. Merges are
+	// idempotent, so re-sending the bulk rows is waste but never wrong.
+	if err := m.streamPass(ctx, v, to, func(rows, bytes int) {
+		m.nRowsStreamed.Add(uint64(rows))
+		m.nBytesOut.Add(uint64(bytes))
+	}); err != nil {
+		// The recipient went dark between cutover and finish. Keep the rows
+		// and mark the vnode for anti-entropy: the sweep re-merges it to the
+		// current owners, so nothing is lost — just not yet reclaimed.
+		m.logf("final pass of vnode %d to %s failed (%v); keeping rows for anti-entropy", v, to, err)
+		if m.cfg.MarkDirty != nil {
+			m.cfg.MarkDirty(v)
+		}
+		return nil
+	}
+	if m.cfg.Owned != nil && m.cfg.Owned(v) {
+		// Still an owner (the move shifted a different replica slot to us,
+		// or the cutover never landed): keep the rows.
+		return nil
+	}
+	if m.cfg.Drop != nil {
+		n := m.cfg.Drop(v)
+		m.nDropped.Add(uint64(n))
+		m.logf("migrated vnode %d to %s, dropped %d local rows", v, to, n)
+	}
+	return nil
+}
+
+// ExpectRecipient arms the recipient side: rows and dual-writes for vnode v
+// arriving from the donor are accepted even though the ring does not list
+// this node as an owner yet. Arming happens BEFORE the donor starts, so no
+// early dual-write ever bounces.
+func (m *Migrator) ExpectRecipient(v ring.VNodeID, from ring.NodeID) {
+	m.mu.Lock()
+	m.in[v] = from
+	m.mu.Unlock()
+}
+
+// UnexpectRecipient disarms the recipient side after cutover (or abort).
+func (m *Migrator) UnexpectRecipient(v ring.VNodeID) {
+	m.mu.Lock()
+	delete(m.in, v)
+	m.mu.Unlock()
+}
+
+// Expecting reports whether this node accepts not-yet-owned rows for v.
+func (m *Migrator) Expecting(v ring.VNodeID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.in[v]
+	return ok
+}
+
+// Recipient returns the dual-write target for vnode v: set while this node
+// is donating v and the stream has not aborted.
+func (m *Migrator) Recipient(v ring.VNodeID) (ring.NodeID, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.out[v]
+	if st == nil || st.phase == PhaseAborted {
+		return "", false
+	}
+	return st.to, true
+}
+
+// Party reports whether this node is either side of a migration of v; the
+// replica gate accepts writes for vnodes it is party to.
+func (m *Migrator) Party(v ring.VNodeID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.in[v]; ok {
+		return true
+	}
+	st := m.out[v]
+	return st != nil && st.phase != PhaseAborted
+}
+
+// NoteDualWrite counts one mutation forwarded to the recipient.
+func (m *Migrator) NoteDualWrite() { m.nDualWrites.Inc() }
+
+// NoteRowsReceived counts rows merged on the recipient side.
+func (m *Migrator) NoteRowsReceived(n int) { m.nRowsReceived.Add(uint64(n)) }
+
+// Outgoing snapshots every donor-side migration.
+func (m *Migrator) Outgoing() []Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Status, 0, len(m.out))
+	for v, st := range m.out {
+		s := Status{VNode: v, Peer: st.to, Phase: st.phase.String(), Rows: st.rows, Bytes: st.bytes}
+		if st.err != nil {
+			s.Err = st.err.Error()
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Incoming snapshots every recipient-side expectation.
+func (m *Migrator) Incoming() []Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Status, 0, len(m.in))
+	for v, from := range m.in {
+		out = append(out, Status{VNode: v, Peer: from, Phase: "expecting"})
+	}
+	return out
+}
+
+// Close aborts every in-flight migration (shutdown path).
+func (m *Migrator) Close() {
+	m.mu.Lock()
+	var waits []chan struct{}
+	for v, st := range m.out {
+		if st.phase == PhaseStreaming {
+			st.phase = PhaseAborted
+			waits = append(waits, st.done)
+		}
+		delete(m.out, v)
+	}
+	m.in = map[ring.VNodeID]ring.NodeID{}
+	m.mu.Unlock()
+	for _, w := range waits {
+		<-w
+	}
+}

@@ -1,0 +1,89 @@
+// Package rebalance implements Sedna's live cluster elasticity: a planner
+// that derives donor→recipient vnode moves from the assignment table, a
+// per-node Migrator that streams vnode rows between nodes while both keep
+// serving traffic, and a Rebalancer that orchestrates whole join/drain
+// campaigns one vnode at a time.
+//
+// A single vnode migration runs the handoff protocol:
+//
+//	arm recipient  →  stream rows (donor dual-writes)  →  cutover (ring CAS,
+//	epoch bump)  →  final catch-up pass  →  drop donor rows
+//
+// Ordering invariants: the recipient is armed BEFORE the donor starts, so no
+// dual-write ever bounces; the donor clears its migration state BEFORE the
+// final pass, so post-cutover writes reject with NotOwner instead of landing
+// in rows about to be dropped; rows are dropped only after the final pass
+// succeeded AND the ring confirms the donor is out of the vnode.
+package rebalance
+
+import (
+	"fmt"
+
+	"sedna/internal/ring"
+)
+
+// PlanJoin computes the moves that hand the joining node its fair share of
+// vnode slots, without mutating the live table: the snapshot is replayed
+// onto a scratch table and AddNode's join logic picks the donors. Fill moves
+// (From == "") assign previously empty slots to the joiner and need no data
+// migration — the joiner recovers the vnode from the surviving replicas.
+func PlanJoin(snap *ring.Ring, joiner ring.NodeID) ([]ring.Move, error) {
+	if joiner == "" {
+		return nil, fmt.Errorf("rebalance: empty joiner name")
+	}
+	t := ring.NewTable(snap.NumVNodes(), snap.ReplicaFactor())
+	if err := t.ApplySnapshot(snap); err != nil {
+		return nil, fmt.Errorf("rebalance: plan join: %w", err)
+	}
+	return collapseChains(t.AddNode(joiner)), nil
+}
+
+// PlanDrain computes the moves that empty the draining node, again on a
+// scratch table. An error is returned when the remaining members cannot
+// absorb every slot (a move with To == "") — draining below the replica
+// floor would silently shed redundancy.
+func PlanDrain(snap *ring.Ring, node ring.NodeID) ([]ring.Move, error) {
+	t := ring.NewTable(snap.NumVNodes(), snap.ReplicaFactor())
+	if err := t.ApplySnapshot(snap); err != nil {
+		return nil, fmt.Errorf("rebalance: plan drain: %w", err)
+	}
+	moves := collapseChains(t.RemoveNode(node))
+	for _, m := range moves {
+		if m.To == "" {
+			return nil, fmt.Errorf("rebalance: cannot drain %q: no node can absorb vnode %d slot %d", node, m.VNode, m.Slot)
+		}
+	}
+	return moves, nil
+}
+
+// collapseChains merges per-(vnode,slot) move chains the table planner can
+// emit — a vacate ""←x followed by a fill ""→y on the same slot becomes the
+// single migration x→y; a fill followed by a pull collapses likewise. The
+// result has at most one move per (vnode, slot).
+func collapseChains(moves []ring.Move) []ring.Move {
+	type slotKey struct {
+		v    ring.VNodeID
+		slot int
+	}
+	first := map[slotKey]int{}
+	out := make([]ring.Move, 0, len(moves))
+	for _, m := range moves {
+		k := slotKey{m.VNode, m.Slot}
+		if i, ok := first[k]; ok {
+			// Chain: keep the original source, adopt the final target.
+			out[i].To = m.To
+			continue
+		}
+		first[k] = len(out)
+		out = append(out, m)
+	}
+	// Drop no-ops a chain may have collapsed into (x → x).
+	kept := out[:0]
+	for _, m := range out {
+		if m.From == m.To {
+			continue
+		}
+		kept = append(kept, m)
+	}
+	return kept
+}

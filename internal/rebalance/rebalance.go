@@ -1,0 +1,324 @@
+package rebalance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sedna/internal/obs"
+	"sedna/internal/ring"
+)
+
+// Host is the node-side surface the Rebalancer drives migrations through.
+// Implementations route to the local Migrator when node == self and over the
+// data-plane RPC otherwise, keeping this package free of transport imports.
+type Host interface {
+	// Self is this node's identity.
+	Self() ring.NodeID
+	// FreshRing fetches the authoritative ring snapshot from the
+	// coordination service (not a cached lease).
+	FreshRing() (*ring.Ring, error)
+	// MigrateStart arms one side of a migration on `node`: as recipient
+	// (accept rows for v from peer) or as donor (stream v to peer).
+	MigrateStart(ctx context.Context, node ring.NodeID, v ring.VNodeID, peer ring.NodeID, recipientRole bool) error
+	// MigrateStatus reports the donor-side progress on `node`.
+	MigrateStatus(ctx context.Context, node ring.NodeID, v ring.VNodeID) (Status, error)
+	// MigrateFinish concludes (or aborts) one side of a migration.
+	MigrateFinish(ctx context.Context, node ring.NodeID, v ring.VNodeID, abort, recipientRole bool) error
+	// Commit CASes the slot's owner from `from` to `to` in the coordination
+	// service, bumping the vnode's epoch; ring.ErrStaleMove reports a lost
+	// race with a concurrent reassignment.
+	Commit(v ring.VNodeID, slot int, from, to ring.NodeID) error
+	// Guard acquires the cluster-wide per-vnode migration guard; a held
+	// guard (another campaign is moving v) surfaces as ErrGuardHeld-wrapped
+	// error from the cluster layer.
+	Guard(v ring.VNodeID) (release func(), err error)
+	// GuardHeld reports whether err means the guard is held elsewhere.
+	GuardHeld(err error) bool
+	// Recover pulls vnode v's rows from the surviving replicas (the
+	// fill-move path, where no donor exists to stream from).
+	Recover(v ring.VNodeID)
+}
+
+// Campaign is the JSON status of one join/drain run.
+type Campaign struct {
+	Kind      string      `json:"kind"` // "join" | "drain"
+	Target    ring.NodeID `json:"target"`
+	State     string      `json:"state"` // "running" | "done" | "failed"
+	Total     int         `json:"total"`
+	Completed int         `json:"completed"`
+	Skipped   int         `json:"skipped"`
+	Failed    int         `json:"failed"`
+	Current   string      `json:"current,omitempty"`
+	Error     string      `json:"error,omitempty"`
+}
+
+// Campaign states.
+const (
+	CampaignRunning = "running"
+	CampaignDone    = "done"
+	CampaignFailed  = "failed"
+)
+
+// ErrCampaignBusy reports a join/drain start while one is already running.
+var ErrCampaignBusy = errors.New("rebalance: campaign already running")
+
+// RebalancerConfig parameterises the campaign orchestrator.
+type RebalancerConfig struct {
+	Host Host
+	// SyncTimeout bounds the wait for one vnode's bulk copy; zero = 30s.
+	SyncTimeout time.Duration
+	// PollEvery paces donor status polls; zero = 20ms.
+	PollEvery time.Duration
+	// Obs receives rebalance campaign metrics; nil disables.
+	Obs *obs.Registry
+	// Logf receives diagnostics; nil disables.
+	Logf func(format string, args ...any)
+}
+
+// Rebalancer runs join/drain campaigns: plan moves against a fresh ring,
+// then migrate one vnode at a time — serial execution keeps the transfer
+// bandwidth (and therefore the p99 impact on foreground traffic) bounded.
+type Rebalancer struct {
+	cfg RebalancerConfig
+
+	mu       sync.Mutex
+	campaign *Campaign
+	running  bool
+
+	nCutovers  *obs.Counter
+	nMoveFails *obs.Counter
+	nCampaigns *obs.Counter
+}
+
+// NewRebalancer builds the orchestrator.
+func NewRebalancer(cfg RebalancerConfig) *Rebalancer {
+	if cfg.SyncTimeout <= 0 {
+		cfg.SyncTimeout = 30 * time.Second
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = 20 * time.Millisecond
+	}
+	return &Rebalancer{
+		cfg:        cfg,
+		nCutovers:  cfg.Obs.Counter("rebalance.cutovers"),
+		nMoveFails: cfg.Obs.Counter("rebalance.move_failures"),
+		nCampaigns: cfg.Obs.Counter("rebalance.campaigns"),
+	}
+}
+
+func (r *Rebalancer) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf("rebalance: "+format, args...)
+	}
+}
+
+// Status returns the current or last campaign, if any.
+func (r *Rebalancer) Status() (Campaign, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.campaign == nil {
+		return Campaign{}, false
+	}
+	return *r.campaign, true
+}
+
+// StartJoin launches a campaign that pulls this node's fair share of vnode
+// slots from the existing members. It returns once the campaign is planned
+// and running; poll Status for progress.
+func (r *Rebalancer) StartJoin() error {
+	return r.start("join", func(snap *ring.Ring) ([]ring.Move, error) {
+		return PlanJoin(snap, r.cfg.Host.Self())
+	})
+}
+
+// StartDrain launches a campaign that migrates every slot this node holds to
+// the other members, leaving it safe to remove.
+func (r *Rebalancer) StartDrain() error {
+	return r.start("drain", func(snap *ring.Ring) ([]ring.Move, error) {
+		return PlanDrain(snap, r.cfg.Host.Self())
+	})
+}
+
+func (r *Rebalancer) start(kind string, plan func(*ring.Ring) ([]ring.Move, error)) error {
+	r.mu.Lock()
+	if r.running {
+		r.mu.Unlock()
+		return ErrCampaignBusy
+	}
+	r.running = true
+	r.campaign = &Campaign{Kind: kind, Target: r.cfg.Host.Self(), State: CampaignRunning}
+	r.mu.Unlock()
+	r.nCampaigns.Inc()
+
+	snap, err := r.cfg.Host.FreshRing()
+	if err == nil {
+		var moves []ring.Move
+		moves, err = plan(snap)
+		if err == nil {
+			r.mu.Lock()
+			r.campaign.Total = len(moves)
+			r.mu.Unlock()
+			go r.run(moves)
+			return nil
+		}
+	}
+	r.mu.Lock()
+	r.campaign.State = CampaignFailed
+	r.campaign.Error = err.Error()
+	r.running = false
+	r.mu.Unlock()
+	return err
+}
+
+// run executes the campaign's moves serially and records the outcome.
+func (r *Rebalancer) run(moves []ring.Move) {
+	completed, skipped, failed := 0, 0, 0
+	for _, m := range moves {
+		r.mu.Lock()
+		r.campaign.Current = fmt.Sprintf("vnode %d: %s -> %s", m.VNode, orBlank(m.From), m.To)
+		r.mu.Unlock()
+		switch err := r.migrateOne(m); {
+		case err == nil:
+			completed++
+		case errors.Is(err, errMoveSkipped):
+			skipped++
+			r.logf("move %v skipped: %v", m, err)
+		default:
+			failed++
+			r.nMoveFails.Inc()
+			r.logf("move %v failed: %v", m, err)
+		}
+		r.mu.Lock()
+		r.campaign.Completed = completed
+		r.campaign.Skipped = skipped
+		r.campaign.Failed = failed
+		r.mu.Unlock()
+	}
+	r.mu.Lock()
+	r.campaign.Current = ""
+	if failed > 0 {
+		r.campaign.State = CampaignFailed
+		r.campaign.Error = fmt.Sprintf("%d of %d moves failed", failed, len(moves))
+	} else {
+		r.campaign.State = CampaignDone
+	}
+	kind := r.campaign.Kind
+	r.running = false
+	r.mu.Unlock()
+	r.logf("campaign %s done: %d completed, %d skipped, %d failed of %d",
+		kind, completed, skipped, failed, len(moves))
+}
+
+// errMoveSkipped classifies a move that lost a benign race (guard held by a
+// concurrent campaign, assignment changed under us) — not a failure.
+var errMoveSkipped = errors.New("rebalance: move skipped")
+
+// migrateOne runs the full handoff protocol for one move. Fill moves
+// (From == "") commit directly and recover from replicas; real moves arm the
+// recipient first, stream, cut over via ring CAS, then finish both sides.
+func (r *Rebalancer) migrateOne(m ring.Move) error {
+	host := r.cfg.Host
+	release, err := host.Guard(m.VNode)
+	if err != nil {
+		if host.GuardHeld(err) {
+			return fmt.Errorf("%w: %v", errMoveSkipped, err)
+		}
+		return err
+	}
+	defer release()
+
+	if m.From == "" {
+		// Previously empty slot: no donor to stream from. Commit the
+		// assignment, then pull the rows from the surviving replicas.
+		if err := host.Commit(m.VNode, m.Slot, m.From, m.To); err != nil {
+			if errors.Is(err, ring.ErrStaleMove) {
+				return fmt.Errorf("%w: %v", errMoveSkipped, err)
+			}
+			return err
+		}
+		r.nCutovers.Inc()
+		if m.To == host.Self() {
+			host.Recover(m.VNode)
+		}
+		return nil
+	}
+
+	ctx := context.Background()
+	// Recipient first: every dual-write the donor emits from the first
+	// streamed row onward must find the recipient already accepting.
+	if err := host.MigrateStart(ctx, m.To, m.VNode, m.From, true); err != nil {
+		return fmt.Errorf("arm recipient: %w", err)
+	}
+	if err := host.MigrateStart(ctx, m.From, m.VNode, m.To, false); err != nil {
+		_ = host.MigrateFinish(ctx, m.To, m.VNode, true, true)
+		return fmt.Errorf("arm donor: %w", err)
+	}
+
+	// Wait for the bulk copy to finish.
+	if err := r.awaitSynced(ctx, m); err != nil {
+		r.abortBoth(ctx, m)
+		return err
+	}
+
+	// Cutover: CAS the assignment. After this commits, readers quorum
+	// through the recipient and the donor's gate bounces new writes.
+	if err := host.Commit(m.VNode, m.Slot, m.From, m.To); err != nil {
+		r.abortBoth(ctx, m)
+		if errors.Is(err, ring.ErrStaleMove) {
+			return fmt.Errorf("%w: %v", errMoveSkipped, err)
+		}
+		return fmt.Errorf("cutover: %w", err)
+	}
+	r.nCutovers.Inc()
+
+	// Finish: donor runs the final catch-up pass and drops its rows, then
+	// the recipient stops special-casing the vnode. Finish failures after a
+	// committed cutover are not fatal — anti-entropy converges the tail.
+	if err := host.MigrateFinish(ctx, m.From, m.VNode, false, false); err != nil {
+		r.logf("donor finish of vnode %d on %s failed (anti-entropy will converge): %v", m.VNode, m.From, err)
+	}
+	if err := host.MigrateFinish(ctx, m.To, m.VNode, false, true); err != nil {
+		r.logf("recipient finish of vnode %d on %s failed: %v", m.VNode, m.To, err)
+	}
+	return nil
+}
+
+// awaitSynced polls the donor until the bulk copy parks in PhaseSynced.
+func (r *Rebalancer) awaitSynced(ctx context.Context, m ring.Move) error {
+	deadline := time.Now().Add(r.cfg.SyncTimeout)
+	for {
+		st, err := r.cfg.Host.MigrateStatus(ctx, m.From, m.VNode)
+		if err != nil {
+			return fmt.Errorf("donor status: %w", err)
+		}
+		switch st.Phase {
+		case PhaseSynced.String():
+			return nil
+		case PhaseAborted.String():
+			return fmt.Errorf("donor stream aborted: %s", st.Err)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("vnode %d bulk copy did not sync within %v", m.VNode, r.cfg.SyncTimeout)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(r.cfg.PollEvery):
+		}
+	}
+}
+
+func (r *Rebalancer) abortBoth(ctx context.Context, m ring.Move) {
+	_ = r.cfg.Host.MigrateFinish(ctx, m.From, m.VNode, true, false)
+	_ = r.cfg.Host.MigrateFinish(ctx, m.To, m.VNode, true, true)
+}
+
+func orBlank(n ring.NodeID) string {
+	if n == "" {
+		return "(empty)"
+	}
+	return string(n)
+}

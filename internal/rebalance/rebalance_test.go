@@ -1,0 +1,583 @@
+package rebalance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sedna/internal/obs"
+	"sedna/internal/ring"
+)
+
+// --- planner ---
+
+func TestPlanJoinTargetsJoiner(t *testing.T) {
+	tb := ring.NewTable(32, 3)
+	tb.AddNode("a")
+	tb.AddNode("b")
+	tb.AddNode("c")
+	snap := tb.Snapshot()
+
+	moves, err := PlanJoin(snap, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) == 0 {
+		t.Fatal("join planned no moves")
+	}
+	for _, m := range moves {
+		if m.To != "d" {
+			t.Fatalf("join move targets %q, want joiner", m.To)
+		}
+		if m.From == "d" {
+			t.Fatalf("join move sources the joiner: %v", m)
+		}
+	}
+	// Planning must not touch the input snapshot.
+	for v := 0; v < 32; v++ {
+		for _, o := range snap.Owners(ring.VNodeID(v)) {
+			if o == "d" {
+				t.Fatal("PlanJoin mutated the snapshot")
+			}
+		}
+	}
+	// Fair share: applying the plan leaves every node within one slot of
+	// the others.
+	scratch := ring.NewTable(32, 3)
+	if err := scratch.ApplySnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	scratch.AddNode("d")
+	after := scratch.Snapshot()
+	slots := map[ring.NodeID]int{}
+	for v := 0; v < 32; v++ {
+		for _, o := range after.Owners(ring.VNodeID(v)) {
+			slots[o]++
+		}
+	}
+	min, max := -1, -1
+	for _, n := range slots {
+		if min < 0 || n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("post-join slot spread %d..%d (%v)", min, max, slots)
+	}
+}
+
+func TestPlanDrainEmptiesNode(t *testing.T) {
+	tb := ring.NewTable(24, 3)
+	for _, n := range []ring.NodeID{"a", "b", "c", "d"} {
+		tb.AddNode(n)
+	}
+	snap := tb.Snapshot()
+
+	moves, err := PlanDrain(snap, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count d's slots in the snapshot; every one must be moved away.
+	held := 0
+	for v := 0; v < 24; v++ {
+		for _, o := range snap.Owners(ring.VNodeID(v)) {
+			if o == "d" {
+				held++
+			}
+		}
+	}
+	if held == 0 {
+		t.Fatal("test setup: d holds nothing")
+	}
+	if len(moves) != held {
+		t.Fatalf("drain planned %d moves for %d held slots", len(moves), held)
+	}
+	for _, m := range moves {
+		if m.From != "d" {
+			t.Fatalf("drain move sources %q", m.From)
+		}
+		if m.To == "" || m.To == "d" {
+			t.Fatalf("drain move targets %q", m.To)
+		}
+	}
+}
+
+func TestPlanDrainInsufficientCapacity(t *testing.T) {
+	tb := ring.NewTable(8, 3)
+	tb.AddNode("a")
+	tb.AddNode("b")
+	tb.AddNode("c")
+	// Removing one of three leaves two nodes for three replica slots.
+	if _, err := PlanDrain(tb.Snapshot(), "c"); err == nil {
+		t.Fatal("drain below replica floor was not rejected")
+	}
+}
+
+func TestCollapseChains(t *testing.T) {
+	in := []ring.Move{
+		{VNode: 1, Slot: 0, From: "a", To: ""},
+		{VNode: 1, Slot: 0, From: "", To: "b"},
+		{VNode: 2, Slot: 1, From: "x", To: "y"},
+		{VNode: 3, Slot: 2, From: "p", To: ""},
+		{VNode: 3, Slot: 2, From: "", To: "p"}, // collapses to a no-op
+	}
+	out := collapseChains(in)
+	if len(out) != 2 {
+		t.Fatalf("collapsed to %d moves: %v", len(out), out)
+	}
+	if out[0] != (ring.Move{VNode: 1, Slot: 0, From: "a", To: "b"}) {
+		t.Fatalf("chain did not collapse: %v", out[0])
+	}
+	if out[1] != (ring.Move{VNode: 2, Slot: 1, From: "x", To: "y"}) {
+		t.Fatalf("plain move altered: %v", out[1])
+	}
+}
+
+// --- migrator ---
+
+// fakeStore is an in-memory donor store + recipient sink for Migrator tests.
+type fakeStore struct {
+	mu       sync.Mutex
+	rows     map[string][]byte // donor rows
+	received map[string][]byte // what Send delivered
+	sendErr  error
+	sends    int
+	dropped  bool
+	owned    bool
+	dirtied  []ring.VNodeID
+}
+
+func newFakeStore(n int) *fakeStore {
+	f := &fakeStore{rows: map[string][]byte{}, received: map[string][]byte{}}
+	for i := 0; i < n; i++ {
+		f.rows[fmt.Sprintf("key-%03d", i)] = []byte(fmt.Sprintf("blob-%03d", i))
+	}
+	return f
+}
+
+func (f *fakeStore) migrator(batchRows int) *Migrator {
+	return NewMigrator(MigratorConfig{
+		Self: "donor",
+		Scan: func(v ring.VNodeID, fn func(string, []byte) bool) {
+			f.mu.Lock()
+			snap := make(map[string][]byte, len(f.rows))
+			for k, b := range f.rows {
+				snap[k] = b
+			}
+			f.mu.Unlock()
+			for k, b := range snap {
+				if !fn(k, b) {
+					return
+				}
+			}
+		},
+		Send: func(ctx context.Context, to ring.NodeID, v ring.VNodeID, keys []string, blobs [][]byte) error {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			f.sends++
+			if f.sendErr != nil {
+				return f.sendErr
+			}
+			for i, k := range keys {
+				f.received[k] = blobs[i]
+			}
+			return nil
+		},
+		Drop: func(v ring.VNodeID) int {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			f.dropped = true
+			n := len(f.rows)
+			f.rows = map[string][]byte{}
+			return n
+		},
+		Owned:     func(v ring.VNodeID) bool { f.mu.Lock(); defer f.mu.Unlock(); return f.owned },
+		MarkDirty: func(v ring.VNodeID) { f.mu.Lock(); defer f.mu.Unlock(); f.dirtied = append(f.dirtied, v) },
+		BatchRows: batchRows,
+		Obs:       obs.NewRegistry(),
+	})
+}
+
+func waitPhase(t *testing.T, m *Migrator, v ring.VNodeID, want Phase) Status {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st, ok := m.DonorStatus(v)
+		if ok && st.Phase == want.String() {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st, _ := m.DonorStatus(v)
+	t.Fatalf("vnode %d never reached %s (at %+v)", v, want, st)
+	return Status{}
+}
+
+func TestMigratorStreamsAndFinishes(t *testing.T) {
+	f := newFakeStore(100)
+	m := f.migrator(16)
+	defer m.Close()
+
+	if err := m.StartDonor(7, "recipient"); err != nil {
+		t.Fatal(err)
+	}
+	st := waitPhase(t, m, 7, PhaseSynced)
+	if st.Rows != 100 {
+		t.Fatalf("streamed %d rows, want 100", st.Rows)
+	}
+	if _, dual := m.Recipient(7); !dual {
+		t.Fatal("no dual-write target while synced")
+	}
+	if !m.Party(7) {
+		t.Fatal("donor not party to its own migration")
+	}
+
+	// A row that lands after the bulk snapshot must go out in the final pass.
+	f.mu.Lock()
+	f.rows["late-key"] = []byte("late-blob")
+	f.mu.Unlock()
+
+	if err := m.FinishDonor(context.Background(), 7, false); err != nil {
+		t.Fatal(err)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if string(f.received["late-key"]) != "late-blob" {
+		t.Fatal("final pass missed the late row")
+	}
+	if len(f.received) != 101 {
+		t.Fatalf("recipient got %d rows, want 101", len(f.received))
+	}
+	if !f.dropped {
+		t.Fatal("donor rows not dropped after finish")
+	}
+	if _, dual := m.Recipient(7); dual {
+		t.Fatal("dual-write target survived finish")
+	}
+}
+
+func TestMigratorFinishWhileStillOwnedKeepsRows(t *testing.T) {
+	f := newFakeStore(10)
+	f.owned = true // ring still lists the donor (e.g. replica slot moved instead)
+	m := f.migrator(4)
+	defer m.Close()
+	if err := m.StartDonor(3, "recipient"); err != nil {
+		t.Fatal(err)
+	}
+	waitPhase(t, m, 3, PhaseSynced)
+	if err := m.FinishDonor(context.Background(), 3, false); err != nil {
+		t.Fatal(err)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dropped {
+		t.Fatal("dropped rows of a vnode the ring still assigns here")
+	}
+}
+
+func TestMigratorFinalPassFailureMarksDirty(t *testing.T) {
+	f := newFakeStore(6)
+	m := f.migrator(8)
+	defer m.Close()
+	if err := m.StartDonor(5, "recipient"); err != nil {
+		t.Fatal(err)
+	}
+	waitPhase(t, m, 5, PhaseSynced)
+	f.mu.Lock()
+	f.sendErr = errors.New("recipient gone")
+	f.mu.Unlock()
+	if err := m.FinishDonor(context.Background(), 5, false); err != nil {
+		t.Fatal("finish after committed cutover must absorb send failure, got:", err)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dropped {
+		t.Fatal("dropped rows although the final pass failed")
+	}
+	if len(f.dirtied) != 1 || f.dirtied[0] != 5 {
+		t.Fatalf("dirtied = %v, want [5]", f.dirtied)
+	}
+}
+
+func TestMigratorStreamFailureAborts(t *testing.T) {
+	f := newFakeStore(20)
+	f.sendErr = errors.New("network down")
+	m := f.migrator(4)
+	defer m.Close()
+	if err := m.StartDonor(1, "recipient"); err != nil {
+		t.Fatal(err)
+	}
+	waitPhase(t, m, 1, PhaseAborted)
+	if _, dual := m.Recipient(1); dual {
+		t.Fatal("aborted migration still dual-writing")
+	}
+	// Finish with abort clears the state; a fresh StartDonor may retry.
+	if err := m.FinishDonor(context.Background(), 1, true); err != nil {
+		t.Fatal(err)
+	}
+	f.mu.Lock()
+	f.sendErr = nil
+	f.mu.Unlock()
+	if err := m.StartDonor(1, "recipient"); err != nil {
+		t.Fatalf("retry after abort: %v", err)
+	}
+	waitPhase(t, m, 1, PhaseSynced)
+}
+
+func TestMigratorRecipientExpectations(t *testing.T) {
+	m := NewMigrator(MigratorConfig{Self: "recipient", Obs: obs.NewRegistry()})
+	defer m.Close()
+	if m.Expecting(9) {
+		t.Fatal("expecting before arm")
+	}
+	m.ExpectRecipient(9, "donor")
+	if !m.Expecting(9) || !m.Party(9) {
+		t.Fatal("not expecting after arm")
+	}
+	in := m.Incoming()
+	if len(in) != 1 || in[0].VNode != 9 || in[0].Peer != "donor" {
+		t.Fatalf("incoming = %+v", in)
+	}
+	m.UnexpectRecipient(9)
+	if m.Expecting(9) {
+		t.Fatal("still expecting after disarm")
+	}
+}
+
+func TestMigratorBusyOnConflictingTarget(t *testing.T) {
+	f := newFakeStore(5)
+	m := f.migrator(8)
+	defer m.Close()
+	if err := m.StartDonor(2, "r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartDonor(2, "r1"); err != nil {
+		t.Fatal("re-arm same pair must be idempotent:", err)
+	}
+	if err := m.StartDonor(2, "r2"); !errors.Is(err, ErrMigrationBusy) {
+		t.Fatalf("conflicting target: %v", err)
+	}
+}
+
+// --- orchestrator ---
+
+// fakeHost simulates a 4-node cluster's migration surface in-process.
+type fakeHost struct {
+	mu       sync.Mutex
+	self     ring.NodeID
+	table    *ring.Table
+	started  []string
+	finished []string
+	synced   map[string]bool // "node/vnode" -> donor synced
+	guards   map[ring.VNodeID]bool
+	commits  int
+	recovers []ring.VNodeID
+}
+
+func (h *fakeHost) key(node ring.NodeID, v ring.VNodeID) string {
+	return fmt.Sprintf("%s/%d", node, v)
+}
+
+func (h *fakeHost) Self() ring.NodeID { return h.self }
+func (h *fakeHost) FreshRing() (*ring.Ring, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.table.Snapshot(), nil
+}
+func (h *fakeHost) MigrateStart(ctx context.Context, node ring.NodeID, v ring.VNodeID, peer ring.NodeID, recipientRole bool) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	role := "donor"
+	if recipientRole {
+		role = "recipient"
+	}
+	h.started = append(h.started, fmt.Sprintf("%s:%s:%d", node, role, v))
+	if !recipientRole {
+		h.synced[h.key(node, v)] = true // instant bulk copy
+	}
+	return nil
+}
+func (h *fakeHost) MigrateStatus(ctx context.Context, node ring.NodeID, v ring.VNodeID) (Status, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.synced[h.key(node, v)] {
+		return Status{VNode: v, Phase: PhaseSynced.String()}, nil
+	}
+	return Status{VNode: v, Phase: PhaseStreaming.String()}, nil
+}
+func (h *fakeHost) MigrateFinish(ctx context.Context, node ring.NodeID, v ring.VNodeID, abort, recipientRole bool) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	role := "donor"
+	if recipientRole {
+		role = "recipient"
+	}
+	h.finished = append(h.finished, fmt.Sprintf("%s:%s:%d:abort=%v", node, role, v, abort))
+	return nil
+}
+func (h *fakeHost) Commit(v ring.VNodeID, slot int, from, to ring.NodeID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.commits++
+	return h.table.MoveSlot(v, slot, from, to)
+}
+func (h *fakeHost) Guard(v ring.VNodeID) (func(), error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.guards[v] {
+		return nil, fmt.Errorf("guard held: vnode %d", v)
+	}
+	h.guards[v] = true
+	return func() {
+		h.mu.Lock()
+		delete(h.guards, v)
+		h.mu.Unlock()
+	}, nil
+}
+func (h *fakeHost) GuardHeld(err error) bool {
+	return err != nil && len(err.Error()) >= 10 && err.Error()[:10] == "guard held"
+}
+func (h *fakeHost) Recover(v ring.VNodeID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.recovers = append(h.recovers, v)
+}
+
+func newFakeHost(self ring.NodeID) *fakeHost {
+	tb := ring.NewTable(16, 3)
+	tb.AddNode("a")
+	tb.AddNode("b")
+	tb.AddNode("c")
+	return &fakeHost{self: self, table: tb, synced: map[string]bool{}, guards: map[ring.VNodeID]bool{}}
+}
+
+func waitCampaign(t *testing.T, r *Rebalancer) Campaign {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c, ok := r.Status()
+		if ok && c.State != "running" {
+			return c
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c, _ := r.Status()
+	t.Fatalf("campaign never finished: %+v", c)
+	return Campaign{}
+}
+
+func TestRebalancerJoinCampaign(t *testing.T) {
+	h := newFakeHost("d")
+	r := NewRebalancer(RebalancerConfig{Host: h, PollEvery: time.Millisecond, Obs: obs.NewRegistry()})
+	if err := r.StartJoin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.StartJoin(); !errors.Is(err, ErrCampaignBusy) {
+		t.Fatalf("second StartJoin: %v", err)
+	}
+	c := waitCampaign(t, r)
+	if c.State != "done" || c.Failed != 0 {
+		t.Fatalf("campaign = %+v", c)
+	}
+	if c.Completed == 0 {
+		t.Fatal("join campaign completed no moves")
+	}
+	// The live table must now assign d its fair share.
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := h.table.Snapshot()
+	held := 0
+	for v := 0; v < 16; v++ {
+		for _, o := range snap.Owners(ring.VNodeID(v)) {
+			if o == "d" {
+				held++
+			}
+		}
+	}
+	if held == 0 {
+		t.Fatal("joiner holds nothing after campaign")
+	}
+	// Protocol ordering per move: recipient armed before donor.
+	if len(h.started)%2 != 0 {
+		t.Fatalf("odd number of arms: %v", h.started)
+	}
+	for i := 0; i+1 < len(h.started); i += 2 {
+		if !strings.Contains(h.started[i], ":recipient:") {
+			t.Fatalf("move %d armed %q first, want recipient", i/2, h.started[i])
+		}
+		if !strings.Contains(h.started[i+1], ":donor:") {
+			t.Fatalf("move %d armed %q second, want donor", i/2, h.started[i+1])
+		}
+	}
+}
+
+func TestRebalancerDrainCampaign(t *testing.T) {
+	h := newFakeHost("c")
+	h.table.AddNode("d") // 4 members so c can drain with RF=3
+	r := NewRebalancer(RebalancerConfig{Host: h, PollEvery: time.Millisecond, Obs: obs.NewRegistry()})
+	if err := r.StartDrain(); err != nil {
+		t.Fatal(err)
+	}
+	c := waitCampaign(t, r)
+	if c.State != "done" || c.Failed != 0 {
+		t.Fatalf("campaign = %+v", c)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := h.table.Snapshot()
+	for v := 0; v < 16; v++ {
+		for _, o := range snap.Owners(ring.VNodeID(v)) {
+			if o == "c" {
+				t.Fatalf("vnode %d still assigned to drained node", v)
+			}
+		}
+	}
+}
+
+func TestRebalancerDrainRejectedAtFloor(t *testing.T) {
+	h := newFakeHost("c") // 3 members, RF=3: no capacity
+	r := NewRebalancer(RebalancerConfig{Host: h, Obs: obs.NewRegistry()})
+	if err := r.StartDrain(); err == nil {
+		t.Fatal("drain below replica floor started")
+	}
+	c, ok := r.Status()
+	if !ok || c.State != "failed" {
+		t.Fatalf("campaign = %+v", c)
+	}
+	// A failed plan must not leave the orchestrator busy.
+	h2 := newFakeHost("d")
+	_ = h2
+	if err := r.StartJoin(); err != nil {
+		t.Fatalf("orchestrator stuck busy after failed plan: %v", err)
+	}
+	waitCampaign(t, r)
+}
+
+func TestRebalancerSkipsGuardedVNode(t *testing.T) {
+	h := newFakeHost("d")
+	// Hold the guard for every vnode: all moves must be skipped, none failed.
+	for v := 0; v < 16; v++ {
+		h.guards[ring.VNodeID(v)] = true
+	}
+	r := NewRebalancer(RebalancerConfig{Host: h, PollEvery: time.Millisecond, Obs: obs.NewRegistry()})
+	if err := r.StartJoin(); err != nil {
+		t.Fatal(err)
+	}
+	c := waitCampaign(t, r)
+	if c.State != "done" {
+		t.Fatalf("campaign = %+v", c)
+	}
+	if c.Skipped != c.Total || c.Failed != 0 || c.Completed != 0 {
+		t.Fatalf("campaign = %+v, want all skipped", c)
+	}
+	if h.commits != 0 {
+		t.Fatalf("%d commits despite held guards", h.commits)
+	}
+}

@@ -6,10 +6,10 @@ import (
 	"fmt"
 )
 
-// Ring snapshot wire format (little endian), version 1. The snapshot is the
-// value of the assignment znode in the coordination service and the payload
-// of client lease refreshes, so it is kept compact: node names appear once
-// in a string table and each vnode slot is a 32-bit index into it.
+// Ring snapshot wire format (little endian). The snapshot is the value of
+// the assignment znode in the coordination service and the payload of client
+// lease refreshes, so it is kept compact: node names appear once in a string
+// table and each vnode slot is a 32-bit index into it.
 //
 //	u8  format version
 //	u64 assignment version
@@ -17,7 +17,15 @@ import (
 //	u8  replica factor
 //	u32 node table size; per node: u16 length + bytes
 //	per vnode, per slot: u32 index into node table (emptySlot = none)
-const ringFormatVersion = 1
+//	version >= 2: per vnode: u64 ownership epoch
+//
+// Version 2 added the per-vnode ownership epochs used by online migration;
+// version 1 snapshots (written before elasticity existed) still decode, with
+// every epoch read as zero.
+const (
+	ringFormatV1      = 1
+	ringFormatVersion = 2
+)
 
 const emptySlot = ^uint32(0)
 
@@ -36,6 +44,7 @@ func EncodeRing(r *Ring) []byte {
 		size += 2 + len(n)
 	}
 	size += r.vnodes * r.replicas * 4
+	size += r.vnodes * 8
 	b := make([]byte, 0, size)
 	b = append(b, ringFormatVersion)
 	b = binary.LittleEndian.AppendUint64(b, r.version)
@@ -56,10 +65,14 @@ func EncodeRing(r *Ring) []byte {
 			b = binary.LittleEndian.AppendUint32(b, idx)
 		}
 	}
+	for v := 0; v < r.vnodes; v++ {
+		b = binary.LittleEndian.AppendUint64(b, r.EpochOf(VNodeID(v)))
+	}
 	return b
 }
 
-// DecodeRing parses a snapshot produced by EncodeRing.
+// DecodeRing parses a snapshot produced by EncodeRing. Both the current
+// format and the pre-epoch version 1 are accepted.
 func DecodeRing(b []byte) (*Ring, error) {
 	off := 0
 	need := func(n int) error {
@@ -71,8 +84,9 @@ func DecodeRing(b []byte) (*Ring, error) {
 	if err := need(1 + 8 + 4 + 1 + 4); err != nil {
 		return nil, err
 	}
-	if b[off] != ringFormatVersion {
-		return nil, fmt.Errorf("%w: unknown version %d", ErrCorruptRing, b[off])
+	format := b[off]
+	if format != ringFormatV1 && format != ringFormatVersion {
+		return nil, fmt.Errorf("%w: unknown version %d", ErrCorruptRing, format)
 	}
 	off++
 	version := binary.LittleEndian.Uint64(b[off:])
@@ -116,6 +130,16 @@ func DecodeRing(b []byte) (*Ring, error) {
 			}
 		}
 		r.assign[v] = owners
+	}
+	if format >= ringFormatVersion {
+		if err := need(vnodes * 8); err != nil {
+			return nil, err
+		}
+		r.epochs = make([]uint64, vnodes)
+		for v := 0; v < vnodes; v++ {
+			r.epochs[v] = binary.LittleEndian.Uint64(b[off:])
+			off += 8
+		}
 	}
 	if off != len(b) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptRing, len(b)-off)

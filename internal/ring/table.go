@@ -1,10 +1,16 @@
 package ring
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 )
+
+// ErrStaleMove reports a MoveSlot whose expected occupant no longer matches
+// the live assignment: the plan the move came from is stale and must be
+// recomputed.
+var ErrStaleMove = errors.New("ring: stale move")
 
 // Move records one reassignment of a vnode replica slot, the unit of data
 // motion in Sedna: the receiving node must copy the vnode's rows from the
@@ -45,7 +51,7 @@ func NewTable(vnodes, replicas int) *Table {
 	if replicas <= 0 {
 		panic("ring: replica factor must be positive")
 	}
-	r := &Ring{vnodes: vnodes, replicas: replicas, assign: make([][]NodeID, vnodes)}
+	r := &Ring{vnodes: vnodes, replicas: replicas, assign: make([][]NodeID, vnodes), epochs: make([]uint64, vnodes)}
 	for v := range r.assign {
 		r.assign[v] = make([]NodeID, replicas)
 	}
@@ -133,6 +139,7 @@ func (t *Table) pullToJoinerLocked(slot int, n NodeID) []Move {
 				continue
 			}
 			t.ring.assign[v][slot] = n
+			t.ring.bumpEpoch(v)
 			counts[donor]--
 			counts[n]++
 			moves = append(moves, Move{VNode: v, Slot: slot, From: donor, To: n})
@@ -179,6 +186,7 @@ func (t *Table) RemoveNode(n NodeID) []Move {
 		for slot, o := range owners {
 			if o == n {
 				owners[slot] = ""
+				t.ring.bumpEpoch(VNodeID(v))
 				vacated[slot] = append(vacated[slot], VNodeID(v))
 			}
 		}
@@ -200,6 +208,7 @@ func (t *Table) RemoveNode(n NodeID) []Move {
 			to := t.leastLoadedEligibleLocked(counts, v)
 			t.ring.assign[v][slot] = to
 			if to != "" {
+				t.ring.bumpEpoch(v)
 				counts[to]++
 			}
 			moves = append(moves, Move{VNode: v, Slot: slot, From: n, To: to})
@@ -211,24 +220,35 @@ func (t *Table) RemoveNode(n NodeID) []Move {
 	// holds the vnode) leaves a hole; compact the replica list so slot 0
 	// is always the primary and active slots stay dense.
 	for v := 0; v < t.ring.vnodes; v++ {
-		compactOwners(t.ring.assign[v])
+		if compactOwners(t.ring.assign[v]) {
+			t.ring.bumpEpoch(VNodeID(v))
+		}
 	}
 	t.ring.version++
 	return moves
 }
 
-// compactOwners shifts non-empty owners to the front, preserving order.
-func compactOwners(owners []NodeID) {
+// compactOwners shifts non-empty owners to the front, preserving order, and
+// reports whether anything moved.
+func compactOwners(owners []NodeID) bool {
 	w := 0
+	changed := false
 	for _, o := range owners {
 		if o != "" {
+			if owners[w] != o {
+				changed = true
+			}
 			owners[w] = o
 			w++
 		}
 	}
 	for ; w < len(owners); w++ {
+		if owners[w] != "" {
+			changed = true
+		}
 		owners[w] = ""
 	}
+	return changed
 }
 
 // fixupWithinLocked evens out slot counts by reassigning only vnodes in the
@@ -248,6 +268,7 @@ func (t *Table) fixupWithinLocked(slot int, within []VNodeID, counts map[NodeID]
 				continue
 			}
 			t.ring.assign[v][slot] = to
+			t.ring.bumpEpoch(v)
 			counts[from]--
 			counts[to]++
 			moves = append(moves, Move{VNode: v, Slot: slot, From: from, To: to})
@@ -302,6 +323,7 @@ func (t *Table) fillSlotLocked(slot int) []Move {
 			continue // fewer distinct nodes than replicas; leave empty
 		}
 		owners[slot] = n
+		t.ring.bumpEpoch(VNodeID(v))
 		counts[n]++
 		moves = append(moves, Move{VNode: VNodeID(v), Slot: slot, From: "", To: n})
 	}
@@ -327,6 +349,7 @@ func (t *Table) evenSlotLocked(slot int) []Move {
 	var moves []Move
 	move := func(v int, from, to NodeID) {
 		t.ring.assign[v][slot] = to
+		t.ring.bumpEpoch(VNodeID(v))
 		counts[from]--
 		counts[to]++
 		moves = append(moves, Move{VNode: VNodeID(v), Slot: slot, From: from, To: to})
@@ -462,6 +485,7 @@ func (t *Table) MovePrimary(v VNodeID, to NodeID) ([]Move, error) {
 		if owners[slot] == to {
 			// Swap: both nodes already store the vnode.
 			owners[0], owners[slot] = owners[slot], owners[0]
+			t.ring.bumpEpoch(v)
 			t.ring.version++
 			return []Move{
 				{VNode: v, Slot: 0, From: from, To: to},
@@ -470,6 +494,44 @@ func (t *Table) MovePrimary(v VNodeID, to NodeID) ([]Move, error) {
 		}
 	}
 	owners[0] = to
+	t.ring.bumpEpoch(v)
 	t.ring.version++
 	return []Move{{VNode: v, Slot: 0, From: from, To: to}}, nil
+}
+
+// MoveSlot reassigns one replica slot of vnode v from `from` to `to`, the
+// compare-and-set commit primitive of a migration cutover: the caller names
+// the occupant it streamed data away from, and the move is rejected if the
+// assignment changed underneath (a concurrent eviction or rebalance won the
+// race). `from` may be "" to claim a previously empty slot. The target is
+// registered as a member if it was not one already — becoming an owner is
+// what membership means in the assignment table. The vnode's epoch and the
+// ring version are bumped on success.
+func (t *Table) MoveSlot(v VNodeID, slot int, from, to NodeID) error {
+	if to == "" {
+		return fmt.Errorf("ring: empty move target")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(v) >= t.ring.vnodes {
+		return fmt.Errorf("ring: vnode %d out of range", v)
+	}
+	owners := t.ring.assign[v]
+	if slot < 0 || slot >= len(owners) {
+		return fmt.Errorf("ring: slot %d out of range for vnode %d", slot, v)
+	}
+	if owners[slot] != from {
+		return fmt.Errorf("%w: vnode %d slot %d held by %q, not %q", ErrStaleMove, v, slot, owners[slot], from)
+	}
+	if from == to {
+		return nil
+	}
+	if t.holdsLocked(v, to) {
+		return fmt.Errorf("%w: vnode %d already replicated on %q", ErrStaleMove, v, to)
+	}
+	owners[slot] = to
+	t.nodes[to] = true
+	t.ring.bumpEpoch(v)
+	t.ring.version++
+	return nil
 }
