@@ -13,6 +13,7 @@
 //	sedna-bench -fig batch           # E7: MGet/MSet vs per-key loops
 //	sedna-bench -fig hotpath         # E8: hot-path ns/op and allocs/op
 //	sedna-bench -fig rebalance       # E9: online vnode migration under load
+//	sedna-bench -fig durability      # E10: group commit vs SyncAlways, restart time
 //	sedna-bench -fig all
 //
 // -scale shrinks the sweep for quick runs (1.0 = the paper's 10k..60k).
@@ -34,7 +35,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which artifact to regenerate: 7a|7b|8|ablations|coord|pipeline|batch|hotpath|rebalance|all")
+	fig := flag.String("fig", "all", "which artifact to regenerate: 7a|7b|8|ablations|coord|pipeline|batch|hotpath|rebalance|durability|all")
 	scale := flag.Float64("scale", 0.1, "sweep scale relative to the paper's 10k..60k ops")
 	nodes := flag.Int("nodes", 9, "cluster size (the paper uses 9)")
 	seed := flag.Int64("seed", 42, "simulation seed")
@@ -44,7 +45,7 @@ func main() {
 	steps := opsSteps(*scale)
 	run := map[string]bool{}
 	if *fig == "all" {
-		for _, f := range []string{"7a", "7b", "8", "ablations", "coord", "pipeline", "batch", "hotpath", "rebalance"} {
+		for _, f := range []string{"7a", "7b", "8", "ablations", "coord", "pipeline", "batch", "hotpath", "rebalance", "durability"} {
 			run[f] = true
 		}
 	} else {
@@ -199,6 +200,44 @@ func main() {
 		fmt.Printf("lost acks: %d of %d audited keys\n", rep.LostAcks, rep.AuditedKeys)
 		path := filepath.Join(*outdir, "BENCH_fig_rebalance.json")
 		if err := bench.WriteRebalanceJSON(path, rep); err != nil {
+			log.Fatalf("write %s: %v", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		fmt.Println()
+	}
+	if run["durability"] {
+		any = true
+		fmt.Println("== E10: durability — group commit vs per-append fsync, restart-to-serving ==")
+		dir, err := os.MkdirTemp("", "sedna-durability")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		rep, err := bench.RunFigDurability(bench.DurabilityConfig{
+			Dir:          dir,
+			Ops:          scaleInt(20000, *scale),
+			RecoveryKeys: scaleInt(200000, *scale),
+		})
+		if err != nil {
+			log.Fatalf("fig durability: %v", err)
+		}
+		for _, c := range rep.Throughput {
+			fmt.Printf("%-15s writers=%-3d ops=%-6d %8.0f ops/s  fsyncs=%-5d",
+				c.Policy, c.Writers, c.Ops, c.OpsPerSec, c.FsyncBatches)
+			if c.OpsPerFsync > 0 {
+				fmt.Printf("  %.1f ops/fsync", c.OpsPerFsync)
+			}
+			if c.MeanWaitMs > 0 {
+				fmt.Printf("  wait=%.3fms", c.MeanWaitMs)
+			}
+			fmt.Println()
+		}
+		for _, r := range rep.Recovery {
+			fmt.Printf("recovery workers=%-3d keys=%-7d %8.1fms  (%.0f keys/s)\n",
+				r.Workers, r.Keys, r.Millis, r.KeysSec)
+		}
+		path := filepath.Join(*outdir, "BENCH_fig_durability.json")
+		if err := bench.WriteDurabilityJSON(path, rep); err != nil {
 			log.Fatalf("write %s: %v", path, err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)

@@ -23,6 +23,7 @@ import (
 	"sedna"
 	"sedna/internal/opshttp"
 	"sedna/internal/persist"
+	"sedna/internal/wal"
 )
 
 func main() {
@@ -34,6 +35,9 @@ func main() {
 	memMB := flag.Int64("mem", 64, "local store memory limit in MiB")
 	persistMode := flag.String("persist", "none", "persistency strategy: none|periodic|wal|hybrid")
 	dataDir := flag.String("data", "", "persistence directory (required unless -persist none)")
+	walSync := flag.String("wal-sync", "interval", "WAL sync policy: never|interval|always (always = group commit: every acked write is fsync-covered)")
+	walGroupWindow := flag.Duration("wal-group-window", 0, "group-commit dwell before fsync under -wal-sync always (0 = natural batching)")
+	flushEvery := flag.Duration("flush-every", 0, "snapshot period for periodic/hybrid (default 30s)")
 	opsAddr := flag.String("ops-addr", "", "ops-plane HTTP listen address (/metrics, /healthz, /traces, pprof); empty disables")
 	slowMS := flag.Int64("slow-ms", 0, "slow-op threshold in milliseconds (0 = default 250ms, negative disables)")
 	verbose := flag.Bool("v", false, "verbose logging")
@@ -57,13 +61,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sedna-server: -data required with persistence enabled")
 		os.Exit(2)
 	}
+	var syncPolicy wal.SyncPolicy
+	switch *walSync {
+	case "never":
+		syncPolicy = sedna.SyncNever
+	case "interval":
+		syncPolicy = sedna.SyncInterval
+	case "always":
+		syncPolicy = sedna.SyncAlways
+	default:
+		fmt.Fprintf(os.Stderr, "sedna-server: unknown -wal-sync %q\n", *walSync)
+		os.Exit(2)
+	}
 
 	cfg := sedna.ServerConfig{
-		Node:            sedna.NodeID(*addr),
-		Transport:       sedna.NewTCPTransport(*addr),
-		CoordServers:    strings.Split(*coordList, ","),
-		MemoryLimit:     *memMB << 20,
-		Persist:         sedna.PersistConfig{Dir: *dataDir, Strategy: strategy},
+		Node:         sedna.NodeID(*addr),
+		Transport:    sedna.NewTCPTransport(*addr),
+		CoordServers: strings.Split(*coordList, ","),
+		MemoryLimit:  *memMB << 20,
+		Persist: sedna.PersistConfig{
+			Dir:            *dataDir,
+			Strategy:       strategy,
+			WALSync:        syncPolicy,
+			WALGroupWindow: *walGroupWindow,
+			FlushInterval:  *flushEvery,
+		},
 		Bootstrap:       *bootstrap,
 		Passive:         *passive,
 		VNodes:          *vnodes,

@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"sedna/internal/obs"
+	"sedna/internal/persist"
+	"sedna/internal/wal"
+)
+
+// DurabilityConfig parameterises E10: what group commit buys over
+// per-append fsyncs, what each sync policy costs, and how fast a restart
+// gets back to serving.
+type DurabilityConfig struct {
+	// Dir is scratch space on a real filesystem (fsync latency is the
+	// whole point); the caller owns cleanup.
+	Dir string
+	// Ops is the append count per throughput cell; zero selects 2000.
+	Ops int
+	// Writers is the concurrent writer count for the group-commit cells;
+	// zero selects 8.
+	Writers int
+	// ValueBytes sizes each logged value; zero selects 256.
+	ValueBytes int
+	// RecoveryKeys sizes the recovery image; zero selects 20000.
+	RecoveryKeys int
+}
+
+func (c *DurabilityConfig) defaults() {
+	if c.Ops <= 0 {
+		c.Ops = 2000
+	}
+	if c.Writers <= 0 {
+		c.Writers = 8
+	}
+	if c.ValueBytes <= 0 {
+		c.ValueBytes = 256
+	}
+	if c.RecoveryKeys <= 0 {
+		c.RecoveryKeys = 20000
+	}
+}
+
+// DurabilityCell is one throughput measurement: a sync policy under a
+// writer count, with the fsync accounting that explains the number.
+type DurabilityCell struct {
+	Policy       string  `json:"policy"`
+	Writers      int     `json:"writers"`
+	Ops          int     `json:"ops"`
+	Millis       float64 `json:"millis"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	FsyncBatches uint64  `json:"fsync_batches"`
+	// OpsPerFsync is the group-commit coalescing factor (1.0 means every
+	// append paid its own fsync).
+	OpsPerFsync float64 `json:"ops_per_fsync,omitempty"`
+	// MeanWaitMs is the mean time an appender spent waiting for its
+	// covering fsync (SyncAlways cells only).
+	MeanWaitMs float64 `json:"mean_wait_ms,omitempty"`
+}
+
+// DurabilityRecovery is one restart-to-serving measurement.
+type DurabilityRecovery struct {
+	Workers int     `json:"workers"`
+	Keys    int     `json:"keys"`
+	Bytes   int64   `json:"bytes"`
+	Millis  float64 `json:"millis"`
+	KeysSec float64 `json:"keys_per_sec"`
+}
+
+// DurabilityReport is the BENCH_fig_durability.json artifact.
+type DurabilityReport struct {
+	Figure     string               `json:"figure"`
+	ValueBytes int                  `json:"value_bytes"`
+	Throughput []DurabilityCell     `json:"throughput"`
+	Recovery   []DurabilityRecovery `json:"recovery"`
+}
+
+// WriteDurabilityJSON writes the artifact.
+func WriteDurabilityJSON(path string, rep DurabilityReport) error {
+	rep.Figure = "durability"
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// RunFigDurability produces E10. Throughput: the same append workload under
+// SyncNever, SyncInterval, SyncAlways with group commit (concurrent
+// writers coalescing into shared fsyncs) and SyncAlways without it (one
+// fsync per append — the pre-group-commit baseline). Recovery: a Hybrid
+// image (snapshot chain + WAL tail) replayed serially and with parallel
+// sharded appliers, timing restart-to-serving.
+func RunFigDurability(cfg DurabilityConfig) (DurabilityReport, error) {
+	cfg.defaults()
+	var rep DurabilityReport
+	rep.ValueBytes = cfg.ValueBytes
+
+	cells := []struct {
+		name    string
+		policy  wal.SyncPolicy
+		writers int
+		noGroup bool
+		window  time.Duration
+	}{
+		{"never", wal.SyncNever, 1, false, 0},
+		{"interval", wal.SyncInterval, 1, false, 0},
+		{"always+group", wal.SyncAlways, cfg.Writers, false, 0},
+		{"always+group+window", wal.SyncAlways, cfg.Writers, false, time.Millisecond},
+		{"always-nogroup", wal.SyncAlways, 1, true, 0},
+	}
+	value := make([]byte, cfg.ValueBytes)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	for i, cell := range cells {
+		dir := fmt.Sprintf("%s/tput-%d", cfg.Dir, i)
+		reg := obs.NewRegistry()
+		l, err := wal.Open(wal.Options{
+			Dir: dir, Sync: cell.policy, NoGroupCommit: cell.noGroup,
+			GroupWindow: cell.window, Obs: reg,
+		})
+		if err != nil {
+			return rep, err
+		}
+		// The no-group baseline pays one fsync per op; cap its op count so
+		// the cell finishes in reasonable time on spinning media.
+		ops := cfg.Ops
+		if cell.noGroup && ops > 500 {
+			ops = 500
+		}
+		perWriter := ops / cell.writers
+		start := time.Now()
+		var wg sync.WaitGroup
+		errCh := make(chan error, cell.writers)
+		for w := 0; w < cell.writers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perWriter; i++ {
+					if _, err := l.Append(value); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		if err := l.Close(); err != nil {
+			return rep, err
+		}
+		select {
+		case err := <-errCh:
+			return rep, fmt.Errorf("cell %s: %w", cell.name, err)
+		default:
+		}
+		done := perWriter * cell.writers
+		c := DurabilityCell{
+			Policy:       cell.name,
+			Writers:      cell.writers,
+			Ops:          done,
+			Millis:       float64(wall.Nanoseconds()) / 1e6,
+			OpsPerSec:    float64(done) / wall.Seconds(),
+			FsyncBatches: reg.Counter("wal.fsync_batches").Load(),
+		}
+		if c.FsyncBatches > 0 && cell.policy == wal.SyncAlways {
+			c.OpsPerFsync = float64(done) / float64(c.FsyncBatches)
+		}
+		if waitNs := reg.Counter("wal.fsync_wait_ns").Load(); waitNs > 0 && done > 0 {
+			c.MeanWaitMs = float64(waitNs) / float64(done) / 1e6
+		}
+		rep.Throughput = append(rep.Throughput, c)
+		if err := os.RemoveAll(dir); err != nil {
+			return rep, err
+		}
+	}
+
+	// Recovery image: Hybrid with a mid-stream snapshot so restart loads a
+	// snapshot chain AND replays a WAL tail — the realistic shape.
+	imgDir := cfg.Dir + "/recovery-img"
+	src := &benchSource{m: map[string][]byte{}}
+	m, err := persist.NewManager(persist.Config{Dir: imgDir, Strategy: persist.Hybrid, WALSync: wal.SyncNever}, src)
+	if err != nil {
+		return rep, err
+	}
+	var imageBytes int64
+	for i := 0; i < cfg.RecoveryKeys; i++ {
+		key := fmt.Sprintf("user:%08d", i)
+		src.m[key] = value
+		if err := m.LogWrite(key, value); err != nil {
+			return rep, err
+		}
+		imageBytes += int64(len(key) + len(value))
+		if i == cfg.RecoveryKeys/2 {
+			if err := m.SnapshotNow(); err != nil {
+				return rep, err
+			}
+		}
+	}
+	if err := m.Close(); err != nil {
+		return rep, err
+	}
+
+	// On a single-core host GOMAXPROCS(0) is 1; floor the parallel cell at 4
+	// so the sharded-applier path is still exercised and measured.
+	para := runtime.GOMAXPROCS(0)
+	if para < 4 {
+		para = 4
+	}
+	for _, workers := range []int{1, para} {
+		mr, err := persist.NewManager(persist.Config{
+			Dir: imgDir, Strategy: persist.Hybrid, RecoveryWorkers: workers,
+		}, &benchSource{m: map[string][]byte{}})
+		if err != nil {
+			return rep, err
+		}
+		var mu sync.Mutex
+		n := 0
+		start := time.Now()
+		err = mr.Recover(func(key string, blob []byte) error {
+			mu.Lock()
+			n++
+			mu.Unlock()
+			return nil
+		})
+		wall := time.Since(start)
+		mr.Close()
+		if err != nil {
+			return rep, err
+		}
+		rec := DurabilityRecovery{
+			Workers: workers,
+			Keys:    n,
+			Bytes:   imageBytes,
+			Millis:  float64(wall.Nanoseconds()) / 1e6,
+		}
+		if wall > 0 {
+			rec.KeysSec = float64(n) / wall.Seconds()
+		}
+		rep.Recovery = append(rep.Recovery, rec)
+	}
+	return rep, os.RemoveAll(imgDir)
+}
+
+// benchSource is a minimal persist.Source for the benchmark.
+type benchSource struct{ m map[string][]byte }
+
+func (s *benchSource) SnapshotRange(emit func(key string, blob []byte)) {
+	for k, v := range s.m {
+		emit(k, v)
+	}
+}
+
+func (s *benchSource) ReadKey(key string) ([]byte, bool) {
+	v, ok := s.m[key]
+	return v, ok
+}

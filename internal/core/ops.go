@@ -48,6 +48,12 @@ func (s *Server) healthStatus() opshttp.HealthStatus {
 	h.HintsPending = s.healer.Pending()
 	h.HintsDropped = s.healer.Dropped()
 	h.SlowOps = s.obs.Counter("obs.slow_ops").Load()
+	if s.pers != nil && s.pers.Degraded() {
+		// A sticky WAL fsync failure: the node keeps serving reads but no
+		// longer acknowledges durable writes, and must leave rotations.
+		h.OK = false
+		h.Durability = "degraded"
+	}
 	return h
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -321,12 +322,21 @@ func (s *Server) Start() error {
 	s.started = true
 	s.mu.Unlock()
 
-	// 1. Local storage and persisted state.
-	pers, err := persist.NewManager(s.cfg.Persist, snapshotSource{s})
+	// 1. Local storage and persisted state. The manager shares the node's
+	// metrics registry (wal.*, persist.*) and recovers in parallel: the
+	// store's sharded locks make the apply callback safe from multiple
+	// goroutines, so replay fans out per key shard.
+	pcfg := s.cfg.Persist
+	pcfg.Obs = s.obs
+	if pcfg.RecoveryWorkers == 0 {
+		pcfg.RecoveryWorkers = runtime.GOMAXPROCS(0)
+	}
+	pers, err := persist.NewManager(pcfg, snapshotSource{s})
 	if err != nil {
 		return err
 	}
 	s.pers = pers
+	recoverStart := time.Now()
 	err = pers.Recover(func(key string, blob []byte) error {
 		if blob == nil {
 			s.store.Delete(key)
@@ -338,6 +348,9 @@ func (s *Server) Start() error {
 	})
 	if err != nil {
 		return fmt.Errorf("core: recover: %w", err)
+	}
+	if s.cfg.Persist.Strategy != persist.None {
+		s.logf("recovered %d keys in %s", s.store.Len(), time.Since(recoverStart).Round(time.Millisecond))
 	}
 
 	// 2. RPC surface. The transport joins the node's registry when it can
@@ -586,6 +599,16 @@ func (ss snapshotSource) SnapshotRange(emit func(key string, blob []byte)) {
 		emit(key, it.Value)
 		return true
 	})
+}
+
+// ReadKey implements persist.KeyReader, enabling incremental (delta)
+// snapshots that persist only the keys dirtied since the previous one.
+func (ss snapshotSource) ReadKey(key string) ([]byte, bool) {
+	it, ok := ss.s.store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return it.Value, true
 }
 
 // publishLoop periodically publishes the node's imbalance row (§III-B).

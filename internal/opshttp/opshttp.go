@@ -51,6 +51,10 @@ type HealthStatus struct {
 	Zxid     uint64 `json:"zxid,omitempty"`
 	// SlowOps is the lifetime count of force-retained slow operations.
 	SlowOps uint64 `json:"slow_ops,omitempty"`
+	// Durability is "degraded" when the node's WAL hit a sticky fsync
+	// failure and durable writes are no longer acknowledged (data nodes
+	// with persistence only). A degraded node also reports OK false.
+	Durability string `json:"durability,omitempty"`
 }
 
 // Config wires one ops-plane server. Every callback is optional: a missing

@@ -1,0 +1,550 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"sedna/internal/obs"
+	"sedna/internal/vfs"
+	"sedna/internal/wal"
+)
+
+// kvSource is a Source with point reads (KeyReader), so Hybrid snapshots
+// can go incremental. It doubles as the model the harness checks against.
+type kvSource struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func newKVSource() *kvSource { return &kvSource{m: map[string][]byte{}} }
+
+func (s *kvSource) set(k string, v []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[k] = append([]byte(nil), v...)
+}
+
+func (s *kvSource) del(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, k)
+}
+
+func (s *kvSource) SnapshotRange(emit func(key string, blob []byte)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range s.m {
+		emit(k, v)
+	}
+}
+
+func (s *kvSource) ReadKey(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+func (s *kvSource) snapshot() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.m))
+	for k, v := range s.m {
+		out[k] = string(v)
+	}
+	return out
+}
+
+// harnessOp is one step of the deterministic crash workload: a set, a
+// delete, or a snapshot.
+type harnessOp struct {
+	key  string
+	val  string // "" with del=true deletes
+	del  bool
+	snap bool
+}
+
+// harnessWorkload is the fixed op sequence the crash harness replays for
+// every crash point. Values embed the op index so successive states are
+// distinguishable; snapshots are sprinkled mid-stream so crash points land
+// inside snapshot writes, manifest commits and WAL truncations too.
+func harnessWorkload() []harnessOp {
+	var ops []harnessOp
+	for i := 0; i < 40; i++ {
+		switch {
+		case i%13 == 7:
+			ops = append(ops, harnessOp{snap: true})
+		case i%7 == 3:
+			ops = append(ops, harnessOp{key: fmt.Sprintf("k%d", i%5), del: true})
+		default:
+			ops = append(ops, harnessOp{key: fmt.Sprintf("k%d", i%5), val: fmt.Sprintf("v%d", i)})
+		}
+	}
+	ops = append(ops, harnessOp{snap: true})
+	for i := 40; i < 50; i++ {
+		ops = append(ops, harnessOp{key: fmt.Sprintf("k%d", i%5), val: fmt.Sprintf("v%d", i)})
+	}
+	return ops
+}
+
+// runHarnessWorkload executes the workload against a Manager over fsys,
+// mirroring the core ordering (store mutation before LogWrite). It returns
+// the index of the last acked op (-1 if none). Errors after the crash point
+// fires are expected and ignored.
+func runHarnessWorkload(m *Manager, src *kvSource, ops []harnessOp) int {
+	lastAcked := -1
+	for i, op := range ops {
+		if op.snap {
+			m.SnapshotNow()
+			continue
+		}
+		if op.del {
+			src.del(op.key)
+			if m.LogWrite(op.key, nil) == nil {
+				lastAcked = i
+			}
+		} else {
+			src.set(op.key, []byte(op.val))
+			if m.LogWrite(op.key, []byte(op.val)) == nil {
+				lastAcked = i
+			}
+		}
+	}
+	return lastAcked
+}
+
+// prefixStates returns the model state after every prefix of ops (index p
+// holds the state after applying ops[:p]; snapshot ops do not change it).
+func prefixStates(ops []harnessOp) []map[string]string {
+	states := make([]map[string]string, 0, len(ops)+1)
+	cur := map[string]string{}
+	copyState := func() map[string]string {
+		out := make(map[string]string, len(cur))
+		for k, v := range cur {
+			out[k] = v
+		}
+		return out
+	}
+	states = append(states, copyState())
+	for _, op := range ops {
+		switch {
+		case op.snap:
+		case op.del:
+			delete(cur, op.key)
+		default:
+			cur[op.key] = op.val
+		}
+		states = append(states, copyState())
+	}
+	return states
+}
+
+func statesEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func recoverImage(t *testing.T, fsys vfs.FS, cfg Config) map[string]string {
+	t.Helper()
+	cfg.FS = fsys
+	m, err := NewManager(cfg, newKVSource())
+	if err != nil {
+		t.Fatalf("open for recovery: %v", err)
+	}
+	defer m.Close()
+	got := map[string]string{}
+	if err := m.Recover(func(key string, blob []byte) error {
+		if blob == nil {
+			delete(got, key)
+		} else {
+			got[key] = string(blob)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	return got
+}
+
+// TestCrashHarnessZeroAckedWriteLoss is the tentpole invariant: for EVERY
+// injected crash point in the workload — mid-append, mid-fsync, mid
+// snapshot write, between manifest rename and WAL truncation, everywhere —
+// recovery from the crash image yields a state that (a) is exactly the
+// model after some prefix of the workload, and (b) that prefix contains
+// every acknowledged write.
+func TestCrashHarnessZeroAckedWriteLoss(t *testing.T) {
+	ops := harnessWorkload()
+	states := prefixStates(ops)
+	for _, strategy := range []Strategy{WriteAhead, Hybrid} {
+		strategy := strategy
+		t.Run(strategy.String(), func(t *testing.T) {
+			baseCfg := Config{
+				Dir:             "/data",
+				Strategy:        strategy,
+				WALSync:         wal.SyncAlways,
+				WALSegmentBytes: 512, // force rotations under the harness
+			}
+
+			// Clean run to count the crash points.
+			probe := vfs.NewFault()
+			cfg := baseCfg
+			cfg.FS = probe
+			src := newKVSource()
+			m, err := NewManager(cfg, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runHarnessWorkload(m, src, ops)
+			m.Close()
+			total := probe.MutatingOps()
+			if total < 50 {
+				t.Fatalf("suspiciously few crash points: %d", total)
+			}
+			t.Logf("%d crash points", total)
+
+			for k := int64(0); k <= total; k++ {
+				fsys := vfs.NewFault()
+				cfg := baseCfg
+				cfg.FS = fsys
+				src := newKVSource()
+				m, err := NewManager(cfg, src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fsys.SetCrashAfterOps(k)
+				lastAcked := runHarnessWorkload(m, src, ops)
+				m.Close()
+
+				got := recoverImage(t, fsys.CrashFS(), baseCfg)
+				matched := false
+				for p := lastAcked + 1; p < len(states); p++ {
+					if statesEqual(states[p], got) {
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					// Diagnose: does it at least match an earlier prefix
+					// (acked-write loss) or no prefix at all (corruption)?
+					anyPrefix := -1
+					for p := range states {
+						if statesEqual(states[p], got) {
+							anyPrefix = p
+							break
+						}
+					}
+					if anyPrefix >= 0 {
+						t.Fatalf("crash point %d: recovered prefix %d but last acked op is %d — acked-write loss", k, anyPrefix, lastAcked)
+					}
+					t.Fatalf("crash point %d: recovered state matches no workload prefix: %v", k, got)
+				}
+			}
+		})
+	}
+}
+
+// TestConfigMatrixRecoveryEquivalence sweeps the durability configuration
+// space (go-nutt style): every {Strategy} × {SyncPolicy} × {SegmentBytes,
+// FlushInterval} cell runs the same workload through a clean shutdown and
+// must recover the identical image.
+func TestConfigMatrixRecoveryEquivalence(t *testing.T) {
+	strategies := []Strategy{Periodic, WriteAhead, Hybrid}
+	policies := []wal.SyncPolicy{wal.SyncNever, wal.SyncInterval, wal.SyncAlways}
+	segments := []int64{128, 64 << 10}
+	intervals := []time.Duration{time.Millisecond, time.Hour}
+
+	ops := harnessWorkload()
+	want := prefixStates(ops)[len(ops)]
+
+	for _, strategy := range strategies {
+		for _, policy := range policies {
+			if strategy == Periodic && policy != wal.SyncNever {
+				continue // Periodic has no WAL; one policy cell is enough
+			}
+			for _, segBytes := range segments {
+				for _, interval := range intervals {
+					name := fmt.Sprintf("%s/%s/seg%d/flush%s", strategy, policy, segBytes, interval)
+					t.Run(name, func(t *testing.T) {
+						dir := t.TempDir()
+						cfg := Config{
+							Dir:             dir,
+							Strategy:        strategy,
+							WALSync:         policy,
+							WALSegmentBytes: segBytes,
+							FlushInterval:   interval,
+						}
+						src := newKVSource()
+						m, err := NewManager(cfg, src)
+						if err != nil {
+							t.Fatal(err)
+						}
+						m.Start()
+						if lastAcked := runHarnessWorkload(m, src, ops); lastAcked < 0 && strategy != Periodic {
+							t.Fatal("no write was acked")
+						}
+						// Periodic persists only what a snapshot saw: take a
+						// final one so the full image is on disk.
+						if err := m.SnapshotNow(); err != nil {
+							t.Fatal(err)
+						}
+						if err := m.Close(); err != nil {
+							t.Fatal(err)
+						}
+						got := recoverImage(t, nil, cfg)
+						if !statesEqual(want, got) {
+							t.Fatalf("recovered %v, want %v", got, want)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestHybridDeltaSnapshots checks the incremental chain: after the full
+// base, snapshots containing only dirtied keys are layered on via the
+// manifest, deletions travel as tombstones, and a full snapshot re-bases
+// the chain after FullEvery deltas.
+func TestHybridDeltaSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Strategy: Hybrid, WALSync: wal.SyncAlways, FullEvery: 3}
+	src := newKVSource()
+	m, err := NewManager(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(k, v string) {
+		src.set(k, []byte(v))
+		if err := m.LogWrite(k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	del := func(k string) {
+		src.del(k)
+		if err := m.LogWrite(k, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := 0; i < 10; i++ {
+		write(fmt.Sprintf("base%d", i), fmt.Sprintf("v%d", i))
+	}
+	if err := m.SnapshotNow(); err != nil { // full base
+		t.Fatal(err)
+	}
+	write("hot", "1")
+	del("base3")
+	if err := m.SnapshotNow(); err != nil { // delta 1
+		t.Fatal(err)
+	}
+	write("hot", "2")
+	if err := m.SnapshotNow(); err != nil { // delta 2
+		t.Fatal(err)
+	}
+
+	man, ok, err := ReadManifest(vfs.OS, dir)
+	if err != nil || !ok {
+		t.Fatalf("manifest: ok=%v err=%v", ok, err)
+	}
+	if len(man.Chain) != 3 {
+		t.Fatalf("chain = %v, want base + 2 deltas", man.Chain)
+	}
+	// Deltas must be small — only the dirtied keys, not the whole image.
+	baseInfo, _ := os.Stat(filepath.Join(dir, man.Chain[0]))
+	deltaInfo, err := os.Stat(filepath.Join(dir, man.Chain[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deltaInfo.Size() >= baseInfo.Size() {
+		t.Fatalf("delta (%d bytes) not smaller than base (%d bytes)", deltaInfo.Size(), baseInfo.Size())
+	}
+	m.Close()
+
+	got := recoverImage(t, nil, cfg)
+	if got["hot"] != "2" {
+		t.Fatalf("hot = %q", got["hot"])
+	}
+	if _, exists := got["base3"]; exists {
+		t.Fatal("tombstoned key base3 resurrected")
+	}
+	if len(got) != 10 {
+		t.Fatalf("recovered %d keys, want 10", len(got))
+	}
+
+	// Reopen and push past FullEvery: the chain re-bases to one full file.
+	m2, err := NewManager(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	for i := 0; i < 3; i++ {
+		src.set("spin", []byte(fmt.Sprintf("s%d", i)))
+		if err := m2.LogWrite("spin", []byte(fmt.Sprintf("s%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := m2.SnapshotNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	man2, _, err := ReadManifest(vfs.OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man2.Chain) >= len(man.Chain)+3 {
+		t.Fatalf("chain after FullEvery = %v, never re-based", man2.Chain)
+	}
+	if man2.Chain[0] == man.Chain[0] {
+		t.Fatalf("base %s survived past FullEvery deltas", man2.Chain[0])
+	}
+}
+
+// TestDegradedAfterStickyFsyncError: a sticky fsync failure flips the
+// manager to degraded and every later durable write is refused.
+func TestDegradedAfterStickyFsyncError(t *testing.T) {
+	fsys := vfs.NewFault()
+	reg := obs.NewRegistry()
+	cfg := Config{Dir: "/data", Strategy: WriteAhead, WALSync: wal.SyncAlways, FS: fsys, Obs: reg}
+	m, err := NewManager(cfg, newKVSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.LogWrite("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if m.Degraded() {
+		t.Fatal("degraded before any fault")
+	}
+	fsys.FailFsync(fmt.Errorf("medium error"))
+	if err := m.LogWrite("b", []byte("2")); err == nil {
+		t.Fatal("durable write acked during fsync failure")
+	}
+	if !m.Degraded() {
+		t.Fatal("not degraded after sticky fsync error")
+	}
+	if err := m.LogWrite("c", []byte("3")); err == nil {
+		t.Fatal("durable write acked while degraded")
+	}
+	if reg.Counter("wal.fsync_errors").Load() == 0 {
+		t.Fatal("wal.fsync_errors not exported")
+	}
+}
+
+// TestParallelRecoveryMatchesSerial replays the same image with 1 and 8
+// recovery workers and expects identical results (per-key order holds
+// because keys shard deterministically).
+func TestParallelRecoveryMatchesSerial(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Strategy: Hybrid, WALSync: wal.SyncNever}
+	src := newKVSource()
+	m, err := NewManager(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("k%d", i%97)
+		v := []byte(fmt.Sprintf("v%d", i))
+		src.set(k, v)
+		if err := m.LogWrite(k, v); err != nil {
+			t.Fatal(err)
+		}
+		if i == 250 {
+			if err := m.SnapshotNow(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	serial := recoverImage(t, nil, cfg)
+
+	cfgPar := cfg
+	cfgPar.RecoveryWorkers = 8
+	mp, err := NewManager(cfgPar, newKVSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mp.Close()
+	var mu sync.Mutex
+	parallel := map[string]string{}
+	if err := mp.Recover(func(key string, blob []byte) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if blob == nil {
+			delete(parallel, key)
+		} else {
+			parallel[key] = string(blob)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(serial, parallel) {
+		t.Fatalf("parallel recovery diverged: %d vs %d keys", len(parallel), len(serial))
+	}
+	if len(serial) != 97 {
+		t.Fatalf("recovered %d keys, want 97", len(serial))
+	}
+}
+
+// TestRecoverQuarantinesCorruptMidLog: a flipped byte mid-log no longer
+// kills recovery — the damaged segment is quarantined, later segments are
+// salvaged, and the loss is counted.
+func TestRecoverQuarantinesCorruptMidLog(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	cfg := Config{Dir: dir, Strategy: WriteAhead, WALSync: wal.SyncAlways, WALSegmentBytes: 256}
+	src := newKVSource()
+	m, err := NewManager(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		k := fmt.Sprintf("k%d", i)
+		src.set(k, []byte("0123456789abcdef"))
+		if err := m.LogWrite(k, []byte("0123456789abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Close()
+
+	// Flip a payload byte in the second WAL segment.
+	walDir := filepath.Join(dir, "wal")
+	entries, err := os.ReadDir(walDir)
+	if err != nil || len(entries) < 3 {
+		t.Fatalf("segments = %d err=%v", len(entries), err)
+	}
+	path := filepath.Join(walDir, entries[1].Name())
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 0xff
+	os.WriteFile(path, data, 0o644)
+
+	cfg.Obs = reg
+	got := recoverImage(t, nil, cfg)
+	if len(got) == 0 || len(got) >= 30 {
+		t.Fatalf("salvaged %d keys, want partial recovery", len(got))
+	}
+	if reg.Counter("wal.records_quarantined").Load() == 0 {
+		t.Fatal("wal.records_quarantined not counted")
+	}
+	// The last keys (after the damaged segment) must have been salvaged.
+	if _, ok := got["k29"]; !ok {
+		t.Fatal("records after the corrupt segment were not salvaged")
+	}
+}

@@ -4,10 +4,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"path/filepath"
 	"sync"
 	"time"
 
+	"sedna/internal/obs"
+	"sedna/internal/vfs"
 	"sedna/internal/wal"
 )
 
@@ -55,6 +58,28 @@ type Config struct {
 	FlushInterval time.Duration
 	// WALSync is the log's sync policy for WriteAhead and Hybrid.
 	WALSync wal.SyncPolicy
+	// WALSegmentBytes overrides the log's segment size; zero keeps the
+	// log's default.
+	WALSegmentBytes int64
+	// WALGroupWindow is the group-commit dwell passed to the log.
+	WALGroupWindow time.Duration
+	// WALNoGroupCommit disables fsync coalescing (benchmark baseline).
+	WALNoGroupCommit bool
+	// FullEvery writes a full snapshot after this many incremental deltas
+	// under Hybrid; zero selects 8.
+	FullEvery int
+	// RecoveryWorkers shards Recover's apply across this many goroutines
+	// (same key always lands on the same shard, preserving per-key
+	// order). Values below 2 recover serially; parallel recovery requires
+	// an apply callback that is safe for concurrent use.
+	RecoveryWorkers int
+	// FS is the filesystem; nil selects the real one. The crash harness
+	// injects vfs.Fault.
+	FS vfs.FS
+	// Obs receives persistence metrics (persist.snapshots,
+	// persist.recovery_ms, wal.records_quarantined and the wal.* family);
+	// nil disables.
+	Obs *obs.Registry
 }
 
 // Source provides the memory image for snapshots.
@@ -63,17 +88,42 @@ type Source interface {
 	SnapshotRange(emit func(key string, blob []byte))
 }
 
+// KeyReader is an optional Source extension: point lookups let the manager
+// write incremental snapshots containing only the keys dirtied since the
+// previous one. Without it every snapshot is a full image.
+type KeyReader interface {
+	// ReadKey returns the live blob for key, or ok=false when the key no
+	// longer exists (the delta records a tombstone).
+	ReadKey(key string) (blob []byte, ok bool)
+}
+
 // Manager drives a node's persistence according to the configured strategy.
 type Manager struct {
-	cfg Config
-	src Source
-	log *wal.Log
+	cfg  Config
+	src  Source
+	log  *wal.Log
+	fsys vfs.FS
+
+	// dirtyMu guards the dirty-key set AND spans sequence assignment in
+	// LogWrite, so a snapshot's (watermark, dirty-set) capture is atomic:
+	// every record below the watermark has its key in the captured set.
+	dirtyMu sync.Mutex
+	dirty   map[string]struct{}
+
+	// snapMu serialises snapshots and guards the chain state.
+	snapMu sync.Mutex
+	chain  []string
+	deltas int // deltas since the last full snapshot
 
 	mu     sync.Mutex
 	closed bool
 
 	stop chan struct{}
 	done chan struct{}
+
+	nSnapshots   *obs.Counter
+	nQuarantined *obs.Counter
+	gRecoveryMs  *obs.Gauge
 }
 
 // NewManager opens (or creates) the persistence state in cfg.Dir. Call
@@ -85,18 +135,53 @@ func NewManager(cfg Config, src Source) (*Manager, error) {
 	if cfg.FlushInterval <= 0 {
 		cfg.FlushInterval = 30 * time.Second
 	}
-	m := &Manager{cfg: cfg, src: src}
+	if cfg.FullEvery <= 0 {
+		cfg.FullEvery = 8
+	}
+	if cfg.FS == nil {
+		cfg.FS = vfs.OS
+	}
+	m := &Manager{
+		cfg: cfg, src: src, fsys: cfg.FS,
+		dirty:        map[string]struct{}{},
+		nSnapshots:   cfg.Obs.Counter("persist.snapshots"),
+		nQuarantined: cfg.Obs.Counter("wal.records_quarantined"),
+		gRecoveryMs:  cfg.Obs.Gauge("persist.recovery_ms"),
+	}
 	if cfg.Strategy == WriteAhead || cfg.Strategy == Hybrid {
-		l, err := wal.Open(wal.Options{Dir: m.walDir(), Sync: cfg.WALSync})
+		l, err := wal.Open(wal.Options{
+			Dir:           m.walDir(),
+			Sync:          cfg.WALSync,
+			SegmentBytes:  cfg.WALSegmentBytes,
+			GroupWindow:   cfg.WALGroupWindow,
+			NoGroupCommit: cfg.WALNoGroupCommit,
+			FS:            cfg.FS,
+			Obs:           cfg.Obs,
+		})
 		if err != nil {
 			return nil, err
 		}
 		m.log = l
 	}
+	if cfg.Strategy != None {
+		if man, ok, err := ReadManifest(m.fsys, cfg.Dir); err != nil {
+			return nil, err
+		} else if ok {
+			m.chain = man.Chain
+			m.deltas = len(man.Chain) - 1
+		}
+	}
 	return m, nil
 }
 
 func (m *Manager) walDir() string { return filepath.Join(m.cfg.Dir, "wal") }
+
+// Degraded reports whether durability is lost: the WAL hit a sticky fsync
+// failure and no longer acknowledges writes. The node should stop acking
+// durable writes and report itself unhealthy.
+func (m *Manager) Degraded() bool {
+	return m.log != nil && m.log.Failed() != nil
+}
 
 // Mutation record payload: u32 key length, key, blob. An empty blob encodes
 // a deletion.
@@ -122,72 +207,238 @@ func decodeMutation(p []byte) (key string, blob []byte, err error) {
 // LogWrite records a row mutation. Under None and Periodic it is a no-op;
 // under WriteAhead and Hybrid it appends to the log and returns only after
 // the configured sync policy is satisfied. A nil blob logs a deletion.
+// Callers must apply the mutation to the store BEFORE logging it, so the
+// snapshot source is never behind the dirty-key set.
 func (m *Manager) LogWrite(key string, blob []byte) error {
 	if m.log == nil {
 		return nil
 	}
-	_, err := m.log.Append(encodeMutation(key, blob))
-	return err
+	// Sequence assignment and dirty-marking are atomic with respect to the
+	// snapshot capture (see SnapshotNow); the durability wait happens
+	// outside the lock so writers still share group-commit fsyncs.
+	m.dirtyMu.Lock()
+	seq, err := m.log.AppendNoWait(encodeMutation(key, blob))
+	if err == nil {
+		m.dirty[key] = struct{}{}
+	}
+	m.dirtyMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if m.cfg.WALSync == wal.SyncAlways {
+		return m.log.WaitDurable(seq)
+	}
+	return nil
 }
 
-// Recover rebuilds the memory image: newest snapshot first, then the WAL
-// suffix past the snapshot's watermark. apply receives entries in recovery
-// order (later entries supersede earlier ones); a nil blob means deletion.
+// Recover rebuilds the memory image: the manifest's snapshot chain (full
+// base, then deltas) and then the WAL suffix past the manifest watermark.
+// apply receives entries in recovery order (later entries supersede earlier
+// ones); a nil blob means deletion. Mid-log corruption quarantines the
+// damaged segment and salvages the rest (counted in
+// wal.records_quarantined). With cfg.RecoveryWorkers > 1, apply is invoked
+// from that many goroutines — same-key calls stay ordered — and must be
+// safe for concurrent use.
 func (m *Manager) Recover(apply func(key string, blob []byte) error) error {
 	if m.cfg.Strategy == None {
 		return nil
 	}
+	start := time.Now()
+	emit, finish := m.applier(apply)
+	err := m.recoverInto(emit)
+	if ferr := finish(); err == nil {
+		err = ferr
+	}
+	if err == nil {
+		m.gRecoveryMs.Set(time.Since(start).Milliseconds())
+	}
+	return err
+}
+
+func (m *Manager) recoverInto(emit func(key string, blob []byte) error) error {
 	var from uint64
-	path, watermark, ok, err := LatestSnapshot(m.cfg.Dir)
+	man, ok, err := ReadManifest(m.fsys, m.cfg.Dir)
 	if err != nil {
 		return err
 	}
 	if ok {
-		if _, err := ReadSnapshot(path, apply); err != nil {
+		for _, name := range man.Chain {
+			if _, err := ReadSnapshotFS(m.fsys, filepath.Join(m.cfg.Dir, name), emit); err != nil {
+				return err
+			}
+		}
+		from = man.Watermark
+	} else {
+		// Pre-manifest directory: newest full snapshot, if any.
+		path, watermark, found, err := latestSnapshotFS(m.fsys, m.cfg.Dir)
+		if err != nil {
 			return err
 		}
-		from = watermark
+		if found {
+			if _, err := ReadSnapshotFS(m.fsys, path, emit); err != nil {
+				return err
+			}
+			from = watermark
+		}
 	}
 	if m.cfg.Strategy == Periodic {
 		return nil
 	}
-	return wal.Replay(m.walDir(), from, func(r wal.Record) error {
-		key, blob, err := decodeMutation(r.Payload)
-		if err != nil {
-			return err
+	stats, err := wal.ReplayWith(wal.ReplayOptions{FS: m.fsys, Dir: m.walDir(), From: from, Quarantine: true}, func(r wal.Record) error {
+		key, blob, derr := decodeMutation(r.Payload)
+		if derr != nil {
+			return derr
 		}
 		if len(blob) == 0 {
-			return apply(key, nil)
+			return emit(key, nil)
 		}
-		return apply(key, blob)
+		return emit(key, blob)
 	})
+	m.nQuarantined.Add(stats.RecordsQuarantined)
+	return err
 }
 
-// SnapshotNow captures a snapshot immediately, prunes older snapshots and —
-// under Hybrid — truncates the covered WAL prefix.
+// applier wraps apply for recovery: serial by default; with
+// RecoveryWorkers > 1 it shards by key hash across worker goroutines so
+// per-vnode replay proceeds in parallel while same-key order is preserved
+// (same key, same shard, FIFO).
+func (m *Manager) applier(apply func(key string, blob []byte) error) (emit func(string, []byte) error, finish func() error) {
+	workers := m.cfg.RecoveryWorkers
+	if workers < 2 {
+		return apply, func() error { return nil }
+	}
+	type pair struct {
+		key  string
+		blob []byte
+	}
+	chans := make([]chan pair, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := range chans {
+		chans[i] = make(chan pair, 256)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for p := range chans[i] {
+				if errs[i] != nil {
+					continue // drain after first failure
+				}
+				errs[i] = apply(p.key, p.blob)
+			}
+		}(i)
+	}
+	emit = func(key string, blob []byte) error {
+		h := fnv.New32a()
+		h.Write([]byte(key))
+		chans[h.Sum32()%uint32(workers)] <- pair{key: key, blob: blob}
+		return nil
+	}
+	finish = func() error {
+		for _, ch := range chans {
+			close(ch)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return emit, finish
+}
+
+// SnapshotNow captures a snapshot immediately — a full image, or under
+// Hybrid an incremental delta of the keys dirtied since the last one when
+// the source supports point reads — commits it to the manifest, prunes
+// files outside the chain and truncates the covered WAL prefix.
 func (m *Manager) SnapshotNow() error {
 	if m.cfg.Strategy == None || m.cfg.Strategy == WriteAhead {
 		return nil
 	}
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+
+	// Atomic capture: after this block every WAL record below watermark
+	// has its key either in captured (this snapshot covers it) or in the
+	// live dirty set of a later snapshot — never silently truncated.
+	m.dirtyMu.Lock()
 	var watermark uint64 = 1
 	if m.log != nil {
-		if err := m.log.Sync(); err != nil {
-			return err
-		}
 		watermark = m.log.NextSeq()
 	}
-	_, err := WriteSnapshot(m.cfg.Dir, watermark, func(emit func(key string, blob []byte)) error {
-		m.src.SnapshotRange(emit)
-		return nil
-	})
+	captured := m.dirty
+	m.dirty = map[string]struct{}{}
+	m.dirtyMu.Unlock()
+	restoreDirty := func() {
+		m.dirtyMu.Lock()
+		for k := range captured {
+			m.dirty[k] = struct{}{}
+		}
+		m.dirtyMu.Unlock()
+	}
+
+	// The records the snapshot supersedes must be durable before the
+	// manifest watermark commits past them.
+	if m.log != nil {
+		if err := m.log.Sync(); err != nil {
+			restoreDirty()
+			return err
+		}
+	}
+
+	kr, canDelta := m.src.(KeyReader)
+	delta := m.cfg.Strategy == Hybrid && canDelta && len(m.chain) > 0 && m.deltas < m.cfg.FullEvery
+	if delta && len(captured) == 0 {
+		return nil // nothing changed since the last snapshot
+	}
+
+	var name string
+	var err error
+	if delta {
+		name = deltaName(watermark)
+		_, err = WriteSnapshotFS(m.fsys, m.cfg.Dir, name, watermark, func(emit func(key string, blob []byte, tombstone bool)) error {
+			for key := range captured {
+				blob, ok := kr.ReadKey(key)
+				emit(key, blob, !ok)
+			}
+			return nil
+		})
+	} else {
+		name = snapName(watermark)
+		_, err = WriteSnapshotFS(m.fsys, m.cfg.Dir, name, watermark, func(emit func(key string, blob []byte, tombstone bool)) error {
+			m.src.SnapshotRange(func(key string, blob []byte) { emit(key, blob, false) })
+			return nil
+		})
+	}
 	if err != nil {
+		restoreDirty()
 		return err
 	}
-	if err := PruneSnapshots(m.cfg.Dir); err != nil {
+
+	var chain []string
+	if delta {
+		chain = append(append([]string(nil), m.chain...), name)
+	} else {
+		chain = []string{name}
+	}
+	if err := WriteManifest(m.fsys, m.cfg.Dir, Manifest{Watermark: watermark, Chain: chain}); err != nil {
+		restoreDirty()
+		return err
+	}
+	m.chain = chain
+	if delta {
+		m.deltas++
+	} else {
+		m.deltas = 0
+	}
+	m.nSnapshots.Inc()
+
+	if err := pruneToChain(m.fsys, m.cfg.Dir, m.chain); err != nil {
 		return err
 	}
 	if m.log != nil {
-		return wal.Truncate(m.walDir(), watermark)
+		return wal.TruncateFS(m.fsys, m.walDir(), watermark)
 	}
 	return nil
 }

@@ -1,15 +1,17 @@
 // Package persist implements Sedna's persistency strategies (§III, Table I:
 // "periodically flush or write-ahead logs according users' needs"): binary
-// snapshots of the full memory image, a manager that combines snapshots with
-// the write-ahead log in internal/wal, and crash recovery that reloads the
-// newest snapshot and replays the log suffix. The paper motivates this as
-// the backstop for whole-cluster power loss (§III-C): replicas protect
-// against individual node failures, periodic flushing against losing all
-// three replicas at once.
+// snapshots of the memory image — full bases plus incremental deltas chained
+// by a manifest — a manager that combines snapshots with the write-ahead log
+// in internal/wal, and crash recovery that reloads the manifest chain and
+// replays the log suffix. The paper motivates this as the backstop for
+// whole-cluster power loss (§III-C): replicas protect against individual
+// node failures, periodic flushing against losing all three replicas at
+// once.
 package persist
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -18,53 +20,85 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"sedna/internal/vfs"
 )
 
 // Snapshot file format (little endian):
 //
 //	8  magic "SEDNASNP"
-//	u8 version
+//	u8 version (1 legacy full, 2 current)
 //	u64 WAL watermark (next sequence at capture time)
 //	u64 entry count
-//	per entry: u32 key length, key, u32 blob length, blob
+//	v1 entry: u32 key length, key, u32 blob length, blob
+//	v2 entry: u32 key length, key, u8 flags (bit0 tombstone), u32 blob
+//	          length, blob
 //	u32 CRC32 over everything above
 //
-// Files are written to a temp name and renamed into place so a crash during
-// flush never destroys the previous snapshot.
+// v2 adds the explicit tombstone flag so incremental (delta) snapshots can
+// record deletions — an empty blob is a legal stored value, so absence of
+// bytes cannot encode one. Files are written to a temp name, fsynced,
+// renamed into place, and the directory is fsynced so the new name survives
+// a crash.
 
 var snapMagic = [8]byte{'S', 'E', 'D', 'N', 'A', 'S', 'N', 'P'}
 
-const snapVersion = 1
+const (
+	snapVersion1 = 1
+	snapVersion2 = 2
+
+	flagTombstone = 1
+)
 
 // ErrCorruptSnapshot reports a snapshot that failed validation.
 var ErrCorruptSnapshot = errors.New("persist: corrupt snapshot")
 
 const (
-	snapPrefix = "snap-"
-	snapSuffix = ".snap"
+	snapPrefix  = "snap-"
+	deltaPrefix = "delta-"
+	snapSuffix  = ".snap"
 )
 
 func snapName(watermark uint64) string {
 	return fmt.Sprintf("%s%020d%s", snapPrefix, watermark, snapSuffix)
 }
 
-// WriteSnapshot captures the entries supplied by iterate into a snapshot
-// file in dir, tagged with the WAL watermark, and returns its path. iterate
-// must call emit once per entry and return nil.
+func deltaName(watermark uint64) string {
+	return fmt.Sprintf("%s%020d%s", deltaPrefix, watermark, snapSuffix)
+}
+
+// WriteSnapshot captures the entries supplied by iterate into a full
+// snapshot file in dir, tagged with the WAL watermark, and returns its
+// path. iterate must call emit once per entry and return nil.
 func WriteSnapshot(dir string, watermark uint64, iterate func(emit func(key string, blob []byte)) error) (string, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return WriteSnapshotFS(vfs.OS, dir, snapName(watermark), watermark, func(emit func(key string, blob []byte, tombstone bool)) error {
+		return iterate(func(key string, blob []byte) { emit(key, blob, false) })
+	})
+}
+
+// WriteSnapshotFS writes one snapshot file (full or delta — the caller
+// picks the name) through fsys with full crash discipline: temp file,
+// fsync, rename, directory fsync.
+func WriteSnapshotFS(fsys vfs.FS, dir, name string, watermark uint64, iterate func(emit func(key string, blob []byte, tombstone bool)) error) (string, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
 	buf := make([]byte, 0, 1<<16)
 	buf = append(buf, snapMagic[:]...)
-	buf = append(buf, snapVersion)
+	buf = append(buf, snapVersion2)
 	buf = binary.LittleEndian.AppendUint64(buf, watermark)
 	countAt := len(buf)
 	buf = binary.LittleEndian.AppendUint64(buf, 0) // patched below
 	var count uint64
-	err := iterate(func(key string, blob []byte) {
+	err := iterate(func(key string, blob []byte, tombstone bool) {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
 		buf = append(buf, key...)
+		var flags byte
+		if tombstone {
+			flags |= flagTombstone
+			blob = nil
+		}
+		buf = append(buf, flags)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blob)))
 		buf = append(buf, blob...)
 		count++
@@ -75,26 +109,50 @@ func WriteSnapshot(dir string, watermark uint64, iterate func(emit func(key stri
 	binary.LittleEndian.PutUint64(buf[countAt:], count)
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 
-	final := filepath.Join(dir, snapName(watermark))
-	tmp := final + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return "", err
-	}
-	f, err := os.Open(tmp)
-	if err == nil {
-		f.Sync()
-		f.Close()
-	}
-	if err := os.Rename(tmp, final); err != nil {
+	final := filepath.Join(dir, name)
+	if err := writeDurable(fsys, dir, final, buf); err != nil {
 		return "", err
 	}
 	return final, nil
 }
 
+// writeDurable lands data at final so that after a crash either the old
+// content or the complete new content is visible: write a temp, fsync it,
+// rename over final, fsync the directory.
+func writeDurable(fsys vfs.FS, dir, final string, data []byte) error {
+	tmp := final + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, final); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
 // ReadSnapshot loads the snapshot at path, invoking apply per entry, and
-// returns the WAL watermark recorded at capture time.
+// returns the WAL watermark recorded at capture time. A nil blob reports a
+// tombstone (v2 deltas); a present-but-empty value arrives as a non-nil
+// empty slice.
 func ReadSnapshot(path string, apply func(key string, blob []byte) error) (uint64, error) {
-	data, err := os.ReadFile(path)
+	return ReadSnapshotFS(vfs.OS, path, apply)
+}
+
+// ReadSnapshotFS is ReadSnapshot over an injectable filesystem.
+func ReadSnapshotFS(fsys vfs.FS, path string, apply func(key string, blob []byte) error) (uint64, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, err
 	}
@@ -110,8 +168,9 @@ func ReadSnapshot(path string, apply func(key string, blob []byte) error) (uint6
 		return 0, fmt.Errorf("%w: bad magic", ErrCorruptSnapshot)
 	}
 	off += 8
-	if body[off] != snapVersion {
-		return 0, fmt.Errorf("%w: unknown version %d", ErrCorruptSnapshot, body[off])
+	version := body[off]
+	if version != snapVersion1 && version != snapVersion2 {
+		return 0, fmt.Errorf("%w: unknown version %d", ErrCorruptSnapshot, version)
 	}
 	off++
 	watermark := binary.LittleEndian.Uint64(body[off:])
@@ -124,17 +183,32 @@ func ReadSnapshot(path string, apply func(key string, blob []byte) error) (uint6
 		}
 		kl := int(binary.LittleEndian.Uint32(body[off:]))
 		off += 4
-		if len(body)-off < kl+4 {
+		if len(body)-off < kl {
 			return 0, fmt.Errorf("%w: truncated key %d", ErrCorruptSnapshot, i)
 		}
 		key := string(body[off : off+kl])
 		off += kl
+		var flags byte
+		if version >= snapVersion2 {
+			if len(body)-off < 1 {
+				return 0, fmt.Errorf("%w: truncated flags %d", ErrCorruptSnapshot, i)
+			}
+			flags = body[off]
+			off++
+		}
+		if len(body)-off < 4 {
+			return 0, fmt.Errorf("%w: truncated blob length %d", ErrCorruptSnapshot, i)
+		}
 		bl := int(binary.LittleEndian.Uint32(body[off:]))
 		off += 4
 		if len(body)-off < bl {
 			return 0, fmt.Errorf("%w: truncated blob %d", ErrCorruptSnapshot, i)
 		}
-		blob := append([]byte(nil), body[off:off+bl]...)
+		var blob []byte
+		if flags&flagTombstone == 0 {
+			blob = make([]byte, bl)
+			copy(blob, body[off:off+bl])
+		}
 		off += bl
 		if err := apply(key, blob); err != nil {
 			return 0, err
@@ -146,20 +220,119 @@ func ReadSnapshot(path string, apply func(key string, blob []byte) error) (uint6
 	return watermark, nil
 }
 
-// LatestSnapshot returns the path and watermark of the newest valid-looking
-// snapshot file in dir, or ok=false when none exists.
-func LatestSnapshot(dir string) (path string, watermark uint64, ok bool, err error) {
-	entries, err := os.ReadDir(dir)
+// Manifest pins the snapshot chain: the full base plus the deltas layered
+// on it, in application order, and the WAL watermark recovery resumes from.
+// WAL truncation is driven only by a committed manifest — a snapshot that
+// crashed before its manifest rename simply never happened.
+type Manifest struct {
+	Version   int      `json:"version"`
+	Watermark uint64   `json:"watermark"`
+	Chain     []string `json:"chain"`
+	CRC       uint32   `json:"crc"`
+}
+
+const manifestName = "MANIFEST"
+
+func manifestCRC(m Manifest) uint32 {
+	m.CRC = 0
+	b, _ := json.Marshal(m)
+	return crc32.ChecksumIEEE(b)
+}
+
+// WriteManifest commits m atomically (temp + rename + dir fsync).
+func WriteManifest(fsys vfs.FS, dir string, m Manifest) error {
+	m.Version = 1
+	m.CRC = manifestCRC(m)
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return writeDurable(fsys, dir, filepath.Join(dir, manifestName), b)
+}
+
+// ReadManifest loads the committed manifest; ok is false when none exists.
+func ReadManifest(fsys vfs.FS, dir string) (Manifest, bool, error) {
+	var m Manifest
+	b, err := fsys.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		if os.IsNotExist(err) {
-			return "", 0, false, nil
+			return m, false, nil
 		}
+		return m, false, err
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		return m, false, fmt.Errorf("persist: corrupt manifest: %w", err)
+	}
+	if manifestCRC(m) != m.CRC {
+		return m, false, fmt.Errorf("persist: corrupt manifest: bad crc")
+	}
+	return m, true, nil
+}
+
+// listSnapFiles returns every snapshot/delta file name in dir.
+func listSnapFiles(fsys vfs.FS, dir string) ([]string, error) {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		if strings.HasPrefix(name, snapPrefix) || strings.HasPrefix(name, deltaPrefix) {
+			out = append(out, name)
+		}
+	}
+	return out, nil
+}
+
+// pruneToChain removes snapshot files that are not part of the committed
+// chain, making the removals durable with a directory fsync.
+func pruneToChain(fsys vfs.FS, dir string, chain []string) error {
+	keep := map[string]bool{}
+	for _, name := range chain {
+		keep[name] = true
+	}
+	files, err := listSnapFiles(fsys, dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for _, name := range files {
+		if keep[name] {
+			continue
+		}
+		if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
+			return err
+		}
+		removed = true
+	}
+	if removed {
+		return fsys.SyncDir(dir)
+	}
+	return nil
+}
+
+// LatestSnapshot returns the path and watermark of the newest valid-looking
+// full snapshot file in dir, or ok=false when none exists. It predates the
+// manifest and remains for pre-manifest directories.
+func LatestSnapshot(dir string) (path string, watermark uint64, ok bool, err error) {
+	return latestSnapshotFS(vfs.OS, dir)
+}
+
+func latestSnapshotFS(fsys vfs.FS, dir string) (path string, watermark uint64, ok bool, err error) {
+	names, err := listSnapFiles(fsys, dir)
+	if err != nil {
 		return "", 0, false, err
 	}
 	var marks []uint64
-	for _, e := range entries {
-		name := e.Name()
-		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+	for _, name := range names {
+		if !strings.HasPrefix(name, snapPrefix) {
 			continue
 		}
 		n, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), 10, 64)
@@ -176,22 +349,20 @@ func LatestSnapshot(dir string) (path string, watermark uint64, ok bool, err err
 	return filepath.Join(dir, snapName(w)), w, true, nil
 }
 
-// PruneSnapshots removes every snapshot older than the newest.
+// PruneSnapshots removes every full snapshot older than the newest. It
+// predates the manifest (which prunes to the committed chain) and remains
+// for pre-manifest directories.
 func PruneSnapshots(dir string) error {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil
-		}
-		return err
-	}
 	_, newest, ok, err := LatestSnapshot(dir)
 	if err != nil || !ok {
 		return err
 	}
-	for _, e := range entries {
-		name := e.Name()
-		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+	names, err := listSnapFiles(vfs.OS, dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if !strings.HasPrefix(name, snapPrefix) {
 			continue
 		}
 		n, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), 10, 64)

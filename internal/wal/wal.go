@@ -4,6 +4,15 @@
 // length-prefixed, CRC-protected records; recovery replays every intact
 // record and stops cleanly at the first torn tail, which is exactly the
 // guarantee a crashed Sedna node needs to rebuild its memory image.
+//
+// Durability is driven by group commit: under SyncAlways, concurrent
+// appenders coalesce into one fsync — the first waiter becomes the sync
+// leader, everyone who appended before the leader's fsync rides the same
+// batch, and each caller returns only once the fsync covering its sequence
+// number completed. That gives SyncAlways semantics at a per-batch rather
+// than per-record fsync cost. A failed fsync is sticky: the kernel may have
+// dropped the dirty pages, so the log stops acknowledging writes instead of
+// pretending a later fsync could still cover them.
 package wal
 
 import (
@@ -17,7 +26,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"sedna/internal/obs"
+	"sedna/internal/vfs"
 )
 
 // SyncPolicy controls when appended records are forced to stable storage,
@@ -30,9 +43,24 @@ const (
 	// SyncInterval fsyncs at most once per interval from a background
 	// goroutine.
 	SyncInterval
-	// SyncAlways fsyncs after every append; slowest, strongest.
+	// SyncAlways returns from Append only after an fsync covering the
+	// record completed; concurrent appends share fsyncs via group commit.
 	SyncAlways
 )
+
+// String names the policy for flags and figures.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncNever:
+		return "never"
+	case SyncInterval:
+		return "interval"
+	case SyncAlways:
+		return "always"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
 
 // Options configures a Log.
 type Options struct {
@@ -46,6 +74,23 @@ type Options struct {
 	Sync SyncPolicy
 	// SyncEvery is the flush period for SyncInterval; zero selects 50ms.
 	SyncEvery time.Duration
+	// GroupWindow is how long a group-commit leader waits before issuing
+	// its fsync, letting more appends join the batch. Zero means no
+	// artificial delay: batches still form naturally out of the appends
+	// that arrive while the previous fsync is in flight.
+	GroupWindow time.Duration
+	// GroupBytes short-circuits the GroupWindow wait once this many bytes
+	// are already pending. Zero selects 256 KiB.
+	GroupBytes int64
+	// NoGroupCommit forces one fsync per append under SyncAlways — the
+	// pre-group-commit behaviour, kept as the benchmark baseline.
+	NoGroupCommit bool
+	// FS is the filesystem; nil selects the real one (vfs.OS). Tests
+	// inject vfs.Fault to deliver fsync errors, torn writes and crashes.
+	FS vfs.FS
+	// Obs receives the log's metrics (wal.appends, wal.fsync_batches,
+	// wal.fsync_wait_ns, wal.fsync_errors); nil disables.
+	Obs *obs.Registry
 }
 
 // Record is one logged mutation. The WAL does not interpret the payload;
@@ -62,31 +107,63 @@ type Record struct {
 // at the tail, where truncation is expected after a crash and tolerated).
 var ErrCorrupt = errors.New("wal: corrupt record")
 
+// ErrClosed reports use after Close.
+var ErrClosed = errors.New("wal: closed")
+
 const (
 	recordHeader = 4 + 8 + 4 // length, seq, crc
 	segPrefix    = "seg-"
 	segSuffix    = ".wal"
+	// quarantineSuffix is appended to a segment that failed its CRC
+	// mid-log; the bytes are kept for forensics but the segment no longer
+	// participates in replay or sequence numbering.
+	quarantineSuffix = ".quarantined"
 )
+
+// recBufPool recycles record encode buffers (header + payload), following
+// the owned-buffer discipline of the transport frame pool: Append draws a
+// buffer, writes it to the segment, and returns it before unlocking.
+var recBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4<<10); return &b }}
 
 // Log is an append-only segmented write-ahead log. All methods are safe for
 // concurrent use.
 type Log struct {
 	opts Options
+	fs   vfs.FS
 
-	mu      sync.Mutex
-	seg     *os.File
-	segBase uint64 // first seq of the open segment
-	segSize int64
-	nextSeq uint64
-	dirty   bool
-	closed  bool
+	mu       sync.Mutex
+	seg      vfs.File
+	segBase  uint64 // first seq of the open segment
+	segSize  int64
+	nextSeq  uint64
+	appended uint64 // highest seq written to the OS
+	dirty    bool
+	closed   bool
+
+	// Group-commit state. Lock order is mu before gmu; waitDurable holds
+	// neither while the leader runs its fsync.
+	gmu     sync.Mutex
+	gcond   *sync.Cond
+	durable uint64 // highest fsync-covered seq
+	syncing bool   // a group-commit leader is in flight
+
+	pending atomic.Int64             // bytes appended since the last fsync
+	failed  atomic.Pointer[syncFail] // sticky fsync failure
 
 	flushStop chan struct{}
 	flushDone chan struct{}
+
+	nAppends, nBatches  *obs.Counter
+	nFsyncErrs, nWaitNs *obs.Counter
+	hWait               *obs.Histogram
 }
 
+type syncFail struct{ err error }
+
 // Open creates or resumes the log in opts.Dir. Existing segments are left
-// in place; Append continues after the highest sequence found.
+// in place; Append continues after the highest sequence found. A torn or
+// corrupt tail in the newest segment is truncated away so new appends
+// land after the intact prefix instead of hiding behind unreadable bytes.
 func Open(opts Options) (*Log, error) {
 	if opts.Dir == "" {
 		return nil, errors.New("wal: Dir required")
@@ -97,33 +174,29 @@ func Open(opts Options) (*Log, error) {
 	if opts.SyncEvery <= 0 {
 		opts.SyncEvery = 50 * time.Millisecond
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if opts.GroupBytes <= 0 {
+		opts.GroupBytes = 256 << 10
+	}
+	if opts.FS == nil {
+		opts.FS = vfs.OS
+	}
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	l := &Log{opts: opts, nextSeq: 1}
+	l := &Log{
+		opts: opts, fs: opts.FS, nextSeq: 1,
+		nAppends:   opts.Obs.Counter("wal.appends"),
+		nBatches:   opts.Obs.Counter("wal.fsync_batches"),
+		nFsyncErrs: opts.Obs.Counter("wal.fsync_errors"),
+		nWaitNs:    opts.Obs.Counter("wal.fsync_wait_ns"),
+		hWait:      opts.Obs.Histogram("wal.fsync_wait"),
+	}
+	l.gcond = sync.NewCond(&l.gmu)
 
-	segs, err := listSegments(opts.Dir)
-	if err != nil {
-		return nil, err
-	}
-	if len(segs) > 0 {
-		// Find the next sequence by scanning the last segment.
-		last := segs[len(segs)-1]
-		maxSeq, scanErr := scanMaxSeq(filepath.Join(opts.Dir, segName(last)))
-		if scanErr != nil {
-			return nil, scanErr
-		}
-		if maxSeq >= l.nextSeq {
-			l.nextSeq = maxSeq + 1
-		}
-		if maxSeq == 0 && last >= l.nextSeq {
-			// Empty tail segment: keep numbering consistent.
-			l.nextSeq = last
-		}
-	}
 	if err := l.openSegmentLocked(); err != nil {
 		return nil, err
 	}
+	l.durable = l.appended // everything on disk at open is as durable as it gets
 	if opts.Sync == SyncInterval {
 		l.flushStop = make(chan struct{})
 		l.flushDone = make(chan struct{})
@@ -136,8 +209,8 @@ func segName(base uint64) string {
 	return fmt.Sprintf("%s%020d%s", segPrefix, base, segSuffix)
 }
 
-func listSegments(dir string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys vfs.FS, dir string) ([]uint64, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -158,21 +231,46 @@ func listSegments(dir string) ([]uint64, error) {
 	return bases, nil
 }
 
-// openSegmentLocked opens (appending) the segment whose base is nextSeq, or
-// the newest existing segment when resuming.
+// openSegmentLocked resumes the newest existing segment (self-healing its
+// tail) or creates the first one. New segment files are followed by a
+// directory fsync: without it a crash can forget the file exists even
+// though its records were fsynced.
 func (l *Log) openSegmentLocked() error {
-	segs, err := listSegments(l.opts.Dir)
+	segs, err := listSegments(l.fs, l.opts.Dir)
 	if err != nil {
 		return err
 	}
+	created := false
 	var base uint64
 	if len(segs) > 0 {
 		base = segs[len(segs)-1]
 	} else {
 		base = l.nextSeq
+		created = true
 	}
 	path := filepath.Join(l.opts.Dir, segName(base))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+
+	var intactLen int64
+	if !created {
+		// Scan the resumed segment: sequence numbering continues after the
+		// highest intact record, and any bytes past the intact prefix (a
+		// torn append, or bit rot in the tail) are truncated away so the
+		// next append is reachable by replay.
+		maxSeq, okLen, scanErr := scanSegment(l.fs, path)
+		if scanErr != nil {
+			return scanErr
+		}
+		if maxSeq >= l.nextSeq {
+			l.nextSeq = maxSeq + 1
+		}
+		if maxSeq == 0 && base >= l.nextSeq {
+			// Empty tail segment: keep numbering consistent.
+			l.nextSeq = base
+		}
+		intactLen = okLen
+	}
+
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
@@ -181,57 +279,212 @@ func (l *Log) openSegmentLocked() error {
 		f.Close()
 		return err
 	}
+	size := st.Size()
+	if !created && size > intactLen {
+		if err := f.Truncate(intactLen); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: heal tail of %s: %w", path, err)
+		}
+		size = intactLen
+	}
+	if created {
+		if err := l.fs.SyncDir(l.opts.Dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
 	l.seg = f
 	l.segBase = base
-	l.segSize = st.Size()
+	l.segSize = size
+	l.appended = l.nextSeq - 1
 	return nil
 }
 
+// Failed returns the sticky fsync error, or nil while the log is healthy.
+// Once non-nil the log acknowledges nothing further; the node should stop
+// acking durable writes and report itself degraded.
+func (l *Log) Failed() error {
+	if f := l.failed.Load(); f != nil {
+		return f.err
+	}
+	return nil
+}
+
+func (l *Log) fail(err error) {
+	l.failed.CompareAndSwap(nil, &syncFail{err: err})
+	l.nFsyncErrs.Inc()
+}
+
 // Append writes one record and returns its sequence number, honouring the
-// configured sync policy before returning.
+// configured sync policy before returning: under SyncAlways it blocks until
+// an fsync covering the record completed (sharing that fsync with every
+// concurrent appender). Append is AppendNoWait followed by WaitDurable.
 func (l *Log) Append(payload []byte) (uint64, error) {
+	seq, err := l.AppendNoWait(payload)
+	if err != nil {
+		return 0, err
+	}
+	if l.opts.Sync != SyncAlways {
+		return seq, nil
+	}
+	return seq, l.WaitDurable(seq)
+}
+
+// AppendNoWait writes one record and returns without waiting for
+// durability, whatever the sync policy. Callers needing the SyncAlways
+// guarantee follow up with WaitDurable(seq); the split lets a caller do
+// atomic bookkeeping against the assigned sequence number (e.g. the
+// dirty-key set feeding delta snapshots) without blocking every writer
+// behind the group-commit fsync.
+func (l *Log) AppendNoWait(payload []byte) (uint64, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
-		return 0, errors.New("wal: closed")
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if err := l.Failed(); err != nil {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: degraded: %w", err)
 	}
 	if l.segSize >= l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
+			l.mu.Unlock()
 			return 0, err
 		}
 	}
 	seq := l.nextSeq
-	l.nextSeq++
 
-	buf := make([]byte, recordHeader+len(payload))
-	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
-	binary.LittleEndian.PutUint64(buf[4:], seq)
-	binary.LittleEndian.PutUint32(buf[12:], crc32.ChecksumIEEE(payload))
-	copy(buf[recordHeader:], payload)
-	if _, err := l.seg.Write(buf); err != nil {
-		return 0, err
-	}
-	l.segSize += int64(len(buf))
-	l.dirty = true
-	if l.opts.Sync == SyncAlways {
-		if err := l.seg.Sync(); err != nil {
-			return 0, err
+	bufp := recBufPool.Get().(*[]byte)
+	buf := (*bufp)[:0]
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	buf = append(buf, payload...)
+	n, werr := l.seg.Write(buf)
+	*bufp = buf
+	recBufPool.Put(bufp)
+	if werr != nil {
+		// A short write left a torn record at the tail; erase it so later
+		// appends stay reachable by replay. If even that fails the file
+		// state is unknowable — go sticky-degraded.
+		if n > 0 {
+			if terr := l.seg.Truncate(l.segSize); terr != nil {
+				l.fail(fmt.Errorf("wal: truncate after torn write: %w", terr))
+			}
 		}
-		l.dirty = false
+		l.mu.Unlock()
+		return 0, werr
 	}
+	l.nextSeq++
+	l.segSize += int64(len(buf))
+	l.appended = seq
+	l.dirty = true
+	l.pending.Add(int64(len(buf)))
+	l.mu.Unlock()
+	l.nAppends.Inc()
 	return seq, nil
 }
 
-func (l *Log) rotateLocked() error {
+// WaitDurable blocks until an fsync covering seq completed. The first
+// caller to find no sync in flight becomes the leader and issues the fsync
+// for everyone who appended before it ran. With NoGroupCommit each waiter
+// issues its own fsync — the benchmark baseline.
+func (l *Log) WaitDurable(seq uint64) error {
+	if l.opts.NoGroupCommit {
+		l.mu.Lock()
+		target, err := l.syncLocked()
+		l.mu.Unlock()
+		l.advanceDurable(target, err)
+		return err
+	}
+	start := time.Now()
+	l.gmu.Lock()
+	for {
+		if l.durable >= seq {
+			l.gmu.Unlock()
+			wait := time.Since(start)
+			l.nWaitNs.Add(uint64(wait))
+			l.hWait.Observe(wait)
+			return nil
+		}
+		if err := l.Failed(); err != nil {
+			l.gmu.Unlock()
+			return fmt.Errorf("wal: degraded: %w", err)
+		}
+		if !l.syncing {
+			l.syncing = true
+			l.gmu.Unlock()
+			l.leaderSync()
+			l.gmu.Lock()
+			continue
+		}
+		l.gcond.Wait()
+	}
+}
+
+// leaderSync runs one group-commit round: optionally dwell for GroupWindow
+// to let the batch grow, then fsync whatever has been appended.
+func (l *Log) leaderSync() {
+	if w := l.opts.GroupWindow; w > 0 && l.pending.Load() < l.opts.GroupBytes {
+		time.Sleep(w)
+	}
+	l.mu.Lock()
+	target, err := l.syncLocked()
+	l.mu.Unlock()
+	l.gmu.Lock()
+	l.syncing = false
+	l.gmu.Unlock()
+	l.advanceDurable(target, err)
+}
+
+// syncLocked fsyncs the open segment (records in previous segments were
+// fsynced at rotation) and returns the highest sequence the fsync covers.
+// Callers must hold l.mu.
+func (l *Log) syncLocked() (uint64, error) {
+	target := l.appended
+	if !l.dirty || l.seg == nil {
+		return target, l.Failed()
+	}
+	if err := l.Failed(); err != nil {
+		return target, err
+	}
 	if err := l.seg.Sync(); err != nil {
+		l.fail(err)
+		return target, err
+	}
+	l.dirty = false
+	l.pending.Store(0)
+	l.nBatches.Inc()
+	return target, nil
+}
+
+// advanceDurable publishes a completed fsync and wakes every waiter whose
+// sequence it covers (or all of them, on failure — they observe Failed).
+func (l *Log) advanceDurable(target uint64, err error) {
+	l.gmu.Lock()
+	if err == nil && target > l.durable {
+		l.durable = target
+	}
+	l.gmu.Unlock()
+	l.gcond.Broadcast()
+}
+
+func (l *Log) rotateLocked() error {
+	if _, err := l.syncLocked(); err != nil {
 		return err
 	}
 	if err := l.seg.Close(); err != nil {
 		return err
 	}
 	path := filepath.Join(l.opts.Dir, segName(l.nextSeq))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		return err
+	}
+	// Make the new segment's directory entry durable before writing records
+	// into it; otherwise a crash can lose a whole fsynced segment.
+	if err := l.fs.SyncDir(l.opts.Dir); err != nil {
+		f.Close()
 		return err
 	}
 	l.seg = f
@@ -243,15 +496,14 @@ func (l *Log) rotateLocked() error {
 // Sync forces buffered records to stable storage.
 func (l *Log) Sync() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed || !l.dirty {
+	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
-	if err := l.seg.Sync(); err != nil {
-		return err
-	}
-	l.dirty = false
-	return nil
+	target, err := l.syncLocked()
+	l.mu.Unlock()
+	l.advanceDurable(target, err)
+	return err
 }
 
 func (l *Log) flushLoop() {
@@ -276,6 +528,13 @@ func (l *Log) NextSeq() uint64 {
 	return l.nextSeq
 }
 
+// DurableSeq returns the highest sequence covered by a completed fsync.
+func (l *Log) DurableSeq() uint64 {
+	l.gmu.Lock()
+	defer l.gmu.Unlock()
+	return l.durable
+}
+
 // Close flushes and closes the log.
 func (l *Log) Close() error {
 	l.mu.Lock()
@@ -289,12 +548,44 @@ func (l *Log) Close() error {
 		<-l.flushDone
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.closed = true
-	if l.dirty {
-		l.seg.Sync()
+	target, serr := l.syncLocked()
+	cerr := l.seg.Close()
+	l.mu.Unlock()
+	l.advanceDurable(target, serr)
+	if serr != nil && !errors.Is(serr, ErrClosed) {
+		return serr
 	}
-	return l.seg.Close()
+	return cerr
+}
+
+// ReplayStats reports what a replay salvaged and what it gave up on.
+type ReplayStats struct {
+	// Records is the count of intact records delivered to the callback.
+	Records uint64
+	// SegmentsQuarantined counts segments renamed aside after a mid-log
+	// CRC failure; their unreadable remainder is lost but every later
+	// segment still replays.
+	SegmentsQuarantined uint64
+	// RecordsQuarantined counts records lost to quarantined segments —
+	// exact when a later segment pins the sequence boundary, a lower
+	// bound of 1 otherwise.
+	RecordsQuarantined uint64
+}
+
+// ReplayOptions parameterises ReplayWith.
+type ReplayOptions struct {
+	// FS is the filesystem; nil selects vfs.OS.
+	FS vfs.FS
+	// Dir is the log directory.
+	Dir string
+	// From skips records with Seq < From.
+	From uint64
+	// Quarantine makes mid-log corruption survivable: the damaged
+	// segment's intact prefix replays, the file is renamed aside, and
+	// replay continues with the next segment. Without it (the strict
+	// default) mid-log corruption aborts with ErrCorrupt.
+	Quarantine bool
 }
 
 // Replay invokes fn for every record with Seq >= from, in order, across all
@@ -302,89 +593,160 @@ func (l *Log) Close() error {
 // replay without error (the crash happened mid-append); corruption anywhere
 // else returns ErrCorrupt.
 func Replay(dir string, from uint64, fn func(Record) error) error {
-	segs, err := listSegments(dir)
+	_, err := ReplayWith(ReplayOptions{Dir: dir, From: from}, fn)
+	return err
+}
+
+// ReplayWith is Replay with an injectable filesystem and optional
+// quarantining of corrupt segments.
+func ReplayWith(opts ReplayOptions, fn func(Record) error) (ReplayStats, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	var stats ReplayStats
+	segs, err := listSegments(fsys, opts.Dir)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil
+			return stats, nil
 		}
-		return err
+		return stats, err
 	}
 	for i, base := range segs {
 		lastSegment := i == len(segs)-1
-		if err := replaySegment(filepath.Join(dir, segName(base)), from, lastSegment, fn); err != nil {
-			return err
+		path := filepath.Join(opts.Dir, segName(base))
+		res := replaySegment(fsys, path, opts.From, lastSegment, func(r Record) error {
+			stats.Records++
+			return fn(r)
+		})
+		if res.err == nil {
+			continue
 		}
+		if !errors.Is(res.err, ErrCorrupt) || !opts.Quarantine {
+			return stats, res.err
+		}
+		// Quarantine: keep the damaged bytes for forensics, drop the
+		// segment from the log, and carry on with the rest.
+		if qerr := fsys.Rename(path, path+quarantineSuffix); qerr != nil {
+			return stats, fmt.Errorf("wal: quarantine %s: %w", path, qerr)
+		}
+		if qerr := fsys.SyncDir(opts.Dir); qerr != nil {
+			return stats, qerr
+		}
+		stats.SegmentsQuarantined++
+		// The next segment's base pins exactly how many records this one
+		// held; everything after the last intact record is lost. When the
+		// corruption hit the very first record, lastSeq is zero — the
+		// segment base still bounds the count.
+		lastGood := res.lastSeq
+		if lastGood < base-1 {
+			lastGood = base - 1
+		}
+		lost := uint64(1)
+		if i+1 < len(segs) && segs[i+1] > lastGood+1 {
+			lost = segs[i+1] - lastGood - 1
+		}
+		stats.RecordsQuarantined += lost
 	}
-	return nil
+	return stats, nil
 }
 
-func replaySegment(path string, from uint64, tolerateTear bool, fn func(Record) error) error {
-	data, err := os.ReadFile(path)
+// segScan is the outcome of reading one segment.
+type segScan struct {
+	lastSeq  uint64 // highest intact seq delivered
+	intactLn int64  // byte length of the intact record prefix
+	err      error  // nil, ErrCorrupt-wrapped, or a callback/io error
+}
+
+// replaySegment walks one segment. A short or CRC-failing record that runs
+// to EOF is a torn tail: tolerated (silently ends the scan) when
+// tolerateTear, ErrCorrupt otherwise. A CRC failure with more bytes after
+// it is corruption regardless.
+func replaySegment(fsys vfs.FS, path string, from uint64, tolerateTear bool, fn func(Record) error) segScan {
+	var sc segScan
+	data, err := fsys.ReadFile(path)
 	if err != nil {
-		return err
+		sc.err = err
+		return sc
 	}
 	off := 0
 	for off < len(data) {
 		if len(data)-off < recordHeader {
 			if tolerateTear {
-				return nil
+				return sc
 			}
-			return fmt.Errorf("%w: torn header in %s", ErrCorrupt, path)
+			sc.err = fmt.Errorf("%w: torn header in %s", ErrCorrupt, path)
+			return sc
 		}
 		n := int(binary.LittleEndian.Uint32(data[off:]))
 		seq := binary.LittleEndian.Uint64(data[off+4:])
 		crc := binary.LittleEndian.Uint32(data[off+12:])
-		if len(data)-off-recordHeader < n {
+		if n < 0 || len(data)-off-recordHeader < n {
 			if tolerateTear {
-				return nil
+				return sc
 			}
-			return fmt.Errorf("%w: torn payload in %s", ErrCorrupt, path)
+			sc.err = fmt.Errorf("%w: torn payload in %s", ErrCorrupt, path)
+			return sc
 		}
 		payload := data[off+recordHeader : off+recordHeader+n]
 		if crc32.ChecksumIEEE(payload) != crc {
 			if tolerateTear && off+recordHeader+n == len(data) {
-				return nil // torn final record
+				return sc // torn final record
 			}
-			return fmt.Errorf("%w: bad crc at seq %d in %s", ErrCorrupt, seq, path)
+			sc.err = fmt.Errorf("%w: bad crc at seq %d in %s", ErrCorrupt, seq, path)
+			return sc
 		}
 		if seq >= from {
 			if err := fn(Record{Seq: seq, Payload: append([]byte(nil), payload...)}); err != nil {
-				return err
+				sc.err = err
+				return sc
 			}
 		}
+		sc.lastSeq = seq
 		off += recordHeader + n
+		sc.intactLn = int64(off)
 	}
-	return nil
+	return sc
 }
 
 // Truncate removes whole segments whose records all precede upTo; it is
 // called after a snapshot makes the prefix redundant. The segment containing
 // upTo is kept.
 func Truncate(dir string, upTo uint64) error {
-	segs, err := listSegments(dir)
+	return TruncateFS(vfs.OS, dir, upTo)
+}
+
+// TruncateFS is Truncate over an injectable filesystem. Removals are made
+// durable with a directory fsync.
+func TruncateFS(fsys vfs.FS, dir string, upTo uint64) error {
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return err
 	}
+	removed := false
 	for i, base := range segs {
 		// A segment may be deleted when the NEXT segment starts at or
 		// before upTo (so every record here is < upTo).
 		if i+1 < len(segs) && segs[i+1] <= upTo {
-			if err := os.Remove(filepath.Join(dir, segName(base))); err != nil {
+			if err := fsys.Remove(filepath.Join(dir, segName(base))); err != nil {
 				return err
 			}
+			removed = true
 		}
+	}
+	if removed {
+		return fsys.SyncDir(dir)
 	}
 	return nil
 }
 
-// scanMaxSeq returns the highest intact sequence number in the segment.
-func scanMaxSeq(path string) (uint64, error) {
-	var max uint64
-	err := replaySegment(path, 0, true, func(r Record) error {
-		if r.Seq > max {
-			max = r.Seq
-		}
-		return nil
-	})
-	return max, err
+// scanSegment returns the highest intact sequence number in the segment and
+// the byte length of its intact prefix, stopping (without error) at the
+// first record that fails validation.
+func scanSegment(fsys vfs.FS, path string) (uint64, int64, error) {
+	sc := replaySegment(fsys, path, 0, false, func(Record) error { return nil })
+	if sc.err != nil && !errors.Is(sc.err, ErrCorrupt) {
+		return 0, 0, sc.err
+	}
+	return sc.lastSeq, sc.intactLn, nil
 }

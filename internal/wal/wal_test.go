@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"sedna/internal/vfs"
 )
 
 func openTest(t *testing.T, dir string, opts Options) *Log {
@@ -114,7 +116,7 @@ func TestSegmentRotation(t *testing.T) {
 		}
 	}
 	l.Close()
-	segs, err := listSegments(dir)
+	segs, err := listSegments(vfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +142,7 @@ func TestTornTailTolerated(t *testing.T) {
 	l.Close()
 
 	// Simulate a crash mid-append: chop bytes off the segment tail.
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(vfs.OS, dir)
 	path := filepath.Join(dir, segName(segs[0]))
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -171,7 +173,7 @@ func TestMidLogCorruptionDetected(t *testing.T) {
 		l.Append([]byte("0123456789abcdef"))
 	}
 	l.Close()
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(vfs.OS, dir)
 	if len(segs) < 2 {
 		t.Fatal("need multiple segments")
 	}
@@ -205,7 +207,7 @@ func TestTruncate(t *testing.T) {
 		l.Append([]byte("0123456789abcdef0123456789abcdef"))
 	}
 	l.Close()
-	segsBefore, _ := listSegments(dir)
+	segsBefore, _ := listSegments(vfs.OS, dir)
 	if len(segsBefore) < 3 {
 		t.Fatalf("segments = %d", len(segsBefore))
 	}
@@ -213,7 +215,7 @@ func TestTruncate(t *testing.T) {
 	if err := Truncate(dir, 20); err != nil {
 		t.Fatal(err)
 	}
-	segsAfter, _ := listSegments(dir)
+	segsAfter, _ := listSegments(vfs.OS, dir)
 	if len(segsAfter) >= len(segsBefore) {
 		t.Fatalf("truncate removed nothing (%d -> %d)", len(segsBefore), len(segsAfter))
 	}
@@ -339,7 +341,7 @@ func TestCrashPointPropertyPrefixRecovery(t *testing.T) {
 		}
 	}
 	l.Close()
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(vfs.OS, dir)
 	if len(segs) != 1 {
 		t.Fatalf("expected one segment, got %d", len(segs))
 	}
