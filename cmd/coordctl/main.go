@@ -17,6 +17,7 @@
 //	coordctl -node 127.0.0.1:7103 join              # stream a fair share of vnodes TO the node
 //	coordctl -node 127.0.0.1:7101 drain             # stream every vnode OFF the node
 //	coordctl -node 127.0.0.1:7103 rebalance status  # one-shot campaign progress
+//	coordctl -node 127.0.0.1:7101 top               # the node's hot keys / tenants / anomalies
 //
 // join/drain block, reporting progress, until the campaign completes.
 package main
@@ -34,6 +35,7 @@ import (
 	"sedna/internal/cluster"
 	"sedna/internal/coord"
 	"sedna/internal/core"
+	"sedna/internal/obs"
 	"sedna/internal/rebalance"
 	"sedna/internal/ring"
 	"sedna/internal/transport"
@@ -41,7 +43,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: coordctl [-servers a,b,c] [-node addr] <status|ls|get|create|set|del|ring|stats|join|drain|rebalance> [args]")
+	fmt.Fprintln(os.Stderr, "usage: coordctl [-servers a,b,c] [-node addr] <status|ls|get|create|set|del|ring|stats|join|drain|rebalance|top> [args]")
 	os.Exit(2)
 }
 
@@ -92,6 +94,15 @@ func main() {
 			fatal(err)
 		}
 		printCampaign(c)
+		return
+	case "top":
+		if *node == "" {
+			fmt.Fprintln(os.Stderr, "coordctl: top requires -node <data-node-addr>")
+			os.Exit(2)
+		}
+		if err := nodeTop(*node); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -216,6 +227,44 @@ func dataCall(addr string, op uint16, body []byte) (*wire.Dec, error) {
 		return nil, core.StatusErr(st, detail)
 	}
 	return d, nil
+}
+
+// nodeTop fetches one data node's obs report over the data plane and renders
+// its introspection surface: the hot-key sketch, per-tenant attribution, and
+// recent watchdog anomalies — the same data the node's /topz endpoint serves.
+func nodeTop(addr string) error {
+	d, err := dataCall(addr, core.OpObsStats, nil)
+	if err != nil {
+		return err
+	}
+	blob := d.Bytes()
+	if d.Err != nil {
+		return d.Err
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return err
+	}
+	fmt.Printf("=== node %s ===\n", rep.Node)
+	if len(rep.TopKeys) > 0 {
+		fmt.Printf("%-18s %6s %10s %8s %10s %10s %12s\n", "KEY-HASH", "VNODE", "COUNT", "ERR", "READS", "WRITES", "BYTES")
+		for _, e := range rep.TopKeys {
+			fmt.Printf("%016x   %6d %10d %8d %10d %10d %12d\n",
+				e.Hash, e.VNode, e.Count, e.Err, e.Reads, e.Writes, e.Bytes)
+		}
+	}
+	if len(rep.Tenants) > 0 {
+		fmt.Printf("%-16s %10s %10s %12s %8s %10s %10s\n", "TENANT", "READS", "WRITES", "BYTES", "ERRORS", "P50", "P99")
+		for _, t := range rep.Tenants {
+			fmt.Printf("%-16s %10d %10d %12d %8d %10s %10s\n",
+				t.Tenant, t.Reads, t.Writes, t.Bytes, t.Errors,
+				time.Duration(t.Lat.P50()), time.Duration(t.Lat.P99()))
+		}
+	}
+	for _, a := range rep.Anomalies {
+		fmt.Printf("anomaly\t%s\t%s\t%s\n", time.Unix(0, a.Wall).Format("15:04:05"), a.Kind, a.Detail)
+	}
+	return nil
 }
 
 func campaignStatus(addr string) (rebalance.Campaign, error) {

@@ -14,6 +14,7 @@
 //	sedna-bench -fig hotpath         # E8: hot-path ns/op and allocs/op
 //	sedna-bench -fig rebalance       # E9: online vnode migration under load
 //	sedna-bench -fig durability      # E10: group commit vs SyncAlways, restart time
+//	sedna-bench -fig introspect      # E11: introspection-plane overhead and fidelity
 //	sedna-bench -fig all
 //
 // -scale shrinks the sweep for quick runs (1.0 = the paper's 10k..60k).
@@ -35,7 +36,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which artifact to regenerate: 7a|7b|8|ablations|coord|pipeline|batch|hotpath|rebalance|durability|all")
+	fig := flag.String("fig", "all", "which artifact to regenerate: 7a|7b|8|ablations|coord|pipeline|batch|hotpath|rebalance|durability|introspect|all")
 	scale := flag.Float64("scale", 0.1, "sweep scale relative to the paper's 10k..60k ops")
 	nodes := flag.Int("nodes", 9, "cluster size (the paper uses 9)")
 	seed := flag.Int64("seed", 42, "simulation seed")
@@ -45,7 +46,7 @@ func main() {
 	steps := opsSteps(*scale)
 	run := map[string]bool{}
 	if *fig == "all" {
-		for _, f := range []string{"7a", "7b", "8", "ablations", "coord", "pipeline", "batch", "hotpath", "rebalance", "durability"} {
+		for _, f := range []string{"7a", "7b", "8", "ablations", "coord", "pipeline", "batch", "hotpath", "rebalance", "durability", "introspect"} {
 			run[f] = true
 		}
 	} else {
@@ -238,6 +239,40 @@ func main() {
 		}
 		path := filepath.Join(*outdir, "BENCH_fig_durability.json")
 		if err := bench.WriteDurabilityJSON(path, rep); err != nil {
+			log.Fatalf("write %s: %v", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		fmt.Println()
+	}
+	if run["introspect"] {
+		any = true
+		fmt.Println("== E11: workload introspection plane — overhead and fidelity under zipf(1.1) ==")
+		rep, err := bench.RunFigIntrospect(bench.IntrospectConfig{
+			Ops:  scaleInt(30000, *scale),
+			Keys: scaleInt(20000, *scale),
+			Seed: *seed,
+		})
+		if err != nil {
+			log.Fatalf("fig introspect: %v", err)
+		}
+		fmt.Printf("enabled : %8.0f ops/s  p50=%.2fms p99=%.2fms\n",
+			rep.OpsPerSecEnabled, rep.P50MsEnabled, rep.P99MsEnabled)
+		fmt.Printf("disabled: %8.0f ops/s  p50=%.2fms p99=%.2fms\n",
+			rep.OpsPerSecDisabled, rep.P50MsDisabled, rep.P99MsDisabled)
+		fmt.Printf("overhead: %.2f%% (target <5%%)\n", rep.OverheadPct)
+		fmt.Printf("hottest key ranked first: %v\n", rep.HottestRankedFirst)
+		fmt.Printf("exemplars resolved: %d/%d\n", rep.ExemplarsResolved, rep.ExemplarsTotal)
+		for i, e := range rep.TopKeys {
+			if i >= 5 {
+				break
+			}
+			fmt.Printf("  top[%d] hash=%016x count=%d (err<=%d) vnode=%d\n", i, e.Hash, e.Count, e.Err, e.VNode)
+		}
+		for _, tr := range rep.TenantRows {
+			fmt.Printf("  tenant %-8s reads=%-6d writes=%-6d bytes=%d\n", tr.Tenant, tr.Reads, tr.Writes, tr.Bytes)
+		}
+		path := filepath.Join(*outdir, "BENCH_fig_introspect.json")
+		if err := bench.WriteIntrospectJSON(path, rep); err != nil {
 			log.Fatalf("write %s: %v", path, err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)

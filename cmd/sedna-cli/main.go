@@ -12,6 +12,8 @@
 //	sedna-cli -servers ... watch ds tb                # subscribe to a table
 //	sedna-cli -servers ... stats                      # per-node + merged metrics
 //	sedna-cli -servers ... stats -json                # raw JSON snapshots
+//	sedna-cli -servers ... top                        # live hot keys / tenants / anomalies
+//	sedna-cli -servers ... top -once                  # one sample and exit
 package main
 
 import (
@@ -28,7 +30,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sedna-cli -servers a,b,c <put|putall|get|getall|mget|mset|del|watch|stats> args...")
+	fmt.Fprintln(os.Stderr, "usage: sedna-cli -servers a,b,c <put|putall|get|getall|mget|mset|del|watch|stats|top> args...")
 	os.Exit(2)
 }
 
@@ -132,6 +134,9 @@ func main() {
 	case "stats":
 		asJSON := len(args) > 1 && (args[1] == "-json" || args[1] == "--json")
 		stats(ctx, cli, strings.Split(*servers, ","), asJSON)
+	case "top":
+		once := len(args) > 1 && (args[1] == "-once" || args[1] == "--once")
+		top(cli, strings.Split(*servers, ","), once, *timeout)
 	default:
 		usage()
 	}
@@ -202,6 +207,65 @@ func stats(ctx context.Context, cli *sedna.Client, servers []string, asJSON bool
 	}
 	if answered > 1 {
 		fmt.Printf("=== cluster (merged %d nodes) ===\n%s", answered, merged.Text())
+	}
+}
+
+// top polls every node's introspection surface and renders the cluster-wide
+// merged view: hot-key ranking (hashes only — raw keys never leave the
+// nodes), per-tenant attribution, and recent watchdog anomalies. The same
+// data backs each node's /topz endpoint.
+func top(cli *sedna.Client, servers []string, once bool, timeout time.Duration) {
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		var keyLists [][]obs.TopKEntry
+		var tenantLists [][]obs.TenantSnapshot
+		var anomalies []obs.Anomaly
+		answered := 0
+		for _, srv := range servers {
+			rep, err := cli.FetchStats(ctx, srv)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sedna-cli: %s: %v\n", srv, err)
+				continue
+			}
+			answered++
+			keyLists = append(keyLists, rep.TopKeys)
+			tenantLists = append(tenantLists, rep.Tenants)
+			anomalies = append(anomalies, rep.Anomalies...)
+		}
+		cancel()
+		if answered == 0 {
+			fatal(fmt.Errorf("no node answered"))
+		}
+		renderTop(answered, obs.MergeTopK(16, keyLists...), obs.MergeTenants(tenantLists...), anomalies)
+		if once {
+			return
+		}
+		time.Sleep(2 * time.Second)
+	}
+}
+
+func renderTop(nodes int, keys []obs.TopKEntry, tenants []obs.TenantSnapshot, anomalies []obs.Anomaly) {
+	fmt.Printf("=== top (merged %d nodes, %s) ===\n", nodes, time.Now().Format("15:04:05"))
+	if len(keys) > 0 {
+		fmt.Printf("%-18s %6s %10s %8s %10s %10s %12s\n", "KEY-HASH", "VNODE", "COUNT", "ERR", "READS", "WRITES", "BYTES")
+		for _, e := range keys {
+			fmt.Printf("%016x   %6d %10d %8d %10d %10d %12d\n",
+				e.Hash, e.VNode, e.Count, e.Err, e.Reads, e.Writes, e.Bytes)
+		}
+	}
+	if len(tenants) > 0 {
+		fmt.Printf("%-16s %10s %10s %12s %8s %10s %10s\n", "TENANT", "READS", "WRITES", "BYTES", "ERRORS", "P50", "P99")
+		for _, t := range tenants {
+			fmt.Printf("%-16s %10d %10d %12d %8d %10s %10s\n",
+				t.Tenant, t.Reads, t.Writes, t.Bytes, t.Errors,
+				time.Duration(t.Lat.P50()), time.Duration(t.Lat.P99()))
+		}
+	}
+	for i, a := range anomalies {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("anomaly\t%s\t%s\t%s\n", time.Unix(0, a.Wall).Format("15:04:05"), a.Kind, a.Detail)
 	}
 }
 

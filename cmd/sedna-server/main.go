@@ -40,6 +40,7 @@ func main() {
 	flushEvery := flag.Duration("flush-every", 0, "snapshot period for periodic/hybrid (default 30s)")
 	opsAddr := flag.String("ops-addr", "", "ops-plane HTTP listen address (/metrics, /healthz, /traces, pprof); empty disables")
 	slowMS := flag.Int64("slow-ms", 0, "slow-op threshold in milliseconds (0 = default 250ms, negative disables)")
+	tenantRule := flag.String("tenant-rule", "", "per-tenant attribution rule: dataset|table|prefix:N; empty disables")
 	verbose := flag.Bool("v", false, "verbose logging")
 	flag.Parse()
 
@@ -90,6 +91,7 @@ func main() {
 		Passive:         *passive,
 		VNodes:          *vnodes,
 		SlowOpThreshold: time.Duration(*slowMS) * time.Millisecond,
+		TenantRule:      *tenantRule,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf

@@ -54,6 +54,12 @@ type ClusterConfig struct {
 	Breaker transport.BreakerConfig
 	// SubIdleTimeout tunes subscription garbage collection.
 	SubIdleTimeout time.Duration
+	// TenantRule enables per-tenant attribution on every node and client
+	// ("dataset", "table", "prefix:N"); empty disables.
+	TenantRule string
+	// WatchdogEvery paces every node's anomaly watchdog; zero selects the
+	// core default, negative disables the watchdog.
+	WatchdogEvery time.Duration
 	// Logf receives diagnostics from every component; nil disables.
 	Logf func(format string, args ...any)
 }
@@ -202,6 +208,8 @@ func (c *Cluster) addNode(i int, passive bool) (*core.Server, error) {
 		ScanEvery:       c.cfg.ScanEvery,
 		TriggerInterval: c.cfg.TriggerInterval,
 		SubIdleTimeout:  c.cfg.SubIdleTimeout,
+		TenantRule:      c.cfg.TenantRule,
+		WatchdogEvery:   c.cfg.WatchdogEvery,
 		ReconcileEvery:  200 * time.Millisecond,
 		Logf:            c.cfg.Logf,
 	})
@@ -233,10 +241,11 @@ func (c *Cluster) ClientWithObs() (*client.Client, *obs.Registry, error) {
 	ep := c.Net.Endpoint(fmt.Sprintf("client-%d", c.nextClient))
 	reg := obs.NewRegistry()
 	cl, err := client.New(client.Config{
-		Servers: c.NodeAddrs,
-		Caller:  ep,
-		Source:  ep.Addr(),
-		Obs:     reg,
+		Servers:    c.NodeAddrs,
+		Caller:     ep,
+		Source:     ep.Addr(),
+		Obs:        reg,
+		TenantRule: c.cfg.TenantRule,
 	})
 	return cl, reg, err
 }

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"sedna/internal/core"
+	"sedna/internal/netsim"
+	"sedna/internal/obs"
+	"sedna/internal/ring"
+	"sedna/internal/workload"
+)
+
+// IntrospectConfig parameterises E11: the cost and fidelity of the workload
+// introspection plane under a skewed stream.
+type IntrospectConfig struct {
+	// Nodes is the data-node count (default 3, the acceptance topology).
+	Nodes int
+	// Ops is the write count per phase (default 30000, scaled by -scale).
+	Ops int
+	// Keys is the distinct key count of the zipf(1.1) stream (default 2000).
+	Keys int
+	// Tenants shards the stream across that many datasets (default 4).
+	Tenants int
+	// Profile simulates the links; zero selects GigabitLAN.
+	Profile netsim.Profile
+	// Seed fixes the simulation and the zipf draw.
+	Seed int64
+}
+
+func (c *IntrospectConfig) defaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.Ops <= 0 {
+		c.Ops = 30000
+	}
+	if c.Keys <= 0 {
+		c.Keys = 2000
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.Profile == (netsim.Profile{}) {
+		c.Profile = netsim.GigabitLAN()
+	}
+}
+
+// IntrospectResult is the E11 artifact (BENCH_fig_introspect.json): the same
+// zipf write stream measured with the introspection plane recording and with
+// it disabled, plus the fidelity checks the ISSUE's acceptance criteria name.
+type IntrospectResult struct {
+	Ops     int `json:"ops"`
+	Nodes   int `json:"nodes"`
+	Keys    int `json:"keys"`
+	Tenants int `json:"tenants"`
+	// Enabled/Disabled throughput and client-side latency.
+	OpsPerSecEnabled  float64 `json:"ops_per_sec_enabled"`
+	OpsPerSecDisabled float64 `json:"ops_per_sec_disabled"`
+	// OverheadPct is the throughput cost of recording: positive means the
+	// enabled run was slower. The E11 target is < 5%.
+	OverheadPct   float64 `json:"overhead_pct"`
+	P50MsEnabled  float64 `json:"p50_ms_enabled"`
+	P99MsEnabled  float64 `json:"p99_ms_enabled"`
+	P50MsDisabled float64 `json:"p50_ms_disabled"`
+	P99MsDisabled float64 `json:"p99_ms_disabled"`
+	// HottestRankedFirst reports whether the cluster-merged top-K put the
+	// stream's true hottest key (zipf rank 0) in first place.
+	HottestRankedFirst bool `json:"hottest_ranked_first"`
+	// ExemplarsTotal/Resolved count histogram-bucket exemplars across every
+	// node and how many resolved to a retained trace in the same report.
+	ExemplarsTotal    int `json:"exemplars_total"`
+	ExemplarsResolved int `json:"exemplars_resolved"`
+	// TopKeys and TenantRows summarise what the plane attributed.
+	TopKeys    []obs.TopKEntry      `json:"top_keys"`
+	TenantRows []obs.TenantSnapshot `json:"tenants_attributed"`
+}
+
+// RunFigIntrospect measures E11. One cluster serves both phases — first with
+// the introspection plane recording (the default), then with every registry's
+// plane disabled — so the comparison isolates the recording cost from cluster
+// assembly noise. The enabled phase also grades fidelity: the merged hot-key
+// ranking against the known zipf head, and exemplar→trace resolution.
+func RunFigIntrospect(cfg IntrospectConfig) (*IntrospectResult, error) {
+	cfg.defaults()
+	cl, err := NewCluster(ClusterConfig{
+		Nodes:       cfg.Nodes,
+		Profile:     cfg.Profile,
+		Seed:        cfg.Seed,
+		MemoryLimit: 256 << 20,
+		TenantRule:  "dataset",
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	if err := cl.WaitConverged(cfg.Nodes, 30*time.Second); err != nil {
+		return nil, err
+	}
+	cli, reg, err := cl.ClientWithObs()
+	if err != nil {
+		return nil, err
+	}
+	reg.SetNode("bench-client")
+	reg.SetTraceSampling(64) // sampled traces feed the exemplar check
+
+	res := &IntrospectResult{Ops: cfg.Ops, Nodes: cfg.Nodes, Keys: cfg.Keys, Tenants: cfg.Tenants}
+	ctx := context.Background()
+
+	phase := func(label string, seedOff int64) (float64, obs.Snapshot, error) {
+		gen := workload.NewGenerator(workload.Spec{
+			Keys:    cfg.Keys,
+			Dist:    workload.Zipf,
+			Seed:    cfg.Seed + seedOff,
+			Dataset: "e11",
+			Tenants: cfg.Tenants,
+		})
+		prev := reg.Snapshot()
+		start := time.Now()
+		for i := 0; i < cfg.Ops; i++ {
+			k := gen.NextKey()
+			if err := cli.WriteLatest(ctx, k, gen.Value(i)); err != nil && !errors.Is(err, core.ErrOutdated) {
+				return 0, obs.Snapshot{}, fmt.Errorf("introspect %s write %d: %w", label, i, err)
+			}
+		}
+		elapsed := time.Since(start)
+		return float64(cfg.Ops) / elapsed.Seconds(), reg.Snapshot().Delta(prev), nil
+	}
+
+	// Phase 1: plane recording (the default state).
+	opsEnabled, delta, err := phase("enabled", 0)
+	if err != nil {
+		return nil, err
+	}
+	res.OpsPerSecEnabled = opsEnabled
+	if h := delta.Hist("client.write"); h.Count > 0 {
+		res.P50MsEnabled = float64(h.P50()) / 1e6
+		res.P99MsEnabled = float64(h.P99()) / 1e6
+	}
+
+	// Fidelity: merge every node's sketch and tenant table cluster-wide.
+	gen := workload.NewGenerator(workload.Spec{Keys: cfg.Keys, Dist: workload.Zipf, Dataset: "e11", Tenants: cfg.Tenants})
+	hotHash := ring.Hash64(gen.HottestKey())
+	var keyLists [][]obs.TopKEntry
+	var tenantLists [][]obs.TenantSnapshot
+	for _, srv := range cl.Servers {
+		rep := srv.ObsReport()
+		keyLists = append(keyLists, rep.TopKeys)
+		tenantLists = append(tenantLists, rep.Tenants)
+		total, resolved := exemplarResolution(rep)
+		res.ExemplarsTotal += total
+		res.ExemplarsResolved += resolved
+	}
+	clientRep := reg.Report()
+	total, resolved := exemplarResolution(clientRep)
+	res.ExemplarsTotal += total
+	res.ExemplarsResolved += resolved
+	res.TopKeys = obs.MergeTopK(10, keyLists...)
+	res.TenantRows = obs.MergeTenants(tenantLists...)
+	res.HottestRankedFirst = len(res.TopKeys) > 0 && res.TopKeys[0].Hash == hotHash
+
+	// Phase 2: plane disabled on every registry that records it.
+	for _, srv := range cl.Servers {
+		srv.Obs().SetIntrospection(false)
+	}
+	reg.SetIntrospection(false)
+	opsDisabled, delta, err := phase("disabled", 1)
+	if err != nil {
+		return nil, err
+	}
+	res.OpsPerSecDisabled = opsDisabled
+	if h := delta.Hist("client.write"); h.Count > 0 {
+		res.P50MsDisabled = float64(h.P50()) / 1e6
+		res.P99MsDisabled = float64(h.P99()) / 1e6
+	}
+	for _, srv := range cl.Servers {
+		srv.Obs().SetIntrospection(true)
+	}
+	reg.SetIntrospection(true)
+
+	if res.OpsPerSecDisabled > 0 {
+		res.OverheadPct = (res.OpsPerSecDisabled - res.OpsPerSecEnabled) / res.OpsPerSecDisabled * 100
+	}
+	return res, nil
+}
+
+// exemplarResolution counts one report's histogram-bucket exemplars and how
+// many of their trace ids resolve to a span retained in the same report.
+func exemplarResolution(rep obs.Report) (total, resolved int) {
+	retained := map[uint64]bool{}
+	for _, ts := range rep.Traces {
+		retained[ts.ID] = true
+	}
+	for _, h := range rep.Snapshot.Hists {
+		for _, id := range h.Exemplars {
+			total++
+			if retained[id] {
+				resolved++
+			}
+		}
+	}
+	return total, resolved
+}
+
+// WriteIntrospectJSON writes the E11 artifact at path.
+func WriteIntrospectJSON(path string, res *IntrospectResult) error {
+	blob, err := json.MarshalIndent(struct {
+		Figure string            `json:"figure"`
+		Result *IntrospectResult `json:"result"`
+	}{"introspect", res}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}

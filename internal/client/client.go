@@ -58,6 +58,10 @@ type Config struct {
 	// force-retained in Obs's slow-op log; zero selects 250ms, negative
 	// disables. Ignored when Obs is nil.
 	SlowOpThreshold time.Duration
+	// TenantRule derives a tenant tag from each key for per-tenant
+	// attribution and trace propagation: "" (disabled), "dataset", "table",
+	// or "prefix:N" (see obs.ParseTenantRule). Ignored when Obs is nil.
+	TenantRule string
 }
 
 // Client talks to a Sedna cluster.
@@ -118,6 +122,11 @@ func New(cfg Config) (*Client, error) {
 	case cfg.SlowOpThreshold > 0:
 		cfg.Obs.SetSlowOpThreshold(cfg.SlowOpThreshold)
 	}
+	tenantRule, err := obs.ParseTenantRule(cfg.TenantRule)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	cfg.Obs.SetTenantRule(tenantRule)
 	return &Client{
 		cfg:             cfg,
 		health:          health,
@@ -159,13 +168,19 @@ func (c *Client) Delete(ctx context.Context, key kv.Key) error {
 
 func (c *Client) write(ctx context.Context, key kv.Key, value []byte, mode quorum.Mode, deleted bool) (err error) {
 	start := time.Now()
-	if tr := c.cfg.Obs.SampleTrace("client.write"); tr != nil {
+	tr := c.cfg.Obs.SampleTrace("client.write")
+	if tr != nil {
+		// Attribute the trace before it crosses the wire, so coordinator and
+		// replica spans stitch under the same tenant.
+		tr.Tenant = c.cfg.Obs.TenantOf(string(key))
 		ctx = obs.WithTrace(ctx, tr)
 		defer tr.Finish(c.cfg.Obs)
 	}
+	var meta keyedMeta
 	defer func() {
 		d := time.Since(start)
-		c.hWrite.Observe(d)
+		c.cfg.Obs.ObserveOp(c.hWrite, d, tr)
+		c.recordOp(tr, "client.write", key, d, err, meta, true, len(value))
 		c.recordSlow(ctx, "client.write", key, d, err)
 	}()
 	var e wire.Enc
@@ -174,7 +189,7 @@ func (c *Client) write(ctx context.Context, key kv.Key, value []byte, mode quoru
 	e.U8(byte(mode))
 	e.Bool(deleted)
 	e.Str(c.cfg.Source)
-	_, err = c.doKeyed(ctx, key, core.OpCoordWrite, e.B)
+	_, meta, err = c.doKeyedMeta(ctx, key, core.OpCoordWrite, e.B)
 	return err
 }
 
@@ -219,18 +234,23 @@ func (c *Client) ReadAll(ctx context.Context, key kv.Key) ([]Value, error) {
 
 func (c *Client) readRow(ctx context.Context, key kv.Key) (row *kv.Row, err error) {
 	start := time.Now()
-	if tr := c.cfg.Obs.SampleTrace("client.read"); tr != nil {
+	tr := c.cfg.Obs.SampleTrace("client.read")
+	if tr != nil {
+		tr.Tenant = c.cfg.Obs.TenantOf(string(key))
 		ctx = obs.WithTrace(ctx, tr)
 		defer tr.Finish(c.cfg.Obs)
 	}
+	var meta keyedMeta
+	readBytes := 0
 	defer func() {
 		d := time.Since(start)
-		c.hRead.Observe(d)
+		c.cfg.Obs.ObserveOp(c.hRead, d, tr)
+		c.recordOp(tr, "client.read", key, d, err, meta, false, readBytes)
 		c.recordSlow(ctx, "client.read", key, d, err)
 	}()
 	var e wire.Enc
 	e.Str(string(key))
-	d, err := c.doKeyed(ctx, key, core.OpCoordRead, e.B)
+	d, meta, err := c.doKeyedMeta(ctx, key, core.OpCoordRead, e.B)
 	if err != nil {
 		return nil, err
 	}
@@ -238,7 +258,52 @@ func (c *Client) readRow(ctx context.Context, key kv.Key) (row *kv.Row, err erro
 	if d.Err != nil {
 		return nil, d.Err
 	}
+	readBytes = len(blob)
 	return kv.DecodeRow(blob)
+}
+
+// outcomeOf classifies a client op result for the stats surfaces.
+func outcomeOf(err error) string {
+	switch {
+	case errors.Is(err, core.ErrOutdated):
+		return "outdated"
+	case errors.Is(err, core.ErrNotFound):
+		return "not_found"
+	case err != nil:
+		return "failure"
+	}
+	return "ok"
+}
+
+// recordOp leaves the op's wide event in the flight recorder plus its
+// per-tenant attribution row. Like recordSlow it only consults the leased
+// ring — a defer must not touch the network.
+func (c *Client) recordOp(tr *obs.Trace, op string, key kv.Key, d time.Duration, err error, meta keyedMeta, write bool, bytes int) {
+	tenant := c.cfg.Obs.TenantOf(string(key))
+	ev := obs.WideEvent{
+		Op:      op,
+		DurNs:   int64(d),
+		VNode:   -1,
+		KeyHash: ring.Hash64(key),
+		Tenant:  tenant,
+		Outcome: outcomeOf(err),
+		Retries: uint32(meta.retries),
+	}
+	if tr != nil {
+		ev.TraceID = tr.ID
+	}
+	if meta.retargeted {
+		ev.Flags |= obs.FlagRetargeted
+	}
+	c.mu.Lock()
+	r := c.ringSnap
+	c.mu.Unlock()
+	if r != nil {
+		ev.VNode = int32(r.VNodeFor(key))
+	}
+	c.cfg.Obs.RecordOp(ev)
+	failed := err != nil && !errors.Is(err, core.ErrNotFound)
+	c.cfg.Obs.RecordTenantOp(tenant, write, bytes, d, failed)
 }
 
 // recordSlow force-retains one slow client op in the slow-op log, stamped
@@ -248,15 +313,7 @@ func (c *Client) recordSlow(ctx context.Context, op string, key kv.Key, d time.D
 	if !c.cfg.Obs.IsSlow(d) {
 		return
 	}
-	so := obs.SlowOp{Op: op, Dur: d, VNode: -1, KeyHash: ring.Hash64(key), Outcome: "ok"}
-	switch {
-	case errors.Is(err, core.ErrOutdated):
-		so.Outcome = "outdated"
-	case errors.Is(err, core.ErrNotFound):
-		so.Outcome = "not_found"
-	case err != nil:
-		so.Outcome = "failure"
-	}
+	so := obs.SlowOp{Op: op, Dur: d, VNode: -1, KeyHash: ring.Hash64(key), Outcome: outcomeOf(err)}
 	if tr := obs.FromContext(ctx); tr != nil {
 		so.TraceID = tr.ID
 		so.Stages = tr.Snapshot().Stages
@@ -306,6 +363,19 @@ func (c *Client) targetsFor(key kv.Key) []string {
 // after breaker fast-fails, which cost nothing and skip straight to the next
 // target.
 func (c *Client) doKeyed(ctx context.Context, key kv.Key, op uint16, body []byte) (*wire.Dec, error) {
+	d, _, err := c.doKeyedMeta(ctx, key, op, body)
+	return d, err
+}
+
+// keyedMeta summarises how one keyed op travelled: extra attempts consumed
+// from the retry budget and whether a NotOwner rejection retargeted it.
+type keyedMeta struct {
+	retries    int
+	retargeted bool
+}
+
+func (c *Client) doKeyedMeta(ctx context.Context, key kv.Key, op uint16, body []byte) (*wire.Dec, keyedMeta, error) {
+	var meta keyedMeta
 	var lastErr error
 	tried := map[string]bool{}
 	for attempt := 0; attempt < c.cfg.RetryBudget; attempt++ {
@@ -325,6 +395,7 @@ func (c *Client) doKeyed(ctx context.Context, key kv.Key, op uint16, body []byte
 		tried[addr] = true
 		if attempt > 0 {
 			c.nRetries.Inc()
+			meta.retries++
 		}
 		callCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
 		resp, err := c.cfg.Caller.Call(callCtx, addr, transport.Message{
@@ -349,7 +420,7 @@ func (c *Client) doKeyed(ctx context.Context, key kv.Key, op uint16, body []byte
 		st := d.U16()
 		detail := d.Str()
 		if d.Err != nil {
-			return nil, d.Err
+			return nil, meta, d.Err
 		}
 		if st == core.StNotOwner {
 			// The node no longer coordinates this key's vnode (it migrated,
@@ -361,6 +432,7 @@ func (c *Client) doKeyed(ctx context.Context, key kv.Key, op uint16, body []byte
 			// route back to a node we already visited in another role.
 			lastErr = core.StatusErr(st, detail)
 			c.nRetargets.Inc()
+			meta.retargeted = true
 			c.refreshRingAtLeast(d.U64())
 			clear(tried)
 			continue
@@ -372,19 +444,19 @@ func (c *Client) doKeyed(ctx context.Context, key kv.Key, op uint16, body []byte
 			continue
 		}
 		if st != core.StOK {
-			return nil, core.StatusErr(st, detail)
+			return nil, meta, core.StatusErr(st, detail)
 		}
 		if attempt == 0 {
 			c.nZeroHop.Inc() // the primary answered: the zero-hop fast path
 		} else {
 			c.nReroutes.Inc()
 		}
-		return d, nil
+		return d, meta, nil
 	}
 	if lastErr == nil {
 		lastErr = transport.ErrUnreachable
 	}
-	return nil, fmt.Errorf("%w: %v", core.ErrFailure, lastErr)
+	return nil, meta, fmt.Errorf("%w: %v", core.ErrFailure, lastErr)
 }
 
 // retrySleep pauses between attempts — exponential from RetryBackoff, capped

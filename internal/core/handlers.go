@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"time"
 
 	"sedna/internal/kv"
@@ -21,6 +22,22 @@ func instrumented(h *obs.Histogram, fn transport.Handler) transport.Handler {
 		resp, err := fn(ctx, from, req)
 		h.Observe(time.Since(start))
 		return resp, err
+	}
+}
+
+// errStarting answers RPCs that arrive between Transport.Serve and the end
+// of Start, when handler state (cluster manager, quorum engine, ...) does
+// not exist yet. It maps to StFailure, so callers treat the node exactly
+// like one that is down: retry elsewhere, hint what could not be delivered.
+var errStarting = errors.New("core: starting")
+
+// gated rejects an RPC until Start has finished wiring the server.
+func (s *Server) gated(op uint16, fn transport.Handler) transport.Handler {
+	return func(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+		if !s.ready.Load() {
+			return errorMsg(op, errStarting), nil
+		}
+		return fn(ctx, from, req)
 	}
 }
 

@@ -23,6 +23,7 @@ func (s *Server) OpsConfig(addr string) opshttp.Config {
 		},
 		Imbalance:  s.localImbalance,
 		VNodeLoads: s.vnodeLoads,
+		Flight:     s.obs.FlightEvents,
 		Logf:       s.cfg.Logf,
 	}
 }
@@ -54,6 +55,9 @@ func (s *Server) healthStatus() opshttp.HealthStatus {
 		h.OK = false
 		h.Durability = "degraded"
 	}
+	// The watchdog's currently-firing rules (breaker flap, fsync-wait
+	// inflation, retry surges, vnode imbalance, degradation probes).
+	h.DegradedReasons = s.watchdog.DegradedReasons()
 	return h
 }
 

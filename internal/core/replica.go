@@ -92,7 +92,7 @@ func (s *Server) applyReplicaWrite(key kv.Key, v kv.Versioned, mode quorum.Mode)
 			return 0, perr
 		}
 		s.markDirty(key)
-		s.recordWrite(key)
+		s.recordWrite(key, len(newBlob))
 		// Dual-write window: while this vnode streams out, the accepted
 		// value is also queued to the migration recipient.
 		s.forwardDualWrite(key, v)
@@ -106,7 +106,7 @@ func (s *Server) applyReplicaWrite(key kv.Key, v kv.Versioned, mode quorum.Mode)
 func (s *Server) readReplicaRow(key kv.Key) (*kv.Row, error) {
 	s.nReplicaReads.Inc()
 	it, ok := s.store.Get(string(key))
-	s.recordRead(key)
+	s.recordRead(key, len(it.Value))
 	if !ok {
 		return &kv.Row{}, nil
 	}
@@ -128,7 +128,7 @@ var emptyRowBlob = kv.EncodeRow(&kv.Row{})
 func (s *Server) readReplicaBlob(key kv.Key) []byte {
 	s.nReplicaReads.Inc()
 	it, ok := s.store.Get(string(key))
-	s.recordRead(key)
+	s.recordRead(key, len(it.Value))
 	if !ok {
 		return emptyRowBlob
 	}
@@ -172,13 +172,16 @@ func (s *Server) mergeReplicaRow(key kv.Key, in *kv.Row) error {
 			return perr
 		}
 		s.markDirty(key)
-		s.recordWrite(key)
+		s.recordWrite(key, len(newBlob))
 		s.forwardDualRow(key, in)
 	}
 	return nil
 }
 
-func (s *Server) recordWrite(key kv.Key) {
+// recordWrite and recordRead attribute one replica-side op to the key's
+// vnode (load stats) and to the key itself (hot-key sketch). Both run inline
+// on the memstore hot path and must stay allocation-free.
+func (s *Server) recordWrite(key kv.Key, bytes int) {
 	s.mu.Lock()
 	ls := s.loadStats
 	s.mu.Unlock()
@@ -186,11 +189,13 @@ func (s *Server) recordWrite(key kv.Key) {
 		return
 	}
 	if r := s.mgr.Ring(); r != nil {
-		ls.RecordWrite(r.VNodeFor(key))
+		vn := r.VNodeFor(key)
+		ls.RecordWrite(vn)
+		s.obs.RecordKey(ring.Hash64(key), int32(vn), true, bytes)
 	}
 }
 
-func (s *Server) recordRead(key kv.Key) {
+func (s *Server) recordRead(key kv.Key, bytes int) {
 	s.mu.Lock()
 	ls := s.loadStats
 	s.mu.Unlock()
@@ -198,7 +203,9 @@ func (s *Server) recordRead(key kv.Key) {
 		return
 	}
 	if r := s.mgr.Ring(); r != nil {
-		ls.RecordRead(r.VNodeFor(key))
+		vn := r.VNodeFor(key)
+		ls.RecordRead(vn)
+		s.obs.RecordKey(ring.Hash64(key), int32(vn), false, bytes)
 	}
 }
 
@@ -384,10 +391,13 @@ func (s *Server) CoordWrite(ctx context.Context, key kv.Key, value []byte, mode 
 			defer tr.Finish(s.obs)
 		}
 	}
+	tenant := s.tenantFor(tr, key)
 	outcome, failed := "ok", 0
+	retargeted := false
 	defer func() {
 		d := time.Since(start)
-		s.hCoordWrite.Observe(d)
+		s.obs.ObserveOp(s.hCoordWrite, d, tr)
+		s.finishCoordOp("coord_write", tr, key, tenant, d, outcome, failed, retargeted, true, len(value))
 		if s.obs.IsSlow(d) {
 			s.slowCoordOp("coord_write", tr, key, d, outcome, failed)
 		}
@@ -415,6 +425,7 @@ func (s *Server) CoordWrite(ctx context.Context, key kv.Key, value []byte, mode 
 		// lease once and retry against the new owner set.
 		if again := s.retargetedReplicas(key, replicas); again != nil {
 			obs.Mark(ctx, "coord.retarget")
+			retargeted = true
 			res, err = s.engine.Write(ctx, again, key, v, mode)
 			failed += len(res.Failed)
 			if len(res.Failed) > 0 {
@@ -477,10 +488,14 @@ func (s *Server) CoordRead(ctx context.Context, key kv.Key) (*kv.Row, error) {
 			defer tr.Finish(s.obs)
 		}
 	}
+	tenant := s.tenantFor(tr, key)
 	outcome, failed := "ok", 0
+	retargeted := false
+	readBytes := 0
 	defer func() {
 		d := time.Since(start)
-		s.hCoordRead.Observe(d)
+		s.obs.ObserveOp(s.hCoordRead, d, tr)
+		s.finishCoordOp("coord_read", tr, key, tenant, d, outcome, failed, retargeted, false, readBytes)
 		if s.obs.IsSlow(d) {
 			s.slowCoordOp("coord_read", tr, key, d, outcome, failed)
 		}
@@ -498,6 +513,7 @@ func (s *Server) CoordRead(ctx context.Context, key kv.Key) (*kv.Row, error) {
 		// retry before reporting failure.
 		if again := s.retargetedReplicas(key, replicas); again != nil {
 			obs.Mark(ctx, "coord.retarget")
+			retargeted = true
 			res, err = s.engine.Read(ctx, again, key)
 			failed += len(res.Failed)
 		}
@@ -516,7 +532,66 @@ func (s *Server) CoordRead(ctx context.Context, key kv.Key) (*kv.Row, error) {
 		outcome = "failure"
 		return nil, fmt.Errorf("%w: %v", ErrFailure, err)
 	}
+	if res.Row != nil {
+		for _, v := range res.Row.Values {
+			readBytes += len(v.Value)
+		}
+	}
 	return res.Row, nil
+}
+
+// tenantFor resolves the op's tenant tag: a tag propagated with the trace
+// context wins (the origin already attributed the op); otherwise the
+// registry's key-prefix rule applies, and the result is stamped onto the
+// trace so downstream replica spans stitch under it.
+func (s *Server) tenantFor(tr *obs.Trace, key kv.Key) string {
+	if tr != nil && tr.Tenant != "" {
+		return tr.Tenant
+	}
+	tenant := s.obs.TenantOf(string(key))
+	if tr != nil {
+		tr.Tenant = tenant
+	}
+	return tenant
+}
+
+// finishCoordOp leaves the op's introspection record: one wide event in the
+// always-on flight recorder plus the per-tenant attribution row. The
+// breaker/hint lookups only run on failed ops so the happy path stays a few
+// atomic stores.
+func (s *Server) finishCoordOp(op string, tr *obs.Trace, key kv.Key, tenant string, d time.Duration, outcome string, failed int, retargeted, write bool, bytes int) {
+	ev := obs.WideEvent{
+		Op:      op,
+		DurNs:   int64(d),
+		VNode:   -1,
+		KeyHash: ring.Hash64(key),
+		Tenant:  tenant,
+		Outcome: outcome,
+		Retries: uint32(failed),
+	}
+	if r := s.mgr.Ring(); r != nil {
+		ev.VNode = int32(r.VNodeFor(key))
+	}
+	if tr != nil {
+		ev.TraceID = tr.ID
+	}
+	if retargeted {
+		ev.Flags |= obs.FlagRetargeted
+	}
+	if failed > 0 {
+		ev.Flags |= obs.FlagReplicaFailed
+		for _, st := range s.health.States() {
+			if st != transport.BreakerClosed {
+				ev.Flags |= obs.FlagBreakerOpen
+				break
+			}
+		}
+		if s.healer.Pending() > 0 {
+			ev.Flags |= obs.FlagHintsPending
+		}
+	}
+	s.obs.RecordOp(ev)
+	s.obs.RecordTenantOp(tenant, write, bytes, d, outcome == "failure")
 }
 
 func (s *Server) replicasFor(key kv.Key) []ring.NodeID {

@@ -87,6 +87,13 @@ type Config struct {
 	// force-retained in the slow-op event log regardless of trace sampling;
 	// zero selects 250ms, negative disables the log.
 	SlowOpThreshold time.Duration
+	// TenantRule derives a tenant tag from each key for per-tenant
+	// attribution: "" (disabled, the default), "dataset", "table", or
+	// "prefix:N" (see obs.ParseTenantRule).
+	TenantRule string
+	// WatchdogEvery paces the anomaly watchdog over obs snapshots; zero
+	// selects 2s, negative disables the watchdog.
+	WatchdogEvery time.Duration
 	// Logf receives diagnostics; nil disables.
 	Logf func(format string, args ...any)
 }
@@ -120,10 +127,18 @@ type Server struct {
 	sweeper  *heal.Sweeper
 	mig      *rebalance.Migrator
 	reb      *rebalance.Rebalancer
+	watchdog *obs.Watchdog
 
 	// lastOwnRefresh rate-limits authoritative ring refreshes taken by the
 	// write-ownership gate (unix nanos of the last attempt).
 	lastOwnRefresh atomic.Int64
+
+	// ready gates inbound RPCs: the transport must serve before the cluster
+	// join (peers stream us data during it), but most handlers dereference
+	// state that only exists once Start completes — a ring_get arriving in
+	// that window used to segfault the node. Until ready, handlers answer
+	// StFailure and callers retry/hint exactly as for a down node.
+	ready atomic.Bool
 
 	mu        sync.Mutex
 	loadStats *ring.LoadStats
@@ -187,6 +202,11 @@ func NewServer(cfg Config) (*Server, error) {
 	case cfg.SlowOpThreshold > 0:
 		cfg.Obs.SetSlowOpThreshold(cfg.SlowOpThreshold)
 	}
+	tenantRule, err := obs.ParseTenantRule(cfg.TenantRule)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	cfg.Obs.SetTenantRule(tenantRule)
 	s := &Server{
 		cfg:      cfg,
 		store:    memstore.New(memstore.Config{MemoryLimit: cfg.MemoryLimit}),
@@ -389,7 +409,7 @@ func (s *Server) Start() error {
 		{OpRebalanceDrain, "rebalance_drain", s.handleRebalanceDrain},
 		{OpRebalanceStatus, "rebalance_status", s.handleRebalanceStatus},
 	} {
-		mux.HandleFunc(reg.op, instrumented(s.obs.Histogram("rpc.server."+reg.name), reg.h))
+		mux.HandleFunc(reg.op, instrumented(s.obs.Histogram("rpc.server."+reg.name), s.gated(reg.op, reg.h)))
 	}
 	if err := s.cfg.Transport.Serve(mux.Handle); err != nil {
 		return err
@@ -476,15 +496,56 @@ func (s *Server) Start() error {
 	s.trig.Start()
 
 	// 6. Background work: data for vnodes gained at join, persistence,
-	// imbalance publication.
+	// imbalance publication, anomaly watchdog.
 	s.onMoves(moves)
 	s.pers.Start()
 	s.healer.Start()
 	s.sweeper.Start()
 	s.wg.Add(1)
 	go s.publishLoop()
+	if s.cfg.WatchdogEvery >= 0 {
+		s.watchdog = obs.NewWatchdog(obs.WatchdogConfig{
+			Registry:  s.obs,
+			Every:     s.cfg.WatchdogEvery,
+			Imbalance: s.vnodeImbalanceRatio,
+			// The persistence degraded flag (sticky fsync failure) surfaces
+			// through the watchdog so /healthz degraded_reasons names it.
+			Probes: map[string]func() bool{
+				"wal_durability_degraded": func() bool { return s.pers != nil && s.pers.Degraded() },
+			},
+		})
+		s.watchdog.Start()
+	}
+	s.ready.Store(true)
 	s.logf("started with %d vnode moves", len(moves))
 	return nil
+}
+
+// Watchdog exposes the anomaly watchdog (nil when disabled; tests drive
+// Tick directly for determinism).
+func (s *Server) Watchdog() *obs.Watchdog { return s.watchdog }
+
+// vnodeImbalanceRatio reports max/mean per-vnode op load on this node (0
+// when idle or before join) — the watchdog's load-imbalance signal.
+func (s *Server) vnodeImbalanceRatio() float64 {
+	ls := s.LoadStats()
+	if ls == nil {
+		return 0
+	}
+	loads := ls.Snapshot()
+	var total, max uint64
+	for _, l := range loads {
+		ops := l.Reads + l.Writes
+		total += ops
+		if ops > max {
+			max = ops
+		}
+	}
+	if total == 0 || len(loads) == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(loads))
+	return float64(max) / mean
 }
 
 // Close shuts the node down without leaving the ring (peers evict it when
@@ -499,6 +560,9 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	close(s.stopCh)
 	s.wg.Wait()
+	if s.watchdog != nil {
+		s.watchdog.Close()
+	}
 	if s.mig != nil {
 		s.mig.Close()
 	}

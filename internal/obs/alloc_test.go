@@ -1,0 +1,56 @@
+//go:build !race
+
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The memstore/core hot path maintains the hot-key sketch inline, so sketch
+// recording must not allocate in steady state: the ISSUE budget is 0 extra
+// allocations per op on that path. Warm-up occurrences are allowed to build
+// the per-shard index; the budget applies once slots have churned.
+func TestRecordKeyZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	// Warm up: fill every shard's slots and force evictions so the index map
+	// reaches its steady-state size.
+	for i := 0; i < 10*defaultSketchShards*defaultSketchCap; i++ {
+		r.RecordKey(uint64(i), int32(i%16), i%2 == 0, 32)
+	}
+	var h uint64
+	allocs := testing.AllocsPerRun(2000, func() {
+		r.RecordKey(h, int32(h%16), h%2 == 0, 32)
+		h++
+	})
+	if allocs != 0 {
+		t.Fatalf("RecordKey allocates %.2f/op in steady state, budget 0", allocs)
+	}
+}
+
+// Tenant attribution on an established tenant is atomics plus one histogram
+// bucket add; it must stay allocation-free too.
+func TestRecordTenantOpZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	r.RecordTenantOp("ds", true, 32, time.Millisecond, false)
+	allocs := testing.AllocsPerRun(2000, func() {
+		r.RecordTenantOp("ds", true, 32, time.Millisecond, false)
+	})
+	if allocs != 0 {
+		t.Fatalf("RecordTenantOp allocates %.2f/op in steady state, budget 0", allocs)
+	}
+}
+
+// The flight recorder budget is one fixed-size event allocation per recorded
+// op (the published *WideEvent) and nothing else.
+func TestRecordOpAllocBudget(t *testing.T) {
+	r := NewRegistry()
+	r.SetNode("n1")
+	ev := WideEvent{Op: "coord_write", VNode: 3, KeyHash: 9, Outcome: "ok"}
+	allocs := testing.AllocsPerRun(2000, func() {
+		r.RecordOp(ev)
+	})
+	if allocs > 1 {
+		t.Fatalf("RecordOp allocates %.2f/op, budget 1", allocs)
+	}
+}

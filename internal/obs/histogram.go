@@ -22,6 +22,10 @@ type Histogram struct {
 	counts [histBuckets]atomic.Uint64
 	sum    atomic.Uint64
 	max    atomic.Int64
+	// ex holds per-bucket exemplar trace ids (the most recent sampled trace
+	// whose observation landed in that bucket). Allocated lazily on the
+	// first exemplar so the many histograms that never see one stay small.
+	ex atomic.Pointer[[histBuckets]atomic.Uint64]
 }
 
 const (
@@ -89,6 +93,44 @@ func (h *Histogram) ObserveValue(v int64) {
 	}
 }
 
+// ObserveExemplar records one duration and, when traceID is non-zero, tags
+// the value's bucket with it as the exemplar: the latest trace to land in
+// that latency band. A p99 spike then links directly to a stitched trace.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID uint64) {
+	if h == nil {
+		return
+	}
+	v := int64(d)
+	h.ObserveValue(v)
+	if traceID == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	exp := h.ex.Load()
+	if exp == nil {
+		exp = new([histBuckets]atomic.Uint64)
+		if !h.ex.CompareAndSwap(nil, exp) {
+			exp = h.ex.Load()
+		}
+	}
+	exp[bucketIndex(v)].Store(traceID)
+}
+
+// exemplarIDs appends every current exemplar trace id to dst.
+func (h *Histogram) exemplarIDs(dst map[uint64]struct{}) {
+	exp := h.ex.Load()
+	if exp == nil {
+		return
+	}
+	for i := range exp {
+		if id := exp[i].Load(); id != 0 {
+			dst[id] = struct{}{}
+		}
+	}
+}
+
 // Time runs fn and records its wall-clock duration.
 func (h *Histogram) Time(fn func()) {
 	start := time.Now()
@@ -102,6 +144,7 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		return HistSnapshot{}
 	}
 	s := HistSnapshot{Sum: h.sum.Load(), Max: h.max.Load()}
+	exp := h.ex.Load()
 	for i := range h.counts {
 		if n := h.counts[i].Load(); n > 0 {
 			if s.Counts == nil {
@@ -109,6 +152,14 @@ func (h *Histogram) Snapshot() HistSnapshot {
 			}
 			s.Counts[i] = n
 			s.Count += n
+			if exp != nil {
+				if id := exp[i].Load(); id != 0 {
+					if s.Exemplars == nil {
+						s.Exemplars = map[int]uint64{}
+					}
+					s.Exemplars[i] = id
+				}
+			}
 		}
 	}
 	return s
@@ -121,6 +172,9 @@ type HistSnapshot struct {
 	Count  uint64         `json:"count"`
 	Sum    uint64         `json:"sum"`
 	Max    int64          `json:"max"`
+	// Exemplars maps bucket index → the most recent trace id observed in
+	// that bucket (sparse; only buckets that saw a sampled trace appear).
+	Exemplars map[int]uint64 `json:"exemplars,omitempty"`
 }
 
 // Merge folds other into a copy of s and returns it. Merge is commutative
@@ -144,6 +198,17 @@ func (s HistSnapshot) Merge(other HistSnapshot) HistSnapshot {
 			out.Counts[i] += n
 		}
 	}
+	if len(s.Exemplars)+len(other.Exemplars) > 0 {
+		out.Exemplars = make(map[int]uint64, len(s.Exemplars)+len(other.Exemplars))
+		for i, id := range s.Exemplars {
+			out.Exemplars[i] = id
+		}
+		// On collision either side's exemplar is a valid representative;
+		// other's wins for determinism.
+		for i, id := range other.Exemplars {
+			out.Exemplars[i] = id
+		}
+	}
 	return out
 }
 
@@ -163,6 +228,17 @@ func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
 		}
 	}
 	out.Sum = s.Sum - prev.Sum
+	// Exemplars are point-in-time tags, not monotone counters: the current
+	// snapshot's exemplars stand for the interval, restricted to buckets
+	// that actually saw new observations.
+	for i, id := range s.Exemplars {
+		if out.Counts[i] > 0 {
+			if out.Exemplars == nil {
+				out.Exemplars = map[int]uint64{}
+			}
+			out.Exemplars[i] = id
+		}
+	}
 	return out
 }
 

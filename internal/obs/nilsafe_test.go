@@ -79,6 +79,36 @@ func TestNilSafetyAudit(t *testing.T) {
 		t.Fatalf("nil registry Report = %+v", rep)
 	}
 
+	// Introspection plane: sketch, flight recorder, tenants, exemplars,
+	// anomalies.
+	r.RecordKey(99, 1, true, 64)
+	if got := r.TopKeys(8); got != nil {
+		t.Fatalf("nil registry TopKeys = %v", got)
+	}
+	r.RecordOp(WideEvent{Op: "w"})
+	if got := r.FlightEvents(8); got != nil {
+		t.Fatalf("nil registry FlightEvents = %v", got)
+	}
+	r.SetIntrospection(false)
+	rule, err := ParseTenantRule("dataset")
+	if err != nil {
+		t.Fatalf("ParseTenantRule: %v", err)
+	}
+	r.SetTenantRule(rule)
+	if got := r.TenantOf("ds/tb/k"); got != "" {
+		t.Fatalf("nil registry TenantOf = %q", got)
+	}
+	r.RecordTenantOp("ds", true, 8, time.Millisecond, false)
+	if got := r.TenantsSnapshot(); got != nil {
+		t.Fatalf("nil registry TenantsSnapshot = %v", got)
+	}
+	r.Histogram("h").ObserveExemplar(time.Millisecond, 7)
+	r.ObserveOp(r.Histogram("h"), time.Millisecond, nil)
+	r.RecordAnomaly("kind", "detail")
+	if got := r.Anomalies(); got != nil {
+		t.Fatalf("nil registry Anomalies = %v", got)
+	}
+
 	// Nil traces (what SampleTrace hands back on unsampled ops).
 	var tr *Trace
 	tr.Mark("stage")
@@ -126,11 +156,18 @@ func auditCoverage(t *testing.T) {
 			"SetNode":       true, "NodeName": true,
 			"SetSlowOpThreshold": true, "SlowOpThreshold": true,
 			"IsSlow": true, "RecordSlowOp": true, "SlowOps": true,
-			"Report": true,
+			"Report":    true,
+			"RecordKey": true, "TopKeys": true,
+			"RecordOp": true, "FlightEvents": true,
+			"SetIntrospection": true,
+			"SetTenantRule":    true, "TenantOf": true,
+			"RecordTenantOp": true, "TenantsSnapshot": true,
+			"ObserveOp":     true,
+			"RecordAnomaly": true, "Anomalies": true,
 		},
 		reflect.TypeOf((*Counter)(nil)):   {"Inc": true, "Add": true, "Load": true},
 		reflect.TypeOf((*Gauge)(nil)):     {"Set": true, "Add": true, "Load": true},
-		reflect.TypeOf((*Histogram)(nil)): {"Observe": true, "ObserveValue": true, "Time": true, "Snapshot": true},
+		reflect.TypeOf((*Histogram)(nil)): {"Observe": true, "ObserveValue": true, "ObserveExemplar": true, "Time": true, "Snapshot": true},
 		reflect.TypeOf((*Trace)(nil)):     {"Mark": true, "Elapsed": true, "Snapshot": true, "Finish": true},
 	}
 	for typ, methods := range covered {

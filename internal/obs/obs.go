@@ -86,6 +86,23 @@ type Registry struct {
 	node          atomic.Pointer[string]
 	slow          slowRing
 	slowThreshold atomic.Int64
+
+	// Workload introspection plane (DESIGN.md §13). introspectOff is
+	// inverted so the zero value records by default.
+	keys          *KeySketch
+	flight        flightRing
+	introspectOff atomic.Bool
+	anomalies     anomalyRing
+
+	tenantRule atomic.Pointer[TenantRule]
+	tenantMu   sync.RWMutex
+	tenants    map[string]*tenantStats
+
+	// exTraces pins traces referenced by histogram-bucket exemplars so an
+	// exemplar trace id always resolves to a retained trace even after the
+	// sampled-trace ring has wrapped.
+	exMu     sync.Mutex
+	exTraces map[uint64]*Trace
 }
 
 // NewRegistry returns an empty registry. Trace sampling defaults to one
@@ -96,6 +113,8 @@ func NewRegistry() *Registry {
 		gauges:    map[string]*Gauge{},
 		hists:     map[string]*Histogram{},
 		sampleSeq: map[string]*uint64{},
+		keys:      NewKeySketch(defaultSketchShards, defaultSketchCap),
+		exTraces:  map[uint64]*Trace{},
 	}
 	r.sampleEvery.Store(256)
 	return r

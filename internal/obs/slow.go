@@ -165,7 +165,23 @@ type Report struct {
 	Snapshot Snapshot        `json:"snapshot"`
 	Traces   []TraceSnapshot `json:"traces,omitempty"`
 	SlowOps  []SlowOp        `json:"slow_ops,omitempty"`
+	// TopKeys is the node's hot-key sketch, hottest first (DESIGN.md §13).
+	TopKeys []TopKEntry `json:"top_keys,omitempty"`
+	// Tenants is the per-tenant attribution table, busiest first.
+	Tenants []TenantSnapshot `json:"tenants,omitempty"`
+	// Flight holds the newest wide events from the flight recorder (capped;
+	// /flightz serves the full ring).
+	Flight []WideEvent `json:"flight,omitempty"`
+	// Anomalies is the watchdog detection log, newest first.
+	Anomalies []Anomaly `json:"anomalies,omitempty"`
 }
+
+// reportFlightCap bounds the flight-recorder slice embedded in a Report so
+// the STATS RPC payload stays small; /flightz serves the whole ring.
+const reportFlightCap = 64
+
+// reportTopK bounds the hot-key entries embedded in a Report.
+const reportTopK = 32
 
 // Report builds the registry's current Report.
 func (r *Registry) Report() Report {
@@ -173,9 +189,13 @@ func (r *Registry) Report() Report {
 		return Report{}
 	}
 	return Report{
-		Node:     r.NodeName(),
-		Snapshot: r.Snapshot(),
-		Traces:   r.Traces(),
-		SlowOps:  r.SlowOps(),
+		Node:      r.NodeName(),
+		Snapshot:  r.Snapshot(),
+		Traces:    r.Traces(),
+		SlowOps:   r.SlowOps(),
+		TopKeys:   r.TopKeys(reportTopK),
+		Tenants:   r.TenantsSnapshot(),
+		Flight:    r.FlightEvents(reportFlightCap),
+		Anomalies: r.Anomalies(),
 	}
 }

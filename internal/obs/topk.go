@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// KeySketch is a sharded Space-Saving heavy-hitter sketch (Metwally et al.):
+// a fixed-capacity table of counters that tracks the hottest key hashes seen
+// by this process with bounded memory and a provable over-estimation bound.
+// Each entry carries the attribution an operator needs — op mix, bytes, the
+// key's vnode — and entries merge associatively across shards and across
+// nodes, so cluster-wide top-K views fold from per-node snapshots exactly
+// like histograms do.
+//
+// Recording is a shard-mutex hit plus counter bumps: no allocation in steady
+// state (the per-shard maps stop growing once every slot is occupied), which
+// is what lets the memstore/core hot path maintain the sketch inline under a
+// zero-allocs-per-op budget.
+type KeySketch struct {
+	shards []sketchShard
+	mask   uint64
+	k      int
+}
+
+// sketchEntry is one monitored key.
+type sketchEntry struct {
+	hash   uint64
+	count  uint64
+	errs   uint64 // over-estimation bound inherited at replacement
+	reads  uint64
+	writes uint64
+	bytes  uint64
+	vnode  int32
+}
+
+type sketchShard struct {
+	mu      sync.Mutex
+	cap     int
+	entries []sketchEntry
+	index   map[uint64]int
+}
+
+// defaultSketchShards and defaultSketchCap size the registry's built-in
+// sketch: 4 shards x 32 slots monitors up to 128 keys in ~6 KiB.
+const (
+	defaultSketchShards = 4
+	defaultSketchCap    = 32
+)
+
+// NewKeySketch builds a sketch with the given shard count (rounded up to a
+// power of two) and per-shard capacity.
+func NewKeySketch(shards, capacity int) *KeySketch {
+	if shards < 1 {
+		shards = 1
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	s := &KeySketch{shards: make([]sketchShard, n), mask: uint64(n - 1), k: capacity}
+	for i := range s.shards {
+		s.shards[i].cap = capacity
+		s.shards[i].entries = make([]sketchEntry, 0, capacity)
+		s.shards[i].index = make(map[uint64]int, capacity)
+	}
+	return s
+}
+
+// Record attributes one operation to the hashed key. write selects the op
+// counter, bytes adds payload size, vnode stamps the key's virtual node.
+func (s *KeySketch) Record(hash uint64, vnode int32, write bool, bytes int) {
+	if s == nil {
+		return
+	}
+	sh := &s.shards[hash&s.mask]
+	sh.mu.Lock()
+	i, ok := sh.index[hash]
+	switch {
+	case ok:
+		// Monitored: exact increment.
+	case len(sh.entries) < sh.cap:
+		// Free slot: start monitoring exactly.
+		sh.entries = append(sh.entries, sketchEntry{hash: hash})
+		i = len(sh.entries) - 1
+		sh.index[hash] = i
+	default:
+		// Space-Saving replacement: evict the minimum-count entry; the new
+		// key inherits its count as the over-estimation bound.
+		i = 0
+		for j := 1; j < len(sh.entries); j++ {
+			if sh.entries[j].count < sh.entries[i].count {
+				i = j
+			}
+		}
+		victim := &sh.entries[i]
+		delete(sh.index, victim.hash)
+		*victim = sketchEntry{hash: hash, count: victim.count, errs: victim.count}
+		sh.index[hash] = i
+	}
+	e := &sh.entries[i]
+	e.count++
+	e.vnode = vnode
+	if write {
+		e.writes++
+	} else {
+		e.reads++
+	}
+	e.bytes += uint64(bytes)
+	sh.mu.Unlock()
+}
+
+// TopKEntry is one ranked key of a sketch snapshot. Count over-estimates the
+// true frequency by at most Err; the raw key never leaves the process — only
+// its 64-bit hash travels.
+type TopKEntry struct {
+	Hash   uint64 `json:"hash"`
+	VNode  int32  `json:"vnode"`
+	Count  uint64 `json:"count"`
+	Err    uint64 `json:"err,omitempty"`
+	Reads  uint64 `json:"reads,omitempty"`
+	Writes uint64 `json:"writes,omitempty"`
+	Bytes  uint64 `json:"bytes,omitempty"`
+}
+
+// Snapshot returns the sketch's top k entries, hottest first (ties broken by
+// hash for determinism).
+func (s *KeySketch) Snapshot(k int) []TopKEntry {
+	if s == nil || k <= 0 {
+		return nil
+	}
+	var out []TopKEntry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			out = append(out, TopKEntry{
+				Hash: e.hash, VNode: e.vnode, Count: e.count, Err: e.errs,
+				Reads: e.reads, Writes: e.writes, Bytes: e.bytes,
+			})
+		}
+		sh.mu.Unlock()
+	}
+	return rankTopK(out, k)
+}
+
+// MergeTopK folds per-shard or per-node top-K entries into one ranked view:
+// counts, errors, op mixes and bytes add per hash (the union bound of the
+// Space-Saving guarantee), and the hottest k survive. Like Snapshot, output
+// is hottest first.
+func MergeTopK(k int, lists ...[]TopKEntry) []TopKEntry {
+	byHash := map[uint64]TopKEntry{}
+	for _, list := range lists {
+		for _, e := range list {
+			cur := byHash[e.Hash]
+			cur.Hash = e.Hash
+			cur.VNode = e.VNode
+			cur.Count += e.Count
+			cur.Err += e.Err
+			cur.Reads += e.Reads
+			cur.Writes += e.Writes
+			cur.Bytes += e.Bytes
+			byHash[e.Hash] = cur
+		}
+	}
+	out := make([]TopKEntry, 0, len(byHash))
+	for _, e := range byHash {
+		out = append(out, e)
+	}
+	return rankTopK(out, k)
+}
+
+func rankTopK(entries []TopKEntry, k int) []TopKEntry {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Hash < entries[j].Hash
+	})
+	if len(entries) > k {
+		entries = entries[:k]
+	}
+	return entries
+}

@@ -36,6 +36,10 @@ type Trace struct {
 	// Parent is the sender-side stage this span forked from ("" at the
 	// trace origin).
 	Parent string
+	// Tenant is the tenant tag attributed to the traced op ("" when tenant
+	// attribution is disabled). It propagates with the trace context so
+	// replica-side spans stitch under the right tenant.
+	Tenant string
 	Start  time.Time
 
 	mu     sync.Mutex
@@ -99,6 +103,7 @@ func (t *Trace) Snapshot() TraceSnapshot {
 		Op:     t.Op,
 		Node:   t.Node,
 		Parent: t.Parent,
+		Tenant: t.Tenant,
 		Stages: append([]TraceStage(nil), t.stages...),
 	}
 }
@@ -138,6 +143,7 @@ type TraceSnapshot struct {
 	Op     string       `json:"op"`
 	Node   string       `json:"node,omitempty"`
 	Parent string       `json:"parent,omitempty"`
+	Tenant string       `json:"tenant,omitempty"`
 	Stages []TraceStage `json:"stages"`
 }
 
@@ -180,8 +186,12 @@ func Mark(ctx context.Context, stage string) { FromContext(ctx).Mark(stage) }
 
 // traceCtxVersion is the current TraceContext wire version. Decoders skip
 // blocks with a version they do not understand, so the field can grow
-// without breaking old peers.
-const traceCtxVersion = 1
+// without breaking old peers. v1 carried {id, op, stage}; v2 added the
+// tenant tag. Decoders accept both.
+const (
+	traceCtxV1      = 1
+	traceCtxVersion = 2
+)
 
 // maxTraceCtx bounds one encoded trace-context block (guards frames).
 const maxTraceCtx = 1024
@@ -197,6 +207,9 @@ type TraceContext struct {
 	Op string
 	// Stage is the sender-side stage the request departed from.
 	Stage string
+	// Tenant is the origin-attributed tenant tag ("" when disabled); new in
+	// v2.
+	Tenant string
 }
 
 // Encode serialises the context (version byte first).
@@ -206,21 +219,26 @@ func (tc TraceContext) Encode() []byte {
 	e.U64(tc.ID)
 	e.Str(tc.Op)
 	e.Str(tc.Stage)
+	e.Str(tc.Tenant)
 	return e.B
 }
 
 // DecodeTraceContext parses an encoded block. It reports ok=false for
 // empty, truncated, oversized or unknown-version blocks — callers treat all
-// of those as "no trace attached".
+// of those as "no trace attached". v1 blocks (no tenant) still decode.
 func DecodeTraceContext(b []byte) (TraceContext, bool) {
 	if len(b) == 0 || len(b) > maxTraceCtx {
 		return TraceContext{}, false
 	}
 	d := wire.NewDec(b)
-	if v := d.U8(); v != traceCtxVersion {
+	v := d.U8()
+	if v != traceCtxV1 && v != traceCtxVersion {
 		return TraceContext{}, false
 	}
 	tc := TraceContext{ID: d.U64(), Op: d.Str(), Stage: d.Str()}
+	if v >= traceCtxVersion {
+		tc.Tenant = d.Str()
+	}
 	if d.Err != nil || tc.ID == 0 {
 		return TraceContext{}, false
 	}
@@ -236,7 +254,7 @@ func WireContext(ctx context.Context, stage string) []byte {
 		return nil
 	}
 	t.Mark(stage)
-	return TraceContext{ID: t.ID, Op: t.Op, Stage: stage}.Encode()
+	return TraceContext{ID: t.ID, Op: t.Op, Stage: stage, Tenant: t.Tenant}.Encode()
 }
 
 // ContinueTrace opens a child span for an inbound request carrying an
@@ -252,7 +270,7 @@ func (r *Registry) ContinueTrace(encoded []byte) *Trace {
 	if !ok {
 		return nil
 	}
-	return &Trace{Op: tc.Op, ID: tc.ID, Node: r.NodeName(), Parent: tc.Stage, Start: time.Now()}
+	return &Trace{Op: tc.Op, ID: tc.ID, Node: r.NodeName(), Parent: tc.Stage, Tenant: tc.Tenant, Start: time.Now()}
 }
 
 // --- stitching ---
@@ -359,12 +377,81 @@ func (r *Registry) SetTraceSampling(every uint64) {
 	}
 }
 
-// Traces returns the most recent finished traces, newest last.
+// Traces returns the most recent finished traces, newest last, plus every
+// trace still pinned by a histogram-bucket exemplar (deduplicated by ID).
+// The union is what makes the exemplar contract hold: any exemplar id on a
+// local snapshot resolves to a span in the same Report.
 func (r *Registry) Traces() []TraceSnapshot {
 	if r == nil {
 		return nil
 	}
-	return r.traces.snapshot()
+	out := r.traces.snapshot()
+	seen := make(map[uint64]struct{}, len(out))
+	for _, s := range out {
+		if s.ID != 0 {
+			seen[s.ID] = struct{}{}
+		}
+	}
+	r.exMu.Lock()
+	pinned := make([]*Trace, 0, len(r.exTraces))
+	for id, t := range r.exTraces {
+		if _, dup := seen[id]; !dup {
+			pinned = append(pinned, t)
+		}
+	}
+	r.exMu.Unlock()
+	sort.Slice(pinned, func(i, j int) bool { return pinned[i].ID < pinned[j].ID })
+	for _, t := range pinned {
+		out = append(out, t.Snapshot())
+	}
+	return out
+}
+
+// --- exemplar-pinned traces ---
+
+// maxPinnedTraces bounds the exemplar pin table; on overflow, pins no longer
+// referenced by any histogram bucket are collected.
+const maxPinnedTraces = 256
+
+// ObserveOp records d on h, tagging the bucket with the op's trace id as an
+// exemplar and pinning the trace so the id keeps resolving to a retained
+// span after the trace ring wraps. With a nil trace (unsampled op) or
+// introspection disabled it degrades to a plain Observe. Nil-safe.
+func (r *Registry) ObserveOp(h *Histogram, d time.Duration, t *Trace) {
+	if r == nil || t == nil || t.ID == 0 || !r.introspectionOn() {
+		h.Observe(d)
+		return
+	}
+	h.ObserveExemplar(d, t.ID)
+	r.pinExemplarTrace(t)
+}
+
+func (r *Registry) pinExemplarTrace(t *Trace) {
+	r.exMu.Lock()
+	defer r.exMu.Unlock()
+	if r.exTraces == nil {
+		r.exTraces = map[uint64]*Trace{}
+	}
+	if _, ok := r.exTraces[t.ID]; !ok && len(r.exTraces) >= maxPinnedTraces {
+		r.gcPinnedLocked()
+	}
+	r.exTraces[t.ID] = t
+}
+
+// gcPinnedLocked drops pins whose trace id no longer appears in any
+// histogram bucket's exemplar slot. Caller holds exMu.
+func (r *Registry) gcPinnedLocked() {
+	referenced := map[uint64]struct{}{}
+	r.mu.RLock()
+	for _, h := range r.hists {
+		h.exemplarIDs(referenced)
+	}
+	r.mu.RUnlock()
+	for id := range r.exTraces {
+		if _, ok := referenced[id]; !ok {
+			delete(r.exTraces, id)
+		}
+	}
 }
 
 // traceRing is a small fixed ring of recent traces.

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Anomaly is one watchdog detection: a named degradation with a
+// human-readable detail, retained in a bounded ring and surfaced through
+// Report and the ops plane.
+type Anomaly struct {
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+	Wall   int64  `json:"wall"` // unix nanos
+}
+
+// anomalyRingSize bounds the retained anomaly log.
+const anomalyRingSize = 32
+
+type anomalyRing struct {
+	mu   sync.Mutex
+	buf  [anomalyRingSize]Anomaly
+	next int
+	n    int
+}
+
+func (ar *anomalyRing) push(a Anomaly) {
+	ar.mu.Lock()
+	ar.buf[ar.next] = a
+	ar.next = (ar.next + 1) % len(ar.buf)
+	if ar.n < len(ar.buf) {
+		ar.n++
+	}
+	ar.mu.Unlock()
+}
+
+// snapshot returns retained anomalies, newest first.
+func (ar *anomalyRing) snapshot() []Anomaly {
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	out := make([]Anomaly, 0, ar.n)
+	for i := 1; i <= ar.n; i++ {
+		out = append(out, ar.buf[(ar.next-i+len(ar.buf))%len(ar.buf)])
+	}
+	return out
+}
+
+// RecordAnomaly files one anomaly into the registry's anomaly log, counts it
+// under obs.anomalies, and mirrors it into the flight recorder so the
+// detection interleaves with the ops around it. Nil-safe.
+func (r *Registry) RecordAnomaly(kind, detail string) {
+	if r == nil {
+		return
+	}
+	r.anomalies.push(Anomaly{Kind: kind, Detail: detail, Wall: time.Now().UnixNano()})
+	r.Counter("obs.anomalies").Inc()
+	r.RecordOp(WideEvent{Op: "watchdog." + kind, Outcome: detail, Flags: FlagWatchdog})
+}
+
+// Anomalies returns the retained anomaly log, newest first. Nil-safe.
+func (r *Registry) Anomalies() []Anomaly {
+	if r == nil {
+		return nil
+	}
+	return r.anomalies.snapshot()
+}
+
+// WatchdogConfig parameterises the anomaly watchdog. The zero value of every
+// threshold selects a sane default; Registry is required.
+type WatchdogConfig struct {
+	Registry *Registry
+	// Every paces evaluation (default 2s).
+	Every time.Duration
+	// BreakerFlap fires when at least this many breaker-open transitions
+	// happen in one tick (default 3).
+	BreakerFlap uint64
+	// FsyncWaitMean fires when the mean WAL fsync wait over the tick
+	// exceeds it (default 20ms).
+	FsyncWaitMean time.Duration
+	// RetrySurgeRatio and RetrySurgeMin fire when quorum retries exceed
+	// RetrySurgeRatio × coordinated ops over the tick and at least
+	// RetrySurgeMin retries happened (defaults 0.5 and 20).
+	RetrySurgeRatio float64
+	RetrySurgeMin   uint64
+	// ImbalanceRatio fires when the Imbalance callback reports a max/mean
+	// per-vnode load ratio above it (default 4; 0 keeps the default,
+	// negative disables).
+	ImbalanceRatio float64
+	// Imbalance supplies the current per-vnode load imbalance ratio
+	// (optional; nil disables the rule). A callback keeps obs free of a
+	// ring-package dependency.
+	Imbalance func() float64
+	// Probes are extra named degradation checks evaluated every tick (e.g.
+	// the persistence layer's sticky-fsync degraded flag). A true return
+	// marks the name active in DegradedReasons.
+	Probes map[string]func() bool
+}
+
+// Watchdog periodically evaluates obs snapshots for anomalies — breaker
+// flap, WAL fsync-wait inflation, quorum retry surges, per-vnode load
+// imbalance — emitting events into the flight recorder and maintaining the
+// degraded_reasons list that /healthz serves. Detection is edge-triggered
+// into the anomaly log (one event per onset) while DegradedReasons reflects
+// the level: every rule currently firing.
+type Watchdog struct {
+	cfg  WatchdogConfig
+	mu   sync.Mutex
+	prev Snapshot
+	// active maps rule name → firing, from the latest tick.
+	active map[string]bool
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewWatchdog builds a watchdog (does not start it; call Start or drive Tick
+// directly in tests).
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.Every <= 0 {
+		cfg.Every = 2 * time.Second
+	}
+	if cfg.BreakerFlap == 0 {
+		cfg.BreakerFlap = 3
+	}
+	if cfg.FsyncWaitMean <= 0 {
+		cfg.FsyncWaitMean = 20 * time.Millisecond
+	}
+	if cfg.RetrySurgeRatio <= 0 {
+		cfg.RetrySurgeRatio = 0.5
+	}
+	if cfg.RetrySurgeMin == 0 {
+		cfg.RetrySurgeMin = 20
+	}
+	if cfg.ImbalanceRatio == 0 {
+		cfg.ImbalanceRatio = 4
+	}
+	w := &Watchdog{
+		cfg:    cfg,
+		active: map[string]bool{},
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	w.prev = cfg.Registry.Snapshot()
+	return w
+}
+
+// Start launches the evaluation loop.
+func (w *Watchdog) Start() {
+	go func() {
+		defer close(w.done)
+		tick := time.NewTicker(w.cfg.Every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-tick.C:
+				w.Tick()
+			}
+		}
+	}()
+}
+
+// Close stops the loop (idempotent; safe before Start, in which case the
+// done channel never closes — Close does not wait on an unstarted loop).
+func (w *Watchdog) Close() {
+	if w == nil {
+		return
+	}
+	w.once.Do(func() { close(w.stop) })
+}
+
+// Tick evaluates every rule once against the delta since the previous tick.
+// Exported so tests (and callers with their own scheduler) can drive the
+// watchdog deterministically.
+func (w *Watchdog) Tick() {
+	if w == nil || w.cfg.Registry == nil {
+		return
+	}
+	r := w.cfg.Registry
+	snap := r.Snapshot()
+
+	w.mu.Lock()
+	delta := snap.Delta(w.prev)
+	w.prev = snap
+
+	fire := func(kind, detail string) {
+		if !w.active[kind] {
+			r.RecordAnomaly(kind, detail)
+		}
+		w.active[kind] = true
+	}
+	for k := range w.active {
+		w.active[k] = false
+	}
+
+	if opened := delta.Counter("transport.breaker.opened"); opened >= w.cfg.BreakerFlap {
+		fire("breaker_flap", fmt.Sprintf("%d breaker opens in one tick", opened))
+	}
+	if fs := delta.Hist("wal.fsync_wait"); fs.Count > 0 {
+		if mean := time.Duration(fs.Mean()); mean > w.cfg.FsyncWaitMean {
+			fire("fsync_wait_inflation", fmt.Sprintf("mean fsync wait %s over %d batches", mean, fs.Count))
+		}
+	}
+	if errs := delta.Counter("wal.fsync_errors"); errs > 0 {
+		fire("fsync_errors", fmt.Sprintf("%d fsync errors in one tick", errs))
+	}
+	retries := delta.Counter("quorum.retries")
+	ops := delta.Counter("core.coord_writes") + delta.Counter("core.coord_reads")
+	if retries >= w.cfg.RetrySurgeMin && float64(retries) > w.cfg.RetrySurgeRatio*float64(ops) {
+		fire("quorum_retry_surge", fmt.Sprintf("%d retries across %d ops", retries, ops))
+	}
+	if w.cfg.Imbalance != nil && w.cfg.ImbalanceRatio > 0 {
+		if ratio := w.cfg.Imbalance(); ratio > w.cfg.ImbalanceRatio {
+			fire("vnode_imbalance", fmt.Sprintf("max/mean vnode load ratio %.1f", ratio))
+		}
+	}
+	for name, probe := range w.cfg.Probes {
+		if probe != nil && probe() {
+			fire(name, "probe reports degradation")
+		}
+	}
+	w.mu.Unlock()
+}
+
+// DegradedReasons returns the rules firing as of the latest tick, sorted.
+// Empty means healthy.
+func (w *Watchdog) DegradedReasons() []string {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []string
+	for k, on := range w.active {
+		if on {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -10,8 +10,13 @@
 //	/ring         the node's current assignment view as JSON
 //	/imbalance    the imbalance table (§III-B) as JSON
 //	/traces       recently sampled traces, stitched by trace ID;
-//	              ?slow=1 selects the slow-op event log instead
+//	              ?slow=1 selects the slow-op event log instead, newest
+//	              first, trimmed by ?limit=N
 //	/statsz       the full obs.Report (same shape as the OpObsStats RPC)
+//	/topz         hot-key top-K ranking, per-tenant attribution table and
+//	              recent watchdog anomalies (?limit=N trims the key list)
+//	/flightz      the always-on flight recorder's wide events, newest
+//	              first (?limit=N)
 //	/debug/pprof  the standard Go profiler surface
 //
 // The package depends only on obs and ring, so every process that has a
@@ -26,6 +31,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -55,6 +61,11 @@ type HealthStatus struct {
 	// failure and durable writes are no longer acknowledged (data nodes
 	// with persistence only). A degraded node also reports OK false.
 	Durability string `json:"durability,omitempty"`
+	// DegradedReasons lists the anomaly-watchdog rules currently firing
+	// (breaker flap, fsync-wait inflation, quorum retry surge, vnode
+	// imbalance, degradation probes). Informational: reasons do not force
+	// OK false by themselves.
+	DegradedReasons []string `json:"degraded_reasons,omitempty"`
 }
 
 // Config wires one ops-plane server. Every callback is optional: a missing
@@ -75,6 +86,9 @@ type Config struct {
 	Imbalance func() []ring.NodeImbalance
 	// VNodeLoads returns the per-vnode load counters.
 	VNodeLoads func() []ring.VNodeLoad
+	// Flight returns up to limit flight-recorder wide events, newest first
+	// (nil falls back to the Report's capped window).
+	Flight func(limit int) []obs.WideEvent
 	// Logf receives diagnostics; nil disables.
 	Logf func(format string, args ...any)
 }
@@ -100,6 +114,8 @@ func Start(cfg Config) (*Server, error) {
 	mux.HandleFunc("/imbalance", s.handleImbalance)
 	mux.HandleFunc("/traces", s.handleTraces)
 	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/topz", s.handleTopz)
+	mux.HandleFunc("/flightz", s.handleFlightz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -157,9 +173,15 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	rep := s.report()
 	if r.URL.Query().Get("slow") != "" {
-		slow := rep.SlowOps
-		if slow == nil {
-			slow = []obs.SlowOp{}
+		// The report's slow-op log is oldest-first; an operator debugging an
+		// incident wants the most recent events, so serve newest-first and
+		// honor ?limit=N (DESIGN.md §8).
+		slow := make([]obs.SlowOp, 0, len(rep.SlowOps))
+		for i := len(rep.SlowOps) - 1; i >= 0; i-- {
+			slow = append(slow, rep.SlowOps[i])
+		}
+		if limit := queryLimit(r); limit > 0 && len(slow) > limit {
+			slow = slow[:limit]
 		}
 		writeJSON(w, http.StatusOK, slow)
 		return
@@ -169,6 +191,68 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		stitched = []obs.StitchedTrace{}
 	}
 	writeJSON(w, http.StatusOK, stitched)
+}
+
+// queryLimit parses ?limit=N (0 when absent or malformed).
+func queryLimit(r *http.Request) int {
+	v := r.URL.Query().Get("limit")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// topzView is the /topz JSON shape: the node's hot-key ranking, per-tenant
+// attribution table and recent watchdog anomalies in one screenful.
+type topzView struct {
+	Node      string               `json:"node"`
+	TopKeys   []obs.TopKEntry      `json:"top_keys"`
+	Tenants   []obs.TenantSnapshot `json:"tenants"`
+	Anomalies []obs.Anomaly        `json:"anomalies"`
+}
+
+func (s *Server) handleTopz(w http.ResponseWriter, r *http.Request) {
+	rep := s.report()
+	v := topzView{
+		Node:      rep.Node,
+		TopKeys:   rep.TopKeys,
+		Tenants:   rep.Tenants,
+		Anomalies: rep.Anomalies,
+	}
+	if limit := queryLimit(r); limit > 0 && len(v.TopKeys) > limit {
+		v.TopKeys = v.TopKeys[:limit]
+	}
+	if v.TopKeys == nil {
+		v.TopKeys = []obs.TopKEntry{}
+	}
+	if v.Tenants == nil {
+		v.Tenants = []obs.TenantSnapshot{}
+	}
+	if v.Anomalies == nil {
+		v.Anomalies = []obs.Anomaly{}
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleFlightz(w http.ResponseWriter, r *http.Request) {
+	limit := queryLimit(r)
+	var evs []obs.WideEvent
+	if s.cfg.Flight != nil {
+		evs = s.cfg.Flight(limit)
+	} else {
+		evs = s.report().Flight
+		if limit > 0 && len(evs) > limit {
+			evs = evs[:limit]
+		}
+	}
+	if evs == nil {
+		evs = []obs.WideEvent{}
+	}
+	writeJSON(w, http.StatusOK, evs)
 }
 
 // ringView is the /ring JSON shape: one row per vnode with its owner list.
@@ -256,10 +340,16 @@ func sanitizeMetric(name string) string {
 	return b.String()
 }
 
+// writeHeader emits the # HELP / # TYPE comment pair for one metric.
+func writeHeader(b *strings.Builder, m, typ, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", m, help, m, typ)
+}
+
 // WriteMetrics renders one obs snapshot (plus optional per-vnode loads and
 // imbalance rows) in the Prometheus text exposition format: counters and
 // gauges verbatim, histograms as summaries with 0.5/0.9/0.99 quantiles in
-// seconds. Exposed for tests and the CLI.
+// seconds. Every series carries # HELP and # TYPE comments so strict
+// scrapers and promtool lint accept the page. Exposed for tests and the CLI.
 func WriteMetrics(b *strings.Builder, snap obs.Snapshot, loads []ring.VNodeLoad, imb []ring.NodeImbalance) {
 	names := make([]string, 0, len(snap.Counters))
 	for n := range snap.Counters {
@@ -268,7 +358,8 @@ func WriteMetrics(b *strings.Builder, snap obs.Snapshot, loads []ring.VNodeLoad,
 	sort.Strings(names)
 	for _, n := range names {
 		m := sanitizeMetric(n)
-		fmt.Fprintf(b, "# TYPE %s counter\n%s %d\n", m, m, snap.Counters[n])
+		writeHeader(b, m, "counter", "Sedna counter "+n+".")
+		fmt.Fprintf(b, "%s %d\n", m, snap.Counters[n])
 	}
 
 	names = names[:0]
@@ -278,7 +369,8 @@ func WriteMetrics(b *strings.Builder, snap obs.Snapshot, loads []ring.VNodeLoad,
 	sort.Strings(names)
 	for _, n := range names {
 		m := sanitizeMetric(n)
-		fmt.Fprintf(b, "# TYPE %s gauge\n%s %d\n", m, m, snap.Gauges[n])
+		writeHeader(b, m, "gauge", "Sedna gauge "+n+".")
+		fmt.Fprintf(b, "%s %d\n", m, snap.Gauges[n])
 	}
 
 	names = names[:0]
@@ -292,7 +384,7 @@ func WriteMetrics(b *strings.Builder, snap obs.Snapshot, loads []ring.VNodeLoad,
 			continue
 		}
 		m := sanitizeMetric(n)
-		fmt.Fprintf(b, "# TYPE %s summary\n", m)
+		writeHeader(b, m, "summary", "Sedna latency summary "+n+" in seconds.")
 		for _, q := range []float64{0.5, 0.9, 0.99} {
 			fmt.Fprintf(b, "%s{quantile=%q} %g\n", m, fmt.Sprint(q), float64(h.Quantile(q))/1e9)
 		}
@@ -306,10 +398,10 @@ func WriteMetrics(b *strings.Builder, snap obs.Snapshot, loads []ring.VNodeLoad,
 			continue // keep the exposition compact on mostly idle rings
 		}
 		if !wroteVNode {
-			b.WriteString("# TYPE sedna_vnode_reads gauge\n")
-			b.WriteString("# TYPE sedna_vnode_writes gauge\n")
-			b.WriteString("# TYPE sedna_vnode_items gauge\n")
-			b.WriteString("# TYPE sedna_vnode_bytes gauge\n")
+			writeHeader(b, "sedna_vnode_reads", "gauge", "Reads served per virtual node.")
+			writeHeader(b, "sedna_vnode_writes", "gauge", "Writes applied per virtual node.")
+			writeHeader(b, "sedna_vnode_items", "gauge", "Items stored per virtual node.")
+			writeHeader(b, "sedna_vnode_bytes", "gauge", "Bytes stored per virtual node.")
 			wroteVNode = true
 		}
 		fmt.Fprintf(b, "sedna_vnode_reads{vnode=\"%d\"} %d\n", l.VNode, l.Reads)
@@ -319,10 +411,10 @@ func WriteMetrics(b *strings.Builder, snap obs.Snapshot, loads []ring.VNodeLoad,
 	}
 
 	if len(imb) > 0 {
-		b.WriteString("# TYPE sedna_node_load gauge\n")
-		b.WriteString("# TYPE sedna_node_share gauge\n")
-		b.WriteString("# TYPE sedna_node_imbalance_ratio gauge\n")
-		b.WriteString("# TYPE sedna_node_primary_vnodes gauge\n")
+		writeHeader(b, "sedna_node_load", "gauge", "Weighted load per node.")
+		writeHeader(b, "sedna_node_share", "gauge", "Fraction of cluster load per node.")
+		writeHeader(b, "sedna_node_imbalance_ratio", "gauge", "Node load relative to the cluster mean.")
+		writeHeader(b, "sedna_node_primary_vnodes", "gauge", "Primary vnodes owned per node.")
 		for _, e := range imb {
 			fmt.Fprintf(b, "sedna_node_load{node=%q} %g\n", string(e.Node), e.Load)
 			fmt.Fprintf(b, "sedna_node_share{node=%q} %g\n", string(e.Node), e.Share)

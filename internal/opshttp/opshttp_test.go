@@ -22,6 +22,8 @@ import (
 var (
 	promTypeRe = regexp.MustCompile(
 		`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|summary|histogram|untyped)$`)
+	promHelpRe = regexp.MustCompile(
+		`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) \S.*$`)
 	promSampleRe = regexp.MustCompile(
 		`^([a-zA-Z_:][a-zA-Z0-9_:]*)` + // metric name
 			`(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?` + // labels
@@ -29,26 +31,35 @@ var (
 )
 
 // checkPromExposition validates an exposition against a minimal reading of
-// the Prometheus text format: every sample line must parse, its value must
-// be a float, and its metric (or its summary's _sum/_count companion) must
-// have been announced by a preceding # TYPE line.
+// the Prometheus text format: every sample line must parse with a name in the
+// legal charset (unsanitized obs names with dots or dashes fail here), its
+// value must be a float, and its metric (or its summary's _sum/_count
+// companion) must have been announced by preceding # HELP and # TYPE lines.
 func checkPromExposition(t *testing.T, text string) {
 	t.Helper()
 	if strings.TrimSpace(text) == "" {
 		t.Fatal("empty metrics exposition")
 	}
 	typed := map[string]bool{}
+	helped := map[string]bool{}
 	samples := 0
 	for i, line := range strings.Split(text, "\n") {
 		if line == "" {
 			continue
 		}
+		if m := promHelpRe.FindStringSubmatch(line); m != nil {
+			helped[m[1]] = true
+			continue
+		}
 		if m := promTypeRe.FindStringSubmatch(line); m != nil {
+			if !helped[m[1]] {
+				t.Fatalf("metrics line %d: # TYPE %s has no preceding # HELP", i+1, m[1])
+			}
 			typed[m[1]] = true
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
-			continue // HELP or comment
+			t.Fatalf("metrics line %d: malformed comment %q", i+1, line)
 		}
 		m := promSampleRe.FindStringSubmatch(line)
 		if m == nil {
@@ -103,14 +114,129 @@ func TestWriteMetricsSanitizesNames(t *testing.T) {
 	out := b.String()
 	checkPromExposition(t, out)
 	for _, want := range []string{
+		"# HELP sedna_core_coord_write ",
+		"# TYPE sedna_core_coord_write counter",
 		"sedna_core_coord_write 2",
+		"# HELP sedna_mem_bytes ",
 		"sedna_mem_bytes 7",
+		"# HELP sedna_lat_op ",
 		`sedna_lat_op{quantile="0.5"}`,
 		"sedna_lat_op_count 100",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("exposition missing %q:\n%s", want, out)
 		}
+	}
+	// The raw obs names (dots, dashes) must never leak into sample lines —
+	// only the free-form # HELP text may mention them.
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, raw := range []string{"coord-write", "core.coord", "lat.op", "mem.bytes"} {
+			if strings.Contains(line, raw) {
+				t.Fatalf("sample line leaks unsanitized name %q: %q", raw, line)
+			}
+		}
+	}
+}
+
+// TestCheckerRejectsUnsanitizedNames pins the checker itself: a sample or
+// comment line carrying a raw obs metric name (dots, dashes, spaces) must not
+// slip through as valid exposition.
+func TestCheckerRejectsUnsanitizedNames(t *testing.T) {
+	for _, line := range []string{
+		"sedna_core.coord_write 2",
+		"core-coord-write 1",
+		"sedna core 3",
+	} {
+		if promSampleRe.MatchString(line) {
+			t.Fatalf("sample regex accepts unsanitized line %q", line)
+		}
+	}
+	if promTypeRe.MatchString("# TYPE sedna_core.coord counter") {
+		t.Fatal("type regex accepts unsanitized name")
+	}
+	if promHelpRe.MatchString("# HELP sedna_core.coord help") {
+		t.Fatal("help regex accepts unsanitized name")
+	}
+}
+
+// --- introspection endpoints ----------------------------------------------
+
+func TestTopzFlightzAndSlowTraces(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetNode("n0")
+	for i := 0; i < 10; i++ {
+		reg.RecordKey(uint64(100+i), int32(i), true, 8)
+	}
+	for i := 0; i < 5; i++ {
+		reg.RecordKey(42, 1, false, 8) // hottest
+	}
+	reg.RecordTenantOp("ds", true, 8, time.Millisecond, false)
+	reg.RecordAnomaly("breaker_flap", "test onset")
+	for i := 0; i < 6; i++ {
+		reg.RecordOp(obs.WideEvent{Op: "coord_write", DurNs: int64(i)})
+		reg.RecordSlowOp(obs.SlowOp{Op: "coord_write", TraceID: uint64(i + 1), Wall: int64(i + 1), VNode: -1})
+	}
+
+	s, err := opshttp.Start(opshttp.Config{
+		Addr: "127.0.0.1:0", Node: "n0",
+		Report: reg.Report,
+		Flight: reg.FlightEvents,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	var topz struct {
+		Node      string               `json:"node"`
+		TopKeys   []obs.TopKEntry      `json:"top_keys"`
+		Tenants   []obs.TenantSnapshot `json:"tenants"`
+		Anomalies []obs.Anomaly        `json:"anomalies"`
+	}
+	if err := json.Unmarshal([]byte(mustGet(t, base+"/topz", http.StatusOK)), &topz); err != nil {
+		t.Fatalf("topz JSON: %v", err)
+	}
+	if topz.Node != "n0" || len(topz.TopKeys) == 0 || topz.TopKeys[0].Hash != 42 {
+		t.Fatalf("topz = %+v, want hash 42 hottest", topz)
+	}
+	if len(topz.Tenants) != 1 || topz.Tenants[0].Tenant != "ds" {
+		t.Fatalf("topz tenants = %+v", topz.Tenants)
+	}
+	if len(topz.Anomalies) != 1 || topz.Anomalies[0].Kind != "breaker_flap" {
+		t.Fatalf("topz anomalies = %+v", topz.Anomalies)
+	}
+	if err := json.Unmarshal([]byte(mustGet(t, base+"/topz?limit=2", http.StatusOK)), &topz); err != nil {
+		t.Fatalf("topz JSON: %v", err)
+	}
+	if len(topz.TopKeys) != 2 {
+		t.Fatalf("topz?limit=2 returned %d keys", len(topz.TopKeys))
+	}
+
+	var evs []obs.WideEvent
+	if err := json.Unmarshal([]byte(mustGet(t, base+"/flightz?limit=3", http.StatusOK)), &evs); err != nil {
+		t.Fatalf("flightz JSON: %v", err)
+	}
+	if len(evs) != 3 || evs[0].Op != "coord_write" || evs[0].DurNs != 5 {
+		t.Fatalf("flightz = %+v, want 3 newest-first", evs)
+	}
+
+	// /traces?slow=1 serves newest-first and honors ?limit (DESIGN.md §8).
+	var slows []obs.SlowOp
+	if err := json.Unmarshal([]byte(mustGet(t, base+"/traces?slow=1&limit=2", http.StatusOK)), &slows); err != nil {
+		t.Fatalf("slow JSON: %v", err)
+	}
+	if len(slows) != 2 || slows[0].TraceID != 6 || slows[1].TraceID != 5 {
+		t.Fatalf("slow ops = %+v, want newest-first trace ids 6,5", slows)
+	}
+	if err := json.Unmarshal([]byte(mustGet(t, base+"/traces?slow=1", http.StatusOK)), &slows); err != nil {
+		t.Fatalf("slow JSON: %v", err)
+	}
+	if len(slows) != 6 || slows[0].TraceID != 6 {
+		t.Fatalf("unlimited slow ops = %d entries, first %+v", len(slows), slows[0])
 	}
 }
 
