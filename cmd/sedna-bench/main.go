@@ -15,6 +15,7 @@
 //	sedna-bench -fig rebalance       # E9: online vnode migration under load
 //	sedna-bench -fig durability      # E10: group commit vs SyncAlways, restart time
 //	sedna-bench -fig introspect      # E11: introspection-plane overhead and fidelity
+//	sedna-bench -fig dvv             # E12: lost updates, LWW vs dotted version vectors
 //	sedna-bench -fig all
 //
 // -scale shrinks the sweep for quick runs (1.0 = the paper's 10k..60k).
@@ -36,7 +37,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which artifact to regenerate: 7a|7b|8|ablations|coord|pipeline|batch|hotpath|rebalance|durability|introspect|all")
+	fig := flag.String("fig", "all", "which artifact to regenerate: 7a|7b|8|ablations|coord|pipeline|batch|hotpath|rebalance|durability|introspect|dvv|all")
 	scale := flag.Float64("scale", 0.1, "sweep scale relative to the paper's 10k..60k ops")
 	nodes := flag.Int("nodes", 9, "cluster size (the paper uses 9)")
 	seed := flag.Int64("seed", 42, "simulation seed")
@@ -46,7 +47,7 @@ func main() {
 	steps := opsSteps(*scale)
 	run := map[string]bool{}
 	if *fig == "all" {
-		for _, f := range []string{"7a", "7b", "8", "ablations", "coord", "pipeline", "batch", "hotpath", "rebalance", "durability", "introspect"} {
+		for _, f := range []string{"7a", "7b", "8", "ablations", "coord", "pipeline", "batch", "hotpath", "rebalance", "durability", "introspect", "dvv"} {
 			run[f] = true
 		}
 	} else {
@@ -273,6 +274,28 @@ func main() {
 		}
 		path := filepath.Join(*outdir, "BENCH_fig_introspect.json")
 		if err := bench.WriteIntrospectJSON(path, rep); err != nil {
+			log.Fatalf("write %s: %v", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		fmt.Println()
+	}
+	if run["dvv"] {
+		any = true
+		fmt.Println("== E12: silent lost updates — concurrent RMW under LWW vs dotted version vectors ==")
+		rep, err := bench.RunFigDVV(bench.DVVConfig{
+			OpsPerWriter: scaleInt(500, *scale),
+			Seed:         *seed,
+		})
+		if err != nil {
+			log.Fatalf("fig dvv: %v", err)
+		}
+		fmt.Printf("lww: acked=%-5d refused=%-4d dropped=%-4d (%.2f%%)  p50=%.2fms p99=%.2fms\n",
+			rep.LWW.Acked, rep.LWW.Refused, rep.LWW.Dropped, rep.LWW.DroppedPct, rep.LWW.P50Ms, rep.LWW.P99Ms)
+		fmt.Printf("dvv: acked=%-5d refused=%-4d dropped=%-4d (%.2f%%)  p50=%.2fms p99=%.2fms  max-siblings=%d\n",
+			rep.DVV.Acked, rep.DVV.Refused, rep.DVV.Dropped, rep.DVV.DroppedPct, rep.DVV.P50Ms, rep.DVV.P99Ms, rep.DVV.MaxSiblings)
+		fmt.Printf("write overhead: p50=%.1f%% p99=%.1f%%\n", rep.WriteOverheadPctP50, rep.WriteOverheadPctP99)
+		path := filepath.Join(*outdir, "BENCH_fig_dvv.json")
+		if err := bench.WriteDVVJSON(path, rep); err != nil {
 			log.Fatalf("write %s: %v", path, err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)

@@ -1,0 +1,327 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sedna/internal/client"
+	"sedna/internal/core"
+	"sedna/internal/kv"
+	"sedna/internal/netsim"
+	"sedna/internal/workload"
+)
+
+// DVVConfig parameterises E12: the silent-lost-update experiment. The same
+// concurrent read-modify-write stream runs twice — once over the legacy
+// last-writer-wins protocol, once over the dotted-version-vector protocol —
+// and the figure reports how many acknowledged updates each one actually
+// kept, plus the latency cost of carrying causal metadata.
+type DVVConfig struct {
+	// Nodes is the data-node count (default 3, the acceptance topology).
+	Nodes int
+	// Writers is the number of concurrent read-modify-write clients
+	// (default 4; keep it under the sibling cap).
+	Writers int
+	// OpsPerWriter is each writer's update count per phase (default 500).
+	OpsPerWriter int
+	// Keys is the distinct key count of the zipf(1.1) stream (default 48 —
+	// small and skewed, so writers genuinely collide).
+	Keys int
+	// Profile simulates the links; zero selects GigabitLAN.
+	Profile netsim.Profile
+	// Seed fixes the simulation and the zipf draws.
+	Seed int64
+}
+
+func (c *DVVConfig) defaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.Writers <= 0 {
+		c.Writers = 4
+	}
+	if c.OpsPerWriter <= 0 {
+		c.OpsPerWriter = 500
+	}
+	if c.Keys <= 0 {
+		c.Keys = 48
+	}
+	if c.Profile == (netsim.Profile{}) {
+		c.Profile = netsim.GigabitLAN()
+	}
+}
+
+// DVVPhase is one protocol's half of the E12 artifact.
+type DVVPhase struct {
+	// Acked counts updates the cluster acknowledged; Refused counts writes
+	// the legacy protocol answered "outdated" (the DVV protocol never
+	// refuses a write).
+	Acked   int `json:"acked"`
+	Refused int `json:"refused"`
+	// Dropped counts acknowledged updates whose token is absent from the
+	// final merged read: writes the cluster confirmed and then silently
+	// lost. The whole point of the figure is LWW > 0, DVV = 0.
+	Dropped    int     `json:"dropped"`
+	DroppedPct float64 `json:"dropped_pct"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	// MaxSiblings is the widest concurrent value set any read observed
+	// (always 1 under LWW; bounded by the sibling cap under DVV).
+	MaxSiblings int `json:"max_siblings"`
+}
+
+// DVVResult is the E12 artifact (BENCH_fig_dvv.json).
+type DVVResult struct {
+	Figure       string   `json:"figure"`
+	Nodes        int      `json:"nodes"`
+	Writers      int      `json:"writers"`
+	OpsPerWriter int      `json:"ops_per_writer"`
+	Keys         int      `json:"keys"`
+	LWW          DVVPhase `json:"lww"`
+	DVV          DVVPhase `json:"dvv"`
+	// WriteOverheadPctP50/P99 is the relative latency cost of the causal
+	// read-context write path versus the legacy one.
+	WriteOverheadPctP50 float64 `json:"write_overhead_pct_p50"`
+	WriteOverheadPctP99 float64 `json:"write_overhead_pct_p99"`
+}
+
+// WriteDVVJSON writes the E12 artifact.
+func WriteDVVJSON(path string, rep *DVVResult) error {
+	rep.Figure = "dvv"
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// tokenSet is the register the writers contend on: a comma-joined sorted
+// set of update tokens. Read-modify-write appends a token to whatever set
+// the read returned — any token missing from the final merged set is an
+// update the cluster acknowledged and then lost.
+func decodeTokens(b []byte) map[string]bool {
+	set := map[string]bool{}
+	for _, t := range strings.Split(string(b), ",") {
+		if t != "" {
+			set[t] = true
+		}
+	}
+	return set
+}
+
+func encodeTokens(set map[string]bool) []byte {
+	toks := make([]string, 0, len(set))
+	for t := range set {
+		toks = append(toks, t)
+	}
+	sort.Strings(toks)
+	return []byte(strings.Join(toks, ","))
+}
+
+func percentileMs(durs []time.Duration, q float64) float64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	i := int(q * float64(len(durs)-1))
+	return float64(durs[i]) / 1e6
+}
+
+// RunFigDVV measures E12 on one cluster: phase 1 replays the contended
+// stream over the legacy LWW protocol (DisableDVV clients, blind writes),
+// phase 2 over the causal protocol (ReadSiblings + WriteLatestCtx). Each
+// phase audits itself by a final merged read per key.
+func RunFigDVV(cfg DVVConfig) (*DVVResult, error) {
+	cfg.defaults()
+	cl, err := NewCluster(ClusterConfig{
+		Nodes:       cfg.Nodes,
+		Profile:     cfg.Profile,
+		Seed:        cfg.Seed,
+		MemoryLimit: 256 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	if err := cl.WaitConverged(cfg.Nodes, 30*time.Second); err != nil {
+		return nil, err
+	}
+	res := &DVVResult{Nodes: cfg.Nodes, Writers: cfg.Writers, OpsPerWriter: cfg.OpsPerWriter, Keys: cfg.Keys}
+	ctx := context.Background()
+
+	type phaseOut struct {
+		acked   map[kv.Key]map[string]bool
+		refused int
+		durs    []time.Duration
+		maxSib  int
+	}
+	runPhase := func(dataset string, dvv bool) (*phaseOut, error) {
+		out := &phaseOut{acked: map[kv.Key]map[string]bool{}}
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		errs := make(chan error, cfg.Writers)
+		for w := 0; w < cfg.Writers; w++ {
+			cli, err := cl.Client()
+			if err != nil {
+				return nil, err
+			}
+			if !dvv {
+				// The LWW phase uses the pre-DVV wire protocol end to end.
+				cli, err = client.New(client.Config{
+					Servers:    cl.NodeAddrs,
+					Caller:     cl.Net.Endpoint(fmt.Sprintf("lww-%s-%d", dataset, w)),
+					Source:     fmt.Sprintf("lww-%d", w),
+					DisableDVV: true,
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			gen := workload.NewGenerator(workload.Spec{
+				Keys:    cfg.Keys,
+				Dist:    workload.Zipf,
+				Seed:    cfg.Seed + int64(w)*101,
+				Dataset: dataset,
+			})
+			wg.Add(1)
+			go func(w int, cli *client.Client, gen *workload.Generator) {
+				defer wg.Done()
+				for i := 0; i < cfg.OpsPerWriter; i++ {
+					key := gen.NextKey()
+					token := fmt.Sprintf("w%d-%06d", w, i)
+					var werr error
+					var start time.Time
+					if dvv {
+						sib, rerr := cli.ReadSiblings(ctx, key)
+						if rerr != nil {
+							continue
+						}
+						set := map[string]bool{}
+						for _, v := range sib.Values {
+							for t := range decodeTokens(v.Data) {
+								set[t] = true
+							}
+						}
+						set[token] = true
+						mu.Lock()
+						if len(sib.Values) > out.maxSib {
+							out.maxSib = len(sib.Values)
+						}
+						mu.Unlock()
+						start = time.Now()
+						werr = cli.WriteLatestCtx(ctx, key, encodeTokens(set), sib.Context)
+					} else {
+						set := map[string]bool{}
+						if val, _, rerr := cli.ReadLatest(ctx, key); rerr == nil {
+							set = decodeTokens(val)
+						} else if !errors.Is(rerr, core.ErrNotFound) {
+							continue
+						}
+						set[token] = true
+						start = time.Now()
+						werr = cli.WriteLatest(ctx, key, encodeTokens(set))
+					}
+					d := time.Since(start)
+					mu.Lock()
+					switch {
+					case werr == nil:
+						out.durs = append(out.durs, d)
+						if out.acked[key] == nil {
+							out.acked[key] = map[string]bool{}
+						}
+						out.acked[key][token] = true
+					case errors.Is(werr, core.ErrOutdated):
+						out.refused++
+					default:
+						errs <- fmt.Errorf("writer %d: %w", w, werr)
+						mu.Unlock()
+						return
+					}
+					mu.Unlock()
+				}
+			}(w, cli, gen)
+		}
+		wg.Wait()
+		select {
+		case err := <-errs:
+			return nil, err
+		default:
+		}
+		return out, nil
+	}
+
+	audit := func(out *phaseOut, dvv bool) (DVVPhase, error) {
+		var ph DVVPhase
+		ph.Refused = out.refused
+		ph.MaxSiblings = out.maxSib
+		if !dvv {
+			ph.MaxSiblings = 1
+		}
+		auditor, err := cl.Client()
+		if err != nil {
+			return ph, err
+		}
+		for key, toks := range out.acked {
+			ph.Acked += len(toks)
+			present := map[string]bool{}
+			if dvv {
+				sib, err := auditor.ReadSiblings(ctx, key)
+				if err != nil {
+					return ph, fmt.Errorf("audit %s: %w", key, err)
+				}
+				for _, v := range sib.Values {
+					for t := range decodeTokens(v.Data) {
+						present[t] = true
+					}
+				}
+			} else {
+				val, _, err := auditor.ReadLatest(ctx, key)
+				if err != nil && !errors.Is(err, core.ErrNotFound) {
+					return ph, fmt.Errorf("audit %s: %w", key, err)
+				}
+				present = decodeTokens(val)
+			}
+			for t := range toks {
+				if !present[t] {
+					ph.Dropped++
+				}
+			}
+		}
+		if ph.Acked > 0 {
+			ph.DroppedPct = float64(ph.Dropped) / float64(ph.Acked) * 100
+		}
+		ph.P50Ms = percentileMs(out.durs, 0.50)
+		ph.P99Ms = percentileMs(out.durs, 0.99)
+		return ph, nil
+	}
+
+	lwwOut, err := runPhase("e12lww", false)
+	if err != nil {
+		return nil, err
+	}
+	if res.LWW, err = audit(lwwOut, false); err != nil {
+		return nil, err
+	}
+	dvvOut, err := runPhase("e12dvv", true)
+	if err != nil {
+		return nil, err
+	}
+	if res.DVV, err = audit(dvvOut, true); err != nil {
+		return nil, err
+	}
+
+	if res.LWW.P50Ms > 0 {
+		res.WriteOverheadPctP50 = (res.DVV.P50Ms - res.LWW.P50Ms) / res.LWW.P50Ms * 100
+	}
+	if res.LWW.P99Ms > 0 {
+		res.WriteOverheadPctP99 = (res.DVV.P99Ms - res.LWW.P99Ms) / res.LWW.P99Ms * 100
+	}
+	return res, nil
+}

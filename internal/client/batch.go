@@ -167,6 +167,11 @@ func (c *Client) msetGroup(ctx context.Context, items []MSetItem, idxs []int, er
 		e.U8(byte(quorum.Latest))
 		e.Bool(false)
 	}
+	if !c.cfg.DisableDVV {
+		// Trailing causal flag: dotted (blind) writes for the whole frame.
+		// Legacy frames end at the last item, so old servers never see it.
+		e.Bool(true)
+	}
 	d, err := c.doKeyed(ctx, items[idxs[0]].Key, core.OpCoordWriteBatch, e.B)
 	if err != nil {
 		c.msetFallback(ctx, items, idxs, errs)

@@ -1,0 +1,175 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"sedna/internal/client"
+	"sedna/internal/core"
+	"sedna/internal/kv"
+)
+
+// TestConcurrentWritersKeepSiblings is the tentpole behavior end to end:
+// two clients write the same key with contexts that do not include each
+// other's write — neither update may be silently dropped. A later write
+// whose context covers both collapses the siblings.
+func TestConcurrentWritersKeepSiblings(t *testing.T) {
+	c := testCluster(t, 3, 41)
+	clA, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clB, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	key := kv.Join("causal", "t", "race")
+
+	// Both writers hold the same (empty) causal context: a true race.
+	if err := clA.WriteLatestCtx(ctx, key, []byte("from-a"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := clB.WriteLatestCtx(ctx, key, []byte("from-b"), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	sib, err := clA.ReadSiblings(ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sib.Values) != 2 {
+		t.Fatalf("concurrent write dropped: siblings = %+v", sib.Values)
+	}
+	seen := map[string]bool{}
+	for _, v := range sib.Values {
+		seen[string(v.Data)] = true
+	}
+	if !seen["from-a"] || !seen["from-b"] {
+		t.Fatalf("sibling payloads = %v", seen)
+	}
+	// The default read still returns one deterministic winner.
+	if _, _, err := clA.ReadLatest(ctx, key); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read-modify-write with the merged context collapses the siblings.
+	if err := clA.WriteLatestCtx(ctx, key, []byte("merged"), sib.Context); err != nil {
+		t.Fatal(err)
+	}
+	after, err := clB.ReadSiblings(ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Values) != 1 || string(after.Values[0].Data) != "merged" {
+		t.Fatalf("context write did not supersede both siblings: %+v", after.Values)
+	}
+}
+
+// TestBlindWritesCarryProgramOrder: sequential context-free WriteLatest
+// calls must not pile up as siblings — the coordinator stamps each blind
+// write with the causal state it has already accepted.
+func TestBlindWritesCarryProgramOrder(t *testing.T) {
+	c := testCluster(t, 3, 42)
+	cl, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	key := kv.Join("causal", "t", "seq")
+	for i, val := range []string{"v1", "v2", "v3"} {
+		if err := cl.WriteLatest(ctx, key, []byte(val)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	sib, err := cl.ReadSiblings(ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sib.Values) != 1 || string(sib.Values[0].Data) != "v3" {
+		t.Fatalf("sequential blind writes left siblings: %+v", sib.Values)
+	}
+}
+
+// TestDeleteCtxSupersedesSiblings: a delete carrying the read context
+// retires every sibling it observed.
+func TestDeleteCtxSupersedesSiblings(t *testing.T) {
+	c := testCluster(t, 3, 43)
+	clA, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clB, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	key := kv.Join("causal", "t", "del")
+	if err := clA.WriteLatestCtx(ctx, key, []byte("a"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := clB.WriteLatestCtx(ctx, key, []byte("b"), nil); err != nil {
+		t.Fatal(err)
+	}
+	sib, err := clA.ReadSiblings(ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sib.Values) != 2 {
+		t.Fatalf("setup: want 2 siblings, got %+v", sib.Values)
+	}
+	if err := clA.DeleteCtx(ctx, key, sib.Context); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := clB.ReadLatest(ctx, key); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("read after contextual delete = %v, want ErrNotFound", err)
+	}
+}
+
+// TestDisableDVVMixedClients: a legacy client (no causal fields on the
+// wire) and a DVV client interoperate on the same key — old frames still
+// decode, and the timestamp bridge orders legacy writes against dotted
+// ones.
+func TestDisableDVVMixedClients(t *testing.T) {
+	c := testCluster(t, 3, 44)
+	modern, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := client.New(client.Config{
+		Servers:    c.NodeAddrs,
+		Caller:     c.Net.Endpoint("legacy-client"),
+		Source:     "legacy-client",
+		DisableDVV: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	key := kv.Join("causal", "t", "mixed")
+
+	if err := legacy.WriteLatest(ctx, key, []byte("old-era")); err != nil {
+		t.Fatal(err)
+	}
+	val, _, err := modern.ReadLatest(ctx, key)
+	if err != nil || string(val) != "old-era" {
+		t.Fatalf("modern read of legacy write = %q, %v", val, err)
+	}
+	if err := modern.WriteLatest(ctx, key, []byte("new-era")); err != nil {
+		t.Fatal(err)
+	}
+	val, _, err = legacy.ReadLatest(ctx, key)
+	if err != nil || string(val) != "new-era" {
+		t.Fatalf("legacy read of dotted write = %q, %v", val, err)
+	}
+	// The legacy client keeps writing; its dotless newer-timestamp write
+	// must win reads (per-source legacy rule), not be shadowed.
+	if err := legacy.WriteLatest(ctx, key, []byte("old-era-2")); err != nil {
+		t.Fatal(err)
+	}
+	val, _, err = modern.ReadLatest(ctx, key)
+	if err != nil || string(val) != "old-era-2" {
+		t.Fatalf("read after mixed-era writes = %q, %v", val, err)
+	}
+}

@@ -62,6 +62,12 @@ type Config struct {
 	// attribution and trace propagation: "" (disabled), "dataset", "table",
 	// or "prefix:N" (see obs.ParseTenantRule). Ignored when Obs is nil.
 	TenantRule string
+	// DisableDVV reverts writes to the pre-DVV last-writer-wins protocol:
+	// no causal event ids, concurrent writers silently overwrite each other
+	// by timestamp. The default (false) sends dotted writes, under which a
+	// racing writer's value survives as a sibling instead of being dropped.
+	// Exists for mixed-version rollouts and the lost-update benchmark.
+	DisableDVV bool
 }
 
 // Client talks to a Sedna cluster.
@@ -149,24 +155,50 @@ func New(cfg Config) (*Client, error) {
 // tests).
 func (c *Client) Health() *transport.HealthCaller { return c.health }
 
-// WriteLatest stores value under key with last-writer-wins semantics; it
-// returns nil ("ok"), core.ErrOutdated ("outdated") or core.ErrFailure.
+// WriteLatest stores value under key with read_latest/write_latest
+// semantics; it returns nil ("ok"), core.ErrOutdated ("outdated", legacy
+// mode only) or core.ErrFailure. By default the write is dotted (DVV): a
+// blind write supersedes what its coordinator has already seen and anything
+// genuinely concurrent survives as a sibling — it is never silently
+// dropped, and never answered "outdated". Read-modify-write callers that
+// must supersede exactly what they read use WriteLatestCtx instead.
 func (c *Client) WriteLatest(ctx context.Context, key kv.Key, value []byte) error {
-	return c.write(ctx, key, value, quorum.Latest, false)
+	return c.write(ctx, key, value, quorum.Latest, false, !c.cfg.DisableDVV, false, nil)
+}
+
+// WriteLatestCtx is WriteLatest carrying a causal context from a previous
+// ReadSiblings: the write supersedes exactly the values that read observed
+// and leaves anything concurrent intact as a sibling. This is the safe
+// read-modify-write primitive — two racing updates both survive until a
+// reader resolves them, instead of the loser being silently dropped.
+func (c *Client) WriteLatestCtx(ctx context.Context, key kv.Key, value []byte, wctx Context) error {
+	return c.write(ctx, key, value, quorum.Latest, false, true, true, wctx)
 }
 
 // WriteAll stores value in the key's per-source value list (§III-F.1): each
 // source keeps its own newest value.
 func (c *Client) WriteAll(ctx context.Context, key kv.Key, value []byte) error {
-	return c.write(ctx, key, value, quorum.All, false)
+	return c.write(ctx, key, value, quorum.All, false, !c.cfg.DisableDVV, false, nil)
 }
 
-// Delete writes a tombstone over the whole row.
+// Delete writes a tombstone over the whole row. It deliberately stays on
+// the legacy (dotless) protocol regardless of DisableDVV: a plain delete
+// means "drop everything here now", truncating the row across sources,
+// which is exactly the cross-writer semantics existing callers rely on.
+// Causal deletes that must not clobber concurrent updates use DeleteCtx.
 func (c *Client) Delete(ctx context.Context, key kv.Key) error {
-	return c.write(ctx, key, nil, quorum.Latest, true)
+	return c.write(ctx, key, nil, quorum.Latest, true, false, false, nil)
 }
 
-func (c *Client) write(ctx context.Context, key kv.Key, value []byte, mode quorum.Mode, deleted bool) (err error) {
+// DeleteCtx writes a dotted tombstone carrying a causal context from a
+// previous ReadSiblings: it deletes exactly the values that read observed,
+// while a concurrent writer's value survives the race as a sibling instead
+// of being silently destroyed.
+func (c *Client) DeleteCtx(ctx context.Context, key kv.Key, wctx Context) error {
+	return c.write(ctx, key, nil, quorum.Latest, true, true, true, wctx)
+}
+
+func (c *Client) write(ctx context.Context, key kv.Key, value []byte, mode quorum.Mode, deleted, causal, explicit bool, wctx Context) (err error) {
 	start := time.Now()
 	tr := c.cfg.Obs.SampleTrace("client.write")
 	if tr != nil {
@@ -189,6 +221,19 @@ func (c *Client) write(ctx context.Context, key kv.Key, value []byte, mode quoru
 	e.U8(byte(mode))
 	e.Bool(deleted)
 	e.Str(c.cfg.Source)
+	if causal {
+		// Trailing causal fields; legacy frames end at the source, so old
+		// servers are only ever sent old-format bodies (causal=false). The
+		// explicit flag separates "no context: coordinator, stamp your own"
+		// (blind WriteLatest) from "THIS context, even if empty" (a *Ctx
+		// call whose read observed nothing — a true race that must leave
+		// siblings, not adopt the coordinator's state).
+		e.Bool(true)
+		e.Bool(explicit)
+		if explicit {
+			e.Bytes(wctx)
+		}
+	}
 	_, meta, err = c.doKeyedMeta(ctx, key, core.OpCoordWrite, e.B)
 	return err
 }
@@ -230,6 +275,49 @@ func (c *Client) ReadAll(ctx context.Context, key kv.Key) ([]Value, error) {
 		out[i] = Value{Data: v.Value, TS: v.TS, Source: v.Source}
 	}
 	return out, nil
+}
+
+// Context is the opaque causal token a ReadSiblings returns: it names every
+// version that read observed. Passing it back through WriteLatestCtx or
+// DeleteCtx supersedes exactly those versions and nothing written since.
+type Context []byte
+
+// Siblings is a causal read result: the concurrent live values the cluster
+// currently retains for one key, plus the context that supersedes them.
+type Siblings struct {
+	// Values holds every retained concurrent value, freshest first. Empty
+	// when the key has no live value (missing, or deleted).
+	Values []Value
+	// Context supersedes exactly the versions this read observed when passed
+	// to WriteLatestCtx or DeleteCtx.
+	Context Context
+	// Evicted counts siblings the bounded retention cap has ever dropped
+	// from this row. Zero means the row has never been truncated; non-zero
+	// tells a resolver its merge input may be incomplete. Truncation is
+	// deliberate but never silent.
+	Evicted uint32
+}
+
+// ReadSiblings returns the key's concurrent value set and causal context —
+// the read half of the safe read-modify-write cycle. Unlike ReadLatest it
+// does not collapse concurrency: when two writers raced, both values come
+// back and the caller resolves them (pick one, merge, or surface the
+// conflict), then writes the resolution with WriteLatestCtx. A missing key
+// is not an error here — an empty Values with the returned Context is how a
+// create-if-absent starts.
+func (c *Client) ReadSiblings(ctx context.Context, key kv.Key) (Siblings, error) {
+	row, err := c.readRow(ctx, key)
+	if err != nil {
+		return Siblings{}, err
+	}
+	s := Siblings{Evicted: row.Obs}
+	if !row.Clock.IsEmpty() {
+		s.Context = kv.EncodeDVV(row.Clock)
+	}
+	for _, v := range row.Live() {
+		s.Values = append(s.Values, Value{Data: v.Value, TS: v.TS, Source: v.Source})
+	}
+	return s, nil
 }
 
 func (c *Client) readRow(ctx context.Context, key kv.Key) (row *kv.Row, err error) {

@@ -33,6 +33,18 @@ type WriteItem struct {
 // and ErrFailure report per-key verdicts exactly as CoordWrite does.
 // Failed replicas are reported as suspects once per batch.
 func (s *Server) CoordWriteBatch(ctx context.Context, items []WriteItem, source string) []error {
+	return s.coordWriteBatch(ctx, items, source, false)
+}
+
+// CoordWriteBatchCausal is CoordWriteBatch with dotted (DVV) writes: every
+// item is stamped with a fresh causal event id, so concurrent writers to
+// the same keys are retained as siblings instead of racing the timestamp
+// rule. Batch writes are blind (no read context).
+func (s *Server) CoordWriteBatchCausal(ctx context.Context, items []WriteItem, source string) []error {
+	return s.coordWriteBatch(ctx, items, source, true)
+}
+
+func (s *Server) coordWriteBatch(ctx context.Context, items []WriteItem, source string, causal bool) []error {
 	errs := make([]error, len(items))
 	if len(items) == 0 {
 		return errs
@@ -50,6 +62,13 @@ func (s *Server) CoordWriteBatch(ctx context.Context, items []WriteItem, source 
 			Replicas: s.replicasFor(it.Key),
 			V:        kv.Versioned{Value: it.Value, TS: s.clock.Now(), Source: source, Deleted: it.Deleted},
 			Mode:     it.Mode,
+		}
+		if causal {
+			// Blind dotted writes take the mode-scoped coordinator context
+			// (see blindCtx), so sequential batch traffic supersedes instead
+			// of accumulating siblings.
+			batch[i].V.Dot = s.mintDot(it.Key, source)
+			batch[i].V.Ctx = s.blindCtx(it.Key, source, it.Mode, batch[i].V.Dot)
 		}
 	}
 	obs.Mark(ctx, "coord.batch_route")
@@ -274,13 +293,23 @@ func (s *Server) handleCoordWriteBatch(ctx context.Context, from string, req tra
 			Deleted: d.Bool(),
 		})
 	}
+	// Optional trailing causal flag (pre-DVV clients omit it).
+	causal := false
+	if d.Err == nil && d.Off < len(d.B) {
+		causal = d.Bool()
+	}
 	if d.Err != nil {
 		return transport.Message{}, d.Err
 	}
 	if source == "" {
 		source = from
 	}
-	errs := s.CoordWriteBatch(ctx, items, source)
+	var errs []error
+	if causal {
+		errs = s.CoordWriteBatchCausal(ctx, items, source)
+	} else {
+		errs = s.CoordWriteBatch(ctx, items, source)
+	}
 	e := okHeader()
 	e.U32(uint32(len(errs)))
 	for _, err := range errs {

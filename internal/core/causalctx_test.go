@@ -1,0 +1,95 @@
+package core
+
+// In-package regressions for the two blind-context lost-update bugs: a
+// coordinator whose local apply lags its own quorum ack must still mint a
+// context covering its earlier acked writes (program order), and a
+// write_all context must never claim another source's events (clock
+// poisoning). Both were caught as rare TestWriteAllValueLists /
+// TestTombstoneGC failures; these pin the mechanism deterministically.
+
+import (
+	"testing"
+
+	"sedna/internal/kv"
+	"sedna/internal/memstore"
+	"sedna/internal/quorum"
+)
+
+func newCtxServer() *Server {
+	return &Server{
+		store:   memstore.New(memstore.Config{}),
+		dotNode: 0xbeefcafe,
+	}
+}
+
+// TestBlindCtxCoversOwnMintedHistory is the program-order hole: under W<N a
+// blind write can be minted while the coordinator's own local apply of the
+// previous (already acked) write is still in flight. The context must cover
+// that earlier dot anyway — from the sequencer, not the lagging row — or a
+// sequential delete becomes a phantom concurrent sibling of its own
+// predecessor and the deleted value resurrects.
+func TestBlindCtxCoversOwnMintedHistory(t *testing.T) {
+	s := newCtxServer()
+	key := kv.Join("ctx", "t", "k")
+	d1 := s.mintDot(key, "src")
+	d2 := s.mintDot(key, "src")
+	if d1.Node != d2.Node || d2.Counter != d1.Counter+1 {
+		t.Fatalf("same (key, source) must mint one contiguous stream: %v then %v", d1, d2)
+	}
+	// The local store is empty: nothing of d1's write has applied here yet.
+	for _, mode := range []quorum.Mode{quorum.Latest, quorum.All} {
+		ctx := s.blindCtx(key, "src", mode, d2)
+		if !ctx.Covers(d1) {
+			t.Fatalf("mode %v: blind ctx %v does not cover the writer's own acked dot %v", mode, ctx, d1)
+		}
+		if ctx.Covers(d2) {
+			t.Fatalf("mode %v: blind ctx %v covers the write's own dot %v", mode, ctx, d2)
+		}
+	}
+}
+
+// TestBlindCtxAllModeIsSourceScoped is the clock-poisoning hole: replicas
+// union a write's context into the row clock and Merge treats
+// covered-and-absent as superseded with no notion of source. A write_all
+// context covering another writer's event would make a reordered replica
+// silently drop that writer's acked value — so it must cover only the
+// writer's own events: its minted stream plus same-source stored dots.
+func TestBlindCtxAllModeIsSourceScoped(t *testing.T) {
+	s := newCtxServer()
+	key := kv.Join("ctx", "t", "k2")
+
+	aliceDot := s.mintDot(key, "alice")
+	bobDot := s.mintDot(key, "bob")
+	if aliceDot.Node == bobDot.Node {
+		t.Fatalf("sources must mint under distinct actors, both got %d", aliceDot.Node)
+	}
+
+	// The local row stores alice's dotted value and an old dotted value of
+	// bob's written under a previous actor (earlier boot or coordinator).
+	bobOld := kv.Dot{Node: 0x1234, Counter: 7}
+	row := &kv.Row{}
+	row.ApplyCausal(kv.Versioned{Value: []byte("a"), Source: "alice", Dot: aliceDot}, false, 0)
+	row.ApplyCausal(kv.Versioned{Value: []byte("b0"), Source: "bob", Dot: bobOld}, false, 0)
+	if err := s.store.Set(string(key), kv.EncodeRow(row), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	next := s.mintDot(key, "bob")
+	ctx := s.blindCtx(key, "bob", quorum.All, next)
+	if ctx.Covers(aliceDot) {
+		t.Fatalf("write_all blind ctx %v covers another source's event %v", ctx, aliceDot)
+	}
+	if !ctx.Covers(bobOld) {
+		t.Fatalf("write_all blind ctx %v misses the writer's own stored dot %v", ctx, bobOld)
+	}
+	if !ctx.Covers(bobDot) {
+		t.Fatalf("write_all blind ctx %v misses the writer's own minted dot %v", ctx, bobDot)
+	}
+
+	// write_latest keeps the supersede-what-the-coordinator-saw semantics:
+	// the full local clock, own history included.
+	lctx := s.blindCtx(key, "bob", quorum.Latest, next)
+	if !lctx.Covers(aliceDot) || !lctx.Covers(bobOld) || !lctx.Covers(bobDot) {
+		t.Fatalf("write_latest blind ctx %v must cover everything the coordinator saw", lctx)
+	}
+}

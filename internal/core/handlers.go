@@ -78,13 +78,36 @@ func (s *Server) handleCoordWrite(ctx context.Context, from string, req transpor
 	mode := quorum.Mode(d.U8())
 	deleted := d.Bool()
 	source := d.Str()
+	// Optional trailing causal fields: pre-DVV clients simply omit them
+	// (legacy timestamp semantics), new clients append a flag, an
+	// explicit-context flag, and — when explicit — the writer's read
+	// context. An explicit empty context is NOT a blind write: it means
+	// "my read observed nothing", and the coordinator must not substitute
+	// its own state (that would erase a genuinely concurrent sibling).
+	causal := false
+	var cctx kv.DVV
+	if d.Err == nil && d.Off < len(d.B) {
+		causal = d.Bool()
+		if causal && d.Bool() {
+			cctx = decodeCtx(d)
+			if cctx == nil {
+				cctx = kv.DVV{}
+			}
+		}
+	}
 	if d.Err != nil {
 		return transport.Message{}, d.Err
 	}
 	if source == "" {
 		source = from
 	}
-	if err := s.CoordWrite(ctx, key, value, mode, deleted, source); err != nil {
+	var err error
+	if causal {
+		err = s.CoordWriteCausal(ctx, key, value, mode, deleted, source, cctx)
+	} else {
+		err = s.CoordWrite(ctx, key, value, mode, deleted, source)
+	}
+	if err != nil {
 		return errorMsg(OpCoordWrite, err), nil
 	}
 	return transport.Message{Op: OpCoordWrite, Body: okHeader().B}, nil

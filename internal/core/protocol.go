@@ -191,7 +191,8 @@ func ErrStatus(err error) (uint16, string) {
 	}
 }
 
-// EncodeVersioned appends a Versioned to the buffer.
+// EncodeVersioned appends a Versioned — including its causal dot and
+// context, which replica-side apply consumes — to the buffer.
 func EncodeVersioned(e *wire.Enc, v kv.Versioned) {
 	e.Bytes(v.Value)
 	e.I64(v.TS.Wall)
@@ -199,17 +200,24 @@ func EncodeVersioned(e *wire.Enc, v kv.Versioned) {
 	e.U32(v.TS.Node)
 	e.Str(v.Source)
 	e.Bool(v.Deleted)
+	e.U32(v.Dot.Node)
+	e.U64(v.Dot.Counter)
+	e.Bytes(kv.EncodeDVV(v.Ctx))
 }
 
 // DecodeVersioned reads a Versioned. The Value is copied out of the buffer,
 // so the result outlives d.
 func DecodeVersioned(d *wire.Dec) kv.Versioned {
-	return kv.Versioned{
+	v := kv.Versioned{
 		Value:   d.Bytes(),
 		TS:      kv.Timestamp{Wall: d.I64(), Logical: d.U32(), Node: d.U32()},
 		Source:  d.Str(),
 		Deleted: d.Bool(),
 	}
+	v.Dot.Node = d.U32()
+	v.Dot.Counter = d.U64()
+	v.Ctx = decodeCtx(d)
+	return v
 }
 
 // DecodeVersionedView reads a Versioned whose Value ALIASES d's buffer — the
@@ -219,10 +227,28 @@ func DecodeVersioned(d *wire.Dec) kv.Versioned {
 // value is retained past the handler's return (the coordinator path queues
 // values in detached quorum writes and hints).
 func DecodeVersionedView(d *wire.Dec) kv.Versioned {
-	return kv.Versioned{
+	v := kv.Versioned{
 		Value:   d.BytesView(),
 		TS:      kv.Timestamp{Wall: d.I64(), Logical: d.U32(), Node: d.U32()},
 		Source:  d.Str(),
 		Deleted: d.Bool(),
 	}
+	v.Dot.Node = d.U32()
+	v.Dot.Counter = d.U64()
+	v.Ctx = decodeCtx(d)
+	return v
+}
+
+// decodeCtx reads an encoded causal context; a malformed context poisons
+// the decoder like any other framing error.
+func decodeCtx(d *wire.Dec) kv.DVV {
+	b := d.BytesView()
+	if d.Err != nil || len(b) == 0 {
+		return nil
+	}
+	c, err := kv.DecodeDVV(b)
+	if err != nil && d.Err == nil {
+		d.Err = err
+	}
+	return c
 }

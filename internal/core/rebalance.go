@@ -124,7 +124,7 @@ func (s *Server) noteRemoteNotOwner(epoch uint64) {
 // is queued to the current owners instead so it cannot strand on a replica
 // about to drop its rows. The Versioned is deep-cloned: v.Value may alias a
 // pooled transport frame, and the healer's coalescing merge aliases values.
-func (s *Server) forwardDualWrite(key kv.Key, v kv.Versioned) {
+func (s *Server) forwardDualWrite(key kv.Key, v kv.Versioned, latest bool) {
 	if s.mig == nil || s.mgr == nil {
 		return
 	}
@@ -135,11 +135,11 @@ func (s *Server) forwardDualWrite(key kv.Key, v kv.Versioned) {
 	vn := r.VNodeFor(key)
 	if to, ok := s.mig.Recipient(vn); ok {
 		s.mig.NoteDualWrite()
-		s.healer.Enqueue(to, key, &kv.Row{Values: []kv.Versioned{v.Clone()}})
+		s.healer.Enqueue(to, key, kv.RowFromWrite(v, latest))
 		return
 	}
 	if !s.ownsOrParty(r, vn) {
-		row := &kv.Row{Values: []kv.Versioned{v.Clone()}}
+		row := kv.RowFromWrite(v, latest)
 		for _, o := range r.Owners(vn) {
 			if o != "" && o != s.cfg.Node {
 				s.healer.Enqueue(o, key, row)

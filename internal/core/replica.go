@@ -30,6 +30,8 @@ func resetScratchRow(r *kv.Row) {
 	r.Dirty = false
 	r.Values = r.Values[:0]
 	r.Monitors = r.Monitors[:0]
+	r.Clock = r.Clock[:0]
+	r.Obs = 0
 }
 
 // applyReplicaWrite applies one versioned value to the local row under the
@@ -51,7 +53,7 @@ func (s *Server) applyReplicaWrite(key kv.Key, v kv.Versioned, mode quorum.Mode)
 	}
 	status := quorum.WriteOK
 	duplicate := false
-	var newBlob []byte
+	var newBlob, curBlob []byte
 	row := rowScratchPool.Get().(*kv.Row)
 	defer rowScratchPool.Put(row)
 	err := s.store.UpdateOwned(string(key), func(old []byte, ok bool) ([]byte, bool) {
@@ -62,23 +64,34 @@ func (s *Server) applyReplicaWrite(key kv.Key, v kv.Versioned, mode quorum.Mode)
 			}
 		}
 		var accepted bool
-		if mode == quorum.Latest {
+		switch {
+		case !v.Dot.IsZero():
+			// Dotted write: the DVV rules supersede exactly what the writer
+			// read, retain concurrent siblings, and never answer "outdated".
+			// A covered dot is a replay of an event this replica already
+			// observed (a retry after a lost ack).
+			accepted = row.ApplyCausal(v, mode == quorum.Latest, s.cfg.SiblingCap)
+			duplicate = !accepted
+		case mode == quorum.Latest:
 			accepted = row.ApplyLatest(v)
-		} else {
+		default:
 			accepted = row.ApplyAll(v)
 		}
 		if !accepted {
-			// An exact duplicate means this value already landed (a retry
-			// after a lost ack): answer "ok" without re-logging so the
+			// An exact dotless duplicate means this value already landed (a
+			// retry after a lost ack): answer "ok" without re-logging so the
 			// re-send is idempotent. Anything else newer wins: "outdated".
-			if row.Contains(v) {
-				duplicate = true
-			} else {
-				status = quorum.WriteOutdated
+			if v.Dot.IsZero() {
+				if row.Contains(v) {
+					duplicate = true
+				} else {
+					status = quorum.WriteOutdated
+				}
 			}
 			if !ok {
 				return nil, false
 			}
+			curBlob = old
 			return old, true // same slice: UpdateOwned short-circuits
 		}
 		newBlob = kv.AppendRow(make([]byte, 0, kv.EncodedRowSize(row)), row)
@@ -89,15 +102,77 @@ func (s *Server) applyReplicaWrite(key kv.Key, v kv.Versioned, mode quorum.Mode)
 	}
 	if status == quorum.WriteOK && !duplicate {
 		if perr := s.pers.LogWrite(string(key), newBlob); perr != nil {
+			// The memstore holds the row but the log refused it: remember the
+			// debt so a retry of the same write cannot ack through the
+			// duplicate path without durability.
+			s.noteUndurable(key)
 			return 0, perr
 		}
+		s.clearUndurable(key)
 		s.markDirty(key)
 		s.recordWrite(key, len(newBlob))
 		// Dual-write window: while this vnode streams out, the accepted
 		// value is also queued to the migration recipient.
-		s.forwardDualWrite(key, v)
+		s.forwardDualWrite(key, v, mode == quorum.Latest)
+	}
+	if duplicate {
+		// A duplicate only counts as applied if the first attempt was made
+		// durable: when the key still owes a log write (the earlier apply
+		// updated the memstore but the WAL refused the blob), the retry must
+		// settle that debt before acking, or a sticky-fsync replica would
+		// keep acking writes that vanish on restart.
+		if perr := s.settleUndurable(key, curBlob); perr != nil {
+			return 0, perr
+		}
 	}
 	return status, nil
+}
+
+// noteUndurable records that key's stored row is ahead of the log; the
+// fast path stays lock-free via the counter.
+func (s *Server) noteUndurable(key kv.Key) {
+	s.undurMu.Lock()
+	if s.undurable == nil {
+		s.undurable = map[kv.Key]struct{}{}
+	}
+	if _, ok := s.undurable[key]; !ok {
+		s.undurable[key] = struct{}{}
+		s.nUndurable.Add(1)
+	}
+	s.undurMu.Unlock()
+}
+
+// clearUndurable drops key's durability debt after a successful log write.
+func (s *Server) clearUndurable(key kv.Key) {
+	if s.nUndurable.Load() == 0 {
+		return
+	}
+	s.undurMu.Lock()
+	if _, ok := s.undurable[key]; ok {
+		delete(s.undurable, key)
+		s.nUndurable.Add(-1)
+	}
+	s.undurMu.Unlock()
+}
+
+// settleUndurable re-attempts the log write a previous apply of key left
+// behind. blob is the stored row at duplicate-detection time (nil when the
+// row vanished); returning an error refuses the duplicate ack.
+func (s *Server) settleUndurable(key kv.Key, blob []byte) error {
+	if s.nUndurable.Load() == 0 {
+		return nil
+	}
+	s.undurMu.Lock()
+	_, owed := s.undurable[key]
+	s.undurMu.Unlock()
+	if !owed || blob == nil {
+		return nil
+	}
+	if perr := s.pers.LogWrite(string(key), blob); perr != nil {
+		return perr
+	}
+	s.clearUndurable(key)
+	return nil
 }
 
 // readReplicaRow returns a copy of the local row (empty when absent). Rows
@@ -144,7 +219,7 @@ func (s *Server) mergeReplicaRow(key kv.Key, in *kv.Row) error {
 		return gerr
 	}
 	changed := false
-	var newBlob []byte
+	var newBlob, curBlob []byte
 	row := rowScratchPool.Get().(*kv.Row)
 	defer rowScratchPool.Put(row)
 	err := s.store.UpdateOwned(string(key), func(old []byte, ok bool) ([]byte, bool) {
@@ -159,6 +234,7 @@ func (s *Server) mergeReplicaRow(key kv.Key, in *kv.Row) error {
 			if !ok {
 				return nil, false
 			}
+			curBlob = old
 			return old, true // same slice: UpdateOwned short-circuits
 		}
 		newBlob = kv.AppendRow(make([]byte, 0, kv.EncodedRowSize(row)), row)
@@ -167,14 +243,22 @@ func (s *Server) mergeReplicaRow(key kv.Key, in *kv.Row) error {
 	if err != nil {
 		return err
 	}
-	if changed {
-		if perr := s.pers.LogWrite(string(key), newBlob); perr != nil {
-			return perr
-		}
-		s.markDirty(key)
-		s.recordWrite(key, len(newBlob))
-		s.forwardDualRow(key, in)
+	if !changed {
+		// The row already holds everything this delivery carries — but "the
+		// memstore holds it" is not "the log holds it". If a previous apply
+		// left durability debt (its LogWrite failed after the memstore
+		// accepted), this redelivery may only report success once the debt is
+		// settled; otherwise a hint retires against a row a crash would lose.
+		return s.settleUndurable(key, curBlob)
 	}
+	if perr := s.pers.LogWrite(string(key), newBlob); perr != nil {
+		s.noteUndurable(key)
+		return perr
+	}
+	s.clearUndurable(key)
+	s.markDirty(key)
+	s.recordWrite(key, len(newBlob))
+	s.forwardDualRow(key, in)
 	return nil
 }
 
@@ -380,6 +464,20 @@ func (rt replicaRPC) RepairReplica(ctx context.Context, node ring.NodeID, key kv
 // service confirms the death — starts the recovery that re-replicates the
 // node's vnodes (§III-C, §III-D).
 func (s *Server) CoordWrite(ctx context.Context, key kv.Key, value []byte, mode quorum.Mode, deleted bool, source string) error {
+	return s.coordWrite(ctx, key, value, mode, deleted, source, nil, false)
+}
+
+// CoordWriteCausal coordinates one dotted quorum write: the value carries a
+// freshly minted causal event id plus cctx, the causal context the writer
+// had read (nil for a blind write). Replicas supersede exactly the values
+// cctx covers and retain everything concurrent as siblings, so a dotted
+// write is never answered "outdated" — two racing writers both ack and both
+// survive until a reader resolves them.
+func (s *Server) CoordWriteCausal(ctx context.Context, key kv.Key, value []byte, mode quorum.Mode, deleted bool, source string, cctx kv.DVV) error {
+	return s.coordWrite(ctx, key, value, mode, deleted, source, cctx, true)
+}
+
+func (s *Server) coordWrite(ctx context.Context, key kv.Key, value []byte, mode quorum.Mode, deleted bool, source string, cctx kv.DVV, causal bool) error {
 	s.nCoordWrites.Inc()
 	start := time.Now()
 	// Reuse a trace continued from the wire (handler path) before sampling a
@@ -406,6 +504,13 @@ func (s *Server) CoordWrite(ctx context.Context, key kv.Key, value []byte, mode 
 		source = string(s.cfg.Node)
 	}
 	v := kv.Versioned{Value: value, TS: s.clock.Now(), Source: source, Deleted: deleted}
+	if causal {
+		v.Dot = s.mintDot(key, source)
+		if cctx == nil {
+			cctx = s.blindCtx(key, source, mode, v.Dot)
+		}
+		v.Ctx = cctx
+	}
 	replicas := s.replicasFor(key)
 	if len(replicas) == 0 {
 		outcome = "failure"
@@ -442,6 +547,129 @@ func (s *Server) CoordWrite(ctx context.Context, key kv.Key, value []byte, mode 
 		return ErrOutdated
 	}
 	return nil
+}
+
+// localRowClock returns the causal clock of the coordinator's local copy of
+// key (nil when the key is absent or pre-DVV): the context stamped onto
+// blind dotted writes.
+func (s *Server) localRowClock(key kv.Key) kv.DVV {
+	if it, ok := s.store.Get(string(key)); ok {
+		if c, err := kv.DecodeRowClock(it.Value); err == nil {
+			return c
+		}
+	}
+	return nil
+}
+
+// blindCtx builds the causal context for a blind (no read context) dotted
+// write by source for key, where d is the dot just minted for the write.
+//
+// Both modes cover the writer's OWN minted history 1..d.Counter-1 directly
+// from the sequencer, not from the local row: under W<N quorums the
+// coordinator's local apply can lag its own ack, and a context built only
+// from the lagging row would leave the writer's previous — acked — write
+// uncovered, turning a sequential overwrite (or delete) into a phantom
+// concurrent sibling.
+//
+// latest mode additionally adopts the coordinator's full local row clock:
+// healthy sequential traffic supersedes whatever the coordinator has seen
+// from anyone, while genuinely concurrent writes it has NOT seen stay
+// uncovered and survive as siblings.
+//
+// all mode must NOT ship the full clock. Replicas union a write's context
+// into the row clock, and read-time Merge treats covered-and-absent as
+// superseded with no notion of which source retired the dot — so a context
+// claiming another source's events can poison a reordered replica's clock
+// into silently discarding that source's acked value. A write_all context
+// therefore covers only the writer's own events: the minted range above
+// plus the dots of any same-source values the local row stores (an older
+// actor id for this source, e.g. from a previous boot or coordinator).
+func (s *Server) blindCtx(key kv.Key, source string, mode quorum.Mode, d kv.Dot) kv.DVV {
+	var c kv.DVV
+	if mode == quorum.Latest {
+		c = s.localRowClock(key)
+	} else if it, ok := s.store.Get(string(key)); ok {
+		if row, err := kv.DecodeRow(it.Value); err == nil {
+			for i := range row.Values {
+				if row.Values[i].Source == source {
+					c.Fold(row.Values[i].Dot)
+				}
+			}
+		}
+	}
+	c.ExtendBase(d.Node, d.Counter-1)
+	return c
+}
+
+// dotSeqMax bounds the per-(key, actor) dot sequencer map; past it, minting
+// sweeps out entries whose counters the local row already covers (reseeding
+// those from the row returns the same or a later counter, so eviction is
+// safe).
+const dotSeqMax = 1 << 17
+
+// dotSeqKey addresses one writer's counter stream for one key.
+type dotSeqKey struct {
+	key   kv.Key
+	actor uint32
+}
+
+// dotActor derives the causal actor id for one writing source at this boot:
+// the boot-scoped node salt mixed with the source hash. Scoping actors per
+// source guarantees a counter range is owned by exactly one writer, which is
+// what makes it sound for a blind write's context to cover the writer's own
+// earlier counters (blindCtx) — covering them can never retire another
+// source's value.
+func (s *Server) dotActor(source string) uint32 {
+	return s.dotNode ^ uint32(ring.Hash64(kv.Key(source)))
+}
+
+// mintDot issues the next causal event id for key written by source: dots
+// are contiguous per (actor, key), which is what lets DVV clocks compact the
+// observed set into a base counter. The actor id is boot-scoped (see
+// Server.dotNode): a restarted coordinator is a NEW actor whose counters
+// restart at 1, so it can never re-mint a dot some replica's clock already
+// covers — the fatal alternative, since a covered dot is dropped as a
+// replay while the write is acked. The clock carries one small entry per
+// actor that ever wrote the key; the lazy reseed from the local row's clock
+// keeps counters resumable within a boot after sequencer eviction.
+func (s *Server) mintDot(key kv.Key, source string) kv.Dot {
+	self := s.dotActor(source)
+	sk := dotSeqKey{key: key, actor: self}
+	s.dotMu.Lock()
+	n, ok := s.dotSeq[sk]
+	if !ok {
+		if it, found := s.store.Get(string(key)); found {
+			if row, err := kv.DecodeRow(it.Value); err == nil {
+				n = row.Clock.MaxCounter(self)
+			}
+		}
+		if s.dotSeq == nil {
+			s.dotSeq = map[dotSeqKey]uint64{}
+		} else if len(s.dotSeq) >= dotSeqMax {
+			s.evictDotSeqLocked()
+		}
+	}
+	n++
+	s.dotSeq[sk] = n
+	s.dotMu.Unlock()
+	return kv.Dot{Node: self, Counter: n}
+}
+
+// evictDotSeqLocked drops sequencer entries the local row's clock already
+// covers — bounded work per overflow, called with dotMu held.
+func (s *Server) evictDotSeqLocked() {
+	checked := 0
+	for sk, n := range s.dotSeq {
+		if checked >= 4096 {
+			return
+		}
+		checked++
+		if it, ok := s.store.Get(string(sk.key)); ok {
+			if row, err := kv.DecodeRow(it.Value); err == nil && row.Clock.MaxCounter(sk.actor) >= n {
+				delete(s.dotSeq, sk)
+			}
+		}
+	}
 }
 
 // slowCoordOp force-retains one slow coordinator op with the routing and

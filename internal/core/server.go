@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,11 @@ type Config struct {
 	SessionTimeout time.Duration
 	// Quorum fixes N/R/W; zero selects the paper's 3/2/2.
 	Quorum quorum.Config
+	// SiblingCap bounds the concurrent sibling fan-out a causal (DVV) row
+	// retains; past it the causally oldest siblings are evicted
+	// deterministically and the row's Obs witness counts them. Zero
+	// selects kv.DefaultSiblingCap.
+	SiblingCap int
 	// MemoryLimit caps the local store; zero selects 64 MiB.
 	MemoryLimit int64
 	// Persist selects the durability strategy (default: None).
@@ -149,6 +155,29 @@ type Server struct {
 	dirtyQ   []kv.Key
 	dirtySet map[kv.Key]bool
 
+	// dotMu guards the per-(key, actor) causal event sequencer behind
+	// mintDot. dotNode seeds this boot's causal actor ids: the node-name
+	// hash salted with per-process randomness, further mixed per writing
+	// source (see dotActor). Boot-scoping means a restarted coordinator
+	// that lost its sequencer (and possibly its store) can never re-mint
+	// a counter some replica's clock already covers — a covered dot is
+	// treated as a replay and silently dropped, which would turn every
+	// post-restart collision into an acked-but-lost write. Source-scoping
+	// means every counter range belongs to exactly one writer, so a blind
+	// write's context may cover the writer's own minted history without
+	// ever claiming another source's events.
+	dotMu   sync.Mutex
+	dotNode uint32
+	dotSeq  map[dotSeqKey]uint64
+
+	// undurable tracks keys whose stored row is ahead of the write-ahead
+	// log (LogWrite refused the blob after the memstore accepted it); a
+	// retry duplicate must settle this debt before it may ack. nUndurable
+	// keeps the happy path to one atomic load.
+	undurMu    sync.Mutex
+	undurable  map[kv.Key]struct{}
+	nUndurable atomic.Int64
+
 	subs *subRegistry
 
 	stopCh chan struct{}
@@ -211,6 +240,7 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		store:    memstore.New(memstore.Config{MemoryLimit: cfg.MemoryLimit}),
 		clock:    kv.NewClock(uint32(ring.Hash64(kv.Key(cfg.Node)))),
+		dotNode:  uint32(ring.Hash64(kv.Key(cfg.Node))) ^ rand.Uint32(),
 		dirtySet: map[kv.Key]bool{},
 		stopCh:   make(chan struct{}),
 
@@ -476,8 +506,12 @@ func (s *Server) Start() error {
 	// Hinted handoff: every replica write that ultimately failed — including
 	// stragglers that miss the quorum's early return — is queued for replay
 	// once the node answers again (§III-C).
-	s.engine.OnWriteError(func(node ring.NodeID, key kv.Key, v kv.Versioned) {
-		s.healer.Enqueue(node, key, &kv.Row{Values: []kv.Versioned{v}})
+	s.engine.OnWriteError(func(node ring.NodeID, key kv.Key, v kv.Versioned, mode quorum.Mode) {
+		// RowFromWrite folds a dotted write's dot (and, for write_latest,
+		// its context) into the hint row's clock, so hint delivery by Merge
+		// performs the same causal supersession the missed ApplyCausal
+		// would have.
+		s.healer.Enqueue(node, key, kv.RowFromWrite(v, mode == quorum.Latest))
 	})
 
 	// 5. Trigger engine.

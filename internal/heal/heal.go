@@ -54,10 +54,14 @@ type Config struct {
 }
 
 // hint is one pending delivery; hints for the same (node, key) coalesce by
-// merging rows, so a queue holds at most one entry per key.
+// merging rows, so a queue holds at most one entry per key. gen counts the
+// in-place coalesces: a replay that started at one generation must not
+// retire the hint if the generation moved while the delivery was in flight,
+// because the row now carries data the delivery never shipped.
 type hint struct {
 	key kv.Key
 	row *kv.Row
+	gen uint64
 }
 
 // nodeQueue is the bounded per-node hint queue plus its replay backoff
@@ -171,7 +175,9 @@ func (h *Healer) Enqueue(node ring.NodeID, key kv.Key, row *kv.Row) {
 		h.queues[node] = q
 	}
 	if existing := q.byKey[key]; existing != nil {
-		existing.row.Merge(row)
+		if existing.row.Merge(row) {
+			existing.gen++
+		}
 		h.mu.Unlock()
 		h.nEnqueued.Inc()
 		return
@@ -318,6 +324,7 @@ func (h *Healer) drain(node ring.NodeID) {
 			return
 		}
 		head := q.order[0]
+		gen := head.gen
 		row := head.row.Clone()
 		h.mu.Unlock()
 
@@ -344,10 +351,12 @@ func (h *Healer) drain(node ring.NodeID) {
 			h.logf("replay to %s failed (%d pending): %v", node, len(q.order), err)
 			return
 		}
-		// Success: remove the hint if it was not coalesced with newer data
-		// while the delivery was in flight; a merged row means the queue
-		// entry now carries more than we delivered, so keep it.
-		if q.byKey[head.key] == head && len(q.order) > 0 && q.order[0] == head {
+		// Success: remove the hint only if it was not coalesced with newer
+		// data while the delivery was in flight. Coalescing merges into the
+		// SAME hint object, so object identity cannot detect it — the
+		// generation counter can: a moved generation means the queue entry
+		// now carries more than we delivered, so keep it for another round.
+		if q.byKey[head.key] == head && head.gen == gen && len(q.order) > 0 && q.order[0] == head {
 			q.order = q.order[1:]
 			delete(q.byKey, head.key)
 			h.gPending.Add(-1)

@@ -288,3 +288,47 @@ func TestSweeperReschedulesOnOwnershipChange(t *testing.T) {
 		t.Fatalf("sweeps = %d, want 1", snap.Counter("heal.sweeps"))
 	}
 }
+
+// TestHealerCoalesceDuringFlightNotLost is the regression for the silent
+// lost-hint bug: a hint coalesced INTO while its older snapshot is being
+// delivered must survive the delivery's success. The retire check used to
+// compare queue-entry identity — but coalescing merges in place, so identity
+// never changes and the merged-in data was retired unreplayed.
+func TestHealerCoalesceDuringFlightNotLost(t *testing.T) {
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var delivered []string
+	first := true
+	replay := func(ctx context.Context, node ring.NodeID, key kv.Key, r *kv.Row) error {
+		if first {
+			first = false
+			close(inFlight)
+			<-release // hold the delivery open while a newer hint coalesces in
+		}
+		mu.Lock()
+		if v, ok := r.LatestAny(); ok {
+			delivered = append(delivered, string(v.Value))
+		}
+		mu.Unlock()
+		return nil
+	}
+	h, err := New(Config{Replay: replay, BaseBackoff: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	defer h.Close()
+
+	h.Enqueue("node-a", kv.Key("k1"), row("old", 10, "s1"))
+	<-inFlight
+	h.Enqueue("node-a", kv.Key("k1"), row("new", 20, "s1"))
+	close(release)
+
+	waitFor(t, 5*time.Second, func() bool { return h.Pending() == 0 }, "hints not drained")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(delivered) == 0 || delivered[len(delivered)-1] != "new" {
+		t.Fatalf("delivered %v; the coalesced-in newer value was silently retired", delivered)
+	}
+}

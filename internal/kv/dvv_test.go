@@ -1,0 +1,157 @@
+package kv
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDVVFoldCompacts(t *testing.T) {
+	var c DVV
+	c.Fold(Dot{Node: 1, Counter: 1})
+	c.Fold(Dot{Node: 1, Counter: 2})
+	c.Fold(Dot{Node: 1, Counter: 3})
+	if len(c) != 1 || c[0].Base != 3 || len(c[0].Dots) != 0 {
+		t.Fatalf("contiguous folds = %v", c)
+	}
+	// An isolated counter stays a dot until the gap fills.
+	c.Fold(Dot{Node: 1, Counter: 6})
+	if c[0].Base != 3 || len(c[0].Dots) != 1 || c[0].Dots[0] != 6 {
+		t.Fatalf("gapped fold = %v", c)
+	}
+	c.Fold(Dot{Node: 1, Counter: 4})
+	c.Fold(Dot{Node: 1, Counter: 5})
+	if c[0].Base != 6 || len(c[0].Dots) != 0 {
+		t.Fatalf("gap fill did not absorb: %v", c)
+	}
+}
+
+// TestDVVGapNotCovered is the gap problem a max-counter version vector gets
+// wrong: seeing dot 6 must not imply dot 4 was seen.
+func TestDVVGapNotCovered(t *testing.T) {
+	var c DVV
+	c.Fold(Dot{Node: 7, Counter: 2})
+	c.Fold(Dot{Node: 7, Counter: 6})
+	if !c.Covers(Dot{Node: 7, Counter: 2}) || !c.Covers(Dot{Node: 7, Counter: 6}) {
+		t.Fatal("folded dots must be covered")
+	}
+	for _, missing := range []uint64{3, 4, 5, 7} {
+		if c.Covers(Dot{Node: 7, Counter: missing}) {
+			t.Fatalf("counter %d was never seen but Covers says yes", missing)
+		}
+	}
+	if c.Covers(Dot{Node: 8, Counter: 1}) {
+		t.Fatal("unknown node covered")
+	}
+}
+
+func TestDVVExtendBase(t *testing.T) {
+	var c DVV
+	c.ExtendBase(3, 0)
+	if len(c) != 0 {
+		t.Fatalf("ExtendBase(0) must be a no-op, got %v", c)
+	}
+	c.ExtendBase(3, 4)
+	if len(c) != 1 || c[0].Node != 3 || c[0].Base != 4 || len(c[0].Dots) != 0 {
+		t.Fatalf("extend on empty = %v", c)
+	}
+	for _, n := range []uint64{1, 2, 3, 4} {
+		if !c.Covers(Dot{Node: 3, Counter: n}) {
+			t.Fatalf("counter %d not covered after ExtendBase(3,4)", n)
+		}
+	}
+	if c.Covers(Dot{Node: 3, Counter: 5}) {
+		t.Fatal("counter past the base covered")
+	}
+	// Extending backwards never shrinks.
+	c.ExtendBase(3, 2)
+	if c[0].Base != 4 {
+		t.Fatalf("backward extend shrank base: %v", c)
+	}
+	// A widened base swallows covered isolated dots and absorbs contiguous
+	// ones past it.
+	c.Fold(Dot{Node: 3, Counter: 6})
+	c.Fold(Dot{Node: 3, Counter: 8})
+	c.Fold(Dot{Node: 3, Counter: 11})
+	c.ExtendBase(3, 7)
+	if c[0].Base != 8 || len(c[0].Dots) != 1 || c[0].Dots[0] != 11 {
+		t.Fatalf("extend over dots = %v", c)
+	}
+	// Other nodes' entries are untouched, and node order is kept.
+	c.ExtendBase(1, 9)
+	if len(c) != 2 || c[0].Node != 1 || c[0].Base != 9 || c[1].Node != 3 || c[1].Base != 8 {
+		t.Fatalf("second node extend = %v", c)
+	}
+}
+
+func TestDVVUnionLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randDVV := func() DVV {
+		var c DVV
+		for i, n := 0, rng.Intn(12); i < n; i++ {
+			c.Fold(Dot{Node: uint32(rng.Intn(3) + 1), Counter: uint64(rng.Intn(10) + 1)})
+		}
+		return c
+	}
+	for i := 0; i < 500; i++ {
+		a, b := randDVV(), randDVV()
+		ab := a.Clone()
+		ab.Union(b)
+		ba := b.Clone()
+		ba.Union(a)
+		if !ab.Equal(ba) {
+			t.Fatalf("union not commutative: %v vs %v (a=%v b=%v)", ab, ba, a, b)
+		}
+		again := ab.Clone()
+		if again.Union(b) {
+			t.Fatalf("union not idempotent: %v grew re-adding %v", again, b)
+		}
+		// The union covers exactly what either side covers.
+		for node := uint32(1); node <= 3; node++ {
+			for ctr := uint64(1); ctr <= 11; ctr++ {
+				d := Dot{Node: node, Counter: ctr}
+				if ab.Covers(d) != (a.Covers(d) || b.Covers(d)) {
+					t.Fatalf("union coverage wrong at %v: a=%v b=%v ab=%v", d, a, b, ab)
+				}
+			}
+		}
+	}
+}
+
+func TestDVVMaxCounter(t *testing.T) {
+	var c DVV
+	if c.MaxCounter(1) != 0 {
+		t.Fatal("empty clock max != 0")
+	}
+	c.Fold(Dot{Node: 1, Counter: 2})
+	c.Fold(Dot{Node: 1, Counter: 9})
+	if got := c.MaxCounter(1); got != 9 {
+		t.Fatalf("max = %d, want 9", got)
+	}
+	if got := c.MaxCounter(2); got != 0 {
+		t.Fatalf("other node max = %d, want 0", got)
+	}
+}
+
+func TestDVVCodecRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		var c DVV
+		for j, n := 0, rng.Intn(8); j < n; j++ {
+			c.Fold(Dot{Node: uint32(rng.Intn(4) + 1), Counter: uint64(rng.Intn(30) + 1)})
+		}
+		blob := EncodeDVV(c)
+		if len(blob) != EncodedDVVSize(c) {
+			t.Fatalf("size mismatch: %d != %d", len(blob), EncodedDVVSize(c))
+		}
+		got, err := DecodeDVV(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(c) {
+			t.Fatalf("roundtrip %v -> %v", c, got)
+		}
+	}
+	if _, err := DecodeDVV([]byte{1}); err == nil {
+		t.Fatal("truncated blob decoded")
+	}
+}

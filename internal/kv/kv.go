@@ -148,6 +148,10 @@ func (c *Clock) Now() Timestamp {
 	return Timestamp{Wall: c.wall, Logical: c.log, Node: c.node}
 }
 
+// Node returns the id this clock stamps into timestamps (and that the
+// coordinator mints write dots under).
+func (c *Clock) Node() uint32 { return c.node }
+
 // Observe folds a timestamp received from another node into the clock so
 // that subsequent local timestamps sort after it (the "receive" rule of a
 // hybrid logical clock).
@@ -160,7 +164,8 @@ func (c *Clock) Observe(t Timestamp) {
 }
 
 // Versioned is one timestamped value written by one source server. The
-// value list kept for write_all is a slice of these, one per source.
+// value list kept for write_all is a slice of these; dotted (causal) rows
+// may additionally hold concurrent siblings from the same source window.
 type Versioned struct {
 	// Value is the raw payload.
 	Value []byte
@@ -172,15 +177,26 @@ type Versioned struct {
 	// Deleted marks a tombstone: the source removed its value. Tombstones
 	// keep deletes monotone under the timestamp rule.
 	Deleted bool
+	// Dot is the write's causal event id, minted by the coordinator. The
+	// zero dot marks a legacy value resolved by the timestamp rules.
+	Dot Dot
+	// Ctx is the causal context the writer had read when it issued this
+	// write: the events the write supersedes. It travels with the value
+	// through the replica protocol and hint queues, is consumed by
+	// ApplyCausal/Merge, and is never stored in row blobs (the row's Clock
+	// absorbs it).
+	Ctx DVV
 }
 
-// Clone returns a deep copy of v; the value bytes are not shared.
+// Clone returns a deep copy of v; neither value bytes nor context are
+// shared.
 func (v Versioned) Clone() Versioned {
 	if v.Value != nil {
 		dup := make([]byte, len(v.Value))
 		copy(dup, v.Value)
 		v.Value = dup
 	}
+	v.Ctx = v.Ctx.Clone()
 	return v
 }
 
@@ -188,30 +204,49 @@ func (v Versioned) Clone() Versioned {
 // two extra columns of Fig. 5, Dirty and Monitors, that the trigger scanner
 // consumes.
 type Row struct {
-	// Values holds at most one Versioned per source, the write_all list.
-	// It is kept sorted by Source for deterministic encoding.
+	// Values holds the row's value list: for legacy rows at most one
+	// Versioned per source (the write_all list); causal rows may hold
+	// concurrent dotted siblings. It is kept sorted by (Source, TS, Dot)
+	// for deterministic encoding.
 	Values []Versioned
 	// Dirty is set on every write and cleared by the trigger scanner.
 	Dirty bool
 	// Monitors lists ids of trigger jobs watching this exact key (table
 	// and dataset monitors are resolved from the key hierarchy instead).
 	Monitors []uint64
+	// Clock is the row's dotted version vector: exactly the write events
+	// this replica has observed for the key. A value whose dot another
+	// row's clock covers — but which that row no longer holds — was seen
+	// and causally superseded there, so Merge discards it instead of
+	// resurrecting it.
+	Clock DVV
+	// Obs counts siblings evicted by the bounded fan-out cap, so capped
+	// truncation is never silent: a non-zero Obs tells readers the sibling
+	// set is incomplete. Merge takes the max.
+	Obs uint32
 }
 
-// Latest returns the freshest non-tombstone value in the row and true, or a
-// zero Versioned and false when the row holds no live value.
+// DefaultSiblingCap bounds the concurrent sibling fan-out per row when the
+// caller passes a non-positive cap to ApplyCausal/EnforceSiblingCap.
+const DefaultSiblingCap = 16
+
+// Latest returns the freshest live (non-tombstone) value in the row and
+// true, or a zero Versioned and false when the row holds none. A newer
+// tombstone from one source does not shadow other sources' live values: a
+// write_all row keeps per-source semantics, so one source's delete must not
+// erase the others' data on read (only that source's own entry).
 func (r *Row) Latest() (Versioned, bool) {
 	var best Versioned
 	found := false
 	for _, v := range r.Values {
+		if v.Deleted {
+			continue
+		}
 		if !found || v.TS.After(best.TS) {
 			best, found = v, true
 		}
 	}
-	if !found || best.Deleted {
-		return Versioned{}, false
-	}
-	return best, true
+	return best, found
 }
 
 // LatestAny returns the freshest entry including tombstones; it is what the
@@ -280,15 +315,170 @@ func (r *Row) ApplyAll(v Versioned) bool {
 	return true
 }
 
-// Merge folds another row's value list into r, keeping per source the newer
-// entry. It returns true if r changed. Merge is the anti-entropy primitive
-// used by read repair and replica recovery.
+// ApplyCausal applies one dotted write: the replica-side rule of the
+// dotted-version-vector protocol. The write supersedes exactly the stored
+// values its causal context covers (and — under write_latest — legacy
+// dotless values with older timestamps); everything else is concurrent and
+// is retained as a sibling. A dotted write is never "outdated": ApplyCausal
+// returns true when the row changed and false when the event was already
+// observed (an idempotent redelivery).
+//
+// latest selects the write_latest discard rules; write_all keeps per-source
+// semantics, so the context only discards the writer's own source's values
+// there. cap bounds the sibling fan-out (<=0 selects DefaultSiblingCap).
+func (r *Row) ApplyCausal(v Versioned, latest bool, cap int) bool {
+	if v.Dot.IsZero() {
+		// Defensive: a dotless write has no causal identity; fall back to
+		// the legacy rules so the row never records an unmintable event.
+		if latest {
+			return r.ApplyLatest(v)
+		}
+		return r.ApplyAll(v)
+	}
+	if r.Clock.Covers(v.Dot) {
+		return false // replay of an observed event
+	}
+	// Supersession is purely causal: only the write's context retires stored
+	// values. Anything TS-based here would depend on what happens to be
+	// stored at arrival time, and delivery reordering would make replicas
+	// diverge. Program order arrives AS context — the coordinator stamps a
+	// blind write with the causal state it has already accepted.
+	keep := r.Values[:0]
+	for _, w := range r.Values {
+		switch {
+		case !w.Dot.IsZero() && v.Ctx.Covers(w.Dot) && (latest || w.Source == v.Source):
+			// The writer had observed this value and overwrote it. Under
+			// write_all the context only retires the writer's own source's
+			// values — the other sources' list entries are not its to drop.
+		case w.Dot.IsZero() && latest && w.TS.Before(v.TS):
+			// Legacy bridge: a dotted write_latest supersedes older
+			// pre-DVV values by the timestamp rule they were written under.
+		default:
+			keep = append(keep, w)
+		}
+	}
+	r.Values = keep
+	r.Clock.Fold(v.Dot)
+	// Folding the whole context into the clock is what lets Merge read
+	// covered-and-absent as superseded — and Merge is source-blind. That is
+	// only sound because coordinators never ship a write_all context
+	// covering another source's events (core.blindCtx): a context that did
+	// would poison a reordered replica's clock into discarding that
+	// source's acked value from every merged read.
+	r.Clock.Union(v.Ctx)
+	v.Ctx = nil // contexts are consumed, never stored
+	r.Values = append(r.Values, v)
+	r.sortValues()
+	r.EnforceSiblingCap(cap)
+	r.Dirty = true
+	return true
+}
+
+// EnforceSiblingCap bounds the dotted sibling fan-out: when more than cap
+// dotted values are stored, the causally oldest — smallest (TS, Dot) — are
+// evicted deterministically, so every replica drops the same ones. Evicted
+// dots stay covered by the clock (the eviction propagates through Merge
+// instead of resurrecting) and each eviction increments Obs, the witness
+// that makes truncation visible to readers. Legacy dotless values are never
+// evicted. It returns the number of values evicted; cap<=0 selects
+// DefaultSiblingCap.
+func (r *Row) EnforceSiblingCap(cap int) int {
+	if cap <= 0 {
+		cap = DefaultSiblingCap
+	}
+	dotted := 0
+	for i := range r.Values {
+		if !r.Values[i].Dot.IsZero() {
+			dotted++
+		}
+	}
+	evicted := 0
+	for dotted > cap {
+		victim := -1
+		for i := range r.Values {
+			if r.Values[i].Dot.IsZero() {
+				continue
+			}
+			if victim < 0 || evictBefore(r.Values[i], r.Values[victim]) {
+				victim = i
+			}
+		}
+		r.Values = append(r.Values[:victim], r.Values[victim+1:]...)
+		dotted--
+		evicted++
+	}
+	if evicted > 0 {
+		r.Obs += uint32(evicted)
+		r.Dirty = true
+	}
+	return evicted
+}
+
+// evictBefore orders eviction victims: older timestamp first, dot order
+// breaking ties — a total order, so replicas evict identically.
+func evictBefore(a, b Versioned) bool {
+	if c := a.TS.Compare(b.TS); c != 0 {
+		return c < 0
+	}
+	return a.Dot.Less(b.Dot)
+}
+
+// Merge folds another row into r: the anti-entropy primitive behind read
+// repair, hinted handoff, recovery and migration. Dotted values follow the
+// DVV sync rule — a value survives unless the other side's clock covers its
+// dot while no longer holding it (seen and causally superseded there);
+// legacy dotless values keep the per-source newest-timestamp rule. The
+// clocks union. Merge is
+// commutative, associative and idempotent, so replicas converge regardless
+// of delivery order. It returns true if r changed.
 func (r *Row) Merge(o *Row) bool {
 	changed := false
-	for _, v := range o.Values {
-		if r.mergeOne(v) {
-			changed = true
+	// Discard r's dotted values the other row observed and dropped.
+	if !o.Clock.IsEmpty() {
+		keep := r.Values[:0]
+		for _, w := range r.Values {
+			if !w.Dot.IsZero() && o.Clock.Covers(w.Dot) && !o.holdsDot(w.Dot) {
+				changed = true
+				continue
+			}
+			keep = append(keep, w)
 		}
+		r.Values = keep
+	}
+	// Fold in o's values.
+	for _, v := range o.Values {
+		if v.Dot.IsZero() {
+			if r.mergeOne(v) {
+				changed = true
+			}
+			continue
+		}
+		if i := r.dotIndex(v.Dot); i >= 0 {
+			// Same event on both sides; contents agree unless an actor-id
+			// hash collision re-minted the counter (boot-scoped actor ids
+			// make that astronomically unlikely, not impossible). Resolve by
+			// the deterministic newest-timestamp order so every replica
+			// keeps the same — and most recent — winner.
+			if !sameValue(r.Values[i], v) && dotCollisionLess(r.Values[i], v) {
+				r.Values[i] = v
+				r.Values[i].Ctx = nil
+				changed = true
+			}
+			continue
+		}
+		if r.Clock.Covers(v.Dot) {
+			continue // seen and superseded here
+		}
+		v.Ctx = nil
+		r.Values = append(r.Values, v)
+		changed = true
+	}
+	if r.Clock.Union(o.Clock) {
+		changed = true
+	}
+	if o.Obs > r.Obs {
+		r.Obs = o.Obs
+		changed = true
 	}
 	if changed {
 		r.Dirty = true
@@ -297,9 +487,30 @@ func (r *Row) Merge(o *Row) bool {
 	return changed
 }
 
-func (r *Row) mergeOne(v Versioned) bool {
+// holdsDot reports whether the row still stores the value of event d.
+func (r *Row) holdsDot(d Dot) bool { return r.dotIndex(d) >= 0 }
+
+func (r *Row) dotIndex(d Dot) int {
 	for i := range r.Values {
-		if r.Values[i].Source == v.Source {
+		if r.Values[i].Dot == d {
+			return i
+		}
+	}
+	return -1
+}
+
+func sameValue(a, b Versioned) bool {
+	return a.Source == b.Source && a.TS == b.TS && a.Deleted == b.Deleted && string(a.Value) == string(b.Value)
+}
+
+func (r *Row) mergeOne(v Versioned) bool {
+	// The per-source newest-timestamp rule is the LEGACY rule: it compares
+	// only dotless values against each other. A dotted value is never its
+	// match target — replacing one here would orphan a dot the clock still
+	// covers (unrecoverable), and whether it happens would depend on merge
+	// order.
+	for i := range r.Values {
+		if r.Values[i].Source == v.Source && r.Values[i].Dot.IsZero() {
 			cur := &r.Values[i]
 			switch cmp := v.TS.Compare(cur.TS); {
 			case cmp > 0:
@@ -320,6 +531,17 @@ func (r *Row) mergeOne(v Versioned) bool {
 	return true
 }
 
+// dotCollisionLess orders two different values minted under the same dot:
+// older timestamp loses, ties fall through to tieLess. Total and
+// deterministic, so replicas converge on one winner — and it is the newer
+// write that survives.
+func dotCollisionLess(a, b Versioned) bool {
+	if c := a.TS.Compare(b.TS); c != 0 {
+		return c < 0
+	}
+	return tieLess(a, b)
+}
+
 // tieLess is an arbitrary but deterministic total order over same-timestamp
 // values: tombstones win over live values, then the lexically larger payload
 // wins. It only decides pathological timestamp collisions.
@@ -330,17 +552,51 @@ func tieLess(a, b Versioned) bool {
 	return string(a.Value) < string(b.Value)
 }
 
+// sortValues keeps the list in a deterministic total order — by Source,
+// then TS, then Dot — so encodings and Equal comparisons are stable across
+// replicas even when a source holds multiple concurrent siblings.
 func (r *Row) sortValues() {
+	less := func(a, b Versioned) bool {
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		if c := a.TS.Compare(b.TS); c != 0 {
+			return c < 0
+		}
+		return a.Dot.Less(b.Dot)
+	}
 	for i := 1; i < len(r.Values); i++ {
-		for j := i; j > 0 && r.Values[j].Source < r.Values[j-1].Source; j-- {
+		for j := i; j > 0 && less(r.Values[j], r.Values[j-1]); j-- {
 			r.Values[j], r.Values[j-1] = r.Values[j-1], r.Values[j]
 		}
 	}
 }
 
+// RowFromWrite builds the single-value row used to hint one undelivered
+// write. For a dotted write_latest the row's clock covers the dot and the
+// write's causal context, so delivering the hint by Merge performs the same
+// supersession ApplyCausal would have (context-covered siblings at the
+// destination are discarded, concurrent ones retained). A write_all hint
+// folds only its own dot: ApplyCausal scopes all-mode supersession to the
+// writer's source, but Merge's covered-and-absent rule is source-blind — a
+// full-context clock on a one-value row would discard other sources' live
+// values at the destination. The sibling this leaves behind is retired
+// later by merging with any replica whose clock covers it.
+func RowFromWrite(v Versioned, latest bool) *Row {
+	r := &Row{Values: []Versioned{v.Clone()}}
+	if !v.Dot.IsZero() {
+		r.Clock.Fold(v.Dot)
+		if latest {
+			r.Clock.Union(v.Ctx)
+		}
+		r.Values[0].Ctx = nil
+	}
+	return r
+}
+
 // Clone deep-copies the row.
 func (r *Row) Clone() *Row {
-	c := &Row{Dirty: r.Dirty}
+	c := &Row{Dirty: r.Dirty, Obs: r.Obs, Clock: r.Clock.Clone()}
 	c.Values = make([]Versioned, len(r.Values))
 	for i, v := range r.Values {
 		c.Values[i] = v.Clone()
@@ -352,28 +608,30 @@ func (r *Row) Clone() *Row {
 }
 
 // Contains reports whether the row holds an entry exactly equal to v (same
-// source, timestamp, tombstone flag and payload). The replica write path
-// uses it to recognise a re-sent duplicate as already applied ("ok") rather
-// than rejecting it as outdated, which makes timestamped writes idempotent
-// under retry.
+// source, timestamp, dot, tombstone flag and payload). The replica write
+// path uses it to recognise a re-sent duplicate as already applied ("ok")
+// rather than rejecting it as outdated, which makes timestamped writes
+// idempotent under retry.
 func (r *Row) Contains(v Versioned) bool {
 	for _, cur := range r.Values {
-		if cur.Source == v.Source && cur.TS == v.TS && cur.Deleted == v.Deleted && string(cur.Value) == string(v.Value) {
+		if cur.Dot == v.Dot && sameValue(cur, v) {
 			return true
 		}
 	}
 	return false
 }
 
-// Equal reports whether two rows hold the same value lists (ignoring the
-// Dirty and Monitors bookkeeping columns).
+// Equal reports whether two rows hold the same value lists and causal state
+// (ignoring the Dirty and Monitors bookkeeping columns). Clock and Obs take
+// part: replicas whose values agree but whose observed sets differ have not
+// converged, and read repair must still run.
 func (r *Row) Equal(o *Row) bool {
-	if len(r.Values) != len(o.Values) {
+	if len(r.Values) != len(o.Values) || r.Obs != o.Obs || !r.Clock.Equal(o.Clock) {
 		return false
 	}
 	for i := range r.Values {
 		a, b := r.Values[i], o.Values[i]
-		if a.Source != b.Source || a.TS != b.TS || a.Deleted != b.Deleted || string(a.Value) != string(b.Value) {
+		if a.Dot != b.Dot || !sameValue(a, b) {
 			return false
 		}
 	}

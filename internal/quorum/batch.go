@@ -286,7 +286,7 @@ func (e *Engine) WriteBatch(ctx context.Context, items []BatchWrite) []KeyWriteR
 			}
 			for j, i := range idxs {
 				if err != nil || acks[j].Err != nil {
-					e.writeFailed(node, items[i].Key, items[i].V)
+					e.writeFailed(node, items[i].Key, items[i].V, items[i].Mode)
 				}
 			}
 			ch <- nodeReply{node: node, idxs: idxs, acks: acks, err: err}

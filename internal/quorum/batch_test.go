@@ -120,7 +120,7 @@ func TestWriteBatchDeadReplicaDegradesPerKey(t *testing.T) {
 	e, _ := retryEngine(t, fc, 0)
 	var mu sync.Mutex
 	hinted := map[kv.Key]bool{}
-	e.OnWriteError(func(node ring.NodeID, key kv.Key, v kv.Versioned) {
+	e.OnWriteError(func(node ring.NodeID, key kv.Key, v kv.Versioned, _ Mode) {
 		if node == "r3" {
 			mu.Lock()
 			hinted[key] = true
@@ -345,7 +345,7 @@ func TestBatchConcurrentWithSingleKeyOps(t *testing.T) {
 	// paths and hooks.
 	fc := newFrameCluster(nodes3...)
 	e, _ := retryEngine(t, fc, 0)
-	e.OnWriteError(func(ring.NodeID, kv.Key, kv.Versioned) {})
+	e.OnWriteError(func(ring.NodeID, kv.Key, kv.Versioned, Mode) {})
 	keys := batchKeys(8)
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {

@@ -151,7 +151,7 @@ type Engine struct {
 	// It fires from the write goroutine itself, so failures are captured
 	// even when the quorum already settled and Write returned — the
 	// straggler's miss must not be lost just because the caller moved on.
-	onWriteError atomic.Pointer[func(node ring.NodeID, key kv.Key, v kv.Versioned)]
+	onWriteError atomic.Pointer[func(node ring.NodeID, key kv.Key, v kv.Versioned, mode Mode)]
 
 	hWriteWait, hReadWait           *obs.Histogram
 	hBatchWriteWait, hBatchReadWait *obs.Histogram
@@ -206,17 +206,18 @@ func (e *Engine) OnRepairError(fn func(node ring.NodeID, key kv.Key, row *kv.Row
 }
 
 // OnWriteError installs fn to observe every replica write that failed after
-// retries, with the versioned value that should have landed. Unlike the
+// retries, with the versioned value that should have landed and the write
+// mode it carried (hint construction is mode-dependent). Unlike the
 // WriteResult.Failed list — which only covers replies that arrived before
 // the quorum settled — this hook sees stragglers too.
-func (e *Engine) OnWriteError(fn func(node ring.NodeID, key kv.Key, v kv.Versioned)) {
+func (e *Engine) OnWriteError(fn func(node ring.NodeID, key kv.Key, v kv.Versioned, mode Mode)) {
 	e.onWriteError.Store(&fn)
 }
 
 // writeFailed records one ultimately-failed replica write.
-func (e *Engine) writeFailed(node ring.NodeID, key kv.Key, v kv.Versioned) {
+func (e *Engine) writeFailed(node ring.NodeID, key kv.Key, v kv.Versioned, mode Mode) {
 	if fn := e.onWriteError.Load(); fn != nil {
-		(*fn)(node, key, v)
+		(*fn)(node, key, v, mode)
 	}
 }
 
@@ -322,7 +323,7 @@ func (e *Engine) Write(ctx context.Context, replicas []ring.NodeID, key kv.Key, 
 				st, err = e.rt.WriteReplica(cctx, node, key, v, mode)
 			}
 			if err != nil {
-				e.writeFailed(node, key, v)
+				e.writeFailed(node, key, v, mode)
 			}
 			ch <- reply{node: node, status: st, err: err}
 		}(node)

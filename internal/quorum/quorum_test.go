@@ -82,6 +82,12 @@ func (fc *fakeCluster) WriteReplica(ctx context.Context, n ring.NodeID, key kv.K
 		row = &kv.Row{}
 		fc.rows[n][key] = row
 	}
+	if !v.Dot.IsZero() {
+		// Dotted writes take the causal path, like the real replica: a
+		// replayed event is idempotent, never outdated.
+		row.ApplyCausal(v.Clone(), mode == Latest, 0)
+		return WriteOK, nil
+	}
 	var ok bool
 	if mode == Latest {
 		ok = row.ApplyLatest(v)

@@ -223,7 +223,7 @@ func TestWriteStragglerFeedsWriteErrorHook(t *testing.T) {
 	var mu sync.Mutex
 	var hookedKey kv.Key
 	var hookedVal string
-	e.OnWriteError(func(node ring.NodeID, key kv.Key, v kv.Versioned) {
+	e.OnWriteError(func(node ring.NodeID, key kv.Key, v kv.Versioned, _ Mode) {
 		if node != "r3" {
 			return
 		}

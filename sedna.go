@@ -128,11 +128,22 @@ func NewCoordServer(cfg CoordConfig) *CoordServer { return coord.NewServer(cfg) 
 type ClientConfig = client.Config
 
 // Client provides the paper's data access APIs: WriteLatest, WriteAll,
-// ReadLatest, ReadAll, Delete, plus Subscribe for pushed changes.
+// ReadLatest, ReadAll, Delete, plus Subscribe for pushed changes and the
+// causal-replication surface (ReadSiblings, WriteLatestCtx, DeleteCtx).
 type Client = client.Client
 
 // NewClient builds a client.
 func NewClient(cfg ClientConfig) (*Client, error) { return client.New(cfg) }
+
+// Siblings is the result of a ReadSiblings call: every causally
+// concurrent value of a key plus the opaque context token a follow-up
+// WriteLatestCtx/DeleteCtx uses to supersede exactly what was read
+// (DESIGN.md §14).
+type Siblings = client.Siblings
+
+// Context is the opaque causal-context token carried from a
+// ReadSiblings result into a context-carrying write.
+type Context = client.Context
 
 // MGetResult is one key's outcome in a batched multi-key read.
 type MGetResult = client.MGetResult
