@@ -16,6 +16,7 @@
 //	sedna-bench -fig durability      # E10: group commit vs SyncAlways, restart time
 //	sedna-bench -fig introspect      # E11: introspection-plane overhead and fidelity
 //	sedna-bench -fig dvv             # E12: lost updates, LWW vs dotted version vectors
+//	sedna-bench -fig transport       # E13: staged transport, 100..10k conn fan-in
 //	sedna-bench -fig all
 //
 // -scale shrinks the sweep for quick runs (1.0 = the paper's 10k..60k).
@@ -37,7 +38,14 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which artifact to regenerate: 7a|7b|8|ablations|coord|pipeline|batch|hotpath|rebalance|durability|introspect|dvv|all")
+	// Transport-bench worker subprocess: the connection-scaling sweep
+	// re-execs this binary to hold client sockets outside the parent's
+	// descriptor budget.
+	if os.Getenv("SEDNA_TW_ADDR") != "" {
+		bench.TransportWorkerMain()
+		return
+	}
+	fig := flag.String("fig", "all", "which artifact to regenerate: 7a|7b|8|ablations|coord|pipeline|batch|hotpath|rebalance|durability|introspect|dvv|transport|all")
 	scale := flag.Float64("scale", 0.1, "sweep scale relative to the paper's 10k..60k ops")
 	nodes := flag.Int("nodes", 9, "cluster size (the paper uses 9)")
 	seed := flag.Int64("seed", 42, "simulation seed")
@@ -47,7 +55,7 @@ func main() {
 	steps := opsSteps(*scale)
 	run := map[string]bool{}
 	if *fig == "all" {
-		for _, f := range []string{"7a", "7b", "8", "ablations", "coord", "pipeline", "batch", "hotpath", "rebalance", "durability", "introspect", "dvv"} {
+		for _, f := range []string{"7a", "7b", "8", "ablations", "coord", "pipeline", "batch", "hotpath", "rebalance", "durability", "introspect", "dvv", "transport"} {
 			run[f] = true
 		}
 	} else {
@@ -301,6 +309,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		fmt.Println()
 	}
+	if run["transport"] {
+		any = true
+		fmt.Println("== E13: staged transport — connection scaling and overload shedding ==")
+		rep, err := bench.RunFigTransport(bench.TransportConfig{
+			ConnSteps: connSteps(*scale),
+		})
+		if err != nil {
+			log.Fatalf("fig transport: %v", err)
+		}
+		for _, s := range rep.Scaling {
+			bound := ""
+			if s.GoroutineBound > 0 {
+				bound = fmt.Sprintf(" bound=%d", s.GoroutineBound)
+			}
+			fmt.Printf("%-6s conns=%-6d ops=%-7d errs=%-3d p50=%.2fms p99=%.2fms %.0f ops/s goros=%d%s\n",
+				s.Mode, s.Conns, s.Ops, s.Errors, s.P50Ms, s.P99Ms, s.OpsPerS, s.GoroutinePeak, bound)
+		}
+		for _, o := range rep.Overload {
+			fmt.Printf("overload %s: conns=%d served=%d sheds=%d errs=%d served-p50=%.2fms shed-p99=%.2fms breaker-trips=%d\n",
+				o.Mode, o.Conns, o.Served, o.Sheds, o.Errors, o.ServedP50Ms, o.ShedP99Ms, o.BreakerTrips)
+		}
+		path := filepath.Join(*outdir, "BENCH_fig_transport.json")
+		if err := bench.WriteTransportJSON(path, rep); err != nil {
+			log.Fatalf("write %s: %v", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		fmt.Println()
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "sedna-bench: unknown -fig %q\n", *fig)
 		os.Exit(2)
@@ -328,6 +364,17 @@ func opsSteps(scale float64) []int {
 // 16-key batch, so even deep scaling keeps a usable sample for p99.
 func batchSteps(scale float64) []int {
 	base := []int{25, 50, 100}
+	out := make([]int, len(base))
+	for i, b := range base {
+		out[i] = scaleInt(b, scale)
+	}
+	return out
+}
+
+// connSteps scales the transport sweep's connection counts (the full sweep
+// is the paper-style 100 -> 10k fan-in).
+func connSteps(scale float64) []int {
+	base := []int{100, 1000, 10000}
 	out := make([]int, len(base))
 	for i, b := range base {
 		out[i] = scaleInt(b, scale)

@@ -41,6 +41,11 @@ func main() {
 	opsAddr := flag.String("ops-addr", "", "ops-plane HTTP listen address (/metrics, /healthz, /traces, pprof); empty disables")
 	slowMS := flag.Int64("slow-ms", 0, "slow-op threshold in milliseconds (0 = default 250ms, negative disables)")
 	tenantRule := flag.String("tenant-rule", "", "per-tenant attribution rule: dataset|table|prefix:N; empty disables")
+	transportMode := flag.String("transport-mode", "staged", "server pipeline: staged (bounded event-loop stages) or spawn (goroutine per request)")
+	transportReaders := flag.Int("transport-readers", 0, "event-loop reader shards (0 = min(GOMAXPROCS, 8))")
+	transportWorkers := flag.Int("transport-workers", 0, "handler worker-pool size (0 = max(64, 8*GOMAXPROCS))")
+	transportQueue := flag.Int("transport-queue", 0, "dispatch queue depth before requests shed with busy frames (0 = 1024)")
+	maxConns := flag.Int("max-conns", 0, "accepted connection cap; beyond it new connections are shed (0 = 65536)")
 	verbose := flag.Bool("v", false, "verbose logging")
 	flag.Parse()
 
@@ -75,9 +80,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	stage := sedna.TransportStageConfig{
+		Readers:       *transportReaders,
+		Workers:       *transportWorkers,
+		DispatchDepth: *transportQueue,
+		MaxConns:      *maxConns,
+	}
+	switch *transportMode {
+	case "staged":
+	case "spawn":
+		stage.Spawn = true
+	default:
+		fmt.Fprintf(os.Stderr, "sedna-server: unknown -transport-mode %q\n", *transportMode)
+		os.Exit(2)
+	}
+
 	cfg := sedna.ServerConfig{
 		Node:         sedna.NodeID(*addr),
-		Transport:    sedna.NewTCPTransport(*addr),
+		Transport:    sedna.NewTCPTransportStaged(*addr, stage),
 		CoordServers: strings.Split(*coordList, ","),
 		MemoryLimit:  *memMB << 20,
 		Persist: sedna.PersistConfig{

@@ -1,0 +1,7 @@
+//go:build !linux && !darwin
+
+package bench
+
+// Non-unix stubs: assume the descriptor budget is ample.
+func raiseFDLimit()         {}
+func fdBudgetFits(int) bool { return true }

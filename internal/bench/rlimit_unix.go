@@ -1,0 +1,28 @@
+//go:build linux || darwin
+
+package bench
+
+import "syscall"
+
+// raiseFDLimit lifts the soft file-descriptor limit to the hard limit so
+// the connection sweep can hold its sockets; best-effort, errors ignored.
+func raiseFDLimit() {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return
+	}
+	if rl.Cur < rl.Max {
+		rl.Cur = rl.Max
+		syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl)
+	}
+}
+
+// fdBudgetFits reports whether this process may open n more descriptors
+// under its soft limit.
+func fdBudgetFits(n int) bool {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return true
+	}
+	return uint64(n) <= rl.Cur
+}

@@ -1,0 +1,620 @@
+package bench
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sedna/internal/transport"
+)
+
+// The transport figure (E13) answers the fan-in question directly at the
+// RPC layer, with no cluster on top: how do the goroutine-per-request
+// ("spawn") and staged pipelines behave as concurrent connections sweep
+// from 100 to 10k, and what does saturation look like once offered load
+// exceeds worker capacity? The host's file-descriptor ceiling usually
+// cannot hold 10k client sockets AND 10k accepted sockets in one process,
+// so large steps re-exec the binary as worker subprocesses that own the
+// client side (see TransportWorkerMain); the server under test always runs
+// in this process, where its goroutine count is sampled.
+
+// TransportConfig parameterises the connection-scaling sweep.
+type TransportConfig struct {
+	// ConnSteps is the connection-count sweep; nil selects 100, 1000, 10000.
+	ConnSteps []int
+	// OpsPerConn is the closed-loop request count per connection; zero
+	// selects 20.
+	OpsPerConn int
+	// Body is the request/response body size in bytes; zero selects 128.
+	Body int
+	// OverloadWorkers is the staged worker-pool size for the overload
+	// phase; zero selects 4.
+	OverloadWorkers int
+	// OverloadQueue is the dispatch depth for the overload phase; zero
+	// selects 128.
+	OverloadQueue int
+	// OverloadFactor scales offered concurrency relative to pipeline
+	// capacity (workers+queue); zero selects 2.
+	OverloadFactor int
+	// OverloadOps is the per-connection op count in the overload phase;
+	// zero selects 40.
+	OverloadOps int
+	// ServiceTime is the simulated handler cost in the overload phase;
+	// zero selects 2ms.
+	ServiceTime time.Duration
+}
+
+func (c *TransportConfig) defaults() {
+	if len(c.ConnSteps) == 0 {
+		c.ConnSteps = []int{100, 1000, 10000}
+	}
+	if c.OpsPerConn <= 0 {
+		c.OpsPerConn = 20
+	}
+	if c.Body <= 0 {
+		c.Body = 128
+	}
+	if c.OverloadWorkers <= 0 {
+		c.OverloadWorkers = 4
+	}
+	if c.OverloadQueue <= 0 {
+		c.OverloadQueue = 128
+	}
+	if c.OverloadFactor <= 0 {
+		c.OverloadFactor = 2
+	}
+	if c.OverloadOps <= 0 {
+		c.OverloadOps = 40
+	}
+	if c.ServiceTime <= 0 {
+		c.ServiceTime = 2 * time.Millisecond
+	}
+}
+
+// TransportStep is one (mode, conns) point of the scaling sweep.
+type TransportStep struct {
+	Mode  string `json:"mode"`
+	Conns int    `json:"conns"`
+	Ops   int    `json:"ops"`
+	// Errors counts failed calls; Subprocs is how many worker processes
+	// carried the client side (0 = in-process).
+	Errors   int     `json:"errors"`
+	Subprocs int     `json:"subprocs"`
+	Millis   float64 `json:"millis"`
+	OpsPerS  float64 `json:"ops_per_s"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	// GoroutinePeak is the highest server-side goroutine count sampled
+	// during the step; for the staged mode GoroutineBound is the pipeline's
+	// structural ceiling (accept+readers+workers+writers), which the peak
+	// must stay under no matter how many requests are in flight.
+	GoroutinePeak  int64 `json:"goroutine_peak"`
+	GoroutineBound int64 `json:"goroutine_bound,omitempty"`
+}
+
+// TransportOverload is the saturation phase: offered load ~OverloadFactor x
+// pipeline capacity against a deliberately small staged pipeline.
+type TransportOverload struct {
+	Mode        string  `json:"mode"`
+	Conns       int     `json:"conns"`
+	Ops         int     `json:"ops"`
+	Served      int     `json:"served"`
+	Sheds       int     `json:"sheds"`
+	Errors      int     `json:"errors"`
+	ServedP50Ms float64 `json:"served_p50_ms"`
+	ServedP99Ms float64 `json:"served_p99_ms"`
+	ShedP50Ms   float64 `json:"shed_p50_ms"`
+	ShedP99Ms   float64 `json:"shed_p99_ms"`
+	// BreakerTrips must stay 0: pushback is not a node death.
+	BreakerTrips  int64 `json:"breaker_trips"`
+	GoroutinePeak int64 `json:"goroutine_peak"`
+}
+
+// TransportReport is the BENCH_fig_transport.json artifact.
+type TransportReport struct {
+	Figure   string              `json:"figure"`
+	Scaling  []TransportStep     `json:"scaling"`
+	Overload []TransportOverload `json:"overload"`
+}
+
+// WriteTransportJSON writes the artifact.
+func WriteTransportJSON(path string, rep TransportReport) error {
+	rep.Figure = "transport"
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// benchStageConfig is the staged pipeline used for the scaling sweep: wide
+// enough that a healthy sweep never sheds, so the comparison against spawn
+// mode is apples-to-apples.
+func benchStageConfig(spawn bool) transport.StageConfig {
+	return transport.StageConfig{
+		Spawn:         spawn,
+		AcceptShards:  2,
+		Workers:       256,
+		DispatchDepth: 1 << 15,
+		MaxConns:      1 << 17,
+	}
+}
+
+// RunFigTransport runs the scaling sweep for both modes and the overload
+// phase for the staged mode.
+func RunFigTransport(cfg TransportConfig) (TransportReport, error) {
+	cfg.defaults()
+	var rep TransportReport
+	raiseFDLimit()
+
+	for _, conns := range cfg.ConnSteps {
+		for _, mode := range []string{"spawn", "staged"} {
+			// In-process steps are cheap and scheduler-noisy (the client
+			// shares the host with the server under test), so run three
+			// trials and pin the median by p99 — symmetrically for both
+			// modes. Subprocess steps are one trial: dial-heavy, and their
+			// headline metric is the goroutine bound, not the tail.
+			trials := 1
+			if fdBudgetFits(2*conns + 512) {
+				trials = 3
+			}
+			var runs []TransportStep
+			for t := 0; t < trials; t++ {
+				step, err := runTransportStep(cfg, mode, conns)
+				if err != nil {
+					return rep, fmt.Errorf("%s@%d conns: %w", mode, conns, err)
+				}
+				runs = append(runs, step)
+			}
+			rep.Scaling = append(rep.Scaling, medianByP99(runs))
+		}
+	}
+
+	ov, err := runTransportOverload(cfg)
+	if err != nil {
+		return rep, fmt.Errorf("overload: %w", err)
+	}
+	rep.Overload = append(rep.Overload, ov)
+	return rep, nil
+}
+
+// medianByP99 picks the middle trial by p99 latency; the peak goroutine
+// count is taken across all trials since the bound must hold for every run.
+func medianByP99(runs []TransportStep) TransportStep {
+	var peak int64
+	for _, r := range runs {
+		if r.GoroutinePeak > peak {
+			peak = r.GoroutinePeak
+		}
+	}
+	for i := 1; i < len(runs); i++ {
+		for j := i; j > 0 && runs[j].P99Ms < runs[j-1].P99Ms; j-- {
+			runs[j], runs[j-1] = runs[j-1], runs[j]
+		}
+	}
+	med := runs[len(runs)/2]
+	med.GoroutinePeak = peak
+	return med
+}
+
+// goroutineSampler polls the server-side goroutine count while a step runs.
+type goroutineSampler struct {
+	peak atomic.Int64
+	stop chan struct{}
+	done chan struct{}
+}
+
+func sampleGoroutines(tr *transport.TCPTransport) *goroutineSampler {
+	s := &goroutineSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(5 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				if g := tr.ServerGoroutines(); g > s.peak.Load() {
+					s.peak.Store(g)
+				}
+			}
+		}
+	}()
+	return s
+}
+
+func (s *goroutineSampler) finish() int64 {
+	close(s.stop)
+	<-s.done
+	return s.peak.Load()
+}
+
+// opsForConns keeps every step long enough to measure steady state: small
+// connection counts get proportionally more ops per connection so warmup
+// (dial handshakes, cold buffer pools, scheduler ramp) stops dominating the
+// percentiles, while the 10k step stays bounded.
+func (c TransportConfig) opsForConns(conns int) int {
+	ops := c.OpsPerConn
+	if floor := 40000 / conns; floor > ops {
+		ops = floor
+	}
+	return ops
+}
+
+func runTransportStep(cfg TransportConfig, mode string, conns int) (TransportStep, error) {
+	ops := cfg.opsForConns(conns)
+	step := TransportStep{Mode: mode, Conns: conns, Ops: conns * ops}
+	stage := benchStageConfig(mode == "spawn")
+
+	srv, err := transport.NewTCPListen("127.0.0.1:0")
+	if err != nil {
+		return step, err
+	}
+	defer srv.Close()
+	srv.SetStages(stage)
+	respBody := make([]byte, cfg.Body)
+	if err := srv.Serve(func(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+		return transport.Message{Op: req.Op, Body: respBody}, nil
+	}); err != nil {
+		return step, err
+	}
+	if mode == "staged" {
+		step.GoroutineBound = stage.GoroutineBound(conns)
+	}
+
+	// The client side needs one socket per connection and the server one
+	// more: past the descriptor budget, client sockets move to worker
+	// subprocesses.
+	var lats []time.Duration
+	var errs int
+	sampler := sampleGoroutines(srv)
+	start := time.Now()
+	if fdBudgetFits(2*conns + 512) {
+		lats, errs, err = runConnsInProcess(srv.Addr(), conns, ops, cfg.Body)
+	} else {
+		lats, errs, step.Subprocs, err = runConnsSubprocs(srv.Addr(), conns, ops, cfg.Body)
+	}
+	wall := time.Since(start)
+	step.GoroutinePeak = sampler.finish()
+	if err != nil {
+		return step, err
+	}
+	step.Errors = errs
+	step.Millis = float64(wall.Nanoseconds()) / 1e6
+	if wall > 0 {
+		step.OpsPerS = float64(len(lats)) / wall.Seconds()
+	}
+	step.P50Ms = percentileMs(lats, 0.50)
+	step.P99Ms = percentileMs(lats, 0.99)
+	return step, nil
+}
+
+// runConnsInProcess drives conns independent client connections (one
+// TCPTransport each — the transport pools by address) closed-loop.
+func runConnsInProcess(addr string, conns, ops, body int) ([]time.Duration, int, error) {
+	clients := make([]*transport.TCPTransport, conns)
+	defer func() {
+		for _, c := range clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	// Establish every connection (bounded dial parallelism) before the
+	// measured window so the sweep times steady-state RPCs, not dials.
+	sem := make(chan struct{}, 64)
+	var dialWG sync.WaitGroup
+	var dialErr atomic.Value
+	reqBody := make([]byte, body)
+	for i := range clients {
+		clients[i] = transport.NewTCP("")
+		dialWG.Add(1)
+		go func(c *transport.TCPTransport) {
+			defer dialWG.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if _, err := c.Call(ctx, addr, transport.Message{Op: 1, Body: reqBody}); err != nil {
+				dialErr.Store(err)
+			}
+		}(clients[i])
+	}
+	dialWG.Wait()
+	if err, _ := dialErr.Load().(error); err != nil {
+		return nil, 0, fmt.Errorf("warmup: %w", err)
+	}
+
+	lats := make([]time.Duration, 0, conns*ops)
+	var mu sync.Mutex
+	var errs atomic.Int64
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *transport.TCPTransport) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, ops)
+			for i := 0; i < ops; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				t0 := time.Now()
+				_, err := c.Call(ctx, addr, transport.Message{Op: 1, Body: reqBody})
+				cancel()
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	return lats, int(errs.Load()), nil
+}
+
+// Worker subprocess protocol: the parent re-execs itself with SEDNA_TW_*
+// set; the child opens its share of the connections, prints READY, waits
+// for GO on stdin (so every worker starts the measured window together),
+// runs the closed loop and emits one JSON result object.
+type twResult struct {
+	LatUS  []int64 `json:"lat_us"`
+	Errors int     `json:"errors"`
+}
+
+const twConnsPerProc = 2000
+
+func runConnsSubprocs(addr string, conns, ops, body int) ([]time.Duration, int, int, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	type worker struct {
+		cmd   *exec.Cmd
+		stdin io.WriteCloser
+		out   *bufio.Reader
+	}
+	var workers []*worker
+	defer func() {
+		for _, w := range workers {
+			if w.cmd.Process != nil {
+				w.cmd.Process.Kill()
+			}
+			w.cmd.Wait()
+		}
+	}()
+	for left := conns; left > 0; left -= twConnsPerProc {
+		share := left
+		if share > twConnsPerProc {
+			share = twConnsPerProc
+		}
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			"SEDNA_TW_ADDR="+addr,
+			"SEDNA_TW_CONNS="+strconv.Itoa(share),
+			"SEDNA_TW_OPS="+strconv.Itoa(ops),
+			"SEDNA_TW_BODY="+strconv.Itoa(body),
+		)
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, 0, 0, err
+		}
+		workers = append(workers, &worker{cmd: cmd, stdin: stdin, out: bufio.NewReader(stdout)})
+	}
+	// Wait for every worker to finish dialing, then release them together.
+	for _, w := range workers {
+		line, err := w.out.ReadString('\n')
+		if err != nil || line != "READY\n" {
+			return nil, 0, 0, fmt.Errorf("worker handshake: %q, %v", line, err)
+		}
+	}
+	for _, w := range workers {
+		if _, err := io.WriteString(w.stdin, "GO\n"); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	var lats []time.Duration
+	var errs int
+	for _, w := range workers {
+		var res twResult
+		if err := json.NewDecoder(w.out).Decode(&res); err != nil {
+			return nil, 0, 0, fmt.Errorf("worker result: %w", err)
+		}
+		for _, us := range res.LatUS {
+			lats = append(lats, time.Duration(us)*time.Microsecond)
+		}
+		errs += res.Errors
+	}
+	for _, w := range workers {
+		w.stdin.Close()
+		w.cmd.Wait()
+		w.cmd.Process = nil
+	}
+	return lats, errs, len(workers), nil
+}
+
+// TransportWorkerMain is the child side of the subprocess protocol; the
+// sedna-bench binary calls it (and exits) when SEDNA_TW_ADDR is set.
+func TransportWorkerMain() {
+	addr := os.Getenv("SEDNA_TW_ADDR")
+	conns, _ := strconv.Atoi(os.Getenv("SEDNA_TW_CONNS"))
+	ops, _ := strconv.Atoi(os.Getenv("SEDNA_TW_OPS"))
+	body, _ := strconv.Atoi(os.Getenv("SEDNA_TW_BODY"))
+	if addr == "" || conns <= 0 || ops <= 0 {
+		fmt.Fprintln(os.Stderr, "transport worker: bad SEDNA_TW_* env")
+		os.Exit(2)
+	}
+	raiseFDLimit()
+
+	clients := make([]*transport.TCPTransport, conns)
+	reqBody := make([]byte, body)
+	sem := make(chan struct{}, 64)
+	var dialWG sync.WaitGroup
+	var dialFailed atomic.Bool
+	for i := range clients {
+		clients[i] = transport.NewTCP("")
+		dialWG.Add(1)
+		go func(c *transport.TCPTransport) {
+			defer dialWG.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			if _, err := c.Call(ctx, addr, transport.Message{Op: 1, Body: reqBody}); err != nil {
+				fmt.Fprintf(os.Stderr, "transport worker: warmup: %v\n", err)
+				dialFailed.Store(true)
+			}
+		}(clients[i])
+	}
+	dialWG.Wait()
+	if dialFailed.Load() {
+		os.Exit(1)
+	}
+
+	fmt.Println("READY")
+	if line, err := bufio.NewReader(os.Stdin).ReadString('\n'); err != nil || line != "GO\n" {
+		fmt.Fprintf(os.Stderr, "transport worker: no GO: %q, %v\n", line, err)
+		os.Exit(1)
+	}
+
+	res := twResult{LatUS: make([]int64, 0, conns*ops)}
+	var mu sync.Mutex
+	var errs atomic.Int64
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *transport.TCPTransport) {
+			defer wg.Done()
+			local := make([]int64, 0, ops)
+			for i := 0; i < ops; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+				t0 := time.Now()
+				_, err := c.Call(ctx, addr, transport.Message{Op: 1, Body: reqBody})
+				cancel()
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				local = append(local, time.Since(t0).Microseconds())
+			}
+			mu.Lock()
+			res.LatUS = append(res.LatUS, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	res.Errors = int(errs.Load())
+	blob, _ := json.Marshal(res)
+	os.Stdout.Write(append(blob, '\n'))
+	for _, c := range clients {
+		c.Close()
+	}
+	os.Exit(0)
+}
+
+// runTransportOverload saturates a deliberately small staged pipeline at
+// ~OverloadFactor x its capacity and splits latencies into served vs shed.
+// The paper-level claim: sheds come back faster than served ops (pushback
+// in one writer hop), and none of them trip a breaker.
+func runTransportOverload(cfg TransportConfig) (TransportOverload, error) {
+	capacity := cfg.OverloadWorkers + cfg.OverloadQueue
+	conns := cfg.OverloadFactor * capacity
+	ov := TransportOverload{Mode: "staged", Conns: conns, Ops: conns * cfg.OverloadOps}
+
+	srv, err := transport.NewTCPListen("127.0.0.1:0")
+	if err != nil {
+		return ov, err
+	}
+	defer srv.Close()
+	srv.SetStages(transport.StageConfig{
+		AcceptShards:  1,
+		Readers:       1,
+		Workers:       cfg.OverloadWorkers,
+		DispatchDepth: cfg.OverloadQueue,
+	})
+	respBody := make([]byte, cfg.Body)
+	if err := srv.Serve(func(ctx context.Context, from string, req transport.Message) (transport.Message, error) {
+		time.Sleep(cfg.ServiceTime) // simulated handler cost occupying a worker
+		return transport.Message{Op: req.Op, Body: respBody}, nil
+	}); err != nil {
+		return ov, err
+	}
+	addr := srv.Addr()
+
+	var trips atomic.Int64
+	reqBody := make([]byte, cfg.Body)
+	var mu sync.Mutex
+	var served, sheds []time.Duration
+	var wg sync.WaitGroup
+	sampler := sampleGoroutines(srv)
+	for i := 0; i < conns; i++ {
+		cli := transport.NewTCP("")
+		defer cli.Close()
+		health := transport.NewHealthCaller(cli, transport.BreakerConfig{})
+		health.OnStateChange = func(addr string, from, to transport.BreakerState) {
+			if to == transport.BreakerOpen {
+				trips.Add(1)
+			}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			localServed := make([]time.Duration, 0, cfg.OverloadOps)
+			localSheds := make([]time.Duration, 0, cfg.OverloadOps)
+			var localErrs int
+			for op := 0; op < cfg.OverloadOps; op++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				t0 := time.Now()
+				_, err := health.Call(ctx, addr, transport.Message{Op: 1, Body: reqBody})
+				cancel()
+				d := time.Since(t0)
+				switch {
+				case err == nil:
+					localServed = append(localServed, d)
+				case errorsIsOverloaded(err):
+					localSheds = append(localSheds, d)
+				default:
+					localErrs++
+				}
+			}
+			mu.Lock()
+			served = append(served, localServed...)
+			sheds = append(sheds, localSheds...)
+			ov.Errors += localErrs
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	ov.GoroutinePeak = sampler.finish()
+	ov.Served = len(served)
+	ov.Sheds = len(sheds)
+	ov.BreakerTrips = trips.Load()
+	ov.ServedP50Ms = percentileMs(served, 0.50)
+	ov.ServedP99Ms = percentileMs(served, 0.99)
+	ov.ShedP50Ms = percentileMs(sheds, 0.50)
+	ov.ShedP99Ms = percentileMs(sheds, 0.99)
+	return ov, nil
+}
+
+func errorsIsOverloaded(err error) bool {
+	return errors.Is(err, transport.ErrOverloaded)
+}

@@ -87,6 +87,7 @@ type Client struct {
 	nRingRefresh            *obs.Counter
 	nRetries                *obs.Counter
 	nRetargets              *obs.Counter
+	nOverloaded             *obs.Counter
 	nBatchKeys              *obs.Counter
 	nBatchFrames            *obs.Counter
 	nBatchFallbacks         *obs.Counter
@@ -145,6 +146,7 @@ func New(cfg Config) (*Client, error) {
 		nRingRefresh:    cfg.Obs.Counter("client.ring_refresh"),
 		nRetries:        cfg.Obs.Counter("client.retries"),
 		nRetargets:      cfg.Obs.Counter("client.retargets"),
+		nOverloaded:     cfg.Obs.Counter("client.overloaded"),
 		nBatchKeys:      cfg.Obs.Counter("client.batch.keys"),
 		nBatchFrames:    cfg.Obs.Counter("client.batch.frames"),
 		nBatchFallbacks: cfg.Obs.Counter("client.batch.fallbacks"),
@@ -498,6 +500,17 @@ func (c *Client) doKeyedMeta(ctx context.Context, key kv.Key, op uint16, body []
 				// move on immediately.
 				continue
 			}
+			if errors.Is(err, transport.ErrOverloaded) {
+				// The node shed the request at a saturated stage: it is
+				// healthy and still the right target, so keep the ring lease
+				// and this target eligible, back off, and try again.
+				c.nOverloaded.Inc()
+				delete(tried, addr)
+				if !c.retrySleep(ctx, attempt) {
+					break
+				}
+				continue
+			}
 			c.invalidateRing()
 			if !c.retrySleep(ctx, attempt) {
 				break
@@ -529,6 +542,18 @@ func (c *Client) doKeyedMeta(ctx context.Context, key kv.Key, op uint16, body []
 			// The coordinator could not reach a quorum; another replica
 			// may still succeed (e.g. the primary is partitioned).
 			lastErr = core.StatusErr(st, detail)
+			continue
+		}
+		if st == core.StOverloaded {
+			// Same pushback as transport.ErrOverloaded, surfaced one level
+			// up: the coordinator itself refused the work. Back off and
+			// retry the same routing.
+			lastErr = core.StatusErr(st, detail)
+			c.nOverloaded.Inc()
+			delete(tried, addr)
+			if !c.retrySleep(ctx, attempt) {
+				break
+			}
 			continue
 		}
 		if st != core.StOK {

@@ -25,6 +25,7 @@ type scriptedCaller struct {
 	fetch    int
 	fail     map[string]bool   // addrs whose keyed ops fail at the transport
 	notOwner map[string]uint64 // addrs that reject keyed ops with StNotOwner + this epoch
+	overload map[string]int    // addrs that shed this many keyed ops before serving
 	coord    []string          // addrs that received a keyed op, in order
 }
 
@@ -50,6 +51,10 @@ func (s *scriptedCaller) Call(ctx context.Context, addr string, msg transport.Me
 		s.coord = append(s.coord, addr)
 		if s.fail[addr] {
 			return transport.Message{}, transport.ErrUnreachable
+		}
+		if s.overload[addr] > 0 {
+			s.overload[addr]--
+			return transport.Message{}, transport.ErrOverloaded
 		}
 		if epoch, ok := s.notOwner[addr]; ok {
 			var e wire.Enc
@@ -152,6 +157,45 @@ func TestDoKeyedRetargetsOnNotOwner(t *testing.T) {
 	}
 	if got := cl.RingVersion(); got != ring2.Version() {
 		t.Fatalf("leased ring version = %d, want %d", got, ring2.Version())
+	}
+}
+
+// TestDoKeyedOverloadBacksOffSameTarget: a shed (transport.ErrOverloaded)
+// means the node is healthy but saturated. The client must back off and
+// retry the SAME coordinator — no failover to a non-owner, no ring-lease
+// invalidation (the routing was correct) — and count the pushback.
+func TestDoKeyedOverloadBacksOffSameTarget(t *testing.T) {
+	sc := &scriptedCaller{
+		rings:    []*ring.Ring{singleNodeRing(t, "busy")},
+		overload: map[string]int{"busy": 2},
+	}
+	reg := obs.NewRegistry()
+	cl, err := client.New(client.Config{
+		Servers:      []string{"busy"},
+		Caller:       sc,
+		RingLease:    time.Minute, // an invalidation would re-fetch; sc.fetch pins it below
+		CallTimeout:  time.Second,
+		RetryBudget:  4,
+		RetryBackoff: time.Millisecond,
+		Obs:          reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.WriteLatest(context.Background(), kv.Join("d", "t", "k"), []byte("v")); err != nil {
+		t.Fatalf("write after sheds = %v, want success", err)
+	}
+	if got := sc.coords(); len(got) != 3 || got[0] != "busy" || got[1] != "busy" || got[2] != "busy" {
+		t.Fatalf("coordinator order = %v, want [busy busy busy]", got)
+	}
+	if got := reg.Counter("client.overloaded").Load(); got != 2 {
+		t.Fatalf("client.overloaded = %d, want 2", got)
+	}
+	sc.mu.Lock()
+	fetches := sc.fetch
+	sc.mu.Unlock()
+	if fetches != 1 {
+		t.Fatalf("ring fetches = %d, want 1 (shed must not invalidate the lease)", fetches)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"errors"
 
 	"sedna/internal/kv"
+	"sedna/internal/transport"
 	"sedna/internal/wire"
 )
 
@@ -101,6 +102,12 @@ const (
 	// caller can retarget in one round trip instead of waiting for its
 	// lease to expire.
 	StNotOwner
+	// StOverloaded reports that a pipeline stage on the responding node
+	// shed the request before it ran (transport dispatch queue full, or a
+	// coordinator refusing work). The node is healthy; callers retry with
+	// backoff against the same ring view and never count it as a node
+	// failure.
+	StOverloaded
 )
 
 // Errors surfaced by the client-facing API.
@@ -117,6 +124,10 @@ var (
 	ErrNoSub = errors.New("sedna: unknown subscription")
 	// ErrNotOwner corresponds to StNotOwner.
 	ErrNotOwner = errors.New("sedna: not an owner of this vnode")
+	// ErrOverloaded corresponds to StOverloaded: the serving node shed the
+	// request under load. Retry with backoff; do not retarget or penalise
+	// the node's breaker.
+	ErrOverloaded = errors.New("sedna: server overloaded, retry with backoff")
 )
 
 // notOwnerError carries the rejecting node's ring version alongside
@@ -162,6 +173,8 @@ func StatusErr(st uint16, detail string) error {
 		base = ErrNoSub
 	case StNotOwner:
 		base = ErrNotOwner
+	case StOverloaded:
+		base = ErrOverloaded
 	default:
 		base = errors.New("sedna: unknown status")
 	}
@@ -186,6 +199,10 @@ func ErrStatus(err error) (uint16, string) {
 		return StNoSub, ""
 	case errors.Is(err, ErrNotOwner):
 		return StNotOwner, ""
+	case errors.Is(err, ErrOverloaded), errors.Is(err, transport.ErrOverloaded):
+		// Pushback from a downstream stage propagates as pushback, not as
+		// a quorum failure: the client should back off, not fail over.
+		return StOverloaded, ""
 	default:
 		return StFailure, err.Error()
 	}

@@ -409,6 +409,11 @@ func (s *Server) Start() error {
 	if t, ok := s.cfg.Transport.(interface{ Instrument(*obs.Registry) }); ok {
 		t.Instrument(s.obs)
 	}
+	// The transport's own diagnostics (protocol violations, slow-consumer
+	// kills) route through the node's logger when both sides support it.
+	if lt, ok := s.cfg.Transport.(interface{ SetLogf(func(string, ...any)) }); ok && s.cfg.Logf != nil {
+		lt.SetLogf(s.logf)
+	}
 	mux := transport.NewMux()
 	for _, reg := range []struct {
 		op   uint16

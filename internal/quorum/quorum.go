@@ -160,6 +160,7 @@ type Engine struct {
 	nInconsistent                   *obs.Counter
 	nRepairErrors                   *obs.Counter
 	nRetries                        *obs.Counter
+	nOverload                       *obs.Counter
 	nBatchKeys                      *obs.Counter
 	nBatchFrames                    *obs.Counter
 	nBatchKeyFailures               *obs.Counter
@@ -191,6 +192,7 @@ func (e *Engine) Instrument(r *obs.Registry) {
 	e.nInconsistent = r.Counter("quorum.inconsistent_reads")
 	e.nRepairErrors = r.Counter("quorum.repair_errors")
 	e.nRetries = r.Counter("quorum.retries")
+	e.nOverload = r.Counter("quorum.overload_pushback")
 	e.hBatchWriteWait = r.Histogram("quorum.batch.write.wait")
 	e.hBatchReadWait = r.Histogram("quorum.batch.read.wait")
 	e.nBatchKeys = r.Counter("quorum.batch.keys")
@@ -232,6 +234,9 @@ func (e *Engine) repairFailed(node ring.NodeID, key kv.Key, row *kv.Row) {
 // retryable classifies an error for re-send purposes: remote handler
 // verdicts mean the node answered, caller cancellations are not the node's
 // fault, and an open breaker means re-sending would only fast-fail again.
+// transport.ErrOverloaded (a shed, not a death) deliberately stays
+// retryable: the jittered backoff below is exactly the pushback response
+// the staged transport asks for.
 func retryable(err error) bool {
 	if err == nil || transport.IsRemote(err) {
 		return false
@@ -248,6 +253,9 @@ func retryable(err error) bool {
 func (e *Engine) retry(ctx context.Context, budget *int32, attempt int, err error) bool {
 	if e.cfg.RetryBudget <= 0 || !retryable(err) {
 		return false
+	}
+	if errors.Is(err, transport.ErrOverloaded) {
+		e.nOverload.Inc()
 	}
 	if atomic.AddInt32(budget, -1) < 0 {
 		return false

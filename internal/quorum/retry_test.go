@@ -3,6 +3,7 @@ package quorum
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -149,6 +150,39 @@ func TestRetryBudgetBoundsResends(t *testing.T) {
 	}
 	if got := reg.Snapshot().Counter("quorum.retries"); got > 3 {
 		t.Fatalf("quorum.retries = %d, want <= 3", got)
+	}
+}
+
+// overloadCluster sheds a node's first failuresLeft calls with the staged
+// transport's pushback error, then serves normally.
+type overloadCluster struct {
+	*blinkCluster
+}
+
+func (oc overloadCluster) WriteReplica(ctx context.Context, n ring.NodeID, key kv.Key, v kv.Versioned, mode Mode) (WriteStatus, error) {
+	if oc.failNow(n) {
+		return 0, fmt.Errorf("%w: test shed", transport.ErrOverloaded)
+	}
+	return oc.fakeCluster.WriteReplica(ctx, n, key, v, mode)
+}
+
+func TestWriteRetriesOverloadPushback(t *testing.T) {
+	oc := overloadCluster{newBlinkCluster(nodes3...)}
+	// Two replicas shed once each: without backoff-retry the write would
+	// reach only W-1 acks.
+	oc.blip("r1", 1)
+	oc.blip("r2", 1)
+	oc.kill("r3")
+	e, reg := retryEngine(t, oc, 4)
+
+	if _, err := e.Write(context.Background(), nodes3, "k", ver("v", 1, "s"), Latest); err != nil {
+		t.Fatalf("write through shed pushback failed: %v", err)
+	}
+	if got := reg.Snapshot().Counter("quorum.overload_pushback"); got < 2 {
+		t.Fatalf("quorum.overload_pushback = %d, want >= 2", got)
+	}
+	if !retryable(transport.ErrOverloaded) {
+		t.Fatal("overload pushback classified non-retryable; sheds would become quorum failures")
 	}
 }
 

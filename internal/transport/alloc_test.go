@@ -10,6 +10,8 @@ package transport
 // -race by the transport round-trip tests.
 
 import (
+	"bufio"
+	"bytes"
 	"net"
 	"sync/atomic"
 	"testing"
@@ -60,4 +62,58 @@ func TestFrameRoundTripAllocBudget(t *testing.T) {
 
 	c1.Close()
 	<-done
+}
+
+// TestStagedReadPathAllocBudget drives the staged reader's frame state
+// machine directly: once the frame pool is warm, assembling a request frame
+// from socket-sized chunks and delivering it to the dispatch stage must not
+// allocate at all — the hot path at 10k connections.
+func TestStagedReadPathAllocBudget(t *testing.T) {
+	tr := NewTCP("")
+	s := &stagedServer{
+		t:        tr,
+		cfg:      StageConfig{}.Defaulted(),
+		conns:    map[*sconn]struct{}{},
+		dispatch: make(chan dItem, 16),
+	}
+	sc := &sconn{
+		srv:  s,
+		wq:   make(chan wItem, 4),
+		done: make(chan struct{}),
+	}
+
+	// One encoded request frame, fed to pump in chunks like a socket would.
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := writeFrameTo(bw, 1, 0x0101, kindRequest, nil, make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	frame := buf.Bytes()
+
+	off := 0
+	read := func(p []byte) (int, error) {
+		if off == len(frame) {
+			return 0, errWouldBlock
+		}
+		n := copy(p, frame[off:])
+		off += n
+		return n, nil
+	}
+	run := func() {
+		off = 0
+		if err := sc.pump(read); err != errWouldBlock {
+			t.Fatalf("pump err = %v", err)
+		}
+		it := <-s.dispatch
+		if it.id != 1 || len(it.body) != 512 {
+			t.Fatalf("delivered id %d, %d-byte body", it.id, len(it.body))
+		}
+		putFrameBuf(it.bufp)
+	}
+	run() // warm the pool
+
+	if n := testing.AllocsPerRun(100, run); n > 0 {
+		t.Errorf("staged read path allocates %.1f/frame warmed, want 0", n)
+	}
 }

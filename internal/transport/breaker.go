@@ -291,6 +291,12 @@ func countsAsFailure(err error) bool {
 	if errors.Is(err, context.Canceled) {
 		return false // the caller gave up, not the node
 	}
+	if errors.Is(err, ErrOverloaded) {
+		// A shed is proof of life: the node answered, it just refused the
+		// work. Tripping the breaker on pushback would turn a transient
+		// queue spike into a synthetic node death.
+		return false
+	}
 	return true
 }
 

@@ -1,0 +1,54 @@
+//go:build !linux
+
+package transport
+
+import "sync"
+
+// Non-Linux fallback for the reader stage: without epoll we keep one
+// blocking reader goroutine per connection, but it feeds the same bounded
+// dispatch queue with the same shed semantics, so every stage downstream of
+// the read behaves identically to the Linux build. The goroutine bound
+// gains a +conns term (see StageConfig.GoroutineBound), which is acceptable
+// on development platforms.
+
+type readerPool struct {
+	srv *stagedServer
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func newReaderPool(s *stagedServer, n int) (*readerPool, error) {
+	return &readerPool{srv: s}, nil
+}
+
+func (rp *readerPool) add(sc *sconn) error {
+	rp.mu.Lock()
+	if rp.closed {
+		rp.mu.Unlock()
+		return ErrClosed
+	}
+	s := rp.srv
+	s.readerWG.Add(1)
+	s.t.wg.Add(1)
+	s.t.goros.Add(1)
+	rp.mu.Unlock()
+	go func() {
+		defer s.readerWG.Done()
+		defer s.t.wg.Done()
+		defer s.t.goros.Add(-1)
+		err := sc.pump(sc.conn.Read)
+		_ = err
+		sc.releaseReadBuf()
+		sc.shutdown()
+	}()
+	return nil
+}
+
+// close only blocks new registrations; the per-connection readers exit when
+// stagedServer.close shuts their connections down.
+func (rp *readerPool) close() {
+	rp.mu.Lock()
+	rp.closed = true
+	rp.mu.Unlock()
+}

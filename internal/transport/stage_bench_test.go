@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// benchEcho measures closed-loop echo throughput over conns connections
+// against a server in the given stage mode. Run with -cpuprofile to see
+// where the request path spends its time.
+func benchEcho(b *testing.B, cfg StageConfig, conns int) {
+	srv := NewTCPStaged("127.0.0.1:0", cfg)
+	err := srv.Serve(func(_ context.Context, _ string, req Message) (Message, error) {
+		return Message{Op: req.Op, Body: req.Body}, nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.Addr()
+
+	clients := make([]*TCPTransport, conns)
+	for i := range clients {
+		clients[i] = NewTCP("")
+		if _, err := clients[i].Call(context.Background(), addr, Message{Op: 1, Body: []byte("warm")}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	body := make([]byte, 128)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / conns
+	for i := range clients {
+		wg.Add(1)
+		go func(c *TCPTransport) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				if _, err := c.Call(context.Background(), addr, Message{Op: 1, Body: body}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(clients[i])
+	}
+	wg.Wait()
+}
+
+func BenchmarkEchoStaged100(b *testing.B) {
+	benchEcho(b, StageConfig{Workers: 256, DispatchDepth: 1 << 15}, 100)
+}
+
+func BenchmarkEchoSpawn100(b *testing.B) {
+	benchEcho(b, StageConfig{Spawn: true}, 100)
+}

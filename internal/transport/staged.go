@@ -1,0 +1,718 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// The staged server is a SEDA-style pipeline (DTranx): instead of one
+// reader goroutine per connection plus one goroutine per in-flight request,
+// traffic flows through four explicitly-bounded stages —
+//
+//	accept shards ─▶ reader shards ─▶ dispatch queue ─▶ worker pool
+//	                 (event loops)     (bounded chan)     │
+//	          per-connection writers ◀────────────────────┘
+//	          (bounded queue each)
+//
+// Connections are multiplexed onto a fixed pool of event-loop reader shards
+// (epoll on Linux; a per-connection blocking reader elsewhere), decoded
+// requests pass through one bounded dispatch queue into a fixed worker
+// pool, and responses are written by a per-connection writer goroutine that
+// preserves the pipelined out-of-order response multiplexing by request id.
+// Every stage has a queue bound and an overload policy:
+//
+//	accept   — MaxConns; beyond it, new connections are closed on arrival.
+//	read     — maxFrame bounds per-connection buffered bytes; a malformed
+//	           length kills only that connection.
+//	dispatch — DispatchDepth; when full the reader answers the request
+//	           immediately with a kindBusy frame (ErrOverloaded at the
+//	           caller) instead of queueing or spawning — saturation
+//	           degrades into fast retryable pushback.
+//	write    — WriteDepth per connection; a consumer that cannot drain its
+//	           responses within WriteStall is killed as a slow reader so it
+//	           cannot wedge the shared worker pool.
+//
+// The server's goroutine count is therefore bounded by
+// acceptShards + readers + workers + one writer per connection — never by
+// the number of in-flight requests.
+
+// StageConfig tunes the staged server pipeline. The zero value selects the
+// staged mode with defaults; Spawn reverts to the legacy
+// goroutine-per-request server (kept as an A/B knob for benchmarks).
+type StageConfig struct {
+	// Spawn disables the staged pipeline: one reader goroutine per
+	// connection and one goroutine per request, as the pre-staged
+	// transport behaved.
+	Spawn bool
+	// AcceptShards is the number of parallel accept loops; 0 selects 2.
+	AcceptShards int
+	// Readers is the number of event-loop reader shards connections are
+	// multiplexed onto; 0 selects min(GOMAXPROCS, 8).
+	Readers int
+	// Workers is the fixed handler pool size; 0 selects
+	// max(64, 8*GOMAXPROCS). Handlers that block on downstream RPCs
+	// consume a worker for their whole duration, so undersizing this on a
+	// coordinator trades throughput for shedding.
+	Workers int
+	// DispatchDepth bounds the decoded-request queue between readers and
+	// workers; 0 selects 1024. A full queue sheds with kindBusy.
+	DispatchDepth int
+	// WriteDepth bounds each connection's response queue; 0 selects 256.
+	WriteDepth int
+	// MaxConns bounds accepted connections; 0 selects 65536. Beyond it new
+	// connections are shed at the accept stage.
+	MaxConns int
+	// WriteStall is how long a worker waits on a full writer queue before
+	// the connection is killed as a slow consumer; 0 selects 5s.
+	WriteStall time.Duration
+}
+
+// Defaulted resolves zero fields to the values Serve will use — benchmarks
+// and tests use it to compute the pipeline's goroutine bound.
+func (c StageConfig) Defaulted() StageConfig {
+	if c.AcceptShards <= 0 {
+		c.AcceptShards = 2
+	}
+	if c.Readers <= 0 {
+		c.Readers = runtime.GOMAXPROCS(0)
+		if c.Readers > 8 {
+			c.Readers = 8
+		}
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8 * runtime.GOMAXPROCS(0)
+		if c.Workers < 64 {
+			c.Workers = 64
+		}
+	}
+	if c.DispatchDepth <= 0 {
+		c.DispatchDepth = 1024
+	}
+	if c.WriteDepth <= 0 {
+		c.WriteDepth = 256
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 65536
+	}
+	if c.WriteStall <= 0 {
+		c.WriteStall = 5 * time.Second
+	}
+	return c
+}
+
+// GoroutineBound is the staged server's worst-case goroutine count at
+// conns open connections: the fixed stages plus one writer per connection.
+func (c StageConfig) GoroutineBound(conns int) int64 {
+	d := c.Defaulted()
+	bound := int64(d.AcceptShards) + int64(d.Readers) + int64(d.Workers) + int64(conns)
+	if runtime.GOOS != "linux" {
+		bound += int64(conns) // fallback readers are per-connection
+	}
+	return bound
+}
+
+// errWouldBlock is pump's "socket drained" sentinel on the non-blocking
+// read path.
+var errWouldBlock = errors.New("transport: read would block")
+
+// errProtocol kills a connection that sent a non-request frame.
+var errProtocol = errors.New("transport: protocol violation")
+
+// dItem is one decoded request travelling from a reader shard to a worker.
+// ext and body alias *bufp, which the worker recycles after the handler
+// returns.
+type dItem struct {
+	sc   *sconn
+	id   uint64
+	op   uint16
+	ext  []byte
+	body []byte
+	bufp *[]byte
+	enq  time.Time
+}
+
+// wItem is one response frame queued on a connection's writer. bufp, when
+// set, is the pooled request frame the response may alias (handlers echo
+// request bytes in practice); the writer recycles it only after the
+// response bytes are on the wire.
+type wItem struct {
+	id   uint64
+	op   uint16
+	kind byte
+	body []byte
+	bufp *[]byte
+	enq  time.Time
+}
+
+// stagedServer owns the pipeline for one TCPTransport's server side.
+type stagedServer struct {
+	t        *TCPTransport
+	cfg      StageConfig
+	h        Handler
+	dispatch chan dItem
+	readers  *readerPool
+
+	mu     sync.Mutex
+	conns  map[*sconn]struct{}
+	closed bool
+
+	// readerWG tracks every goroutine that may send on dispatch; close()
+	// waits for it before closing the channel.
+	readerWG sync.WaitGroup
+}
+
+func newStagedServer(t *TCPTransport, cfg StageConfig, h Handler) (*stagedServer, error) {
+	s := &stagedServer{
+		t:     t,
+		cfg:   cfg.Defaulted(),
+		h:     h,
+		conns: map[*sconn]struct{}{},
+	}
+	s.dispatch = make(chan dItem, s.cfg.DispatchDepth)
+	rp, err := newReaderPool(s, s.cfg.Readers)
+	if err != nil {
+		return nil, err
+	}
+	s.readers = rp
+	return s, nil
+}
+
+func (s *stagedServer) start(ln net.Listener) {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.t.wg.Add(1)
+		s.t.goros.Add(1)
+		go s.worker()
+	}
+	for i := 0; i < s.cfg.AcceptShards; i++ {
+		s.t.wg.Add(1)
+		s.t.goros.Add(1)
+		go s.acceptLoop(ln)
+	}
+}
+
+func (s *stagedServer) acceptLoop(ln net.Listener) {
+	defer s.t.wg.Done()
+	defer s.t.goros.Add(-1)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.admit(conn, time.Now())
+	}
+}
+
+// admit applies the accept stage's bound and hands the connection to a
+// reader shard and a dedicated writer.
+func (s *stagedServer) admit(conn net.Conn, accepted time.Time) {
+	m := s.t.metrics.Load()
+	s.mu.Lock()
+	if s.closed || len(s.conns) >= s.cfg.MaxConns {
+		overloaded := !s.closed
+		s.mu.Unlock()
+		conn.Close()
+		if overloaded && m != nil {
+			m.acceptSheds.Inc()
+		}
+		return
+	}
+	sc := &sconn{
+		srv:  s,
+		conn: conn,
+		from: conn.RemoteAddr().String(),
+		wq:   make(chan wItem, s.cfg.WriteDepth),
+		done: make(chan struct{}),
+		bw:   bufio.NewWriterSize(conn, 32<<10),
+	}
+	s.conns[sc] = struct{}{}
+	s.mu.Unlock()
+	if m != nil {
+		m.acceptDepth.Add(1)
+	}
+	// Register with the reader shard before spawning the writer: everything
+	// that can later call shutdown (readers, workers, the writer) starts
+	// after sc.detach is published.
+	if err := s.readers.add(sc); err != nil {
+		sc.shutdown()
+		return
+	}
+	s.t.wg.Add(1)
+	s.t.goros.Add(1)
+	go sc.writeLoop()
+	if m != nil {
+		m.acceptWait.Observe(time.Since(accepted))
+	}
+}
+
+// worker is one slot of the fixed handler pool: it drains the dispatch
+// queue, runs the handler and queues the response on the connection's
+// writer. The pooled request frame travels with the response (handlers may
+// echo request bytes) and is recycled once the response is on the wire.
+func (s *stagedServer) worker() {
+	defer s.t.wg.Done()
+	defer s.t.goros.Add(-1)
+	for it := range s.dispatch {
+		if m := s.t.metrics.Load(); m != nil {
+			m.dispatchDepth.Add(-1)
+			m.dispatchWait.Observe(time.Since(it.enq))
+		}
+		resp, herr := s.h(context.Background(), it.sc.from, Message{Op: it.op, Body: it.body, Trace: it.ext})
+		if herr != nil {
+			it.sc.respond(wItem{id: it.id, op: it.op, kind: kindError, body: []byte(herr.Error()), bufp: it.bufp, enq: time.Now()})
+			continue
+		}
+		it.sc.respond(wItem{id: it.id, op: resp.Op, kind: kindResponse, body: resp.Body, bufp: it.bufp, enq: time.Now()})
+	}
+}
+
+// close tears the pipeline down: connections first (their writers exit via
+// done), then the reader shards, and only then — once nothing can send on
+// dispatch — the dispatch queue, which lets the workers drain and exit.
+func (s *stagedServer) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]*sconn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	for _, sc := range conns {
+		sc.shutdown()
+	}
+	s.readers.close()
+	s.readerWG.Wait()
+	close(s.dispatch)
+}
+
+// sconn is one accepted connection in the staged pipeline. The frame-parse
+// state is owned by its reader shard and needs no locking.
+type sconn struct {
+	srv    *stagedServer
+	conn   net.Conn
+	rc     syscall.RawConn // set on the event-loop (Linux) path
+	fd     int
+	from   string
+	wq     chan wItem
+	done   chan struct{}
+	once   sync.Once
+	detach func() // unregisters from the reader shard; may be nil
+
+	// wmu serializes access to the buffered writer between the dedicated
+	// writeLoop and workers taking the direct-write fast path. wdl tracks
+	// the armed write deadline so it is refreshed once per stall window,
+	// not per response.
+	wmu sync.Mutex
+	bw  *bufio.Writer
+	wdl time.Time
+
+	// Reader-owned frame state machine: the 4-byte length prefix
+	// accumulates in hdr, then the frame body fills a pooled buffer.
+	// Socket bytes stage through rbufp (one read syscall per wakeup fills
+	// it, then frames are carved out) which returns to its pool between
+	// wakeups — idle connections hold no staging buffer.
+	hdr        [4]byte
+	hdrGot     int
+	need, got  int
+	bufp       *[]byte
+	rbufp      *[]byte
+	rpos, rlen int
+	frameStart time.Time
+
+	protoLogged bool // reader-owned
+}
+
+// readBufSize is the reader staging buffer: large enough that a typical
+// burst of pipelined requests lands in one read syscall.
+const readBufSize = 16 << 10
+
+var readBufPool = sync.Pool{New: func() any { b := make([]byte, readBufSize); return &b }}
+
+// pump advances the frame state machine using read, which follows
+// io.Reader semantics and may return errWouldBlock when the socket drains.
+// Complete frames are delivered to the dispatch stage; any other error
+// (including a framing violation) is fatal to the connection.
+func (sc *sconn) pump(read func([]byte) (int, error)) error {
+	if sc.rbufp == nil {
+		sc.rbufp = readBufPool.Get().(*[]byte)
+	}
+	err := sc.pumpBuf(read)
+	// The staging buffer is drained at every return (fatal errors abandon
+	// any remainder), so it goes back to the pool rather than sitting on an
+	// idle connection between wakeups.
+	readBufPool.Put(sc.rbufp)
+	sc.rbufp = nil
+	sc.rpos, sc.rlen = 0, 0
+	return err
+}
+
+func (sc *sconn) pumpBuf(read func([]byte) (int, error)) error {
+	m := sc.srv.t.metrics.Load()
+	rbuf := *sc.rbufp
+	var pending error
+	for {
+		// Carve frames out of the staged bytes.
+		for sc.rpos < sc.rlen {
+			if err := sc.consume(rbuf, m); err != nil {
+				return err
+			}
+		}
+		if pending != nil {
+			return pending
+		}
+		sc.rpos, sc.rlen = 0, 0
+		// A body larger than the staging buffer skips it: read straight
+		// into the pooled frame.
+		if sc.bufp != nil && sc.need-sc.got >= len(rbuf) {
+			n, err := read((*sc.bufp)[sc.got:sc.need])
+			sc.got += n
+			if sc.got == sc.need {
+				if ferr := sc.finishFrame(m); ferr != nil {
+					return ferr
+				}
+			}
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		n, err := read(rbuf)
+		sc.rlen = n
+		switch {
+		case err != nil:
+			if n == 0 {
+				return err
+			}
+			pending = err // consume what arrived, then report
+		case sc.rc != nil && n < len(rbuf):
+			// Short read on the non-blocking path means the socket is
+			// drained — skip the read syscall that would confirm it with
+			// EAGAIN. If bytes raced in, level-triggered epoll re-arms.
+			pending = errWouldBlock
+		}
+	}
+}
+
+// consume advances the frame state machine by one step from the staging
+// buffer: accumulate the length prefix, then fill the frame body, then
+// deliver. Called only while staged bytes remain.
+func (sc *sconn) consume(rbuf []byte, m *tcpMetrics) error {
+	if sc.bufp == nil {
+		n := copy(sc.hdr[sc.hdrGot:], rbuf[sc.rpos:sc.rlen])
+		sc.hdrGot += n
+		sc.rpos += n
+		if sc.hdrGot < len(sc.hdr) {
+			return nil
+		}
+		fl := binary.LittleEndian.Uint32(sc.hdr[:])
+		if fl < frameHeaderLen || fl > maxFrame {
+			if m != nil {
+				m.readSheds.Inc()
+			}
+			return fmt.Errorf("transport: bad frame length %d", fl)
+		}
+		sc.bufp = getFrameBuf(int(fl))
+		*sc.bufp = (*sc.bufp)[:fl]
+		sc.need, sc.got = int(fl), 0
+		sc.hdrGot = 0
+		sc.frameStart = time.Now()
+		if m != nil {
+			m.readDepth.Add(1)
+		}
+		return nil
+	}
+	n := copy((*sc.bufp)[sc.got:sc.need], rbuf[sc.rpos:sc.rlen])
+	sc.got += n
+	sc.rpos += n
+	if sc.got == sc.need {
+		return sc.finishFrame(m)
+	}
+	return nil
+}
+
+// finishFrame parses the completed frame and hands it to the dispatch
+// stage.
+func (sc *sconn) finishFrame(m *tcpMetrics) error {
+	bufp := sc.bufp
+	sc.bufp = nil
+	if m != nil {
+		m.readDepth.Add(-1)
+	}
+	id, op, kind, ext, body, perr := parseFrame(*bufp)
+	if perr != nil {
+		putFrameBuf(bufp)
+		if m != nil {
+			m.readSheds.Inc()
+		}
+		return perr
+	}
+	return sc.deliver(id, op, kind, ext, body, bufp)
+}
+
+// deliver hands one decoded request to the dispatch stage, shedding with an
+// immediate busy frame when the queue is full.
+func (sc *sconn) deliver(id uint64, op uint16, kind byte, ext, body []byte, bufp *[]byte) error {
+	t := sc.srv.t
+	m := t.metrics.Load()
+	m.frameIn(len(body))
+	if kind != kindRequest {
+		putFrameBuf(bufp)
+		if !sc.protoLogged {
+			sc.protoLogged = true
+			t.noteProtocolError(sc.from, kind)
+		} else if m != nil {
+			m.protoErrors.Inc()
+		}
+		return errProtocol
+	}
+	if m != nil {
+		m.readWait.Observe(time.Since(sc.frameStart))
+	}
+	select {
+	case sc.srv.dispatch <- dItem{sc: sc, id: id, op: op, ext: ext, body: body, bufp: bufp, enq: time.Now()}:
+		if m != nil {
+			m.dispatchDepth.Add(1)
+		}
+	default:
+		// Dispatch saturated: shed. The request never ran, the frame dies
+		// now, and the caller gets pushback in one writer hop instead of a
+		// timeout.
+		putFrameBuf(bufp)
+		if m != nil {
+			m.dispatchSheds.Inc()
+		}
+		select {
+		case sc.wq <- wItem{id: id, op: op, kind: kindBusy, enq: time.Now()}:
+			if m != nil {
+				m.writeDepth.Add(1)
+			}
+		case <-sc.done:
+		default:
+			// Writer saturated too; dropping the busy frame still bounds
+			// everything — the caller times out like any lost datagram.
+		}
+	}
+	return nil
+}
+
+// respond delivers one response to the connection's writer. When the writer
+// is idle and its queue empty, the worker writes the frame inline instead of
+// paying the handoff to writeLoop (response order per connection is free to
+// change anyway — the mux is by request id). Otherwise the response queues,
+// and a slow consumer gets WriteStall to make room before the connection is
+// killed — a reader that never drains must not wedge the shared worker pool.
+func (sc *sconn) respond(it wItem) {
+	m := sc.srv.t.metrics.Load()
+	if len(sc.wq) == 0 && sc.wmu.TryLock() {
+		sc.writeDirect(it, m)
+		return
+	}
+	select {
+	case sc.wq <- it:
+		if m != nil {
+			m.writeDepth.Add(1)
+		}
+		return
+	case <-sc.done:
+		return
+	default:
+	}
+	timer := time.NewTimer(sc.srv.cfg.WriteStall)
+	defer timer.Stop()
+	select {
+	case sc.wq <- it:
+		if m != nil {
+			m.writeDepth.Add(1)
+		}
+	case <-sc.done:
+		putFrameBuf(it.bufp) // response never queued; the frame dies here
+	case <-timer.C:
+		if m != nil {
+			m.writeSheds.Inc()
+		}
+		sc.srv.t.logf("transport: killing slow consumer %s: writer queue full for %s", sc.from, sc.srv.cfg.WriteStall)
+		putFrameBuf(it.bufp)
+		sc.shutdown()
+	}
+}
+
+// writeDirect is the worker fast path: caller holds wmu, the writer queue
+// was empty, so the frame goes straight to the socket on the worker's own
+// stack. A write deadline keeps the WriteStall bound — a consumer that
+// cannot absorb one response within it is killed, not waited on, so the
+// direct path never wedges the shared worker pool.
+func (sc *sconn) writeDirect(it wItem, m *tcpMetrics) {
+	select {
+	case <-sc.done:
+		sc.wmu.Unlock()
+		putFrameBuf(it.bufp)
+		return
+	default:
+	}
+	sc.armWriteDeadline()
+	ok := sc.writeOne(it, false)
+	var err error
+	if ok {
+		err = sc.bw.Flush()
+	}
+	sc.wmu.Unlock()
+	if !ok {
+		return // writeOne already shut the connection down
+	}
+	if err != nil {
+		if ne, isNet := err.(net.Error); isNet && ne.Timeout() {
+			if m != nil {
+				m.writeSheds.Inc()
+			}
+			sc.srv.t.logf("transport: killing slow consumer %s: write stalled for %s", sc.from, sc.srv.cfg.WriteStall)
+		}
+		sc.shutdown()
+		return
+	}
+	if m != nil {
+		m.flushes.Inc()
+	}
+}
+
+// armWriteDeadline keeps a write deadline between WriteStall and
+// 2*WriteStall ahead of every socket write, refreshing it once per stall
+// window instead of around each response — SetWriteDeadline is a timer
+// modification and would dominate the fast path. A consumer that blocks a
+// write past the deadline errors out and is killed as a slow reader.
+// Caller holds wmu.
+func (sc *sconn) armWriteDeadline() {
+	now := time.Now()
+	if sc.wdl.Sub(now) < sc.srv.cfg.WriteStall {
+		sc.wdl = now.Add(2 * sc.srv.cfg.WriteStall)
+		sc.conn.SetWriteDeadline(sc.wdl)
+	}
+}
+
+// writeLoop is the connection's dedicated writer: it preserves the
+// out-of-order response multiplexing (workers finish in any order; each
+// response carries its request id) and coalesces back-to-back responses
+// into one flush.
+func (sc *sconn) writeLoop() {
+	t := sc.srv.t
+	defer t.wg.Done()
+	defer t.goros.Add(-1)
+	// On exit, recycle the request frames still riding queued responses.
+	defer func() {
+		for {
+			select {
+			case it := <-sc.wq:
+				putFrameBuf(it.bufp)
+			default:
+				return
+			}
+		}
+	}()
+	for {
+		var it wItem
+		select {
+		case it = <-sc.wq:
+		case <-sc.done:
+			return
+		}
+		sc.wmu.Lock()
+		sc.armWriteDeadline()
+		if !sc.writeOne(it, true) {
+			sc.wmu.Unlock()
+			return
+		}
+		for drained := false; !drained; {
+			select {
+			case it = <-sc.wq:
+				if !sc.writeOne(it, true) {
+					sc.wmu.Unlock()
+					return
+				}
+			case <-sc.done:
+				sc.wmu.Unlock()
+				return
+			default:
+				drained = true
+			}
+		}
+		err := sc.bw.Flush()
+		sc.wmu.Unlock()
+		if err != nil {
+			sc.shutdown()
+			return
+		}
+		if m := t.metrics.Load(); m != nil {
+			m.flushes.Inc()
+		}
+	}
+}
+
+// writeOne encodes one response into the buffered writer; false means the
+// connection died. The response bytes land in the buffered writer (or the
+// socket) before the pooled request frame they may alias is recycled.
+// queued distinguishes wq items (which carry a depth-gauge slot) from
+// direct writes. Caller holds wmu.
+func (sc *sconn) writeOne(it wItem, queued bool) bool {
+	m := sc.srv.t.metrics.Load()
+	if m != nil {
+		if queued {
+			m.writeDepth.Add(-1)
+		}
+		m.writeWait.Observe(time.Since(it.enq))
+	}
+	m.frameOut(len(it.body))
+	err := writeFrameTo(sc.bw, it.id, it.op, it.kind, nil, it.body)
+	if errors.Is(err, ErrFrameTooLarge) {
+		// Nothing hit the wire: downgrade to an error reply so the caller
+		// learns why instead of timing out.
+		err = writeFrameTo(sc.bw, it.id, it.op, kindError, nil, []byte(err.Error()))
+	}
+	putFrameBuf(it.bufp)
+	if err != nil {
+		sc.shutdown()
+		return false
+	}
+	return true
+}
+
+// shutdown closes the connection exactly once: it detaches from the reader
+// shard, releases the writer, and drops the accept-stage slot.
+func (sc *sconn) shutdown() {
+	sc.once.Do(func() {
+		if sc.detach != nil {
+			sc.detach()
+		}
+		close(sc.done)
+		sc.conn.Close()
+		s := sc.srv
+		s.mu.Lock()
+		delete(s.conns, sc)
+		s.mu.Unlock()
+		if m := s.t.metrics.Load(); m != nil {
+			m.acceptDepth.Add(-1)
+		}
+	})
+}
+
+// releaseReadBuf returns a partially-assembled frame to the pool when the
+// reader abandons the connection. Reader-shard-owned, like the state it
+// clears.
+func (sc *sconn) releaseReadBuf() {
+	if sc.bufp != nil {
+		if m := sc.srv.t.metrics.Load(); m != nil {
+			m.readDepth.Add(-1)
+		}
+		putFrameBuf(sc.bufp)
+		sc.bufp = nil
+	}
+}

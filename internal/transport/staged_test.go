@@ -1,0 +1,445 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sedna/internal/obs"
+)
+
+// startStaged starts a staged server with explicit stage bounds.
+func startStaged(t *testing.T, cfg StageConfig, h Handler) (*TCPTransport, string) {
+	t.Helper()
+	srv := NewTCPStaged("127.0.0.1:0", cfg)
+	if err := srv.Serve(h); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, srv.Addr()
+}
+
+// TestStagedOutOfOrderMux pins the pipelined response multiplexing under the
+// staged path: two requests share one connection, the first blocks in its
+// handler until the second has fully returned to the caller, so the second
+// response must overtake the first on the wire.
+func TestStagedOutOfOrderMux(t *testing.T) {
+	slowEntered := make(chan struct{})
+	release := make(chan struct{})
+	_, addr := startStaged(t, StageConfig{Workers: 4}, func(ctx context.Context, from string, req Message) (Message, error) {
+		if req.Op == 1 {
+			close(slowEntered)
+			<-release
+		}
+		return Message{Op: req.Op, Body: []byte("ok")}, nil
+	})
+	cli := NewTCP("")
+	defer cli.Close()
+
+	var mu sync.Mutex
+	var order []uint16
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := cli.Call(context.Background(), addr, Message{Op: 1}); err != nil {
+			t.Errorf("slow call: %v", err)
+		}
+		mu.Lock()
+		order = append(order, 1)
+		mu.Unlock()
+	}()
+	<-slowEntered // op 1 is parked in a worker; the connection is warm
+	if _, err := cli.Call(context.Background(), addr, Message{Op: 2}); err != nil {
+		t.Fatalf("fast call: %v", err)
+	}
+	mu.Lock()
+	order = append(order, 2)
+	mu.Unlock()
+	close(release)
+	wg.Wait()
+
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("completion order = %v, want [2 1]", order)
+	}
+}
+
+// TestStagedShedBusy saturates a 1-worker/1-slot pipeline and asserts the
+// overflow request comes back as fast ErrOverloaded pushback — and that the
+// shed never counts against the node's breaker.
+func TestStagedShedBusy(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	srv, addr := startStaged(t, StageConfig{
+		AcceptShards: 1, Readers: 1, Workers: 1, DispatchDepth: 1,
+	}, func(ctx context.Context, from string, req Message) (Message, error) {
+		entered <- struct{}{}
+		<-release
+		return Message{Op: req.Op, Body: []byte("served")}, nil
+	})
+	reg := obs.NewRegistry()
+	srv.Instrument(reg)
+
+	cli := NewTCP("")
+	defer cli.Close()
+	var trips atomic.Int32
+	health := NewHealthCaller(cli, BreakerConfig{FailureThreshold: 1})
+	health.OnStateChange = func(addr string, from, to BreakerState) {
+		if to == BreakerOpen {
+			trips.Add(1)
+		}
+	}
+
+	// Saturate deterministically: c1 occupies the only worker, then c2
+	// parks in the one dispatch slot (confirmed via the depth gauge).
+	var wg sync.WaitGroup
+	results := make([]error, 2)
+	wg.Add(1)
+	go func() { defer wg.Done(); _, results[0] = health.Call(context.Background(), addr, Message{Op: 1}) }()
+	<-entered
+	wg.Add(1)
+	go func() { defer wg.Done(); _, results[1] = health.Call(context.Background(), addr, Message{Op: 2}) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Snapshot().Gauge("transport.stage.dispatch.depth") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never reached the dispatch queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Worker busy + queue full: the probe must come back as fast pushback.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := health.Call(ctx, addr, Message{Op: 99}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("probe on saturated pipeline: err = %v, want ErrOverloaded", err)
+	}
+	if sheds := reg.Snapshot().Counter("transport.stage.dispatch.sheds"); sheds < 1 {
+		t.Fatalf("transport.stage.dispatch.sheds = %d, want >= 1", sheds)
+	}
+
+	close(release)
+	wg.Wait()
+	for i, err := range results {
+		if err != nil {
+			t.Fatalf("queued call %d failed: %v", i, err)
+		}
+	}
+	if n := trips.Load(); n != 0 {
+		t.Fatalf("breaker tripped %d times on shed load", n)
+	}
+	if st := health.State(addr); st != BreakerClosed {
+		t.Fatalf("breaker state after sheds = %v, want closed", st)
+	}
+}
+
+// TestShedCtxCancelCleanup cancels a caller while its request is parked in a
+// saturated pipeline and asserts the client connection neither leaks the
+// pending entry nor double-sends when the response (or busy frame) lands
+// after the cancellation.
+func TestShedCtxCancelCleanup(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	_, addr := startStaged(t, StageConfig{
+		AcceptShards: 1, Readers: 1, Workers: 1, DispatchDepth: 1,
+	}, func(ctx context.Context, from string, req Message) (Message, error) {
+		entered <- struct{}{}
+		<-release
+		return Message{Op: req.Op}, nil
+	})
+	cli := NewTCP("")
+	defer cli.Close()
+
+	// Saturate: one call in the worker, one in the queue, both abandoned by
+	// their callers after a short deadline; a third fires with an already
+	// cancelled context so its busy frame can only land post-cancel.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+			defer cancel()
+			if _, err := cli.Call(ctx, addr, Message{Op: 1}); !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("abandoned call err = %v", err)
+			}
+		}()
+	}
+	<-entered
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cli.Call(cancelled, addr, Message{Op: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled call err = %v", err)
+	}
+	wg.Wait()
+	close(release)
+
+	// Any late frames for the abandoned ids drain through the read loop.
+	time.Sleep(50 * time.Millisecond)
+	cli.mu.Lock()
+	cc := cli.conns[addr]
+	cli.mu.Unlock()
+	if cc == nil {
+		t.Fatal("client connection gone")
+	}
+	cc.mu.Lock()
+	leaked := len(cc.pending)
+	cc.mu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("%d pending entries leaked after cancellations", leaked)
+	}
+	// The connection is still framed correctly and usable.
+	if _, err := cli.Call(context.Background(), addr, Message{Op: 3}); err != nil {
+		t.Fatalf("call after cancellations: %v", err)
+	}
+}
+
+// TestDialSingleflight asserts concurrent first calls to a cold address
+// share one TCP dial instead of racing.
+func TestDialSingleflight(t *testing.T) {
+	_, addr := startServer(t, echoHandler)
+	cli := NewTCP("")
+	defer cli.Close()
+	reg := obs.NewRegistry()
+	cli.Instrument(reg)
+
+	const n = 20
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = cli.Call(context.Background(), addr, Message{Op: 1})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if dials := reg.Snapshot().Counter("transport.dials"); dials != 1 {
+		t.Fatalf("transport.dials = %d, want 1 (singleflight)", dials)
+	}
+}
+
+// TestProtocolViolationCounted sends a response-kind frame to a server and
+// asserts the violation is counted, logged, and fatal to the connection.
+func TestProtocolViolationCounted(t *testing.T) {
+	srv, addr := startServer(t, echoHandler)
+	reg := obs.NewRegistry()
+	srv.Instrument(reg)
+	var logMu sync.Mutex
+	var logged []string
+	srv.SetLogf(func(format string, args ...any) {
+		logMu.Lock()
+		logged = append(logged, fmt.Sprintf(format, args...))
+		logMu.Unlock()
+	})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	if err := writeFrameTo(bw, 1, 7, kindResponse, nil, []byte("not a request")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The server must drop the connection: the read unblocks with EOF.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection survived a protocol violation")
+	}
+	if got := reg.Snapshot().Counter("transport.protocol_errors"); got != 1 {
+		t.Fatalf("transport.protocol_errors = %d, want 1", got)
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	if len(logged) != 1 {
+		t.Fatalf("logged %d lines, want exactly 1: %v", len(logged), logged)
+	}
+}
+
+// TestStagedGoroutineBound floods a small staged pipeline with far more
+// in-flight requests than it has workers and asserts the server-side
+// goroutine count stays at the fixed pipeline bound instead of scaling with
+// in-flight requests (the old spawn behaviour).
+func TestStagedGoroutineBound(t *testing.T) {
+	cfg := StageConfig{AcceptShards: 1, Readers: 1, Workers: 4, DispatchDepth: 1 << 10}
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1<<10)
+	srv, addr := startStaged(t, cfg, func(ctx context.Context, from string, req Message) (Message, error) {
+		entered <- struct{}{}
+		<-release
+		return Message{Op: req.Op}, nil
+	})
+	cli := NewTCP("")
+	defer cli.Close()
+
+	const inFlight = 200
+	var wg sync.WaitGroup
+	for i := 0; i < inFlight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := cli.Call(context.Background(), addr, Message{Op: 1}); err != nil {
+				t.Errorf("call: %v", err)
+			}
+		}()
+	}
+	// Wait until every worker is parked in the handler, then give the
+	// readers a moment to enqueue the rest.
+	for i := 0; i < cfg.Workers; i++ {
+		<-entered
+	}
+	deadline := time.Now().Add(500 * time.Millisecond)
+	bound := cfg.GoroutineBound(1) // one client connection
+	var peak int64
+	for time.Now().Before(deadline) {
+		if g := srv.ServerGoroutines(); g > peak {
+			peak = g
+		}
+		time.Sleep(time.Millisecond)
+		if peak > bound {
+			break
+		}
+	}
+	close(release)
+	wg.Wait()
+	if peak > bound {
+		t.Fatalf("server goroutines peaked at %d with %d in-flight requests, want <= %d", peak, inFlight, bound)
+	}
+	if peak < int64(cfg.Workers) {
+		t.Fatalf("server goroutines peaked at %d, below the worker pool size %d — accounting broken?", peak, cfg.Workers)
+	}
+}
+
+// TestWriteFrameTooLargeLocal asserts oversized frames are rejected before
+// any bytes hit the wire, on both write paths.
+func TestWriteFrameTooLargeLocal(t *testing.T) {
+	huge := make([]byte, maxFrame) // header pushes it over the bound
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := writeFrameTo(bw, 1, 1, kindRequest, nil, huge); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("writeFrameTo err = %v", err)
+	}
+	bw.Flush()
+	if buf.Len() != 0 || bw.Buffered() != 0 {
+		t.Fatalf("oversized frame leaked %d+%d bytes onto the wire", buf.Len(), bw.Buffered())
+	}
+
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	var read int64
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		b := make([]byte, 4096)
+		for {
+			n, err := c2.Read(b)
+			read += int64(n)
+			if err != nil {
+				return
+			}
+		}
+	}()
+	fw := newFrameWriter(c1, new(atomic.Pointer[tcpMetrics]))
+	if err := fw.writeFrame(1, 1, kindRequest, nil, huge); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("frameWriter.writeFrame err = %v", err)
+	}
+	c1.Close()
+	<-readDone
+	if read != 0 {
+		t.Fatalf("oversized frame leaked %d bytes onto the wire", read)
+	}
+}
+
+// TestTCPOversizedRequestAndResponse covers the end-to-end halves: an
+// oversized request fails locally without killing the connection; an
+// oversized response is downgraded server-side to an error reply.
+func TestTCPOversizedRequestAndResponse(t *testing.T) {
+	huge := make([]byte, maxFrame)
+	_, addr := startServer(t, func(ctx context.Context, from string, req Message) (Message, error) {
+		if req.Op == 42 {
+			return Message{Op: req.Op, Body: huge}, nil
+		}
+		return Message{Op: req.Op, Body: req.Body}, nil
+	})
+	cli := NewTCP("")
+	defer cli.Close()
+
+	if _, err := cli.Call(context.Background(), addr, Message{Op: 1, Body: huge}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized request err = %v", err)
+	}
+	// The connection survived the local rejection.
+	if _, err := cli.Call(context.Background(), addr, Message{Op: 1, Body: []byte("x")}); err != nil {
+		t.Fatalf("call after local rejection: %v", err)
+	}
+	// An oversized response comes back as a remote error naming the cause.
+	_, err := cli.Call(context.Background(), addr, Message{Op: 42})
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("oversized response err = %v, want remote error", err)
+	}
+	if want := "exceeds max size"; !bytes.Contains([]byte(re.Msg), []byte(want)) {
+		t.Fatalf("remote error %q does not mention %q", re.Msg, want)
+	}
+	// And that connection also survived.
+	if _, err := cli.Call(context.Background(), addr, Message{Op: 1, Body: []byte("y")}); err != nil {
+		t.Fatalf("call after oversized response: %v", err)
+	}
+}
+
+// TestBusyFrameRoundTrip pins the kindBusy wire encoding.
+func TestBusyFrameRoundTrip(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	go func() {
+		bw := bufio.NewWriter(c1)
+		writeFrameTo(bw, 77, 9, kindBusy, nil, nil)
+		bw.Flush()
+	}()
+	id, op, kind, _, body, err := readFrame(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 77 || op != 9 || kind != kindBusy || len(body) != 0 {
+		t.Fatalf("frame = id %d op %d kind %d body %q", id, op, kind, body)
+	}
+}
+
+// TestOverloadedNotCountedAsFailure pins the breaker classification: shed
+// responses never open a node's breaker, even at threshold 1.
+func TestOverloadedNotCountedAsFailure(t *testing.T) {
+	inner := callerFunc(func(ctx context.Context, addr string, req Message) (Message, error) {
+		return Message{}, fmt.Errorf("%w: test shed", ErrOverloaded)
+	})
+	h := NewHealthCaller(inner, BreakerConfig{FailureThreshold: 1})
+	for i := 0; i < 10; i++ {
+		if _, err := h.Call(context.Background(), "n1", Message{}); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("call %d err = %v", i, err)
+		}
+	}
+	if st := h.State("n1"); st != BreakerClosed {
+		t.Fatalf("breaker state = %v after 10 sheds, want closed", st)
+	}
+}
+
+type callerFunc func(ctx context.Context, addr string, req Message) (Message, error)
+
+func (f callerFunc) Call(ctx context.Context, addr string, req Message) (Message, error) {
+	return f(ctx, addr, req)
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -18,7 +19,8 @@ import (
 //	u32 frame length (bytes after this field)
 //	u64 request id (echoed in the response)
 //	u16 opcode
-//	u8  kind: 0 request, 1 response, 2 error response;
+//	u8  kind: 0 request, 1 response, 2 error response, 3 busy (overload
+//	    shed: empty body, request never ran — retry after backoff);
 //	    bit 7 (0x80) flags an extension block before the body
 //	[u32 extension length, extension bytes]   — only when bit 7 is set
 //	...  body (error responses carry the error string)
@@ -35,6 +37,12 @@ const (
 	kindRequest  = 0
 	kindResponse = 1
 	kindError    = 2
+	// kindBusy is an immediate overload rejection: the server's dispatch
+	// queue was full, so it answered without running the handler. The body
+	// is empty; the id routes the rejection to the waiting caller, which
+	// surfaces it as ErrOverloaded. Peers predating this kind deliver a
+	// per-call "bad frame kind" error instead — the connection survives.
+	kindBusy = 3
 
 	// kindExtFlag marks a frame carrying a length-delimited extension
 	// block (trace context) between header and body.
@@ -53,12 +61,17 @@ const (
 type TCPTransport struct {
 	addr     string
 	dialTO   time.Duration
+	stage    StageConfig
 	metrics  atomic.Pointer[tcpMetrics]
+	logFn    atomic.Pointer[func(format string, args ...any)]
+	goros    atomic.Int64 // server-side goroutines (accept/read/dispatch/write)
 	mu       sync.Mutex
 	listener net.Listener
 	handler  Handler
 	conns    map[string]*tcpClientConn
+	dialing  map[string]*dialFlight
 	accepted map[net.Conn]struct{}
+	staged   *stagedServer
 	closed   bool
 	wg       sync.WaitGroup
 }
@@ -70,28 +83,74 @@ type tcpMetrics struct {
 	bytesIn, bytesOut   *obs.Counter
 	dials, dialErrors   *obs.Counter
 	flushes             *obs.Counter
+	protoErrors         *obs.Counter
 	callLat             *obs.Histogram
+
+	// Per-stage pipeline instrumentation (staged mode): queue depths,
+	// shed counters and queue-wait histograms for each of the four stages.
+	acceptDepth, readDepth, dispatchDepth, writeDepth *obs.Gauge
+	acceptSheds, readSheds, dispatchSheds, writeSheds *obs.Counter
+	acceptWait, readWait, dispatchWait, writeWait     *obs.Histogram
 }
 
 // Instrument wires the transport into an obs registry: frame and byte
-// counters in both directions, dial counters, and a per-RPC latency
-// histogram covering the full call round trip. Safe to call at any time;
-// pre-existing pooled connections pick the metrics up on their next frame.
+// counters in both directions, dial counters, a per-RPC latency histogram
+// covering the full call round trip, the protocol-violation counter, and
+// the per-stage depth/shed/wait series of the staged pipeline. Safe to call
+// at any time; pre-existing pooled connections pick the metrics up on their
+// next frame.
 func (t *TCPTransport) Instrument(r *obs.Registry) {
 	if r == nil {
 		return
 	}
 	t.metrics.Store(&tcpMetrics{
-		framesIn:   r.Counter("transport.frames_in"),
-		framesOut:  r.Counter("transport.frames_out"),
-		bytesIn:    r.Counter("transport.bytes_in"),
-		bytesOut:   r.Counter("transport.bytes_out"),
-		dials:      r.Counter("transport.dials"),
-		dialErrors: r.Counter("transport.dial_errors"),
-		flushes:    r.Counter("transport.flushes"),
-		callLat:    r.Histogram("transport.call"),
+		framesIn:      r.Counter("transport.frames_in"),
+		framesOut:     r.Counter("transport.frames_out"),
+		bytesIn:       r.Counter("transport.bytes_in"),
+		bytesOut:      r.Counter("transport.bytes_out"),
+		dials:         r.Counter("transport.dials"),
+		dialErrors:    r.Counter("transport.dial_errors"),
+		flushes:       r.Counter("transport.flushes"),
+		protoErrors:   r.Counter("transport.protocol_errors"),
+		callLat:       r.Histogram("transport.call"),
+		acceptDepth:   r.Gauge("transport.stage.accept.depth"),
+		readDepth:     r.Gauge("transport.stage.read.depth"),
+		dispatchDepth: r.Gauge("transport.stage.dispatch.depth"),
+		writeDepth:    r.Gauge("transport.stage.write.depth"),
+		acceptSheds:   r.Counter("transport.stage.accept.sheds"),
+		readSheds:     r.Counter("transport.stage.read.sheds"),
+		dispatchSheds: r.Counter("transport.stage.dispatch.sheds"),
+		writeSheds:    r.Counter("transport.stage.write.sheds"),
+		acceptWait:    r.Histogram("transport.stage.accept.wait"),
+		readWait:      r.Histogram("transport.stage.read.wait"),
+		dispatchWait:  r.Histogram("transport.stage.dispatch.wait"),
+		writeWait:     r.Histogram("transport.stage.write.wait"),
 	})
 }
+
+// SetLogf installs a diagnostic logger (protocol violations, slow-consumer
+// kills). Safe to call at any time; nil disables.
+func (t *TCPTransport) SetLogf(fn func(format string, args ...any)) {
+	if fn == nil {
+		t.logFn.Store(nil)
+		return
+	}
+	t.logFn.Store(&fn)
+}
+
+func (t *TCPTransport) logf(format string, args ...any) {
+	if fn := t.logFn.Load(); fn != nil {
+		(*fn)(format, args...)
+	}
+}
+
+// ServerGoroutines reports the number of goroutines the server side of the
+// transport is running right now — accept shards, reader shards, dispatch
+// workers and per-connection writers in staged mode; per-connection readers
+// plus one goroutine per in-flight request in spawn mode. The staged
+// pipeline's bound (readers + workers + shards + one writer per connection)
+// is what the connection-scaling benchmark pins.
+func (t *TCPTransport) ServerGoroutines() int64 { return t.goros.Load() }
 
 // frameIn/frameOut record one frame of n body bytes (plus framing).
 func (m *tcpMetrics) frameIn(bodyLen int) {
@@ -109,14 +168,34 @@ func (m *tcpMetrics) frameOut(bodyLen int) {
 }
 
 // NewTCP returns a transport that will listen on addr when Serve is called.
-// addr may be ":0"; Addr reports the bound address after Serve.
+// addr may be ":0"; Addr reports the bound address after Serve. The server
+// side runs the staged pipeline with default bounds; use NewTCPStaged or
+// SetStages to tune it or to select the legacy goroutine-per-request mode.
 func NewTCP(addr string) *TCPTransport {
 	return &TCPTransport{
 		addr:     addr,
 		dialTO:   5 * time.Second,
 		conns:    map[string]*tcpClientConn{},
+		dialing:  map[string]*dialFlight{},
 		accepted: map[net.Conn]struct{}{},
 	}
+}
+
+// NewTCPStaged returns a transport whose server side uses the given stage
+// configuration (zero fields select defaults; Spawn reverts to the legacy
+// goroutine-per-request server for A/B comparison).
+func NewTCPStaged(addr string, cfg StageConfig) *TCPTransport {
+	t := NewTCP(addr)
+	t.stage = cfg
+	return t
+}
+
+// SetStages replaces the stage configuration. It must be called before
+// Serve.
+func (t *TCPTransport) SetStages(cfg StageConfig) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stage = cfg
 }
 
 // NewTCPListen binds the listener immediately so Addr returns the real port
@@ -143,7 +222,10 @@ func (t *TCPTransport) Addr() string {
 }
 
 // Serve starts accepting connections, binding the listener first unless
-// the transport was created with NewTCPListen.
+// the transport was created with NewTCPListen. By default requests flow
+// through the staged pipeline (bounded accept/read/dispatch/write stages
+// with shed-on-overload); StageConfig.Spawn selects the legacy
+// goroutine-per-request server instead.
 func (t *TCPTransport) Serve(h Handler) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -161,13 +243,25 @@ func (t *TCPTransport) Serve(h Handler) error {
 		t.listener = ln
 	}
 	t.handler = h
-	t.wg.Add(1)
-	go t.acceptLoop(t.listener, h)
+	if t.stage.Spawn {
+		t.wg.Add(1)
+		t.goros.Add(1)
+		go t.acceptLoop(t.listener, h)
+		return nil
+	}
+	ss, err := newStagedServer(t, t.stage, h)
+	if err != nil {
+		t.handler = nil
+		return err
+	}
+	t.staged = ss
+	ss.start(t.listener)
 	return nil
 }
 
 func (t *TCPTransport) acceptLoop(ln net.Listener, h Handler) {
 	defer t.wg.Done()
+	defer t.goros.Add(-1)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -182,14 +276,25 @@ func (t *TCPTransport) acceptLoop(ln net.Listener, h Handler) {
 		t.accepted[conn] = struct{}{}
 		t.mu.Unlock()
 		t.wg.Add(1)
+		t.goros.Add(1)
 		go func() {
 			defer t.wg.Done()
+			defer t.goros.Add(-1)
 			t.serveConn(conn, h)
 			t.mu.Lock()
 			delete(t.accepted, conn)
 			t.mu.Unlock()
 		}()
 	}
+}
+
+// noteProtocolError counts a non-request frame arriving on a server
+// connection and logs the peer once before the connection is dropped.
+func (t *TCPTransport) noteProtocolError(from string, kind byte) {
+	if m := t.metrics.Load(); m != nil {
+		m.protoErrors.Inc()
+	}
+	t.logf("transport: protocol violation from %s: unexpected frame kind %d, dropping connection", from, kind)
 }
 
 func (t *TCPTransport) serveConn(conn net.Conn, h Handler) {
@@ -204,12 +309,15 @@ func (t *TCPTransport) serveConn(conn net.Conn, h Handler) {
 		t.metrics.Load().frameIn(len(body))
 		if kind != kindRequest {
 			putFrameBuf(bufp)
-			return // protocol violation
+			t.noteProtocolError(from, kind)
+			return
 		}
+		t.goros.Add(1)
 		go func() {
 			// The request frame is pooled: body and ext die when this
 			// goroutine returns (see the Handler body-ownership contract),
 			// after the response — which must not alias them — is written.
+			defer t.goros.Add(-1)
 			defer putFrameBuf(bufp)
 			resp, herr := h(context.Background(), from, Message{Op: op, Body: body, Trace: ext})
 			m := t.metrics.Load()
@@ -220,7 +328,11 @@ func (t *TCPTransport) serveConn(conn net.Conn, h Handler) {
 				return
 			}
 			m.frameOut(len(resp.Body))
-			fw.writeFrame(id, resp.Op, kindResponse, nil, resp.Body)
+			if werr := fw.writeFrame(id, resp.Op, kindResponse, nil, resp.Body); errors.Is(werr, ErrFrameTooLarge) {
+				// Nothing hit the wire: downgrade to an error reply so the
+				// caller learns why instead of timing out.
+				fw.writeFrame(id, resp.Op, kindError, nil, []byte(werr.Error()))
+			}
 		}()
 	}
 }
@@ -234,42 +346,74 @@ func (t *TCPTransport) Call(ctx context.Context, addr string, req Message) (Mess
 	return cc.call(ctx, req)
 }
 
+// dialFlight is one in-progress dial that concurrent callers for the same
+// addr wait on instead of each paying (and discarding) their own TCP dial.
+type dialFlight struct {
+	done chan struct{}
+	cc   *tcpClientConn
+	err  error
+}
+
 func (t *TCPTransport) clientConn(addr string) (*tcpClientConn, error) {
-	t.mu.Lock()
-	if t.closed {
+	for {
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if cc := t.conns[addr]; cc != nil && !cc.dead() {
+			t.mu.Unlock()
+			return cc, nil
+		}
+		if f := t.dialing[addr]; f != nil {
+			// Singleflight: a dial to this addr is already under way;
+			// share its outcome instead of racing a duplicate connection.
+			t.mu.Unlock()
+			<-f.done
+			if f.err != nil {
+				return nil, f.err
+			}
+			if !f.cc.dead() {
+				return f.cc, nil
+			}
+			continue // the shared conn died already; start a fresh flight
+		}
+		f := &dialFlight{done: make(chan struct{})}
+		t.dialing[addr] = f
 		t.mu.Unlock()
-		return nil, ErrClosed
-	}
-	if cc := t.conns[addr]; cc != nil && !cc.dead() {
+
+		conn, err := net.DialTimeout("tcp", addr, t.dialTO)
+		if err != nil {
+			if m := t.metrics.Load(); m != nil {
+				m.dialErrors.Inc()
+			}
+			f.err = fmt.Errorf("%w: %v", ErrUnreachable, err)
+			t.mu.Lock()
+			delete(t.dialing, addr)
+			t.mu.Unlock()
+			close(f.done)
+			return nil, f.err
+		}
+		if m := t.metrics.Load(); m != nil {
+			m.dials.Inc()
+		}
+		cc := newTCPClientConn(conn, &t.metrics)
+
+		t.mu.Lock()
+		delete(t.dialing, addr)
+		if t.closed {
+			f.err = ErrClosed
+			t.mu.Unlock()
+			close(f.done)
+			cc.close(ErrClosed)
+			return nil, ErrClosed
+		}
+		t.conns[addr] = cc
+		f.cc = cc
 		t.mu.Unlock()
+		close(f.done)
 		return cc, nil
 	}
-	t.mu.Unlock()
-
-	conn, err := net.DialTimeout("tcp", addr, t.dialTO)
-	if err != nil {
-		if m := t.metrics.Load(); m != nil {
-			m.dialErrors.Inc()
-		}
-		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
-	}
-	if m := t.metrics.Load(); m != nil {
-		m.dials.Inc()
-	}
-	cc := newTCPClientConn(conn, &t.metrics)
-
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		cc.close(ErrClosed)
-		return nil, ErrClosed
-	}
-	if existing := t.conns[addr]; existing != nil && !existing.dead() {
-		cc.close(ErrClosed) // lost the race; reuse the winner
-		return existing, nil
-	}
-	t.conns[addr] = cc
-	return cc, nil
 }
 
 // Close stops the listener and closes pooled connections.
@@ -287,6 +431,7 @@ func (t *TCPTransport) Close() error {
 	for c := range t.accepted {
 		accepted = append(accepted, c)
 	}
+	staged := t.staged
 	t.mu.Unlock()
 	if ln != nil {
 		ln.Close()
@@ -296,6 +441,9 @@ func (t *TCPTransport) Close() error {
 	}
 	for _, c := range accepted {
 		c.Close()
+	}
+	if staged != nil {
+		staged.close()
 	}
 	t.wg.Wait()
 	return nil
@@ -358,6 +506,14 @@ func (cc *tcpClientConn) call(ctx context.Context, req Message) (Message, error)
 	m.frameOut(len(req.Body))
 	err := cc.fw.writeFrame(id, req.Op, kindRequest, req.Trace, req.Body)
 	if err != nil {
+		if errors.Is(err, ErrFrameTooLarge) {
+			// Rejected before any bytes hit the wire: the connection is
+			// still framed correctly, only this call fails.
+			cc.mu.Lock()
+			delete(cc.pending, id)
+			cc.mu.Unlock()
+			return Message{}, err
+		}
 		cc.close(fmt.Errorf("%w: %v", ErrUnreachable, err))
 		return Message{}, fmt.Errorf("%w: %v", ErrUnreachable, err)
 	}
@@ -392,6 +548,8 @@ func (cc *tcpClientConn) readLoop() {
 			ch <- result{msg: Message{Op: op, Body: body}}
 		case kindError:
 			ch <- result{err: &RemoteError{Msg: string(body)}}
+		case kindBusy:
+			ch <- result{err: fmt.Errorf("%w: %s shed the request", ErrOverloaded, cc.conn.RemoteAddr())}
 		default:
 			ch <- result{err: fmt.Errorf("transport: bad frame kind %d", kind)}
 		}
@@ -479,7 +637,11 @@ func (w *frameWriter) writeFrame(id uint64, op uint16, kind byte, ext, body []by
 }
 
 // writeFrameTo encodes one frame into bw: a stack-built header followed by
-// the ext and body slices, so no flat frame buffer is assembled.
+// the ext and body slices, so no flat frame buffer is assembled. Frames
+// whose ext+body would exceed maxFrame are rejected with ErrFrameTooLarge
+// BEFORE any bytes are written: an oversized frame must fail one call, not
+// poison the stream and kill the connection with an opaque "bad frame
+// length" on the peer.
 func writeFrameTo(bw *bufio.Writer, id uint64, op uint16, kind byte, ext, body []byte) error {
 	if len(ext) > maxExt {
 		// Never corrupt the stream over an oversized extension; the trace
@@ -490,6 +652,9 @@ func writeFrameTo(bw *bufio.Writer, id uint64, op uint16, kind byte, ext, body [
 	if len(ext) > 0 {
 		kind |= kindExtFlag
 		extLen = 4 + len(ext)
+	}
+	if len(body) > maxFrame-frameHeaderLen-extLen {
+		return fmt.Errorf("%w: %d body bytes (max %d)", ErrFrameTooLarge, len(body), maxFrame-frameHeaderLen-extLen)
 	}
 	var hdr [4 + frameHeaderLen + 4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(frameHeaderLen+extLen+len(body)))
@@ -524,6 +689,9 @@ func writeFrame(conn net.Conn, id uint64, op uint16, kind byte, ext, body []byte
 	if len(ext) > 0 {
 		kind |= kindExtFlag
 		extLen = 4 + len(ext)
+	}
+	if len(body) > maxFrame-frameHeaderLen-extLen {
+		return fmt.Errorf("%w: %d body bytes (max %d)", ErrFrameTooLarge, len(body), maxFrame-frameHeaderLen-extLen)
 	}
 	total := 4 + frameHeaderLen + extLen + len(body)
 	bp := getFrameBuf(total)

@@ -50,6 +50,16 @@ var (
 	// ErrNoHandler reports a request for an opcode with no registered
 	// handler.
 	ErrNoHandler = errors.New("transport: no handler for opcode")
+	// ErrOverloaded reports that the remote server shed the request at a
+	// saturated pipeline stage (a kindBusy frame): the node is alive and
+	// answering, it just refused this unit of work. Callers treat it as
+	// retryable with backoff; it never counts against a node's health
+	// breaker.
+	ErrOverloaded = errors.New("transport: server overloaded")
+	// ErrFrameTooLarge reports a frame whose ext+body would exceed the
+	// wire format's maxFrame bound. It is detected before any bytes hit
+	// the wire, so the connection stays healthy.
+	ErrFrameTooLarge = errors.New("transport: frame exceeds max size")
 )
 
 // RemoteError wraps an error string produced by the remote handler.

@@ -222,6 +222,19 @@ type Caller = transport.Caller
 // client-only use).
 func NewTCPTransport(addr string) *transport.TCPTransport { return transport.NewTCP(addr) }
 
+// TransportStageConfig tunes the staged server pipeline: reader shards,
+// worker-pool size, dispatch-queue depth and the connection cap. Zero
+// fields take defaults; Spawn=true selects the legacy
+// goroutine-per-request server.
+type TransportStageConfig = transport.StageConfig
+
+// NewTCPTransportStaged returns a TCP transport whose server side runs the
+// staged pipeline (sharded accept, event-loop readers, bounded dispatch,
+// fixed worker pool, per-connection writers) with the given tuning.
+func NewTCPTransportStaged(addr string, cfg TransportStageConfig) *transport.TCPTransport {
+	return transport.NewTCPStaged(addr, cfg)
+}
+
 // --- observability ---
 
 // ObsRegistry collects a process's counters, gauges and latency
